@@ -1,0 +1,8 @@
+set terminal pngcairo size 800,500
+set output 'bench_out/fig4_mysql_select.png'
+set title 'mysql_select worst-case running time'
+set xlabel 'input size'
+set ylabel 'cost (basic blocks)'
+set key left top
+plot 'bench_out/fig4_mysql_select.dat' index 0 with points pt 7 title 'by rms', \
+     'bench_out/fig4_mysql_select.dat' index 1 with points pt 7 title 'by trms'

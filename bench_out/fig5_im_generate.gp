@@ -1,0 +1,8 @@
+set terminal pngcairo size 800,500
+set output 'bench_out/fig5_im_generate.png'
+set title 'im_generate worst-case running time'
+set xlabel 'input size'
+set ylabel 'cost (basic blocks)'
+set key left top
+plot 'bench_out/fig5_im_generate.dat' index 0 with points pt 7 title 'by rms', \
+     'bench_out/fig5_im_generate.dat' index 1 with points pt 7 title 'by trms'

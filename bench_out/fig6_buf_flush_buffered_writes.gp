@@ -1,0 +1,8 @@
+set terminal pngcairo size 800,500
+set output 'bench_out/fig6_buf_flush_buffered_writes.png'
+set title 'buf_flush_buffered_writes worst-case running time'
+set xlabel 'input size'
+set ylabel 'cost (basic blocks)'
+set key left top
+plot 'bench_out/fig6_buf_flush_buffered_writes.dat' index 0 with points pt 7 title 'by rms', \
+     'bench_out/fig6_buf_flush_buffered_writes.dat' index 1 with points pt 7 title 'by trms'

@@ -1,0 +1,427 @@
+//===- driver/isprof_main.cpp - The isprof command-line driver -------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The user-facing driver, mirroring how the paper's tool is invoked as
+// `valgrind --tool=aprof <program>`:
+//
+//   isprof run <prog.mini> [--tools=aprof-trms,...] [--record=trace.bin]
+//   isprof replay <trace.bin> [--tools=...]
+//   isprof check <prog.mini>
+//   isprof disasm <prog.mini>
+//   isprof workload <name> [--tools=...] [--threads=N] [--size=N]
+//   isprof list
+//
+// `run` executes a guest-language program under any combination of the
+// registered analysis tools (aprof-trms, aprof-rms, helgrind, drd,
+// memcheck, callgrind, cct, nulgrind) in one pass, printing each tool's
+// report; --record also captures the event trace for offline replay.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/HtmlReport.h"
+#include "core/ProfileDiff.h"
+#include "core/TrmsProfiler.h"
+#include "instr/ContextAdapter.h"
+#include "instr/Dispatcher.h"
+#include "support/CommandLine.h"
+#include "support/Format.h"
+#include "tools/ToolRegistry.h"
+#include "trace/TraceFile.h"
+#include "vm/Compiler.h"
+#include "vm/Diag.h"
+#include "vm/Disasm.h"
+#include "vm/Machine.h"
+#include "vm/Optimizer.h"
+#include "workloads/Runner.h"
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+using namespace isp;
+
+namespace {
+
+int usage() {
+  std::fputs(
+      "usage: isprof <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  run <prog.mini>       compile and execute under analysis tools\n"
+      "  diff <base.bin> <new.bin>  compare two recorded traces'\n"
+      "                        input-sensitive profiles (regressions)\n"
+      "  replay <trace.bin>    run analysis tools over a recorded trace\n"
+      "  check <prog.mini>     compile only; print diagnostics\n"
+      "  disasm <prog.mini>    print the compiled bytecode\n"
+      "  workload <name>       run a registered benchmark workload\n"
+      "  list                  list tools and workloads\n"
+      "\n"
+      "common options:\n"
+      "  --tools=a,b,c   comma-separated tool list (default aprof-trms)\n"
+      "  --record=PATH   (run) also record the event trace to PATH\n"
+      "  --slice=N       scheduler quantum in instructions (default 150)\n"
+      "  --seed=N        guest rand()/device seed (default 42)\n"
+      "  --threads=N --size=N   (workload) parameters\n",
+      stderr);
+  return 2;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream Stream(Path, std::ios::binary);
+  if (!Stream)
+    return false;
+  std::ostringstream Buffer;
+  Buffer << Stream.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+std::vector<std::string> splitList(const std::string &Csv) {
+  std::vector<std::string> Out;
+  size_t Pos = 0;
+  while (Pos <= Csv.size()) {
+    size_t Comma = Csv.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Csv.size();
+    if (Comma > Pos)
+      Out.push_back(Csv.substr(Pos, Comma - Pos));
+    Pos = Comma + 1;
+  }
+  return Out;
+}
+
+struct ToolSet {
+  std::vector<std::unique_ptr<Tool>> Inners;
+  std::vector<std::unique_ptr<ContextAdapter>> Adapters;
+  /// What actually subscribes to events, in creation order.
+  std::vector<Tool *> Fronts;
+
+  /// Creates every requested tool; returns false on an unknown name.
+  /// With \p Contexts set, each tool is wrapped in a ContextAdapter so
+  /// profiles are keyed by full call paths.
+  bool create(const std::string &Csv, bool Contexts = false) {
+    for (const std::string &Name : splitList(Csv)) {
+      std::unique_ptr<Tool> T = makeTool(Name);
+      if (!T) {
+        std::fprintf(stderr, "isprof: unknown tool '%s'; known tools:",
+                     Name.c_str());
+        for (const std::string &Known : allToolNames())
+          std::fprintf(stderr, " %s", Known.c_str());
+        std::fputc('\n', stderr);
+        return false;
+      }
+      Inners.push_back(std::move(T));
+      if (Contexts) {
+        Adapters.push_back(
+            std::make_unique<ContextAdapter>(*Inners.back()));
+        Fronts.push_back(Adapters.back().get());
+      } else {
+        Adapters.push_back(nullptr);
+        Fronts.push_back(Inners.back().get());
+      }
+    }
+    return true;
+  }
+
+  void attach(EventDispatcher &Dispatcher) {
+    for (Tool *T : Fronts)
+      Dispatcher.addTool(T);
+  }
+
+  void printReports(const SymbolTable *Symbols) {
+    for (size_t I = 0; I != Inners.size(); ++I) {
+      const SymbolTable *Table =
+          Adapters[I] ? &Adapters[I]->contextSymbols() : Symbols;
+      std::printf("--- %s ---\n%s\n", Fronts[I]->name().c_str(),
+                  renderToolReport(*Inners[I], Table).c_str());
+    }
+  }
+
+  /// Writes an HTML report from the first profiling tool, if any.
+  bool writeHtml(const std::string &Path, const SymbolTable *Symbols) {
+    for (size_t I = 0; I != Inners.size(); ++I) {
+      if (ProfileDatabase *Db = Inners[I]->profileDatabase()) {
+        HtmlReportOptions HtmlOpts;
+        HtmlOpts.Title = "isprof profile (" + Fronts[I]->name() + ")";
+        const SymbolTable *Table =
+            Adapters[I] ? &Adapters[I]->contextSymbols() : Symbols;
+        if (!writeHtmlReport(Path, *Db, Table, HtmlOpts)) {
+          std::fprintf(stderr, "isprof: cannot write %s\n", Path.c_str());
+          return false;
+        }
+        std::printf("[HTML report -> %s]\n\n", Path.c_str());
+        return true;
+      }
+    }
+    std::fprintf(stderr, "isprof: --html needs an aprof tool in --tools\n");
+    return false;
+  }
+};
+
+int commandRun(OptionParser &Options) {
+  if (Options.positional().size() < 2) {
+    std::fprintf(stderr, "isprof run: missing program file\n");
+    return 2;
+  }
+  std::string Source;
+  if (!readFile(Options.positional()[1], Source)) {
+    std::fprintf(stderr, "isprof: cannot read %s\n",
+                 Options.positional()[1].c_str());
+    return 1;
+  }
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = compileProgram(Source, Diags);
+  if (!Prog) {
+    std::fputs(Diags.render().c_str(), stderr);
+    return 1;
+  }
+  if (Options.getFlag("optimize")) {
+    OptimizerStats Opt = optimizeProgram(*Prog);
+    std::printf("[optimizer: %u constant(s) folded, %u branch(es) "
+                "resolved, %u jump(s) threaded, %u instruction(s) "
+                "removed]\n",
+                Opt.ConstantsFolded, Opt.BranchesResolved,
+                Opt.JumpsThreaded, Opt.InstructionsRemoved);
+  }
+
+  ToolSet Tools;
+  if (!Tools.create(Options.getString("tools"), Options.getFlag("contexts")))
+    return 2;
+
+  MachineOptions MachineOpts;
+  MachineOpts.SliceLength = static_cast<uint64_t>(Options.getInt("slice"));
+  MachineOpts.Seed = static_cast<uint64_t>(Options.getInt("seed"));
+
+  EventDispatcher Dispatcher;
+  Tools.attach(Dispatcher);
+  std::string RecordPath = Options.getString("record");
+  if (!RecordPath.empty())
+    Dispatcher.enableRecording();
+
+  Machine M(*Prog, &Dispatcher, MachineOpts);
+  RunResult Result = M.run();
+  if (!Result.Output.empty())
+    std::printf("%s", Result.Output.c_str());
+  if (!Result.Ok) {
+    std::fprintf(stderr, "isprof: guest failed: %s\n",
+                 Result.Error.c_str());
+    return 1;
+  }
+  std::printf("[exit %lld; %s instructions, %s basic blocks, %u "
+              "threads]\n\n",
+              static_cast<long long>(Result.ExitCode),
+              formatWithCommas(Result.Stats.Instructions).c_str(),
+              formatWithCommas(Result.Stats.BasicBlocks).c_str(),
+              static_cast<unsigned>(Result.Stats.ThreadsSpawned));
+
+  if (!RecordPath.empty()) {
+    TraceData Data;
+    Data.Routines = Prog->Symbols.entries();
+    Data.Events = Dispatcher.takeRecordedEvents();
+    if (!writeTraceFile(RecordPath, Data)) {
+      std::fprintf(stderr, "isprof: cannot write trace %s\n",
+                   RecordPath.c_str());
+      return 1;
+    }
+    std::printf("[trace: %zu events -> %s]\n\n", Data.Events.size(),
+                RecordPath.c_str());
+  }
+
+  std::string HtmlPath = Options.getString("html");
+  if (!HtmlPath.empty() && !Tools.writeHtml(HtmlPath, &Prog->Symbols))
+    return 1;
+  Tools.printReports(&Prog->Symbols);
+  return 0;
+}
+
+int commandReplay(OptionParser &Options) {
+  if (Options.positional().size() < 2) {
+    std::fprintf(stderr, "isprof replay: missing trace file\n");
+    return 2;
+  }
+  TraceData Data;
+  if (!readTraceFile(Options.positional()[1], Data)) {
+    std::fprintf(stderr, "isprof: cannot read trace %s\n",
+                 Options.positional()[1].c_str());
+    return 1;
+  }
+  SymbolTable Symbols;
+  for (const auto &[Id, Name] : Data.Routines)
+    Symbols.intern(Name);
+
+  ToolSet Tools;
+  if (!Tools.create(Options.getString("tools")))
+    return 2;
+  EventDispatcher Dispatcher;
+  Tools.attach(Dispatcher);
+  Dispatcher.start(&Symbols);
+  for (const Event &E : Data.Events)
+    Dispatcher.dispatch(E);
+  Dispatcher.finish();
+
+  std::printf("[replayed %zu events]\n\n", Data.Events.size());
+  Tools.printReports(&Symbols);
+  return 0;
+}
+
+int commandCheckOrDisasm(OptionParser &Options, bool Disassemble) {
+  if (Options.positional().size() < 2) {
+    std::fprintf(stderr, "isprof: missing program file\n");
+    return 2;
+  }
+  std::string Source;
+  if (!readFile(Options.positional()[1], Source)) {
+    std::fprintf(stderr, "isprof: cannot read %s\n",
+                 Options.positional()[1].c_str());
+    return 1;
+  }
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = compileProgram(Source, Diags);
+  if (!Prog) {
+    std::fputs(Diags.render().c_str(), stderr);
+    return 1;
+  }
+  if (Disassemble)
+    std::fputs(disassembleProgram(*Prog).c_str(), stdout);
+  else
+    std::printf("%s: ok (%zu functions, %llu global cells)\n",
+                Options.positional()[1].c_str(), Prog->Functions.size(),
+                static_cast<unsigned long long>(Prog->GlobalCells));
+  return 0;
+}
+
+int commandWorkload(OptionParser &Options) {
+  if (Options.positional().size() < 2) {
+    std::fprintf(stderr, "isprof workload: missing workload name\n");
+    return 2;
+  }
+  const WorkloadInfo *W = findWorkload(Options.positional()[1]);
+  if (!W) {
+    std::fprintf(stderr, "isprof: unknown workload '%s' (try: isprof "
+                         "list)\n",
+                 Options.positional()[1].c_str());
+    return 1;
+  }
+  WorkloadParams Params;
+  Params.Threads = static_cast<unsigned>(Options.getInt("threads"));
+  Params.Size = static_cast<uint64_t>(Options.getInt("size"));
+
+  std::string Error;
+  std::optional<Program> Prog = compileWorkload(*W, Params, &Error);
+  if (!Prog) {
+    std::fputs(Error.c_str(), stderr);
+    return 1;
+  }
+  ToolSet Tools;
+  if (!Tools.create(Options.getString("tools")))
+    return 2;
+  EventDispatcher Dispatcher;
+  Tools.attach(Dispatcher);
+  MachineOptions MachineOpts;
+  MachineOpts.SliceLength = static_cast<uint64_t>(Options.getInt("slice"));
+  MachineOpts.Seed = static_cast<uint64_t>(Options.getInt("seed"));
+  Machine M(*Prog, &Dispatcher, MachineOpts);
+  RunResult Result = M.run();
+  if (!Result.Ok) {
+    std::fprintf(stderr, "isprof: workload failed: %s\n",
+                 Result.Error.c_str());
+    return 1;
+  }
+  std::printf("%s[%s: %s instructions, %u threads]\n\n",
+              Result.Output.c_str(), W->Name.c_str(),
+              formatWithCommas(Result.Stats.Instructions).c_str(),
+              static_cast<unsigned>(Result.Stats.ThreadsSpawned));
+  std::string HtmlPath = Options.getString("html");
+  if (!HtmlPath.empty() && !Tools.writeHtml(HtmlPath, &Prog->Symbols))
+    return 1;
+  Tools.printReports(&Prog->Symbols);
+  return 0;
+}
+
+/// Replays \p Path under aprof-trms; returns false on failure.
+bool profileTraceFile(const std::string &Path, ProfileDatabase &DbOut,
+                      SymbolTable &SymbolsOut) {
+  TraceData Data;
+  if (!readTraceFile(Path, Data)) {
+    std::fprintf(stderr, "isprof: cannot read trace %s\n", Path.c_str());
+    return false;
+  }
+  for (const auto &[Id, Name] : Data.Routines)
+    SymbolsOut.intern(Name);
+  TrmsProfiler Profiler;
+  replayTrace(Data.Events, Profiler, &SymbolsOut);
+  DbOut = Profiler.takeDatabase();
+  return true;
+}
+
+int commandDiff(OptionParser &Options) {
+  if (Options.positional().size() < 3) {
+    std::fprintf(stderr,
+                 "isprof diff: need a baseline and a candidate trace\n");
+    return 2;
+  }
+  ProfileDatabase BaseDb, CandDb;
+  SymbolTable BaseSyms, CandSyms;
+  if (!profileTraceFile(Options.positional()[1], BaseDb, BaseSyms) ||
+      !profileTraceFile(Options.positional()[2], CandDb, CandSyms))
+    return 1;
+  std::vector<RoutineDiff> Diffs =
+      diffProfiles(BaseDb, BaseSyms, CandDb, CandSyms);
+  std::printf("%s", renderProfileDiff(Diffs).c_str());
+  return hasRegressions(Diffs) ? 3 : 0;
+}
+
+int commandList() {
+  std::printf("tools:\n");
+  for (const std::string &Name : allToolNames())
+    std::printf("  %s\n", Name.c_str());
+  std::printf("\nworkloads:\n");
+  for (const WorkloadInfo &W : allWorkloads())
+    std::printf("  %-18s (%s) %s\n", W.Name.c_str(), W.Suite.c_str(),
+                W.Description.c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  OptionParser Options("isprof: input-sensitive profiling toolkit");
+  Options.addOption("tools", "aprof-trms", "comma-separated tool list");
+  Options.addOption("record", "", "record the event trace to this path");
+  Options.addOption("html", "", "write an HTML profile report (needs an "
+                                "aprof tool in --tools)");
+  Options.addFlag("contexts", "profile per calling context instead of "
+                              "per routine");
+  Options.addFlag("optimize", "run the bytecode peephole optimizer "
+                              "(profiles are unaffected by design)");
+  Options.addOption("slice", "150", "scheduler quantum (instructions)");
+  Options.addOption("seed", "42", "guest rand()/device seed");
+  Options.addOption("threads", "4", "workload thread count");
+  Options.addOption("size", "64", "workload problem scale");
+  if (!Options.parse(Argc, Argv))
+    return 2;
+  if (Options.positional().empty())
+    return usage();
+
+  const std::string &Command = Options.positional()[0];
+  if (Command == "run")
+    return commandRun(Options);
+  if (Command == "diff")
+    return commandDiff(Options);
+  if (Command == "replay")
+    return commandReplay(Options);
+  if (Command == "check")
+    return commandCheckOrDisasm(Options, /*Disassemble=*/false);
+  if (Command == "disasm")
+    return commandCheckOrDisasm(Options, /*Disassemble=*/true);
+  if (Command == "workload")
+    return commandWorkload(Options);
+  if (Command == "list")
+    return commandList();
+  std::fprintf(stderr, "isprof: unknown command '%s'\n", Command.c_str());
+  return usage();
+}

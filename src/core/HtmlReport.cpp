@@ -1,0 +1,214 @@
+//===- core/HtmlReport.cpp - Self-contained HTML profile reports --------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/HtmlReport.h"
+
+#include "core/Metrics.h"
+#include "core/Report.h"
+#include "instr/SymbolTable.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+using namespace isp;
+
+namespace {
+
+std::string escapeHtml(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    switch (C) {
+    case '&':
+      Out += "&amp;";
+      break;
+    case '<':
+      Out += "&lt;";
+      break;
+    case '>':
+      Out += "&gt;";
+      break;
+    case '"':
+      Out += "&quot;";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+/// Renders one scatter plot as inline SVG with log-ish axis handling:
+/// points are scaled linearly into the plot box; the fitted model curve
+/// is sampled at 32 points.
+std::string renderSvgPlot(const std::vector<FitPoint> &Points,
+                          const FitResult &Fit, const char *AxisLabel,
+                          unsigned Width, unsigned Height) {
+  if (Points.empty())
+    return "<p class=\"empty\">(no points)</p>";
+
+  double MaxN = 1, MaxCost = 1;
+  for (const FitPoint &P : Points) {
+    MaxN = std::max(MaxN, P.N);
+    MaxCost = std::max(MaxCost, P.Cost);
+  }
+  const double PadLeft = 44, PadBottom = 26, PadTop = 10, PadRight = 8;
+  double PlotW = Width - PadLeft - PadRight;
+  double PlotH = Height - PadTop - PadBottom;
+  auto MapX = [&](double N) { return PadLeft + N / MaxN * PlotW; };
+  auto MapY = [&](double C) {
+    return PadTop + (1.0 - C / MaxCost) * PlotH;
+  };
+
+  std::string Svg = formatString(
+      "<svg viewBox=\"0 0 %u %u\" width=\"%u\" height=\"%u\">\n", Width,
+      Height, Width, Height);
+  // Axes.
+  Svg += formatString("<line x1=\"%.0f\" y1=\"%.0f\" x2=\"%.0f\" "
+                      "y2=\"%.0f\" class=\"axis\"/>\n",
+                      PadLeft, PadTop, PadLeft, PadTop + PlotH);
+  Svg += formatString("<line x1=\"%.0f\" y1=\"%.0f\" x2=\"%.0f\" "
+                      "y2=\"%.0f\" class=\"axis\"/>\n",
+                      PadLeft, PadTop + PlotH, PadLeft + PlotW,
+                      PadTop + PlotH);
+  Svg += formatString("<text x=\"%.0f\" y=\"%.0f\" class=\"label\">%s"
+                      "</text>\n",
+                      PadLeft + PlotW / 2, static_cast<double>(Height - 6),
+                      AxisLabel);
+  Svg += formatString("<text x=\"4\" y=\"%.0f\" class=\"label\">cost"
+                      "</text>\n",
+                      PadTop + 10.0);
+  Svg += formatString("<text x=\"%.0f\" y=\"%.0f\" class=\"tick\">%.0f"
+                      "</text>\n",
+                      PadLeft + PlotW - 8, PadTop + PlotH + 14, MaxN);
+  Svg += formatString("<text x=\"4\" y=\"%.0f\" class=\"tick\">%.0f"
+                      "</text>\n",
+                      PadTop + 22.0, MaxCost);
+
+  // Fitted model curve.
+  const ModelFit &Best = Fit.best();
+  Svg += "<polyline class=\"fit\" points=\"";
+  for (unsigned I = 0; I <= 32; ++I) {
+    double N = MaxN * I / 32.0;
+    double C = std::clamp(Best.evaluate(N), 0.0, MaxCost);
+    Svg += formatString("%.1f,%.1f ", MapX(N), MapY(C));
+  }
+  Svg += "\"/>\n";
+
+  // Data points.
+  for (const FitPoint &P : Points)
+    Svg += formatString("<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2.5\" "
+                        "class=\"pt\"/>\n",
+                        MapX(P.N), MapY(P.Cost));
+  Svg += "</svg>\n";
+  return Svg;
+}
+
+} // namespace
+
+std::string isp::renderHtmlReport(const ProfileDatabase &Database,
+                                  const SymbolTable *Symbols,
+                                  const HtmlReportOptions &Options) {
+  auto Merged = Database.mergedByRoutine();
+  std::vector<std::pair<RoutineId, const RoutineProfile *>> Ranked;
+  for (const auto &[Rtn, Profile] : Merged)
+    Ranked.emplace_back(Rtn, &Profile);
+  std::sort(Ranked.begin(), Ranked.end(), [](const auto &L, const auto &R) {
+    return L.second->totalCost() > R.second->totalCost();
+  });
+  if (Ranked.size() > Options.MaxRoutines)
+    Ranked.resize(Options.MaxRoutines);
+
+  RunMetrics Run = computeRunMetrics(Database);
+
+  std::string Html = formatString(
+      "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n"
+      "<title>%s</title>\n<style>\n"
+      "body{font-family:system-ui,sans-serif;margin:24px;color:#222}\n"
+      "h1{font-size:20px} h2{font-size:16px;margin-top:28px}\n"
+      "table{border-collapse:collapse;font-size:13px}\n"
+      "td,th{border:1px solid #ccc;padding:3px 8px;text-align:right}\n"
+      "td:first-child,th:first-child{text-align:left}\n"
+      ".plots{display:flex;gap:18px;flex-wrap:wrap}\n"
+      ".plot{border:1px solid #ddd;padding:8px;border-radius:6px}\n"
+      ".plot h3{font-size:13px;margin:0 0 4px 0;font-weight:600}\n"
+      ".axis{stroke:#888;stroke-width:1}\n"
+      ".pt{fill:#1f77b4}\n"
+      ".fit{fill:none;stroke:#d62728;stroke-width:1.5;stroke-dasharray:4 "
+      "3}\n"
+      ".label,.tick{font-size:10px;fill:#555}\n"
+      ".empty{color:#888;font-size:12px}\n"
+      "</style></head><body>\n<h1>%s</h1>\n",
+      escapeHtml(Options.Title).c_str(), escapeHtml(Options.Title).c_str());
+
+  Html += formatString(
+      "<p>%s activations; induced first-accesses: %.1f%% thread-induced "
+      "/ %.1f%% external; input volume %.3f.</p>\n",
+      formatWithCommas(Database.totalActivations()).c_str(),
+      Run.ThreadInducedPct, Run.ExternalPct, Run.InputVolume);
+
+  // Summary table.
+  Html += "<h2>Routines by total cost</h2>\n<table>\n"
+          "<tr><th>routine</th><th>calls</th><th>cost (BB)</th>"
+          "<th>|trms|</th><th>|rms|</th><th>thread-induced</th>"
+          "<th>external</th><th>fit (trms)</th><th>alpha</th></tr>\n";
+  for (const auto &[Rtn, Profile] : Ranked) {
+    FitResult Fit = fitWorstCase(*Profile, InputMetric::Trms);
+    std::string Name = Symbols ? Symbols->routineName(Rtn)
+                               : formatString("#%u", Rtn);
+    Html += formatString(
+        "<tr><td>%s</td><td>%s</td><td>%s</td><td>%zu</td><td>%zu</td>"
+        "<td>%s</td><td>%s</td><td>%s</td><td>%.2f</td></tr>\n",
+        escapeHtml(Name).c_str(),
+        formatWithCommas(Profile->activations()).c_str(),
+        formatWithCommas(Profile->totalCost()).c_str(),
+        Profile->distinctTrmsValues(), Profile->distinctRmsValues(),
+        formatWithCommas(Profile->inducedThread()).c_str(),
+        formatWithCommas(Profile->inducedExternal()).c_str(),
+        growthModelName(Fit.best().Model), Fit.PowerLawAlpha);
+  }
+  Html += "</table>\n";
+
+  // Per-routine plots: worst-case cost vs rms and vs trms side by side.
+  for (const auto &[Rtn, Profile] : Ranked) {
+    if (Profile->distinctTrmsValues() < 2)
+      continue;
+    std::string Name = Symbols ? Symbols->routineName(Rtn)
+                               : formatString("#%u", Rtn);
+    Html += formatString("<h2>%s</h2>\n<div class=\"plots\">\n",
+                         escapeHtml(Name).c_str());
+    for (InputMetric Metric : {InputMetric::Rms, InputMetric::Trms}) {
+      const char *Label = Metric == InputMetric::Rms ? "rms" : "trms";
+      auto Points = worstCasePlot(*Profile, Metric);
+      FitResult Fit = fitCurve(Points);
+      Html += formatString(
+          "<div class=\"plot\"><h3>by %s &mdash; %s</h3>\n", Label,
+          growthModelName(Fit.best().Model));
+      Html += renderSvgPlot(Points, Fit, Label, Options.PlotWidth,
+                            Options.PlotHeight);
+      Html += "</div>\n";
+    }
+    Html += "</div>\n";
+  }
+
+  Html += "</body></html>\n";
+  return Html;
+}
+
+bool isp::writeHtmlReport(const std::string &Path,
+                          const ProfileDatabase &Database,
+                          const SymbolTable *Symbols,
+                          const HtmlReportOptions &Options) {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return false;
+  std::string Html = renderHtmlReport(Database, Symbols, Options);
+  size_t Written = std::fwrite(Html.data(), 1, Html.size(), File);
+  std::fclose(File);
+  return Written == Html.size();
+}

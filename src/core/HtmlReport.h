@@ -1,0 +1,53 @@
+//===- core/HtmlReport.h - Self-contained HTML profile reports --*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a ProfileDatabase as a single self-contained HTML page — the
+/// stand-in for the aprof GUI the paper's tool ships with: a ranked
+/// routine table with induced-input splits, and per-routine cost plots
+/// (worst-case cost vs rms and vs trms) drawn as inline SVG scatter
+/// charts with the fitted growth model, so the Figure 4/5-style
+/// comparisons can be eyeballed in a browser with no dependencies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_CORE_HTMLREPORT_H
+#define ISPROF_CORE_HTMLREPORT_H
+
+#include "core/ProfileData.h"
+
+#include <string>
+
+namespace isp {
+
+class SymbolTable;
+
+struct HtmlReportOptions {
+  /// Page title.
+  std::string Title = "isprof profile";
+  /// Plot at most this many routines (ranked by total cost).
+  size_t MaxRoutines = 24;
+  /// SVG plot size in pixels.
+  unsigned PlotWidth = 360;
+  unsigned PlotHeight = 220;
+};
+
+/// Renders the report; write the result to a .html file.
+std::string renderHtmlReport(const ProfileDatabase &Database,
+                             const SymbolTable *Symbols,
+                             const HtmlReportOptions &Options =
+                                 HtmlReportOptions());
+
+/// Convenience: renders and writes to \p Path. Returns false on I/O
+/// failure.
+bool writeHtmlReport(const std::string &Path,
+                     const ProfileDatabase &Database,
+                     const SymbolTable *Symbols,
+                     const HtmlReportOptions &Options = HtmlReportOptions());
+
+} // namespace isp
+
+#endif // ISPROF_CORE_HTMLREPORT_H

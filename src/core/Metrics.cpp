@@ -1,0 +1,77 @@
+//===- core/Metrics.cpp - Section 6.1 evaluation metrics ---------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Metrics.h"
+
+#include <algorithm>
+
+using namespace isp;
+
+std::vector<RoutineMetrics>
+isp::computeRoutineMetrics(const ProfileDatabase &Database) {
+  std::vector<RoutineMetrics> Result;
+  for (const auto &[Rtn, Profile] : Database.mergedByRoutine()) {
+    RoutineMetrics M;
+    M.Rtn = Rtn;
+    M.Activations = Profile.activations();
+    M.DistinctTrms = Profile.distinctTrmsValues();
+    M.DistinctRms = Profile.distinctRmsValues();
+    if (M.DistinctRms > 0)
+      M.ProfileRichness =
+          (static_cast<double>(M.DistinctTrms) -
+           static_cast<double>(M.DistinctRms)) /
+          static_cast<double>(M.DistinctRms);
+    if (Profile.sumTrms() > 0)
+      M.InputVolume = 1.0 - static_cast<double>(Profile.sumRms()) /
+                                static_cast<double>(Profile.sumTrms());
+    uint64_t Induced = Profile.inducedThread() + Profile.inducedExternal();
+    if (Induced > 0) {
+      M.ThreadInducedPct = 100.0 * static_cast<double>(Profile.inducedThread()) /
+                           static_cast<double>(Induced);
+      M.ExternalPct = 100.0 - M.ThreadInducedPct;
+    }
+    if (Profile.sumTrms() > 0)
+      M.InducedShareOfInputPct = 100.0 * static_cast<double>(Induced) /
+                                 static_cast<double>(Profile.sumTrms());
+    Result.push_back(M);
+  }
+  return Result;
+}
+
+RunMetrics isp::computeRunMetrics(const ProfileDatabase &Database) {
+  RunMetrics M;
+  M.InducedThread = Database.GlobalInducedThread;
+  M.InducedExternal = Database.GlobalInducedExternal;
+  M.PlainFirstAccesses = Database.GlobalPlainFirstAccesses;
+  uint64_t Induced = M.InducedThread + M.InducedExternal;
+  if (Induced > 0) {
+    M.ThreadInducedPct = 100.0 * static_cast<double>(M.InducedThread) /
+                         static_cast<double>(Induced);
+    M.ExternalPct = 100.0 - M.ThreadInducedPct;
+  }
+  uint64_t SumRms = 0, SumTrms = 0;
+  for (const auto &[Key, Profile] : Database.threadRoutineProfiles()) {
+    SumRms += Profile.sumRms();
+    SumTrms += Profile.sumTrms();
+  }
+  if (SumTrms > 0)
+    M.InputVolume =
+        1.0 - static_cast<double>(SumRms) / static_cast<double>(SumTrms);
+  return M;
+}
+
+std::vector<std::pair<double, double>>
+isp::tailDistribution(std::vector<double> Values) {
+  std::sort(Values.begin(), Values.end(), std::greater<double>());
+  std::vector<std::pair<double, double>> Points;
+  Points.reserve(Values.size());
+  size_t N = Values.size();
+  for (size_t I = 0; I != N; ++I) {
+    double Pct = 100.0 * static_cast<double>(I + 1) / static_cast<double>(N);
+    Points.emplace_back(Pct, Values[I]);
+  }
+  return Points;
+}

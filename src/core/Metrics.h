@@ -1,0 +1,79 @@
+//===- core/Metrics.h - Section 6.1 evaluation metrics ----------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's evaluation metrics (Section 6.1):
+///  1. routine profile richness  (|trms_r| - |rms_r|) / |rms_r|;
+///  2. input volume              1 - sum(rms) / sum(trms);
+///  3. thread-induced input      % of induced first-accesses caused by
+///                               other threads' stores;
+///  4. external input            % caused by kernel stores.
+/// Plus the tail-distribution helper that turns per-routine values into
+/// the "x% of routines have metric >= y" curves of Figures 15, 16, 18
+/// and 19.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_CORE_METRICS_H
+#define ISPROF_CORE_METRICS_H
+
+#include "core/ProfileData.h"
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace isp {
+
+/// Per-routine metric values (computed over thread-merged profiles, as
+/// the paper's |trms_r| counts distinct values "for all threads").
+struct RoutineMetrics {
+  RoutineId Rtn = 0;
+  uint64_t Activations = 0;
+  size_t DistinctTrms = 0;
+  size_t DistinctRms = 0;
+  /// (|trms| - |rms|) / |rms|; may be negative (rarely, per the paper).
+  double ProfileRichness = 0;
+  /// 1 - sum(rms)/sum(trms) in [0, 1); 0 when the routine saw no induced
+  /// input at all.
+  double InputVolume = 0;
+  /// Of the routine's induced first-accesses (descendants included),
+  /// the fraction caused by other threads, in [0, 100].
+  double ThreadInducedPct = 0;
+  /// ... and by the kernel (the two sum to 100 when any induced access
+  /// exists).
+  double ExternalPct = 0;
+  /// Induced accesses as a share of the routine's total trms, [0, 100].
+  double InducedShareOfInputPct = 0;
+};
+
+/// Computes per-routine metrics from \p Database.
+std::vector<RoutineMetrics>
+computeRoutineMetrics(const ProfileDatabase &Database);
+
+/// Whole-run metrics in which each induced first-access is counted once
+/// (Figure 17's percentages).
+struct RunMetrics {
+  uint64_t InducedThread = 0;
+  uint64_t InducedExternal = 0;
+  uint64_t PlainFirstAccesses = 0;
+  double ThreadInducedPct = 0;
+  double ExternalPct = 0;
+  /// 1 - sum(rms)/sum(trms) over all activations.
+  double InputVolume = 0;
+};
+
+RunMetrics computeRunMetrics(const ProfileDatabase &Database);
+
+/// Builds the decreasing tail distribution of \p Values: returned points
+/// (x, y) mean "x percent of routines have value >= y". x is the rank
+/// percentile (i+1)/n*100 after sorting descending.
+std::vector<std::pair<double, double>>
+tailDistribution(std::vector<double> Values);
+
+} // namespace isp
+
+#endif // ISPROF_CORE_METRICS_H

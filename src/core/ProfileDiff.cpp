@@ -1,0 +1,174 @@
+//===- core/ProfileDiff.cpp - Cross-run profile comparison --------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ProfileDiff.h"
+
+#include "core/Report.h"
+#include "instr/SymbolTable.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+using namespace isp;
+
+namespace {
+
+/// Name-keyed view of a profile database.
+std::map<std::string, const RoutineProfile *>
+byName(const std::map<RoutineId, RoutineProfile> &Merged,
+       const SymbolTable &Symbols) {
+  std::map<std::string, const RoutineProfile *> Out;
+  for (const auto &[Rtn, Profile] : Merged)
+    Out.emplace(Symbols.routineName(Rtn), &Profile);
+  return Out;
+}
+
+/// Geometric-mean cost ratio over input sizes present in both profiles.
+double costRatioAtCommonSizes(const RoutineProfile &Baseline,
+                              const RoutineProfile &Candidate) {
+  double LogSum = 0;
+  size_t Count = 0;
+  for (const auto &[Size, BaseStats] : Baseline.costByTrms()) {
+    auto It = Candidate.costByTrms().find(Size);
+    if (It == Candidate.costByTrms().end())
+      continue;
+    if (BaseStats.MaxCost == 0 || It->second.MaxCost == 0)
+      continue;
+    LogSum += std::log(static_cast<double>(It->second.MaxCost) /
+                       static_cast<double>(BaseStats.MaxCost));
+    ++Count;
+  }
+  return Count ? std::exp(LogSum / static_cast<double>(Count)) : 0.0;
+}
+
+} // namespace
+
+std::vector<RoutineDiff>
+isp::diffProfiles(const ProfileDatabase &Baseline,
+                  const SymbolTable &BaselineSyms,
+                  const ProfileDatabase &Candidate,
+                  const SymbolTable &CandidateSyms,
+                  const ProfileDiffOptions &Options) {
+  auto BaseMerged = Baseline.mergedByRoutine();
+  auto CandMerged = Candidate.mergedByRoutine();
+  auto BaseByName = byName(BaseMerged, BaselineSyms);
+  auto CandByName = byName(CandMerged, CandidateSyms);
+
+  std::vector<RoutineDiff> Diffs;
+  auto processRoutine = [&](const std::string &Name,
+                            const RoutineProfile *Base,
+                            const RoutineProfile *Cand) {
+    RoutineDiff D;
+    D.Name = Name;
+    D.InBaseline = Base != nullptr;
+    D.InCandidate = Cand != nullptr;
+    uint64_t MaxActivations = 0;
+    if (Base) {
+      FitResult Fit = fitWorstCase(*Base, InputMetric::Trms);
+      D.BaselineModel = Fit.best().Model;
+      D.BaselineAlpha = Fit.PowerLawAlpha;
+      D.BaselineActivations = Base->activations();
+      MaxActivations = std::max(MaxActivations, D.BaselineActivations);
+    }
+    if (Cand) {
+      FitResult Fit = fitWorstCase(*Cand, InputMetric::Trms);
+      D.CandidateModel = Fit.best().Model;
+      D.CandidateAlpha = Fit.PowerLawAlpha;
+      D.CandidateActivations = Cand->activations();
+      MaxActivations = std::max(MaxActivations, D.CandidateActivations);
+    }
+    if (MaxActivations < Options.MinActivations)
+      return;
+    if (Base && Cand) {
+      D.CostRatioAtCommonSizes = costRatioAtCommonSizes(*Base, *Cand);
+      D.GrowthRegression = static_cast<int>(D.CandidateModel) >
+                           static_cast<int>(D.BaselineModel);
+      D.CostRegression = D.CostRatioAtCommonSizes >
+                         Options.CostRatioThreshold;
+    }
+    Diffs.push_back(std::move(D));
+  };
+
+  for (const auto &[Name, Base] : BaseByName) {
+    auto It = CandByName.find(Name);
+    processRoutine(Name, Base,
+                   It == CandByName.end() ? nullptr : It->second);
+  }
+  for (const auto &[Name, Cand] : CandByName)
+    if (!BaseByName.count(Name))
+      processRoutine(Name, nullptr, Cand);
+
+  std::sort(Diffs.begin(), Diffs.end(),
+            [](const RoutineDiff &L, const RoutineDiff &R) {
+              auto Rank = [](const RoutineDiff &D) {
+                if (D.GrowthRegression)
+                  return 0;
+                if (D.CostRegression)
+                  return 1;
+                if (!D.InBaseline || !D.InCandidate)
+                  return 2;
+                return 3;
+              };
+              if (Rank(L) != Rank(R))
+                return Rank(L) < Rank(R);
+              return L.Name < R.Name;
+            });
+  return Diffs;
+}
+
+bool isp::hasRegressions(const std::vector<RoutineDiff> &Diffs) {
+  for (const RoutineDiff &D : Diffs)
+    if (D.GrowthRegression || D.CostRegression)
+      return true;
+  return false;
+}
+
+std::string isp::renderProfileDiff(const std::vector<RoutineDiff> &Diffs) {
+  TextTable Table;
+  Table.setHeader({"routine", "growth", "alpha", "cost ratio", "calls",
+                   "verdict"});
+  unsigned Regressions = 0;
+  for (const RoutineDiff &D : Diffs) {
+    std::string Growth, Alpha, Ratio, Calls, Verdict;
+    if (D.InBaseline && D.InCandidate) {
+      Growth = formatString("%s -> %s", growthModelName(D.BaselineModel),
+                            growthModelName(D.CandidateModel));
+      Alpha = formatString("%.2f -> %.2f", D.BaselineAlpha,
+                           D.CandidateAlpha);
+      Ratio = D.CostRatioAtCommonSizes > 0
+                  ? formatString("%.2fx", D.CostRatioAtCommonSizes)
+                  : "-";
+      Calls = formatString("%llu -> %llu",
+                           static_cast<unsigned long long>(
+                               D.BaselineActivations),
+                           static_cast<unsigned long long>(
+                               D.CandidateActivations));
+      if (D.GrowthRegression) {
+        Verdict = "GROWTH REGRESSION";
+        ++Regressions;
+      } else if (D.CostRegression) {
+        Verdict = "cost regression";
+        ++Regressions;
+      } else {
+        Verdict = "ok";
+      }
+    } else if (D.InCandidate) {
+      Growth = formatString("(new) %s", growthModelName(D.CandidateModel));
+      Verdict = "added";
+    } else {
+      Growth = formatString("%s (gone)", growthModelName(D.BaselineModel));
+      Verdict = "removed";
+    }
+    Table.addRow({D.Name, Growth, Alpha, Ratio, Calls, Verdict});
+  }
+  std::string Out = Table.render();
+  Out += formatString("\n%u regression(s) across %zu routine(s)\n",
+                      Regressions, Diffs.size());
+  return Out;
+}

@@ -1,0 +1,76 @@
+//===- core/ProfileDiff.h - Cross-run profile comparison --------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compares two input-sensitive profiles (e.g. two versions of a
+/// program, or the same program on two workloads) routine by routine.
+/// This is the payoff the paper's introduction promises — cost
+/// *functions* rather than cost numbers — turned into a regression
+/// detector: a routine whose fitted growth class moved from O(n) to
+/// O(n^2) is flagged even when the measured totals barely changed on
+/// the (small) test workload. Routines are matched by name, so the two
+/// profiles may come from different builds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_CORE_PROFILEDIFF_H
+#define ISPROF_CORE_PROFILEDIFF_H
+
+#include "core/ProfileData.h"
+#include "support/CurveFit.h"
+
+#include <string>
+#include <vector>
+
+namespace isp {
+
+class SymbolTable;
+
+/// One routine's before/after comparison.
+struct RoutineDiff {
+  std::string Name;
+  bool InBaseline = false;
+  bool InCandidate = false;
+  GrowthModel BaselineModel = GrowthModel::Constant;
+  GrowthModel CandidateModel = GrowthModel::Constant;
+  double BaselineAlpha = 0;
+  double CandidateAlpha = 0;
+  uint64_t BaselineActivations = 0;
+  uint64_t CandidateActivations = 0;
+  /// Geometric-mean ratio of candidate/baseline worst-case cost over the
+  /// input sizes both runs observed (1.0 = unchanged; 0 when no common
+  /// sizes exist).
+  double CostRatioAtCommonSizes = 0;
+  /// The fitted growth class got strictly worse.
+  bool GrowthRegression = false;
+  /// Cost at common sizes grew beyond the configured threshold.
+  bool CostRegression = false;
+};
+
+struct ProfileDiffOptions {
+  /// Flag a cost regression when the common-size cost ratio exceeds this.
+  double CostRatioThreshold = 1.5;
+  /// Ignore routines with fewer activations than this in both runs.
+  uint64_t MinActivations = 2;
+};
+
+/// Diffs \p Candidate against \p Baseline; routines matched by name.
+/// Results are sorted with regressions first.
+std::vector<RoutineDiff>
+diffProfiles(const ProfileDatabase &Baseline, const SymbolTable &BaselineSyms,
+             const ProfileDatabase &Candidate,
+             const SymbolTable &CandidateSyms,
+             const ProfileDiffOptions &Options = ProfileDiffOptions());
+
+/// Renders the diff as a table plus a verdict line.
+std::string renderProfileDiff(const std::vector<RoutineDiff> &Diffs);
+
+/// True when any entry is a growth or cost regression.
+bool hasRegressions(const std::vector<RoutineDiff> &Diffs);
+
+} // namespace isp
+
+#endif // ISPROF_CORE_PROFILEDIFF_H

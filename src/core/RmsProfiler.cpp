@@ -1,0 +1,141 @@
+//===- core/RmsProfiler.cpp - Sequential input-sensitive profiler ------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RmsProfiler.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace isp;
+
+RmsProfiler::RmsProfiler(RmsProfilerOptions Opts) : Options(Opts) {
+  Database.setKeepLog(Options.KeepActivationLog);
+}
+
+RmsProfiler::~RmsProfiler() = default;
+
+void RmsProfiler::onThreadStart(ThreadId Tid, ThreadId Parent) {
+  Threads[Tid];
+}
+
+void RmsProfiler::onThreadEnd(ThreadId Tid) {
+  ThreadState &TS = Threads[Tid];
+  while (!TS.Stack.empty())
+    popFrame(Tid, TS);
+  // The rms shadow is entirely thread-private; release it when the
+  // thread dies, keeping the high-water mark for space reports.
+  PeakFootprintBytes = std::max(PeakFootprintBytes, currentFootprintBytes());
+  Threads.erase(Tid);
+}
+
+void RmsProfiler::onCall(ThreadId Tid, RoutineId Rtn) {
+  ThreadState &TS = Threads[Tid];
+  ++TS.Count;
+  Frame F;
+  F.Rtn = Rtn;
+  F.Ts = TS.Count;
+  F.BbAtEntry = TS.BbCount;
+  TS.Stack.push_back(F);
+}
+
+void RmsProfiler::popFrame(ThreadId Tid, ThreadState &TS) {
+  assert(!TS.Stack.empty());
+  Frame Top = TS.Stack.back();
+  TS.Stack.pop_back();
+  assert(Top.PartialRms >= 0 && "partial rms negative at completion");
+
+  ActivationRecord R;
+  R.Tid = Tid;
+  R.Rtn = Top.Rtn;
+  R.Rms = static_cast<uint64_t>(Top.PartialRms);
+  R.Trms = R.Rms; // rms-only tool: no induced input is observable
+  R.Cost = TS.BbCount - Top.BbAtEntry;
+  Database.recordActivation(R);
+
+  if (!TS.Stack.empty())
+    TS.Stack.back().PartialRms += Top.PartialRms;
+}
+
+void RmsProfiler::onReturn(ThreadId Tid, RoutineId Rtn) {
+  ThreadState &TS = Threads[Tid];
+  if (TS.Stack.empty())
+    return;
+  assert(TS.Stack.back().Rtn == Rtn && "mismatched call/return nesting");
+  popFrame(Tid, TS);
+}
+
+void RmsProfiler::onBasicBlock(ThreadId Tid, uint64_t N) {
+  Threads[Tid].BbCount += N;
+}
+
+void RmsProfiler::readCell(ThreadState &TS, Addr A) {
+  ++Database.GlobalReads;
+  uint64_t &TsCell = TS.Ts.cell(A);
+  if (TS.Stack.empty()) {
+    TsCell = TS.Count;
+    return;
+  }
+  Frame &Top = TS.Stack.back();
+  if (TsCell < Top.Ts) {
+    ++Top.PartialRms;
+    ++Database.GlobalPlainFirstAccesses;
+    if (TsCell != 0) {
+      // Deepest pending activation whose subtree performed the previous
+      // access already counted this cell; transfer the unit.
+      size_t Lo = 0, Hi = TS.Stack.size();
+      while (Lo < Hi) {
+        size_t Mid = Lo + (Hi - Lo) / 2;
+        if (TS.Stack[Mid].Ts <= TsCell)
+          Lo = Mid + 1;
+        else
+          Hi = Mid;
+      }
+      if (Lo > 0)
+        --TS.Stack[Lo - 1].PartialRms;
+    }
+  }
+  TsCell = TS.Count;
+}
+
+void RmsProfiler::onRead(ThreadId Tid, Addr A, uint64_t Cells) {
+  ThreadState &TS = Threads[Tid];
+  for (uint64_t I = 0; I != Cells; ++I)
+    readCell(TS, A + I);
+}
+
+void RmsProfiler::onWrite(ThreadId Tid, Addr A, uint64_t Cells) {
+  ThreadState &TS = Threads[Tid];
+  for (uint64_t I = 0; I != Cells; ++I)
+    TS.Ts.set(A + I, TS.Count);
+}
+
+void RmsProfiler::onKernelRead(ThreadId Tid, Addr A, uint64_t Cells) {
+  // A kernel read of guest memory is a read performed on the thread's
+  // behalf; the 2012 profiler observed it like any load.
+  onRead(Tid, A, Cells);
+}
+
+void RmsProfiler::onFinish() {
+  for (auto &[Tid, TS] : Threads)
+    while (!TS.Stack.empty())
+      popFrame(Tid, TS);
+}
+
+uint64_t RmsProfiler::memoryFootprintBytes() const {
+  return std::max(PeakFootprintBytes, currentFootprintBytes());
+}
+
+uint64_t RmsProfiler::currentFootprintBytes() const {
+  uint64_t Total = 0;
+  for (const auto &[Tid, TS] : Threads) {
+    Total += TS.Ts.totalBytes();
+    Total += TS.Stack.capacity() * sizeof(Frame);
+  }
+  for (const auto &[Key, Profile] : Database.threadRoutineProfiles())
+    Total += Profile.distinctRmsValues() * (sizeof(CostStats) + 48) +
+             sizeof(RoutineProfile);
+  return Total;
+}

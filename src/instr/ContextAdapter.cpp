@@ -1,0 +1,87 @@
+//===- instr/ContextAdapter.cpp - Context-sensitive profiling ----------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "instr/ContextAdapter.h"
+
+#include "support/Format.h"
+
+using namespace isp;
+
+void ContextAdapter::onStart(const SymbolTable *Symbols) {
+  ProgramSymbols = Symbols;
+  // The inner tool sees the synthesized table so its reports print
+  // full call paths.
+  Inner.onStart(&ContextSymbols);
+}
+
+std::string ContextAdapter::pathName(uint32_t NodeIndex) const {
+  std::vector<RoutineId> Path;
+  for (uint32_t Cursor = NodeIndex; Cursor != 0;
+       Cursor = Nodes[Cursor].Parent)
+    Path.push_back(Nodes[Cursor].Rtn);
+  std::string Out;
+  for (auto It = Path.rbegin(); It != Path.rend(); ++It) {
+    if (!Out.empty())
+      Out += " > ";
+    Out += ProgramSymbols ? ProgramSymbols->routineName(*It)
+                          : formatString("#%u", *It);
+  }
+  return Out;
+}
+
+uint32_t ContextAdapter::childOf(uint32_t Parent, RoutineId Rtn) {
+  auto [It, Inserted] = Nodes[Parent].Children.try_emplace(Rtn, 0u);
+  if (Inserted) {
+    It->second = static_cast<uint32_t>(Nodes.size());
+    Node N;
+    N.Rtn = Rtn;
+    N.Parent = Parent;
+    Nodes.push_back(std::move(N));
+    Nodes.back().ContextId =
+        ContextSymbols.intern(pathName(It->second));
+  }
+  return It->second;
+}
+
+void ContextAdapter::onCall(ThreadId Tid, RoutineId Rtn) {
+  std::vector<uint32_t> &Stack = Stacks[Tid];
+  uint32_t Parent = Stack.empty() ? 0 : Stack.back();
+  uint32_t Child = childOf(Parent, Rtn);
+  Stack.push_back(Child);
+  Inner.onCall(Tid, Nodes[Child].ContextId);
+}
+
+void ContextAdapter::onReturn(ThreadId Tid, RoutineId Rtn) {
+  std::vector<uint32_t> &Stack = Stacks[Tid];
+  if (Stack.empty())
+    return;
+  uint32_t Top = Stack.back();
+  Stack.pop_back();
+  Inner.onReturn(Tid, Nodes[Top].ContextId);
+}
+
+void ContextAdapter::onThreadEnd(ThreadId Tid) {
+  // Unwind in sync with the inner tool's own unwinding, keeping the
+  // Return routine ids consistent.
+  std::vector<uint32_t> &Stack = Stacks[Tid];
+  while (!Stack.empty()) {
+    uint32_t Top = Stack.back();
+    Stack.pop_back();
+    Inner.onReturn(Tid, Nodes[Top].ContextId);
+  }
+  Inner.onThreadEnd(Tid);
+  Stacks.erase(Tid);
+}
+
+uint64_t ContextAdapter::memoryFootprintBytes() const {
+  uint64_t Total = Inner.memoryFootprintBytes();
+  Total += Nodes.capacity() * sizeof(Node);
+  for (const Node &N : Nodes)
+    Total += N.Children.size() * 48;
+  for (const auto &[Tid, Stack] : Stacks)
+    Total += Stack.capacity() * sizeof(uint32_t) + 48;
+  return Total;
+}

@@ -1,0 +1,27 @@
+//===- instr/Dispatcher.cpp - Event fan-out and trace replay -----------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "instr/Dispatcher.h"
+
+using namespace isp;
+
+void EventDispatcher::start(const SymbolTable *Symbols) {
+  for (Tool *T : Tools)
+    T->onStart(Symbols);
+}
+
+void EventDispatcher::finish() {
+  for (Tool *T : Tools)
+    T->onFinish();
+}
+
+void isp::replayTrace(const std::vector<Event> &Events, Tool &T,
+                      const SymbolTable *Symbols) {
+  T.onStart(Symbols);
+  for (const Event &E : Events)
+    T.handleEvent(E);
+  T.onFinish();
+}

@@ -1,0 +1,69 @@
+//===- instr/Dispatcher.h - Event fan-out and trace replay ------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// EventDispatcher fans substrate events out to any number of registered
+/// Tools (and optionally records them into a trace buffer); replayTrace
+/// drives a Tool from a recorded trace. Together these decouple analyses
+/// from how the event stream was produced — live VM execution, a trace
+/// file, or a synthetic generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_INSTR_DISPATCHER_H
+#define ISPROF_INSTR_DISPATCHER_H
+
+#include "instr/Tool.h"
+#include "trace/Event.h"
+
+#include <vector>
+
+namespace isp {
+
+class SymbolTable;
+
+/// Fans events out to registered tools. Tools are not owned.
+class EventDispatcher {
+public:
+  /// Registers \p T; tools receive events in registration order.
+  void addTool(Tool *T) { Tools.push_back(T); }
+
+  /// Enables recording of every dispatched event.
+  void enableRecording() { Recording = true; }
+
+  /// Signals the start of a run. Forwards to Tool::onStart.
+  void start(const SymbolTable *Symbols);
+  /// Signals the end of a run. Forwards to Tool::onFinish.
+  void finish();
+
+  /// Dispatches one event to all tools (and the recording buffer).
+  void dispatch(const Event &E) {
+    if (Recording)
+      Recorded.push_back(E);
+    for (Tool *T : Tools)
+      T->handleEvent(E);
+  }
+
+  /// True when at least one tool is registered or recording is on; the VM
+  /// skips event construction entirely otherwise ("native" runs).
+  bool isActive() const { return Recording || !Tools.empty(); }
+
+  const std::vector<Event> &recordedEvents() const { return Recorded; }
+  std::vector<Event> takeRecordedEvents() { return std::move(Recorded); }
+
+private:
+  std::vector<Tool *> Tools;
+  std::vector<Event> Recorded;
+  bool Recording = false;
+};
+
+/// Replays \p Events into \p T, bracketed by onStart/onFinish.
+void replayTrace(const std::vector<Event> &Events, Tool &T,
+                 const SymbolTable *Symbols = nullptr);
+
+} // namespace isp
+
+#endif // ISPROF_INSTR_DISPATCHER_H

@@ -1,0 +1,40 @@
+//===- instr/SymbolTable.cpp - Routine id <-> name mapping -------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "instr/SymbolTable.h"
+
+#include "support/Format.h"
+
+using namespace isp;
+
+RoutineId SymbolTable::intern(const std::string &Name) {
+  auto It = Ids.find(Name);
+  if (It != Ids.end())
+    return It->second;
+  RoutineId Id = static_cast<RoutineId>(Names.size());
+  Names.push_back(Name);
+  Ids.emplace(Name, Id);
+  return Id;
+}
+
+std::string SymbolTable::routineName(RoutineId Id) const {
+  if (Id < Names.size())
+    return Names[Id];
+  return formatString("routine#%u", Id);
+}
+
+RoutineId SymbolTable::lookup(const std::string &Name) const {
+  auto It = Ids.find(Name);
+  return It == Ids.end() ? ~0u : It->second;
+}
+
+std::vector<std::pair<RoutineId, std::string>> SymbolTable::entries() const {
+  std::vector<std::pair<RoutineId, std::string>> Result;
+  Result.reserve(Names.size());
+  for (RoutineId Id = 0; Id != Names.size(); ++Id)
+    Result.emplace_back(Id, Names[Id]);
+  return Result;
+}

@@ -1,0 +1,47 @@
+//===- instr/SymbolTable.h - Routine id <-> name mapping --------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps routine ids to names and back. The VM compiler populates one per
+/// program; trace files persist it; report writers use it to label plots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_INSTR_SYMBOLTABLE_H
+#define ISPROF_INSTR_SYMBOLTABLE_H
+
+#include "trace/Event.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace isp {
+
+class SymbolTable {
+public:
+  /// Interns \p Name, returning its id (existing id if already present).
+  RoutineId intern(const std::string &Name);
+
+  /// Returns the name for \p Id, or "routine#<id>" if unknown.
+  std::string routineName(RoutineId Id) const;
+
+  /// Returns the id for \p Name, or ~0u if absent.
+  RoutineId lookup(const std::string &Name) const;
+
+  size_t size() const { return Names.size(); }
+
+  /// All (id, name) pairs in id order.
+  std::vector<std::pair<RoutineId, std::string>> entries() const;
+
+private:
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, RoutineId> Ids;
+};
+
+} // namespace isp
+
+#endif // ISPROF_INSTR_SYMBOLTABLE_H

@@ -1,0 +1,78 @@
+//===- instr/Tool.h - Analysis tool callback interface ----------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The boundary between the instrumentation substrate and analyses. Every
+/// analysis (the aprof profilers, the memcheck/callgrind/helgrind
+/// analogues, the null tool) implements Tool; the VM interpreter and the
+/// trace replayer drive Tools through these callbacks. This mirrors how
+/// Valgrind tools subscribe to the VEX event stream in the paper's
+/// Section 5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_INSTR_TOOL_H
+#define ISPROF_INSTR_TOOL_H
+
+#include "trace/Event.h"
+
+#include <cstdint>
+#include <string>
+
+namespace isp {
+
+class SymbolTable;
+
+/// Base class for analysis tools. All callbacks default to no-ops so a
+/// tool overrides only the events it cares about; the dispatcher calls
+/// them in trace order (the substrate serializes threads, so no callback
+/// is ever reentered).
+class Tool {
+public:
+  virtual ~Tool();
+
+  /// Called once before the first event, with the symbol table of the
+  /// program under analysis (may be null for anonymous traces).
+  virtual void onStart(const SymbolTable *Symbols) {}
+  /// Called once after the last event.
+  virtual void onFinish() {}
+
+  virtual void onThreadStart(ThreadId Tid, ThreadId Parent) {}
+  virtual void onThreadEnd(ThreadId Tid) {}
+  virtual void onThreadSwitch(ThreadId Incoming) {}
+  virtual void onCall(ThreadId Tid, RoutineId Rtn) {}
+  virtual void onReturn(ThreadId Tid, RoutineId Rtn) {}
+  virtual void onBasicBlock(ThreadId Tid, uint64_t Count) {}
+  virtual void onRead(ThreadId Tid, Addr A, uint64_t Cells) {}
+  virtual void onWrite(ThreadId Tid, Addr A, uint64_t Cells) {}
+  virtual void onKernelRead(ThreadId Tid, Addr A, uint64_t Cells) {}
+  virtual void onKernelWrite(ThreadId Tid, Addr A, uint64_t Cells) {}
+  virtual void onSyncAcquire(ThreadId Tid, SyncId Id, bool IsLock) {}
+  virtual void onSyncRelease(ThreadId Tid, SyncId Id, bool IsLock) {}
+  virtual void onThreadCreate(ThreadId Tid, ThreadId Child) {}
+  virtual void onThreadJoin(ThreadId Tid, ThreadId Child) {}
+  virtual void onAlloc(ThreadId Tid, Addr A, uint64_t Cells) {}
+  virtual void onFree(ThreadId Tid, Addr A) {}
+
+  /// A short identifier used in benchmark tables ("aprof-trms", ...).
+  virtual std::string name() const = 0;
+
+  /// Bytes of analysis state currently held (shadow memories, stacks,
+  /// profile maps). Used for the paper's space-overhead comparisons.
+  virtual uint64_t memoryFootprintBytes() const { return 0; }
+
+  /// Input-sensitive profilers expose their database here; other tools
+  /// return null. (Hand-rolled dispatch — the project builds without
+  /// relying on RTTI.)
+  virtual class ProfileDatabase *profileDatabase() { return nullptr; }
+
+  /// Dispatches one decoded trace event to the matching callback.
+  void handleEvent(const Event &E);
+};
+
+} // namespace isp
+
+#endif // ISPROF_INSTR_TOOL_H

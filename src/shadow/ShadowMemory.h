@@ -1,0 +1,173 @@
+//===- shadow/ShadowMemory.h - Three-level shadow memory --------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shadow memories mapping guest addresses to per-location analysis state
+/// (timestamps for the profilers, validity bits for the memory checker,
+/// access histories for the race detector).
+///
+/// ThreeLevelShadow reproduces the layout of the paper's Section 5: a
+/// primary table of 2048 entries indexes secondary tables, each of which
+/// indexes 16K lazily-allocated chunks; only chunks covering addresses a
+/// thread actually touched are materialized, which is what keeps the
+/// per-thread shadow cost sublinear in practice (Figure 14's space curve).
+/// DenseShadow is the hash-map baseline used by the ablation benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_SHADOW_SHADOWMEMORY_H
+#define ISPROF_SHADOW_SHADOWMEMORY_H
+
+#include "trace/Event.h"
+
+#include <cassert>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace isp {
+
+/// Three-level radix shadow memory over guest cell addresses.
+///
+/// Address bits: [ L1: 8 | L2: 10 | offset: 9 ], covering 2^27 cells —
+/// the guest address space of vm/Bytecode.h. The structure follows the
+/// paper's three-level design; the table and chunk sizes are scaled to
+/// this project's laptop-sized guests (the paper shadows multi-GB
+/// address spaces with 64KB chunks; we shadow multi-MB guests with
+/// 512-cell chunks) so that space overhead remains proportional to
+/// memory actually touched. Unaccessed locations implicitly hold T{}
+/// (all profilers use 0 as the "never" timestamp, so lazy chunks need no
+/// initialization pass beyond zero-fill).
+template <typename T> class ThreeLevelShadow {
+public:
+  static constexpr unsigned OffsetBits = 9;
+  static constexpr unsigned L2Bits = 10;
+  static constexpr unsigned L1Bits = 8;
+  static constexpr size_t ChunkCells = size_t(1) << OffsetBits;
+  static constexpr size_t L2Entries = size_t(1) << L2Bits;
+  static constexpr size_t L1Entries = size_t(1) << L1Bits;
+  static constexpr Addr MaxAddress =
+      (Addr(1) << (OffsetBits + L2Bits + L1Bits)) - 1;
+
+  ThreeLevelShadow() : Primary(L1Entries) {}
+
+  /// Returns the value at \p A without allocating (T{} if untouched).
+  T get(Addr A) const {
+    assert(A <= MaxAddress && "guest address out of shadowable range");
+    const Secondary *S = Primary[l1Index(A)].get();
+    if (!S)
+      return T{};
+    const Chunk *C = S->Chunks[l2Index(A)].get();
+    if (!C)
+      return T{};
+    return C->Cells[offset(A)];
+  }
+
+  /// Stores \p Value at \p A, materializing the chunk if needed.
+  void set(Addr A, T Value) { cell(A) = Value; }
+
+  /// Returns a mutable reference, materializing the chunk if needed.
+  T &cell(Addr A) {
+    assert(A <= MaxAddress && "guest address out of shadowable range");
+    std::unique_ptr<Secondary> &S = Primary[l1Index(A)];
+    if (!S) {
+      S = std::make_unique<Secondary>();
+      BytesAllocated += sizeof(Secondary);
+    }
+    std::unique_ptr<Chunk> &C = S->Chunks[l2Index(A)];
+    if (!C) {
+      C = std::make_unique<Chunk>();
+      BytesAllocated += sizeof(Chunk);
+    }
+    return C->Cells[offset(A)];
+  }
+
+  /// Invokes \p Fn(Addr, T&) for every cell of every materialized chunk
+  /// whose value differs from T{}. Used by the timestamp renumbering pass,
+  /// which must rewrite all live timestamps.
+  template <typename Callback> void forEachNonZero(Callback Fn) {
+    for (size_t I1 = 0; I1 != L1Entries; ++I1) {
+      Secondary *S = Primary[I1].get();
+      if (!S)
+        continue;
+      for (size_t I2 = 0; I2 != L2Entries; ++I2) {
+        Chunk *C = S->Chunks[I2].get();
+        if (!C)
+          continue;
+        Addr Base = (Addr(I1) << (L2Bits + OffsetBits)) |
+                    (Addr(I2) << OffsetBits);
+        for (size_t Off = 0; Off != ChunkCells; ++Off)
+          if (!(C->Cells[Off] == T{}))
+            Fn(Base | Off, C->Cells[Off]);
+      }
+    }
+  }
+
+  /// Bytes held by secondary tables and chunks (excludes the fixed-size
+  /// primary table, reported separately by fixedBytes()).
+  uint64_t bytesAllocated() const { return BytesAllocated; }
+  uint64_t fixedBytes() const { return L1Entries * sizeof(void *); }
+  uint64_t totalBytes() const { return BytesAllocated + fixedBytes(); }
+
+  void clear() {
+    for (auto &S : Primary)
+      S.reset();
+    BytesAllocated = 0;
+  }
+
+private:
+  struct Chunk {
+    T Cells[ChunkCells] = {};
+  };
+  struct Secondary {
+    std::unique_ptr<Chunk> Chunks[L2Entries];
+  };
+
+  static size_t l1Index(Addr A) { return A >> (L2Bits + OffsetBits); }
+  static size_t l2Index(Addr A) { return (A >> OffsetBits) & (L2Entries - 1); }
+  static size_t offset(Addr A) { return A & (ChunkCells - 1); }
+
+  std::vector<std::unique_ptr<Secondary>> Primary;
+  uint64_t BytesAllocated = 0;
+};
+
+/// Hash-map shadow memory: the no-structure baseline for the ablation
+/// benchmark (same interface as ThreeLevelShadow).
+template <typename T> class DenseShadow {
+public:
+  T get(Addr A) const {
+    auto It = Map.find(A);
+    return It == Map.end() ? T{} : It->second;
+  }
+
+  void set(Addr A, T Value) { Map[A] = Value; }
+
+  T &cell(Addr A) { return Map[A]; }
+
+  template <typename Callback> void forEachNonZero(Callback Fn) {
+    for (auto &[A, Value] : Map)
+      if (!(Value == T{}))
+        Fn(A, Value);
+  }
+
+  uint64_t bytesAllocated() const {
+    // Approximation: per-node overhead of the hash table (key + value +
+    // bucket pointer + node header) plus the bucket array.
+    return Map.size() * (sizeof(Addr) + sizeof(T) + 2 * sizeof(void *)) +
+           Map.bucket_count() * sizeof(void *);
+  }
+  uint64_t totalBytes() const { return bytesAllocated(); }
+
+  void clear() { Map.clear(); }
+
+private:
+  std::unordered_map<Addr, T> Map;
+};
+
+} // namespace isp
+
+#endif // ISPROF_SHADOW_SHADOWMEMORY_H

@@ -1,0 +1,107 @@
+//===- support/CommandLine.cpp - Tiny option parser -------------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace isp;
+
+void OptionParser::addOption(const std::string &Name,
+                             const std::string &Default,
+                             const std::string &Help) {
+  Option Opt;
+  Opt.Default = Default;
+  Opt.Value = Default;
+  Opt.Help = Help;
+  Options[Name] = Opt;
+}
+
+void OptionParser::addFlag(const std::string &Name, const std::string &Help) {
+  Option Opt;
+  Opt.Default = "false";
+  Opt.Value = "false";
+  Opt.Help = Help;
+  Opt.IsFlag = true;
+  Options[Name] = Opt;
+}
+
+bool OptionParser::parse(int Argc, const char *const *Argv) {
+  ProgramName = Argc > 0 ? Argv[0] : "program";
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      std::fputs(helpText().c_str(), stdout);
+      return false;
+    }
+    if (Arg.rfind("--", 0) != 0) {
+      Positional.push_back(Arg);
+      continue;
+    }
+    std::string Name = Arg.substr(2);
+    std::string Value;
+    bool HasValue = false;
+    size_t Eq = Name.find('=');
+    if (Eq != std::string::npos) {
+      Value = Name.substr(Eq + 1);
+      Name = Name.substr(0, Eq);
+      HasValue = true;
+    }
+    auto It = Options.find(Name);
+    if (It == Options.end()) {
+      std::fprintf(stderr, "%s: unknown option --%s (try --help)\n",
+                   ProgramName.c_str(), Name.c_str());
+      return false;
+    }
+    Option &Opt = It->second;
+    if (Opt.IsFlag) {
+      Opt.Value = HasValue ? Value : "true";
+    } else if (HasValue) {
+      Opt.Value = Value;
+    } else {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "%s: option --%s requires a value\n",
+                     ProgramName.c_str(), Name.c_str());
+        return false;
+      }
+      Opt.Value = Argv[++I];
+    }
+    Opt.Seen = true;
+  }
+  return true;
+}
+
+std::string OptionParser::getString(const std::string &Name) const {
+  auto It = Options.find(Name);
+  assert(It != Options.end() && "querying unregistered option");
+  return It->second.Value;
+}
+
+int64_t OptionParser::getInt(const std::string &Name) const {
+  return std::strtoll(getString(Name).c_str(), nullptr, 10);
+}
+
+double OptionParser::getDouble(const std::string &Name) const {
+  return std::strtod(getString(Name).c_str(), nullptr);
+}
+
+bool OptionParser::getFlag(const std::string &Name) const {
+  std::string V = getString(Name);
+  return V == "true" || V == "1" || V == "yes";
+}
+
+std::string OptionParser::helpText() const {
+  std::string Out = Description + "\n\nOptions:\n";
+  for (const auto &[Name, Opt] : Options) {
+    Out += "  --" + Name;
+    if (!Opt.IsFlag)
+      Out += "=<value> (default: " + Opt.Default + ")";
+    Out += "\n      " + Opt.Help + "\n";
+  }
+  return Out;
+}

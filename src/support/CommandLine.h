@@ -1,0 +1,66 @@
+//===- support/CommandLine.h - Tiny option parser ---------------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small command-line option parser for the example and benchmark
+/// executables. Supports --name=value, --name value, --flag, and
+/// positional arguments, with typed accessors and generated --help text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_SUPPORT_COMMANDLINE_H
+#define ISPROF_SUPPORT_COMMANDLINE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace isp {
+
+/// Declarative option set: register options with defaults, then parse.
+class OptionParser {
+public:
+  explicit OptionParser(std::string ProgramDescription)
+      : Description(std::move(ProgramDescription)) {}
+
+  /// Registers an option. \p Name is used as "--Name".
+  void addOption(const std::string &Name, const std::string &Default,
+                 const std::string &Help);
+  void addFlag(const std::string &Name, const std::string &Help);
+
+  /// Parses argv. Returns false (after printing a diagnostic to stderr)
+  /// on unknown options or a missing value; prints help and returns false
+  /// for --help.
+  bool parse(int Argc, const char *const *Argv);
+
+  std::string getString(const std::string &Name) const;
+  int64_t getInt(const std::string &Name) const;
+  double getDouble(const std::string &Name) const;
+  bool getFlag(const std::string &Name) const;
+
+  const std::vector<std::string> &positional() const { return Positional; }
+
+  std::string helpText() const;
+
+private:
+  struct Option {
+    std::string Default;
+    std::string Help;
+    std::string Value;
+    bool IsFlag = false;
+    bool Seen = false;
+  };
+
+  std::string Description;
+  std::string ProgramName;
+  std::map<std::string, Option> Options;
+  std::vector<std::string> Positional;
+};
+
+} // namespace isp
+
+#endif // ISPROF_SUPPORT_COMMANDLINE_H

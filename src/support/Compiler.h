@@ -1,0 +1,43 @@
+//===- support/Compiler.h - Portable compiler helpers ----------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small portability macros used across the isprof libraries. The project
+/// follows the LLVM convention of not using exceptions or RTTI in library
+/// code: invariant violations abort via ispUnreachable/assert, recoverable
+/// conditions are reported through return values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_SUPPORT_COMPILER_H
+#define ISPROF_SUPPORT_COMPILER_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace isp {
+
+/// Aborts the program with a message; used to mark control flow that must
+/// never be reached when program invariants hold.
+[[noreturn]] inline void ispUnreachableImpl(const char *Msg, const char *File,
+                                            unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+/// Reports a fatal, non-recoverable usage error (bad input file, malformed
+/// guest program, ...) and exits. Library code calls this only for errors
+/// that have already been surfaced to the caller in context.
+[[noreturn]] inline void reportFatalError(const char *Msg) {
+  std::fprintf(stderr, "isprof fatal error: %s\n", Msg);
+  std::exit(1);
+}
+
+} // namespace isp
+
+#define ISP_UNREACHABLE(msg) ::isp::ispUnreachableImpl(msg, __FILE__, __LINE__)
+
+#endif // ISPROF_SUPPORT_COMPILER_H

@@ -1,0 +1,52 @@
+//===- support/Csv.cpp - CSV emission ---------------------------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Csv.h"
+
+#include <cstdio>
+
+using namespace isp;
+
+static std::string escapeCell(const std::string &Cell) {
+  bool NeedsQuoting = Cell.find_first_of(",\"\n") != std::string::npos;
+  if (!NeedsQuoting)
+    return Cell;
+  std::string Out = "\"";
+  for (char C : Cell) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+void CsvWriter::addRow(const std::vector<std::string> &Cells) {
+  Rows.push_back(Cells);
+}
+
+std::string CsvWriter::render() const {
+  std::string Out;
+  for (const auto &Row : Rows) {
+    for (size_t I = 0; I != Row.size(); ++I) {
+      if (I != 0)
+        Out += ',';
+      Out += escapeCell(Row[I]);
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+bool CsvWriter::writeToFile(const std::string &Path) const {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return false;
+  std::string Data = render();
+  size_t Written = std::fwrite(Data.data(), 1, Data.size(), File);
+  std::fclose(File);
+  return Written == Data.size();
+}

@@ -1,0 +1,37 @@
+//===- support/Csv.h - CSV emission -----------------------------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal CSV writer. Benchmark harnesses dump their raw data series as
+/// CSV alongside the rendered tables so plots can be regenerated offline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_SUPPORT_CSV_H
+#define ISPROF_SUPPORT_CSV_H
+
+#include <string>
+#include <vector>
+
+namespace isp {
+
+/// Accumulates rows and renders RFC-4180-ish CSV (quotes cells containing
+/// commas, quotes, or newlines).
+class CsvWriter {
+public:
+  void addRow(const std::vector<std::string> &Cells);
+  std::string render() const;
+
+  /// Writes the rendered CSV to \p Path. Returns false on I/O error.
+  bool writeToFile(const std::string &Path) const;
+
+private:
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace isp
+
+#endif // ISPROF_SUPPORT_CSV_H

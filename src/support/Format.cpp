@@ -1,0 +1,59 @@
+//===- support/Format.cpp - String formatting helpers ---------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace isp;
+
+std::string isp::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  std::string Result;
+  if (Needed > 0) {
+    Result.resize(static_cast<size_t>(Needed) + 1);
+    std::vsnprintf(Result.data(), Result.size(), Fmt, ArgsCopy);
+    Result.resize(static_cast<size_t>(Needed));
+  }
+  va_end(ArgsCopy);
+  return Result;
+}
+
+std::string isp::formatBytes(uint64_t Bytes) {
+  const char *Units[] = {"B", "KB", "MB", "GB", "TB"};
+  double Value = static_cast<double>(Bytes);
+  unsigned Unit = 0;
+  while (Value >= 1000.0 && Unit < 4) {
+    Value /= 1000.0;
+    ++Unit;
+  }
+  if (Unit == 0)
+    return formatString("%llu B", static_cast<unsigned long long>(Bytes));
+  return formatString("%.1f %s", Value, Units[Unit]);
+}
+
+std::string isp::formatWithCommas(uint64_t Value) {
+  std::string Digits = std::to_string(Value);
+  std::string Result;
+  int Count = 0;
+  for (auto It = Digits.rbegin(); It != Digits.rend(); ++It) {
+    if (Count != 0 && Count % 3 == 0)
+      Result.push_back(',');
+    Result.push_back(*It);
+    ++Count;
+  }
+  return std::string(Result.rbegin(), Result.rend());
+}
+
+std::string isp::formatRatio(double Ratio) {
+  return formatString("%.1fx", Ratio);
+}

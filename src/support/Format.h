@@ -1,0 +1,37 @@
+//===- support/Format.h - String formatting helpers ------------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style formatting into std::string plus small humanization
+/// helpers used by report and table writers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_SUPPORT_FORMAT_H
+#define ISPROF_SUPPORT_FORMAT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace isp {
+
+/// printf into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a byte count as "512 B", "1.2 MB", ... (decimal units).
+std::string formatBytes(uint64_t Bytes);
+
+/// Formats a count with thousands separators: 1234567 -> "1,234,567".
+std::string formatWithCommas(uint64_t Value);
+
+/// Formats a ratio as e.g. "3.1x".
+std::string formatRatio(double Ratio);
+
+} // namespace isp
+
+#endif // ISPROF_SUPPORT_FORMAT_H

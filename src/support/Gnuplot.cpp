@@ -1,0 +1,75 @@
+//===- support/Gnuplot.cpp - Plot script emission --------------------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Gnuplot.h"
+
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace isp;
+
+std::string GnuplotFigure::renderData() const {
+  std::string Out;
+  for (size_t I = 0; I != AllSeries.size(); ++I) {
+    Out += formatString("# series %zu: %s\n", I,
+                        AllSeries[I].Name.c_str());
+    for (const auto &[X, Y] : AllSeries[I].Points)
+      Out += formatString("%.6g %.6g\n", X, Y);
+    Out += "\n\n"; // gnuplot index separator
+  }
+  return Out;
+}
+
+std::string GnuplotFigure::renderScript(const std::string &DataPath,
+                                        const std::string &OutputPath) const {
+  std::string Out;
+  Out += "set terminal pngcairo size 800,500\n";
+  Out += formatString("set output '%s'\n", OutputPath.c_str());
+  Out += formatString("set title '%s'\n", Title.c_str());
+  Out += formatString("set xlabel '%s'\n", XLabel.c_str());
+  Out += formatString("set ylabel '%s'\n", YLabel.c_str());
+  Out += "set key left top\n";
+  if (LogX)
+    Out += "set logscale x\n";
+  if (LogY)
+    Out += "set logscale y\n";
+  Out += "plot ";
+  for (size_t I = 0; I != AllSeries.size(); ++I) {
+    if (I != 0)
+      Out += ", \\\n     ";
+    Out += formatString("'%s' index %zu with %s title '%s'",
+                        DataPath.c_str(), I, AllSeries[I].Style.c_str(),
+                        AllSeries[I].Name.c_str());
+  }
+  Out += "\n";
+  return Out;
+}
+
+bool GnuplotFigure::write(const std::string &BasePath) const {
+  std::string DataPath = BasePath + ".dat";
+  std::string ScriptPath = BasePath + ".gp";
+  std::string PngPath = BasePath + ".png";
+
+  std::FILE *Data = std::fopen(DataPath.c_str(), "w");
+  if (!Data)
+    return false;
+  std::string DataText = renderData();
+  bool Ok = std::fwrite(DataText.data(), 1, DataText.size(), Data) ==
+            DataText.size();
+  std::fclose(Data);
+  if (!Ok)
+    return false;
+
+  std::FILE *Script = std::fopen(ScriptPath.c_str(), "w");
+  if (!Script)
+    return false;
+  std::string ScriptText = renderScript(DataPath, PngPath);
+  Ok = std::fwrite(ScriptText.data(), 1, ScriptText.size(), Script) ==
+       ScriptText.size();
+  std::fclose(Script);
+  return Ok;
+}

@@ -1,0 +1,72 @@
+//===- support/Gnuplot.h - Plot script emission -----------------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits gnuplot scripts plus whitespace-separated data files for the
+/// figure-reproduction harnesses, so every cost plot the paper shows can
+/// be regenerated as an image with `gnuplot <figure>.gp`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_SUPPORT_GNUPLOT_H
+#define ISPROF_SUPPORT_GNUPLOT_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace isp {
+
+/// One named series of (x, y) points.
+struct PlotSeries {
+  std::string Name;
+  std::vector<std::pair<double, double>> Points;
+  /// gnuplot style, e.g. "points pt 7" or "linespoints".
+  std::string Style = "points pt 7";
+};
+
+/// A figure: several series over labelled axes.
+class GnuplotFigure {
+public:
+  GnuplotFigure(std::string Title, std::string XLabel, std::string YLabel)
+      : Title(std::move(Title)), XLabel(std::move(XLabel)),
+        YLabel(std::move(YLabel)) {}
+
+  void addSeries(PlotSeries Series) {
+    AllSeries.push_back(std::move(Series));
+  }
+
+  /// Use logarithmic axes (handy for power-law cost plots).
+  void setLogScale(bool X, bool Y) {
+    LogX = X;
+    LogY = Y;
+  }
+
+  /// Renders the data file (one block per series, separated by blank
+  /// lines, gnuplot `index` convention).
+  std::string renderData() const;
+
+  /// Renders the .gp script; \p DataPath is referenced from the script
+  /// and \p OutputPath is the PNG the script will write.
+  std::string renderScript(const std::string &DataPath,
+                           const std::string &OutputPath) const;
+
+  /// Writes "<BasePath>.dat" and "<BasePath>.gp" (script outputs
+  /// "<BasePath>.png"). Returns false on I/O failure.
+  bool write(const std::string &BasePath) const;
+
+private:
+  std::string Title;
+  std::string XLabel;
+  std::string YLabel;
+  std::vector<PlotSeries> AllSeries;
+  bool LogX = false;
+  bool LogY = false;
+};
+
+} // namespace isp
+
+#endif // ISPROF_SUPPORT_GNUPLOT_H

@@ -1,0 +1,101 @@
+//===- support/Random.h - Deterministic pseudo-random sources --*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic random number generation. Every stochastic component in
+/// isprof (synthetic traces, external device contents, workload data) is
+/// seeded explicitly so that runs, tests, and benchmark tables are exactly
+/// reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_SUPPORT_RANDOM_H
+#define ISPROF_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace isp {
+
+/// SplitMix64: tiny, high-quality 64-bit mixer. Used both directly and to
+/// seed Xoshiro256StarStar.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Xoshiro256**: fast general-purpose PRNG with 256 bits of state.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) {
+    SplitMix64 SM(Seed);
+    for (auto &Word : State)
+      Word = SM.next();
+  }
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow() requires a positive bound");
+    // Rejection sampling to avoid modulo bias; the loop terminates quickly
+    // because at least half of the 64-bit range is accepted.
+    uint64_t Threshold = (0 - Bound) % Bound;
+    for (;;) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Returns a uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace isp
+
+#endif // ISPROF_SUPPORT_RANDOM_H

@@ -1,0 +1,64 @@
+//===- support/Stats.cpp - Descriptive statistics -------------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace isp;
+
+double isp::mean(const std::vector<double> &Samples) {
+  if (Samples.empty())
+    return 0.0;
+  double Sum = 0;
+  for (double X : Samples)
+    Sum += X;
+  return Sum / static_cast<double>(Samples.size());
+}
+
+double isp::geometricMean(const std::vector<double> &Samples) {
+  double LogSum = 0;
+  size_t N = 0;
+  for (double X : Samples) {
+    if (X <= 0)
+      continue;
+    LogSum += std::log(X);
+    ++N;
+  }
+  if (N == 0)
+    return 0.0;
+  return std::exp(LogSum / static_cast<double>(N));
+}
+
+double isp::stddev(const std::vector<double> &Samples) {
+  if (Samples.size() < 2)
+    return 0.0;
+  double M = mean(Samples);
+  double SqSum = 0;
+  for (double X : Samples)
+    SqSum += (X - M) * (X - M);
+  return std::sqrt(SqSum / static_cast<double>(Samples.size()));
+}
+
+double isp::median(std::vector<double> Samples) {
+  return percentile(std::move(Samples), 50.0);
+}
+
+double isp::percentile(std::vector<double> Samples, double P) {
+  if (Samples.empty())
+    return 0.0;
+  assert(P >= 0 && P <= 100 && "percentile out of range");
+  std::sort(Samples.begin(), Samples.end());
+  if (Samples.size() == 1)
+    return Samples.front();
+  double Rank = P / 100.0 * static_cast<double>(Samples.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, Samples.size() - 1);
+  double Frac = Rank - static_cast<double>(Lo);
+  return Samples[Lo] * (1.0 - Frac) + Samples[Hi] * Frac;
+}

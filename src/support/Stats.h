@@ -1,0 +1,65 @@
+//===- support/Stats.h - Descriptive statistics ----------------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Descriptive statistics over numeric samples: mean, geometric mean (used
+/// by the paper's Table 1 summary row), median, percentiles, and standard
+/// deviation, plus an incremental accumulator for streaming use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_SUPPORT_STATS_H
+#define ISPROF_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace isp {
+
+/// Arithmetic mean of \p Samples; 0 for an empty vector.
+double mean(const std::vector<double> &Samples);
+
+/// Geometric mean of \p Samples; skips non-positive entries the same way
+/// SPEC summary rows do. Returns 0 if no positive samples exist.
+double geometricMean(const std::vector<double> &Samples);
+
+/// Population standard deviation; 0 for fewer than two samples.
+double stddev(const std::vector<double> &Samples);
+
+/// Median (linear interpolation between middle elements for even sizes).
+double median(std::vector<double> Samples);
+
+/// P-th percentile with linear interpolation, P in [0, 100].
+double percentile(std::vector<double> Samples, double P);
+
+/// Incremental min/max/sum/count accumulator. This is the aggregate kept
+/// per (routine, input size) cell of a profile, so it is deliberately tiny.
+struct Accumulator {
+  uint64_t Count = 0;
+  double Min = 0;
+  double Max = 0;
+  double Sum = 0;
+
+  void add(double X) {
+    if (Count == 0) {
+      Min = Max = X;
+    } else {
+      if (X < Min)
+        Min = X;
+      if (X > Max)
+        Max = X;
+    }
+    Sum += X;
+    ++Count;
+  }
+
+  double average() const { return Count ? Sum / Count : 0.0; }
+};
+
+} // namespace isp
+
+#endif // ISPROF_SUPPORT_STATS_H

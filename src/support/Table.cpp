@@ -1,0 +1,76 @@
+//===- support/Table.cpp - ASCII table writer ------------------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+
+using namespace isp;
+
+void TextTable::setHeader(std::vector<std::string> Names) {
+  Header = std::move(Names);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  Row R;
+  R.Cells = std::move(Cells);
+  while (R.Cells.size() < Header.size())
+    R.Cells.emplace_back();
+  Rows.push_back(std::move(R));
+}
+
+void TextTable::addSeparator() {
+  Row R;
+  R.IsSeparator = true;
+  Rows.push_back(std::move(R));
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t I = 0; I != Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const Row &R : Rows) {
+    for (size_t I = 0; I < R.Cells.size() && I < Widths.size(); ++I)
+      Widths[I] = std::max(Widths[I], R.Cells[I].size());
+  }
+
+  size_t TotalWidth = 0;
+  for (size_t W : Widths)
+    TotalWidth += W + 2;
+
+  auto renderCells = [&](const std::vector<std::string> &Cells) {
+    std::string Line;
+    for (size_t I = 0; I != Widths.size(); ++I) {
+      const std::string &Cell = I < Cells.size() ? Cells[I] : std::string();
+      // Left-align the first column (names), right-align the rest
+      // (numbers) so magnitudes line up.
+      if (I == 0) {
+        Line += Cell;
+        Line.append(Widths[I] - Cell.size() + 2, ' ');
+      } else {
+        Line.append(Widths[I] - Cell.size(), ' ');
+        Line += Cell;
+        Line.append(2, ' ');
+      }
+    }
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    return Line;
+  };
+
+  std::string Out = renderCells(Header);
+  Out += '\n';
+  Out.append(TotalWidth, '-');
+  Out += '\n';
+  for (const Row &R : Rows) {
+    if (R.IsSeparator)
+      Out.append(TotalWidth, '-');
+    else
+      Out += renderCells(R.Cells);
+    Out += '\n';
+  }
+  return Out;
+}

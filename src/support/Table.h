@@ -1,0 +1,53 @@
+//===- support/Table.h - ASCII table writer ---------------------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small column-aligned ASCII table builder used by the benchmark
+/// harnesses to print paper-style tables (e.g. Table 1) on stdout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_SUPPORT_TABLE_H
+#define ISPROF_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace isp {
+
+/// Column-aligned text table. Append a header, then rows; render() pads
+/// every column to its widest cell. Numeric cells should be preformatted
+/// by the caller (the table does not interpret values).
+class TextTable {
+public:
+  /// Sets the header row. Column count is fixed by the header.
+  void setHeader(std::vector<std::string> Names);
+
+  /// Appends a data row; must match the header's column count (short rows
+  /// are padded with empty cells).
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  /// Renders the table with two-space column gaps.
+  std::string render() const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  struct Row {
+    std::vector<std::string> Cells;
+    bool IsSeparator = false;
+  };
+
+  std::vector<std::string> Header;
+  std::vector<Row> Rows;
+};
+
+} // namespace isp
+
+#endif // ISPROF_SUPPORT_TABLE_H

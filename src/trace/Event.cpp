@@ -1,0 +1,49 @@
+//===- trace/Event.cpp - Instrumentation event model -----------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Event.h"
+
+#include "support/Compiler.h"
+
+using namespace isp;
+
+const char *isp::eventKindName(EventKind Kind) {
+  switch (Kind) {
+  case EventKind::ThreadStart:
+    return "ThreadStart";
+  case EventKind::ThreadEnd:
+    return "ThreadEnd";
+  case EventKind::Call:
+    return "Call";
+  case EventKind::Return:
+    return "Return";
+  case EventKind::BasicBlock:
+    return "BasicBlock";
+  case EventKind::Read:
+    return "Read";
+  case EventKind::Write:
+    return "Write";
+  case EventKind::KernelRead:
+    return "KernelRead";
+  case EventKind::KernelWrite:
+    return "KernelWrite";
+  case EventKind::SyncAcquire:
+    return "SyncAcquire";
+  case EventKind::SyncRelease:
+    return "SyncRelease";
+  case EventKind::ThreadCreate:
+    return "ThreadCreate";
+  case EventKind::ThreadJoin:
+    return "ThreadJoin";
+  case EventKind::Alloc:
+    return "Alloc";
+  case EventKind::Free:
+    return "Free";
+  case EventKind::ThreadSwitch:
+    return "ThreadSwitch";
+  }
+  ISP_UNREACHABLE("unknown event kind");
+}

@@ -1,0 +1,132 @@
+//===- trace/Event.h - Instrumentation event model --------------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The event vocabulary shared by the instrumentation substrate, the trace
+/// files, and every analysis tool. This mirrors the trace model of the
+/// paper's Section 4: routine activations (call/return), memory accesses
+/// (read/write), kernel-mediated accesses (kernelRead/kernelWrite), plus
+/// the synchronization and allocation events the comparison tools
+/// (helgrind-, memcheck-analogues) need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_TRACE_EVENT_H
+#define ISPROF_TRACE_EVENT_H
+
+#include <cstdint>
+
+namespace isp {
+
+/// Identifies a guest thread. Thread 0 is the initial (main) thread.
+using ThreadId = uint32_t;
+
+/// Identifies a routine (function) of the program under analysis.
+using RoutineId = uint32_t;
+
+/// A guest memory location. The substrate traces at the granularity of one
+/// 64-bit guest cell per address, matching Definition 1's "memory cells".
+using Addr = uint64_t;
+
+/// Identifies a synchronization object (semaphore or mutex).
+using SyncId = uint32_t;
+
+/// The kinds of events a trace can contain.
+enum class EventKind : uint8_t {
+  ThreadStart,  ///< A thread begins execution. Arg0 = parent thread id.
+  ThreadEnd,    ///< A thread finishes.
+  Call,         ///< Routine activation. Arg0 = RoutineId.
+  Return,       ///< Topmost activation completes. Arg0 = RoutineId,
+                ///< Arg1 = basic blocks executed since the call (cost).
+  BasicBlock,   ///< One basic-block entry (the cost metric). Arg1 = count.
+  Read,         ///< Memory read. Arg0 = Addr, Arg1 = cell count.
+  Write,        ///< Memory write. Arg0 = Addr, Arg1 = cell count.
+  KernelRead,   ///< The OS reads guest memory on the thread's behalf
+                ///< (thread sends data to a device). Arg0/Arg1 as Read.
+  KernelWrite,  ///< The OS writes guest memory on the thread's behalf
+                ///< (thread receives external data). Arg0/Arg1 as Write.
+  SyncAcquire,  ///< Semaphore wait / mutex lock completed. Arg0 = SyncId,
+                ///< Arg1 = 1 when the object is a mutex-style lock.
+  SyncRelease,  ///< Semaphore post / mutex unlock. Arg0/Arg1 as above.
+  ThreadCreate, ///< Arg0 = created thread id.
+  ThreadJoin,   ///< Arg0 = joined thread id.
+  Alloc,        ///< Heap allocation. Arg0 = Addr, Arg1 = cell count.
+  Free,         ///< Heap release. Arg0 = Addr.
+  ThreadSwitch  ///< Synthesized by the merger between events of different
+                ///< threads. Arg0 = incoming thread id.
+};
+
+/// Returns a printable name for \p Kind.
+const char *eventKindName(EventKind Kind);
+
+/// A single trace event. \c Time is the per-thread logical timestamp used
+/// by the merger to interleave thread-specific traces; events of one
+/// thread must be non-decreasing in Time.
+struct Event {
+  EventKind Kind = EventKind::ThreadStart;
+  ThreadId Tid = 0;
+  uint64_t Time = 0;
+  uint64_t Arg0 = 0;
+  uint64_t Arg1 = 0;
+
+  static Event threadStart(ThreadId Tid, uint64_t Time, ThreadId Parent) {
+    return {EventKind::ThreadStart, Tid, Time, Parent, 0};
+  }
+  static Event threadEnd(ThreadId Tid, uint64_t Time) {
+    return {EventKind::ThreadEnd, Tid, Time, 0, 0};
+  }
+  static Event call(ThreadId Tid, uint64_t Time, RoutineId Rtn) {
+    return {EventKind::Call, Tid, Time, Rtn, 0};
+  }
+  static Event ret(ThreadId Tid, uint64_t Time, RoutineId Rtn,
+                   uint64_t Cost) {
+    return {EventKind::Return, Tid, Time, Rtn, Cost};
+  }
+  static Event basicBlock(ThreadId Tid, uint64_t Time, uint64_t Count = 1) {
+    return {EventKind::BasicBlock, Tid, Time, 0, Count};
+  }
+  static Event read(ThreadId Tid, uint64_t Time, Addr A, uint64_t Cells = 1) {
+    return {EventKind::Read, Tid, Time, A, Cells};
+  }
+  static Event write(ThreadId Tid, uint64_t Time, Addr A,
+                     uint64_t Cells = 1) {
+    return {EventKind::Write, Tid, Time, A, Cells};
+  }
+  static Event kernelRead(ThreadId Tid, uint64_t Time, Addr A,
+                          uint64_t Cells = 1) {
+    return {EventKind::KernelRead, Tid, Time, A, Cells};
+  }
+  static Event kernelWrite(ThreadId Tid, uint64_t Time, Addr A,
+                           uint64_t Cells = 1) {
+    return {EventKind::KernelWrite, Tid, Time, A, Cells};
+  }
+  static Event syncAcquire(ThreadId Tid, uint64_t Time, SyncId Id,
+                           bool IsLock = false) {
+    return {EventKind::SyncAcquire, Tid, Time, Id, IsLock ? 1u : 0u};
+  }
+  static Event syncRelease(ThreadId Tid, uint64_t Time, SyncId Id,
+                           bool IsLock = false) {
+    return {EventKind::SyncRelease, Tid, Time, Id, IsLock ? 1u : 0u};
+  }
+  static Event threadCreate(ThreadId Tid, uint64_t Time, ThreadId Child) {
+    return {EventKind::ThreadCreate, Tid, Time, Child, 0};
+  }
+  static Event threadJoin(ThreadId Tid, uint64_t Time, ThreadId Child) {
+    return {EventKind::ThreadJoin, Tid, Time, Child, 0};
+  }
+  static Event alloc(ThreadId Tid, uint64_t Time, Addr A, uint64_t Cells) {
+    return {EventKind::Alloc, Tid, Time, A, Cells};
+  }
+  static Event free(ThreadId Tid, uint64_t Time, Addr A) {
+    return {EventKind::Free, Tid, Time, A, 0};
+  }
+
+  bool operator==(const Event &Other) const = default;
+};
+
+} // namespace isp
+
+#endif // ISPROF_TRACE_EVENT_H

@@ -1,0 +1,128 @@
+//===- trace/Synthetic.cpp - Random valid trace generation ------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Synthetic.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace isp;
+
+namespace {
+
+/// Per-thread generation state.
+struct ThreadState {
+  std::vector<RoutineId> CallStack;
+  bool Started = false;
+  bool Finished = false;
+};
+
+} // namespace
+
+std::vector<Event>
+isp::generateSyntheticTrace(const SyntheticTraceOptions &Opts) {
+  assert(Opts.NumThreads > 0 && Opts.NumRoutines > 0);
+  Rng R(Opts.Seed);
+  std::vector<Event> Trace;
+  Trace.reserve(Opts.NumOperations + Opts.NumThreads * 4);
+
+  uint64_t Clock = 0;
+  auto now = [&Clock] { return ++Clock; };
+
+  std::vector<ThreadState> Threads(Opts.NumThreads);
+  // Shared pool occupies [0, SharedAddresses); thread T's private pool
+  // occupies [SharedAddresses + T*PrivateAddresses, ...).
+  auto pickAddress = [&](ThreadId Tid) -> Addr {
+    if (Opts.SharedAddresses > 0 &&
+        (Opts.PrivateAddresses == 0 || R.nextBool(Opts.SharedProbability)))
+      return R.nextBelow(Opts.SharedAddresses);
+    return Opts.SharedAddresses +
+           static_cast<Addr>(Tid) * Opts.PrivateAddresses +
+           R.nextBelow(std::max(1u, Opts.PrivateAddresses));
+  };
+
+  // Start all threads eagerly; thread 0 is its own parent by convention.
+  for (ThreadId Tid = 0; Tid != Opts.NumThreads; ++Tid) {
+    Threads[Tid].Started = true;
+    Trace.push_back(Event::threadStart(Tid, now(), Tid == 0 ? 0 : 0));
+    RoutineId Root = static_cast<RoutineId>(R.nextBelow(Opts.NumRoutines));
+    Threads[Tid].CallStack.push_back(Root);
+    Trace.push_back(Event::call(Tid, now(), Root));
+  }
+
+  for (uint64_t Op = 0; Op != Opts.NumOperations; ++Op) {
+    ThreadId Tid =
+        static_cast<ThreadId>(R.nextBelow(Opts.NumThreads));
+    ThreadState &TS = Threads[Tid];
+    if (TS.Finished)
+      continue;
+
+    double Dice = R.nextDouble();
+    double CallEdge = Opts.CallProbability;
+    double ReturnEdge = CallEdge + Opts.ReturnProbability;
+    double WriteEdge = ReturnEdge + Opts.WriteProbability;
+    double KrEdge = WriteEdge + Opts.KernelReadProbability;
+    double KwEdge = KrEdge + Opts.KernelWriteProbability;
+    double BbEdge = KwEdge + Opts.BasicBlockProbability;
+
+    if (Dice < CallEdge) {
+      if (TS.CallStack.size() < Opts.MaxCallDepth) {
+        RoutineId Rtn =
+            static_cast<RoutineId>(R.nextBelow(Opts.NumRoutines));
+        TS.CallStack.push_back(Rtn);
+        Trace.push_back(Event::call(Tid, now(), Rtn));
+      }
+    } else if (Dice < ReturnEdge) {
+      // Keep the root activation alive until the final unwind.
+      if (TS.CallStack.size() > 1) {
+        RoutineId Rtn = TS.CallStack.back();
+        TS.CallStack.pop_back();
+        Trace.push_back(Event::ret(Tid, now(), Rtn, 0));
+      }
+    } else if (Dice < WriteEdge) {
+      Trace.push_back(Event::write(Tid, now(), pickAddress(Tid)));
+    } else if (Dice < KrEdge) {
+      Trace.push_back(Event::kernelRead(Tid, now(), pickAddress(Tid)));
+    } else if (Dice < KwEdge) {
+      Trace.push_back(Event::kernelWrite(Tid, now(), pickAddress(Tid)));
+    } else if (Dice < BbEdge) {
+      Trace.push_back(Event::basicBlock(Tid, now()));
+    } else {
+      Trace.push_back(Event::read(Tid, now(), pickAddress(Tid)));
+    }
+  }
+
+  // Unwind every thread: return from all pending activations, then end.
+  for (ThreadId Tid = 0; Tid != Opts.NumThreads; ++Tid) {
+    ThreadState &TS = Threads[Tid];
+    while (!TS.CallStack.empty()) {
+      RoutineId Rtn = TS.CallStack.back();
+      TS.CallStack.pop_back();
+      Trace.push_back(Event::ret(Tid, now(), Rtn, 0));
+    }
+    TS.Finished = true;
+    Trace.push_back(Event::threadEnd(Tid, now()));
+  }
+  return Trace;
+}
+
+std::vector<std::vector<Event>>
+isp::splitByThread(const std::vector<Event> &Trace) {
+  std::map<ThreadId, std::vector<Event>> ByThread;
+  for (const Event &E : Trace) {
+    if (E.Kind == EventKind::ThreadSwitch)
+      continue;
+    ByThread[E.Tid].push_back(E);
+  }
+  std::vector<std::vector<Event>> Result;
+  Result.reserve(ByThread.size());
+  for (auto &[Tid, Events] : ByThread)
+    Result.push_back(std::move(Events));
+  return Result;
+}

@@ -1,0 +1,17 @@
+//===- vm/Ast.cpp - Guest language AST anchors ----------------------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Out-of-line virtual destructor anchors for the AST base classes, so a
+// single translation unit owns their vtables.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Ast.h"
+
+using namespace isp;
+
+Expr::~Expr() = default;
+Stmt::~Stmt() = default;

@@ -1,0 +1,289 @@
+//===- vm/Ast.h - Guest language abstract syntax tree -----------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for the guest language. Nodes carry an explicit kind discriminator
+/// (LLVM-style hand-rolled RTTI: no virtual dispatch, no dynamic_cast)
+/// and source locations for diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_VM_AST_H
+#define ISPROF_VM_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace isp {
+
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Column = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind : uint8_t {
+  IntLiteral,
+  VarRef,   ///< scalar variable reference
+  Index,    ///< base[index]
+  Unary,    ///< -x, !x
+  Binary,   ///< arithmetic / comparison / logical
+  Call,     ///< f(args) — user function or builtin
+  Spawn     ///< spawn f(args) — yields the new thread id
+};
+
+struct Expr {
+  explicit Expr(ExprKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+  /// Virtual so ExprPtr can destroy any node through the base class;
+  /// anchored out of line in Ast.cpp.
+  virtual ~Expr();
+  const ExprKind Kind;
+  SourceLoc Loc;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLiteralExpr : Expr {
+  IntLiteralExpr(int64_t Value, SourceLoc Loc)
+      : Expr(ExprKind::IntLiteral, Loc), Value(Value) {}
+  int64_t Value;
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::IntLiteral; }
+};
+
+struct VarRefExpr : Expr {
+  VarRefExpr(std::string Name, SourceLoc Loc)
+      : Expr(ExprKind::VarRef, Loc), Name(std::move(Name)) {}
+  std::string Name;
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::VarRef; }
+};
+
+struct IndexExpr : Expr {
+  IndexExpr(std::string Base, ExprPtr Index, SourceLoc Loc)
+      : Expr(ExprKind::Index, Loc), Base(std::move(Base)),
+        Index(std::move(Index)) {}
+  /// Name of the array-holding variable; its value is the base address.
+  std::string Base;
+  ExprPtr Index;
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::Index; }
+};
+
+enum class UnaryOp : uint8_t { Neg, Not };
+
+struct UnaryExpr : Expr {
+  UnaryExpr(UnaryOp Op, ExprPtr Operand, SourceLoc Loc)
+      : Expr(ExprKind::Unary, Loc), Op(Op), Operand(std::move(Operand)) {}
+  UnaryOp Op;
+  ExprPtr Operand;
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::Unary; }
+};
+
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  LogicalAnd, ///< short-circuit
+  LogicalOr   ///< short-circuit
+};
+
+struct BinaryExpr : Expr {
+  BinaryExpr(BinaryOp Op, ExprPtr Lhs, ExprPtr Rhs, SourceLoc Loc)
+      : Expr(ExprKind::Binary, Loc), Op(Op), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+  BinaryOp Op;
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::Binary; }
+};
+
+struct CallExpr : Expr {
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args, SourceLoc Loc)
+      : Expr(ExprKind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::Call; }
+};
+
+struct SpawnExpr : Expr {
+  SpawnExpr(std::string Callee, std::vector<ExprPtr> Args, SourceLoc Loc)
+      : Expr(ExprKind::Spawn, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::Spawn; }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind : uint8_t {
+  VarDecl,
+  Assign,
+  IndexAssign,
+  If,
+  While,
+  For,
+  Return,
+  Break,
+  Continue,
+  ExprStmt,
+  Block
+};
+
+struct Stmt {
+  explicit Stmt(StmtKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+  /// Virtual so StmtPtr can destroy any node through the base class;
+  /// anchored out of line in Ast.cpp.
+  virtual ~Stmt();
+  const StmtKind Kind;
+  SourceLoc Loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct BlockStmt : Stmt {
+  BlockStmt(std::vector<StmtPtr> Body, SourceLoc Loc)
+      : Stmt(StmtKind::Block, Loc), Body(std::move(Body)) {}
+  std::vector<StmtPtr> Body;
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::Block; }
+};
+
+struct VarDeclStmt : Stmt {
+  VarDeclStmt(std::string Name, ExprPtr ArraySize, ExprPtr Init,
+              SourceLoc Loc)
+      : Stmt(StmtKind::VarDecl, Loc), Name(std::move(Name)),
+        ArraySize(std::move(ArraySize)), Init(std::move(Init)) {}
+  std::string Name;
+  /// Non-null for "var a[size];" — the variable holds the array's base
+  /// address, and the cells live in the enclosing frame (or globals).
+  ExprPtr ArraySize;
+  /// Optional initializer for scalars.
+  ExprPtr Init;
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::VarDecl; }
+};
+
+struct AssignStmt : Stmt {
+  AssignStmt(std::string Name, ExprPtr Value, SourceLoc Loc)
+      : Stmt(StmtKind::Assign, Loc), Name(std::move(Name)),
+        Value(std::move(Value)) {}
+  std::string Name;
+  ExprPtr Value;
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::Assign; }
+};
+
+struct IndexAssignStmt : Stmt {
+  IndexAssignStmt(std::string Base, ExprPtr Index, ExprPtr Value,
+                  SourceLoc Loc)
+      : Stmt(StmtKind::IndexAssign, Loc), Base(std::move(Base)),
+        Index(std::move(Index)), Value(std::move(Value)) {}
+  std::string Base;
+  ExprPtr Index;
+  ExprPtr Value;
+  static bool classof(const Stmt *S) {
+    return S->Kind == StmtKind::IndexAssign;
+  }
+};
+
+struct IfStmt : Stmt {
+  IfStmt(ExprPtr Condition, StmtPtr Then, StmtPtr Else, SourceLoc Loc)
+      : Stmt(StmtKind::If, Loc), Condition(std::move(Condition)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+  ExprPtr Condition;
+  StmtPtr Then;
+  StmtPtr Else; ///< may be null
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::If; }
+};
+
+struct WhileStmt : Stmt {
+  WhileStmt(ExprPtr Condition, StmtPtr Body, SourceLoc Loc)
+      : Stmt(StmtKind::While, Loc), Condition(std::move(Condition)),
+        Body(std::move(Body)) {}
+  ExprPtr Condition;
+  StmtPtr Body;
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::While; }
+};
+
+struct ForStmt : Stmt {
+  ForStmt(StmtPtr Init, ExprPtr Condition, StmtPtr Step, StmtPtr Body,
+          SourceLoc Loc)
+      : Stmt(StmtKind::For, Loc), Init(std::move(Init)),
+        Condition(std::move(Condition)), Step(std::move(Step)),
+        Body(std::move(Body)) {}
+  StmtPtr Init;      ///< may be null
+  ExprPtr Condition; ///< may be null (infinite loop)
+  StmtPtr Step;      ///< may be null
+  StmtPtr Body;
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::For; }
+};
+
+struct ReturnStmt : Stmt {
+  ReturnStmt(ExprPtr Value, SourceLoc Loc)
+      : Stmt(StmtKind::Return, Loc), Value(std::move(Value)) {}
+  ExprPtr Value; ///< may be null (returns 0)
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::Return; }
+};
+
+struct BreakStmt : Stmt {
+  explicit BreakStmt(SourceLoc Loc) : Stmt(StmtKind::Break, Loc) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::Break; }
+};
+
+struct ContinueStmt : Stmt {
+  explicit ContinueStmt(SourceLoc Loc) : Stmt(StmtKind::Continue, Loc) {}
+  static bool classof(const Stmt *S) {
+    return S->Kind == StmtKind::Continue;
+  }
+};
+
+struct ExprStmt : Stmt {
+  ExprStmt(ExprPtr E, SourceLoc Loc)
+      : Stmt(StmtKind::ExprStmt, Loc), E(std::move(E)) {}
+  ExprPtr E;
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::ExprStmt; }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+struct FunctionDecl {
+  std::string Name;
+  std::vector<std::string> Params;
+  std::unique_ptr<BlockStmt> Body;
+  SourceLoc Loc;
+};
+
+struct GlobalDecl {
+  std::string Name;
+  /// Cell count for arrays; 1 for scalars.
+  uint64_t ArraySize = 1;
+  bool IsArray = false;
+  int64_t InitValue = 0;
+  SourceLoc Loc;
+};
+
+struct Module {
+  std::vector<GlobalDecl> Globals;
+  std::vector<std::unique_ptr<FunctionDecl>> Functions;
+};
+
+} // namespace isp
+
+#endif // ISPROF_VM_AST_H

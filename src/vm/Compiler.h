@@ -1,0 +1,39 @@
+//===- vm/Compiler.h - Guest AST -> bytecode compiler -----------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles a parsed guest Module into a bytecode Program: resolves
+/// names (block-scoped locals, globals, functions, builtins), lays out
+/// the globals region, lowers control flow to jumps with short-circuit
+/// logical operators, and places Op::BasicBlock cost markers at
+/// structured control-flow leaders (function entry, branch arms, loop
+/// bodies, loop exits).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_VM_COMPILER_H
+#define ISPROF_VM_COMPILER_H
+
+#include "vm/Ast.h"
+#include "vm/Bytecode.h"
+#include "vm/Diag.h"
+
+#include <optional>
+#include <string>
+
+namespace isp {
+
+/// Compiles \p M. Returns std::nullopt (with diagnostics in \p Diags)
+/// when the module has semantic errors; requires a zero-argument "main".
+std::optional<Program> compileModule(const Module &M, DiagnosticEngine &Diags);
+
+/// Convenience: lex + parse + compile \p Source.
+std::optional<Program> compileProgram(const std::string &Source,
+                                      DiagnosticEngine &Diags);
+
+} // namespace isp
+
+#endif // ISPROF_VM_COMPILER_H

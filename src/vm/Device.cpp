@@ -1,0 +1,65 @@
+//===- vm/Device.cpp - External device model ----------------------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Device.h"
+
+using namespace isp;
+
+const std::deque<int64_t> ExternalDevice::EmptyTail;
+
+ExternalDevice::Stream &ExternalDevice::stream(int64_t Fd) {
+  Stream &S = Streams[Fd];
+  if (!S.RngInitialized) {
+    S.RngState = Seed ^ (static_cast<uint64_t>(Fd) * 0x9e3779b97f4a7c15ULL);
+    S.RngInitialized = true;
+  }
+  return S;
+}
+
+void ExternalDevice::preload(int64_t Fd, std::vector<int64_t> Values) {
+  Stream &S = stream(Fd);
+  for (int64_t V : Values)
+    S.Preloaded.push_back(V);
+}
+
+int64_t ExternalDevice::readValue(int64_t Fd) {
+  Stream &S = stream(Fd);
+  ++S.ReadCount;
+  if (!S.Preloaded.empty()) {
+    int64_t V = S.Preloaded.front();
+    S.Preloaded.pop_front();
+    return V;
+  }
+  // Deterministic per-descriptor stream via SplitMix64 steps; bounded to
+  // keep guest arithmetic away from overflow.
+  SplitMix64 SM(S.RngState);
+  uint64_t Raw = SM.next();
+  S.RngState = Raw;
+  return static_cast<int64_t>(Raw % 1000000);
+}
+
+void ExternalDevice::writeValue(int64_t Fd, int64_t Value) {
+  Stream &S = stream(Fd);
+  ++S.WriteCount;
+  S.Tail.push_back(Value);
+  if (S.Tail.size() > TailLimit)
+    S.Tail.pop_front();
+}
+
+uint64_t ExternalDevice::valuesRead(int64_t Fd) const {
+  auto It = Streams.find(Fd);
+  return It == Streams.end() ? 0 : It->second.ReadCount;
+}
+
+uint64_t ExternalDevice::valuesWritten(int64_t Fd) const {
+  auto It = Streams.find(Fd);
+  return It == Streams.end() ? 0 : It->second.WriteCount;
+}
+
+const std::deque<int64_t> &ExternalDevice::writtenTail(int64_t Fd) const {
+  auto It = Streams.find(Fd);
+  return It == Streams.end() ? EmptyTail : It->second.Tail;
+}

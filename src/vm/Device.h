@@ -1,0 +1,72 @@
+//===- vm/Device.h - External device model ----------------------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulates the external world behind the guest's sysread/syswrite
+/// system calls (disk files, network sockets). Each descriptor is an
+/// independent stream: reads deliver either test-provided content or a
+/// deterministic pseudo-random sequence; writes are counted and the tail
+/// retained for assertions. This is the stand-in for the paper's real
+/// I/O (MySQL table files, vips image data) — what matters to the
+/// profiler is that the kernel deposits fresh values into guest buffers,
+/// which sysread models faithfully via KernelWrite events.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_VM_DEVICE_H
+#define ISPROF_VM_DEVICE_H
+
+#include "support/Random.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+namespace isp {
+
+class ExternalDevice {
+public:
+  explicit ExternalDevice(uint64_t Seed = 7) : Seed(Seed) {}
+
+  /// Preloads explicit content for descriptor \p Fd; reads consume it
+  /// first, then fall back to the generated stream.
+  void preload(int64_t Fd, std::vector<int64_t> Values);
+
+  /// Reads the next value from descriptor \p Fd.
+  int64_t readValue(int64_t Fd);
+
+  /// Accepts one value written to descriptor \p Fd.
+  void writeValue(int64_t Fd, int64_t Value);
+
+  uint64_t valuesRead(int64_t Fd) const;
+  uint64_t valuesWritten(int64_t Fd) const;
+
+  /// The most recently written values on \p Fd (bounded tail).
+  const std::deque<int64_t> &writtenTail(int64_t Fd) const;
+
+private:
+  struct Stream {
+    std::deque<int64_t> Preloaded;
+    uint64_t ReadCount = 0;
+    uint64_t WriteCount = 0;
+    std::deque<int64_t> Tail;
+    uint64_t RngState = 0;
+    bool RngInitialized = false;
+  };
+
+  Stream &stream(int64_t Fd);
+
+  static constexpr size_t TailLimit = 256;
+  uint64_t Seed;
+  std::map<int64_t, Stream> Streams;
+  static const std::deque<int64_t> EmptyTail;
+};
+
+} // namespace isp
+
+#endif // ISPROF_VM_DEVICE_H

@@ -1,0 +1,53 @@
+//===- vm/Diag.h - Guest language diagnostics -------------------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic collection for the guest-language frontend. The frontend
+/// never aborts on user errors: it accumulates diagnostics and the caller
+/// inspects hasErrors() (recoverable-error convention, no exceptions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_VM_DIAG_H
+#define ISPROF_VM_DIAG_H
+
+#include <string>
+#include <vector>
+
+namespace isp {
+
+struct Diagnostic {
+  unsigned Line = 0;
+  unsigned Column = 0;
+  std::string Message;
+};
+
+class DiagnosticEngine {
+public:
+  void error(unsigned Line, unsigned Column, std::string Message) {
+    Diags.push_back({Line, Column, std::move(Message)});
+  }
+
+  bool hasErrors() const { return !Diags.empty(); }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics as "line:col: error: message" lines.
+  std::string render() const {
+    std::string Out;
+    for (const Diagnostic &D : Diags) {
+      Out += std::to_string(D.Line) + ":" + std::to_string(D.Column) +
+             ": error: " + D.Message + "\n";
+    }
+    return Out;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace isp
+
+#endif // ISPROF_VM_DIAG_H

@@ -1,0 +1,174 @@
+//===- vm/Disasm.cpp - Bytecode disassembler ------------------------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Disasm.h"
+
+#include "support/Compiler.h"
+#include "support/Format.h"
+
+using namespace isp;
+
+const char *isp::opcodeName(Op Opcode) {
+  switch (Opcode) {
+  case Op::Nop:
+    return "nop";
+  case Op::BasicBlock:
+    return "basic_block";
+  case Op::PushConst:
+    return "push_const";
+  case Op::Pop:
+    return "pop";
+  case Op::LoadLocal:
+    return "load_local";
+  case Op::StoreLocal:
+    return "store_local";
+  case Op::LoadGlobal:
+    return "load_global";
+  case Op::StoreGlobal:
+    return "store_global";
+  case Op::LoadIndirect:
+    return "load_indirect";
+  case Op::StoreIndirect:
+    return "store_indirect";
+  case Op::AllocaArray:
+    return "alloca_array";
+  case Op::Add:
+    return "add";
+  case Op::Sub:
+    return "sub";
+  case Op::Mul:
+    return "mul";
+  case Op::Div:
+    return "div";
+  case Op::Mod:
+    return "mod";
+  case Op::Lt:
+    return "lt";
+  case Op::Le:
+    return "le";
+  case Op::Gt:
+    return "gt";
+  case Op::Ge:
+    return "ge";
+  case Op::Eq:
+    return "eq";
+  case Op::Ne:
+    return "ne";
+  case Op::Neg:
+    return "neg";
+  case Op::Not:
+    return "not";
+  case Op::ToBool:
+    return "to_bool";
+  case Op::Jump:
+    return "jump";
+  case Op::JumpIfFalse:
+    return "jump_if_false";
+  case Op::JumpIfTrue:
+    return "jump_if_true";
+  case Op::Call:
+    return "call";
+  case Op::CallBuiltin:
+    return "call_builtin";
+  case Op::Spawn:
+    return "spawn";
+  case Op::Return:
+    return "return";
+  }
+  ISP_UNREACHABLE("unknown opcode");
+}
+
+const char *isp::builtinName(Builtin B) {
+  switch (B) {
+  case Builtin::Print:
+    return "print";
+  case Builtin::Alloc:
+    return "alloc";
+  case Builtin::Free:
+    return "free";
+  case Builtin::SysRead:
+    return "sysread";
+  case Builtin::SysWrite:
+    return "syswrite";
+  case Builtin::SemCreate:
+    return "sem_create";
+  case Builtin::SemWait:
+    return "sem_wait";
+  case Builtin::SemPost:
+    return "sem_post";
+  case Builtin::LockCreate:
+    return "lock_create";
+  case Builtin::LockAcquire:
+    return "lock_acquire";
+  case Builtin::LockRelease:
+    return "lock_release";
+  case Builtin::Join:
+    return "join";
+  case Builtin::Rand:
+    return "rand";
+  case Builtin::Yield:
+    return "yield";
+  case Builtin::Load:
+    return "load";
+  case Builtin::Store:
+    return "store";
+  case Builtin::ThreadId:
+    return "thread_id";
+  }
+  ISP_UNREACHABLE("unknown builtin");
+}
+
+std::string isp::disassembleInstr(const Instr &I, const Program *Prog) {
+  switch (I.Opcode) {
+  case Op::PushConst:
+  case Op::LoadLocal:
+  case Op::StoreLocal:
+  case Op::LoadGlobal:
+  case Op::StoreGlobal:
+  case Op::Jump:
+  case Op::JumpIfFalse:
+  case Op::JumpIfTrue:
+    return formatString("%-14s %lld", opcodeName(I.Opcode),
+                        static_cast<long long>(I.A));
+  case Op::Call:
+  case Op::Spawn: {
+    std::string Callee =
+        Prog && static_cast<size_t>(I.A) < Prog->Functions.size()
+            ? Prog->Functions[static_cast<size_t>(I.A)].Name
+            : formatString("fn#%lld", static_cast<long long>(I.A));
+    return formatString("%-14s %s, %lld args", opcodeName(I.Opcode),
+                        Callee.c_str(), static_cast<long long>(I.B));
+  }
+  case Op::CallBuiltin:
+    return formatString("%-14s %s, %lld args", opcodeName(I.Opcode),
+                        builtinName(static_cast<Builtin>(I.A)),
+                        static_cast<long long>(I.B));
+  default:
+    return opcodeName(I.Opcode);
+  }
+}
+
+std::string isp::disassembleFunction(const Function &F,
+                                     const Program *Prog) {
+  std::string Out = formatString("fn %s (%u params, %u locals):\n",
+                                 F.Name.c_str(), F.NumParams, F.NumLocals);
+  for (size_t Pc = 0; Pc != F.Code.size(); ++Pc)
+    Out += formatString("  %4zu  %s\n", Pc,
+                        disassembleInstr(F.Code[Pc], Prog).c_str());
+  return Out;
+}
+
+std::string isp::disassembleProgram(const Program &Prog) {
+  std::string Out =
+      formatString("globals: %llu cell(s) at base %llu\n\n",
+                   static_cast<unsigned long long>(Prog.GlobalCells),
+                   static_cast<unsigned long long>(GlobalBase));
+  for (const Function &F : Prog.Functions) {
+    Out += disassembleFunction(F, &Prog);
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,41 @@
+//===- vm/Disasm.h - Bytecode disassembler ----------------------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders compiled guest bytecode as readable text — one line per
+/// instruction with resolved callee names and jump targets — for the
+/// `isprof disasm` command, compiler debugging, and golden tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_VM_DISASM_H
+#define ISPROF_VM_DISASM_H
+
+#include "vm/Bytecode.h"
+
+#include <string>
+
+namespace isp {
+
+/// Returns the mnemonic for \p Opcode (e.g. "load_local").
+const char *opcodeName(Op Opcode);
+
+/// Returns the builtin's source-level name (e.g. "sem_wait").
+const char *builtinName(Builtin B);
+
+/// Disassembles one instruction (no trailing newline). \p Prog resolves
+/// call targets; may be null.
+std::string disassembleInstr(const Instr &I, const Program *Prog);
+
+/// Disassembles a whole function: header plus numbered instructions.
+std::string disassembleFunction(const Function &F, const Program *Prog);
+
+/// Disassembles every function of \p Prog, plus the globals layout.
+std::string disassembleProgram(const Program &Prog);
+
+} // namespace isp
+
+#endif // ISPROF_VM_DISASM_H

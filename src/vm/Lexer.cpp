@@ -1,0 +1,274 @@
+//===- vm/Lexer.cpp - Guest language lexer -----------------------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Lexer.h"
+
+#include "support/Compiler.h"
+
+#include <cctype>
+
+using namespace isp;
+
+const char *isp::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Integer:
+    return "integer literal";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::KwVar:
+    return "'var'";
+  case TokenKind::KwFn:
+    return "'fn'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwSpawn:
+    return "'spawn'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::NotEqual:
+    return "'!='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::Error:
+    return "invalid token";
+  }
+  ISP_UNREACHABLE("unknown token kind");
+}
+
+Lexer::Lexer(std::string Src, DiagnosticEngine &Diags)
+    : Source(std::move(Src)), Diags(Diags) {}
+
+char Lexer::peek() const { return Pos < Source.size() ? Source[Pos] : '\0'; }
+
+char Lexer::peekAhead() const {
+  return Pos + 1 < Source.size() ? Source[Pos + 1] : '\0';
+}
+
+char Lexer::advance() {
+  char C = peek();
+  if (C == '\0')
+    return C;
+  ++Pos;
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peekAhead() == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind) {
+  Token T;
+  T.Kind = Kind;
+  T.Line = TokenLine;
+  T.Column = TokenColumn;
+  return T;
+}
+
+Token Lexer::lexNumber() {
+  int64_t Value = 0;
+  bool Overflow = false;
+  while (std::isdigit(static_cast<unsigned char>(peek()))) {
+    int Digit = advance() - '0';
+    if (Value > (INT64_MAX - Digit) / 10)
+      Overflow = true;
+    else
+      Value = Value * 10 + Digit;
+  }
+  if (Overflow)
+    Diags.error(TokenLine, TokenColumn, "integer literal overflows 64 bits");
+  Token T = makeToken(TokenKind::Integer);
+  T.IntValue = Value;
+  return T;
+}
+
+Token Lexer::lexIdentifier() {
+  std::string Text;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    Text.push_back(advance());
+
+  TokenKind Kind = TokenKind::Identifier;
+  if (Text == "var")
+    Kind = TokenKind::KwVar;
+  else if (Text == "fn")
+    Kind = TokenKind::KwFn;
+  else if (Text == "if")
+    Kind = TokenKind::KwIf;
+  else if (Text == "else")
+    Kind = TokenKind::KwElse;
+  else if (Text == "while")
+    Kind = TokenKind::KwWhile;
+  else if (Text == "for")
+    Kind = TokenKind::KwFor;
+  else if (Text == "return")
+    Kind = TokenKind::KwReturn;
+  else if (Text == "spawn")
+    Kind = TokenKind::KwSpawn;
+  else if (Text == "break")
+    Kind = TokenKind::KwBreak;
+  else if (Text == "continue")
+    Kind = TokenKind::KwContinue;
+
+  Token T = makeToken(Kind);
+  if (Kind == TokenKind::Identifier)
+    T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  TokenLine = Line;
+  TokenColumn = Column;
+
+  char C = peek();
+  if (C == '\0')
+    return makeToken(TokenKind::EndOfFile);
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifier();
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen);
+  case ')':
+    return makeToken(TokenKind::RParen);
+  case '{':
+    return makeToken(TokenKind::LBrace);
+  case '}':
+    return makeToken(TokenKind::RBrace);
+  case '[':
+    return makeToken(TokenKind::LBracket);
+  case ']':
+    return makeToken(TokenKind::RBracket);
+  case ',':
+    return makeToken(TokenKind::Comma);
+  case ';':
+    return makeToken(TokenKind::Semicolon);
+  case '+':
+    return makeToken(TokenKind::Plus);
+  case '-':
+    return makeToken(TokenKind::Minus);
+  case '*':
+    return makeToken(TokenKind::Star);
+  case '/':
+    return makeToken(TokenKind::Slash);
+  case '%':
+    return makeToken(TokenKind::Percent);
+  case '=':
+    return makeToken(match('=') ? TokenKind::EqualEqual : TokenKind::Assign);
+  case '<':
+    return makeToken(match('=') ? TokenKind::LessEqual : TokenKind::Less);
+  case '>':
+    return makeToken(match('=') ? TokenKind::GreaterEqual
+                                : TokenKind::Greater);
+  case '!':
+    return makeToken(match('=') ? TokenKind::NotEqual : TokenKind::Bang);
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AmpAmp);
+    break;
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::PipePipe);
+    break;
+  default:
+    break;
+  }
+  Diags.error(TokenLine, TokenColumn,
+              std::string("unexpected character '") + C + "'");
+  Token T = makeToken(TokenKind::Error);
+  T.Text = std::string(1, C);
+  return T;
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Tokens.push_back(next());
+    if (Tokens.back().Kind == TokenKind::EndOfFile)
+      return Tokens;
+  }
+}

@@ -1,0 +1,56 @@
+//===- vm/Lexer.h - Guest language lexer ------------------------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the guest language. Supports decimal integer
+/// literals, identifiers/keywords, the operator set of Token.h, and
+/// line comments introduced by "//".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_VM_LEXER_H
+#define ISPROF_VM_LEXER_H
+
+#include "vm/Diag.h"
+#include "vm/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace isp {
+
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Lexes the next token (EndOfFile forever once exhausted).
+  Token next();
+
+  /// Lexes the entire input (including the trailing EndOfFile token).
+  std::vector<Token> lexAll();
+
+private:
+  char peek() const;
+  char peekAhead() const;
+  char advance();
+  bool match(char Expected);
+  void skipWhitespaceAndComments();
+  Token makeToken(TokenKind Kind);
+  Token lexNumber();
+  Token lexIdentifier();
+
+  std::string Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+  unsigned TokenLine = 1;
+  unsigned TokenColumn = 1;
+};
+
+} // namespace isp
+
+#endif // ISPROF_VM_LEXER_H

@@ -1,0 +1,667 @@
+//===- vm/Machine.cpp - Guest interpreter and scheduler -----------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Machine.h"
+
+#include "support/Compiler.h"
+#include "support/Format.h"
+#include "vm/Compiler.h"
+
+#include <cassert>
+
+using namespace isp;
+
+Machine::Machine(const Program &Prog, EventDispatcher *Events,
+                 MachineOptions Opts)
+    : Prog(Prog), Events(Events), Options(Opts), Device(Opts.Seed),
+      GuestRng(Opts.Seed) {
+  assert(Options.StackCells <= StackRegionStride &&
+         "stack size exceeds the per-thread address stride");
+}
+
+void Machine::runtimeError(const std::string &Message) {
+  if (!Failed) {
+    Failed = true;
+    Error = Message;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Guest memory
+//===----------------------------------------------------------------------===//
+
+bool Machine::decodeAddress(Addr A, int64_t *&Cell) {
+  if (A >= GlobalBase && A < GlobalBase + Globals.size()) {
+    Cell = &Globals[A - GlobalBase];
+    return true;
+  }
+  if (A >= HeapBase && A < HeapBase + Heap.size()) {
+    Cell = &Heap[A - HeapBase];
+    return true;
+  }
+  if (A >= StackRegionBase) {
+    uint64_t Index = (A - StackRegionBase) / StackRegionStride;
+    uint64_t Offset = (A - StackRegionBase) % StackRegionStride;
+    if (Index < ThreadList.size() && Offset < Options.StackCells) {
+      ThreadCtx &Owner = ThreadList[Index];
+      if (Offset >= Owner.StackMemory.size())
+        Owner.StackMemory.resize(Offset + 1, 0);
+      Cell = &Owner.StackMemory[Offset];
+      return true;
+    }
+  }
+  runtimeError(formatString("invalid memory access at address %llu",
+                            static_cast<unsigned long long>(A)));
+  return false;
+}
+
+bool Machine::memRead(ThreadCtx &T, Addr A, int64_t &Value) {
+  int64_t *Cell = nullptr;
+  if (!decodeAddress(A, Cell))
+    return false;
+  Value = *Cell;
+  ++Stats.MemReads;
+  emitEvent(Event::read(T.Id, now(), A));
+  return true;
+}
+
+bool Machine::memWrite(ThreadCtx &T, Addr A, int64_t Value) {
+  int64_t *Cell = nullptr;
+  if (!decodeAddress(A, Cell))
+    return false;
+  *Cell = Value;
+  ++Stats.MemWrites;
+  emitEvent(Event::write(T.Id, now(), A));
+  return true;
+}
+
+bool Machine::rawRead(Addr A, int64_t &Value) {
+  int64_t *Cell = nullptr;
+  if (!decodeAddress(A, Cell))
+    return false;
+  Value = *Cell;
+  return true;
+}
+
+bool Machine::rawWrite(Addr A, int64_t Value) {
+  int64_t *Cell = nullptr;
+  if (!decodeAddress(A, Cell))
+    return false;
+  *Cell = Value;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Threads and frames
+//===----------------------------------------------------------------------===//
+
+Machine::ThreadCtx &Machine::newThread(ThreadId Parent, const Function *Fn) {
+  ThreadId Id = static_cast<ThreadId>(ThreadList.size());
+  ThreadList.emplace_back();
+  ThreadCtx &T = ThreadList.back();
+  T.Id = Id;
+  T.Parent = Parent;
+  T.StackBase = StackRegionBase + static_cast<Addr>(Id) * StackRegionStride;
+  T.Sp = T.StackBase;
+  T.EntryFn = Fn;
+  ++Stats.ThreadsSpawned;
+  return T;
+}
+
+bool Machine::pushFrame(ThreadCtx &T, const Function *Fn,
+                        const std::vector<int64_t> *Args) {
+  Addr FrameBase = T.Sp;
+  if (FrameBase + Fn->NumLocals >= T.StackBase + Options.StackCells) {
+    runtimeError(formatString("guest stack overflow in thread %u calling "
+                              "'%s'",
+                              T.Id, Fn->Name.c_str()));
+    return false;
+  }
+  // Spill the arguments into the parameter cells *before* the Call
+  // event: the writes belong to the caller, and the callee's parameter
+  // reads are then first-accesses, i.e. input of the callee.
+  if (Args)
+    for (size_t I = 0; I != Args->size(); ++I)
+      if (!memWrite(T, FrameBase + I, (*Args)[I]))
+        return false;
+  Frame F;
+  F.Fn = Fn;
+  F.Pc = 0;
+  F.FrameBase = FrameBase;
+  F.OperandBase = T.Operands.size();
+  F.SavedSp = T.Sp;
+  T.Sp = FrameBase + Fn->NumLocals;
+  emitEvent(Event::call(T.Id, now(), Fn->Id));
+  T.Frames.push_back(F);
+  return true;
+}
+
+void Machine::finishThread(ThreadCtx &T, int64_t Result) {
+  T.State = ThreadStateKind::Finished;
+  T.Result = Result;
+  emitEvent(Event::threadEnd(T.Id, now()));
+  if (T.Id == 0) {
+    MainReturned = true;
+    MainResult = Result;
+  }
+  wakeJoiners(T.Id);
+}
+
+void Machine::wakeJoiners(ThreadId Ended) {
+  for (ThreadCtx &T : ThreadList)
+    if (T.State == ThreadStateKind::BlockedJoin && T.WaitTid == Ended)
+      T.State = ThreadStateKind::Runnable;
+}
+
+void Machine::wakeSemWaiters(SyncId Sem) {
+  for (ThreadCtx &T : ThreadList)
+    if (T.State == ThreadStateKind::BlockedSem && T.WaitSync == Sem)
+      T.State = ThreadStateKind::Runnable;
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter
+//===----------------------------------------------------------------------===//
+
+namespace {
+inline int64_t popValue(std::vector<int64_t> &Operands) {
+  assert(!Operands.empty() && "operand stack underflow");
+  int64_t V = Operands.back();
+  Operands.pop_back();
+  return V;
+}
+} // namespace
+
+bool Machine::handleBuiltin(ThreadCtx &T, Builtin B, unsigned NumArgs) {
+  // Pop arguments (pushed left to right).
+  int64_t Args[3] = {0, 0, 0};
+  assert(NumArgs <= 3 && "builtins take at most three arguments");
+  for (unsigned I = NumArgs; I > 0; --I)
+    Args[I - 1] = popValue(T.Operands);
+
+  auto block = [&](ThreadStateKind Kind) {
+    // Re-push the arguments and retry this instruction when woken.
+    for (unsigned I = 0; I != NumArgs; ++I)
+      T.Operands.push_back(Args[I]);
+    T.State = Kind;
+    return false;
+  };
+
+  switch (B) {
+  case Builtin::Print:
+    Output += formatString("%lld\n", static_cast<long long>(Args[0]));
+    T.Operands.push_back(Args[0]);
+    return true;
+
+  case Builtin::Alloc: {
+    if (Args[0] < 0) {
+      runtimeError("alloc() with negative size");
+      return true;
+    }
+    if (HeapBase + HeapNext + static_cast<uint64_t>(Args[0]) >=
+        StackRegionBase) {
+      runtimeError("guest heap exhausted");
+      return true;
+    }
+    Addr Base = HeapBase + HeapNext;
+    HeapNext += static_cast<uint64_t>(Args[0]);
+    Heap.resize(HeapNext, 0);
+    Stats.HeapCellsAllocated += static_cast<uint64_t>(Args[0]);
+    emitEvent(Event::alloc(T.Id, now(), Base,
+                           static_cast<uint64_t>(Args[0])));
+    T.Operands.push_back(static_cast<int64_t>(Base));
+    return true;
+  }
+
+  case Builtin::Free:
+    emitEvent(Event::free(T.Id, now(), static_cast<Addr>(Args[0])));
+    T.Operands.push_back(0);
+    return true;
+
+  case Builtin::SysRead: {
+    int64_t Fd = Args[0], Buf = Args[1], N = Args[2];
+    if (N < 0) {
+      runtimeError("sysread() with negative length");
+      return true;
+    }
+    for (int64_t I = 0; I != N; ++I)
+      if (!rawWrite(static_cast<Addr>(Buf + I), Device.readValue(Fd)))
+        return true;
+    if (N > 0)
+      emitEvent(Event::kernelWrite(T.Id, now(), static_cast<Addr>(Buf),
+                                   static_cast<uint64_t>(N)));
+    T.Operands.push_back(N);
+    return true;
+  }
+
+  case Builtin::SysWrite: {
+    int64_t Fd = Args[0], Buf = Args[1], N = Args[2];
+    if (N < 0) {
+      runtimeError("syswrite() with negative length");
+      return true;
+    }
+    for (int64_t I = 0; I != N; ++I) {
+      int64_t V = 0;
+      if (!rawRead(static_cast<Addr>(Buf + I), V))
+        return true;
+      Device.writeValue(Fd, V);
+    }
+    if (N > 0)
+      emitEvent(Event::kernelRead(T.Id, now(), static_cast<Addr>(Buf),
+                                  static_cast<uint64_t>(N)));
+    T.Operands.push_back(N);
+    return true;
+  }
+
+  case Builtin::SemCreate:
+  case Builtin::LockCreate: {
+    Semaphore S;
+    S.IsLock = B == Builtin::LockCreate;
+    S.Count = S.IsLock ? 1 : Args[0];
+    Semaphores.push_back(S);
+    T.Operands.push_back(static_cast<int64_t>(Semaphores.size() - 1));
+    return true;
+  }
+
+  case Builtin::SemWait:
+  case Builtin::LockAcquire: {
+    int64_t Id = Args[0];
+    if (Id < 0 || static_cast<size_t>(Id) >= Semaphores.size()) {
+      runtimeError("sem_wait() on invalid semaphore id");
+      return true;
+    }
+    if (Semaphores[Id].Count <= 0) {
+      T.WaitSync = static_cast<SyncId>(Id);
+      return block(ThreadStateKind::BlockedSem);
+    }
+    --Semaphores[Id].Count;
+    emitEvent(Event::syncAcquire(T.Id, now(), static_cast<SyncId>(Id),
+                                 Semaphores[Id].IsLock));
+    T.Operands.push_back(0);
+    return true;
+  }
+
+  case Builtin::SemPost:
+  case Builtin::LockRelease: {
+    int64_t Id = Args[0];
+    if (Id < 0 || static_cast<size_t>(Id) >= Semaphores.size()) {
+      runtimeError("sem_post() on invalid semaphore id");
+      return true;
+    }
+    ++Semaphores[Id].Count;
+    emitEvent(Event::syncRelease(T.Id, now(), static_cast<SyncId>(Id),
+                                 Semaphores[Id].IsLock));
+    wakeSemWaiters(static_cast<SyncId>(Id));
+    T.Operands.push_back(0);
+    return true;
+  }
+
+  case Builtin::Join: {
+    int64_t Target = Args[0];
+    if (Target < 0 || static_cast<size_t>(Target) >= ThreadList.size()) {
+      runtimeError("join() on invalid thread id");
+      return true;
+    }
+    ThreadCtx &Joinee = ThreadList[static_cast<size_t>(Target)];
+    if (Joinee.State != ThreadStateKind::Finished) {
+      T.WaitTid = static_cast<ThreadId>(Target);
+      return block(ThreadStateKind::BlockedJoin);
+    }
+    emitEvent(Event::threadJoin(T.Id, now(), Joinee.Id));
+    T.Operands.push_back(Joinee.Result);
+    return true;
+  }
+
+  case Builtin::Rand:
+    T.Operands.push_back(
+        Args[0] > 0
+            ? static_cast<int64_t>(
+                  GuestRng.nextBelow(static_cast<uint64_t>(Args[0])))
+            : 0);
+    return true;
+
+  case Builtin::Yield:
+    T.Operands.push_back(0);
+    // Handled by the scheduler via the YieldRequested signal below; the
+    // builtin itself completes normally.
+    YieldRequested = true;
+    return true;
+
+  case Builtin::Load: {
+    int64_t Value = 0;
+    if (memRead(T, static_cast<Addr>(Args[0]), Value))
+      T.Operands.push_back(Value);
+    return true;
+  }
+
+  case Builtin::Store:
+    memWrite(T, static_cast<Addr>(Args[0]), Args[1]);
+    T.Operands.push_back(Args[1]);
+    return true;
+
+  case Builtin::ThreadId:
+    T.Operands.push_back(T.Id);
+    return true;
+  }
+  ISP_UNREACHABLE("unknown builtin");
+}
+
+bool Machine::step(ThreadCtx &T) {
+  Frame &F = T.Frames.back();
+  assert(F.Pc < F.Fn->Code.size() && "pc out of range");
+  const Instr &I = F.Fn->Code[F.Pc];
+  size_t InstrPc = F.Pc;
+  ++F.Pc;
+  ++Stats.Instructions;
+
+  switch (I.Opcode) {
+  case Op::Nop:
+    return true;
+
+  case Op::BasicBlock:
+    ++Stats.BasicBlocks;
+    emitEvent(Event::basicBlock(T.Id, now()));
+    return true;
+
+  case Op::PushConst:
+    T.Operands.push_back(I.A);
+    return true;
+
+  case Op::Pop:
+    popValue(T.Operands);
+    return true;
+
+  case Op::LoadLocal: {
+    int64_t Value = 0;
+    if (!memRead(T, F.FrameBase + static_cast<Addr>(I.A), Value))
+      return false;
+    T.Operands.push_back(Value);
+    return true;
+  }
+
+  case Op::StoreLocal:
+    return memWrite(T, F.FrameBase + static_cast<Addr>(I.A),
+                    popValue(T.Operands));
+
+  case Op::LoadGlobal: {
+    int64_t Value = 0;
+    if (!memRead(T, static_cast<Addr>(I.A), Value))
+      return false;
+    T.Operands.push_back(Value);
+    return true;
+  }
+
+  case Op::StoreGlobal:
+    return memWrite(T, static_cast<Addr>(I.A), popValue(T.Operands));
+
+  case Op::LoadIndirect: {
+    int64_t Index = popValue(T.Operands);
+    int64_t Base = popValue(T.Operands);
+    int64_t Value = 0;
+    if (!memRead(T, static_cast<Addr>(Base + Index), Value))
+      return false;
+    T.Operands.push_back(Value);
+    return true;
+  }
+
+  case Op::StoreIndirect: {
+    int64_t Value = popValue(T.Operands);
+    int64_t Index = popValue(T.Operands);
+    int64_t Base = popValue(T.Operands);
+    return memWrite(T, static_cast<Addr>(Base + Index), Value);
+  }
+
+  case Op::AllocaArray: {
+    int64_t N = popValue(T.Operands);
+    if (N < 0) {
+      runtimeError("negative local array size");
+      return false;
+    }
+    Addr Base = T.Sp;
+    if (Base + static_cast<Addr>(N) >= T.StackBase + Options.StackCells) {
+      runtimeError(formatString("guest stack overflow (local array of %lld "
+                                "cells) in thread %u",
+                                static_cast<long long>(N), T.Id));
+      return false;
+    }
+    T.Sp += static_cast<Addr>(N);
+    T.Operands.push_back(static_cast<int64_t>(Base));
+    return true;
+  }
+
+#define BINARY_CASE(OPCODE, EXPR)                                             \
+  case Op::OPCODE: {                                                          \
+    int64_t Rhs = popValue(T.Operands);                                       \
+    int64_t Lhs = popValue(T.Operands);                                       \
+    (void)Lhs;                                                                \
+    (void)Rhs;                                                                \
+    T.Operands.push_back(EXPR);                                               \
+    return true;                                                              \
+  }
+
+    BINARY_CASE(Add, Lhs + Rhs)
+    BINARY_CASE(Sub, Lhs - Rhs)
+    BINARY_CASE(Mul, Lhs * Rhs)
+    BINARY_CASE(Lt, Lhs < Rhs ? 1 : 0)
+    BINARY_CASE(Le, Lhs <= Rhs ? 1 : 0)
+    BINARY_CASE(Gt, Lhs > Rhs ? 1 : 0)
+    BINARY_CASE(Ge, Lhs >= Rhs ? 1 : 0)
+    BINARY_CASE(Eq, Lhs == Rhs ? 1 : 0)
+    BINARY_CASE(Ne, Lhs != Rhs ? 1 : 0)
+#undef BINARY_CASE
+
+  case Op::Div: {
+    int64_t Rhs = popValue(T.Operands);
+    int64_t Lhs = popValue(T.Operands);
+    if (Rhs == 0) {
+      runtimeError("division by zero");
+      return false;
+    }
+    T.Operands.push_back(Lhs / Rhs);
+    return true;
+  }
+
+  case Op::Mod: {
+    int64_t Rhs = popValue(T.Operands);
+    int64_t Lhs = popValue(T.Operands);
+    if (Rhs == 0) {
+      runtimeError("modulo by zero");
+      return false;
+    }
+    T.Operands.push_back(Lhs % Rhs);
+    return true;
+  }
+
+  case Op::Neg:
+    T.Operands.back() = -T.Operands.back();
+    return true;
+
+  case Op::Not:
+    T.Operands.back() = T.Operands.back() == 0 ? 1 : 0;
+    return true;
+
+  case Op::ToBool:
+    T.Operands.back() = T.Operands.back() != 0 ? 1 : 0;
+    return true;
+
+  case Op::Jump:
+    F.Pc = static_cast<size_t>(I.A);
+    return true;
+
+  case Op::JumpIfFalse:
+    if (popValue(T.Operands) == 0)
+      F.Pc = static_cast<size_t>(I.A);
+    return true;
+
+  case Op::JumpIfTrue:
+    if (popValue(T.Operands) != 0)
+      F.Pc = static_cast<size_t>(I.A);
+    return true;
+
+  case Op::Call: {
+    const Function &Callee = Prog.Functions[static_cast<size_t>(I.A)];
+    std::vector<int64_t> Args(static_cast<size_t>(I.B));
+    for (size_t J = Args.size(); J > 0; --J)
+      Args[J - 1] = popValue(T.Operands);
+    return pushFrame(T, &Callee, &Args);
+  }
+
+  case Op::CallBuiltin: {
+    bool Proceeded = handleBuiltin(T, static_cast<Builtin>(I.A),
+                                   static_cast<unsigned>(I.B));
+    if (!Proceeded)
+      F.Pc = InstrPc; // blocked: retry this instruction when woken
+    return Proceeded && !Failed;
+  }
+
+  case Op::Spawn: {
+    const Function &Callee = Prog.Functions[static_cast<size_t>(I.A)];
+    std::vector<int64_t> Args(static_cast<size_t>(I.B));
+    for (size_t J = Args.size(); J > 0; --J)
+      Args[J - 1] = popValue(T.Operands);
+    ThreadCtx &Child = newThread(T.Id, &Callee);
+    // The parent writes the arguments into the child's (future) entry
+    // frame, like code publishing an argument block before calling
+    // pthread_create: when the child first reads its parameters, those
+    // are induced first-accesses — genuine thread-communication input.
+    // The writes precede the ThreadCreate event so the create edge
+    // orders them for happens-before analyses.
+    for (size_t J = 0; J != Args.size(); ++J)
+      if (!memWrite(T, Child.StackBase + J, Args[J]))
+        return false;
+    emitEvent(Event::threadCreate(T.Id, now(), Child.Id));
+    T.Operands.push_back(Child.Id);
+    return true;
+  }
+
+  case Op::Return: {
+    int64_t Result = popValue(T.Operands);
+    Frame Completed = T.Frames.back();
+    emitEvent(Event::ret(T.Id, now(), Completed.Fn->Id, 0));
+    T.Frames.pop_back();
+    T.Sp = Completed.SavedSp;
+    T.Operands.resize(Completed.OperandBase);
+    if (T.Frames.empty()) {
+      finishThread(T, Result);
+      return false;
+    }
+    T.Operands.push_back(Result);
+    return true;
+  }
+  }
+  ISP_UNREACHABLE("unknown opcode");
+}
+
+bool Machine::runSlice(ThreadCtx &T) {
+  YieldRequested = false;
+  for (uint64_t Executed = 0; Executed != Options.SliceLength; ++Executed) {
+    if (Failed)
+      return false;
+    if (Stats.Instructions >= Options.MaxInstructions) {
+      runtimeError("guest instruction budget exceeded (possible infinite "
+                   "loop)");
+      return false;
+    }
+    if (!step(T))
+      return !Failed;
+    if (YieldRequested || T.State != ThreadStateKind::Runnable)
+      return true;
+  }
+  return true;
+}
+
+RunResult Machine::run() {
+  RunResult Result;
+
+  // Load the program image.
+  Globals.resize(Prog.GlobalCells, 0);
+  for (const GlobalInit &Init : Prog.GlobalInits) {
+    assert(Init.Address >= GlobalBase &&
+           Init.Address < GlobalBase + Globals.size());
+    Globals[Init.Address - GlobalBase] = Init.Value;
+  }
+
+  if (Events)
+    Events->start(&Prog.Symbols);
+
+  newThread(/*Parent=*/0, &Prog.Functions[Prog.EntryIndex]);
+
+  // Fair round-robin serializing scheduler.
+  size_t Cursor = 0;
+  ThreadId LastRunning = 0;
+  bool HaveLastRunning = false;
+  while (!Failed) {
+    // Find the next runnable thread at or after the cursor.
+    size_t Live = 0;
+    ThreadCtx *Next = nullptr;
+    for (size_t Probe = 0; Probe != ThreadList.size(); ++Probe) {
+      size_t Index = (Cursor + Probe) % ThreadList.size();
+      ThreadCtx &T = ThreadList[Index];
+      if (T.State == ThreadStateKind::Finished)
+        continue;
+      ++Live;
+      if (!Next && T.State == ThreadStateKind::Runnable) {
+        Next = &T;
+        Cursor = (Index + 1) % ThreadList.size();
+      }
+    }
+    if (Live == 0)
+      break;
+    if (!Next) {
+      runtimeError("deadlock: all live guest threads are blocked");
+      break;
+    }
+
+    ThreadCtx &T = *Next;
+    if (HaveLastRunning && LastRunning != T.Id) {
+      ++Stats.ThreadSwitches;
+      emitEvent({EventKind::ThreadSwitch, T.Id, now(), T.Id, 0});
+    }
+    LastRunning = T.Id;
+    HaveLastRunning = true;
+
+    if (!T.Started) {
+      T.Started = true;
+      emitEvent(Event::threadStart(T.Id, now(), T.Parent));
+      // Spawn arguments were already written into the entry frame cells
+      // by the parent; main has none.
+      if (!pushFrame(T, T.EntryFn, /*Args=*/nullptr))
+        break;
+    }
+    if (T.State == ThreadStateKind::Runnable && !T.Frames.empty())
+      runSlice(T);
+  }
+
+  // Account the guest footprint before tearing anything down.
+  uint64_t GuestCells = Globals.size() + Heap.size();
+  for (const ThreadCtx &T : ThreadList)
+    GuestCells += T.StackMemory.size();
+  Stats.GuestMemoryBytes = GuestCells * sizeof(int64_t);
+
+  if (Events)
+    Events->finish();
+
+  Result.Ok = !Failed;
+  Result.Error = Error;
+  Result.ExitCode = MainResult;
+  Result.Output = std::move(Output);
+  Result.Stats = Stats;
+  return Result;
+}
+
+RunResult isp::compileAndRun(const std::string &Source,
+                             EventDispatcher *Events, MachineOptions Opts) {
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = compileProgram(Source, Diags);
+  if (!Prog) {
+    RunResult Result;
+    Result.Ok = false;
+    Result.Error = "compile error:\n" + Diags.render();
+    return Result;
+  }
+  Machine M(*Prog, Events, Opts);
+  return M.run();
+}

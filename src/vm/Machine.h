@@ -1,0 +1,197 @@
+//===- vm/Machine.h - Guest interpreter and scheduler -----------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instrumented virtual machine: executes compiled guest programs
+/// with multiple guest threads under a *serializing* fair round-robin
+/// scheduler (the same execution model Valgrind imposes on traced
+/// multithreaded programs, Section 5), emitting the full event stream —
+/// calls/returns, basic blocks, every guest-memory access, kernel-
+/// mediated I/O, synchronization, thread lifecycle — to an
+/// EventDispatcher. With no dispatcher attached the VM is the "native"
+/// baseline the overhead benchmarks compare against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_VM_MACHINE_H
+#define ISPROF_VM_MACHINE_H
+
+#include "instr/Dispatcher.h"
+#include "support/Random.h"
+#include "vm/Bytecode.h"
+#include "vm/Device.h"
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace isp {
+
+struct MachineOptions {
+  /// Scheduling quantum in bytecode instructions. Smaller slices
+  /// interleave threads more finely (more thread switches in the trace).
+  uint64_t SliceLength = 150;
+  /// Safety valve against runaway guest programs.
+  uint64_t MaxInstructions = uint64_t(1) << 33;
+  /// Per-thread guest stack size in cells (must fit StackRegionStride).
+  uint64_t StackCells = uint64_t(1) << 17;
+  /// Seed for the guest rand() builtin and device streams.
+  uint64_t Seed = 42;
+};
+
+struct RunStats {
+  uint64_t Instructions = 0;
+  uint64_t BasicBlocks = 0;
+  uint64_t MemReads = 0;
+  uint64_t MemWrites = 0;
+  uint64_t ThreadsSpawned = 0;
+  uint64_t ThreadSwitches = 0;
+  uint64_t HeapCellsAllocated = 0;
+  /// Guest footprint in bytes (globals + heap + stacks actually touched):
+  /// the "native" space baseline of the overhead comparisons.
+  uint64_t GuestMemoryBytes = 0;
+};
+
+struct RunResult {
+  bool Ok = false;
+  std::string Error;
+  int64_t ExitCode = 0;
+  std::string Output;
+  RunStats Stats;
+};
+
+class Machine {
+public:
+  /// \p Events may be null (uninstrumented run).
+  Machine(const Program &Prog, EventDispatcher *Events,
+          MachineOptions Opts = MachineOptions());
+
+  /// Runs the program to completion (all threads ended) and returns the
+  /// result. Call once per Machine.
+  RunResult run();
+
+  /// The simulated external world (preload test data before run()).
+  ExternalDevice &device() { return Device; }
+
+private:
+  enum class ThreadStateKind : uint8_t {
+    Runnable,
+    BlockedSem,
+    BlockedJoin,
+    Finished
+  };
+
+  struct Frame {
+    const Function *Fn = nullptr;
+    size_t Pc = 0;
+    Addr FrameBase = 0;
+    /// Operand-stack height at entry (restored on return).
+    size_t OperandBase = 0;
+    /// Thread stack pointer to restore on return (pops allocas).
+    Addr SavedSp = 0;
+  };
+
+  struct ThreadCtx {
+    ThreadId Id = 0;
+    ThreadId Parent = 0;
+    ThreadStateKind State = ThreadStateKind::Runnable;
+    std::vector<Frame> Frames;
+    std::vector<int64_t> Operands;
+    std::vector<int64_t> StackMemory;
+    Addr StackBase = 0;
+    Addr Sp = 0;
+    /// Deferred start: the entry function, whose frame is pushed when
+    /// the scheduler first runs the thread (arguments are pre-written
+    /// into the entry frame cells by the spawning thread).
+    const Function *EntryFn = nullptr;
+    bool Started = false;
+    SyncId WaitSync = 0;
+    ThreadId WaitTid = 0;
+    int64_t Result = 0;
+  };
+
+  struct Semaphore {
+    int64_t Count = 0;
+    /// Created by lock_create (vs sem_create): reported on sync events
+    /// so lockset-based analyses can tell mutexes from semaphores.
+    bool IsLock = false;
+  };
+
+  // --- Event emission (no-ops when no tools are attached). ---
+  bool tracing() const { return Events && Events->isActive(); }
+  void emitEvent(const Event &E) {
+    if (tracing())
+      Events->dispatch(E);
+  }
+  uint64_t now() { return ++EventTime; }
+
+  // --- Guest memory. ---
+  bool decodeAddress(Addr A, int64_t *&Cell);
+  bool memRead(ThreadCtx &T, Addr A, int64_t &Value);
+  bool memWrite(ThreadCtx &T, Addr A, int64_t Value);
+  /// Kernel-side accesses: no thread Read/Write events (the syscall
+  /// wrapper emits KernelRead/KernelWrite instead).
+  bool rawRead(Addr A, int64_t &Value);
+  bool rawWrite(Addr A, int64_t Value);
+
+  // --- Thread and frame management. ---
+  ThreadCtx &newThread(ThreadId Parent, const Function *Fn);
+  /// Pushes an activation of \p Fn onto \p T. When \p Args is non-null,
+  /// the argument values are first spilled into the parameter cells with
+  /// Write events attributed to the *current* topmost activation (the
+  /// caller), so the callee's parameter reads register as its input —
+  /// matching how compiled code stores arguments before the call
+  /// instruction. Returns false on stack overflow.
+  bool pushFrame(ThreadCtx &T, const Function *Fn,
+                 const std::vector<int64_t> *Args);
+  void finishThread(ThreadCtx &T, int64_t Result);
+  void wakeJoiners(ThreadId Ended);
+  void wakeSemWaiters(SyncId Sem);
+
+  // --- Execution. ---
+  /// Executes up to SliceLength instructions of thread \p T. Returns
+  /// false when the machine must stop (error or program end).
+  bool runSlice(ThreadCtx &T);
+  /// Executes one instruction. Returns false if the thread cannot make
+  /// progress right now (blocked) or has finished.
+  bool step(ThreadCtx &T);
+  bool handleBuiltin(ThreadCtx &T, Builtin B, unsigned NumArgs);
+  void runtimeError(const std::string &Message);
+
+  const Program &Prog;
+  EventDispatcher *Events;
+  MachineOptions Options;
+  ExternalDevice Device;
+  Rng GuestRng;
+
+  std::vector<int64_t> Globals;
+  std::vector<int64_t> Heap;
+  uint64_t HeapNext = 0;
+  /// deque: spawn must not invalidate references to running threads.
+  std::deque<ThreadCtx> ThreadList;
+  std::vector<Semaphore> Semaphores;
+
+  uint64_t EventTime = 0;
+  bool YieldRequested = false;
+  RunStats Stats;
+  std::string Output;
+  std::string Error;
+  bool Failed = false;
+  bool MainReturned = false;
+  int64_t MainResult = 0;
+};
+
+/// Convenience: compile \p Source and run it under \p Events. On compile
+/// errors the result carries the rendered diagnostics in Error. Callers
+/// that need the program's SymbolTable after the run should compile with
+/// compileProgram() and keep the Program alive instead.
+RunResult compileAndRun(const std::string &Source, EventDispatcher *Events,
+                        MachineOptions Opts = MachineOptions());
+
+} // namespace isp
+
+#endif // ISPROF_VM_MACHINE_H

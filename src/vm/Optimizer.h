@@ -1,0 +1,48 @@
+//===- vm/Optimizer.h - Bytecode peephole optimizer -------------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A peephole optimizer over compiled guest bytecode: constant folding
+/// of arithmetic/comparison/logic over literals, folding of ToBool and
+/// conditional jumps on constants, jump threading, and compaction of
+/// the resulting dead slots (with jump-target remapping).
+///
+/// The pass deliberately never touches memory instructions or
+/// Op::BasicBlock markers, so each *thread's* event sequence — its
+/// memory accesses, calls, and basic-block counts — is identical to the
+/// unoptimized program's; only the interpreter's instruction count (and
+/// hence native time) drops. For single-threaded programs the whole
+/// event stream and therefore the profile is bit-identical (tested).
+/// For multithreaded programs the per-thread streams are preserved but
+/// their interleaving can shift (scheduler quanta are counted in
+/// instructions), exactly as if the program ran under a different slice
+/// length — synchronized guests still compute identical results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_VM_OPTIMIZER_H
+#define ISPROF_VM_OPTIMIZER_H
+
+#include "vm/Bytecode.h"
+
+namespace isp {
+
+struct OptimizerStats {
+  unsigned ConstantsFolded = 0;
+  unsigned JumpsThreaded = 0;
+  unsigned BranchesResolved = 0;
+  unsigned InstructionsRemoved = 0;
+};
+
+/// Optimizes one function in place.
+OptimizerStats optimizeFunction(Function &F);
+
+/// Optimizes every function of \p Prog in place; returns summed stats.
+OptimizerStats optimizeProgram(Program &Prog);
+
+} // namespace isp
+
+#endif // ISPROF_VM_OPTIMIZER_H

@@ -1,0 +1,534 @@
+//===- vm/Parser.cpp - Guest language parser ----------------------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Parser.h"
+
+#include "support/Format.h"
+#include "vm/Lexer.h"
+
+#include <cassert>
+
+using namespace isp;
+
+Parser::Parser(std::vector<Token> Toks, DiagnosticEngine &Diags)
+    : Tokens(std::move(Toks)), Diags(Diags) {
+  assert(!Tokens.empty() && Tokens.back().Kind == TokenKind::EndOfFile &&
+         "token stream must end with EndOfFile");
+}
+
+const Token &Parser::peek(size_t Offset) const {
+  size_t Index = Pos + Offset;
+  if (Index >= Tokens.size())
+    Index = Tokens.size() - 1; // EndOfFile
+  return Tokens[Index];
+}
+
+Token Parser::consume() {
+  Token T = current();
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::accept(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (accept(Kind))
+    return true;
+  Diags.error(current().Line, current().Column,
+              formatString("expected %s %s, found %s", tokenKindName(Kind),
+                           Context, tokenKindName(current().Kind)));
+  return false;
+}
+
+SourceLoc Parser::here() const { return {current().Line, current().Column}; }
+
+void Parser::synchronizeToStatement() {
+  while (!check(TokenKind::EndOfFile)) {
+    TokenKind Kind = consume().Kind;
+    if (Kind == TokenKind::Semicolon || Kind == TokenKind::RBrace)
+      return;
+  }
+}
+
+Module Parser::parseModule() {
+  Module M;
+  while (!check(TokenKind::EndOfFile)) {
+    if (check(TokenKind::KwVar)) {
+      parseGlobal(M);
+    } else if (check(TokenKind::KwFn)) {
+      parseFunction(M);
+    } else {
+      Diags.error(current().Line, current().Column,
+                  formatString("expected 'var' or 'fn' at top level, found %s",
+                               tokenKindName(current().Kind)));
+      synchronizeToStatement();
+    }
+  }
+  return M;
+}
+
+void Parser::parseGlobal(Module &M) {
+  GlobalDecl G;
+  G.Loc = here();
+  consume(); // 'var'
+  if (!check(TokenKind::Identifier)) {
+    expect(TokenKind::Identifier, "in global declaration");
+    synchronizeToStatement();
+    return;
+  }
+  G.Name = consume().Text;
+  if (accept(TokenKind::LBracket)) {
+    if (!check(TokenKind::Integer)) {
+      Diags.error(current().Line, current().Column,
+                  "global array size must be an integer literal");
+      synchronizeToStatement();
+      return;
+    }
+    G.ArraySize = static_cast<uint64_t>(consume().IntValue);
+    G.IsArray = true;
+    expect(TokenKind::RBracket, "after global array size");
+    if (G.ArraySize == 0) {
+      Diags.error(G.Loc.Line, G.Loc.Column,
+                  "global array size must be positive");
+      G.ArraySize = 1;
+    }
+  }
+  if (accept(TokenKind::Assign)) {
+    bool Negative = accept(TokenKind::Minus);
+    if (!check(TokenKind::Integer)) {
+      Diags.error(current().Line, current().Column,
+                  "global initializer must be an integer literal");
+      synchronizeToStatement();
+      return;
+    }
+    G.InitValue = consume().IntValue;
+    if (Negative)
+      G.InitValue = -G.InitValue;
+    if (G.IsArray)
+      Diags.error(G.Loc.Line, G.Loc.Column,
+                  "global arrays cannot have initializers");
+  }
+  expect(TokenKind::Semicolon, "after global declaration");
+  M.Globals.push_back(std::move(G));
+}
+
+void Parser::parseFunction(Module &M) {
+  auto Fn = std::make_unique<FunctionDecl>();
+  Fn->Loc = here();
+  consume(); // 'fn'
+  if (!check(TokenKind::Identifier)) {
+    expect(TokenKind::Identifier, "in function declaration");
+    synchronizeToStatement();
+    return;
+  }
+  Fn->Name = consume().Text;
+  expect(TokenKind::LParen, "after function name");
+  if (!check(TokenKind::RParen)) {
+    do {
+      if (!check(TokenKind::Identifier)) {
+        expect(TokenKind::Identifier, "in parameter list");
+        break;
+      }
+      Fn->Params.push_back(consume().Text);
+    } while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "after parameter list");
+  if (!check(TokenKind::LBrace)) {
+    expect(TokenKind::LBrace, "to begin function body");
+    synchronizeToStatement();
+    return;
+  }
+  StmtPtr Body = parseBlock();
+  Fn->Body.reset(static_cast<BlockStmt *>(Body.release()));
+  M.Functions.push_back(std::move(Fn));
+}
+
+StmtPtr Parser::parseBlock() {
+  SourceLoc Loc = here();
+  expect(TokenKind::LBrace, "to begin block");
+  std::vector<StmtPtr> Body;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    StmtPtr S = parseStatement();
+    if (S)
+      Body.push_back(std::move(S));
+  }
+  expect(TokenKind::RBrace, "to end block");
+  return std::make_unique<BlockStmt>(std::move(Body), Loc);
+}
+
+StmtPtr Parser::parseStatement() {
+  switch (current().Kind) {
+  case TokenKind::KwVar:
+    return parseVarDecl();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwFor:
+    return parseFor();
+  case TokenKind::KwReturn:
+    return parseReturn();
+  case TokenKind::KwBreak: {
+    SourceLoc Loc = here();
+    consume();
+    expect(TokenKind::Semicolon, "after 'break'");
+    return std::make_unique<BreakStmt>(Loc);
+  }
+  case TokenKind::KwContinue: {
+    SourceLoc Loc = here();
+    consume();
+    expect(TokenKind::Semicolon, "after 'continue'");
+    return std::make_unique<ContinueStmt>(Loc);
+  }
+  case TokenKind::LBrace:
+    return parseBlock();
+  default:
+    break;
+  }
+
+  SourceLoc Loc = here();
+  // Assignment lookahead: IDENT '=' and IDENT '[' ... ']' '='.
+  if (check(TokenKind::Identifier)) {
+    if (peek(1).Kind == TokenKind::Assign) {
+      std::string Name = consume().Text;
+      consume(); // '='
+      ExprPtr Value = parseExpr();
+      expect(TokenKind::Semicolon, "after assignment");
+      return std::make_unique<AssignStmt>(std::move(Name), std::move(Value),
+                                          Loc);
+    }
+    if (peek(1).Kind == TokenKind::LBracket) {
+      // Scan for the bracket matching the one at peek(1); if it is
+      // followed by '=', this is an indexed assignment.
+      size_t Depth = 0;
+      size_t Offset = 1;
+      for (;; ++Offset) {
+        TokenKind Kind = peek(Offset).Kind;
+        if (Kind == TokenKind::LBracket) {
+          ++Depth;
+        } else if (Kind == TokenKind::RBracket) {
+          if (--Depth == 0)
+            break;
+        } else if (Kind == TokenKind::EndOfFile) {
+          break;
+        }
+      }
+      if (peek(Offset).Kind == TokenKind::RBracket &&
+          peek(Offset + 1).Kind == TokenKind::Assign) {
+        std::string Base = consume().Text;
+        consume(); // '['
+        ExprPtr Index = parseExpr();
+        expect(TokenKind::RBracket, "after index expression");
+        consume(); // '='
+        ExprPtr Value = parseExpr();
+        expect(TokenKind::Semicolon, "after assignment");
+        return std::make_unique<IndexAssignStmt>(
+            std::move(Base), std::move(Index), std::move(Value), Loc);
+      }
+    }
+  }
+
+  // Fallback: expression statement.
+  ExprPtr E = parseExpr();
+  if (!E) {
+    synchronizeToStatement();
+    return nullptr;
+  }
+  expect(TokenKind::Semicolon, "after expression statement");
+  return std::make_unique<ExprStmt>(std::move(E), Loc);
+}
+
+StmtPtr Parser::parseVarDecl() {
+  SourceLoc Loc = here();
+  consume(); // 'var'
+  if (!check(TokenKind::Identifier)) {
+    expect(TokenKind::Identifier, "in variable declaration");
+    synchronizeToStatement();
+    return nullptr;
+  }
+  std::string Name = consume().Text;
+  ExprPtr ArraySize;
+  ExprPtr Init;
+  if (accept(TokenKind::LBracket)) {
+    ArraySize = parseExpr();
+    expect(TokenKind::RBracket, "after array size");
+  } else if (accept(TokenKind::Assign)) {
+    Init = parseExpr();
+  }
+  expect(TokenKind::Semicolon, "after variable declaration");
+  return std::make_unique<VarDeclStmt>(std::move(Name), std::move(ArraySize),
+                                       std::move(Init), Loc);
+}
+
+StmtPtr Parser::parseIf() {
+  SourceLoc Loc = here();
+  consume(); // 'if'
+  expect(TokenKind::LParen, "after 'if'");
+  ExprPtr Condition = parseExpr();
+  expect(TokenKind::RParen, "after if condition");
+  StmtPtr Then = parseStatement();
+  StmtPtr Else;
+  if (accept(TokenKind::KwElse))
+    Else = parseStatement();
+  return std::make_unique<IfStmt>(std::move(Condition), std::move(Then),
+                                  std::move(Else), Loc);
+}
+
+StmtPtr Parser::parseWhile() {
+  SourceLoc Loc = here();
+  consume(); // 'while'
+  expect(TokenKind::LParen, "after 'while'");
+  ExprPtr Condition = parseExpr();
+  expect(TokenKind::RParen, "after while condition");
+  StmtPtr Body = parseStatement();
+  return std::make_unique<WhileStmt>(std::move(Condition), std::move(Body),
+                                     Loc);
+}
+
+StmtPtr Parser::parseSimpleForClause() {
+  SourceLoc Loc = here();
+  if (check(TokenKind::KwVar)) {
+    consume();
+    if (!check(TokenKind::Identifier)) {
+      expect(TokenKind::Identifier, "in for-clause declaration");
+      return nullptr;
+    }
+    std::string Name = consume().Text;
+    expect(TokenKind::Assign, "in for-clause declaration");
+    ExprPtr Init = parseExpr();
+    return std::make_unique<VarDeclStmt>(std::move(Name), nullptr,
+                                         std::move(Init), Loc);
+  }
+  if (check(TokenKind::Identifier) && peek(1).Kind == TokenKind::Assign) {
+    std::string Name = consume().Text;
+    consume(); // '='
+    ExprPtr Value = parseExpr();
+    return std::make_unique<AssignStmt>(std::move(Name), std::move(Value),
+                                        Loc);
+  }
+  ExprPtr E = parseExpr();
+  if (!E)
+    return nullptr;
+  return std::make_unique<ExprStmt>(std::move(E), Loc);
+}
+
+StmtPtr Parser::parseFor() {
+  SourceLoc Loc = here();
+  consume(); // 'for'
+  expect(TokenKind::LParen, "after 'for'");
+  StmtPtr Init;
+  if (!check(TokenKind::Semicolon))
+    Init = parseSimpleForClause();
+  expect(TokenKind::Semicolon, "after for-loop initializer");
+  ExprPtr Condition;
+  if (!check(TokenKind::Semicolon))
+    Condition = parseExpr();
+  expect(TokenKind::Semicolon, "after for-loop condition");
+  StmtPtr Step;
+  if (!check(TokenKind::RParen))
+    Step = parseSimpleForClause();
+  expect(TokenKind::RParen, "after for-loop clauses");
+  StmtPtr Body = parseStatement();
+  return std::make_unique<ForStmt>(std::move(Init), std::move(Condition),
+                                   std::move(Step), std::move(Body), Loc);
+}
+
+StmtPtr Parser::parseReturn() {
+  SourceLoc Loc = here();
+  consume(); // 'return'
+  ExprPtr Value;
+  if (!check(TokenKind::Semicolon))
+    Value = parseExpr();
+  expect(TokenKind::Semicolon, "after return statement");
+  return std::make_unique<ReturnStmt>(std::move(Value), Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpr() { return parseOr(); }
+
+ExprPtr Parser::parseOr() {
+  ExprPtr Lhs = parseAnd();
+  while (Lhs && check(TokenKind::PipePipe)) {
+    SourceLoc Loc = here();
+    consume();
+    ExprPtr Rhs = parseAnd();
+    Lhs = std::make_unique<BinaryExpr>(BinaryOp::LogicalOr, std::move(Lhs),
+                                       std::move(Rhs), Loc);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseAnd() {
+  ExprPtr Lhs = parseEquality();
+  while (Lhs && check(TokenKind::AmpAmp)) {
+    SourceLoc Loc = here();
+    consume();
+    ExprPtr Rhs = parseEquality();
+    Lhs = std::make_unique<BinaryExpr>(BinaryOp::LogicalAnd, std::move(Lhs),
+                                       std::move(Rhs), Loc);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseEquality() {
+  ExprPtr Lhs = parseRelational();
+  while (Lhs &&
+         (check(TokenKind::EqualEqual) || check(TokenKind::NotEqual))) {
+    SourceLoc Loc = here();
+    BinaryOp Op = consume().Kind == TokenKind::EqualEqual ? BinaryOp::Eq
+                                                          : BinaryOp::Ne;
+    ExprPtr Rhs = parseRelational();
+    Lhs = std::make_unique<BinaryExpr>(Op, std::move(Lhs), std::move(Rhs),
+                                       Loc);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseRelational() {
+  ExprPtr Lhs = parseAdditive();
+  for (;;) {
+    if (!Lhs)
+      return Lhs;
+    BinaryOp Op;
+    switch (current().Kind) {
+    case TokenKind::Less:
+      Op = BinaryOp::Lt;
+      break;
+    case TokenKind::LessEqual:
+      Op = BinaryOp::Le;
+      break;
+    case TokenKind::Greater:
+      Op = BinaryOp::Gt;
+      break;
+    case TokenKind::GreaterEqual:
+      Op = BinaryOp::Ge;
+      break;
+    default:
+      return Lhs;
+    }
+    SourceLoc Loc = here();
+    consume();
+    ExprPtr Rhs = parseAdditive();
+    Lhs = std::make_unique<BinaryExpr>(Op, std::move(Lhs), std::move(Rhs),
+                                       Loc);
+  }
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr Lhs = parseMultiplicative();
+  while (Lhs && (check(TokenKind::Plus) || check(TokenKind::Minus))) {
+    SourceLoc Loc = here();
+    BinaryOp Op =
+        consume().Kind == TokenKind::Plus ? BinaryOp::Add : BinaryOp::Sub;
+    ExprPtr Rhs = parseMultiplicative();
+    Lhs = std::make_unique<BinaryExpr>(Op, std::move(Lhs), std::move(Rhs),
+                                       Loc);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr Lhs = parseUnary();
+  for (;;) {
+    if (!Lhs)
+      return Lhs;
+    BinaryOp Op;
+    switch (current().Kind) {
+    case TokenKind::Star:
+      Op = BinaryOp::Mul;
+      break;
+    case TokenKind::Slash:
+      Op = BinaryOp::Div;
+      break;
+    case TokenKind::Percent:
+      Op = BinaryOp::Mod;
+      break;
+    default:
+      return Lhs;
+    }
+    SourceLoc Loc = here();
+    consume();
+    ExprPtr Rhs = parseUnary();
+    Lhs = std::make_unique<BinaryExpr>(Op, std::move(Lhs), std::move(Rhs),
+                                       Loc);
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  SourceLoc Loc = here();
+  if (accept(TokenKind::Minus))
+    return std::make_unique<UnaryExpr>(UnaryOp::Neg, parseUnary(), Loc);
+  if (accept(TokenKind::Bang))
+    return std::make_unique<UnaryExpr>(UnaryOp::Not, parseUnary(), Loc);
+  return parsePrimary();
+}
+
+std::vector<ExprPtr> Parser::parseArgs() {
+  std::vector<ExprPtr> Args;
+  expect(TokenKind::LParen, "to begin argument list");
+  if (!check(TokenKind::RParen)) {
+    do {
+      Args.push_back(parseExpr());
+    } while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "to end argument list");
+  return Args;
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = here();
+  if (check(TokenKind::Integer))
+    return std::make_unique<IntLiteralExpr>(consume().IntValue, Loc);
+
+  if (accept(TokenKind::LParen)) {
+    ExprPtr E = parseExpr();
+    expect(TokenKind::RParen, "to close parenthesized expression");
+    return E;
+  }
+
+  if (accept(TokenKind::KwSpawn)) {
+    if (!check(TokenKind::Identifier)) {
+      expect(TokenKind::Identifier, "after 'spawn'");
+      return nullptr;
+    }
+    std::string Callee = consume().Text;
+    return std::make_unique<SpawnExpr>(std::move(Callee), parseArgs(), Loc);
+  }
+
+  if (check(TokenKind::Identifier)) {
+    std::string Name = consume().Text;
+    if (check(TokenKind::LParen))
+      return std::make_unique<CallExpr>(std::move(Name), parseArgs(), Loc);
+    if (accept(TokenKind::LBracket)) {
+      ExprPtr Index = parseExpr();
+      expect(TokenKind::RBracket, "after index expression");
+      return std::make_unique<IndexExpr>(std::move(Name), std::move(Index),
+                                         Loc);
+    }
+    return std::make_unique<VarRefExpr>(std::move(Name), Loc);
+  }
+
+  Diags.error(current().Line, current().Column,
+              formatString("expected expression, found %s",
+                           tokenKindName(current().Kind)));
+  consume();
+  return nullptr;
+}
+
+Module isp::parseSource(const std::string &Source, DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.lexAll(), Diags);
+  return P.parseModule();
+}

@@ -1,0 +1,99 @@
+//===- vm/Parser.h - Guest language parser ----------------------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the guest language. Grammar (EBNF):
+///
+///   program     := (globalDecl | fnDecl)*
+///   globalDecl  := 'var' IDENT ('[' INT ']')? ('=' '-'? INT)? ';'
+///   fnDecl      := 'fn' IDENT '(' (IDENT (',' IDENT)*)? ')' block
+///   block       := '{' stmt* '}'
+///   stmt        := 'var' IDENT ('[' expr ']')? ('=' expr)? ';'
+///                | 'if' '(' expr ')' stmt ('else' stmt)?
+///                | 'while' '(' expr ')' stmt
+///                | 'for' '(' simple? ';' expr? ';' simple? ')' stmt
+///                | 'return' expr? ';'
+///                | IDENT '=' expr ';'
+///                | IDENT '[' expr ']' '=' expr ';'
+///                | expr ';'
+///                | block
+///   simple      := 'var' IDENT '=' expr | IDENT '=' expr
+///   expr        := or; or := and ('||' and)*; and := eq ('&&' eq)*;
+///   eq          := rel (('=='|'!=') rel)*;
+///   rel         := add (('<'|'<='|'>'|'>=') add)*;
+///   add         := mul (('+'|'-') mul)*;
+///   mul         := unary (('*'|'/'|'%') unary)*;
+///   unary       := ('-'|'!') unary | primary
+///   primary     := INT | '(' expr ')' | 'spawn' IDENT '(' args ')'
+///                | IDENT ('(' args ')' | '[' expr ']')?
+///
+/// On parse errors the parser reports via DiagnosticEngine and
+/// synchronizes to the next statement boundary; the resulting Module is
+/// only meaningful when no errors were reported.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_VM_PARSER_H
+#define ISPROF_VM_PARSER_H
+
+#include "vm/Ast.h"
+#include "vm/Diag.h"
+#include "vm/Token.h"
+
+#include <vector>
+
+namespace isp {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags);
+
+  /// Parses a whole module. Check Diags.hasErrors() before using it.
+  Module parseModule();
+
+private:
+  const Token &peek(size_t Offset = 0) const;
+  const Token &current() const { return peek(0); }
+  Token consume();
+  bool check(TokenKind Kind) const { return current().Kind == Kind; }
+  bool accept(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void synchronizeToStatement();
+  SourceLoc here() const;
+
+  void parseGlobal(Module &M);
+  void parseFunction(Module &M);
+  StmtPtr parseStatement();
+  StmtPtr parseBlock();
+  StmtPtr parseVarDecl();
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  StmtPtr parseFor();
+  StmtPtr parseReturn();
+  StmtPtr parseSimpleForClause();
+
+  ExprPtr parseExpr();
+  ExprPtr parseOr();
+  ExprPtr parseAnd();
+  ExprPtr parseEquality();
+  ExprPtr parseRelational();
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parseUnary();
+  ExprPtr parsePrimary();
+  std::vector<ExprPtr> parseArgs();
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+/// Convenience: lex + parse \p Source.
+Module parseSource(const std::string &Source, DiagnosticEngine &Diags);
+
+} // namespace isp
+
+#endif // ISPROF_VM_PARSER_H

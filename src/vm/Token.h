@@ -1,0 +1,82 @@
+//===- vm/Token.h - Guest language tokens -----------------------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token vocabulary of the guest language ("Mini"), the small concurrent
+/// imperative language whose interpreter serves as the instrumentation
+/// substrate (the Valgrind stand-in). See vm/Parser.h for the grammar.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_VM_TOKEN_H
+#define ISPROF_VM_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace isp {
+
+enum class TokenKind : uint8_t {
+  // Literals and identifiers.
+  Integer,
+  Identifier,
+  // Keywords.
+  KwVar,
+  KwFn,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwSpawn,
+  KwBreak,
+  KwContinue,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  // Operators.
+  Assign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Less,
+  LessEqual,
+  Greater,
+  GreaterEqual,
+  EqualEqual,
+  NotEqual,
+  AmpAmp,
+  PipePipe,
+  Bang,
+  // Sentinels.
+  EndOfFile,
+  Error
+};
+
+/// Returns a printable token-kind name for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  /// Identifier spelling (Kind == Identifier) or error text.
+  std::string Text;
+  /// Literal value (Kind == Integer).
+  int64_t IntValue = 0;
+  unsigned Line = 0;
+  unsigned Column = 0;
+};
+
+} // namespace isp
+
+#endif // ISPROF_VM_TOKEN_H

@@ -1,0 +1,60 @@
+//===- workloads/Runner.cpp - Workload execution helpers -----------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Runner.h"
+
+#include "instr/Dispatcher.h"
+#include "vm/Compiler.h"
+#include "vm/Diag.h"
+
+using namespace isp;
+
+std::optional<Program> isp::compileWorkload(const WorkloadInfo &Workload,
+                                            const WorkloadParams &Params,
+                                            std::string *ErrorOut) {
+  DiagnosticEngine Diags;
+  std::string Source = Workload.MakeSource(Params);
+  std::optional<Program> Prog = compileProgram(Source, Diags);
+  if (!Prog && ErrorOut)
+    *ErrorOut = "workload '" + Workload.Name +
+                "' failed to compile:\n" + Diags.render();
+  return Prog;
+}
+
+RunResult isp::runWorkloadNative(const WorkloadInfo &Workload,
+                                 const WorkloadParams &Params,
+                                 MachineOptions MachineOpts) {
+  std::string Error;
+  std::optional<Program> Prog = compileWorkload(Workload, Params, &Error);
+  if (!Prog) {
+    RunResult Result;
+    Result.Error = Error;
+    return Result;
+  }
+  Machine M(*Prog, /*Events=*/nullptr, MachineOpts);
+  return M.run();
+}
+
+ProfiledRun isp::profileWorkload(const WorkloadInfo &Workload,
+                                 const WorkloadParams &Params,
+                                 TrmsProfilerOptions ProfOpts,
+                                 MachineOptions MachineOpts) {
+  ProfiledRun Out;
+  std::string Error;
+  std::optional<Program> Prog = compileWorkload(Workload, Params, &Error);
+  if (!Prog) {
+    Out.Run.Error = Error;
+    return Out;
+  }
+  TrmsProfiler Profiler(ProfOpts);
+  EventDispatcher Dispatcher;
+  Dispatcher.addTool(&Profiler);
+  Machine M(*Prog, &Dispatcher, MachineOpts);
+  Out.Run = M.run();
+  Out.Profile = Profiler.takeDatabase();
+  Out.Symbols = Prog->Symbols;
+  return Out;
+}

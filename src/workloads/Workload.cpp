@@ -1,0 +1,69 @@
+//===- workloads/Workload.cpp - Guest workload registry -----------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include <cstdio>
+
+using namespace isp;
+
+
+std::string isp::substituteTemplate(
+    const std::string &Template,
+    const std::map<std::string, std::string> &Values) {
+  std::string Out;
+  Out.reserve(Template.size());
+  size_t Pos = 0;
+  while (Pos < Template.size()) {
+    size_t Dollar = Template.find("${", Pos);
+    if (Dollar == std::string::npos) {
+      Out.append(Template, Pos, std::string::npos);
+      break;
+    }
+    Out.append(Template, Pos, Dollar - Pos);
+    size_t Close = Template.find('}', Dollar + 2);
+    if (Close == std::string::npos) {
+      Out.append(Template, Dollar, std::string::npos);
+      break;
+    }
+    std::string Key = Template.substr(Dollar + 2, Close - Dollar - 2);
+    auto It = Values.find(Key);
+    if (It != Values.end())
+      Out += It->second;
+    else
+      Out += Template.substr(Dollar, Close - Dollar + 1); // leave as-is
+    Pos = Close + 1;
+  }
+  return Out;
+}
+
+std::string isp::instantiate(const char *Template,
+                             const WorkloadParams &Params,
+                             std::map<std::string, std::string> Extra) {
+  Extra.emplace("T", std::to_string(Params.Threads));
+  Extra.emplace("N", std::to_string(Params.Size));
+  return substituteTemplate(Template, Extra);
+}
+
+const std::vector<WorkloadInfo> &isp::allWorkloads() {
+  static const std::vector<WorkloadInfo> Registry = [] {
+    std::vector<WorkloadInfo> W;
+    registerOmpWorkloads(W);
+    registerParsecWorkloads(W);
+    registerExtraWorkloads(W);
+    registerServerWorkloads(W);
+    registerMicroWorkloads(W);
+    return W;
+  }();
+  return Registry;
+}
+
+const WorkloadInfo *isp::findWorkload(const std::string &Name) {
+  for (const WorkloadInfo &W : allWorkloads())
+    if (W.Name == Name)
+      return &W;
+  return nullptr;
+}

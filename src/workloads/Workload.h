@@ -1,0 +1,69 @@
+//===- workloads/Workload.h - Guest workload registry -----------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark workloads: guest-language programs modelled on the
+/// algorithmic cores of the suites the paper evaluates on — the SPEC
+/// OMP2012 components (fork-join parallel kernels), PARSEC pipelines
+/// (vips, dedup, fluidanimate), a MySQL-like table server driven by
+/// concurrent clients, and the paper's didactic examples (producer-
+/// consumer, buffered external reads). Sources are generated from
+/// templates parameterized by thread count and problem size, so the
+/// benchmark harnesses can sweep them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_WORKLOADS_WORKLOAD_H
+#define ISPROF_WORKLOADS_WORKLOAD_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace isp {
+
+struct WorkloadParams {
+  /// Worker thread count (the "-t N" of the paper's Figure 14 sweep).
+  unsigned Threads = 4;
+  /// Problem size scale; each workload derives its own dimensions.
+  uint64_t Size = 128;
+};
+
+struct WorkloadInfo {
+  std::string Name;
+  /// "omp2012", "parsec", "server", or "micro".
+  std::string Suite;
+  std::string Description;
+  std::string (*MakeSource)(const WorkloadParams &Params);
+};
+
+/// All registered workloads, in suite order.
+const std::vector<WorkloadInfo> &allWorkloads();
+
+/// Finds a workload by name; null if absent.
+const WorkloadInfo *findWorkload(const std::string &Name);
+
+/// Replaces every "${KEY}" in \p Template with its value.
+std::string
+substituteTemplate(const std::string &Template,
+                   const std::map<std::string, std::string> &Values);
+
+/// Shorthand used by workload sources: substitutes ${T} (threads) and
+/// ${N} (size) plus any extras.
+std::string instantiate(const char *Template, const WorkloadParams &Params,
+                        std::map<std::string, std::string> Extra = {});
+
+// Per-suite registration hooks (implementation detail of allWorkloads()).
+void registerMicroWorkloads(std::vector<WorkloadInfo> &Out);
+void registerServerWorkloads(std::vector<WorkloadInfo> &Out);
+void registerOmpWorkloads(std::vector<WorkloadInfo> &Out);
+void registerParsecWorkloads(std::vector<WorkloadInfo> &Out);
+void registerExtraWorkloads(std::vector<WorkloadInfo> &Out);
+
+} // namespace isp
+
+#endif // ISPROF_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,252 @@
+//===- workloads/WorkloadMicro.cpp - Didactic workloads ------------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's Section 2 examples plus small algorithmic kernels used by
+// the quickstart example and the unit tests:
+//  - producer_consumer (Figure 2): the consumer repeatedly reads one
+//    shared cell; rms stays 1 while trms grows with the items consumed.
+//  - buffered_read (Figure 3): 2n values enter a 2-cell buffer via the
+//    kernel but only n are actually read, so trms counts exactly n.
+//  - sort_compare: insertion sort vs merge sort on the same inputs — the
+//    classic input-sensitive profiling demo (O(n^2) vs O(n log n)).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+using namespace isp;
+
+namespace {
+
+// Figure 2. One semaphore pair serializes producer/consumer strictly, so
+// every consumeData read of x is preceded by a produceData write.
+const char *ProducerConsumerSrc = R"(
+var x;
+var emptySem;
+var fullSem;
+
+fn produceData(i) {
+  x = i * 3 + 1;
+  return 0;
+}
+
+fn consumeData() {
+  return x;
+}
+
+fn producer(n) {
+  var i = 0;
+  while (i < n) {
+    sem_wait(emptySem);
+    produceData(i);
+    sem_post(fullSem);
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn consumer(n) {
+  var i = 0;
+  var sum = 0;
+  while (i < n) {
+    sem_wait(fullSem);
+    sum = sum + consumeData();
+    sem_post(emptySem);
+    i = i + 1;
+  }
+  return sum;
+}
+
+fn main() {
+  emptySem = sem_create(1);
+  fullSem = sem_create(0);
+  var p = spawn producer(${N});
+  var c = spawn consumer(${N});
+  join(p);
+  var total = join(c);
+  print(total);
+  return 0;
+}
+)";
+
+// Figure 3. externalRead loads 2 values per iteration into a 2-cell
+// buffer but processes only b[0]; after n iterations its trms is n (all
+// induced by kernel writes) while its rms is 1.
+const char *BufferedReadSrc = R"(
+var b[2];
+
+fn externalRead(n) {
+  var i = 0;
+  var sum = 0;
+  while (i < n) {
+    sysread(1, b, 2);
+    sum = sum + b[0];
+    i = i + 1;
+  }
+  return sum;
+}
+
+fn main() {
+  print(externalRead(${N}));
+  return 0;
+}
+)";
+
+// Insertion sort vs merge sort over identical pseudo-random inputs of
+// growing sizes: the worst-case plots should fit O(n^2) and O(n log n).
+const char *SortCompareSrc = R"(
+var scratch[${N}];
+
+fn fillRandom(a, n, seed) {
+  var i = 0;
+  var s = seed;
+  while (i < n) {
+    s = (s * 1103515245 + 12345) % 2147483648;
+    a[i] = s % 10000;
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn insertionSort(a, n) {
+  var i = 1;
+  while (i < n) {
+    var key = a[i];
+    var j = i - 1;
+    while (j >= 0 && a[j] > key) {
+      a[j + 1] = a[j];
+      j = j - 1;
+    }
+    a[j + 1] = key;
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn merge(a, lo, mid, hi) {
+  var i = lo;
+  var j = mid;
+  var k = lo;
+  while (i < mid && j < hi) {
+    if (a[i] <= a[j]) {
+      scratch[k] = a[i];
+      i = i + 1;
+    } else {
+      scratch[k] = a[j];
+      j = j + 1;
+    }
+    k = k + 1;
+  }
+  while (i < mid) { scratch[k] = a[i]; i = i + 1; k = k + 1; }
+  while (j < hi) { scratch[k] = a[j]; j = j + 1; k = k + 1; }
+  k = lo;
+  while (k < hi) { a[k] = scratch[k]; k = k + 1; }
+  return 0;
+}
+
+fn mergeSort(a, lo, hi) {
+  if (hi - lo < 2) {
+    return 0;
+  }
+  var mid = lo + (hi - lo) / 2;
+  mergeSort(a, lo, mid);
+  mergeSort(a, mid, hi);
+  merge(a, lo, mid, hi);
+  return 0;
+}
+
+fn checkSorted(a, n) {
+  var i = 1;
+  while (i < n) {
+    if (a[i - 1] > a[i]) {
+      return 0;
+    }
+    i = i + 1;
+  }
+  return 1;
+}
+
+fn main() {
+  var size = 4;
+  var ok = 1;
+  while (size <= ${N}) {
+    var a[size];
+    var b[size];
+    fillRandom(a, size, size);
+    fillRandom(b, size, size);
+    insertionSort(a, size);
+    mergeSort(b, 0, size);
+    ok = ok && checkSorted(a, size) && checkSorted(b, size);
+    size = size + size / 2 + 1;
+  }
+  print(ok);
+  return 0;
+}
+)";
+
+// Figure 1a-style interleaving: a reader routine whose second read of a
+// shared location is induced by a writer thread.
+const char *SharedCellSrc = R"(
+var x;
+var readySem;
+var doneSem;
+
+fn readTwice() {
+  var first = x;
+  sem_post(readySem);
+  sem_wait(doneSem);
+  var second = x;
+  return first + second;
+}
+
+fn writer() {
+  sem_wait(readySem);
+  x = 99;
+  sem_post(doneSem);
+  return 0;
+}
+
+fn main() {
+  readySem = sem_create(0);
+  doneSem = sem_create(0);
+  x = 7;
+  var w = spawn writer();
+  var sum = readTwice();
+  join(w);
+  print(sum);
+  return 0;
+}
+)";
+
+std::string makeProducerConsumer(const WorkloadParams &P) {
+  return instantiate(ProducerConsumerSrc, P);
+}
+std::string makeBufferedRead(const WorkloadParams &P) {
+  return instantiate(BufferedReadSrc, P);
+}
+std::string makeSortCompare(const WorkloadParams &P) {
+  return instantiate(SortCompareSrc, P);
+}
+std::string makeSharedCell(const WorkloadParams &P) {
+  return instantiate(SharedCellSrc, P);
+}
+
+} // namespace
+
+void isp::registerMicroWorkloads(std::vector<WorkloadInfo> &Out) {
+  Out.push_back({"producer_consumer", "micro",
+                 "Figure 2 semaphore producer-consumer over one cell",
+                 makeProducerConsumer});
+  Out.push_back({"buffered_read", "micro",
+                 "Figure 3 buffered kernel reads, half the data consumed",
+                 makeBufferedRead});
+  Out.push_back({"sort_compare", "micro",
+                 "insertion sort vs merge sort over growing inputs",
+                 makeSortCompare});
+  Out.push_back({"shared_cell", "micro",
+                 "Figure 1a interleaving: induced re-read of one cell",
+                 makeSharedCell});
+}

@@ -1,0 +1,829 @@
+//===- workloads/WorkloadOmp.cpp - SPEC OMP2012-like kernels -------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Fork-join parallel kernels modelled on the algorithmic cores of the
+// twelve SPEC OMP2012 components the paper successfully ran (Table 1):
+// md, bwaves, nab, botsalgn, botsspar, ilbdc, fma3d, imagick, mgrid331,
+// applu331, smithwa, kdtree. Each spawns ${T} workers over a problem
+// scaled by ${N} and mixes shared-array traffic (thread-induced input),
+// private compute, and — where the original does I/O — device reads.
+// Phase barriers are modelled by re-spawning workers per phase (fork-
+// join), and the wavefront codes (applu331, smithwa) pipeline rows
+// through semaphores, which is where their thread-induced input comes
+// from.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include <algorithm>
+
+using namespace isp;
+
+namespace {
+
+// 350.md: N-body slice per worker, O(N^2 / T) pair interactions over a
+// shared position array; forces are thread-private then reduced.
+const char *MdSrc = R"(
+var pos[${N}];
+var vel[${N}];
+
+fn pair_force(a, b) {
+  var d = a - b;
+  if (d < 0) { d = 0 - d; }
+  return (d * d + 7) % 1000;
+}
+
+fn md_slice(lo, hi) {
+  var i = lo;
+  var acc = 0;
+  while (i < hi) {
+    var f = 0;
+    var j = 0;
+    while (j < ${N}) {
+      if (j != i) {
+        f = f + pair_force(pos[i], pos[j]);
+      }
+      j = j + 1;
+    }
+    vel[i] = vel[i] + f % 97;
+    acc = acc + f;
+    i = i + 1;
+  }
+  return acc;
+}
+
+fn main() {
+  var i = 0;
+  while (i < ${N}) { pos[i] = i * 37 % 1024; vel[i] = 0; i = i + 1; }
+  var per = ${N} / ${T};
+  var w[${T}];
+  var t = 0;
+  while (t < ${T}) { w[t] = spawn md_slice(t * per, t * per + per); t = t + 1; }
+  var total = 0;
+  t = 0;
+  while (t < ${T}) { total = total + join(w[t]); t = t + 1; }
+  print(total % 100000);
+  return 0;
+}
+)";
+
+// 351.bwaves: iterated 1D stencil sweeps, fork-join per iteration; each
+// sweep reads neighbour cells written by other workers last iteration.
+const char *BwavesSrc = R"(
+var u[${CELLS}];
+var v[${CELLS}];
+
+fn sweep(lo, hi) {
+  var i = lo;
+  var acc = 0;
+  while (i < hi) {
+    v[i] = (u[i - 1] + 2 * u[i] + u[i + 1]) / 4 + 1;
+    acc = acc + v[i];
+    i = i + 1;
+  }
+  return acc;
+}
+
+fn copy_back(lo, hi) {
+  var i = lo;
+  while (i < hi) { u[i] = v[i]; i = i + 1; }
+  return 0;
+}
+
+fn main() {
+  var i = 0;
+  while (i < ${CELLS}) { u[i] = i * 13 % 512; i = i + 1; }
+  var inner = ${CELLS} - 2;
+  var per = inner / ${T};
+  var it = 0;
+  var total = 0;
+  while (it < ${ITERS}) {
+    var w[${T}];
+    var t = 0;
+    while (t < ${T}) { w[t] = spawn sweep(1 + t * per, 1 + t * per + per); t = t + 1; }
+    t = 0;
+    while (t < ${T}) { total = total + join(w[t]); t = t + 1; }
+    var c[${T}];
+    t = 0;
+    while (t < ${T}) { c[t] = spawn copy_back(1 + t * per, 1 + t * per + per); t = t + 1; }
+    t = 0;
+    while (t < ${T}) { join(c[t]); t = t + 1; }
+    it = it + 1;
+  }
+  print(total % 100000);
+  return 0;
+}
+)";
+
+// 352.nab: molecular energy terms over pair lists streamed from disk
+// (the original reads molecule topologies): external + compute mix.
+const char *NabSrc = R"(
+var coords[${N}];
+
+fn pair_energy(i, j) {
+  var d = coords[i % ${N}] - coords[j % ${N}];
+  if (d < 0) { d = 0 - d; }
+  var e = 0;
+  var k = 0;
+  while (k < 8) { e = e + (d + k) * (d + k) % 131; k = k + 1; }
+  return e;
+}
+
+fn nab_worker(id, batches) {
+  var b = 0;
+  var local = 0;
+  var seed = id * 9973 + 17;
+  while (b < batches) {
+    var p = 0;
+    while (p < 32) {
+      seed = (seed * 1103515245 + 12345) % 2147483648;
+      var i = seed % ${N};
+      seed = (seed * 1103515245 + 12345) % 2147483648;
+      local = local + pair_energy(i, seed % ${N});
+      p = p + 1;
+    }
+    b = b + 1;
+  }
+  return local;
+}
+
+fn main() {
+  // The molecule topology is read once at startup and normalized in
+  // place, as the original reads its input files before the parallel
+  // region: the workers' reads of coords are thread-induced (main wrote
+  // them), not external.
+  sysread(7, coords, ${N});
+  var i = 0;
+  while (i < ${N}) { coords[i] = coords[i] % 2048; i = i + 1; }
+  var w[${T}];
+  var t = 0;
+  while (t < ${T}) { w[t] = spawn nab_worker(t, ${BATCHES}); t = t + 1; }
+  var energy = 0;
+  t = 0;
+  while (t < ${T}) { energy = energy + join(w[t]); t = t + 1; }
+  print(energy % 100000);
+  return 0;
+}
+)";
+
+// 358.botsalgn: task-parallel pairwise sequence alignment; sequences
+// come from the device, each task runs an O(L^2) DP band.
+const char *BotsalgnSrc = R"(
+var seqdb[${DB}];
+var taskLock;
+var nextTask;
+
+fn align_pair(sa, sb, len) {
+  var dp[${L1}];
+  var j = 0;
+  while (j < len + 1) { dp[j] = j; j = j + 1; }
+  var i = 1;
+  while (i < len + 1) {
+    var diag = dp[0];
+    dp[0] = i;
+    j = 1;
+    while (j < len + 1) {
+      var cost = 1;
+      if (sa[i - 1] == sb[j - 1]) { cost = 0; }
+      var best = diag + cost;
+      if (dp[j] + 1 < best) { best = dp[j] + 1; }
+      if (dp[j - 1] + 1 < best) { best = dp[j - 1] + 1; }
+      diag = dp[j];
+      dp[j] = best;
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  return dp[len];
+}
+
+fn grab_task() {
+  lock_acquire(taskLock);
+  var t = nextTask;
+  nextTask = nextTask + 1;
+  lock_release(taskLock);
+  return t;
+}
+
+fn align_worker(nTasks, nSeqs) {
+  var total = 0;
+  var t = grab_task();
+  while (t < nTasks) {
+    var a = (t * 7) % nSeqs;
+    var b = (t * 13 + 1) % nSeqs;
+    total = total + align_pair(seqdb + a * ${L}, seqdb + b * ${L}, ${L});
+    t = grab_task();
+  }
+  return total;
+}
+
+fn main() {
+  // The protein database is loaded and normalized once before the task
+  // region, like the original's input parsing; workers then align pairs
+  // straight out of the shared database.
+  sysread(8, seqdb, ${DB});
+  var i = 0;
+  while (i < ${DB}) { seqdb[i] = seqdb[i] % 4; i = i + 1; }
+  taskLock = lock_create();
+  nextTask = 0;
+  var w[${T}];
+  var t = 0;
+  while (t < ${T}) {
+    w[t] = spawn align_worker(${TASKS}, ${NSEQS});
+    t = t + 1;
+  }
+  var total = 0;
+  t = 0;
+  while (t < ${T}) { total = total + join(w[t]); t = t + 1; }
+  print(total);
+  return 0;
+}
+)";
+
+// 359.botsspar: blocked sparse LU; each step factors the diagonal block
+// then workers update trailing blocks against it (shared reads of the
+// freshly-written diagonal: thread-induced input).
+const char *BotssparSrc = R"(
+var blocks[${TOTAL}];
+
+fn factor_diag(k) {
+  var base = (k * ${NB} + k) * ${BS};
+  var i = 0;
+  while (i < ${BS}) {
+    blocks[base + i] = (blocks[base + i] * 3 + k + 1) % 10007 + 1;
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn update_block(k, b) {
+  var diag = (k * ${NB} + k) * ${BS};
+  var mine = b * ${BS};
+  var i = 0;
+  var acc = 0;
+  while (i < ${BS}) {
+    blocks[mine + i] = (blocks[mine + i] + blocks[diag + i] * 2) % 10007;
+    acc = acc + blocks[mine + i];
+    i = i + 1;
+  }
+  return acc;
+}
+
+fn update_worker(k, id) {
+  var nBlocks = ${NB} * ${NB};
+  var b = id;
+  var acc = 0;
+  while (b < nBlocks) {
+    var row = b / ${NB};
+    var col = b % ${NB};
+    if (row > k && col > k) {
+      acc = acc + update_block(k, b);
+    }
+    b = b + ${T};
+  }
+  return acc;
+}
+
+fn main() {
+  var i = 0;
+  while (i < ${TOTAL}) { blocks[i] = i * 7 % 1000 + 1; i = i + 1; }
+  var k = 0;
+  var total = 0;
+  while (k < ${NB}) {
+    factor_diag(k);
+    var w[${T}];
+    var t = 0;
+    while (t < ${T}) { w[t] = spawn update_worker(k, t); t = t + 1; }
+    t = 0;
+    while (t < ${T}) { total = total + join(w[t]); t = t + 1; }
+    k = k + 1;
+  }
+  print(total % 100000);
+  return 0;
+}
+)";
+
+// 360.ilbdc: lattice-Boltzmann-like streaming between two grids with a
+// fork-join swap per time step.
+const char *IlbdcSrc = R"(
+var src[${CELLS}];
+var dst[${CELLS}];
+
+fn stream(lo, hi) {
+  var i = lo;
+  var acc = 0;
+  while (i < hi) {
+    var left = src[(i + ${CELLS} - 1) % ${CELLS}];
+    var right = src[(i + 1) % ${CELLS}];
+    dst[i] = (left + right + src[i]) / 3 + 1;
+    acc = acc + dst[i];
+    i = i + 1;
+  }
+  return acc;
+}
+
+fn swap_back(lo, hi) {
+  var i = lo;
+  while (i < hi) { src[i] = dst[i]; i = i + 1; }
+  return 0;
+}
+
+fn main() {
+  var i = 0;
+  while (i < ${CELLS}) { src[i] = i % 100; i = i + 1; }
+  var per = ${CELLS} / ${T};
+  var step = 0;
+  var total = 0;
+  while (step < ${STEPS}) {
+    var w[${T}];
+    var t = 0;
+    while (t < ${T}) { w[t] = spawn stream(t * per, t * per + per); t = t + 1; }
+    t = 0;
+    while (t < ${T}) { total = total + join(w[t]); t = t + 1; }
+    var c[${T}];
+    t = 0;
+    while (t < ${T}) { c[t] = spawn swap_back(t * per, t * per + per); t = t + 1; }
+    t = 0;
+    while (t < ${T}) { join(c[t]); t = t + 1; }
+    step = step + 1;
+  }
+  print(total % 100000);
+  return 0;
+}
+)";
+
+// 362.fma3d: element loop gathering node values and scattering forces
+// back under region locks (crash-simulation structure).
+const char *Fma3dSrc = R"(
+var nodes[${NODES}];
+var forces[${NODES}];
+var regionLocks[${T}];
+
+fn element_force(n0, n1, n2) {
+  return (nodes[n0] + nodes[n1] * 2 + nodes[n2] * 3) % 500 + 1;
+}
+
+fn fma_worker(id, elemsPer) {
+  var e = 0;
+  var acc = 0;
+  while (e < elemsPer) {
+    var eid = id * elemsPer + e;
+    var n0 = eid % ${NODES};
+    var n1 = (eid * 7 + 1) % ${NODES};
+    var n2 = (eid * 13 + 2) % ${NODES};
+    var f = element_force(n0, n1, n2);
+    var region = n1 % ${T};
+    lock_acquire(regionLocks[region]);
+    forces[n1] = forces[n1] + f;
+    lock_release(regionLocks[region]);
+    acc = acc + f;
+    e = e + 1;
+  }
+  return acc;
+}
+
+fn main() {
+  var i = 0;
+  while (i < ${NODES}) { nodes[i] = i * 11 % 300; forces[i] = 0; i = i + 1; }
+  i = 0;
+  while (i < ${T}) { regionLocks[i] = lock_create(); i = i + 1; }
+  var w[${T}];
+  var t = 0;
+  while (t < ${T}) { w[t] = spawn fma_worker(t, ${ELEMS}); t = t + 1; }
+  var total = 0;
+  t = 0;
+  while (t < ${T}) { total = total + join(w[t]); t = t + 1; }
+  print(total % 100000);
+  return 0;
+}
+)";
+
+// 367.imagick: row-parallel 3x3 convolution over an image loaded from
+// the device (resize/convolve operators dominate the original).
+const char *ImagickSrc = R"(
+var img[${PIXELS}];
+var out[${PIXELS}];
+
+fn convolve_rows(rowLo, rowHi) {
+  var y = rowLo;
+  var acc = 0;
+  while (y < rowHi) {
+    var x = 1;
+    while (x < ${W} - 1) {
+      var idx = y * ${W} + x;
+      var sum = img[idx - 1] + img[idx] * 4 + img[idx + 1];
+      if (y > 0) { sum = sum + img[idx - ${W}]; }
+      if (y < ${H} - 1) { sum = sum + img[idx + ${W}]; }
+      out[idx] = sum / 8;
+      acc = acc + out[idx];
+      x = x + 1;
+    }
+    y = y + 1;
+  }
+  return acc;
+}
+
+fn main() {
+  sysread(9, img, ${PIXELS});
+  var per = ${H} / ${T};
+  var w[${T}];
+  var t = 0;
+  while (t < ${T}) { w[t] = spawn convolve_rows(t * per, t * per + per); t = t + 1; }
+  var total = 0;
+  t = 0;
+  while (t < ${T}) { total = total + join(w[t]); t = t + 1; }
+  syswrite(10, out, ${PIXELS});
+  print(total % 100000);
+  return 0;
+}
+)";
+
+// 370.mgrid331: two-level multigrid V-cycle — relax fine, restrict to
+// coarse, relax coarse, prolongate back; fork-join per phase.
+const char *MgridSrc = R"(
+var fine[${FINE}];
+var coarse[${COARSE}];
+
+fn relax(grid, lo, hi, n) {
+  var i = lo;
+  var acc = 0;
+  while (i < hi) {
+    if (i > 0 && i < n - 1) {
+      grid[i] = (grid[i - 1] + grid[i] * 2 + grid[i + 1]) / 4 + 1;
+    }
+    acc = acc + grid[i];
+    i = i + 1;
+  }
+  return acc;
+}
+
+fn restrict_slice(lo, hi) {
+  var i = lo;
+  while (i < hi) {
+    coarse[i] = (fine[2 * i] + fine[2 * i + 1]) / 2;
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn prolongate_slice(lo, hi) {
+  var i = lo;
+  while (i < hi) {
+    fine[2 * i] = coarse[i];
+    fine[2 * i + 1] = (coarse[i] + coarse[(i + 1) % ${COARSE}]) / 2;
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn run_phase(phase, cycles) {
+  var finePer = ${FINE} / ${T};
+  var coarsePer = ${COARSE} / ${T};
+  var w[${T}];
+  var t = 0;
+  while (t < ${T}) {
+    if (phase == 0) { w[t] = spawn relax(fine, t * finePer, t * finePer + finePer, ${FINE}); }
+    if (phase == 1) { w[t] = spawn restrict_slice(t * coarsePer, t * coarsePer + coarsePer); }
+    if (phase == 2) { w[t] = spawn relax(coarse, t * coarsePer, t * coarsePer + coarsePer, ${COARSE}); }
+    if (phase == 3) { w[t] = spawn prolongate_slice(t * coarsePer, t * coarsePer + coarsePer); }
+    t = t + 1;
+  }
+  var total = 0;
+  t = 0;
+  while (t < ${T}) { total = total + join(w[t]); t = t + 1; }
+  return total;
+}
+
+fn main() {
+  var i = 0;
+  while (i < ${FINE}) { fine[i] = i * 5 % 200; i = i + 1; }
+  var c = 0;
+  var total = 0;
+  while (c < ${CYCLES}) {
+    total = total + run_phase(0, c);
+    run_phase(1, c);
+    total = total + run_phase(2, c);
+    run_phase(3, c);
+    c = c + 1;
+  }
+  print(total % 100000);
+  return 0;
+}
+)";
+
+// 371.applu331: SSOR wavefront — row workers pipeline through
+// semaphores; row r may only process column c after row r-1 finished
+// column c (classic dependency, heavy thread-induced input).
+const char *AppluSrc = R"(
+var grid[${TOTAL}];
+var rowSems[${T}];
+
+fn ssor_row(r, cols) {
+  var c = 0;
+  var acc = 0;
+  while (c < cols) {
+    if (r > 0) {
+      sem_wait(rowSems[r - 1]);
+    }
+    var idx = r * cols + c;
+    var up = 0;
+    if (r > 0) { up = grid[idx - cols]; }
+    var left = 0;
+    if (c > 0) { left = grid[idx - 1]; }
+    grid[idx] = (grid[idx] + up + left) % 9973 + 1;
+    acc = acc + grid[idx];
+    if (r < ${T} - 1) {
+      sem_post(rowSems[r]);
+    }
+    c = c + 1;
+  }
+  return acc;
+}
+
+fn main() {
+  var i = 0;
+  while (i < ${TOTAL}) { grid[i] = i % 173; i = i + 1; }
+  i = 0;
+  while (i < ${T}) { rowSems[i] = sem_create(0); i = i + 1; }
+  var sweep = 0;
+  var total = 0;
+  while (sweep < ${SWEEPS}) {
+    var w[${T}];
+    var r = 0;
+    while (r < ${T}) { w[r] = spawn ssor_row(r, ${COLS}); r = r + 1; }
+    r = 0;
+    while (r < ${T}) { total = total + join(w[r]); r = r + 1; }
+    sweep = sweep + 1;
+  }
+  print(total % 100000);
+  return 0;
+}
+)";
+
+// 372.smithwa: Smith-Waterman DP, rows pipelined across workers with
+// semaphores (each row consumes the previous row's freshly-written
+// cells: thread-induced input proportional to the matrix).
+const char *SmithwaSrc = R"(
+var seqA[${L}];
+var seqB[${L}];
+var H[${HCELLS}];
+var rowReady[${T}];
+
+fn sw_rows(firstRow, rows, width) {
+  var r = firstRow;
+  var best = 0;
+  while (r < firstRow + rows) {
+    var c = 1;
+    while (c < width) {
+      if (r > 0 && c % 8 == 1) {
+        sem_wait(rowReady[(r - 1) % ${T}]);
+      }
+      var idx = r * width + c;
+      var match = 0 - 1;
+      if (seqA[r % ${L}] == seqB[c % ${L}]) { match = 2; }
+      var diag = 0;
+      var up = 0;
+      if (r > 0) {
+        diag = H[idx - width - 1] + match;
+        up = H[idx - width] - 1;
+      }
+      var left = H[idx - 1] - 1;
+      var v = 0;
+      if (diag > v) { v = diag; }
+      if (up > v) { v = up; }
+      if (left > v) { v = left; }
+      H[idx] = v;
+      if (v > best) { best = v; }
+      if (c % 8 == 0) {
+        sem_post(rowReady[r % ${T}]);
+      }
+      c = c + 1;
+    }
+    sem_post(rowReady[r % ${T}]);
+    r = r + 1;
+  }
+  return best;
+}
+
+fn main() {
+  sysread(11, seqA, ${L});
+  sysread(11, seqB, ${L});
+  var i = 0;
+  while (i < ${L}) { seqA[i] = seqA[i] % 4; seqB[i] = seqB[i] % 4; i = i + 1; }
+  i = 0;
+  while (i < ${T}) { rowReady[i] = sem_create(1024); i = i + 1; }
+  var width = ${L};
+  var rowsPer = ${ROWS} / ${T};
+  var w[${T}];
+  var t = 0;
+  while (t < ${T}) { w[t] = spawn sw_rows(t * rowsPer, rowsPer, width); t = t + 1; }
+  var best = 0;
+  t = 0;
+  while (t < ${T}) {
+    var b = join(w[t]);
+    if (b > best) { best = b; }
+    t = t + 1;
+  }
+  print(best);
+  return 0;
+}
+)";
+
+// 376.kdtree: build a binary space partition over points, then parallel
+// range queries walk it (pointer-chasing reads of a shared structure).
+const char *KdtreeSrc = R"(
+var points[${N}];
+var left[${N}];
+var right[${N}];
+var rootHolder[1];
+
+fn tree_insert(root, p) {
+  var cur = root;
+  for (;;) {
+    if (points[p] < points[cur]) {
+      if (left[cur] < 0) { left[cur] = p; return 0; }
+      cur = left[cur];
+    } else {
+      if (right[cur] < 0) { right[cur] = p; return 0; }
+      cur = right[cur];
+    }
+  }
+  return 0;
+}
+
+fn tree_count_range(node, lo, hi) {
+  if (node < 0) {
+    return 0;
+  }
+  var n = 0;
+  var v = points[node];
+  if (v >= lo && v <= hi) { n = 1; }
+  if (v >= lo) { n = n + tree_count_range(left[node], lo, hi); }
+  if (v <= hi) { n = n + tree_count_range(right[node], lo, hi); }
+  return n;
+}
+
+fn query_worker(id, queries) {
+  var q = 0;
+  var acc = 0;
+  while (q < queries) {
+    var lo = (id * 131 + q * 17) % 9000;
+    acc = acc + tree_count_range(rootHolder[0], lo, lo + 500);
+    q = q + 1;
+  }
+  return acc;
+}
+
+fn main() {
+  var i = 0;
+  var s = 12345;
+  while (i < ${N}) {
+    s = (s * 1103515245 + 12345) % 2147483648;
+    points[i] = s % 10000;
+    left[i] = 0 - 1;
+    right[i] = 0 - 1;
+    i = i + 1;
+  }
+  rootHolder[0] = 0;
+  i = 1;
+  while (i < ${N}) { tree_insert(0, i); i = i + 1; }
+  var w[${T}];
+  var t = 0;
+  while (t < ${T}) { w[t] = spawn query_worker(t, ${QUERIES}); t = t + 1; }
+  var total = 0;
+  t = 0;
+  while (t < ${T}) { total = total + join(w[t]); t = t + 1; }
+  print(total % 100000);
+  return 0;
+}
+)";
+
+uint64_t roundTo(uint64_t Value, uint64_t Multiple) {
+  Value = std::max(Value, Multiple);
+  return Value - Value % Multiple;
+}
+
+std::string makeMd(const WorkloadParams &P) {
+  WorkloadParams Q = P;
+  Q.Size = roundTo(P.Size, P.Threads);
+  return instantiate(MdSrc, Q);
+}
+
+std::string makeBwaves(const WorkloadParams &P) {
+  uint64_t Cells = roundTo(P.Size * 4, P.Threads) + 2;
+  Cells = 2 + roundTo(Cells - 2, P.Threads);
+  return instantiate(BwavesSrc, P,
+                     {{"CELLS", std::to_string(Cells)},
+                      {"ITERS", std::to_string(P.Size / 8 + 2)}});
+}
+
+std::string makeNab(const WorkloadParams &P) {
+  return instantiate(NabSrc, P,
+                     {{"BATCHES", std::to_string(P.Size / 4 + 2)}});
+}
+
+std::string makeBotsalgn(const WorkloadParams &P) {
+  uint64_t L = P.Size / 8 + 8;
+  uint64_t NumSeqs = 12;
+  return instantiate(BotsalgnSrc, P,
+                     {{"L", std::to_string(L)},
+                      {"L1", std::to_string(L + 1)},
+                      {"DB", std::to_string(L * NumSeqs)},
+                      {"NSEQS", std::to_string(NumSeqs)},
+                      {"TASKS", std::to_string(P.Threads * 3 + P.Size / 32)}});
+}
+
+std::string makeBotsspar(const WorkloadParams &P) {
+  uint64_t NB = P.Size / 16 + 3;
+  uint64_t BS = 12;
+  return instantiate(BotssparSrc, P,
+                     {{"NB", std::to_string(NB)},
+                      {"BS", std::to_string(BS)},
+                      {"TOTAL", std::to_string(NB * NB * BS)}});
+}
+
+std::string makeIlbdc(const WorkloadParams &P) {
+  uint64_t Cells = roundTo(P.Size * 4, P.Threads);
+  return instantiate(IlbdcSrc, P,
+                     {{"CELLS", std::to_string(Cells)},
+                      {"STEPS", std::to_string(P.Size / 12 + 2)}});
+}
+
+std::string makeFma3d(const WorkloadParams &P) {
+  return instantiate(Fma3dSrc, P,
+                     {{"NODES", std::to_string(P.Size * 2 + 16)},
+                      {"ELEMS", std::to_string(P.Size * 8 + 8)}});
+}
+
+std::string makeImagick(const WorkloadParams &P) {
+  uint64_t H = roundTo(P.Size / 2 + P.Threads, P.Threads);
+  uint64_t W = 32;
+  return instantiate(ImagickSrc, P,
+                     {{"W", std::to_string(W)},
+                      {"H", std::to_string(H)},
+                      {"PIXELS", std::to_string(W * H)}});
+}
+
+std::string makeMgrid(const WorkloadParams &P) {
+  uint64_t Coarse = roundTo(P.Size, P.Threads);
+  return instantiate(MgridSrc, P,
+                     {{"FINE", std::to_string(Coarse * 2)},
+                      {"COARSE", std::to_string(Coarse)},
+                      {"CYCLES", std::to_string(P.Size / 16 + 2)}});
+}
+
+std::string makeApplu(const WorkloadParams &P) {
+  uint64_t Cols = P.Size + 8;
+  return instantiate(AppluSrc, P,
+                     {{"COLS", std::to_string(Cols)},
+                      {"TOTAL", std::to_string(Cols * P.Threads)},
+                      {"SWEEPS", std::to_string(P.Size / 24 + 2)}});
+}
+
+std::string makeSmithwa(const WorkloadParams &P) {
+  uint64_t L = P.Size + 16;
+  uint64_t Rows = roundTo(P.Threads * 4, P.Threads);
+  return instantiate(SmithwaSrc, P,
+                     {{"L", std::to_string(L)},
+                      {"ROWS", std::to_string(Rows)},
+                      {"HCELLS", std::to_string(Rows * L)}});
+}
+
+std::string makeKdtree(const WorkloadParams &P) {
+  return instantiate(KdtreeSrc, P,
+                     {{"QUERIES", std::to_string(P.Size + 4)}});
+}
+
+} // namespace
+
+void isp::registerOmpWorkloads(std::vector<WorkloadInfo> &Out) {
+  Out.push_back({"md", "omp2012", "N-body pair forces over shared positions",
+                 makeMd});
+  Out.push_back({"bwaves", "omp2012", "iterated 1D stencil sweeps",
+                 makeBwaves});
+  Out.push_back({"nab", "omp2012",
+                 "molecular energy terms over device pair lists", makeNab});
+  Out.push_back({"botsalgn", "omp2012",
+                 "task-parallel sequence alignment (DP)", makeBotsalgn});
+  Out.push_back({"botsspar", "omp2012", "blocked sparse LU factorization",
+                 makeBotsspar});
+  Out.push_back({"ilbdc", "omp2012", "lattice-Boltzmann streaming steps",
+                 makeIlbdc});
+  Out.push_back({"fma3d", "omp2012",
+                 "element gather/scatter under region locks", makeFma3d});
+  Out.push_back({"imagick", "omp2012", "row-parallel image convolution",
+                 makeImagick});
+  Out.push_back({"mgrid331", "omp2012", "two-level multigrid V-cycles",
+                 makeMgrid});
+  Out.push_back({"applu331", "omp2012", "SSOR wavefront via row pipelines",
+                 makeApplu});
+  Out.push_back({"smithwa", "omp2012",
+                 "Smith-Waterman DP with pipelined rows", makeSmithwa});
+  Out.push_back({"kdtree", "omp2012",
+                 "space-partition tree build and parallel queries",
+                 makeKdtree});
+}

@@ -1,0 +1,440 @@
+//===- workloads/WorkloadParsec.cpp - PARSEC-like pipelines --------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Pipeline and data-parallel workloads modelled on the PARSEC 2.1
+// benchmarks the paper evaluates:
+//
+//  - vips_pipeline: a multi-stage image pipeline. im_generate (the
+//    Figure 5 routine) computes output tiles from an input region that
+//    upstream threads keep rewriting in a shared strip buffer — its
+//    induced input is thread-induced. wbuffer_write_thread (Figure 7)
+//    drains completed tiles to the output device from a reused write
+//    buffer — almost all of its input is external + thread-induced, and
+//    its rms collapses to a couple of values.
+//  - dedup: chunk -> hash -> compress -> write pipeline over semaphore
+//    queues; data enters from the device and flows across threads, so
+//    both induced kinds appear.
+//  - fluidanimate: grid-partitioned particle relaxation with per-border
+//    locks; neighbours exchange border cells (thread-induced input, no
+//    external input).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+using namespace isp;
+
+namespace {
+
+const char *VipsSrc = R"(
+// One strip of the input image, refreshed on demand from the device,
+// a bounded tile queue between workers and the write-behind thread, and
+// a small reused write buffer. Region sizes vary, so im_generate and
+// wbuffer_write_thread see many distinct input sizes.
+var strip[${STRIP}];
+var loaderDone;
+var refreshReq;
+var refreshDone;
+var tiles[${TILEQ}];
+var tilesLock;
+var tilesAvail;
+var tilesSpace;
+var tileHead;
+var tileTail;
+var wbuf[${WBUF}];
+
+fn im_affine(v, band) {
+  return (v * 7 + band * 3) % 100000;
+}
+
+// Generates `nTiles` output tiles from the shared strip. Every ${R}
+// tiles the loader refreshes the strip from the device, so re-reads of
+// the same strip cells are genuinely new (external) input: the
+// activation's rms saturates at the strip size while its trms tracks
+// nTiles * TILE.
+fn im_generate(nTiles, id) {
+  var t = 0;
+  var acc = 0;
+  while (t < nTiles) {
+    if (t % ${R} == 0) {
+      sem_post(refreshReq);
+      sem_wait(refreshDone);
+    }
+    var base = (t * ${TILE} + id * 3) % (${STRIP} - ${TILE});
+    var i = 0;
+    var v = 0;
+    while (i < ${TILE}) {
+      v = v + im_affine(strip[base + i], t);
+      i = i + 1;
+    }
+    tile_push(v);
+    t = t + 1;
+  }
+  return acc;
+}
+
+fn tile_push(value) {
+  sem_wait(tilesSpace);
+  lock_acquire(tilesLock);
+  tiles[tileTail % ${TILEQ}] = value;
+  tileTail = tileTail + 1;
+  lock_release(tilesLock);
+  sem_post(tilesAvail);
+  return 0;
+}
+
+fn tile_pop() {
+  sem_wait(tilesAvail);
+  lock_acquire(tilesLock);
+  var v = tiles[tileHead % ${TILEQ}];
+  tileHead = tileHead + 1;
+  lock_release(tilesLock);
+  sem_post(tilesSpace);
+  return v;
+}
+
+// Drains `batch` tiles through the fixed write buffer and flushes them
+// to the output device. One activation moves a variable amount of data
+// through a constant set of cells: its rms collapses onto a couple of
+// values (queue + buffer size) while its trms counts the batch — the
+// Figure 7 effect.
+fn wbuffer_write_thread(batch) {
+  var done = 0;
+  var fill = 0;
+  while (done < batch) {
+    wbuf[fill] = tile_pop();
+    fill = fill + 1;
+    if (fill == ${WBUF}) {
+      syswrite(3, wbuf, ${WBUF});
+      sysread(4, wbuf, 2); // device ack/metadata
+      var ack = wbuf[0] + wbuf[1];
+      fill = 0;
+    }
+    done = done + 1;
+  }
+  if (fill > 0) {
+    syswrite(3, wbuf, fill);
+  }
+  return done;
+}
+
+fn writer_daemon(totalTiles) {
+  var left = totalTiles;
+  var batch = 3;
+  var moved = 0;
+  while (left > 0) {
+    if (batch > left) { batch = left; }
+    moved = moved + wbuffer_write_thread(batch);
+    left = left - batch;
+    batch = batch + 4;
+    if (batch > ${MAXBATCH}) { batch = 3; }
+  }
+  return moved;
+}
+
+fn vips_worker(id, regions) {
+  var r = 0;
+  var acc = 0;
+  while (r < regions) {
+    var nTiles = 2 + (r * 5 + id * 3) % ${MAXTILES};
+    acc = acc + im_generate(nTiles, id);
+    r = r + 1;
+  }
+  return acc;
+}
+
+fn region_tiles(id, regions) {
+  var r = 0;
+  var total = 0;
+  while (r < regions) {
+    total = total + 2 + (r * 5 + id * 3) % ${MAXTILES};
+    r = r + 1;
+  }
+  return total;
+}
+
+fn strip_loader() {
+  var n = 0;
+  for (;;) {
+    sem_wait(refreshReq);
+    if (loaderDone == 1) {
+      return n;
+    }
+    sysread(2, strip, ${STRIP});
+    sem_post(refreshDone);
+    n = n + 1;
+  }
+  return n;
+}
+
+fn main() {
+  tilesLock = lock_create();
+  tilesAvail = sem_create(0);
+  tilesSpace = sem_create(${TILEQ});
+  refreshReq = sem_create(0);
+  refreshDone = sem_create(0);
+  tileHead = 0;
+  tileTail = 0;
+  loaderDone = 0;
+  var regions = ${REGIONS};
+  var totalTiles = 0;
+  var w = 0;
+  while (w < ${T}) {
+    totalTiles = totalTiles + region_tiles(w, regions);
+    w = w + 1;
+  }
+  var loader = spawn strip_loader();
+  var writer = spawn writer_daemon(totalTiles);
+  var workers[${T}];
+  w = 0;
+  while (w < ${T}) {
+    workers[w] = spawn vips_worker(w, regions);
+    w = w + 1;
+  }
+  w = 0;
+  while (w < ${T}) {
+    join(workers[w]);
+    w = w + 1;
+  }
+  var moved = join(writer);
+  loaderDone = 1;
+  sem_post(refreshReq);
+  join(loader);
+  print(moved);
+  return 0;
+}
+)";
+
+const char *DedupSrc = R"(
+// chunk -> hash -> compress -> write, one thread per stage plus ${T}
+// hash workers, connected by two bounded queues. Queue cursors live in
+// dedicated one-cell arrays so stages can pass their addresses around.
+var q1[${QCAP}];
+var q1cur[2]; // [0] = head, [1] = tail
+var q1lock; var q1avail; var q1space;
+var q2[${QCAP}];
+var q2cur[2];
+var q2lock; var q2avail; var q2space;
+var chunkbuf[${CHUNK}];
+var outbuf[${CHUNK}];
+
+fn queue_push(q, cur, lockId, availId, spaceId, value) {
+  sem_wait(spaceId);
+  lock_acquire(lockId);
+  var t = cur[1];
+  q[t % ${QCAP}] = value;
+  cur[1] = t + 1;
+  lock_release(lockId);
+  sem_post(availId);
+  return 0;
+}
+
+fn queue_pop(q, cur, lockId, availId, spaceId) {
+  sem_wait(availId);
+  lock_acquire(lockId);
+  var h = cur[0];
+  var v = q[h % ${QCAP}];
+  cur[0] = h + 1;
+  lock_release(lockId);
+  sem_post(spaceId);
+  return v;
+}
+
+fn rabin_chunk(nChunks) {
+  var c = 0;
+  while (c < nChunks) {
+    sysread(5, chunkbuf, ${CHUNK});
+    var sig = 0;
+    var i = 0;
+    while (i < ${CHUNK}) {
+      sig = (sig * 31 + chunkbuf[i]) % 1000003;
+      i = i + 1;
+    }
+    queue_push(q1, q1cur, q1lock, q1avail, q1space, sig);
+    c = c + 1;
+  }
+  return nChunks;
+}
+
+fn hash_worker(nChunks) {
+  var done = 0;
+  var acc = 0;
+  while (done < nChunks) {
+    var sig = queue_pop(q1, q1cur, q1lock, q1avail, q1space);
+    var h = sig;
+    var r = 0;
+    while (r < 16) {
+      h = (h * 1103515245 + 12345) % 2147483648;
+      r = r + 1;
+    }
+    queue_push(q2, q2cur, q2lock, q2avail, q2space, h % 997);
+    done = done + 1;
+    acc = acc + h % 7;
+  }
+  return acc;
+}
+
+fn write_stage(nChunks) {
+  var done = 0;
+  var fill = 0;
+  while (done < nChunks) {
+    var v = queue_pop(q2, q2cur, q2lock, q2avail, q2space);
+    outbuf[fill % ${CHUNK}] = v;
+    fill = fill + 1;
+    if (fill % ${CHUNK} == 0) {
+      syswrite(6, outbuf, ${CHUNK});
+    }
+    done = done + 1;
+  }
+  return done;
+}
+
+fn main() {
+  q1lock = lock_create(); q1avail = sem_create(0); q1space = sem_create(${QCAP});
+  q2lock = lock_create(); q2avail = sem_create(0); q2space = sem_create(${QCAP});
+  q1cur[0] = 0; q1cur[1] = 0; q2cur[0] = 0; q2cur[1] = 0;
+  var per = ${CHUNKS} / ${T};
+  var total = per * ${T};
+  var chunker = spawn rabin_chunk(total);
+  var writer = spawn write_stage(total);
+  var workers[${T}];
+  var w = 0;
+  while (w < ${T}) {
+    workers[w] = spawn hash_worker(per);
+    w = w + 1;
+  }
+  w = 0;
+  while (w < ${T}) {
+    join(workers[w]);
+    w = w + 1;
+  }
+  join(chunker);
+  print(join(writer));
+  return 0;
+}
+)";
+
+const char *FluidSrc = R"(
+// ${T} partitions of a 1D cell chain; each worker relaxes its slice for
+// ${STEPS} steps, exchanging border cells with neighbours under locks.
+var cells[${CELLS}];
+var borderLocks[${T}];
+
+fn relax_cell(left, mid, right) {
+  return (left + 2 * mid + right) / 4 + 1;
+}
+
+// Relaxes the slice including its boundary cells, whose stencils read
+// the neighbouring slices' border cells — the cross-thread traffic that
+// makes fluidanimate's induced input thread-induced.
+fn advance_slice(lo, hi, n) {
+  var i = lo;
+  var acc = 0;
+  while (i < hi) {
+    if (i > 0 && i < n - 1) {
+      cells[i] = relax_cell(cells[i - 1], cells[i], cells[i + 1]);
+    }
+    acc = acc + cells[i];
+    i = i + 1;
+  }
+  return acc;
+}
+
+fn exchange_borders(id, lo, hi) {
+  lock_acquire(borderLocks[id]);
+  cells[lo] = (cells[lo] + cells[lo + 1]) / 2;
+  cells[hi - 1] = (cells[hi - 1] + cells[hi - 2]) / 2;
+  lock_release(borderLocks[id]);
+  return 0;
+}
+
+fn fluid_worker(id, sliceLen) {
+  var lo = id * sliceLen;
+  var hi = lo + sliceLen;
+  var s = 0;
+  var acc = 0;
+  while (s < ${STEPS}) {
+    acc = acc + advance_slice(lo, hi, ${CELLS});
+    exchange_borders(id, lo, hi);
+    yield();
+    s = s + 1;
+  }
+  return acc;
+}
+
+fn main() {
+  var i = 0;
+  while (i < ${CELLS}) {
+    cells[i] = i * 17 % 1000;
+    i = i + 1;
+  }
+  i = 0;
+  while (i < ${T}) {
+    borderLocks[i] = lock_create();
+    i = i + 1;
+  }
+  var sliceLen = ${CELLS} / ${T};
+  var workers[${T}];
+  var w = 0;
+  while (w < ${T}) {
+    workers[w] = spawn fluid_worker(w, sliceLen);
+    w = w + 1;
+  }
+  var total = 0;
+  w = 0;
+  while (w < ${T}) {
+    total = total + join(workers[w]);
+    w = w + 1;
+  }
+  print(total % 100000);
+  return 0;
+}
+)";
+
+std::string makeVips(const WorkloadParams &P) {
+  uint64_t Tile = 8;
+  uint64_t Strip = std::max<uint64_t>(96, P.Size);
+  uint64_t Regions = P.Size / 12 + 3;
+  uint64_t MaxTiles = P.Size / 4 + 6;
+  return instantiate(VipsSrc, P,
+                     {{"TILE", std::to_string(Tile)},
+                      {"STRIP", std::to_string(Strip)},
+                      {"TILEQ", "16"},
+                      {"WBUF", "12"},
+                      {"R", "6"},
+                      {"REGIONS", std::to_string(Regions)},
+                      {"MAXTILES", std::to_string(MaxTiles)},
+                      {"MAXBATCH", "40"}});
+}
+
+std::string makeDedup(const WorkloadParams &P) {
+  uint64_t Chunks = P.Size * 3 + P.Threads * 4;
+  return instantiate(DedupSrc, P,
+                     {{"QCAP", "16"},
+                      {"CHUNK", "32"},
+                      {"CHUNKS", std::to_string(Chunks)}});
+}
+
+std::string makeFluid(const WorkloadParams &P) {
+  uint64_t Cells = std::max<uint64_t>(P.Threads * 8, P.Size * 4);
+  Cells -= Cells % P.Threads; // even slices
+  uint64_t Steps = P.Size / 8 + 3;
+  return instantiate(FluidSrc, P,
+                     {{"CELLS", std::to_string(Cells)},
+                      {"STEPS", std::to_string(Steps)}});
+}
+
+} // namespace
+
+void isp::registerParsecWorkloads(std::vector<WorkloadInfo> &Out) {
+  Out.push_back({"vips_pipeline", "parsec",
+                 "vips-like image pipeline with write-behind thread",
+                 makeVips});
+  Out.push_back({"dedup", "parsec",
+                 "dedup-like chunk/hash/compress/write pipeline", makeDedup});
+  Out.push_back({"fluidanimate", "parsec",
+                 "fluidanimate-like locked grid relaxation", makeFluid});
+}

@@ -1,0 +1,345 @@
+//===- tests/CoreMetricsTest.cpp - Metrics and report tests --------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Metrics.h"
+
+#include "core/Report.h"
+#include "instr/SymbolTable.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace isp;
+
+namespace {
+
+ActivationRecord makeRecord(RoutineId Rtn, uint64_t Rms, uint64_t Trms,
+                            uint64_t Cost, uint64_t InducedThread = 0,
+                            uint64_t InducedExternal = 0, ThreadId Tid = 0) {
+  ActivationRecord R;
+  R.Tid = Tid;
+  R.Rtn = Rtn;
+  R.Rms = Rms;
+  R.Trms = Trms;
+  R.Cost = Cost;
+  R.InducedThread = InducedThread;
+  R.InducedExternal = InducedExternal;
+  return R;
+}
+
+TEST(Metrics, ProfileRichness) {
+  ProfileDatabase Db;
+  // Routine 0: rms collapses to one value, trms spreads over four.
+  for (uint64_t I = 1; I <= 4; ++I)
+    Db.recordActivation(makeRecord(0, 5, 5 * I, 10 * I, I, 0));
+  auto Metrics = computeRoutineMetrics(Db);
+  ASSERT_EQ(Metrics.size(), 1u);
+  EXPECT_EQ(Metrics[0].DistinctRms, 1u);
+  EXPECT_EQ(Metrics[0].DistinctTrms, 4u);
+  EXPECT_DOUBLE_EQ(Metrics[0].ProfileRichness, 3.0);
+}
+
+TEST(Metrics, RichnessCanBeNegative) {
+  ProfileDatabase Db;
+  // Two distinct rms values collapse onto one trms value.
+  Db.recordActivation(makeRecord(0, 2, 6, 1));
+  Db.recordActivation(makeRecord(0, 3, 6, 1));
+  auto Metrics = computeRoutineMetrics(Db);
+  EXPECT_LT(Metrics[0].ProfileRichness, 0.0);
+}
+
+TEST(Metrics, InputVolume) {
+  ProfileDatabase Db;
+  // sum rms = 10, sum trms = 40: volume = 0.75.
+  Db.recordActivation(makeRecord(0, 4, 16, 1));
+  Db.recordActivation(makeRecord(0, 6, 24, 1));
+  auto Metrics = computeRoutineMetrics(Db);
+  EXPECT_DOUBLE_EQ(Metrics[0].InputVolume, 0.75);
+}
+
+TEST(Metrics, InducedSplitPercentages) {
+  ProfileDatabase Db;
+  Db.recordActivation(makeRecord(0, 1, 11, 1, 6, 4));
+  auto Metrics = computeRoutineMetrics(Db);
+  EXPECT_DOUBLE_EQ(Metrics[0].ThreadInducedPct, 60.0);
+  EXPECT_DOUBLE_EQ(Metrics[0].ExternalPct, 40.0);
+  EXPECT_NEAR(Metrics[0].InducedShareOfInputPct, 100.0 * 10 / 11, 1e-9);
+}
+
+TEST(Metrics, RunMetricsUseGlobalCounters) {
+  ProfileDatabase Db;
+  Db.recordActivation(makeRecord(0, 2, 8, 1));
+  Db.GlobalInducedThread = 30;
+  Db.GlobalInducedExternal = 10;
+  Db.GlobalPlainFirstAccesses = 60;
+  RunMetrics Run = computeRunMetrics(Db);
+  EXPECT_DOUBLE_EQ(Run.ThreadInducedPct, 75.0);
+  EXPECT_DOUBLE_EQ(Run.ExternalPct, 25.0);
+  EXPECT_DOUBLE_EQ(Run.InputVolume, 0.75);
+}
+
+TEST(Metrics, TailDistributionShape) {
+  auto Points = tailDistribution({5, 1, 3});
+  ASSERT_EQ(Points.size(), 3u);
+  // Sorted descending; x = percentile rank.
+  EXPECT_DOUBLE_EQ(Points[0].second, 5.0);
+  EXPECT_DOUBLE_EQ(Points[2].second, 1.0);
+  EXPECT_NEAR(Points[0].first, 100.0 / 3, 1e-9);
+  EXPECT_DOUBLE_EQ(Points[2].first, 100.0);
+}
+
+TEST(Metrics, MergedByRoutineCombinesThreads) {
+  ProfileDatabase Db;
+  Db.recordActivation(makeRecord(7, 1, 2, 5, 0, 0, /*Tid=*/0));
+  Db.recordActivation(makeRecord(7, 1, 3, 9, 0, 0, /*Tid=*/1));
+  EXPECT_EQ(Db.threadRoutineProfiles().size(), 2u);
+  auto Merged = Db.mergedByRoutine();
+  ASSERT_EQ(Merged.size(), 1u);
+  EXPECT_EQ(Merged.at(7).activations(), 2u);
+  EXPECT_EQ(Merged.at(7).sumTrms(), 5u);
+  EXPECT_EQ(Merged.at(7).totalCost(), 14u);
+}
+
+//===----------------------------------------------------------------------===//
+// Plot extraction and reports
+//===----------------------------------------------------------------------===//
+
+RoutineProfile makeGrowingProfile(uint64_t (*CostOf)(uint64_t)) {
+  RoutineProfile Profile;
+  for (uint64_t N = 4; N <= 256; N *= 2) {
+    ActivationRecord R;
+    R.Rtn = 0;
+    R.Rms = N / 2;
+    R.Trms = N;
+    R.Cost = CostOf(N);
+    Profile.addActivation(R);
+    // A second, cheaper activation at the same size: the worst-case plot
+    // must keep the max.
+    R.Cost = CostOf(N) / 2;
+    Profile.addActivation(R);
+  }
+  return Profile;
+}
+
+TEST(Report, WorstCasePlotKeepsMaxima) {
+  RoutineProfile Profile =
+      makeGrowingProfile([](uint64_t N) { return 3 * N; });
+  auto Plot = worstCasePlot(Profile, InputMetric::Trms);
+  ASSERT_EQ(Plot.size(), 7u);
+  EXPECT_DOUBLE_EQ(Plot[0].N, 4.0);
+  EXPECT_DOUBLE_EQ(Plot[0].Cost, 12.0);
+  auto Workload = workloadPlot(Profile, InputMetric::Trms);
+  EXPECT_DOUBLE_EQ(Workload[0].Cost, 2.0); // two activations per size
+}
+
+TEST(Report, FitSeesThroughTheMetricChoice) {
+  // Cost is linear in trms but, with rms = trms/2, also linear in rms
+  // with twice the slope — the Section 3 "impact of input size
+  // estimation" effect in its simplest form.
+  RoutineProfile Profile =
+      makeGrowingProfile([](uint64_t N) { return 10 * N; });
+  FitResult ByTrms = fitWorstCase(Profile, InputMetric::Trms);
+  FitResult ByRms = fitWorstCase(Profile, InputMetric::Rms);
+  EXPECT_EQ(ByTrms.best().Model, GrowthModel::Linear);
+  EXPECT_NEAR(ByTrms.best().Slope, 10.0, 0.5);
+  EXPECT_NEAR(ByRms.best().Slope, 20.0, 1.0);
+}
+
+TEST(Report, RenderRoutineReportMentionsKeyFacts) {
+  RoutineProfile Profile =
+      makeGrowingProfile([](uint64_t N) { return N * N; });
+  SymbolTable Symbols;
+  RoutineId Id = Symbols.intern("quadratic_scan");
+  std::string Text = renderRoutineReport(Id, Profile, &Symbols);
+  EXPECT_NE(Text.find("quadratic_scan"), std::string::npos);
+  EXPECT_NE(Text.find("O(n^2)"), std::string::npos);
+  EXPECT_NE(Text.find("activations: 14"), std::string::npos);
+}
+
+TEST(Report, RunSummaryRanksByCost) {
+  ProfileDatabase Db;
+  Db.recordActivation(makeRecord(0, 1, 1, 10));
+  Db.recordActivation(makeRecord(1, 1, 1, 99999));
+  SymbolTable Symbols;
+  Symbols.intern("cheap");
+  Symbols.intern("expensive");
+  std::string Text = renderRunSummary(Db, &Symbols);
+  size_t Expensive = Text.find("expensive");
+  size_t Cheap = Text.find("cheap");
+  ASSERT_NE(Expensive, std::string::npos);
+  ASSERT_NE(Cheap, std::string::npos);
+  EXPECT_LT(Expensive, Cheap);
+}
+
+TEST(Report, SeriesRendering) {
+  std::string Text = renderSeries({{1, 2}, {3, 4.5}}, "n", "cost");
+  EXPECT_EQ(Text, "n,cost\n1,2.00\n3,4.50\n");
+}
+
+TEST(SymbolTableTest, InternAndLookup) {
+  SymbolTable Symbols;
+  RoutineId A = Symbols.intern("alpha");
+  RoutineId B = Symbols.intern("beta");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(Symbols.intern("alpha"), A);
+  EXPECT_EQ(Symbols.routineName(B), "beta");
+  EXPECT_EQ(Symbols.lookup("beta"), B);
+  EXPECT_EQ(Symbols.lookup("gamma"), ~0u);
+  EXPECT_EQ(Symbols.routineName(1234), "routine#1234");
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// HTML reports
+//===----------------------------------------------------------------------===//
+
+#include "core/HtmlReport.h"
+
+namespace {
+
+TEST(HtmlReport, ContainsTableAndPlots) {
+  ProfileDatabase Db;
+  for (uint64_t N = 2; N <= 64; N *= 2) {
+    ActivationRecord R;
+    R.Rtn = 0;
+    R.Rms = N / 2;
+    R.Trms = N;
+    R.Cost = 3 * N;
+    R.InducedThread = N / 4;
+    Db.recordActivation(R);
+  }
+  SymbolTable Symbols;
+  Symbols.intern("hot<routine>&co");
+
+  HtmlReportOptions Options;
+  Options.Title = "unit test report";
+  std::string Html = renderHtmlReport(Db, &Symbols, Options);
+  EXPECT_NE(Html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(Html.find("unit test report"), std::string::npos);
+  // Routine names are HTML-escaped.
+  EXPECT_NE(Html.find("hot&lt;routine&gt;&amp;co"), std::string::npos);
+  EXPECT_EQ(Html.find("hot<routine>"), std::string::npos);
+  // Two plots (rms + trms) with data points and a fit curve.
+  EXPECT_NE(Html.find("<svg"), std::string::npos);
+  EXPECT_NE(Html.find("class=\"fit\""), std::string::npos);
+  EXPECT_NE(Html.find("class=\"pt\""), std::string::npos);
+}
+
+TEST(HtmlReport, WritesFile) {
+  ProfileDatabase Db;
+  ActivationRecord R;
+  R.Rtn = 0;
+  R.Rms = 1;
+  R.Trms = 1;
+  R.Cost = 1;
+  Db.recordActivation(R);
+  std::string Path = ::testing::TempDir() + "isprof_report_test.html";
+  ASSERT_TRUE(writeHtmlReport(Path, Db, nullptr));
+  std::remove(Path.c_str());
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Profile diffing
+//===----------------------------------------------------------------------===//
+
+#include "core/ProfileDiff.h"
+
+namespace {
+
+ProfileDatabase makeDbWithCurve(RoutineId Rtn, uint64_t (*CostOf)(uint64_t)) {
+  ProfileDatabase Db;
+  for (uint64_t N = 4; N <= 128; N *= 2) {
+    ActivationRecord R;
+    R.Rtn = Rtn;
+    R.Rms = N;
+    R.Trms = N;
+    R.Cost = CostOf(N);
+    Db.recordActivation(R);
+  }
+  return Db;
+}
+
+TEST(ProfileDiff, DetectsGrowthRegression) {
+  SymbolTable Syms;
+  RoutineId Id = Syms.intern("scan");
+  ProfileDatabase Base =
+      makeDbWithCurve(Id, [](uint64_t N) { return 5 * N; });
+  ProfileDatabase Cand =
+      makeDbWithCurve(Id, [](uint64_t N) { return N * N; });
+
+  auto Diffs = diffProfiles(Base, Syms, Cand, Syms);
+  ASSERT_EQ(Diffs.size(), 1u);
+  EXPECT_TRUE(Diffs[0].GrowthRegression);
+  EXPECT_EQ(Diffs[0].BaselineModel, GrowthModel::Linear);
+  EXPECT_EQ(Diffs[0].CandidateModel, GrowthModel::Quadratic);
+  EXPECT_TRUE(hasRegressions(Diffs));
+  std::string Text = renderProfileDiff(Diffs);
+  EXPECT_NE(Text.find("GROWTH REGRESSION"), std::string::npos);
+}
+
+TEST(ProfileDiff, UnchangedProfileIsClean) {
+  SymbolTable Syms;
+  RoutineId Id = Syms.intern("scan");
+  ProfileDatabase Base =
+      makeDbWithCurve(Id, [](uint64_t N) { return 5 * N; });
+  ProfileDatabase Cand =
+      makeDbWithCurve(Id, [](uint64_t N) { return 5 * N; });
+  auto Diffs = diffProfiles(Base, Syms, Cand, Syms);
+  ASSERT_EQ(Diffs.size(), 1u);
+  EXPECT_FALSE(Diffs[0].GrowthRegression);
+  EXPECT_FALSE(Diffs[0].CostRegression);
+  EXPECT_NEAR(Diffs[0].CostRatioAtCommonSizes, 1.0, 1e-9);
+  EXPECT_FALSE(hasRegressions(Diffs));
+}
+
+TEST(ProfileDiff, DetectsConstantFactorRegression) {
+  SymbolTable Syms;
+  RoutineId Id = Syms.intern("scan");
+  ProfileDatabase Base =
+      makeDbWithCurve(Id, [](uint64_t N) { return 5 * N; });
+  ProfileDatabase Cand =
+      makeDbWithCurve(Id, [](uint64_t N) { return 10 * N; });
+  auto Diffs = diffProfiles(Base, Syms, Cand, Syms);
+  ASSERT_EQ(Diffs.size(), 1u);
+  EXPECT_FALSE(Diffs[0].GrowthRegression) << "same class, just slower";
+  EXPECT_TRUE(Diffs[0].CostRegression);
+  EXPECT_NEAR(Diffs[0].CostRatioAtCommonSizes, 2.0, 0.01);
+}
+
+TEST(ProfileDiff, MatchesByNameAcrossDifferentIds) {
+  SymbolTable BaseSyms, CandSyms;
+  CandSyms.intern("unrelated_first"); // shift ids in the candidate
+  RoutineId BaseId = BaseSyms.intern("scan");
+  RoutineId CandId = CandSyms.intern("scan");
+  ASSERT_NE(BaseId, CandId);
+  ProfileDatabase Base =
+      makeDbWithCurve(BaseId, [](uint64_t N) { return 5 * N; });
+  ProfileDatabase Cand =
+      makeDbWithCurve(CandId, [](uint64_t N) { return 5 * N; });
+  auto Diffs = diffProfiles(Base, BaseSyms, Cand, CandSyms);
+  ASSERT_EQ(Diffs.size(), 1u);
+  EXPECT_EQ(Diffs[0].Name, "scan");
+  EXPECT_FALSE(hasRegressions(Diffs));
+}
+
+TEST(ProfileDiff, ReportsAddedAndRemovedRoutines) {
+  SymbolTable BaseSyms, CandSyms;
+  ProfileDatabase Base = makeDbWithCurve(BaseSyms.intern("old_routine"),
+                                         [](uint64_t N) { return N; });
+  ProfileDatabase Cand = makeDbWithCurve(CandSyms.intern("new_routine"),
+                                         [](uint64_t N) { return N; });
+  auto Diffs = diffProfiles(Base, BaseSyms, Cand, CandSyms);
+  ASSERT_EQ(Diffs.size(), 2u);
+  std::string Text = renderProfileDiff(Diffs);
+  EXPECT_NE(Text.find("added"), std::string::npos);
+  EXPECT_NE(Text.find("removed"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,193 @@
+//===- tests/DriverTest.cpp - isprof CLI integration tests ---------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end tests of the isprof command-line driver: each test shells
+// out to the real binary (path injected by CMake) against the shipped
+// guest example programs and checks exit codes and output fragments.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+#ifndef ISPROF_BINARY
+#error "ISPROF_BINARY must be defined by the build"
+#endif
+#ifndef ISPROF_GUEST_DIR
+#error "ISPROF_GUEST_DIR must be defined by the build"
+#endif
+
+struct CommandResult {
+  int ExitCode = -1;
+  std::string Output;
+};
+
+/// Runs the driver with \p Args, capturing combined stdout+stderr.
+CommandResult runDriver(const std::string &Args) {
+  std::string OutPath =
+      ::testing::TempDir() + "isprof_driver_test_output.txt";
+  std::string Command = std::string(ISPROF_BINARY) + " " + Args + " > " +
+                        OutPath + " 2>&1";
+  int Status = std::system(Command.c_str());
+  CommandResult Result;
+  Result.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  std::ifstream Stream(OutPath);
+  std::ostringstream Buffer;
+  Buffer << Stream.rdbuf();
+  Result.Output = Buffer.str();
+  std::remove(OutPath.c_str());
+  return Result;
+}
+
+std::string guest(const char *Name) {
+  return std::string(ISPROF_GUEST_DIR) + "/" + Name;
+}
+
+TEST(Driver, ListShowsToolsAndWorkloads) {
+  CommandResult R = runDriver("list");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("aprof-trms"), std::string::npos);
+  EXPECT_NE(R.Output.find("dbserver"), std::string::npos);
+  EXPECT_NE(R.Output.find("producer_consumer"), std::string::npos);
+}
+
+TEST(Driver, RunProfilesQuickstart) {
+  CommandResult R = runDriver("run " + guest("quickstart.mini"));
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("--- aprof-trms ---"), std::string::npos);
+  EXPECT_NE(R.Output.find("insertionSort"), std::string::npos);
+  EXPECT_NE(R.Output.find("mergeSort"), std::string::npos);
+}
+
+TEST(Driver, RaceDetectorsDisagreeAsDesigned) {
+  CommandResult R =
+      runDriver("run " + guest("race.mini") + " --tools=helgrind,drd");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  // Both report the racy counter; address 16 is the first global.
+  EXPECT_NE(R.Output.find("possible data race"), std::string::npos);
+  EXPECT_NE(R.Output.find("empty candidate lockset"), std::string::npos);
+}
+
+TEST(Driver, MemcheckFindsPlantedErrors) {
+  CommandResult R =
+      runDriver("run " + guest("leak.mini") + " --tools=memcheck");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("uninitialized read"), std::string::npos);
+  EXPECT_NE(R.Output.find("invalid read"), std::string::npos);
+  EXPECT_NE(R.Output.find("leaked"), std::string::npos);
+}
+
+TEST(Driver, RecordReplayRoundTrip) {
+  std::string TracePath = ::testing::TempDir() + "isprof_driver_trace.bin";
+  CommandResult Record = runDriver("run " + guest("stream.mini") +
+                                   " --record=" + TracePath);
+  EXPECT_EQ(Record.ExitCode, 0) << Record.Output;
+  CommandResult Replay =
+      runDriver("replay " + TracePath + " --tools=aprof-rms,aprof-trms");
+  EXPECT_EQ(Replay.ExitCode, 0) << Replay.Output;
+  EXPECT_NE(Replay.Output.find("consumeStream"), std::string::npos);
+  std::remove(TracePath.c_str());
+}
+
+TEST(Driver, HtmlReportIsWritten) {
+  std::string HtmlPath = ::testing::TempDir() + "isprof_driver_report.html";
+  CommandResult R = runDriver("run " + guest("quickstart.mini") +
+                              " --html=" + HtmlPath);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  std::ifstream Html(HtmlPath);
+  ASSERT_TRUE(Html.good());
+  std::ostringstream Buffer;
+  Buffer << Html.rdbuf();
+  EXPECT_NE(Buffer.str().find("<svg"), std::string::npos);
+  std::remove(HtmlPath.c_str());
+}
+
+TEST(Driver, CheckAndDisasm) {
+  CommandResult Check = runDriver("check " + guest("stream.mini"));
+  EXPECT_EQ(Check.ExitCode, 0);
+  EXPECT_NE(Check.Output.find("ok ("), std::string::npos);
+
+  CommandResult Disasm = runDriver("disasm " + guest("stream.mini"));
+  EXPECT_EQ(Disasm.ExitCode, 0);
+  EXPECT_NE(Disasm.Output.find("fn consumeStream"), std::string::npos);
+  EXPECT_NE(Disasm.Output.find("call_builtin   sysread"),
+            std::string::npos);
+}
+
+TEST(Driver, WorkloadCommand) {
+  CommandResult R = runDriver("workload producer_consumer --size=32");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("consumer"), std::string::npos);
+}
+
+TEST(Driver, ErrorsAreClean) {
+  EXPECT_NE(runDriver("run /nonexistent.mini").ExitCode, 0);
+  EXPECT_NE(runDriver("frobnicate").ExitCode, 0);
+  EXPECT_NE(runDriver("run " + guest("stream.mini") + " --tools=bogus")
+                .ExitCode,
+            0);
+  // A guest compile error must surface the diagnostics.
+  std::string BadPath = ::testing::TempDir() + "isprof_bad.mini";
+  {
+    std::ofstream Bad(BadPath);
+    Bad << "fn main() { return nope; }";
+  }
+  CommandResult R = runDriver("run " + BadPath);
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("undeclared variable"), std::string::npos);
+  std::remove(BadPath.c_str());
+}
+
+} // namespace
+
+namespace {
+
+TEST(Driver, DiffDetectsPlantedRegression) {
+  std::string Dir = ::testing::TempDir();
+  std::string V1 = Dir + "isprof_diff_v1.mini";
+  std::string V2 = Dir + "isprof_diff_v2.mini";
+  {
+    std::ofstream F(V1);
+    F << "fn scan(a, n) { var s = 0; for (var i = 0; i < n; i = i + 1) "
+         "{ s = s + a[i]; } return s; }\n"
+         "fn main() { for (var n = 4; n <= 64; n = n * 2) { var a[n]; "
+         "for (var i = 0; i < n; i = i + 1) { a[i] = i; } "
+         "print(scan(a, n)); } return 0; }\n";
+  }
+  {
+    std::ofstream F(V2);
+    F << "fn scan(a, n) { var s = 0; for (var i = 0; i < n; i = i + 1) "
+         "{ for (var j = 0; j < n; j = j + 1) { s = s + a[j]; } } "
+         "return s / n; }\n"
+         "fn main() { for (var n = 4; n <= 64; n = n * 2) { var a[n]; "
+         "for (var i = 0; i < n; i = i + 1) { a[i] = i; } "
+         "print(scan(a, n)); } return 0; }\n";
+  }
+  std::string T1 = Dir + "isprof_diff_v1.trc";
+  std::string T2 = Dir + "isprof_diff_v2.trc";
+  ASSERT_EQ(runDriver("run " + V1 + " --record=" + T1).ExitCode, 0);
+  ASSERT_EQ(runDriver("run " + V2 + " --record=" + T2).ExitCode, 0);
+
+  CommandResult Same = runDriver("diff " + T1 + " " + T1);
+  EXPECT_EQ(Same.ExitCode, 0) << Same.Output;
+
+  CommandResult Diff = runDriver("diff " + T1 + " " + T2);
+  EXPECT_EQ(Diff.ExitCode, 3) << Diff.Output; // regressions found
+  EXPECT_NE(Diff.Output.find("GROWTH REGRESSION"), std::string::npos);
+  EXPECT_NE(Diff.Output.find("O(n) -> O(n^2)"), std::string::npos);
+
+  for (const std::string &Path : {V1, V2, T1, T2})
+    std::remove(Path.c_str());
+}
+
+} // namespace

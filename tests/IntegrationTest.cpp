@@ -1,0 +1,343 @@
+//===- tests/IntegrationTest.cpp - Cross-module integration tests --------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end flows across module boundaries:
+//  - live VM profiling == record-then-replay profiling,
+//  - trace files survive serialization with identical profiles,
+//  - per-thread splitting + timestamped merging (Section 4's offline
+//    pipeline) reproduces the profile for any tie-break policy,
+//  - the complete VM -> trms -> metrics -> report pipeline emits sane
+//    artefacts for a multithreaded program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Metrics.h"
+#include "core/Report.h"
+#include "core/TrmsProfiler.h"
+#include "instr/Dispatcher.h"
+#include "trace/Synthetic.h"
+#include "trace/TraceFile.h"
+#include "trace/TraceMerger.h"
+#include "vm/Compiler.h"
+#include "vm/Machine.h"
+#include "workloads/Runner.h"
+
+#include <gtest/gtest.h>
+
+using namespace isp;
+
+namespace {
+
+const char *PipelineSource = R"(
+var shared[16];
+var lk;
+fn stage_a(rounds) {
+  var r = 0;
+  while (r < rounds) {
+    lock_acquire(lk);
+    var i = 0;
+    while (i < 16) { shared[i] = shared[i] + r + i; i = i + 1; }
+    lock_release(lk);
+    yield();
+    r = r + 1;
+  }
+  return 0;
+}
+fn stage_b(rounds) {
+  var acc = 0;
+  var r = 0;
+  while (r < rounds) {
+    lock_acquire(lk);
+    var i = 0;
+    while (i < 16) { acc = acc + shared[i]; i = i + 1; }
+    lock_release(lk);
+    yield();
+    r = r + 1;
+  }
+  return acc;
+}
+fn main() {
+  lk = lock_create();
+  sysread(1, shared, 16);
+  var a = spawn stage_a(12);
+  var b = spawn stage_b(12);
+  join(a);
+  var result = join(b);
+  syswrite(2, shared, 16);
+  print(result % 1000003);
+  return 0;
+}
+)";
+
+std::vector<ActivationRecord> liveProfile(const Program &Prog,
+                                          std::vector<Event> *TraceOut) {
+  TrmsProfilerOptions Opts;
+  Opts.KeepActivationLog = true;
+  TrmsProfiler Profiler(Opts);
+  EventDispatcher Dispatcher;
+  Dispatcher.addTool(&Profiler);
+  if (TraceOut)
+    Dispatcher.enableRecording();
+  Machine M(Prog, &Dispatcher);
+  RunResult R = M.run();
+  EXPECT_TRUE(R.Ok) << R.Error;
+  if (TraceOut)
+    *TraceOut = Dispatcher.takeRecordedEvents();
+  return Profiler.database().log();
+}
+
+std::vector<ActivationRecord>
+replayProfile(const std::vector<Event> &Trace) {
+  TrmsProfilerOptions Opts;
+  Opts.KeepActivationLog = true;
+  TrmsProfiler Profiler(Opts);
+  replayTrace(Trace, Profiler);
+  return Profiler.database().log();
+}
+
+TEST(Integration, LiveEqualsRecordedReplay) {
+  DiagnosticEngine Diags;
+  auto Prog = compileProgram(PipelineSource, Diags);
+  ASSERT_TRUE(Prog.has_value()) << Diags.render();
+
+  std::vector<Event> Trace;
+  auto Live = liveProfile(*Prog, &Trace);
+  ASSERT_FALSE(Trace.empty());
+  auto Replayed = replayProfile(Trace);
+  EXPECT_EQ(Live, Replayed);
+}
+
+TEST(Integration, TraceFileRoundTripPreservesProfile) {
+  DiagnosticEngine Diags;
+  auto Prog = compileProgram(PipelineSource, Diags);
+  ASSERT_TRUE(Prog.has_value());
+
+  std::vector<Event> Trace;
+  auto Live = liveProfile(*Prog, &Trace);
+
+  TraceData Data;
+  Data.Routines = Prog->Symbols.entries();
+  Data.Events = std::move(Trace);
+  std::string Bytes = serializeTrace(Data);
+  TraceData Back;
+  ASSERT_TRUE(deserializeTrace(Bytes, Back));
+  EXPECT_EQ(replayProfile(Back.Events), Live);
+}
+
+TEST(Integration, SplitMergeReplayMatchesForAllPolicies) {
+  DiagnosticEngine Diags;
+  auto Prog = compileProgram(PipelineSource, Diags);
+  ASSERT_TRUE(Prog.has_value());
+
+  std::vector<Event> Trace;
+  auto Live = liveProfile(*Prog, &Trace);
+  auto PerThread = splitByThread(Trace);
+  EXPECT_GE(PerThread.size(), 3u);
+
+  // VM event times are unique, so no ties exist and every policy must
+  // reconstruct the same total order (hence the same profile).
+  for (TieBreakPolicy Policy :
+       {TieBreakPolicy::ByThreadId, TieBreakPolicy::RoundRobin,
+        TieBreakPolicy::SeededRandom}) {
+    TraceMergeOptions Opts;
+    Opts.Policy = Policy;
+    std::vector<Event> Merged = mergeTraces(PerThread, Opts);
+    EXPECT_EQ(replayProfile(Merged), Live)
+        << "policy " << static_cast<int>(Policy);
+  }
+}
+
+TEST(Integration, MergedSyntheticTracesTieBreakConsistency) {
+  // With artificial ties, different policies may yield different yet
+  // *valid* profiles; the analysis must at minimum stay self-consistent
+  // (Inequality 1, non-negative sizes) under each.
+  SyntheticTraceOptions Gen;
+  Gen.NumThreads = 4;
+  Gen.NumOperations = 4000;
+  Gen.Seed = 23;
+  std::vector<Event> Base = generateSyntheticTrace(Gen);
+  // Collapse timestamps to create many cross-thread ties.
+  for (Event &E : Base)
+    E.Time = (E.Time + 2) / 3;
+  auto PerThread = splitByThread(Base);
+  ASSERT_TRUE(verifyThreadTraces(PerThread));
+
+  for (uint64_t Seed : {1u, 2u, 3u}) {
+    TraceMergeOptions Opts;
+    Opts.Policy = TieBreakPolicy::SeededRandom;
+    Opts.Seed = Seed;
+    std::vector<Event> Merged = mergeTraces(PerThread, Opts);
+    auto Log = replayProfile(Merged);
+    ASSERT_FALSE(Log.empty());
+    for (const ActivationRecord &R : Log)
+      ASSERT_GE(R.Trms, R.Rms);
+  }
+}
+
+TEST(Integration, FullPipelineProducesReports) {
+  const WorkloadInfo *W = findWorkload("dbserver");
+  ASSERT_NE(W, nullptr);
+  WorkloadParams P;
+  P.Threads = 3;
+  P.Size = 40;
+  ProfiledRun Run = profileWorkload(*W, P);
+  ASSERT_TRUE(Run.Run.Ok) << Run.Run.Error;
+
+  std::string Summary = renderRunSummary(Run.Profile, &Run.Symbols);
+  EXPECT_NE(Summary.find("mysql_select"), std::string::npos);
+  EXPECT_NE(Summary.find("input volume"), std::string::npos);
+
+  auto Metrics = computeRoutineMetrics(Run.Profile);
+  EXPECT_GT(Metrics.size(), 5u);
+  std::vector<double> Volumes;
+  for (const RoutineMetrics &M : Metrics)
+    Volumes.push_back(M.InputVolume);
+  auto Tail = tailDistribution(Volumes);
+  ASSERT_FALSE(Tail.empty());
+  EXPECT_GT(Tail.front().second, 0.0) << "no routine with induced input";
+}
+
+TEST(Integration, RenumberingUnderLiveVmMatchesDefault) {
+  const WorkloadInfo *W = findWorkload("dedup");
+  ASSERT_NE(W, nullptr);
+  WorkloadParams P;
+  P.Threads = 3;
+  P.Size = 24;
+
+  TrmsProfilerOptions Default;
+  Default.KeepActivationLog = true;
+  TrmsProfilerOptions Tiny = Default;
+  Tiny.CounterLimit = 2048;
+
+  ProfiledRun A = profileWorkload(*W, P, Default);
+  ProfiledRun B = profileWorkload(*W, P, Tiny);
+  ASSERT_TRUE(A.Run.Ok && B.Run.Ok);
+  EXPECT_EQ(A.Profile.log(), B.Profile.log());
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Context-sensitive profiling (ContextAdapter)
+//===----------------------------------------------------------------------===//
+
+#include "instr/ContextAdapter.h"
+
+namespace {
+
+const char *ContextSource = R"(
+var data[128];
+fn leaf(n) {
+  var s = 0;
+  for (var i = 0; i < n; i = i + 1) { s = s + data[i]; }
+  return s;
+}
+fn viaSmall() { return leaf(4); }
+fn viaBig() { return leaf(64); }
+fn main() {
+  for (var i = 0; i < 128; i = i + 1) { data[i] = i; }
+  var acc = 0;
+  for (var r = 0; r < 6; r = r + 1) {
+    acc = acc + viaSmall() + viaBig();
+  }
+  print(acc);
+  return 0;
+}
+)";
+
+TEST(ContextAdapter, SplitsRoutineProfilesByCallPath) {
+  DiagnosticEngine Diags;
+  auto Prog = compileProgram(ContextSource, Diags);
+  ASSERT_TRUE(Prog.has_value()) << Diags.render();
+
+  TrmsProfilerOptions Opts;
+  TrmsProfiler Inner(Opts);
+  ContextAdapter Adapter(Inner);
+  EventDispatcher Dispatcher;
+  Dispatcher.addTool(&Adapter);
+  Machine M(*Prog, &Dispatcher);
+  ASSERT_TRUE(M.run().Ok);
+
+  // leaf appears as two distinct contexts with distinct input sizes.
+  const SymbolTable &Ctx = Adapter.contextSymbols();
+  RoutineId Small = Ctx.lookup("main > viaSmall > leaf");
+  RoutineId Big = Ctx.lookup("main > viaBig > leaf");
+  ASSERT_NE(Small, ~0u);
+  ASSERT_NE(Big, ~0u);
+  auto Merged = Inner.database().mergedByRoutine();
+  ASSERT_TRUE(Merged.count(Small));
+  ASSERT_TRUE(Merged.count(Big));
+  EXPECT_EQ(Merged.at(Small).activations(), 6u);
+  EXPECT_EQ(Merged.at(Big).activations(), 6u);
+  // The big-context leaf reads far more input than the small-context one.
+  EXPECT_GT(Merged.at(Big).sumTrms(), Merged.at(Small).sumTrms() * 4);
+}
+
+TEST(ContextAdapter, PreservesAggregateTotals) {
+  // Wrapping must only re-key activations, never change their number,
+  // total cost, or total input.
+  DiagnosticEngine Diags;
+  auto Prog = compileProgram(ContextSource, Diags);
+  ASSERT_TRUE(Prog.has_value());
+
+  TrmsProfiler Plain;
+  {
+    EventDispatcher D;
+    D.addTool(&Plain);
+    Machine M(*Prog, &D);
+    ASSERT_TRUE(M.run().Ok);
+  }
+  TrmsProfiler Inner;
+  ContextAdapter Adapter(Inner);
+  {
+    EventDispatcher D;
+    D.addTool(&Adapter);
+    Machine M(*Prog, &D);
+    ASSERT_TRUE(M.run().Ok);
+  }
+
+  EXPECT_EQ(Plain.database().totalActivations(),
+            Inner.database().totalActivations());
+  auto totals = [](const ProfileDatabase &Db) {
+    uint64_t Cost = 0, Trms = 0, Rms = 0;
+    for (const auto &[Key, Profile] : Db.threadRoutineProfiles()) {
+      Cost += Profile.totalCost();
+      Trms += Profile.sumTrms();
+      Rms += Profile.sumRms();
+    }
+    return std::tuple(Cost, Trms, Rms);
+  };
+  EXPECT_EQ(totals(Plain.database()), totals(Inner.database()));
+  // ...while the context view has strictly more profile keys.
+  EXPECT_GT(Inner.database().mergedByRoutine().size(),
+            Plain.database().mergedByRoutine().size());
+}
+
+TEST(ContextAdapter, RecursionProducesPerDepthContexts) {
+  const char *Source = R"(
+    fn down(n) {
+      if (n == 0) { return 0; }
+      return down(n - 1) + 1;
+    }
+    fn main() { return down(4); }
+  )";
+  DiagnosticEngine Diags;
+  auto Prog = compileProgram(Source, Diags);
+  ASSERT_TRUE(Prog.has_value());
+  TrmsProfiler Inner;
+  ContextAdapter Adapter(Inner);
+  EventDispatcher D;
+  D.addTool(&Adapter);
+  Machine M(*Prog, &D);
+  ASSERT_TRUE(M.run().Ok);
+  // main, main>down, main>down>down, ..., 5 levels of down.
+  EXPECT_EQ(Adapter.contextCount(), 6u);
+  EXPECT_NE(Adapter.contextSymbols().lookup(
+                "main > down > down > down > down > down"),
+            ~0u);
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+//===- tests/ShadowTest.cpp - Shadow memory unit tests -------------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "shadow/ShadowMemory.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace isp;
+
+namespace {
+
+TEST(ThreeLevelShadow, DefaultsToZero) {
+  ThreeLevelShadow<uint64_t> Shadow;
+  EXPECT_EQ(Shadow.get(0), 0u);
+  EXPECT_EQ(Shadow.get(123456789), 0u);
+  EXPECT_EQ(Shadow.bytesAllocated(), 0u);
+}
+
+TEST(ThreeLevelShadow, SetGetAcrossChunkBoundaries) {
+  ThreeLevelShadow<uint64_t> Shadow;
+  const Addr Boundary = ThreeLevelShadow<uint64_t>::ChunkCells;
+  Shadow.set(Boundary - 1, 11);
+  Shadow.set(Boundary, 22);
+  Shadow.set(Boundary * 5 + 3, 33);
+  EXPECT_EQ(Shadow.get(Boundary - 1), 11u);
+  EXPECT_EQ(Shadow.get(Boundary), 22u);
+  EXPECT_EQ(Shadow.get(Boundary * 5 + 3), 33u);
+  EXPECT_EQ(Shadow.get(Boundary + 1), 0u);
+}
+
+TEST(ThreeLevelShadow, SparseAllocationIsLazy) {
+  ThreeLevelShadow<uint64_t> Shadow;
+  // Touch two far-apart addresses: only two chunks (plus secondaries)
+  // must be materialized.
+  Shadow.set(0, 1);
+  Shadow.set(Addr(1) << 26, 2);
+  uint64_t TwoChunks = Shadow.bytesAllocated();
+  Shadow.set(1, 3); // same chunk as address 0
+  EXPECT_EQ(Shadow.bytesAllocated(), TwoChunks);
+  Shadow.set(Addr(1) << 25, 4); // new chunk
+  EXPECT_GT(Shadow.bytesAllocated(), TwoChunks);
+}
+
+TEST(ThreeLevelShadow, ForEachNonZeroVisitsExactlyLiveCells) {
+  ThreeLevelShadow<uint64_t> Shadow;
+  std::map<Addr, uint64_t> Expected = {
+      {7, 1}, {8192, 2}, {100000, 3}, {(Addr(1) << 25) + 17, 4}};
+  for (auto &[A, V] : Expected)
+    Shadow.set(A, V);
+  Shadow.set(55, 9);
+  Shadow.set(55, 0); // zeroed again: must not be visited
+
+  std::map<Addr, uint64_t> Seen;
+  Shadow.forEachNonZero([&](Addr A, uint64_t &V) { Seen[A] = V; });
+  EXPECT_EQ(Seen, Expected);
+}
+
+TEST(ThreeLevelShadow, ForEachNonZeroAllowsRewriting) {
+  ThreeLevelShadow<uint64_t> Shadow;
+  for (Addr A = 0; A != 100; ++A)
+    Shadow.set(A * 1000, A + 1);
+  Shadow.forEachNonZero([&](Addr A, uint64_t &V) { V *= 2; });
+  for (Addr A = 0; A != 100; ++A)
+    EXPECT_EQ(Shadow.get(A * 1000), (A + 1) * 2);
+}
+
+TEST(ThreeLevelShadow, ClearReleasesEverything) {
+  ThreeLevelShadow<uint32_t> Shadow;
+  Shadow.set(42, 7);
+  Shadow.clear();
+  EXPECT_EQ(Shadow.get(42), 0u);
+  EXPECT_EQ(Shadow.bytesAllocated(), 0u);
+}
+
+TEST(DenseShadow, MatchesThreeLevelOnRandomWorkload) {
+  ThreeLevelShadow<uint64_t> Three;
+  DenseShadow<uint64_t> Dense;
+  Rng R(17);
+  for (int I = 0; I != 20000; ++I) {
+    Addr A = R.nextBelow(1 << 22);
+    if (R.nextBool(0.5)) {
+      uint64_t V = R.next() | 1;
+      Three.set(A, V);
+      Dense.set(A, V);
+    } else {
+      EXPECT_EQ(Three.get(A), Dense.get(A));
+    }
+  }
+}
+
+TEST(DenseShadow, FootprintGrowsWithPopulation) {
+  DenseShadow<uint64_t> Dense;
+  uint64_t Empty = Dense.bytesAllocated();
+  for (Addr A = 0; A != 10000; ++A)
+    Dense.set(A * 7, A + 1);
+  EXPECT_GT(Dense.bytesAllocated(), Empty + 10000 * sizeof(uint64_t));
+}
+
+TEST(ShadowSpace, ThreeLevelWinsOnClusteredAddresses) {
+  // The paper's design point: threads touch clustered regions, so chunked
+  // tables cost far less than per-cell hash nodes.
+  ThreeLevelShadow<uint64_t> Three;
+  DenseShadow<uint64_t> Dense;
+  for (Addr A = 0; A != 200000; ++A) {
+    Three.set(A, A + 1);
+    Dense.set(A, A + 1);
+  }
+  EXPECT_LT(Three.totalBytes(), Dense.totalBytes());
+}
+
+} // namespace

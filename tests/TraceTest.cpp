@@ -1,0 +1,324 @@
+//===- tests/TraceTest.cpp - Trace model, merger, serialization ----------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Event.h"
+#include "trace/Synthetic.h"
+#include "trace/TraceFile.h"
+#include "trace/TraceMerger.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+
+using namespace isp;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Merger (Section 4)
+//===----------------------------------------------------------------------===//
+
+TEST(TraceMerger, InterleavesByTimestamp) {
+  std::vector<std::vector<Event>> Traces(2);
+  Traces[0] = {Event::call(0, 1, 0), Event::read(0, 5, 10),
+               Event::ret(0, 9, 0, 0)};
+  Traces[1] = {Event::call(1, 2, 1), Event::write(1, 6, 10),
+               Event::ret(1, 7, 1, 0)};
+  TraceMergeOptions Opts;
+  Opts.InsertThreadSwitches = false;
+  std::vector<Event> Merged = mergeTraces(Traces, Opts);
+  ASSERT_EQ(Merged.size(), 6u);
+  for (size_t I = 1; I != Merged.size(); ++I)
+    EXPECT_LE(Merged[I - 1].Time, Merged[I].Time);
+  EXPECT_EQ(Merged[0].Time, 1u);
+  EXPECT_EQ(Merged[5].Time, 9u);
+}
+
+TEST(TraceMerger, InsertsThreadSwitches) {
+  std::vector<std::vector<Event>> Traces(2);
+  Traces[0] = {Event::read(0, 1, 10), Event::read(0, 3, 11)};
+  Traces[1] = {Event::read(1, 2, 20)};
+  std::vector<Event> Merged = mergeTraces(Traces);
+  // r0, switch(1), r1, switch(0), r0.
+  ASSERT_EQ(Merged.size(), 5u);
+  EXPECT_EQ(Merged[1].Kind, EventKind::ThreadSwitch);
+  EXPECT_EQ(Merged[1].Arg0, 1u);
+  EXPECT_EQ(Merged[3].Kind, EventKind::ThreadSwitch);
+  EXPECT_EQ(Merged[3].Arg0, 0u);
+}
+
+TEST(TraceMerger, TieBreakByThreadId) {
+  std::vector<std::vector<Event>> Traces(2);
+  Traces[0] = {Event::read(7, 5, 1)};
+  Traces[1] = {Event::read(3, 5, 2)};
+  TraceMergeOptions Opts;
+  Opts.InsertThreadSwitches = false;
+  std::vector<Event> Merged = mergeTraces(Traces, Opts);
+  ASSERT_EQ(Merged.size(), 2u);
+  EXPECT_EQ(Merged[0].Tid, 3u);
+  EXPECT_EQ(Merged[1].Tid, 7u);
+}
+
+TEST(TraceMerger, SeededRandomTieBreakIsDeterministic) {
+  std::vector<std::vector<Event>> Traces(3);
+  for (ThreadId T = 0; T != 3; ++T)
+    for (uint64_t Time = 1; Time != 40; ++Time)
+      Traces[T].push_back(Event::read(T, Time, 100 + T));
+  TraceMergeOptions Opts;
+  Opts.Policy = TieBreakPolicy::SeededRandom;
+  Opts.Seed = 99;
+  std::vector<Event> A = mergeTraces(Traces, Opts);
+  std::vector<Event> B = mergeTraces(Traces, Opts);
+  EXPECT_EQ(A, B);
+  Opts.Seed = 100;
+  std::vector<Event> C = mergeTraces(Traces, Opts);
+  EXPECT_NE(A, C);
+}
+
+TEST(TraceMerger, PreservesPerThreadOrderUnderAnyPolicy) {
+  SyntheticTraceOptions Gen;
+  Gen.NumThreads = 4;
+  Gen.NumOperations = 2000;
+  Gen.Seed = 5;
+  std::vector<Event> Original = generateSyntheticTrace(Gen);
+  auto PerThread = splitByThread(Original);
+  for (TieBreakPolicy Policy :
+       {TieBreakPolicy::ByThreadId, TieBreakPolicy::RoundRobin,
+        TieBreakPolicy::SeededRandom}) {
+    TraceMergeOptions Opts;
+    Opts.Policy = Policy;
+    std::vector<Event> Merged = mergeTraces(PerThread, Opts);
+    // Per-thread subsequences must match the originals exactly.
+    std::map<ThreadId, size_t> Cursor;
+    for (const Event &E : Merged) {
+      if (E.Kind == EventKind::ThreadSwitch)
+        continue;
+      size_t &Pos = Cursor[E.Tid];
+      bool Found = false;
+      for (const auto &Trace : PerThread) {
+        if (!Trace.empty() && Trace.front().Tid == E.Tid) {
+          ASSERT_LT(Pos, Trace.size());
+          EXPECT_EQ(Trace[Pos], E);
+          Found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(Found);
+      ++Pos;
+    }
+  }
+}
+
+TEST(TraceMerger, SyntheticRoundTripsExactly) {
+  // Synthetic traces have unique timestamps, so split + merge must
+  // reproduce them exactly (modulo inserted switches).
+  SyntheticTraceOptions Gen;
+  Gen.NumThreads = 3;
+  Gen.NumOperations = 3000;
+  Gen.Seed = 11;
+  std::vector<Event> Original = generateSyntheticTrace(Gen);
+  TraceMergeOptions Opts;
+  Opts.InsertThreadSwitches = false;
+  std::vector<Event> Merged = mergeTraces(splitByThread(Original), Opts);
+  EXPECT_EQ(Original, Merged);
+}
+
+TEST(TraceMerger, VerifyCatchesBadInput) {
+  std::vector<std::vector<Event>> Mixed(1);
+  Mixed[0] = {Event::read(0, 5, 1), Event::read(1, 6, 1)};
+  EXPECT_FALSE(verifyThreadTraces(Mixed));
+  std::vector<std::vector<Event>> Unsorted(1);
+  Unsorted[0] = {Event::read(0, 5, 1), Event::read(0, 4, 1)};
+  EXPECT_FALSE(verifyThreadTraces(Unsorted));
+  std::vector<std::vector<Event>> Good(1);
+  Good[0] = {Event::read(0, 4, 1), Event::read(0, 4, 2)};
+  EXPECT_TRUE(verifyThreadTraces(Good));
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+TEST(TraceFile, InMemoryRoundTrip) {
+  TraceData Data;
+  Data.Routines = {{0, "main"}, {1, "worker"}};
+  SyntheticTraceOptions Gen;
+  Gen.NumOperations = 500;
+  Gen.Seed = 3;
+  Data.Events = generateSyntheticTrace(Gen);
+
+  std::string Bytes = serializeTrace(Data);
+  TraceData Back;
+  ASSERT_TRUE(deserializeTrace(Bytes, Back));
+  EXPECT_EQ(Back.Routines, Data.Routines);
+  EXPECT_EQ(Back.Events, Data.Events);
+}
+
+TEST(TraceFile, RejectsCorruptInput) {
+  TraceData Data;
+  Data.Events = {Event::read(0, 1, 1)};
+  std::string Bytes = serializeTrace(Data);
+
+  TraceData Back;
+  EXPECT_FALSE(deserializeTrace("not a trace", Back));
+  EXPECT_FALSE(deserializeTrace(Bytes.substr(0, Bytes.size() - 3), Back));
+  std::string BadMagic = Bytes;
+  BadMagic[0] = 'X';
+  EXPECT_FALSE(deserializeTrace(BadMagic, Back));
+  std::string BadKind = Bytes;
+  BadKind[8 + 4 + 8] = 120; // event kind byte out of range
+  EXPECT_FALSE(deserializeTrace(BadKind, Back));
+}
+
+TEST(TraceFile, FileRoundTrip) {
+  TraceData Data;
+  Data.Routines = {{0, "f"}};
+  Data.Events = {Event::call(0, 1, 0), Event::ret(0, 2, 0, 0)};
+  std::string Path = ::testing::TempDir() + "isprof_trace_test.bin";
+  ASSERT_TRUE(writeTraceFile(Path, Data));
+  TraceData Back;
+  ASSERT_TRUE(readTraceFile(Path, Back));
+  EXPECT_EQ(Back.Events, Data.Events);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Synthetic generator validity
+//===----------------------------------------------------------------------===//
+
+class SyntheticValidityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SyntheticValidityTest, TracesAreWellFormed) {
+  SyntheticTraceOptions Gen;
+  Gen.NumThreads = 1 + GetParam() % 7;
+  Gen.NumOperations = 3000;
+  Gen.Seed = GetParam();
+  std::vector<Event> Trace = generateSyntheticTrace(Gen);
+
+  std::map<ThreadId, int> Depth;
+  std::map<ThreadId, bool> Started, Ended;
+  uint64_t LastTime = 0;
+  for (const Event &E : Trace) {
+    EXPECT_GT(E.Time, LastTime) << "timestamps must be strictly increasing";
+    LastTime = E.Time;
+    switch (E.Kind) {
+    case EventKind::ThreadStart:
+      EXPECT_FALSE(Started[E.Tid]);
+      Started[E.Tid] = true;
+      break;
+    case EventKind::ThreadEnd:
+      EXPECT_EQ(Depth[E.Tid], 0) << "all calls must return before end";
+      Ended[E.Tid] = true;
+      break;
+    case EventKind::Call:
+      ++Depth[E.Tid];
+      break;
+    case EventKind::Return:
+      --Depth[E.Tid];
+      EXPECT_GE(Depth[E.Tid], 0);
+      break;
+    case EventKind::Read:
+    case EventKind::Write:
+    case EventKind::KernelRead:
+    case EventKind::KernelWrite:
+      EXPECT_TRUE(Started[E.Tid]);
+      EXPECT_FALSE(Ended[E.Tid]);
+      EXPECT_GT(Depth[E.Tid], 0) << "memory ops only inside activations";
+      break;
+    default:
+      break;
+    }
+  }
+  for (auto &[Tid, WasStarted] : Started)
+    EXPECT_TRUE(Ended[Tid]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyntheticValidityTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 10, 20, 40));
+
+TEST(EventModel, KindNamesAreDistinct) {
+  EXPECT_STREQ(eventKindName(EventKind::Call), "Call");
+  EXPECT_STREQ(eventKindName(EventKind::KernelWrite), "KernelWrite");
+  EXPECT_STREQ(eventKindName(EventKind::ThreadSwitch), "ThreadSwitch");
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Compressed (v2) trace format
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+TraceData makeSampleTrace(uint64_t Operations, uint64_t Seed) {
+  TraceData Data;
+  Data.Routines = {{0, "main"}, {1, "worker"}, {2, "very_long_routine_name"}};
+  SyntheticTraceOptions Gen;
+  Gen.NumThreads = 4;
+  Gen.NumOperations = Operations;
+  Gen.Seed = Seed;
+  Data.Events = generateSyntheticTrace(Gen);
+  return Data;
+}
+
+TEST(TraceFileV2, RoundTripsExactly) {
+  TraceData Data = makeSampleTrace(4000, 9);
+  std::string Bytes = serializeTrace(Data, TraceFormat::Compressed);
+  TraceData Back;
+  ASSERT_TRUE(deserializeTrace(Bytes, Back));
+  EXPECT_EQ(Back.Routines, Data.Routines);
+  EXPECT_EQ(Back.Events, Data.Events);
+}
+
+TEST(TraceFileV2, SubstantiallySmallerThanRaw) {
+  TraceData Data = makeSampleTrace(20000, 10);
+  size_t Raw = serializeTrace(Data, TraceFormat::Raw).size();
+  size_t Compressed =
+      serializeTrace(Data, TraceFormat::Compressed).size();
+  EXPECT_LT(Compressed * 3, Raw)
+      << "raw " << Raw << " vs compressed " << Compressed;
+}
+
+TEST(TraceFileV2, RejectsCorruptInput) {
+  TraceData Data = makeSampleTrace(100, 11);
+  std::string Bytes = serializeTrace(Data, TraceFormat::Compressed);
+  TraceData Back;
+  EXPECT_FALSE(
+      deserializeTrace(Bytes.substr(0, Bytes.size() - 2), Back));
+  std::string Grown = Bytes + "x";
+  EXPECT_FALSE(deserializeTrace(Grown, Back));
+  std::string BadKind = Bytes;
+  // Find the first event's kind byte and corrupt it. The header is
+  // magic + varints, so corrupt a byte late in the stream instead and
+  // accept either failure or a changed payload — the contract is "never
+  // crash, never silently accept truncation".
+  BadKind[BadKind.size() / 2] = static_cast<char>(0xff);
+  TraceData Whatever;
+  (void)deserializeTrace(BadKind, Whatever);
+}
+
+TEST(TraceFileV2, FileRoundTripDefaultsToCompressed) {
+  TraceData Data = makeSampleTrace(500, 12);
+  std::string Path = ::testing::TempDir() + "isprof_trace_v2.bin";
+  ASSERT_TRUE(writeTraceFile(Path, Data)); // default: compressed
+  TraceData Back;
+  ASSERT_TRUE(readTraceFile(Path, Back));
+  EXPECT_EQ(Back.Events, Data.Events);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceFileV2, BothFormatsInteroperate) {
+  TraceData Data = makeSampleTrace(800, 13);
+  for (TraceFormat Format : {TraceFormat::Raw, TraceFormat::Compressed}) {
+    std::string Bytes = serializeTrace(Data, Format);
+    TraceData Back;
+    ASSERT_TRUE(deserializeTrace(Bytes, Back));
+    EXPECT_EQ(Back.Events, Data.Events);
+  }
+}
+
+} // namespace

@@ -1,0 +1,305 @@
+//===- tests/VmFrontendTest.cpp - Lexer/parser/compiler tests ------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Compiler.h"
+#include "vm/Lexer.h"
+#include "vm/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace isp;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source, DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  return Lex.lexAll();
+}
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(Lexer, TokenizesOperatorsAndKeywords) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("fn var if else while for return spawn "
+                    "== != <= >= && || ! = < > + - * / % ( ) { } [ ] , ;",
+                    Diags);
+  EXPECT_FALSE(Diags.hasErrors());
+  ASSERT_GE(Tokens.size(), 31u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::KwFn);
+  EXPECT_EQ(Tokens[7].Kind, TokenKind::KwSpawn);
+  EXPECT_EQ(Tokens[8].Kind, TokenKind::EqualEqual);
+  EXPECT_EQ(Tokens[13].Kind, TokenKind::PipePipe);
+  EXPECT_EQ(Tokens.back().Kind, TokenKind::EndOfFile);
+}
+
+TEST(Lexer, NumbersIdentifiersAndComments) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("abc_1 42 // a comment\n7", Diags);
+  EXPECT_FALSE(Diags.hasErrors());
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[0].Text, "abc_1");
+  EXPECT_EQ(Tokens[1].IntValue, 42);
+  EXPECT_EQ(Tokens[2].IntValue, 7);
+  EXPECT_EQ(Tokens[2].Line, 2u);
+}
+
+TEST(Lexer, ReportsBadCharactersAndOverflow) {
+  DiagnosticEngine Diags;
+  lex("@", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  DiagnosticEngine Diags2;
+  lex("999999999999999999999999999", Diags2);
+  EXPECT_TRUE(Diags2.hasErrors());
+}
+
+TEST(Lexer, TracksColumns) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("a bb", Diags);
+  EXPECT_EQ(Tokens[0].Column, 1u);
+  EXPECT_EQ(Tokens[1].Column, 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+Module parseOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Module M = parseSource(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.render();
+  return M;
+}
+
+void expectParseError(const std::string &Source) {
+  DiagnosticEngine Diags;
+  parseSource(Source, Diags);
+  EXPECT_TRUE(Diags.hasErrors()) << "expected a parse error for: " << Source;
+}
+
+TEST(Parser, FunctionsAndGlobals) {
+  Module M = parseOk("var g = 5; var arr[10]; fn main() { return g; }");
+  ASSERT_EQ(M.Globals.size(), 2u);
+  EXPECT_EQ(M.Globals[0].Name, "g");
+  EXPECT_EQ(M.Globals[0].InitValue, 5);
+  EXPECT_TRUE(M.Globals[1].IsArray);
+  EXPECT_EQ(M.Globals[1].ArraySize, 10u);
+  ASSERT_EQ(M.Functions.size(), 1u);
+  EXPECT_EQ(M.Functions[0]->Name, "main");
+}
+
+TEST(Parser, PrecedenceShape) {
+  Module M = parseOk("fn main() { return 1 + 2 * 3 < 4 && 5 == 6; }");
+  const auto &Body = M.Functions[0]->Body->Body;
+  ASSERT_EQ(Body.size(), 1u);
+  const auto *Ret = static_cast<const ReturnStmt *>(Body[0].get());
+  // Top level must be &&.
+  ASSERT_EQ(Ret->Value->Kind, ExprKind::Binary);
+  const auto *Top = static_cast<const BinaryExpr *>(Ret->Value.get());
+  EXPECT_EQ(Top->Op, BinaryOp::LogicalAnd);
+  // Left operand of && is the comparison.
+  ASSERT_EQ(Top->Lhs->Kind, ExprKind::Binary);
+  EXPECT_EQ(static_cast<const BinaryExpr *>(Top->Lhs.get())->Op,
+            BinaryOp::Lt);
+}
+
+TEST(Parser, IndexedAssignmentVsExpression) {
+  Module M = parseOk("var a[4]; fn main() { a[1 + 2] = 7; a[0]; return 0; }");
+  const auto &Body = M.Functions[0]->Body->Body;
+  ASSERT_EQ(Body.size(), 3u);
+  EXPECT_EQ(Body[0]->Kind, StmtKind::IndexAssign);
+  EXPECT_EQ(Body[1]->Kind, StmtKind::ExprStmt);
+}
+
+TEST(Parser, ControlFlowForms) {
+  Module M = parseOk(R"(
+    fn main() {
+      var i = 0;
+      while (i < 10) { i = i + 1; }
+      for (var j = 0; j < 5; j = j + 1) { i = i + j; }
+      for (;;) { return i; }
+      if (i > 3) { i = 0; } else { i = 1; }
+      return i;
+    })");
+  EXPECT_EQ(M.Functions[0]->Body->Body.size(), 6u);
+}
+
+TEST(Parser, SpawnAndCalls) {
+  Module M = parseOk("fn w(x) { return x; } "
+                     "fn main() { var t = spawn w(3); return join(t); }");
+  ASSERT_EQ(M.Functions.size(), 2u);
+}
+
+TEST(Parser, ErrorRecoveryReportsMultiple) {
+  DiagnosticEngine Diags;
+  parseSource("fn main() { var = 3; var ok = 4; retrn 5; }", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_GE(Diags.diagnostics().size(), 1u);
+}
+
+TEST(Parser, RejectsMalformedConstructs) {
+  expectParseError("fn main( { return 0; }");
+  expectParseError("fn main() { if i > 3 { } return 0; }");
+  expectParseError("var x[]; fn main() { return 0; }");
+  expectParseError("fn main() { return 0 }");
+  expectParseError("xyz;");
+}
+
+//===----------------------------------------------------------------------===//
+// Compiler (semantic analysis)
+//===----------------------------------------------------------------------===//
+
+void expectCompileError(const std::string &Source,
+                        const std::string &Fragment) {
+  DiagnosticEngine Diags;
+  auto Prog = compileProgram(Source, Diags);
+  EXPECT_FALSE(Prog.has_value());
+  EXPECT_NE(Diags.render().find(Fragment), std::string::npos)
+      << "diagnostics were:\n"
+      << Diags.render();
+}
+
+TEST(Compiler, RequiresMain) {
+  expectCompileError("fn f() { return 0; }", "no 'main'");
+  expectCompileError("fn main(x) { return x; }", "no parameters");
+}
+
+TEST(Compiler, RejectsUndeclaredNames) {
+  expectCompileError("fn main() { return nope; }", "undeclared variable");
+  expectCompileError("fn main() { nope = 3; return 0; }",
+                     "undeclared variable");
+  expectCompileError("fn main() { return nope(); }", "undeclared function");
+  expectCompileError("fn main() { var t = spawn nope(); return 0; }",
+                     "undeclared function");
+}
+
+TEST(Compiler, ChecksArity) {
+  expectCompileError("fn f(a, b) { return a + b; } fn main() { return f(1); }",
+                     "expects 2 argument(s)");
+  expectCompileError("fn main() { return rand(1, 2); }",
+                     "expects 1 argument(s)");
+}
+
+TEST(Compiler, RejectsRedeclarations) {
+  expectCompileError("fn main() { var x = 1; var x = 2; return x; }",
+                     "redeclaration");
+  expectCompileError("var g; var g; fn main() { return 0; }",
+                     "redeclaration");
+  expectCompileError("fn f() { return 0; } fn f() { return 1; } "
+                     "fn main() { return 0; }",
+                     "redefinition");
+  expectCompileError("fn print(x) { return x; } fn main() { return 0; }",
+                     "builtin");
+}
+
+TEST(Compiler, AllowsShadowingInInnerScopes) {
+  DiagnosticEngine Diags;
+  auto Prog = compileProgram(
+      "fn main() { var x = 1; { var x = 2; } return x; }", Diags);
+  EXPECT_TRUE(Prog.has_value()) << Diags.render();
+}
+
+TEST(Compiler, LaysOutGlobals) {
+  DiagnosticEngine Diags;
+  auto Prog = compileProgram(
+      "var a = 3; var b[8]; var c; fn main() { return a; }", Diags);
+  ASSERT_TRUE(Prog.has_value());
+  // 3 variable cells + 8 array cells.
+  EXPECT_EQ(Prog->GlobalCells, 11u);
+  // Initializers: a's value and b's base address.
+  EXPECT_EQ(Prog->GlobalInits.size(), 2u);
+}
+
+TEST(Compiler, EmitsBasicBlockMarkers) {
+  DiagnosticEngine Diags;
+  auto Prog = compileProgram(
+      "fn main() { var i = 0; while (i < 3) { i = i + 1; } return i; }",
+      Diags);
+  ASSERT_TRUE(Prog.has_value());
+  unsigned Markers = 0;
+  for (const Instr &I : Prog->Functions[0].Code)
+    if (I.Opcode == Op::BasicBlock)
+      ++Markers;
+  // Entry, loop header, loop exit.
+  EXPECT_EQ(Markers, 3u);
+}
+
+TEST(Compiler, ForwardReferencesResolve) {
+  DiagnosticEngine Diags;
+  auto Prog = compileProgram(
+      "fn main() { return later(2); } fn later(x) { return x * 2; }", Diags);
+  EXPECT_TRUE(Prog.has_value()) << Diags.render();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Disassembler
+//===----------------------------------------------------------------------===//
+
+#include "vm/Disasm.h"
+
+namespace {
+
+TEST(Disasm, RendersOpcodesAndCallees) {
+  DiagnosticEngine Diags;
+  auto Prog = compileProgram(R"(
+    fn helper(x) { return x * 2; }
+    fn main() {
+      var a[4];
+      a[0] = helper(21);
+      var t = spawn helper(1);
+      join(t);
+      print(a[0]);
+      return 0;
+    })",
+                             Diags);
+  ASSERT_TRUE(Prog.has_value()) << Diags.render();
+  std::string Text = disassembleProgram(*Prog);
+  EXPECT_NE(Text.find("fn helper (1 params"), std::string::npos);
+  EXPECT_NE(Text.find("call           helper, 1 args"), std::string::npos);
+  EXPECT_NE(Text.find("spawn          helper, 1 args"), std::string::npos);
+  EXPECT_NE(Text.find("call_builtin   join, 1 args"), std::string::npos);
+  EXPECT_NE(Text.find("alloca_array"), std::string::npos);
+  EXPECT_NE(Text.find("store_indirect"), std::string::npos);
+  EXPECT_NE(Text.find("globals: 0 cell(s)"), std::string::npos);
+}
+
+TEST(Disasm, JumpTargetsAreInRange) {
+  DiagnosticEngine Diags;
+  auto Prog = compileProgram(R"(
+    fn main() {
+      var s = 0;
+      for (var i = 0; i < 8; i = i + 1) {
+        if (i % 3 == 0) { continue; }
+        if (i == 7) { break; }
+        s = s + i && s < 100 || i > 2;
+      }
+      return s;
+    })",
+                             Diags);
+  ASSERT_TRUE(Prog.has_value()) << Diags.render();
+  for (const Function &F : Prog->Functions) {
+    for (const Instr &I : F.Code) {
+      if (I.Opcode == Op::Jump || I.Opcode == Op::JumpIfFalse ||
+          I.Opcode == Op::JumpIfTrue) {
+        EXPECT_GE(I.A, 0);
+        EXPECT_LT(static_cast<size_t>(I.A), F.Code.size());
+      }
+    }
+  }
+}
+
+TEST(Parser, BreakContinueParse) {
+  Module M = parseOk(
+      "fn main() { while (1) { break; } for (;;) { continue; } return 0; }");
+  EXPECT_EQ(M.Functions.size(), 1u);
+  expectParseError("fn main() { break }");
+}
+
+} // namespace

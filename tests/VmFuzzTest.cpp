@@ -1,0 +1,287 @@
+//===- tests/VmFuzzTest.cpp - Random guest program fuzzing ---------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Generates random well-formed guest programs (terminating by
+// construction: bounded loops, acyclic call graphs, in-bounds array
+// indexing, division guarded away from zero) and checks that across the
+// whole stack:
+//   - the frontend accepts them and the VM runs them without errors,
+//   - execution is deterministic,
+//   - the event stream satisfies the structural invariants,
+//   - the timestamping profiler agrees with the naive oracle on the
+//     generated (realistic, VM-shaped) traces — complementing the
+//     synthetic-trace property tests with programs that have genuine
+//     loops, data flow, and fork/join structure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/NaiveProfiler.h"
+#include "core/TrmsProfiler.h"
+#include "instr/Dispatcher.h"
+#include "support/Format.h"
+#include "support/Random.h"
+#include "tools/ToolRegistry.h"
+#include "vm/Compiler.h"
+#include "vm/Optimizer.h"
+#include "vm/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace isp;
+
+namespace {
+
+/// Emits random guest source. Every generated program terminates: loop
+/// bounds are literals, the call graph only points to previously
+/// emitted functions, and spawn appears only in main with a matching
+/// join.
+class ProgramFuzzer {
+public:
+  explicit ProgramFuzzer(uint64_t Seed, bool WithThreads = true)
+      : R(Seed), WithThreads(WithThreads) {}
+
+  std::string generate() {
+    Out.clear();
+    NumGlobals = 2 + R.nextBelow(4);
+    GlobalArraySize = 8 + R.nextBelow(24);
+    for (unsigned I = 0; I != NumGlobals; ++I)
+      Out += formatString("var g%u;\n", I);
+    Out += formatString("var arr[%u];\n\n", GlobalArraySize);
+
+    NumFunctions = 2 + R.nextBelow(4);
+    for (unsigned F = 0; F != NumFunctions; ++F)
+      emitFunction(F);
+    emitMain();
+    return Out;
+  }
+
+private:
+  /// An expression over the names in scope; depth-bounded.
+  std::string expr(unsigned Depth, unsigned NumParams) {
+    unsigned Choice = static_cast<unsigned>(R.nextBelow(Depth == 0 ? 3 : 6));
+    switch (Choice) {
+    case 0:
+      return std::to_string(R.nextBelow(100));
+    case 1:
+      return formatString("g%u", static_cast<unsigned>(
+                                     R.nextBelow(NumGlobals)));
+    case 2:
+      if (NumParams > 0)
+        return formatString("p%u", static_cast<unsigned>(
+                                       R.nextBelow(NumParams)));
+      return std::to_string(R.nextBelow(100));
+    case 3: {
+      const char *Ops[] = {"+", "-", "*"};
+      return formatString("(%s %s %s)",
+                          expr(Depth - 1, NumParams).c_str(),
+                          Ops[R.nextBelow(3)],
+                          expr(Depth - 1, NumParams).c_str());
+    }
+    case 4:
+      // Guarded division/modulo: the divisor is always in [1, 7].
+      return formatString("(%s / (%s %% 7 + 7))",
+                          expr(Depth - 1, NumParams).c_str(),
+                          expr(Depth - 1, NumParams).c_str());
+    default:
+      return formatString("arr[%s]", indexExpr(NumParams).c_str());
+    }
+  }
+
+  /// An always-in-bounds index into the global array.
+  std::string indexExpr(unsigned NumParams) {
+    return formatString("((%s %% %u + %u) %% %u)",
+                        expr(1, NumParams).c_str(), GlobalArraySize,
+                        GlobalArraySize, GlobalArraySize);
+  }
+
+  void emitStatement(unsigned FnIndex, unsigned NumParams,
+                     unsigned Depth) {
+    switch (R.nextBelow(Depth == 0 ? 4 : 6)) {
+    case 0:
+      Out += formatString("  g%u = %s;\n",
+                          static_cast<unsigned>(R.nextBelow(NumGlobals)),
+                          expr(2, NumParams).c_str());
+      return;
+    case 1:
+      Out += formatString("  arr[%s] = %s;\n",
+                          indexExpr(NumParams).c_str(),
+                          expr(2, NumParams).c_str());
+      return;
+    case 2:
+      Out += formatString("  acc = acc + %s;\n",
+                          expr(2, NumParams).c_str());
+      return;
+    case 3:
+      // Call a previously defined function (acyclic call graph).
+      if (FnIndex > 0) {
+        unsigned Callee = static_cast<unsigned>(R.nextBelow(FnIndex));
+        Out += formatString("  acc = acc + f%u(%s, %s);\n", Callee,
+                            expr(1, NumParams).c_str(),
+                            expr(1, NumParams).c_str());
+      } else {
+        Out += "  acc = acc + 1;\n";
+      }
+      return;
+    case 4: {
+      // Bounded loop.
+      unsigned Bound = 1 + static_cast<unsigned>(R.nextBelow(6));
+      Out += formatString(
+          "  for (var i%u = 0; i%u < %u; i%u = i%u + 1) {\n", Depth,
+          Depth, Bound, Depth, Depth);
+      unsigned Body = 1 + static_cast<unsigned>(R.nextBelow(2));
+      for (unsigned I = 0; I != Body; ++I) {
+        Out += "  ";
+        emitStatement(FnIndex, NumParams, Depth - 1);
+      }
+      if (R.nextBool(0.2))
+        Out += formatString("    if (i%u == %u) { break; }\n", Depth,
+                            static_cast<unsigned>(R.nextBelow(Bound)));
+      Out += "  }\n";
+      return;
+    }
+    default:
+      Out += formatString("  if (%s > %s) {\n  ",
+                          expr(1, NumParams).c_str(),
+                          expr(1, NumParams).c_str());
+      emitStatement(FnIndex, NumParams, Depth - 1);
+      if (R.nextBool(0.5)) {
+        Out += "  } else {\n  ";
+        emitStatement(FnIndex, NumParams, Depth - 1);
+      }
+      Out += "  }\n";
+      return;
+    }
+  }
+
+  void emitFunction(unsigned FnIndex) {
+    Out += formatString("fn f%u(p0, p1) {\n  var acc = 0;\n", FnIndex);
+    unsigned Statements = 2 + static_cast<unsigned>(R.nextBelow(5));
+    for (unsigned I = 0; I != Statements; ++I)
+      emitStatement(FnIndex, /*NumParams=*/2, /*Depth=*/2);
+    Out += "  return acc;\n}\n\n";
+  }
+
+  void emitMain() {
+    Out += "fn main() {\n  var acc = 0;\n";
+    unsigned Spawns =
+        WithThreads ? static_cast<unsigned>(R.nextBelow(4)) : 0;
+    for (unsigned I = 0; I != Spawns; ++I)
+      Out += formatString(
+          "  var t%u = spawn f%u(%u, %u);\n", I,
+          static_cast<unsigned>(R.nextBelow(NumFunctions)),
+          static_cast<unsigned>(R.nextBelow(50)),
+          static_cast<unsigned>(R.nextBelow(50)));
+    unsigned Statements = 1 + static_cast<unsigned>(R.nextBelow(4));
+    for (unsigned I = 0; I != Statements; ++I)
+      emitStatement(NumFunctions, /*NumParams=*/0, /*Depth=*/2);
+    for (unsigned I = 0; I != Spawns; ++I)
+      Out += formatString("  acc = acc + join(t%u);\n", I);
+    Out += "  print(acc);\n  return 0;\n}\n";
+  }
+
+  Rng R;
+  bool WithThreads = true;
+  std::string Out;
+  unsigned NumGlobals = 0;
+  unsigned NumFunctions = 0;
+  unsigned GlobalArraySize = 0;
+};
+
+class VmFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VmFuzzTest, CompilesRunsDeterministically) {
+  ProgramFuzzer Fuzzer(GetParam());
+  std::string Source = Fuzzer.generate();
+
+  MachineOptions Opts;
+  Opts.MaxInstructions = 1u << 22;
+  RunResult First = compileAndRun(Source, nullptr, Opts);
+  ASSERT_TRUE(First.Ok) << "seed " << GetParam() << ":\n"
+                        << First.Error << "\n--- source ---\n"
+                        << Source;
+  RunResult Second = compileAndRun(Source, nullptr, Opts);
+  ASSERT_TRUE(Second.Ok);
+  EXPECT_EQ(First.Output, Second.Output);
+  EXPECT_EQ(First.Stats.Instructions, Second.Stats.Instructions);
+}
+
+TEST_P(VmFuzzTest, ProfilerAgreesWithOracleOnGeneratedPrograms) {
+  ProgramFuzzer Fuzzer(GetParam());
+  std::string Source = Fuzzer.generate();
+
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = compileProgram(Source, Diags);
+  ASSERT_TRUE(Prog.has_value()) << Diags.render();
+
+  TrmsProfilerOptions FastOpts;
+  FastOpts.KeepActivationLog = true;
+  // A small counter limit keeps the renumbering path in the loop too.
+  FastOpts.CounterLimit = 4096;
+  TrmsProfiler Fast(FastOpts);
+  NaiveProfilerOptions NaiveOpts;
+  NaiveOpts.KeepActivationLog = true;
+  NaiveTrmsProfiler Naive(NaiveOpts);
+
+  EventDispatcher Dispatcher;
+  Dispatcher.addTool(&Fast);
+  Dispatcher.addTool(&Naive);
+  MachineOptions Opts;
+  Opts.MaxInstructions = 1u << 22;
+  Machine M(*Prog, &Dispatcher, Opts);
+  RunResult Result = M.run();
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+
+  ASSERT_EQ(Fast.database().log().size(), Naive.database().log().size());
+  for (size_t I = 0; I != Fast.database().log().size(); ++I)
+    ASSERT_EQ(Fast.database().log()[I], Naive.database().log()[I])
+        << "seed " << GetParam() << " activation " << I;
+}
+
+TEST_P(VmFuzzTest, AllToolsSurviveGeneratedPrograms) {
+  ProgramFuzzer Fuzzer(GetParam());
+  std::string Source = Fuzzer.generate();
+
+  std::vector<std::unique_ptr<Tool>> Tools;
+  EventDispatcher Dispatcher;
+  for (const std::string &Name : allToolNames()) {
+    Tools.push_back(makeTool(Name));
+    Dispatcher.addTool(Tools.back().get());
+  }
+  MachineOptions Opts;
+  Opts.MaxInstructions = 1u << 22;
+  RunResult Result = compileAndRun(Source, &Dispatcher, Opts);
+  ASSERT_TRUE(Result.Ok) << Result.Error;
+}
+
+TEST_P(VmFuzzTest, OptimizerPreservesBehaviour) {
+  // Single-threaded programs only: the racy multithreaded fuzz programs
+  // are legitimately schedule-sensitive, and optimization shifts the
+  // instruction-counted scheduler quanta.
+  ProgramFuzzer Fuzzer(GetParam(), /*WithThreads=*/false);
+  std::string Source = Fuzzer.generate();
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = compileProgram(Source, Diags);
+  ASSERT_TRUE(Prog.has_value()) << Diags.render();
+
+  MachineOptions Opts;
+  Opts.MaxInstructions = 1u << 22;
+  RunResult Plain = Machine(*Prog, nullptr, Opts).run();
+  ASSERT_TRUE(Plain.Ok) << Plain.Error;
+  optimizeProgram(*Prog);
+  RunResult Optimized = Machine(*Prog, nullptr, Opts).run();
+  ASSERT_TRUE(Optimized.Ok) << Optimized.Error << "\n--- source ---\n"
+                            << Source;
+  EXPECT_EQ(Plain.Output, Optimized.Output) << Source;
+  EXPECT_EQ(Plain.Stats.BasicBlocks, Optimized.Stats.BasicBlocks);
+  EXPECT_EQ(Plain.Stats.MemReads, Optimized.Stats.MemReads);
+  EXPECT_EQ(Plain.Stats.MemWrites, Optimized.Stats.MemWrites);
+  EXPECT_LE(Optimized.Stats.Instructions, Plain.Stats.Instructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VmFuzzTest,
+                         ::testing::Range<uint64_t>(1, 41));
+
+} // namespace

@@ -1,0 +1,183 @@
+//===- tests/VmOptimizerTest.cpp - Peephole optimizer tests --------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The optimizer's contract: semantics preserved exactly (output, exit
+// code, runtime errors), the event stream unchanged (identical basic
+// block counts and memory traffic, hence bit-identical profiles), and
+// strictly fewer interpreted instructions on foldable code.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Optimizer.h"
+
+#include "core/TrmsProfiler.h"
+#include "instr/Dispatcher.h"
+#include "vm/Compiler.h"
+#include "vm/Machine.h"
+#include "workloads/Runner.h"
+
+#include <gtest/gtest.h>
+
+using namespace isp;
+
+namespace {
+
+struct Pair {
+  RunResult Plain;
+  RunResult Optimized;
+  OptimizerStats Stats;
+};
+
+Pair runBoth(const std::string &Source,
+             MachineOptions Opts = MachineOptions()) {
+  Pair Out;
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = compileProgram(Source, Diags);
+  EXPECT_TRUE(Prog.has_value()) << Diags.render();
+  if (!Prog)
+    return Out;
+  {
+    Machine M(*Prog, nullptr, Opts);
+    Out.Plain = M.run();
+  }
+  Out.Stats = optimizeProgram(*Prog);
+  {
+    Machine M(*Prog, nullptr, Opts);
+    Out.Optimized = M.run();
+  }
+  return Out;
+}
+
+TEST(Optimizer, FoldsConstantExpressions) {
+  Pair P = runBoth(R"(
+    fn main() {
+      var a = 2 + 3 * 4;
+      var b = (100 / 5) % 7;
+      var c = -(1 + 1);
+      var d = !0;
+      print(a + b + c + d);
+      return 0;
+    })");
+  ASSERT_TRUE(P.Plain.Ok && P.Optimized.Ok);
+  EXPECT_EQ(P.Plain.Output, P.Optimized.Output);
+  EXPECT_GT(P.Stats.ConstantsFolded, 3u);
+  EXPECT_LT(P.Optimized.Stats.Instructions, P.Plain.Stats.Instructions);
+  EXPECT_EQ(P.Optimized.Stats.BasicBlocks, P.Plain.Stats.BasicBlocks);
+}
+
+TEST(Optimizer, ResolvesConstantBranches) {
+  Pair P = runBoth(R"(
+    fn main() {
+      var a = 0;
+      if (1 == 1) { a = a + 7; }
+      if (2 < 1) { a = a + 1000; }
+      while (0) { a = 99; }
+      print(a);
+      return 0;
+    })");
+  ASSERT_TRUE(P.Plain.Ok && P.Optimized.Ok);
+  EXPECT_EQ(P.Plain.Output, "7\n");
+  EXPECT_EQ(P.Optimized.Output, "7\n");
+  EXPECT_GT(P.Stats.BranchesResolved, 0u);
+}
+
+TEST(Optimizer, PreservesDivisionByZeroError) {
+  // 1 / 0 must stay a runtime error, not become a silent constant or a
+  // compile-time crash.
+  Pair P = runBoth("fn main() { return 1 / 0; }");
+  EXPECT_FALSE(P.Plain.Ok);
+  EXPECT_FALSE(P.Optimized.Ok);
+  EXPECT_EQ(P.Plain.Error, P.Optimized.Error);
+}
+
+TEST(Optimizer, LoopSemanticsSurviveFolding) {
+  Pair P = runBoth(R"(
+    fn main() {
+      var sum = 0;
+      for (var i = 0; i < 3 + 7; i = i + 1) {
+        if (i % (1 + 1) == 0) { sum = sum + i; }
+        if (i == 2 * 4) { break; }
+      }
+      print(sum);
+      return 0;
+    })");
+  ASSERT_TRUE(P.Plain.Ok && P.Optimized.Ok);
+  EXPECT_EQ(P.Plain.Output, P.Optimized.Output);
+}
+
+TEST(Optimizer, EventStreamIsInvariantSingleThreaded) {
+  // The optimization contract: per-thread event sequences are untouched,
+  // so a single-threaded program's profile is bit-identical. (With
+  // threads, the interleaving may shift — scheduler quanta count
+  // instructions — like running under a different slice length.)
+  const char *Source = R"(
+    var table[32];
+    fn work(id, n) {
+      var acc = 0;
+      for (var i = 0; i < n; i = i + 1) {
+        acc = acc + table[(i * (2 + 1)) % 32];
+        table[i % (16 + 16)] = acc;
+      }
+      return acc;
+    }
+    fn main() {
+      var r = work(1, 40) + work(0, 4 * 5);
+      print(r);
+      return 0;
+    })";
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = compileProgram(Source, Diags);
+  ASSERT_TRUE(Prog.has_value());
+
+  auto profile = [](const Program &P) {
+    TrmsProfilerOptions Opts;
+    Opts.KeepActivationLog = true;
+    TrmsProfiler Profiler(Opts);
+    EventDispatcher D;
+    D.addTool(&Profiler);
+    Machine M(P, &D);
+    EXPECT_TRUE(M.run().Ok);
+    return Profiler.takeDatabase();
+  };
+
+  ProfileDatabase Plain = profile(*Prog);
+  OptimizerStats Stats = optimizeProgram(*Prog);
+  EXPECT_GT(Stats.InstructionsRemoved, 0u);
+  ProfileDatabase Optimized = profile(*Prog);
+  EXPECT_EQ(Plain.log(), Optimized.log());
+}
+
+class OptimizerWorkloadTest
+    : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(OptimizerWorkloadTest, SemanticsPreservedOnWorkloads) {
+  const WorkloadInfo *W = findWorkload(GetParam());
+  ASSERT_NE(W, nullptr);
+  WorkloadParams Params;
+  Params.Threads = 3;
+  Params.Size = 48;
+  std::optional<Program> Prog = compileWorkload(*W, Params);
+  ASSERT_TRUE(Prog.has_value());
+
+  RunResult Plain = Machine(*Prog, nullptr).run();
+  optimizeProgram(*Prog);
+  RunResult Optimized = Machine(*Prog, nullptr).run();
+  ASSERT_TRUE(Plain.Ok && Optimized.Ok)
+      << Plain.Error << Optimized.Error;
+  EXPECT_EQ(Plain.Output, Optimized.Output);
+  EXPECT_EQ(Plain.Stats.BasicBlocks, Optimized.Stats.BasicBlocks);
+  EXPECT_LE(Optimized.Stats.Instructions, Plain.Stats.Instructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, OptimizerWorkloadTest,
+                         ::testing::Values("dbserver", "vips_pipeline",
+                                           "dedup", "md", "smithwa",
+                                           "kdtree", "sort_compare",
+                                           "producer_consumer"),
+                         [](const ::testing::TestParamInfo<const char *>
+                                &Info) { return Info.param; });
+
+} // namespace
