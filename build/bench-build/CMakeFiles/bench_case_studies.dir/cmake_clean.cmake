@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_case_studies"
+  "../bench/bench_case_studies.pdb"
+  "CMakeFiles/bench_case_studies.dir/bench_case_studies.cpp.o"
+  "CMakeFiles/bench_case_studies.dir/bench_case_studies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case_studies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

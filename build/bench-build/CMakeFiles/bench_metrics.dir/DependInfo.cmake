@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_metrics.cpp" "bench-build/CMakeFiles/bench_metrics.dir/bench_metrics.cpp.o" "gcc" "bench-build/CMakeFiles/bench_metrics.dir/bench_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/isp_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/isp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/isp_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/isp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/isp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/instr/CMakeFiles/isp_instr.dir/DependInfo.cmake"
+  "/root/repo/build/src/shadow/CMakeFiles/isp_shadow.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/isp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/isp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

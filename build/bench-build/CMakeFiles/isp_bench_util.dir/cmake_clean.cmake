@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_bench_util.dir/BenchUtil.cpp.o"
+  "CMakeFiles/isp_bench_util.dir/BenchUtil.cpp.o.d"
+  "libisp_bench_util.a"
+  "libisp_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libisp_bench_util.a"
+)

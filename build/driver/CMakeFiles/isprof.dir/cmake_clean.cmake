@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isprof.dir/isprof_main.cpp.o"
+  "CMakeFiles/isprof.dir/isprof_main.cpp.o.d"
+  "isprof"
+  "isprof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isprof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imagepipeline.dir/imagepipeline.cpp.o"
+  "CMakeFiles/imagepipeline.dir/imagepipeline.cpp.o.d"
+  "imagepipeline"
+  "imagepipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imagepipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_instrumentation.dir/native_instrumentation.cpp.o"
+  "CMakeFiles/native_instrumentation.dir/native_instrumentation.cpp.o.d"
+  "native_instrumentation"
+  "native_instrumentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_instrumentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

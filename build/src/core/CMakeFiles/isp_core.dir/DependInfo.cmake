@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/HtmlReport.cpp" "src/core/CMakeFiles/isp_core.dir/HtmlReport.cpp.o" "gcc" "src/core/CMakeFiles/isp_core.dir/HtmlReport.cpp.o.d"
+  "/root/repo/src/core/Metrics.cpp" "src/core/CMakeFiles/isp_core.dir/Metrics.cpp.o" "gcc" "src/core/CMakeFiles/isp_core.dir/Metrics.cpp.o.d"
+  "/root/repo/src/core/NaiveProfiler.cpp" "src/core/CMakeFiles/isp_core.dir/NaiveProfiler.cpp.o" "gcc" "src/core/CMakeFiles/isp_core.dir/NaiveProfiler.cpp.o.d"
+  "/root/repo/src/core/ProfileData.cpp" "src/core/CMakeFiles/isp_core.dir/ProfileData.cpp.o" "gcc" "src/core/CMakeFiles/isp_core.dir/ProfileData.cpp.o.d"
+  "/root/repo/src/core/ProfileDiff.cpp" "src/core/CMakeFiles/isp_core.dir/ProfileDiff.cpp.o" "gcc" "src/core/CMakeFiles/isp_core.dir/ProfileDiff.cpp.o.d"
+  "/root/repo/src/core/Report.cpp" "src/core/CMakeFiles/isp_core.dir/Report.cpp.o" "gcc" "src/core/CMakeFiles/isp_core.dir/Report.cpp.o.d"
+  "/root/repo/src/core/RmsProfiler.cpp" "src/core/CMakeFiles/isp_core.dir/RmsProfiler.cpp.o" "gcc" "src/core/CMakeFiles/isp_core.dir/RmsProfiler.cpp.o.d"
+  "/root/repo/src/core/TrmsProfiler.cpp" "src/core/CMakeFiles/isp_core.dir/TrmsProfiler.cpp.o" "gcc" "src/core/CMakeFiles/isp_core.dir/TrmsProfiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/instr/CMakeFiles/isp_instr.dir/DependInfo.cmake"
+  "/root/repo/build/src/shadow/CMakeFiles/isp_shadow.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/isp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/isp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

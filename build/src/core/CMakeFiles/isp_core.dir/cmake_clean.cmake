@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_core.dir/HtmlReport.cpp.o"
+  "CMakeFiles/isp_core.dir/HtmlReport.cpp.o.d"
+  "CMakeFiles/isp_core.dir/Metrics.cpp.o"
+  "CMakeFiles/isp_core.dir/Metrics.cpp.o.d"
+  "CMakeFiles/isp_core.dir/NaiveProfiler.cpp.o"
+  "CMakeFiles/isp_core.dir/NaiveProfiler.cpp.o.d"
+  "CMakeFiles/isp_core.dir/ProfileData.cpp.o"
+  "CMakeFiles/isp_core.dir/ProfileData.cpp.o.d"
+  "CMakeFiles/isp_core.dir/ProfileDiff.cpp.o"
+  "CMakeFiles/isp_core.dir/ProfileDiff.cpp.o.d"
+  "CMakeFiles/isp_core.dir/Report.cpp.o"
+  "CMakeFiles/isp_core.dir/Report.cpp.o.d"
+  "CMakeFiles/isp_core.dir/RmsProfiler.cpp.o"
+  "CMakeFiles/isp_core.dir/RmsProfiler.cpp.o.d"
+  "CMakeFiles/isp_core.dir/TrmsProfiler.cpp.o"
+  "CMakeFiles/isp_core.dir/TrmsProfiler.cpp.o.d"
+  "libisp_core.a"
+  "libisp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

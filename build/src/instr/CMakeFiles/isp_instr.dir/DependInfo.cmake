@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/instr/ContextAdapter.cpp" "src/instr/CMakeFiles/isp_instr.dir/ContextAdapter.cpp.o" "gcc" "src/instr/CMakeFiles/isp_instr.dir/ContextAdapter.cpp.o.d"
+  "/root/repo/src/instr/Dispatcher.cpp" "src/instr/CMakeFiles/isp_instr.dir/Dispatcher.cpp.o" "gcc" "src/instr/CMakeFiles/isp_instr.dir/Dispatcher.cpp.o.d"
+  "/root/repo/src/instr/SymbolTable.cpp" "src/instr/CMakeFiles/isp_instr.dir/SymbolTable.cpp.o" "gcc" "src/instr/CMakeFiles/isp_instr.dir/SymbolTable.cpp.o.d"
+  "/root/repo/src/instr/Tool.cpp" "src/instr/CMakeFiles/isp_instr.dir/Tool.cpp.o" "gcc" "src/instr/CMakeFiles/isp_instr.dir/Tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/isp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/isp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

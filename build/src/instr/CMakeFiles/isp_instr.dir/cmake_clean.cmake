@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_instr.dir/ContextAdapter.cpp.o"
+  "CMakeFiles/isp_instr.dir/ContextAdapter.cpp.o.d"
+  "CMakeFiles/isp_instr.dir/Dispatcher.cpp.o"
+  "CMakeFiles/isp_instr.dir/Dispatcher.cpp.o.d"
+  "CMakeFiles/isp_instr.dir/SymbolTable.cpp.o"
+  "CMakeFiles/isp_instr.dir/SymbolTable.cpp.o.d"
+  "CMakeFiles/isp_instr.dir/Tool.cpp.o"
+  "CMakeFiles/isp_instr.dir/Tool.cpp.o.d"
+  "libisp_instr.a"
+  "libisp_instr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_instr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_shadow.dir/ShadowMemory.cpp.o"
+  "CMakeFiles/isp_shadow.dir/ShadowMemory.cpp.o.d"
+  "libisp_shadow.a"
+  "libisp_shadow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

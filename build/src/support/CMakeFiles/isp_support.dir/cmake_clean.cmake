@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_support.dir/CommandLine.cpp.o"
+  "CMakeFiles/isp_support.dir/CommandLine.cpp.o.d"
+  "CMakeFiles/isp_support.dir/Csv.cpp.o"
+  "CMakeFiles/isp_support.dir/Csv.cpp.o.d"
+  "CMakeFiles/isp_support.dir/CurveFit.cpp.o"
+  "CMakeFiles/isp_support.dir/CurveFit.cpp.o.d"
+  "CMakeFiles/isp_support.dir/Format.cpp.o"
+  "CMakeFiles/isp_support.dir/Format.cpp.o.d"
+  "CMakeFiles/isp_support.dir/Gnuplot.cpp.o"
+  "CMakeFiles/isp_support.dir/Gnuplot.cpp.o.d"
+  "CMakeFiles/isp_support.dir/Stats.cpp.o"
+  "CMakeFiles/isp_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/isp_support.dir/Table.cpp.o"
+  "CMakeFiles/isp_support.dir/Table.cpp.o.d"
+  "libisp_support.a"
+  "libisp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/CallgrindTool.cpp" "src/tools/CMakeFiles/isp_tools.dir/CallgrindTool.cpp.o" "gcc" "src/tools/CMakeFiles/isp_tools.dir/CallgrindTool.cpp.o.d"
+  "/root/repo/src/tools/CctTool.cpp" "src/tools/CMakeFiles/isp_tools.dir/CctTool.cpp.o" "gcc" "src/tools/CMakeFiles/isp_tools.dir/CctTool.cpp.o.d"
+  "/root/repo/src/tools/DrdTool.cpp" "src/tools/CMakeFiles/isp_tools.dir/DrdTool.cpp.o" "gcc" "src/tools/CMakeFiles/isp_tools.dir/DrdTool.cpp.o.d"
+  "/root/repo/src/tools/HelgrindTool.cpp" "src/tools/CMakeFiles/isp_tools.dir/HelgrindTool.cpp.o" "gcc" "src/tools/CMakeFiles/isp_tools.dir/HelgrindTool.cpp.o.d"
+  "/root/repo/src/tools/MemcheckTool.cpp" "src/tools/CMakeFiles/isp_tools.dir/MemcheckTool.cpp.o" "gcc" "src/tools/CMakeFiles/isp_tools.dir/MemcheckTool.cpp.o.d"
+  "/root/repo/src/tools/ToolRegistry.cpp" "src/tools/CMakeFiles/isp_tools.dir/ToolRegistry.cpp.o" "gcc" "src/tools/CMakeFiles/isp_tools.dir/ToolRegistry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/isp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/isp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/shadow/CMakeFiles/isp_shadow.dir/DependInfo.cmake"
+  "/root/repo/build/src/instr/CMakeFiles/isp_instr.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/isp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/isp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

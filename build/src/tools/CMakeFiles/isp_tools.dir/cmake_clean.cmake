@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_tools.dir/CallgrindTool.cpp.o"
+  "CMakeFiles/isp_tools.dir/CallgrindTool.cpp.o.d"
+  "CMakeFiles/isp_tools.dir/CctTool.cpp.o"
+  "CMakeFiles/isp_tools.dir/CctTool.cpp.o.d"
+  "CMakeFiles/isp_tools.dir/DrdTool.cpp.o"
+  "CMakeFiles/isp_tools.dir/DrdTool.cpp.o.d"
+  "CMakeFiles/isp_tools.dir/HelgrindTool.cpp.o"
+  "CMakeFiles/isp_tools.dir/HelgrindTool.cpp.o.d"
+  "CMakeFiles/isp_tools.dir/MemcheckTool.cpp.o"
+  "CMakeFiles/isp_tools.dir/MemcheckTool.cpp.o.d"
+  "CMakeFiles/isp_tools.dir/ToolRegistry.cpp.o"
+  "CMakeFiles/isp_tools.dir/ToolRegistry.cpp.o.d"
+  "libisp_tools.a"
+  "libisp_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

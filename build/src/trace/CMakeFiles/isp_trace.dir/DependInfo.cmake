@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/Event.cpp" "src/trace/CMakeFiles/isp_trace.dir/Event.cpp.o" "gcc" "src/trace/CMakeFiles/isp_trace.dir/Event.cpp.o.d"
+  "/root/repo/src/trace/Synthetic.cpp" "src/trace/CMakeFiles/isp_trace.dir/Synthetic.cpp.o" "gcc" "src/trace/CMakeFiles/isp_trace.dir/Synthetic.cpp.o.d"
+  "/root/repo/src/trace/TraceFile.cpp" "src/trace/CMakeFiles/isp_trace.dir/TraceFile.cpp.o" "gcc" "src/trace/CMakeFiles/isp_trace.dir/TraceFile.cpp.o.d"
+  "/root/repo/src/trace/TraceMerger.cpp" "src/trace/CMakeFiles/isp_trace.dir/TraceMerger.cpp.o" "gcc" "src/trace/CMakeFiles/isp_trace.dir/TraceMerger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/isp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

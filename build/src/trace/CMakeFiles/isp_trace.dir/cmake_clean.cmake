@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_trace.dir/Event.cpp.o"
+  "CMakeFiles/isp_trace.dir/Event.cpp.o.d"
+  "CMakeFiles/isp_trace.dir/Synthetic.cpp.o"
+  "CMakeFiles/isp_trace.dir/Synthetic.cpp.o.d"
+  "CMakeFiles/isp_trace.dir/TraceFile.cpp.o"
+  "CMakeFiles/isp_trace.dir/TraceFile.cpp.o.d"
+  "CMakeFiles/isp_trace.dir/TraceMerger.cpp.o"
+  "CMakeFiles/isp_trace.dir/TraceMerger.cpp.o.d"
+  "libisp_trace.a"
+  "libisp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libisp_trace.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/Ast.cpp" "src/vm/CMakeFiles/isp_vm.dir/Ast.cpp.o" "gcc" "src/vm/CMakeFiles/isp_vm.dir/Ast.cpp.o.d"
+  "/root/repo/src/vm/Compiler.cpp" "src/vm/CMakeFiles/isp_vm.dir/Compiler.cpp.o" "gcc" "src/vm/CMakeFiles/isp_vm.dir/Compiler.cpp.o.d"
+  "/root/repo/src/vm/Device.cpp" "src/vm/CMakeFiles/isp_vm.dir/Device.cpp.o" "gcc" "src/vm/CMakeFiles/isp_vm.dir/Device.cpp.o.d"
+  "/root/repo/src/vm/Disasm.cpp" "src/vm/CMakeFiles/isp_vm.dir/Disasm.cpp.o" "gcc" "src/vm/CMakeFiles/isp_vm.dir/Disasm.cpp.o.d"
+  "/root/repo/src/vm/Lexer.cpp" "src/vm/CMakeFiles/isp_vm.dir/Lexer.cpp.o" "gcc" "src/vm/CMakeFiles/isp_vm.dir/Lexer.cpp.o.d"
+  "/root/repo/src/vm/Machine.cpp" "src/vm/CMakeFiles/isp_vm.dir/Machine.cpp.o" "gcc" "src/vm/CMakeFiles/isp_vm.dir/Machine.cpp.o.d"
+  "/root/repo/src/vm/Optimizer.cpp" "src/vm/CMakeFiles/isp_vm.dir/Optimizer.cpp.o" "gcc" "src/vm/CMakeFiles/isp_vm.dir/Optimizer.cpp.o.d"
+  "/root/repo/src/vm/Parser.cpp" "src/vm/CMakeFiles/isp_vm.dir/Parser.cpp.o" "gcc" "src/vm/CMakeFiles/isp_vm.dir/Parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/instr/CMakeFiles/isp_instr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/isp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/isp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_vm.dir/Ast.cpp.o"
+  "CMakeFiles/isp_vm.dir/Ast.cpp.o.d"
+  "CMakeFiles/isp_vm.dir/Compiler.cpp.o"
+  "CMakeFiles/isp_vm.dir/Compiler.cpp.o.d"
+  "CMakeFiles/isp_vm.dir/Device.cpp.o"
+  "CMakeFiles/isp_vm.dir/Device.cpp.o.d"
+  "CMakeFiles/isp_vm.dir/Disasm.cpp.o"
+  "CMakeFiles/isp_vm.dir/Disasm.cpp.o.d"
+  "CMakeFiles/isp_vm.dir/Lexer.cpp.o"
+  "CMakeFiles/isp_vm.dir/Lexer.cpp.o.d"
+  "CMakeFiles/isp_vm.dir/Machine.cpp.o"
+  "CMakeFiles/isp_vm.dir/Machine.cpp.o.d"
+  "CMakeFiles/isp_vm.dir/Optimizer.cpp.o"
+  "CMakeFiles/isp_vm.dir/Optimizer.cpp.o.d"
+  "CMakeFiles/isp_vm.dir/Parser.cpp.o"
+  "CMakeFiles/isp_vm.dir/Parser.cpp.o.d"
+  "libisp_vm.a"
+  "libisp_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

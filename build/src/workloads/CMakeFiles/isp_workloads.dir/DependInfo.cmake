@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Runner.cpp" "src/workloads/CMakeFiles/isp_workloads.dir/Runner.cpp.o" "gcc" "src/workloads/CMakeFiles/isp_workloads.dir/Runner.cpp.o.d"
+  "/root/repo/src/workloads/Workload.cpp" "src/workloads/CMakeFiles/isp_workloads.dir/Workload.cpp.o" "gcc" "src/workloads/CMakeFiles/isp_workloads.dir/Workload.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadExtra.cpp" "src/workloads/CMakeFiles/isp_workloads.dir/WorkloadExtra.cpp.o" "gcc" "src/workloads/CMakeFiles/isp_workloads.dir/WorkloadExtra.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadMicro.cpp" "src/workloads/CMakeFiles/isp_workloads.dir/WorkloadMicro.cpp.o" "gcc" "src/workloads/CMakeFiles/isp_workloads.dir/WorkloadMicro.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadOmp.cpp" "src/workloads/CMakeFiles/isp_workloads.dir/WorkloadOmp.cpp.o" "gcc" "src/workloads/CMakeFiles/isp_workloads.dir/WorkloadOmp.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadParsec.cpp" "src/workloads/CMakeFiles/isp_workloads.dir/WorkloadParsec.cpp.o" "gcc" "src/workloads/CMakeFiles/isp_workloads.dir/WorkloadParsec.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadServer.cpp" "src/workloads/CMakeFiles/isp_workloads.dir/WorkloadServer.cpp.o" "gcc" "src/workloads/CMakeFiles/isp_workloads.dir/WorkloadServer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/isp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/isp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/shadow/CMakeFiles/isp_shadow.dir/DependInfo.cmake"
+  "/root/repo/build/src/instr/CMakeFiles/isp_instr.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/isp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/isp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_workloads.dir/Runner.cpp.o"
+  "CMakeFiles/isp_workloads.dir/Runner.cpp.o.d"
+  "CMakeFiles/isp_workloads.dir/Workload.cpp.o"
+  "CMakeFiles/isp_workloads.dir/Workload.cpp.o.d"
+  "CMakeFiles/isp_workloads.dir/WorkloadExtra.cpp.o"
+  "CMakeFiles/isp_workloads.dir/WorkloadExtra.cpp.o.d"
+  "CMakeFiles/isp_workloads.dir/WorkloadMicro.cpp.o"
+  "CMakeFiles/isp_workloads.dir/WorkloadMicro.cpp.o.d"
+  "CMakeFiles/isp_workloads.dir/WorkloadOmp.cpp.o"
+  "CMakeFiles/isp_workloads.dir/WorkloadOmp.cpp.o.d"
+  "CMakeFiles/isp_workloads.dir/WorkloadParsec.cpp.o"
+  "CMakeFiles/isp_workloads.dir/WorkloadParsec.cpp.o.d"
+  "CMakeFiles/isp_workloads.dir/WorkloadServer.cpp.o"
+  "CMakeFiles/isp_workloads.dir/WorkloadServer.cpp.o.d"
+  "libisp_workloads.a"
+  "libisp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

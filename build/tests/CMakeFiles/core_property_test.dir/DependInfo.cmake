@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/CorePropertyTest.cpp" "tests/CMakeFiles/core_property_test.dir/CorePropertyTest.cpp.o" "gcc" "tests/CMakeFiles/core_property_test.dir/CorePropertyTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/isp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/isp_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/isp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/isp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/instr/CMakeFiles/isp_instr.dir/DependInfo.cmake"
+  "/root/repo/build/src/shadow/CMakeFiles/isp_shadow.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/isp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/isp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_trms_test.dir/CoreTrmsTest.cpp.o"
+  "CMakeFiles/core_trms_test.dir/CoreTrmsTest.cpp.o.d"
+  "core_trms_test"
+  "core_trms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_trms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

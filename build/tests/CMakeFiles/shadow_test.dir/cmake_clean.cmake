@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_test.dir/ShadowTest.cpp.o"
+  "CMakeFiles/shadow_test.dir/ShadowTest.cpp.o.d"
+  "shadow_test"
+  "shadow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_frontend_test.dir/VmFrontendTest.cpp.o"
+  "CMakeFiles/vm_frontend_test.dir/VmFrontendTest.cpp.o.d"
+  "vm_frontend_test"
+  "vm_frontend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_frontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

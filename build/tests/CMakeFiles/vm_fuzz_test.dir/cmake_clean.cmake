@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_fuzz_test.dir/VmFuzzTest.cpp.o"
+  "CMakeFiles/vm_fuzz_test.dir/VmFuzzTest.cpp.o.d"
+  "vm_fuzz_test"
+  "vm_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_machine_test.dir/VmMachineTest.cpp.o"
+  "CMakeFiles/vm_machine_test.dir/VmMachineTest.cpp.o.d"
+  "vm_machine_test"
+  "vm_machine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_optimizer_test.dir/VmOptimizerTest.cpp.o"
+  "CMakeFiles/vm_optimizer_test.dir/VmOptimizerTest.cpp.o.d"
+  "vm_optimizer_test"
+  "vm_optimizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(support_test "/root/repo/build/tests/support_test")
+set_tests_properties(support_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;isp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(trace_test "/root/repo/build/tests/trace_test")
+set_tests_properties(trace_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;12;isp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(shadow_test "/root/repo/build/tests/shadow_test")
+set_tests_properties(shadow_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;13;isp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(vm_frontend_test "/root/repo/build/tests/vm_frontend_test")
+set_tests_properties(vm_frontend_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;14;isp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(vm_machine_test "/root/repo/build/tests/vm_machine_test")
+set_tests_properties(vm_machine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;15;isp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(vm_fuzz_test "/root/repo/build/tests/vm_fuzz_test")
+set_tests_properties(vm_fuzz_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;16;isp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(vm_optimizer_test "/root/repo/build/tests/vm_optimizer_test")
+set_tests_properties(vm_optimizer_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;17;isp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_trms_test "/root/repo/build/tests/core_trms_test")
+set_tests_properties(core_trms_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;18;isp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_property_test "/root/repo/build/tests/core_property_test")
+set_tests_properties(core_property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;19;isp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_metrics_test "/root/repo/build/tests/core_metrics_test")
+set_tests_properties(core_metrics_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;20;isp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tools_test "/root/repo/build/tests/tools_test")
+set_tests_properties(tools_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;21;isp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workloads_test "/root/repo/build/tests/workloads_test")
+set_tests_properties(workloads_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;22;isp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;23;isp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(driver_test "/root/repo/build/tests/driver_test")
+set_tests_properties(driver_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;26;isp_add_test;/root/repo/tests/CMakeLists.txt;0;")
