@@ -64,6 +64,8 @@ Measurement isp::measureWorkload(const WorkloadInfo &Workload,
       Out.Stats = R.Stats;
       Out.GuestBytes = R.Stats.GuestMemoryBytes;
       Out.ToolBytes = ToolPtr ? ToolPtr->memoryFootprintBytes() : 0;
+      Out.EventsEmitted = ToolPtr ? Dispatcher.enqueuedEvents() : 0;
+      Out.EventsDelivered = ToolPtr ? Dispatcher.deliveredEvents() : 0;
     }
     if (Rep + 1 >= Repeats) {
       // Keep the last repetition's profile for the aprof tools.
@@ -88,6 +90,85 @@ std::vector<std::string> isp::workloadsInSuite(const std::string &Suite) {
 std::string isp::benchOutputPath(const std::string &Name) {
   ::mkdir("bench_out", 0755);
   return "bench_out/" + Name;
+}
+
+std::string isp::writeHotpathReport(unsigned Repeats) {
+  const WorkloadInfo *W = findWorkload("md");
+  if (!W) {
+    std::fprintf(stderr, "hotpath report: workload 'md' not registered\n");
+    return "";
+  }
+  WorkloadParams Params;
+  Params.Threads = 4;
+  Params.Size = 48;
+
+  Measurement Native = measureWorkload(*W, Params, "native", Repeats);
+  if (!Native.Ok) {
+    std::fprintf(stderr, "hotpath report: native run failed: %s\n",
+                 Native.Error.c_str());
+    return "";
+  }
+
+  std::string Path = benchOutputPath("BENCH_hotpath.json");
+  FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "hotpath report: cannot open %s\n", Path.c_str());
+    return "";
+  }
+
+  std::fprintf(F,
+               "{\n"
+               "  \"workload\": \"md\",\n"
+               "  \"threads\": %u,\n"
+               "  \"size\": %llu,\n"
+               "  \"repeats\": %u,\n"
+               "  \"native_seconds\": %.6f,\n"
+               "  \"configs\": [",
+               Params.Threads,
+               static_cast<unsigned long long>(Params.Size), Repeats,
+               Native.Seconds);
+
+  const char *Configs[] = {"nulgrind", "aprof-rms", "aprof-trms"};
+  bool First = true;
+  for (const char *ToolName : Configs) {
+    Measurement M = measureWorkload(*W, Params, ToolName, Repeats);
+    if (!M.Ok) {
+      std::fprintf(stderr, "hotpath report: %s run failed: %s\n", ToolName,
+                   M.Error.c_str());
+      std::fclose(F);
+      return "";
+    }
+    double Compaction =
+        M.EventsDelivered
+            ? static_cast<double>(M.EventsEmitted) /
+                  static_cast<double>(M.EventsDelivered)
+            : 0.0;
+    std::fprintf(
+        F,
+        "%s\n"
+        "    {\n"
+        "      \"tool\": \"%s\",\n"
+        "      \"seconds\": %.6f,\n"
+        "      \"slowdown_vs_native\": %.3f,\n"
+        "      \"events_emitted\": %llu,\n"
+        "      \"events_delivered\": %llu,\n"
+        "      \"compaction_ratio\": %.3f,\n"
+        "      \"delivered_events_per_sec\": %.0f,\n"
+        "      \"emitted_events_per_sec\": %.0f\n"
+        "    }",
+        First ? "" : ",", ToolName, M.Seconds,
+        Native.Seconds > 0 ? M.Seconds / Native.Seconds : 0.0,
+        static_cast<unsigned long long>(M.EventsEmitted),
+        static_cast<unsigned long long>(M.EventsDelivered), Compaction,
+        M.Seconds > 0 ? static_cast<double>(M.EventsDelivered) / M.Seconds
+                      : 0.0,
+        M.Seconds > 0 ? static_cast<double>(M.EventsEmitted) / M.Seconds
+                      : 0.0);
+    First = false;
+  }
+  std::fprintf(F, "\n  ]\n}\n");
+  std::fclose(F);
+  return Path;
 }
 
 void isp::printBanner(const std::string &Title) {

@@ -43,6 +43,11 @@ struct Measurement {
   uint64_t ToolBytes = 0;
   /// Guest program footprint (globals + heap + touched stacks).
   uint64_t GuestBytes = 0;
+  /// Substrate events emitted into the dispatcher (pre-compaction) and
+  /// delivered to the tool (post-compaction) during the kept run; both
+  /// 0 for native, where no dispatcher is attached.
+  uint64_t EventsEmitted = 0;
+  uint64_t EventsDelivered = 0;
   RunStats Stats;
   /// Populated only for the aprof tools.
   ProfileDatabase Profile;
@@ -66,6 +71,13 @@ std::string benchOutputPath(const std::string &Name);
 
 /// Prints a banner for a reproduced table/figure.
 void printBanner(const std::string &Title);
+
+/// Measures the event-pipeline hot path on a representative workload
+/// under nulgrind (instrumentation-only baseline), aprof-rms, and
+/// aprof-trms, and writes machine-readable per-config timings, event
+/// counts, and events/sec to bench_out/BENCH_hotpath.json. Returns the
+/// path written, or "" on failure.
+std::string writeHotpathReport(unsigned Repeats = 5);
 
 } // namespace isp
 

@@ -17,22 +17,36 @@ RmsProfiler::RmsProfiler(RmsProfilerOptions Opts) : Options(Opts) {
 
 RmsProfiler::~RmsProfiler() = default;
 
+RmsProfiler::ThreadState &RmsProfiler::state(ThreadId Tid) {
+  if (CachedState && CachedTid == Tid)
+    return *CachedState;
+  if (Tid >= Threads.size())
+    Threads.resize(static_cast<size_t>(Tid) + 1);
+  std::unique_ptr<ThreadState> &Slot = Threads[Tid];
+  if (!Slot)
+    Slot = std::make_unique<ThreadState>();
+  CachedState = Slot.get();
+  CachedTid = Tid;
+  return *CachedState;
+}
+
 void RmsProfiler::onThreadStart(ThreadId Tid, ThreadId Parent) {
-  Threads[Tid];
+  state(Tid);
 }
 
 void RmsProfiler::onThreadEnd(ThreadId Tid) {
-  ThreadState &TS = Threads[Tid];
+  ThreadState &TS = state(Tid);
   while (!TS.Stack.empty())
     popFrame(Tid, TS);
   // The rms shadow is entirely thread-private; release it when the
   // thread dies, keeping the high-water mark for space reports.
   PeakFootprintBytes = std::max(PeakFootprintBytes, currentFootprintBytes());
-  Threads.erase(Tid);
+  CachedState = nullptr;
+  Threads[Tid].reset();
 }
 
 void RmsProfiler::onCall(ThreadId Tid, RoutineId Rtn) {
-  ThreadState &TS = Threads[Tid];
+  ThreadState &TS = state(Tid);
   ++TS.Count;
   Frame F;
   F.Rtn = Rtn;
@@ -60,7 +74,7 @@ void RmsProfiler::popFrame(ThreadId Tid, ThreadState &TS) {
 }
 
 void RmsProfiler::onReturn(ThreadId Tid, RoutineId Rtn) {
-  ThreadState &TS = Threads[Tid];
+  ThreadState &TS = state(Tid);
   if (TS.Stack.empty())
     return;
   assert(TS.Stack.back().Rtn == Rtn && "mismatched call/return nesting");
@@ -68,48 +82,50 @@ void RmsProfiler::onReturn(ThreadId Tid, RoutineId Rtn) {
 }
 
 void RmsProfiler::onBasicBlock(ThreadId Tid, uint64_t N) {
-  Threads[Tid].BbCount += N;
-}
-
-void RmsProfiler::readCell(ThreadState &TS, Addr A) {
-  ++Database.GlobalReads;
-  uint64_t &TsCell = TS.Ts.cell(A);
-  if (TS.Stack.empty()) {
-    TsCell = TS.Count;
-    return;
-  }
-  Frame &Top = TS.Stack.back();
-  if (TsCell < Top.Ts) {
-    ++Top.PartialRms;
-    ++Database.GlobalPlainFirstAccesses;
-    if (TsCell != 0) {
-      // Deepest pending activation whose subtree performed the previous
-      // access already counted this cell; transfer the unit.
-      size_t Lo = 0, Hi = TS.Stack.size();
-      while (Lo < Hi) {
-        size_t Mid = Lo + (Hi - Lo) / 2;
-        if (TS.Stack[Mid].Ts <= TsCell)
-          Lo = Mid + 1;
-        else
-          Hi = Mid;
-      }
-      if (Lo > 0)
-        --TS.Stack[Lo - 1].PartialRms;
-    }
-  }
-  TsCell = TS.Count;
+  state(Tid).BbCount += N;
 }
 
 void RmsProfiler::onRead(ThreadId Tid, Addr A, uint64_t Cells) {
-  ThreadState &TS = Threads[Tid];
-  for (uint64_t I = 0; I != Cells; ++I)
-    readCell(TS, A + I);
+  ThreadState &TS = state(Tid);
+  Database.GlobalReads += Cells;
+  if (TS.Stack.empty()) {
+    // Accesses outside any activation (prologue code): update the access
+    // timestamps so later activations do not miscount, but attribute the
+    // reads to no routine.
+    TS.Ts.fillRange(A, Cells, TS.Count);
+    return;
+  }
+  // The topmost frame and counter are loop-invariant: nothing in the
+  // per-cell body pushes or pops frames, so hoist them out of the range
+  // walk (the reference stays valid while the vector is untouched).
+  Frame &Top = TS.Stack.back();
+  const uint64_t Count = TS.Count;
+  TS.Ts.forRange(A, Cells, [&](Addr, uint64_t &TsCell) {
+    if (TsCell < Top.Ts) {
+      ++Top.PartialRms;
+      ++Database.GlobalPlainFirstAccesses;
+      if (TsCell != 0) {
+        // Deepest pending activation whose subtree performed the previous
+        // access already counted this cell; transfer the unit.
+        size_t Lo = 0, Hi = TS.Stack.size();
+        while (Lo < Hi) {
+          size_t Mid = Lo + (Hi - Lo) / 2;
+          if (TS.Stack[Mid].Ts <= TsCell)
+            Lo = Mid + 1;
+          else
+            Hi = Mid;
+        }
+        if (Lo > 0)
+          --TS.Stack[Lo - 1].PartialRms;
+      }
+    }
+    TsCell = Count;
+  });
 }
 
 void RmsProfiler::onWrite(ThreadId Tid, Addr A, uint64_t Cells) {
-  ThreadState &TS = Threads[Tid];
-  for (uint64_t I = 0; I != Cells; ++I)
-    TS.Ts.set(A + I, TS.Count);
+  ThreadState &TS = state(Tid);
+  TS.Ts.fillRange(A, Cells, TS.Count);
 }
 
 void RmsProfiler::onKernelRead(ThreadId Tid, Addr A, uint64_t Cells) {
@@ -119,9 +135,13 @@ void RmsProfiler::onKernelRead(ThreadId Tid, Addr A, uint64_t Cells) {
 }
 
 void RmsProfiler::onFinish() {
-  for (auto &[Tid, TS] : Threads)
-    while (!TS.Stack.empty())
-      popFrame(Tid, TS);
+  for (ThreadId Tid = 0; Tid != Threads.size(); ++Tid) {
+    ThreadState *TS = Threads[Tid].get();
+    if (!TS)
+      continue;
+    while (!TS->Stack.empty())
+      popFrame(Tid, *TS);
+  }
 }
 
 uint64_t RmsProfiler::memoryFootprintBytes() const {
@@ -130,9 +150,11 @@ uint64_t RmsProfiler::memoryFootprintBytes() const {
 
 uint64_t RmsProfiler::currentFootprintBytes() const {
   uint64_t Total = 0;
-  for (const auto &[Tid, TS] : Threads) {
-    Total += TS.Ts.totalBytes();
-    Total += TS.Stack.capacity() * sizeof(Frame);
+  for (const std::unique_ptr<ThreadState> &TS : Threads) {
+    if (!TS)
+      continue;
+    Total += TS->Ts.totalBytes();
+    Total += TS->Stack.capacity() * sizeof(Frame);
   }
   for (const auto &[Key, Profile] : Database.threadRoutineProfiles())
     Total += Profile.distinctRmsValues() * (sizeof(CostStats) + 48) +

@@ -26,7 +26,7 @@
 #include "instr/Tool.h"
 #include "shadow/ShadowMemory.h"
 
-#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -77,12 +77,21 @@ private:
     uint64_t Count = 1;
   };
 
-  void readCell(ThreadState &TS, Addr A);
+  /// Fast per-event thread lookup: a flat vector keyed by ThreadId with
+  /// a one-entry current-thread cache in front of it. Guest thread ids
+  /// are small and dense (the VM hands them out sequentially), so the
+  /// vector replaces the old std::map's pointer-chasing with one indexed
+  /// load, and the cache collapses the common run-of-same-thread case to
+  /// a compare.
+  ThreadState &state(ThreadId Tid);
+
   void popFrame(ThreadId Tid, ThreadState &TS);
   uint64_t currentFootprintBytes() const;
 
   RmsProfilerOptions Options;
-  std::map<ThreadId, ThreadState> Threads;
+  std::vector<std::unique_ptr<ThreadState>> Threads;
+  ThreadState *CachedState = nullptr;
+  ThreadId CachedTid = 0;
   ProfileDatabase Database;
   /// Peak footprint: thread shadows are freed when their thread ends.
   uint64_t PeakFootprintBytes = 0;

@@ -40,8 +40,23 @@ void TrmsProfilerT<ShadowT>::onStart(const SymbolTable *Symbols) {
 
 template <typename ShadowT>
 typename TrmsProfilerT<ShadowT>::ThreadState &
+TrmsProfilerT<ShadowT>::stateSlow(ThreadId Tid) {
+  if (Tid >= Threads.size())
+    Threads.resize(static_cast<size_t>(Tid) + 1);
+  std::unique_ptr<ThreadState> &Slot = Threads[Tid];
+  if (!Slot)
+    Slot = std::make_unique<ThreadState>();
+  if (HaveCurrentTid && CurrentTid == Tid)
+    CurrentState = Slot.get();
+  return *Slot;
+}
+
+template <typename ShadowT>
+typename TrmsProfilerT<ShadowT>::ThreadState &
 TrmsProfilerT<ShadowT>::state(ThreadId Tid) {
-  return Threads[Tid];
+  if (CurrentState && HaveCurrentTid && CurrentTid == Tid)
+    return *CurrentState;
+  return stateSlow(Tid);
 }
 
 template <typename ShadowT>
@@ -54,6 +69,7 @@ void TrmsProfilerT<ShadowT>::noteThread(ThreadId Tid) {
     return;
   CurrentTid = Tid;
   HaveCurrentTid = true;
+  CurrentState = nullptr; // re-pointed by the next state() call
   bumpCount();
 }
 
@@ -83,7 +99,8 @@ void TrmsProfilerT<ShadowT>::onThreadEnd(ThreadId Tid) {
   // spawn thousands of short-lived workers. Peak usage is kept for the
   // space-overhead reports.
   PeakFootprintBytes = std::max(PeakFootprintBytes, currentFootprintBytes());
-  Threads.erase(Tid);
+  CurrentState = nullptr;
+  Threads[Tid].reset();
 }
 
 template <typename ShadowT>
@@ -147,90 +164,88 @@ void TrmsProfilerT<ShadowT>::onBasicBlock(ThreadId Tid, uint64_t N) {
 }
 
 template <typename ShadowT>
-void TrmsProfilerT<ShadowT>::readCell(ThreadState &TS, Addr A) {
-  ++Database.GlobalReads;
-  uint64_t &TsCell = TS.Ts.cell(A);
-  if (TS.Stack.empty()) {
-    // Access outside any activation (prologue code): update the access
-    // timestamp so later activations do not miscount, but attribute the
-    // read to no routine.
-    TsCell = Count;
-    return;
-  }
-  Frame &Top = TS.Stack.back();
-  uint64_t WPacked = Wts.get(A);
-  uint64_t WTime = wtsTime(WPacked);
-
-  // The ancestor adjustment index: deepest pending activation whose
-  // timestamp is <= ts_t[A]; that activation's subtree performed the
-  // previous access, so it already counted the location. Shared by the
-  // rms and trms updates below; computed lazily.
-  bool NeedAncestor = TsCell != 0 && TsCell < Top.Ts;
-  size_t AncestorIndex = 0;
-  bool HaveAncestor = false;
-  if (NeedAncestor) {
-    // Binary search over strictly increasing frame timestamps.
-    size_t Lo = 0, Hi = TS.Stack.size();
-    while (Lo < Hi) {
-      size_t Mid = Lo + (Hi - Lo) / 2;
-      if (TS.Stack[Mid].Ts <= TsCell)
-        Lo = Mid + 1;
-      else
-        Hi = Mid;
-    }
-    if (Lo > 0) {
-      AncestorIndex = Lo - 1;
-      HaveAncestor = true;
-    }
-  }
-
-  // Sequential rms (Definition 1): a read counts iff the thread's last
-  // access to A predates the current activation; if some pending
-  // ancestor's subtree accessed A earlier, transfer the unit from it.
-  if (TsCell < Top.Ts) {
-    ++Top.PartialRms;
-    if (HaveAncestor)
-      --TS.Stack[AncestorIndex].PartialRms;
-  }
-
-  // trms (Figure 11): induced first-access wins over plain first-access
-  // (Example 2's classification); an induced access is new input for
-  // every pending activation, so no ancestor adjustment applies.
-  if (TsCell < WTime) {
-    ++Top.PartialTrms;
-    if (wtsKernel(WPacked)) {
-      ++Top.PartialInducedExternal;
-      ++Database.GlobalInducedExternal;
-    } else {
-      ++Top.PartialInducedThread;
-      ++Database.GlobalInducedThread;
-    }
-  } else if (TsCell < Top.Ts) {
-    ++Top.PartialTrms;
-    ++Database.GlobalPlainFirstAccesses;
-    if (HaveAncestor)
-      --TS.Stack[AncestorIndex].PartialTrms;
-  }
-
-  TsCell = Count;
-}
-
-template <typename ShadowT>
 void TrmsProfilerT<ShadowT>::onRead(ThreadId Tid, Addr A, uint64_t Cells) {
   noteThread(Tid);
   ThreadState &TS = state(Tid);
-  for (uint64_t I = 0; I != Cells; ++I)
-    readCell(TS, A + I);
+  Database.GlobalReads += Cells;
+  if (TS.Stack.empty()) {
+    // Accesses outside any activation (prologue code): update the access
+    // timestamps so later activations do not miscount, but attribute the
+    // reads to no routine.
+    TS.Ts.fillRange(A, Cells, Count);
+    return;
+  }
+  // Hoisted out of the cell loop: the topmost frame and the counter are
+  // invariant across a multi-cell access (nothing below pushes or pops
+  // frames, so the reference stays valid), and the range walk resolves
+  // each shadow chunk once per 512-cell span instead of once per cell.
+  Frame &Top = TS.Stack.back();
+  const uint64_t CountNow = Count;
+  TS.Ts.forRange(A, Cells, [&](Addr Address, uint64_t &TsCell) {
+    uint64_t WPacked = Wts.get(Address);
+    uint64_t WTime = wtsTime(WPacked);
+
+    // The ancestor adjustment index: deepest pending activation whose
+    // timestamp is <= ts_t[A]; that activation's subtree performed the
+    // previous access, so it already counted the location. Shared by the
+    // rms and trms updates below; computed lazily.
+    bool NeedAncestor = TsCell != 0 && TsCell < Top.Ts;
+    size_t AncestorIndex = 0;
+    bool HaveAncestor = false;
+    if (NeedAncestor) {
+      // Binary search over strictly increasing frame timestamps.
+      size_t Lo = 0, Hi = TS.Stack.size();
+      while (Lo < Hi) {
+        size_t Mid = Lo + (Hi - Lo) / 2;
+        if (TS.Stack[Mid].Ts <= TsCell)
+          Lo = Mid + 1;
+        else
+          Hi = Mid;
+      }
+      if (Lo > 0) {
+        AncestorIndex = Lo - 1;
+        HaveAncestor = true;
+      }
+    }
+
+    // Sequential rms (Definition 1): a read counts iff the thread's last
+    // access to A predates the current activation; if some pending
+    // ancestor's subtree accessed A earlier, transfer the unit from it.
+    if (TsCell < Top.Ts) {
+      ++Top.PartialRms;
+      if (HaveAncestor)
+        --TS.Stack[AncestorIndex].PartialRms;
+    }
+
+    // trms (Figure 11): induced first-access wins over plain first-access
+    // (Example 2's classification); an induced access is new input for
+    // every pending activation, so no ancestor adjustment applies.
+    if (TsCell < WTime) {
+      ++Top.PartialTrms;
+      if (wtsKernel(WPacked)) {
+        ++Top.PartialInducedExternal;
+        ++Database.GlobalInducedExternal;
+      } else {
+        ++Top.PartialInducedThread;
+        ++Database.GlobalInducedThread;
+      }
+    } else if (TsCell < Top.Ts) {
+      ++Top.PartialTrms;
+      ++Database.GlobalPlainFirstAccesses;
+      if (HaveAncestor)
+        --TS.Stack[AncestorIndex].PartialTrms;
+    }
+
+    TsCell = CountNow;
+  });
 }
 
 template <typename ShadowT>
 void TrmsProfilerT<ShadowT>::onWrite(ThreadId Tid, Addr A, uint64_t Cells) {
   noteThread(Tid);
   ThreadState &TS = state(Tid);
-  for (uint64_t I = 0; I != Cells; ++I) {
-    TS.Ts.set(A + I, Count);
-    Wts.set(A + I, packWts(Count, /*Kernel=*/false));
-  }
+  TS.Ts.fillRange(A, Cells, Count);
+  Wts.fillRange(A, Cells, packWts(Count, /*Kernel=*/false));
 }
 
 template <typename ShadowT>
@@ -253,14 +268,17 @@ void TrmsProfilerT<ShadowT>::onKernelWrite(ThreadId Tid, Addr A,
   // forcing the induced test to fire on a subsequent genuine read.
   // The thread-local timestamps are deliberately left untouched.
   bumpCount();
-  for (uint64_t I = 0; I != Cells; ++I)
-    Wts.set(A + I, packWts(Count, /*Kernel=*/true));
+  Wts.fillRange(A, Cells, packWts(Count, /*Kernel=*/true));
 }
 
 template <typename ShadowT> void TrmsProfilerT<ShadowT>::onFinish() {
-  for (auto &[Tid, TS] : Threads)
-    while (!TS.Stack.empty())
-      popFrame(Tid, TS);
+  for (ThreadId Tid = 0; Tid != Threads.size(); ++Tid) {
+    ThreadState *TS = Threads[Tid].get();
+    if (!TS)
+      continue;
+    while (!TS->Stack.empty())
+      popFrame(Tid, *TS);
+  }
 }
 
 template <typename ShadowT>
@@ -271,9 +289,11 @@ uint64_t TrmsProfilerT<ShadowT>::memoryFootprintBytes() const {
 template <typename ShadowT>
 uint64_t TrmsProfilerT<ShadowT>::currentFootprintBytes() const {
   uint64_t Total = Wts.totalBytes();
-  for (const auto &[Tid, TS] : Threads) {
-    Total += TS.Ts.totalBytes();
-    Total += TS.Stack.capacity() * sizeof(Frame);
+  for (const std::unique_ptr<ThreadState> &TS : Threads) {
+    if (!TS)
+      continue;
+    Total += TS->Ts.totalBytes();
+    Total += TS->Stack.capacity() * sizeof(Frame);
   }
   // Profile maps: rough per-node accounting (two std::map nodes per
   // distinct input-size value plus the activation aggregates).
@@ -290,9 +310,12 @@ template <typename ShadowT> void TrmsProfilerT<ShadowT>::renumber() {
   // Collect the timestamps of all pending activations across all threads
   // (distinct by construction: each call bumps the counter) and sort.
   std::vector<uint64_t> A;
-  for (const auto &[Tid, TS] : Threads)
-    for (const Frame &F : TS.Stack)
+  for (const std::unique_ptr<ThreadState> &TS : Threads) {
+    if (!TS)
+      continue;
+    for (const Frame &F : TS->Stack)
       A.push_back(F.Ts);
+  }
   std::sort(A.begin(), A.end());
   assert(std::adjacent_find(A.begin(), A.end()) == A.end() &&
          "activation timestamps must be distinct");
@@ -310,8 +333,10 @@ template <typename ShadowT> void TrmsProfilerT<ShadowT>::renumber() {
   // 1. Thread-local timestamps. These must be rewritten while the global
   // wts still holds original values, because each cell's new value
   // depends on its order relative to the location's last write.
-  for (auto &[Tid, TS] : Threads) {
-    TS.Ts.forEachNonZero([&](Addr Address, uint64_t &TsCell) {
+  for (std::unique_ptr<ThreadState> &TS : Threads) {
+    if (!TS)
+      continue;
+    TS->Ts.forEachNonZero([&](Addr Address, uint64_t &TsCell) {
       uint64_t J = rankOf(TsCell);
       uint64_t WPacked = Wts.get(Address);
       if (WPacked != 0) {
@@ -341,9 +366,12 @@ template <typename ShadowT> void TrmsProfilerT<ShadowT>::renumber() {
   });
 
   // 3. Activation timestamps, in rank order.
-  for (auto &[Tid, TS] : Threads)
-    for (Frame &F : TS.Stack)
+  for (std::unique_ptr<ThreadState> &TS : Threads) {
+    if (!TS)
+      continue;
+    for (Frame &F : TS->Stack)
       F.Ts = 3 * rankOf(F.Ts);
+  }
 
   // 4. Restart the counter above every renumbered timestamp.
   Count = 3 * static_cast<uint64_t>(A.size()) + 3;

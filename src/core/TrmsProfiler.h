@@ -39,7 +39,7 @@
 #include "instr/Tool.h"
 #include "shadow/ShadowMemory.h"
 
-#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -110,10 +110,16 @@ private:
     uint64_t BbCount = 0;
   };
 
+  /// Per-event thread lookup. The common case — a run of events from the
+  /// running thread — is served by the CurrentState pointer; the slow
+  /// path indexes a flat vector keyed by ThreadId (guest thread ids are
+  /// small and dense), replacing the old std::map walk.
   ThreadState &state(ThreadId Tid);
+  ThreadState &stateSlow(ThreadId Tid);
 
   /// Registers that the next event belongs to \p Tid, bumping the global
-  /// counter when the running thread changes (Section 4's switchThread).
+  /// counter when the running thread changes (Section 4's switchThread)
+  /// and re-pointing the cached current-thread state.
   void noteThread(ThreadId Tid);
 
   /// Analysis-state bytes currently held.
@@ -122,9 +128,6 @@ private:
   /// Bumps the global counter, renumbering first if the configured
   /// counter limit has been reached.
   void bumpCount();
-
-  /// One-cell read processing shared by onRead and onKernelRead.
-  void readCell(ThreadState &TS, Addr A);
 
   /// Pops and records the topmost activation of \p TS.
   void popFrame(ThreadId Tid, ThreadState &TS);
@@ -138,7 +141,10 @@ private:
   /// Global write-timestamp shadow; cells pack (time << 1) | kernelBit.
   ShadowT Wts;
   uint64_t Count = 1;
-  std::map<ThreadId, ThreadState> Threads;
+  /// Flat thread table keyed by ThreadId; dead threads leave null slots.
+  std::vector<std::unique_ptr<ThreadState>> Threads;
+  /// Cached state of CurrentTid (null right after that thread ends).
+  ThreadState *CurrentState = nullptr;
   ThreadId CurrentTid = 0;
   bool HaveCurrentTid = false;
   ProfileDatabase Database;

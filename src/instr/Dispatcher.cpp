@@ -13,7 +13,22 @@ void EventDispatcher::start(const SymbolTable *Symbols) {
     T->onStart(Symbols);
 }
 
+void EventDispatcher::flush() {
+  // Run bookkeeping holds indices into Pending; invalidate it whether or
+  // not anything is delivered.
+  resetCompaction();
+  if (PendingCount == 0)
+    return;
+  if (Recording)
+    Recorded.insert(Recorded.end(), Pending.get(), Pending.get() + PendingCount);
+  for (Tool *T : Tools)
+    T->handleBatch(Pending.get(), PendingCount);
+  DeliveredEvents += PendingCount;
+  PendingCount = 0;
+}
+
 void EventDispatcher::finish() {
+  flush();
   for (Tool *T : Tools)
     T->onFinish();
 }
@@ -24,4 +39,14 @@ void isp::replayTrace(const std::vector<Event> &Events, Tool &T,
   for (const Event &E : Events)
     T.handleEvent(E);
   T.onFinish();
+}
+
+void isp::replayTraceBatched(const std::vector<Event> &Events, Tool &T,
+                             const SymbolTable *Symbols) {
+  EventDispatcher Dispatcher;
+  Dispatcher.addTool(&T);
+  Dispatcher.start(Symbols);
+  for (const Event &E : Events)
+    Dispatcher.enqueue(E);
+  Dispatcher.finish();
 }

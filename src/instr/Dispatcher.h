@@ -11,6 +11,38 @@
 /// from how the event stream was produced — live VM execution, a trace
 /// file, or a synthetic generator.
 ///
+/// The hot path is enqueue(): events accumulate in a pending batch that
+/// is delivered to the tools in one handleBatch call per flush, and the
+/// dense access/cost stream is *compacted* on the way in. Compaction
+/// merges a new event into a buffered one in two cases:
+///
+///  - a Read or Write whose cells directly continue the *last* buffered
+///    event (same kind, same thread, consecutive addresses) extends it
+///    into one multi-cell event. Only the literally-last event is a
+///    merge target, so a merge never crosses another event: any
+///    intervening event — in particular every counter-bump kind —
+///    breaks adjacency by itself, and the merged event is
+///    observationally identical to the run of single-cell events it
+///    replaces for every tool.
+///  - a BasicBlock folds into the thread's still-open basic-block event
+///    even across interleaved reads and writes (cost events carry only
+///    a count, and no tool orders accesses against block costs between
+///    two calls). The open block is closed by Call and Return — the
+///    points where cost attribution changes — and by every barrier.
+///
+/// Everything else — thread lifecycle and switches, kernel ops, sync —
+/// is a compaction barrier: it closes the open basic-block run (and, by
+/// sitting between them in the buffer, breaks access adjacency), but it
+/// does *not* force delivery. Batches are delivered only when the
+/// fixed-size buffer fills, keeping flush frequency independent of the
+/// scheduler's switch rate; in-batch order preserves the exact event
+/// sequence, so tools observe barriers at the right position either
+/// way.
+///
+/// The recorded stream is the compacted stream (merged events keep the
+/// first event's time, so times stay strictly increasing); replaying it
+/// is equivalent by construction.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ISPROF_INSTR_DISPATCHER_H
@@ -19,6 +51,8 @@
 #include "instr/Tool.h"
 #include "trace/Event.h"
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace isp {
@@ -28,19 +62,73 @@ class SymbolTable;
 /// Fans events out to registered tools. Tools are not owned.
 class EventDispatcher {
 public:
+  /// Pending-batch capacity; a flush is forced when it fills. Large
+  /// enough to amortize delivery, small enough to stay cache-resident.
+  static constexpr size_t BatchCapacity = 256;
+
   /// Registers \p T; tools receive events in registration order.
   void addTool(Tool *T) { Tools.push_back(T); }
 
-  /// Enables recording of every dispatched event.
+  /// Enables recording of every dispatched event. The recorded stream is
+  /// the *compacted* stream — replaying it is equivalent by
+  /// construction.
   void enableRecording() { Recording = true; }
 
   /// Signals the start of a run. Forwards to Tool::onStart.
   void start(const SymbolTable *Symbols);
-  /// Signals the end of a run. Forwards to Tool::onFinish.
+  /// Signals the end of a run. Flushes pending events, then forwards to
+  /// Tool::onFinish.
   void finish();
 
-  /// Dispatches one event to all tools (and the recording buffer).
+  /// Queues one event for batched delivery, compacting adjacent access
+  /// runs and basic-block counts (see the file comment for the exact
+  /// rules). The buffer is a fixed array so the append is branch-cheap
+  /// and inlines into the interpreter loop.
+  void enqueue(const Event &E) {
+    ++EnqueuedEvents;
+    switch (E.Kind) {
+    case EventKind::Read:
+    case EventKind::Write:
+      if (PendingCount != 0) {
+        Event &Last = Pending[PendingCount - 1];
+        if (Last.Kind == E.Kind && Last.Tid == E.Tid &&
+            Last.Arg0 + Last.Arg1 == E.Arg0) {
+          Last.Arg1 += E.Arg1;
+          return;
+        }
+      }
+      break;
+    case EventKind::BasicBlock:
+      if (BbRun.Active && BbRun.Tid == E.Tid) {
+        Pending[BbRun.Index].Arg1 += E.Arg1;
+        return;
+      }
+      BbRun = {true, E.Tid, static_cast<uint32_t>(PendingCount)};
+      break;
+    default:
+      // Calls/returns (cost attribution boundaries) and the rare
+      // scheduling/kernel/sync kinds: close the open basic-block event.
+      // Their presence in the buffer breaks access adjacency by itself.
+      BbRun.Active = false;
+      break;
+    }
+    Pending[PendingCount++] = E;
+    if (PendingCount == BatchCapacity)
+      flush();
+  }
+
+  /// Delivers the pending batch to every tool (and the recording buffer)
+  /// and empties it.
+  void flush();
+
+  /// Dispatches one event to all tools immediately, after flushing any
+  /// pending batch so order is preserved. Kept for replay loops and
+  /// tests that need per-event delivery.
   void dispatch(const Event &E) {
+    if (PendingCount != 0)
+      flush();
+    ++EnqueuedEvents;
+    ++DeliveredEvents;
     if (Recording)
       Recorded.push_back(E);
     for (Tool *T : Tools)
@@ -51,18 +139,49 @@ public:
   /// skips event construction entirely otherwise ("native" runs).
   bool isActive() const { return Recording || !Tools.empty(); }
 
+  /// Events accepted by enqueue()/dispatch() — i.e. what the substrate
+  /// emitted, before compaction.
+  uint64_t enqueuedEvents() const { return EnqueuedEvents; }
+  /// Events actually delivered to tools after compaction; together with
+  /// enqueuedEvents this gives the compaction ratio the benchmark
+  /// harnesses report.
+  uint64_t deliveredEvents() const { return DeliveredEvents; }
+
   const std::vector<Event> &recordedEvents() const { return Recorded; }
   std::vector<Event> takeRecordedEvents() { return std::move(Recorded); }
 
 private:
+  /// The thread's still-open basic-block event sitting in the batch.
+  struct BbRunState {
+    bool Active = false;
+    ThreadId Tid = 0;
+    uint32_t Index = 0;
+  };
+
+  void resetCompaction() { BbRun.Active = false; }
+
   std::vector<Tool *> Tools;
+  /// Fixed-size pending batch (enqueue flushes when it fills).
+  std::unique_ptr<Event[]> Pending{new Event[BatchCapacity]};
+  size_t PendingCount = 0;
   std::vector<Event> Recorded;
   bool Recording = false;
+  BbRunState BbRun;
+  uint64_t EnqueuedEvents = 0;
+  uint64_t DeliveredEvents = 0;
 };
 
 /// Replays \p Events into \p T, bracketed by onStart/onFinish.
 void replayTrace(const std::vector<Event> &Events, Tool &T,
                  const SymbolTable *Symbols = nullptr);
+
+/// Replays \p Events into \p T through a batching EventDispatcher —
+/// the same delivery path the live VM uses, including event compaction.
+/// Results are identical to replayTrace for every tool (the batched-
+/// equivalence tests assert this); the batched form is faster on
+/// access-dense traces.
+void replayTraceBatched(const std::vector<Event> &Events, Tool &T,
+                        const SymbolTable *Symbols = nullptr);
 
 } // namespace isp
 

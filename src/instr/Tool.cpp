@@ -6,62 +6,7 @@
 
 #include "instr/Tool.h"
 
-#include "support/Compiler.h"
-
 using namespace isp;
 
+// Anchors the vtable; event dispatch lives inline in the header.
 Tool::~Tool() = default;
-
-void Tool::handleEvent(const Event &E) {
-  switch (E.Kind) {
-  case EventKind::ThreadStart:
-    onThreadStart(E.Tid, static_cast<ThreadId>(E.Arg0));
-    return;
-  case EventKind::ThreadEnd:
-    onThreadEnd(E.Tid);
-    return;
-  case EventKind::Call:
-    onCall(E.Tid, static_cast<RoutineId>(E.Arg0));
-    return;
-  case EventKind::Return:
-    onReturn(E.Tid, static_cast<RoutineId>(E.Arg0));
-    return;
-  case EventKind::BasicBlock:
-    onBasicBlock(E.Tid, E.Arg1);
-    return;
-  case EventKind::Read:
-    onRead(E.Tid, E.Arg0, E.Arg1);
-    return;
-  case EventKind::Write:
-    onWrite(E.Tid, E.Arg0, E.Arg1);
-    return;
-  case EventKind::KernelRead:
-    onKernelRead(E.Tid, E.Arg0, E.Arg1);
-    return;
-  case EventKind::KernelWrite:
-    onKernelWrite(E.Tid, E.Arg0, E.Arg1);
-    return;
-  case EventKind::SyncAcquire:
-    onSyncAcquire(E.Tid, static_cast<SyncId>(E.Arg0), E.Arg1 != 0);
-    return;
-  case EventKind::SyncRelease:
-    onSyncRelease(E.Tid, static_cast<SyncId>(E.Arg0), E.Arg1 != 0);
-    return;
-  case EventKind::ThreadCreate:
-    onThreadCreate(E.Tid, static_cast<ThreadId>(E.Arg0));
-    return;
-  case EventKind::ThreadJoin:
-    onThreadJoin(E.Tid, static_cast<ThreadId>(E.Arg0));
-    return;
-  case EventKind::Alloc:
-    onAlloc(E.Tid, E.Arg0, E.Arg1);
-    return;
-  case EventKind::Free:
-    onFree(E.Tid, E.Arg0);
-    return;
-  case EventKind::ThreadSwitch:
-    onThreadSwitch(static_cast<ThreadId>(E.Arg0));
-    return;
-  }
-  ISP_UNREACHABLE("unknown event kind");
-}

@@ -17,6 +17,7 @@
 #ifndef ISPROF_INSTR_TOOL_H
 #define ISPROF_INSTR_TOOL_H
 
+#include "support/Compiler.h"
 #include "trace/Event.h"
 
 #include <cstdint>
@@ -70,7 +71,71 @@ public:
   virtual class ProfileDatabase *profileDatabase() { return nullptr; }
 
   /// Dispatches one decoded trace event to the matching callback.
-  void handleEvent(const Event &E);
+  /// Defined inline so the decode switch disappears into the batch loop
+  /// below — the per-event cost of a batch is then one predicted switch
+  /// plus the virtual callback itself.
+  void handleEvent(const Event &E) {
+    switch (E.Kind) {
+    case EventKind::ThreadStart:
+      onThreadStart(E.Tid, static_cast<ThreadId>(E.Arg0));
+      return;
+    case EventKind::ThreadEnd:
+      onThreadEnd(E.Tid);
+      return;
+    case EventKind::Call:
+      onCall(E.Tid, static_cast<RoutineId>(E.Arg0));
+      return;
+    case EventKind::Return:
+      onReturn(E.Tid, static_cast<RoutineId>(E.Arg0));
+      return;
+    case EventKind::BasicBlock:
+      onBasicBlock(E.Tid, E.Arg1);
+      return;
+    case EventKind::Read:
+      onRead(E.Tid, E.Arg0, E.Arg1);
+      return;
+    case EventKind::Write:
+      onWrite(E.Tid, E.Arg0, E.Arg1);
+      return;
+    case EventKind::KernelRead:
+      onKernelRead(E.Tid, E.Arg0, E.Arg1);
+      return;
+    case EventKind::KernelWrite:
+      onKernelWrite(E.Tid, E.Arg0, E.Arg1);
+      return;
+    case EventKind::SyncAcquire:
+      onSyncAcquire(E.Tid, static_cast<SyncId>(E.Arg0), E.Arg1 != 0);
+      return;
+    case EventKind::SyncRelease:
+      onSyncRelease(E.Tid, static_cast<SyncId>(E.Arg0), E.Arg1 != 0);
+      return;
+    case EventKind::ThreadCreate:
+      onThreadCreate(E.Tid, static_cast<ThreadId>(E.Arg0));
+      return;
+    case EventKind::ThreadJoin:
+      onThreadJoin(E.Tid, static_cast<ThreadId>(E.Arg0));
+      return;
+    case EventKind::Alloc:
+      onAlloc(E.Tid, E.Arg0, E.Arg1);
+      return;
+    case EventKind::Free:
+      onFree(E.Tid, E.Arg0);
+      return;
+    case EventKind::ThreadSwitch:
+      onThreadSwitch(static_cast<ThreadId>(E.Arg0));
+      return;
+    }
+    ISP_UNREACHABLE("unknown event kind");
+  }
+
+  /// Dispatches \p Count events in order. Non-virtual on purpose: batched
+  /// delivery is a substrate optimization (one call per flush instead of
+  /// one per event), not a semantic extension point — a batch is always
+  /// observationally identical to dispatching its events one by one.
+  void handleBatch(const Event *Events, size_t Count) {
+    for (size_t I = 0; I != Count; ++I)
+      handleEvent(Events[I]);
+  }
 };
 
 } // namespace isp

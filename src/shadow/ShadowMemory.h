@@ -16,6 +16,13 @@
 /// per-thread shadow cost sublinear in practice (Figure 14's space curve).
 /// DenseShadow is the hash-map baseline used by the ablation benchmark.
 ///
+/// Both shadows expose the same fast-path surface:
+///  - a one-entry last-chunk cache (Valgrind-style): consecutive accesses
+///    to the same 512-cell chunk skip the radix walk entirely;
+///  - range primitives forRange/forRangeIfPresent/fillRange that resolve
+///    each chunk once per 512-cell span instead of once per cell, which
+///    is how the profilers process multi-cell Read/Write events.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ISPROF_SHADOW_SHADOWMEMORY_H
@@ -23,6 +30,7 @@
 
 #include "trace/Event.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <memory>
@@ -58,12 +66,16 @@ public:
   /// Returns the value at \p A without allocating (T{} if untouched).
   T get(Addr A) const {
     assert(A <= MaxAddress && "guest address out of shadowable range");
+    if (chunkKey(A) == CachedKey)
+      return CachedChunk->Cells[offset(A)];
     const Secondary *S = Primary[l1Index(A)].get();
     if (!S)
       return T{};
-    const Chunk *C = S->Chunks[l2Index(A)].get();
+    Chunk *C = S->Chunks[l2Index(A)].get();
     if (!C)
       return T{};
+    CachedKey = chunkKey(A);
+    CachedChunk = C;
     return C->Cells[offset(A)];
   }
 
@@ -73,17 +85,44 @@ public:
   /// Returns a mutable reference, materializing the chunk if needed.
   T &cell(Addr A) {
     assert(A <= MaxAddress && "guest address out of shadowable range");
-    std::unique_ptr<Secondary> &S = Primary[l1Index(A)];
-    if (!S) {
-      S = std::make_unique<Secondary>();
-      BytesAllocated += sizeof(Secondary);
+    if (chunkKey(A) == CachedKey)
+      return CachedChunk->Cells[offset(A)];
+    return materialize(A)->Cells[offset(A)];
+  }
+
+  /// Invokes \p Fn(Addr, T&) for each of the \p Cells cells starting at
+  /// \p A, materializing chunks as needed. Each chunk on the span is
+  /// resolved exactly once — the multi-cell event fast path.
+  template <typename Callback>
+  void forRange(Addr A, uint64_t Cells, Callback Fn) {
+    assert(Cells == 0 || A + Cells - 1 <= MaxAddress);
+    while (Cells != 0) {
+      size_t Off = offset(A);
+      size_t Span = static_cast<size_t>(
+          std::min<uint64_t>(Cells, ChunkCells - Off));
+      Chunk *C =
+          chunkKey(A) == CachedKey ? CachedChunk : materialize(A);
+      for (size_t I = 0; I != Span; ++I)
+        Fn(A + I, C->Cells[Off + I]);
+      A += Span;
+      Cells -= Span;
     }
-    std::unique_ptr<Chunk> &C = S->Chunks[l2Index(A)];
-    if (!C) {
-      C = std::make_unique<Chunk>();
-      BytesAllocated += sizeof(Chunk);
+  }
+
+  /// Stores \p Value into each of the \p Cells cells starting at \p A,
+  /// resolving each chunk on the span once.
+  void fillRange(Addr A, uint64_t Cells, T Value) {
+    assert(Cells == 0 || A + Cells - 1 <= MaxAddress);
+    while (Cells != 0) {
+      size_t Off = offset(A);
+      size_t Span = static_cast<size_t>(
+          std::min<uint64_t>(Cells, ChunkCells - Off));
+      Chunk *C =
+          chunkKey(A) == CachedKey ? CachedChunk : materialize(A);
+      std::fill_n(C->Cells + Off, Span, Value);
+      A += Span;
+      Cells -= Span;
     }
-    return C->Cells[offset(A)];
   }
 
   /// Invokes \p Fn(Addr, T&) for every cell of every materialized chunk
@@ -117,6 +156,8 @@ public:
     for (auto &S : Primary)
       S.reset();
     BytesAllocated = 0;
+    CachedKey = NoKey;
+    CachedChunk = nullptr;
   }
 
 private:
@@ -130,13 +171,40 @@ private:
   static size_t l1Index(Addr A) { return A >> (L2Bits + OffsetBits); }
   static size_t l2Index(Addr A) { return (A >> OffsetBits) & (L2Entries - 1); }
   static size_t offset(Addr A) { return A & (ChunkCells - 1); }
+  /// Identifies the chunk containing \p A; always < NoKey for valid
+  /// addresses, so the empty cache never matches.
+  static Addr chunkKey(Addr A) { return A >> OffsetBits; }
+  static constexpr Addr NoKey = ~Addr(0);
+
+  /// Radix walk with chunk materialization; refreshes the cache.
+  Chunk *materialize(Addr A) {
+    std::unique_ptr<Secondary> &S = Primary[l1Index(A)];
+    if (!S) {
+      S = std::make_unique<Secondary>();
+      BytesAllocated += sizeof(Secondary);
+    }
+    std::unique_ptr<Chunk> &C = S->Chunks[l2Index(A)];
+    if (!C) {
+      C = std::make_unique<Chunk>();
+      BytesAllocated += sizeof(Chunk);
+    }
+    CachedKey = chunkKey(A);
+    CachedChunk = C.get();
+    return C.get();
+  }
 
   std::vector<std::unique_ptr<Secondary>> Primary;
   uint64_t BytesAllocated = 0;
+  /// One-entry last-chunk cache. Chunks live until clear(), so the raw
+  /// pointer stays valid as long as the key matches. Mutable so the
+  /// read-only get() path can also profit from locality.
+  mutable Addr CachedKey = NoKey;
+  mutable Chunk *CachedChunk = nullptr;
 };
 
 /// Hash-map shadow memory: the no-structure baseline for the ablation
-/// benchmark (same interface as ThreeLevelShadow).
+/// benchmark (same interface as ThreeLevelShadow, including the range
+/// primitives, so the ablation compares layouts, not loop shapes).
 template <typename T> class DenseShadow {
 public:
   T get(Addr A) const {
@@ -148,6 +216,17 @@ public:
 
   T &cell(Addr A) { return Map[A]; }
 
+  template <typename Callback>
+  void forRange(Addr A, uint64_t Cells, Callback Fn) {
+    for (uint64_t I = 0; I != Cells; ++I)
+      Fn(A + I, Map[A + I]);
+  }
+
+  void fillRange(Addr A, uint64_t Cells, T Value) {
+    for (uint64_t I = 0; I != Cells; ++I)
+      Map[A + I] = Value;
+  }
+
   template <typename Callback> void forEachNonZero(Callback Fn) {
     for (auto &[A, Value] : Map)
       if (!(Value == T{}))
@@ -156,9 +235,20 @@ public:
 
   uint64_t bytesAllocated() const {
     // Approximation: per-node overhead of the hash table (key + value +
-    // bucket pointer + node header) plus the bucket array.
+    // bucket pointer + node header) plus the bucket array. The bucket
+    // array is accounted at the size the container actually keeps, which
+    // is at least size() / max_load_factor() buckets — never less, so
+    // load-factor headroom is consistently included. An empty shadow
+    // accounts zero even if a bucket array lingers, giving clear() the
+    // same resets-accounting guarantee ThreeLevelShadow has.
+    if (Map.empty())
+      return 0;
+    uint64_t BucketCount = static_cast<uint64_t>(std::max<size_t>(
+        Map.bucket_count(),
+        static_cast<size_t>(static_cast<double>(Map.size()) /
+                            Map.max_load_factor())));
     return Map.size() * (sizeof(Addr) + sizeof(T) + 2 * sizeof(void *)) +
-           Map.bucket_count() * sizeof(void *);
+           BucketCount * sizeof(void *);
   }
   uint64_t totalBytes() const { return bytesAllocated(); }
 

@@ -40,4 +40,23 @@ namespace isp {
 
 #define ISP_UNREACHABLE(msg) ::isp::ispUnreachableImpl(msg, __FILE__, __LINE__)
 
+/// Branch-weight hints for hot paths where the compiler cannot infer the
+/// skew (e.g. the interpreter's address-decode fast path).
+#if defined(__GNUC__) || defined(__clang__)
+#define ISP_LIKELY(x) (__builtin_expect(!!(x), 1))
+#define ISP_UNLIKELY(x) (__builtin_expect(!!(x), 0))
+#else
+#define ISP_LIKELY(x) (x)
+#define ISP_UNLIKELY(x) (x)
+#endif
+
+/// Forces inlining of small helpers that sit on a per-instruction or
+/// per-access path; -O2 alone leaves them out of line once they grow an
+/// error branch or two.
+#if defined(__GNUC__) || defined(__clang__)
+#define ISP_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define ISP_ALWAYS_INLINE inline
+#endif
+
 #endif // ISPROF_SUPPORT_COMPILER_H

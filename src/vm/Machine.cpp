@@ -34,14 +34,9 @@ void Machine::runtimeError(const std::string &Message) {
 //===----------------------------------------------------------------------===//
 
 bool Machine::decodeAddress(Addr A, int64_t *&Cell) {
-  if (A >= GlobalBase && A < GlobalBase + Globals.size()) {
-    Cell = &Globals[A - GlobalBase];
-    return true;
-  }
-  if (A >= HeapBase && A < HeapBase + Heap.size()) {
-    Cell = &Heap[A - HeapBase];
-    return true;
-  }
+  // Regions are laid out Global < Heap < Stack, so a descending chain of
+  // single compares resolves each one; stacks first — locals dominate
+  // the access mix of typical guests.
   if (A >= StackRegionBase) {
     uint64_t Index = (A - StackRegionBase) / StackRegionStride;
     uint64_t Offset = (A - StackRegionBase) % StackRegionStride;
@@ -52,29 +47,61 @@ bool Machine::decodeAddress(Addr A, int64_t *&Cell) {
       Cell = &Owner.StackMemory[Offset];
       return true;
     }
+  } else if (A >= HeapBase) {
+    if (A < HeapBase + Heap.size()) {
+      Cell = &Heap[A - HeapBase];
+      return true;
+    }
+  } else if (A >= GlobalBase && A < GlobalBase + Globals.size()) {
+    Cell = &Globals[A - GlobalBase];
+    return true;
   }
   runtimeError(formatString("invalid memory access at address %llu",
                             static_cast<unsigned long long>(A)));
   return false;
 }
 
-bool Machine::memRead(ThreadCtx &T, Addr A, int64_t &Value) {
-  int64_t *Cell = nullptr;
-  if (!decodeAddress(A, Cell))
-    return false;
-  Value = *Cell;
+// The fast path resolves an access to the running thread's own stack —
+// locals and allocas, the bulk of the access mix — with one subtract and
+// one compare. Anything else (heap, globals, another thread's stack, or
+// an invalid address; the subtract wraps for all of them) takes the full
+// region decode. Event construction is guarded so uninstrumented runs
+// skip the timestamp bump and the Event build entirely.
+ISP_ALWAYS_INLINE bool Machine::memRead(ThreadCtx &T, Addr A, int64_t &Value,
+                                        bool Emit) {
+  uint64_t Offset = A - T.StackBase;
+  if (ISP_LIKELY(Offset < Options.StackCells)) {
+    if (ISP_UNLIKELY(Offset >= T.StackMemory.size()))
+      T.StackMemory.resize(Offset + 1, 0);
+    Value = T.StackMemory[Offset];
+  } else {
+    int64_t *Cell = nullptr;
+    if (!decodeAddress(A, Cell))
+      return false;
+    Value = *Cell;
+  }
   ++Stats.MemReads;
-  emitEvent(Event::read(T.Id, now(), A));
+  if (TraceActive && Emit)
+    Events->enqueue(Event::read(T.Id, now(), A));
   return true;
 }
 
-bool Machine::memWrite(ThreadCtx &T, Addr A, int64_t Value) {
-  int64_t *Cell = nullptr;
-  if (!decodeAddress(A, Cell))
-    return false;
-  *Cell = Value;
+ISP_ALWAYS_INLINE bool Machine::memWrite(ThreadCtx &T, Addr A, int64_t Value,
+                                         bool Emit) {
+  uint64_t Offset = A - T.StackBase;
+  if (ISP_LIKELY(Offset < Options.StackCells)) {
+    if (ISP_UNLIKELY(Offset >= T.StackMemory.size()))
+      T.StackMemory.resize(Offset + 1, 0);
+    T.StackMemory[Offset] = Value;
+  } else {
+    int64_t *Cell = nullptr;
+    if (!decodeAddress(A, Cell))
+      return false;
+    *Cell = Value;
+  }
   ++Stats.MemWrites;
-  emitEvent(Event::write(T.Id, now(), A));
+  if (TraceActive && Emit)
+    Events->enqueue(Event::write(T.Id, now(), A));
   return true;
 }
 
@@ -111,8 +138,9 @@ Machine::ThreadCtx &Machine::newThread(ThreadId Parent, const Function *Fn) {
   return T;
 }
 
-bool Machine::pushFrame(ThreadCtx &T, const Function *Fn,
-                        const std::vector<int64_t> *Args) {
+ISP_ALWAYS_INLINE bool Machine::pushFrame(ThreadCtx &T, const Function *Fn,
+                                          const int64_t *Args,
+                                          size_t NumArgs) {
   Addr FrameBase = T.Sp;
   if (FrameBase + Fn->NumLocals >= T.StackBase + Options.StackCells) {
     runtimeError(formatString("guest stack overflow in thread %u calling "
@@ -123,10 +151,9 @@ bool Machine::pushFrame(ThreadCtx &T, const Function *Fn,
   // Spill the arguments into the parameter cells *before* the Call
   // event: the writes belong to the caller, and the callee's parameter
   // reads are then first-accesses, i.e. input of the callee.
-  if (Args)
-    for (size_t I = 0; I != Args->size(); ++I)
-      if (!memWrite(T, FrameBase + I, (*Args)[I]))
-        return false;
+  for (size_t I = 0; I != NumArgs; ++I)
+    if (!memWrite(T, FrameBase + I, Args[I]))
+      return false;
   Frame F;
   F.Fn = Fn;
   F.Pc = 0;
@@ -134,7 +161,8 @@ bool Machine::pushFrame(ThreadCtx &T, const Function *Fn,
   F.OperandBase = T.Operands.size();
   F.SavedSp = T.Sp;
   T.Sp = FrameBase + Fn->NumLocals;
-  emitEvent(Event::call(T.Id, now(), Fn->Id));
+  if (TraceActive)
+    Events->enqueue(Event::call(T.Id, now(), Fn->Id));
   T.Frames.push_back(F);
   return true;
 }
@@ -349,226 +377,277 @@ bool Machine::handleBuiltin(ThreadCtx &T, Builtin B, unsigned NumArgs) {
   ISP_UNREACHABLE("unknown builtin");
 }
 
-bool Machine::step(ThreadCtx &T) {
-  Frame &F = T.Frames.back();
-  assert(F.Pc < F.Fn->Code.size() && "pc out of range");
-  const Instr &I = F.Fn->Code[F.Pc];
-  size_t InstrPc = F.Pc;
-  ++F.Pc;
-  ++Stats.Instructions;
+bool Machine::runSlice(ThreadCtx &T) {
+  YieldRequested = false;
+  // Hoist the global instruction-budget check out of the per-instruction
+  // loop: cap this slice at the remaining budget and only report the
+  // overrun when the capped slice is exhausted.
+  uint64_t Budget = Options.SliceLength;
+  uint64_t Remaining = Options.MaxInstructions > Stats.Instructions
+                           ? Options.MaxInstructions - Stats.Instructions
+                           : 0;
+  bool Capped = Remaining < Budget;
+  if (Capped)
+    Budget = Remaining;
 
-  switch (I.Opcode) {
-  case Op::Nop:
-    return true;
+  // Executed instructions land in Stats on every exit path (the budget
+  // math above reads Stats, so it must be current between slices).
+  struct InstrTally {
+    uint64_t &Total;
+    uint64_t Done = 0;
+    ~InstrTally() { Total += Done; }
+  } Tally{Stats.Instructions};
 
-  case Op::BasicBlock:
-    ++Stats.BasicBlocks;
-    emitEvent(Event::basicBlock(T.Id, now()));
-    return true;
+  // The fetch-execute loop is fused into the slice loop: the current
+  // frame stays cached in a register across instructions (the opcodes
+  // that push or pop frames refresh it), and only the opcodes that can
+  // block, fail, or reschedule test the machine state. Every error path
+  // exits with `return !Failed`, which also covers the non-error exits
+  // (thread finished, builtin blocked).
+  Frame *F = &T.Frames.back();
+  while (Tally.Done != Budget) {
+    assert(F == &T.Frames.back() && "cached frame out of date");
+    assert(F->Pc < F->Fn->Code.size() && "pc out of range");
+    const Instr &I = F->Fn->Code[F->Pc];
+    size_t InstrPc = F->Pc;
+    ++F->Pc;
+    ++Tally.Done;
 
-  case Op::PushConst:
-    T.Operands.push_back(I.A);
-    return true;
+    switch (I.Opcode) {
+    case Op::Nop:
+      break;
 
-  case Op::Pop:
-    popValue(T.Operands);
-    return true;
+    case Op::BasicBlock:
+      ++Stats.BasicBlocks;
+      if (TraceActive)
+        Events->enqueue(Event::basicBlock(T.Id, now()));
+      break;
 
-  case Op::LoadLocal: {
-    int64_t Value = 0;
-    if (!memRead(T, F.FrameBase + static_cast<Addr>(I.A), Value))
-      return false;
-    T.Operands.push_back(Value);
-    return true;
-  }
+    case Op::PushConst:
+      T.Operands.push_back(I.A);
+      break;
 
-  case Op::StoreLocal:
-    return memWrite(T, F.FrameBase + static_cast<Addr>(I.A),
-                    popValue(T.Operands));
+    case Op::Pop:
+      popValue(T.Operands);
+      break;
 
-  case Op::LoadGlobal: {
-    int64_t Value = 0;
-    if (!memRead(T, static_cast<Addr>(I.A), Value))
-      return false;
-    T.Operands.push_back(Value);
-    return true;
-  }
-
-  case Op::StoreGlobal:
-    return memWrite(T, static_cast<Addr>(I.A), popValue(T.Operands));
-
-  case Op::LoadIndirect: {
-    int64_t Index = popValue(T.Operands);
-    int64_t Base = popValue(T.Operands);
-    int64_t Value = 0;
-    if (!memRead(T, static_cast<Addr>(Base + Index), Value))
-      return false;
-    T.Operands.push_back(Value);
-    return true;
-  }
-
-  case Op::StoreIndirect: {
-    int64_t Value = popValue(T.Operands);
-    int64_t Index = popValue(T.Operands);
-    int64_t Base = popValue(T.Operands);
-    return memWrite(T, static_cast<Addr>(Base + Index), Value);
-  }
-
-  case Op::AllocaArray: {
-    int64_t N = popValue(T.Operands);
-    if (N < 0) {
-      runtimeError("negative local array size");
-      return false;
+    case Op::LoadLocal: {
+      int64_t Value = 0;
+      if (!memRead(T, F->FrameBase + static_cast<Addr>(I.A), Value,
+                   /*Emit=*/I.B == 0 || WindowInterrupted))
+        return !Failed;
+      T.Operands.push_back(Value);
+      break;
     }
-    Addr Base = T.Sp;
-    if (Base + static_cast<Addr>(N) >= T.StackBase + Options.StackCells) {
-      runtimeError(formatString("guest stack overflow (local array of %lld "
-                                "cells) in thread %u",
-                                static_cast<long long>(N), T.Id));
-      return false;
-    }
-    T.Sp += static_cast<Addr>(N);
-    T.Operands.push_back(static_cast<int64_t>(Base));
-    return true;
-  }
 
+    case Op::StoreLocal:
+      if (!memWrite(T, F->FrameBase + static_cast<Addr>(I.A),
+                    popValue(T.Operands),
+                    /*Emit=*/I.B == 0 || WindowInterrupted))
+        return !Failed;
+      break;
+
+    case Op::LoadGlobal: {
+      int64_t Value = 0;
+      if (!memRead(T, static_cast<Addr>(I.A), Value,
+                   /*Emit=*/I.B == 0 || WindowInterrupted))
+        return !Failed;
+      T.Operands.push_back(Value);
+      break;
+    }
+
+    case Op::StoreGlobal:
+      if (!memWrite(T, static_cast<Addr>(I.A), popValue(T.Operands),
+                    /*Emit=*/I.B == 0 || WindowInterrupted))
+        return !Failed;
+      break;
+
+    case Op::LoadIndirect: {
+      int64_t Index = popValue(T.Operands);
+      int64_t Base = popValue(T.Operands);
+      int64_t Value = 0;
+      if (!memRead(T, static_cast<Addr>(Base + Index), Value))
+        return !Failed;
+      T.Operands.push_back(Value);
+      break;
+    }
+
+    case Op::StoreIndirect: {
+      int64_t Value = popValue(T.Operands);
+      int64_t Index = popValue(T.Operands);
+      int64_t Base = popValue(T.Operands);
+      if (!memWrite(T, static_cast<Addr>(Base + Index), Value))
+        return !Failed;
+      break;
+    }
+
+    case Op::AllocaArray: {
+      int64_t N = popValue(T.Operands);
+      if (N < 0) {
+        runtimeError("negative local array size");
+        return !Failed;
+      }
+      Addr Base = T.Sp;
+      if (Base + static_cast<Addr>(N) >= T.StackBase + Options.StackCells) {
+        runtimeError(formatString("guest stack overflow (local array of "
+                                  "%lld cells) in thread %u",
+                                  static_cast<long long>(N), T.Id));
+        return !Failed;
+      }
+      T.Sp += static_cast<Addr>(N);
+      T.Operands.push_back(static_cast<int64_t>(Base));
+      break;
+    }
+
+// Pop the right operand, rewrite the left in place: one size update
+// instead of three on the operand vector.
 #define BINARY_CASE(OPCODE, EXPR)                                             \
   case Op::OPCODE: {                                                          \
     int64_t Rhs = popValue(T.Operands);                                       \
-    int64_t Lhs = popValue(T.Operands);                                       \
+    assert(!T.Operands.empty() && "operand stack underflow");                 \
+    int64_t &Slot = T.Operands.back();                                        \
+    int64_t Lhs = Slot;                                                       \
     (void)Lhs;                                                                \
     (void)Rhs;                                                                \
-    T.Operands.push_back(EXPR);                                               \
-    return true;                                                              \
+    Slot = (EXPR);                                                            \
+    break;                                                                    \
   }
 
-    BINARY_CASE(Add, Lhs + Rhs)
-    BINARY_CASE(Sub, Lhs - Rhs)
-    BINARY_CASE(Mul, Lhs * Rhs)
-    BINARY_CASE(Lt, Lhs < Rhs ? 1 : 0)
-    BINARY_CASE(Le, Lhs <= Rhs ? 1 : 0)
-    BINARY_CASE(Gt, Lhs > Rhs ? 1 : 0)
-    BINARY_CASE(Ge, Lhs >= Rhs ? 1 : 0)
-    BINARY_CASE(Eq, Lhs == Rhs ? 1 : 0)
-    BINARY_CASE(Ne, Lhs != Rhs ? 1 : 0)
+      BINARY_CASE(Add, Lhs + Rhs)
+      BINARY_CASE(Sub, Lhs - Rhs)
+      BINARY_CASE(Mul, Lhs * Rhs)
+      BINARY_CASE(Lt, Lhs < Rhs ? 1 : 0)
+      BINARY_CASE(Le, Lhs <= Rhs ? 1 : 0)
+      BINARY_CASE(Gt, Lhs > Rhs ? 1 : 0)
+      BINARY_CASE(Ge, Lhs >= Rhs ? 1 : 0)
+      BINARY_CASE(Eq, Lhs == Rhs ? 1 : 0)
+      BINARY_CASE(Ne, Lhs != Rhs ? 1 : 0)
 #undef BINARY_CASE
 
-  case Op::Div: {
-    int64_t Rhs = popValue(T.Operands);
-    int64_t Lhs = popValue(T.Operands);
-    if (Rhs == 0) {
-      runtimeError("division by zero");
-      return false;
+    case Op::Div: {
+      int64_t Rhs = popValue(T.Operands);
+      if (Rhs == 0) {
+        runtimeError("division by zero");
+        return !Failed;
+      }
+      T.Operands.back() /= Rhs;
+      break;
     }
-    T.Operands.push_back(Lhs / Rhs);
-    return true;
-  }
 
-  case Op::Mod: {
-    int64_t Rhs = popValue(T.Operands);
-    int64_t Lhs = popValue(T.Operands);
-    if (Rhs == 0) {
-      runtimeError("modulo by zero");
-      return false;
+    case Op::Mod: {
+      int64_t Rhs = popValue(T.Operands);
+      if (Rhs == 0) {
+        runtimeError("modulo by zero");
+        return !Failed;
+      }
+      T.Operands.back() %= Rhs;
+      break;
     }
-    T.Operands.push_back(Lhs % Rhs);
-    return true;
-  }
 
-  case Op::Neg:
-    T.Operands.back() = -T.Operands.back();
-    return true;
+    case Op::Neg:
+      T.Operands.back() = -T.Operands.back();
+      break;
 
-  case Op::Not:
-    T.Operands.back() = T.Operands.back() == 0 ? 1 : 0;
-    return true;
+    case Op::Not:
+      T.Operands.back() = T.Operands.back() == 0 ? 1 : 0;
+      break;
 
-  case Op::ToBool:
-    T.Operands.back() = T.Operands.back() != 0 ? 1 : 0;
-    return true;
+    case Op::ToBool:
+      T.Operands.back() = T.Operands.back() != 0 ? 1 : 0;
+      break;
 
-  case Op::Jump:
-    F.Pc = static_cast<size_t>(I.A);
-    return true;
+    case Op::Jump:
+      F->Pc = static_cast<size_t>(I.A);
+      // Jump, Call, CallBuiltin, Spawn, and Return are the optimizer's
+      // window-breaking instructions: a fresh quiet window starts after
+      // each, so any earlier mid-window interruption is behind us.
+      WindowInterrupted = false;
+      break;
 
-  case Op::JumpIfFalse:
-    if (popValue(T.Operands) == 0)
-      F.Pc = static_cast<size_t>(I.A);
-    return true;
+    case Op::JumpIfFalse:
+      if (popValue(T.Operands) == 0)
+        F->Pc = static_cast<size_t>(I.A);
+      break;
 
-  case Op::JumpIfTrue:
-    if (popValue(T.Operands) != 0)
-      F.Pc = static_cast<size_t>(I.A);
-    return true;
+    case Op::JumpIfTrue:
+      if (popValue(T.Operands) != 0)
+        F->Pc = static_cast<size_t>(I.A);
+      break;
 
-  case Op::Call: {
-    const Function &Callee = Prog.Functions[static_cast<size_t>(I.A)];
-    std::vector<int64_t> Args(static_cast<size_t>(I.B));
-    for (size_t J = Args.size(); J > 0; --J)
-      Args[J - 1] = popValue(T.Operands);
-    return pushFrame(T, &Callee, &Args);
-  }
-
-  case Op::CallBuiltin: {
-    bool Proceeded = handleBuiltin(T, static_cast<Builtin>(I.A),
-                                   static_cast<unsigned>(I.B));
-    if (!Proceeded)
-      F.Pc = InstrPc; // blocked: retry this instruction when woken
-    return Proceeded && !Failed;
-  }
-
-  case Op::Spawn: {
-    const Function &Callee = Prog.Functions[static_cast<size_t>(I.A)];
-    std::vector<int64_t> Args(static_cast<size_t>(I.B));
-    for (size_t J = Args.size(); J > 0; --J)
-      Args[J - 1] = popValue(T.Operands);
-    ThreadCtx &Child = newThread(T.Id, &Callee);
-    // The parent writes the arguments into the child's (future) entry
-    // frame, like code publishing an argument block before calling
-    // pthread_create: when the child first reads its parameters, those
-    // are induced first-accesses — genuine thread-communication input.
-    // The writes precede the ThreadCreate event so the create edge
-    // orders them for happens-before analyses.
-    for (size_t J = 0; J != Args.size(); ++J)
-      if (!memWrite(T, Child.StackBase + J, Args[J]))
-        return false;
-    emitEvent(Event::threadCreate(T.Id, now(), Child.Id));
-    T.Operands.push_back(Child.Id);
-    return true;
-  }
-
-  case Op::Return: {
-    int64_t Result = popValue(T.Operands);
-    Frame Completed = T.Frames.back();
-    emitEvent(Event::ret(T.Id, now(), Completed.Fn->Id, 0));
-    T.Frames.pop_back();
-    T.Sp = Completed.SavedSp;
-    T.Operands.resize(Completed.OperandBase);
-    if (T.Frames.empty()) {
-      finishThread(T, Result);
-      return false;
+    case Op::Call: {
+      const Function &Callee = Prog.Functions[static_cast<size_t>(I.A)];
+      size_t NumArgs = static_cast<size_t>(I.B);
+      ArgScratch.resize(NumArgs);
+      for (size_t J = NumArgs; J > 0; --J)
+        ArgScratch[J - 1] = popValue(T.Operands);
+      if (!pushFrame(T, &Callee, ArgScratch.data(), NumArgs))
+        return !Failed;
+      F = &T.Frames.back();
+      WindowInterrupted = false;
+      break;
     }
-    T.Operands.push_back(Result);
-    return true;
-  }
-  }
-  ISP_UNREACHABLE("unknown opcode");
-}
 
-bool Machine::runSlice(ThreadCtx &T) {
-  YieldRequested = false;
-  for (uint64_t Executed = 0; Executed != Options.SliceLength; ++Executed) {
-    if (Failed)
-      return false;
-    if (Stats.Instructions >= Options.MaxInstructions) {
-      runtimeError("guest instruction budget exceeded (possible infinite "
-                   "loop)");
-      return false;
+    case Op::CallBuiltin: {
+      bool Proceeded = handleBuiltin(T, static_cast<Builtin>(I.A),
+                                     static_cast<unsigned>(I.B));
+      if (!Proceeded)
+        F->Pc = InstrPc; // blocked: retry this instruction when woken
+      if (!Proceeded || Failed)
+        return !Failed;
+      WindowInterrupted = false;
+      if (YieldRequested || T.State != ThreadStateKind::Runnable)
+        return true;
+      break;
     }
-    if (!step(T))
-      return !Failed;
-    if (YieldRequested || T.State != ThreadStateKind::Runnable)
-      return true;
+
+    case Op::Spawn: {
+      const Function &Callee = Prog.Functions[static_cast<size_t>(I.A)];
+      size_t NumArgs = static_cast<size_t>(I.B);
+      ArgScratch.resize(NumArgs);
+      for (size_t J = NumArgs; J > 0; --J)
+        ArgScratch[J - 1] = popValue(T.Operands);
+      ThreadCtx &Child = newThread(T.Id, &Callee);
+      // The parent writes the arguments into the child's (future) entry
+      // frame, like code publishing an argument block before calling
+      // pthread_create: when the child first reads its parameters, those
+      // are induced first-accesses — genuine thread-communication input.
+      // The writes precede the ThreadCreate event so the create edge
+      // orders them for happens-before analyses.
+      for (size_t J = 0; J != NumArgs; ++J)
+        if (!memWrite(T, Child.StackBase + J, ArgScratch[J]))
+          return !Failed;
+      emitEvent(Event::threadCreate(T.Id, now(), Child.Id));
+      T.Operands.push_back(Child.Id);
+      WindowInterrupted = false;
+      break;
+    }
+
+    case Op::Return: {
+      int64_t Result = popValue(T.Operands);
+      Frame Completed = T.Frames.back();
+      if (TraceActive)
+        Events->enqueue(Event::ret(T.Id, now(), Completed.Fn->Id, 0));
+      T.Frames.pop_back();
+      T.Sp = Completed.SavedSp;
+      T.Operands.resize(Completed.OperandBase);
+      if (T.Frames.empty()) {
+        finishThread(T, Result);
+        return !Failed;
+      }
+      T.Operands.push_back(Result);
+      F = &T.Frames.back();
+      WindowInterrupted = false;
+      break;
+    }
+
+    default:
+      ISP_UNREACHABLE("unknown opcode");
+    }
+  }
+  if (Capped) {
+    runtimeError("guest instruction budget exceeded (possible infinite "
+                 "loop)");
+    return false;
   }
   return true;
 }
@@ -586,6 +665,7 @@ RunResult Machine::run() {
 
   if (Events)
     Events->start(&Prog.Symbols);
+  TraceActive = tracing();
 
   newThread(/*Parent=*/0, &Prog.Functions[Prog.EntryIndex]);
 
@@ -619,6 +699,9 @@ RunResult Machine::run() {
     if (HaveLastRunning && LastRunning != T.Id) {
       ++Stats.ThreadSwitches;
       emitEvent({EventKind::ThreadSwitch, T.Id, now(), T.Id, 0});
+      // The incoming thread may resume mid-window; suspend quiet marks
+      // until it passes a window-breaking instruction.
+      WindowInterrupted = true;
     }
     LastRunning = T.Id;
     HaveLastRunning = true;
@@ -628,7 +711,7 @@ RunResult Machine::run() {
       emitEvent(Event::threadStart(T.Id, now(), T.Parent));
       // Spawn arguments were already written into the entry frame cells
       // by the parent; main has none.
-      if (!pushFrame(T, T.EntryFn, /*Args=*/nullptr))
+      if (!pushFrame(T, T.EntryFn, /*Args=*/nullptr, /*NumArgs=*/0))
         break;
     }
     if (T.State == ThreadStateKind::Runnable && !T.Frames.empty())

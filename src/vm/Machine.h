@@ -123,16 +123,28 @@ private:
 
   // --- Event emission (no-ops when no tools are attached). ---
   bool tracing() const { return Events && Events->isActive(); }
+  /// Events go through the dispatcher's batching enqueue: adjacent
+  /// same-thread accesses to consecutive cells coalesce into multi-cell
+  /// events and tools see one handleBatch call per scheduling point
+  /// instead of one virtual fan-out per cell. TraceActive caches
+  /// tracing() for the duration of run() so the hot path tests a single
+  /// bool (tools cannot attach mid-run).
   void emitEvent(const Event &E) {
-    if (tracing())
-      Events->dispatch(E);
+    if (TraceActive)
+      Events->enqueue(E);
   }
   uint64_t now() { return ++EventTime; }
 
   // --- Guest memory. ---
   bool decodeAddress(Addr A, int64_t *&Cell);
-  bool memRead(ThreadCtx &T, Addr A, int64_t &Value);
-  bool memWrite(ThreadCtx &T, Addr A, int64_t Value);
+  /// memRead/memWrite are force-inlined with a fast path for the
+  /// accessing thread's own stack (the dominant case): locals resolve
+  /// with one subtract and one bounds compare, no region decode.
+  /// \p Emit false performs the access (and counts it in Stats) without
+  /// emitting an event — used for optimizer-marked quiet accesses whose
+  /// event is provably redundant (see vm/Optimizer.h).
+  bool memRead(ThreadCtx &T, Addr A, int64_t &Value, bool Emit = true);
+  bool memWrite(ThreadCtx &T, Addr A, int64_t Value, bool Emit = true);
   /// Kernel-side accesses: no thread Read/Write events (the syscall
   /// wrapper emits KernelRead/KernelWrite instead).
   bool rawRead(Addr A, int64_t &Value);
@@ -140,25 +152,24 @@ private:
 
   // --- Thread and frame management. ---
   ThreadCtx &newThread(ThreadId Parent, const Function *Fn);
-  /// Pushes an activation of \p Fn onto \p T. When \p Args is non-null,
+  /// Pushes an activation of \p Fn onto \p T. When \p NumArgs is nonzero
   /// the argument values are first spilled into the parameter cells with
   /// Write events attributed to the *current* topmost activation (the
   /// caller), so the callee's parameter reads register as its input —
   /// matching how compiled code stores arguments before the call
   /// instruction. Returns false on stack overflow.
-  bool pushFrame(ThreadCtx &T, const Function *Fn,
-                 const std::vector<int64_t> *Args);
+  bool pushFrame(ThreadCtx &T, const Function *Fn, const int64_t *Args,
+                 size_t NumArgs);
   void finishThread(ThreadCtx &T, int64_t Result);
   void wakeJoiners(ThreadId Ended);
   void wakeSemWaiters(SyncId Sem);
 
   // --- Execution. ---
-  /// Executes up to SliceLength instructions of thread \p T. Returns
-  /// false when the machine must stop (error or program end).
+  /// Executes up to SliceLength instructions of thread \p T — the
+  /// fetch-execute loop itself, with the current frame cached across
+  /// instructions. Returns false when the machine must stop (error or
+  /// program end).
   bool runSlice(ThreadCtx &T);
-  /// Executes one instruction. Returns false if the thread cannot make
-  /// progress right now (blocked) or has finished.
-  bool step(ThreadCtx &T);
   bool handleBuiltin(ThreadCtx &T, Builtin B, unsigned NumArgs);
   void runtimeError(const std::string &Message);
 
@@ -176,7 +187,23 @@ private:
   std::vector<Semaphore> Semaphores;
 
   uint64_t EventTime = 0;
+  bool TraceActive = false;
   bool YieldRequested = false;
+  /// True while the running thread may have been scheduled *into* the
+  /// middle of a straight-line window: set whenever the scheduler
+  /// switches threads (a counter-bump point that makes statically
+  /// redundant events meaningful again), cleared when the running thread
+  /// executes any window-breaking instruction (jump, call, builtin,
+  /// spawn, return) — the points where the optimizer starts a fresh
+  /// window anyway. Optimizer-marked quiet accesses are honored only
+  /// while this is false: between a quiet access and its in-window
+  /// covering access there are no breaking instructions by construction,
+  /// so an interruption between them leaves the flag set until past the
+  /// quiet access. Starts true (nothing has run yet).
+  bool WindowInterrupted = true;
+  /// Reused per Call/Spawn argument staging area; avoids a heap
+  /// allocation per guest call (a measurable cost on call-dense guests).
+  std::vector<int64_t> ArgScratch;
   RunStats Stats;
   std::string Output;
   std::string Error;

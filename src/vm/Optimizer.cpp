@@ -8,6 +8,7 @@
 
 #include <cassert>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 using namespace isp;
@@ -84,6 +85,7 @@ public:
       Changed |= threadJumps();
     }
     compact();
+    markQuietLocals();
     return Stats;
   }
 
@@ -200,6 +202,102 @@ private:
     return Changed;
   }
 
+  /// Marks redundant local accesses quiet (Instr::B = 1) on the final
+  /// code. Within one straight-line window — closed by any jump target,
+  /// unconditional jump, call, builtin, spawn, or return — a re-read of
+  /// a slot already read or written, or a re-write of a slot already
+  /// written, leaves every per-address tool state unchanged (see the
+  /// file comment in Optimizer.h), so the VM may skip emitting its
+  /// event.
+  ///
+  /// Windows deliberately span BasicBlock markers and the fall-through
+  /// edge of conditional jumps: no tool advances its timestamp counter
+  /// at block boundaries — every counter-bump event originates from a
+  /// call, builtin, spawn, return, or the scheduler, and the first four
+  /// are window breaks here while the VM handles scheduler switches at
+  /// runtime (Machine::WindowInterrupted). The one runtime interruption
+  /// the pass cannot see — a thread switch mid-window — makes the VM
+  /// fall back to emitting until the thread passes one of the breaking
+  /// instructions, which is exactly where a fresh window begins.
+  void markQuietLocals() {
+    std::vector<bool> IsTarget(F.Code.size() + 1, false);
+    for (const Instr &I : F.Code)
+      if (isJump(I.Opcode))
+        IsTarget[static_cast<size_t>(I.A)] = true;
+
+    // Generation-stamped membership: bumping Gen empties both sets in
+    // O(1) at every window break.
+    std::vector<uint32_t> TouchedGen(F.NumLocals, 0);
+    std::vector<uint32_t> WrittenGen(F.NumLocals, 0);
+    std::unordered_map<int64_t, uint32_t> GlobalTouched, GlobalWritten;
+    uint32_t Gen = 1;
+    for (size_t I = 0; I != F.Code.size(); ++I) {
+      if (IsTarget[I])
+        ++Gen;
+      Instr &In = F.Code[I];
+      switch (In.Opcode) {
+      case Op::Jump:
+      case Op::Call:
+      case Op::CallBuiltin:
+      case Op::Spawn:
+      case Op::Return:
+        ++Gen;
+        break;
+      case Op::LoadLocal: {
+        size_t Slot = static_cast<size_t>(In.A);
+        assert(Slot < TouchedGen.size() && "local slot out of range");
+        if (TouchedGen[Slot] == Gen) {
+          In.B = 1;
+          ++Stats.QuietAccessesMarked;
+        } else {
+          TouchedGen[Slot] = Gen;
+        }
+        break;
+      }
+      case Op::StoreLocal: {
+        size_t Slot = static_cast<size_t>(In.A);
+        assert(Slot < WrittenGen.size() && "local slot out of range");
+        if (WrittenGen[Slot] == Gen) {
+          In.B = 1;
+          ++Stats.QuietAccessesMarked;
+        } else {
+          WrittenGen[Slot] = Gen;
+          TouchedGen[Slot] = Gen;
+        }
+        break;
+      }
+      // Globals get the same treatment: their addresses are compile-time
+      // constants (In.A), so redundancy within a window is just as
+      // decidable as for locals. Array-heavy guests re-load the same
+      // global base pointer for every subscript expression, making this
+      // the dominant quiet source on numeric kernels.
+      case Op::LoadGlobal: {
+        uint32_t &Touched = GlobalTouched[In.A];
+        if (Touched == Gen) {
+          In.B = 1;
+          ++Stats.QuietAccessesMarked;
+        } else {
+          Touched = Gen;
+        }
+        break;
+      }
+      case Op::StoreGlobal: {
+        uint32_t &Written = GlobalWritten[In.A];
+        if (Written == Gen) {
+          In.B = 1;
+          ++Stats.QuietAccessesMarked;
+        } else {
+          Written = Gen;
+          GlobalTouched[In.A] = Gen;
+        }
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+
   void compact() {
     std::vector<int64_t> NewIndex(F.Code.size() + 1, 0);
     std::vector<Instr> NewCode;
@@ -236,6 +334,7 @@ OptimizerStats isp::optimizeProgram(Program &Prog) {
     Total.JumpsThreaded += S.JumpsThreaded;
     Total.BranchesResolved += S.BranchesResolved;
     Total.InstructionsRemoved += S.InstructionsRemoved;
+    Total.QuietAccessesMarked += S.QuietAccessesMarked;
   }
   return Total;
 }

@@ -8,18 +8,37 @@
 /// A peephole optimizer over compiled guest bytecode: constant folding
 /// of arithmetic/comparison/logic over literals, folding of ToBool and
 /// conditional jumps on constants, jump threading, and compaction of
-/// the resulting dead slots (with jump-target remapping).
+/// the resulting dead slots (with jump-target remapping) — plus a
+/// *quiet-access* pass that marks provably redundant local accesses so
+/// the VM can skip their instrumentation events.
 ///
-/// The pass deliberately never touches memory instructions or
+/// The peephole passes never touch memory instructions or
 /// Op::BasicBlock markers, so each *thread's* event sequence — its
 /// memory accesses, calls, and basic-block counts — is identical to the
 /// unoptimized program's; only the interpreter's instruction count (and
-/// hence native time) drops. For single-threaded programs the whole
-/// event stream and therefore the profile is bit-identical (tested).
-/// For multithreaded programs the per-thread streams are preserved but
-/// their interleaving can shift (scheduler quanta are counted in
-/// instructions), exactly as if the program ran under a different slice
-/// length — synchronized guests still compute identical results.
+/// hence native time) drops. For multithreaded programs the per-thread
+/// streams are preserved but their interleaving can shift (scheduler
+/// quanta are counted in instructions), exactly as if the program ran
+/// under a different slice length — synchronized guests still compute
+/// identical results.
+///
+/// The quiet-access pass additionally suppresses *events* (never the
+/// accesses themselves) that are no-ops for every tool: within one
+/// straight-line window — broken by jump targets, unconditional jumps,
+/// calls, builtins, spawns, and returns — a repeated read of a local
+/// slot already read or written, or a repeated write of a slot already
+/// written, finds every per-address tool state (access timestamps,
+/// write timestamps, definedness, locksets) already current, because
+/// tool counters only advance at events the window-breaking
+/// instructions (or the scheduler) produce. Windows span BasicBlock
+/// markers and conditional fall-through edges: block costs accumulate
+/// without a counter bump, and code after an untaken branch still
+/// postdominates the window's earlier accesses in execution order. The
+/// VM honors quiet marks only while no scheduler switch has interrupted
+/// the window (Machine::WindowInterrupted), covering the one
+/// interruption the static pass cannot see. Profiles are bit-identical
+/// with or without the pass (tested); stream-level statistics (event
+/// counts) legitimately drop.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +54,9 @@ struct OptimizerStats {
   unsigned JumpsThreaded = 0;
   unsigned BranchesResolved = 0;
   unsigned InstructionsRemoved = 0;
+  /// Local accesses whose instrumentation events are provably redundant
+  /// within their straight-line window (the access still executes).
+  unsigned QuietAccessesMarked = 0;
 };
 
 /// Optimizes one function in place.

@@ -9,6 +9,7 @@
 #include "instr/Dispatcher.h"
 #include "vm/Compiler.h"
 #include "vm/Diag.h"
+#include "vm/Optimizer.h"
 
 using namespace isp;
 
@@ -21,6 +22,12 @@ std::optional<Program> isp::compileWorkload(const WorkloadInfo &Workload,
   if (!Prog && ErrorOut)
     *ErrorOut = "workload '" + Workload.Name +
                 "' failed to compile:\n" + Diags.render();
+  // Match the driver: benchmarks run optimized bytecode. The optimizer
+  // preserves the event stream, so tool measurements are unaffected
+  // except through shorter interpreter time (which benefits native and
+  // instrumented runs alike).
+  if (Prog)
+    optimizeProgram(*Prog);
   return Prog;
 }
 

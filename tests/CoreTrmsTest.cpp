@@ -340,6 +340,54 @@ TEST(TrmsRenumbering, PreservesResultsUnderTinyCounter) {
         << "activation " << I;
 }
 
+// Batched delivery (the live VM's path: pending buffer, adjacent-access
+// merging, basic-block folding) must produce a ProfileDatabase
+// bit-identical to per-event delivery — including when a tiny counter
+// limit forces renumberings mid-batch. The trace interleaves three
+// threads with runs of adjacent single-cell accesses (so compaction
+// actually merges), basic-block costs, kernel writes, and nested calls.
+TEST(TrmsBatching, BatchedDeliveryMatchesPerEvent) {
+  TraceBuilder Trace;
+  Trace.start(1).start(2).start(3);
+  Trace.call(1, F).call(2, G).call(3, H);
+  for (unsigned Round = 0; Round != 200; ++Round) {
+    ThreadId Writer = 1 + Round % 3;
+    ThreadId Reader = 1 + (Round + 1) % 3;
+    Addr Base = 1000 + (Round % 5) * 64;
+    for (Addr A = Base; A != Base + 8; ++A)
+      Trace.write(Writer, A);
+    Trace.bb(Writer).bb(Writer);
+    for (Addr A = Base; A != Base + 8; ++A)
+      Trace.read(Reader, A);
+    Trace.bb(Reader);
+    if (Round % 7 == 2)
+      Trace.kernelWrite(Reader, Base, 4);
+    if (Round % 2 == 1)
+      Trace.call(Reader, Consumer)
+          .read(Reader, Base)
+          .bb(Reader)
+          .ret(Reader, Consumer);
+  }
+  Trace.ret(1, F).ret(2, G).ret(3, H).end(1).end(2).end(3);
+
+  TrmsProfilerOptions Opts;
+  Opts.KeepActivationLog = true;
+  Opts.CounterLimit = 48;
+
+  TrmsProfiler PerEvent(Opts), Batched(Opts);
+  replayTrace(Trace.events(), PerEvent);
+  replayTraceBatched(Trace.events(), Batched);
+  EXPECT_GE(Batched.renumberings(), 2u);
+
+  ASSERT_EQ(PerEvent.database().log().size(),
+            Batched.database().log().size());
+  for (size_t I = 0; I != PerEvent.database().log().size(); ++I)
+    EXPECT_EQ(PerEvent.database().log()[I], Batched.database().log()[I])
+        << "activation " << I;
+  EXPECT_EQ(PerEvent.database().totalActivations(),
+            Batched.database().totalActivations());
+}
+
 // After a renumbering, the counter restarts just above the pending
 // activations' renumbered stamps.
 TEST(TrmsRenumbering, CounterRestartsLow) {

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <map>
 
 using namespace isp;
@@ -77,6 +78,103 @@ TEST(ThreeLevelShadow, ClearReleasesEverything) {
   Shadow.clear();
   EXPECT_EQ(Shadow.get(42), 0u);
   EXPECT_EQ(Shadow.bytesAllocated(), 0u);
+}
+
+// Drives one shadow through the range primitives and a second instance
+// of the same type cell-by-cell, against a std::map reference model.
+// Range starts sit just before chunk / secondary-table / primary-table
+// strides so spans cross every radix boundary, and the alternating
+// bases keep evicting the one-entry chunk cache.
+template <typename ShadowT> void checkRangeOpsMatchCellOps() {
+  ShadowT RangeShadow;
+  ShadowT CellShadow;
+  std::map<Addr, uint64_t> Reference;
+  Rng R(29);
+
+  constexpr Addr Chunk = ThreeLevelShadow<uint64_t>::ChunkCells;
+  constexpr Addr L2Span = Chunk << ThreeLevelShadow<uint64_t>::L2Bits;
+  const Addr Bases[] = {0,           Chunk - 3,     5 * Chunk - 1,
+                        L2Span - 7,  3 * L2Span - 2, (Addr(1) << 25) - 5};
+
+  for (int Step = 0; Step != 400; ++Step) {
+    Addr A = Bases[R.nextBelow(std::size(Bases))] + R.nextBelow(16);
+    uint64_t Cells = 1 + R.nextBelow(3 * Chunk);
+    if (R.nextBool(0.5)) {
+      uint64_t V = R.next() | 1;
+      RangeShadow.fillRange(A, Cells, V);
+      for (uint64_t I = 0; I != Cells; ++I) {
+        CellShadow.set(A + I, V);
+        Reference[A + I] = V;
+      }
+    } else {
+      uint64_t RangeMix = 0;
+      RangeShadow.forRange(A, Cells, [&](Addr At, uint64_t &V) {
+        RangeMix ^= V + At;
+        V = At + 1; // mutate through the range-provided reference
+      });
+      uint64_t CellMix = 0;
+      for (uint64_t I = 0; I != Cells; ++I) {
+        CellMix ^= CellShadow.get(A + I) + (A + I);
+        CellShadow.set(A + I, A + I + 1);
+        Reference[A + I] = A + I + 1;
+      }
+      EXPECT_EQ(RangeMix, CellMix) << "step " << Step;
+    }
+  }
+
+  std::map<Addr, uint64_t> FromRange, FromCell, NonZeroRef;
+  RangeShadow.forEachNonZero([&](Addr A, uint64_t &V) { FromRange[A] = V; });
+  CellShadow.forEachNonZero([&](Addr A, uint64_t &V) { FromCell[A] = V; });
+  for (auto &[A, V] : Reference)
+    if (V)
+      NonZeroRef[A] = V;
+  EXPECT_EQ(FromRange, FromCell);
+  EXPECT_EQ(FromRange, NonZeroRef);
+}
+
+TEST(ShadowProperty, ThreeLevelRangeOpsMatchCellOps) {
+  checkRangeOpsMatchCellOps<ThreeLevelShadow<uint64_t>>();
+}
+
+TEST(ShadowProperty, DenseRangeOpsMatchCellOps) {
+  checkRangeOpsMatchCellOps<DenseShadow<uint64_t>>();
+}
+
+TEST(ThreeLevelShadow, ClearInvalidatesChunkCache) {
+  ThreeLevelShadow<uint64_t> Shadow;
+  Shadow.set(123, 5);
+  EXPECT_EQ(Shadow.get(123), 5u); // cache now points at the chunk
+  Shadow.clear();
+  EXPECT_EQ(Shadow.get(123), 0u); // stale cached chunk must not survive
+  EXPECT_EQ(Shadow.bytesAllocated(), 0u);
+  Shadow.set(123, 6);
+  EXPECT_EQ(Shadow.get(123), 6u);
+}
+
+TEST(DenseShadow, ClearResetsAccounting) {
+  DenseShadow<uint64_t> Dense;
+  EXPECT_EQ(Dense.bytesAllocated(), 0u);
+  for (Addr A = 0; A != 5000; ++A)
+    Dense.set(A * 3, 1);
+  EXPECT_GT(Dense.bytesAllocated(), 0u);
+  Dense.clear();
+  EXPECT_EQ(Dense.bytesAllocated(), 0u);
+  EXPECT_EQ(Dense.get(3), 0u);
+  Dense.set(7, 9);
+  EXPECT_EQ(Dense.get(7), 9u);
+  EXPECT_GT(Dense.bytesAllocated(), 0u);
+}
+
+TEST(DenseShadow, BytesAllocatedIncludesLoadFactorHeadroom) {
+  DenseShadow<uint64_t> Dense;
+  for (Addr A = 1; A != 1002; ++A)
+    Dense.set(A, 1);
+  // The bucket array is accounted at no less than size() /
+  // max_load_factor() slots (the default load factor is 1.0), so the
+  // footprint is bounded below by per-node bytes plus one bucket slot
+  // per entry.
+  uint64_t PerNode = sizeof(Addr) + sizeof(uint64_t) + 2 * sizeof(void *);
+  EXPECT_GE(Dense.bytesAllocated(), 1001 * (PerNode + sizeof(void *)));
 }
 
 TEST(DenseShadow, MatchesThreeLevelOnRandomWorkload) {

@@ -444,11 +444,14 @@ TEST(Machine, EventStreamIsWellFormed) {
       EXPECT_GE(Depth[E.Tid], 0);
       break;
     case EventKind::Read:
-      ++Reads;
+      // The dispatcher coalesces adjacent accesses to consecutive cells,
+      // so one event may carry several cells in Arg1; cell totals must
+      // still match the machine's counters exactly.
+      Reads += E.Arg1;
       EXPECT_GT(Depth[E.Tid], 0);
       break;
     case EventKind::Write:
-      ++Writes;
+      Writes += E.Arg1;
       break;
     case EventKind::KernelRead:
       ++KernelReads;

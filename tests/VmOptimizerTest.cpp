@@ -5,9 +5,11 @@
 //===----------------------------------------------------------------------===//
 //
 // The optimizer's contract: semantics preserved exactly (output, exit
-// code, runtime errors), the event stream unchanged (identical basic
-// block counts and memory traffic, hence bit-identical profiles), and
-// strictly fewer interpreted instructions on foldable code.
+// code, runtime errors), profiles bit-identical (the quiet-access pass
+// may legitimately drop redundant read/write events from the stream,
+// but never ones a tool's counters can observe — see
+// Optimizer.h), and strictly fewer interpreted instructions on
+// foldable code.
 //
 //===----------------------------------------------------------------------===//
 
