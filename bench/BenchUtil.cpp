@@ -66,6 +66,17 @@ Measurement isp::measureWorkload(const WorkloadInfo &Workload,
       Out.ToolBytes = ToolPtr ? ToolPtr->memoryFootprintBytes() : 0;
       Out.EventsEmitted = ToolPtr ? Dispatcher.enqueuedEvents() : 0;
       Out.EventsDelivered = ToolPtr ? Dispatcher.deliveredEvents() : 0;
+      Out.AccessMerges = ToolPtr ? Dispatcher.accessMerges() : 0;
+      Out.BbFolds = ToolPtr ? Dispatcher.bbFolds() : 0;
+      Out.FlushesCapacity =
+          ToolPtr ? Dispatcher.flushCount(EventDispatcher::FlushCause::Capacity)
+                  : 0;
+      Out.FlushesExplicit =
+          ToolPtr ? Dispatcher.flushCount(EventDispatcher::FlushCause::Explicit)
+                  : 0;
+      Out.FlushesFinish =
+          ToolPtr ? Dispatcher.flushCount(EventDispatcher::FlushCause::Finish)
+                  : 0;
     }
     if (Rep + 1 >= Repeats) {
       // Keep the last repetition's profile for the aprof tools.
@@ -143,6 +154,8 @@ std::string isp::writeHotpathReport(unsigned Repeats) {
             ? static_cast<double>(M.EventsEmitted) /
                   static_cast<double>(M.EventsDelivered)
             : 0.0;
+    uint64_t TotalFlushes =
+        M.FlushesCapacity + M.FlushesExplicit + M.FlushesFinish;
     std::fprintf(
         F,
         "%s\n"
@@ -153,6 +166,13 @@ std::string isp::writeHotpathReport(unsigned Repeats) {
         "      \"events_emitted\": %llu,\n"
         "      \"events_delivered\": %llu,\n"
         "      \"compaction_ratio\": %.3f,\n"
+        "      \"access_merges\": %llu,\n"
+        "      \"bb_folds\": %llu,\n"
+        "      \"quiet_suppressed\": %llu,\n"
+        "      \"quiet_window_aborts\": %llu,\n"
+        "      \"flushes_capacity\": %llu,\n"
+        "      \"flushes_finish\": %llu,\n"
+        "      \"avg_batch_fill\": %.1f,\n"
         "      \"delivered_events_per_sec\": %.0f,\n"
         "      \"emitted_events_per_sec\": %.0f\n"
         "    }",
@@ -160,6 +180,15 @@ std::string isp::writeHotpathReport(unsigned Repeats) {
         Native.Seconds > 0 ? M.Seconds / Native.Seconds : 0.0,
         static_cast<unsigned long long>(M.EventsEmitted),
         static_cast<unsigned long long>(M.EventsDelivered), Compaction,
+        static_cast<unsigned long long>(M.AccessMerges),
+        static_cast<unsigned long long>(M.BbFolds),
+        static_cast<unsigned long long>(M.Stats.QuietEventsSuppressed),
+        static_cast<unsigned long long>(M.Stats.QuietWindowAborts),
+        static_cast<unsigned long long>(M.FlushesCapacity),
+        static_cast<unsigned long long>(M.FlushesFinish),
+        TotalFlushes ? static_cast<double>(M.EventsDelivered) /
+                           static_cast<double>(TotalFlushes)
+                     : 0.0,
         M.Seconds > 0 ? static_cast<double>(M.EventsDelivered) / M.Seconds
                       : 0.0,
         M.Seconds > 0 ? static_cast<double>(M.EventsEmitted) / M.Seconds

@@ -26,6 +26,8 @@
 #include "core/TrmsProfiler.h"
 #include "instr/ContextAdapter.h"
 #include "instr/Dispatcher.h"
+#include "obs/Obs.h"
+#include "obs/TraceLog.h"
 #include "support/CommandLine.h"
 #include "support/Format.h"
 #include "tools/ToolRegistry.h"
@@ -41,6 +43,8 @@
 #include <fstream>
 #include <memory>
 #include <sstream>
+
+#include <sys/resource.h>
 
 using namespace isp;
 
@@ -65,7 +69,10 @@ int usage() {
       "  --record=PATH   (run) also record the event trace to PATH\n"
       "  --slice=N       scheduler quantum in instructions (default 150)\n"
       "  --seed=N        guest rand()/device seed (default 42)\n"
-      "  --threads=N --size=N   (workload) parameters\n",
+      "  --threads=N --size=N   (workload) parameters\n"
+      "  --stats=json|csv|off   dump pipeline self-metrics (default off)\n"
+      "  --stats-out=PATH       write --stats output to PATH, not stdout\n"
+      "  --trace-out=PATH       write a chrome://tracing timeline to PATH\n",
       stderr);
   return 2;
 }
@@ -386,28 +393,7 @@ int commandList() {
   return 0;
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
-  OptionParser Options("isprof: input-sensitive profiling toolkit");
-  Options.addOption("tools", "aprof-trms", "comma-separated tool list");
-  Options.addOption("record", "", "record the event trace to this path");
-  Options.addOption("html", "", "write an HTML profile report (needs an "
-                                "aprof tool in --tools)");
-  Options.addFlag("contexts", "profile per calling context instead of "
-                              "per routine");
-  Options.addFlag("optimize", "run the bytecode peephole optimizer "
-                              "(profiles are unaffected by design)");
-  Options.addOption("slice", "150", "scheduler quantum (instructions)");
-  Options.addOption("seed", "42", "guest rand()/device seed");
-  Options.addOption("threads", "4", "workload thread count");
-  Options.addOption("size", "64", "workload problem scale");
-  if (!Options.parse(Argc, Argv))
-    return 2;
-  if (Options.positional().empty())
-    return usage();
-
-  const std::string &Command = Options.positional()[0];
+int runCommand(const std::string &Command, OptionParser &Options) {
   if (Command == "run")
     return commandRun(Options);
   if (Command == "diff")
@@ -424,4 +410,90 @@ int main(int Argc, char **Argv) {
     return commandList();
   std::fprintf(stderr, "isprof: unknown command '%s'\n", Command.c_str());
   return usage();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  OptionParser Options("isprof: input-sensitive profiling toolkit");
+  Options.addOption("tools", "aprof-trms", "comma-separated tool list");
+  Options.addOption("record", "", "record the event trace to this path");
+  Options.addOption("html", "", "write an HTML profile report (needs an "
+                                "aprof tool in --tools)");
+  Options.addFlag("contexts", "profile per calling context instead of "
+                              "per routine");
+  Options.addFlag("optimize", "run the bytecode peephole optimizer "
+                              "(profiles are unaffected by design)");
+  Options.addOption("slice", "150", "scheduler quantum (instructions)");
+  Options.addOption("seed", "42", "guest rand()/device seed");
+  Options.addOption("threads", "4", "workload thread count");
+  Options.addOption("size", "64", "workload problem scale");
+  Options.addOption("stats", "off",
+                    "dump pipeline self-metrics: json, csv, or off");
+  Options.addOption("stats-out", "",
+                    "write --stats output to this path instead of stdout");
+  Options.addOption("trace-out", "", "write a chrome://tracing / Perfetto "
+                                     "timeline of the pipeline to this path");
+  if (!Options.parse(Argc, Argv))
+    return 2;
+  if (Options.positional().empty())
+    return usage();
+
+  std::string StatsMode = Options.getString("stats");
+  if (StatsMode != "off" && StatsMode != "json" && StatsMode != "csv") {
+    std::fprintf(stderr,
+                 "isprof: invalid --stats value '%s' (expected json, csv, "
+                 "or off)\n",
+                 StatsMode.c_str());
+    return 2;
+  }
+  std::string TraceOut = Options.getString("trace-out");
+  if (StatsMode != "off")
+    obs::setStatsEnabled(true);
+  if (!TraceOut.empty())
+    obs::TraceLog::get().enable();
+
+  const std::string &Command = Options.positional()[0];
+  int Code;
+  {
+    // Driver-level phase accounting: one span for the whole command on a
+    // dedicated timeline lane, and the command wall-time as a counter.
+    obs::ScopedTimer Timer(
+        obs::statsEnabled()
+            ? &obs::Registry::get().counter("driver.command_ns")
+            : nullptr);
+    obs::LaneId DriverLane =
+        obs::tracingEnabled() ? obs::TraceLog::get().allocLane("driver") : 0;
+    obs::ScopedSpan Span(DriverLane, "command " + Command, "driver");
+    Code = runCommand(Command, Options);
+  }
+
+  if (obs::statsEnabled()) {
+    struct rusage Usage;
+    if (getrusage(RUSAGE_SELF, &Usage) == 0)
+      obs::Registry::get()
+          .gauge("process.peak_rss_bytes")
+          .noteMax(static_cast<uint64_t>(Usage.ru_maxrss) * 1024);
+    std::string StatsOut = Options.getString("stats-out");
+    if (!obs::writeStatsFile(StatsOut, StatsMode == "json"
+                                           ? obs::StatsFormat::Json
+                                           : obs::StatsFormat::Csv)) {
+      std::fprintf(stderr, "isprof: cannot write stats to %s\n",
+                   StatsOut.c_str());
+      if (Code == 0)
+        Code = 1;
+    }
+  }
+  if (!TraceOut.empty()) {
+    if (!obs::TraceLog::get().write(TraceOut)) {
+      std::fprintf(stderr, "isprof: cannot write timeline to %s\n",
+                   TraceOut.c_str());
+      if (Code == 0)
+        Code = 1;
+    } else {
+      std::printf("[timeline: %zu events -> %s]\n",
+                  obs::TraceLog::get().eventCount(), TraceOut.c_str());
+    }
+  }
+  return Code;
 }

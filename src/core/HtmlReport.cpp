@@ -161,15 +161,22 @@ std::string isp::renderHtmlReport(const ProfileDatabase &Database,
     FitResult Fit = fitWorstCase(*Profile, InputMetric::Trms);
     std::string Name = Symbols ? Symbols->routineName(Rtn)
                                : formatString("#%u", Rtn);
+    // Humanized magnitudes in the cells; the exact count survives as a
+    // hover title for anyone chasing a specific number.
     Html += formatString(
-        "<tr><td>%s</td><td>%s</td><td>%s</td><td>%zu</td><td>%zu</td>"
-        "<td>%s</td><td>%s</td><td>%s</td><td>%.2f</td></tr>\n",
+        "<tr><td>%s</td><td>%s</td><td title=\"%s\">%s</td>"
+        "<td>%zu</td><td>%zu</td>"
+        "<td title=\"%s\">%s</td><td title=\"%s\">%s</td>"
+        "<td>%s</td><td>%.2f</td></tr>\n",
         escapeHtml(Name).c_str(),
         formatWithCommas(Profile->activations()).c_str(),
         formatWithCommas(Profile->totalCost()).c_str(),
+        formatCount(Profile->totalCost()).c_str(),
         Profile->distinctTrmsValues(), Profile->distinctRmsValues(),
         formatWithCommas(Profile->inducedThread()).c_str(),
+        formatCount(Profile->inducedThread()).c_str(),
         formatWithCommas(Profile->inducedExternal()).c_str(),
+        formatCount(Profile->inducedExternal()).c_str(),
         growthModelName(Fit.best().Model), Fit.PowerLawAlpha);
   }
   Html += "</table>\n";

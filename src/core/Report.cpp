@@ -67,9 +67,9 @@ std::string isp::renderRoutineReport(RoutineId Rtn,
       Symbols ? Symbols->routineName(Rtn) : formatString("routine#%u", Rtn);
   std::string Out = formatString("== %s ==\n", Name.c_str());
   Out += formatString(
-      "activations: %llu, distinct trms values: %zu, distinct rms values: "
+      "activations: %s, distinct trms values: %zu, distinct rms values: "
       "%zu\n",
-      static_cast<unsigned long long>(Profile.activations()),
+      formatCount(Profile.activations()).c_str(),
       Profile.distinctTrmsValues(), Profile.distinctRmsValues());
   uint64_t Induced = Profile.inducedThread() + Profile.inducedExternal();
   double InducedPct =
@@ -132,9 +132,9 @@ std::string isp::renderRunSummary(const ProfileDatabase &Database,
   RunMetrics Run = computeRunMetrics(Database);
   std::string Out = Table.render();
   Out += formatString(
-      "\nrun totals: %llu activations, input volume %.3f, induced "
+      "\nrun totals: %s activations, input volume %.3f, induced "
       "first-accesses: %.1f%% thread-induced / %.1f%% external\n",
-      static_cast<unsigned long long>(Database.totalActivations()),
-      Run.InputVolume, Run.ThreadInducedPct, Run.ExternalPct);
+      formatCount(Database.totalActivations()).c_str(), Run.InputVolume,
+      Run.ThreadInducedPct, Run.ExternalPct);
   return Out;
 }

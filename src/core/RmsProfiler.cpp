@@ -6,6 +6,9 @@
 
 #include "core/RmsProfiler.h"
 
+#include "obs/Obs.h"
+#include "support/Compiler.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -141,6 +144,22 @@ void RmsProfiler::onFinish() {
       continue;
     while (!TS->Stack.empty())
       popFrame(Tid, *TS);
+  }
+  if (ISP_UNLIKELY(obs::statsEnabled())) {
+    // Aggregate across the per-thread timestamp shadows.
+    uint64_t Chunks = 0, Hits = 0, Misses = 0;
+    for (const std::unique_ptr<ThreadState> &TS : Threads) {
+      if (!TS)
+        continue;
+      Chunks += TS->Ts.chunksAllocated();
+      Hits += TS->Ts.cacheHits();
+      Misses += TS->Ts.cacheMisses();
+    }
+    obs::Registry &R = obs::Registry::get();
+    R.counter("shadow.ts.chunks_allocated").add(Chunks);
+    R.counter("shadow.ts.cache_hits").add(Hits);
+    R.counter("shadow.ts.cache_misses").add(Misses);
+    R.gauge("profiler.peak_footprint_bytes").noteMax(memoryFootprintBytes());
   }
 }
 

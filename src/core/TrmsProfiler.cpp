@@ -6,6 +6,7 @@
 
 #include "core/TrmsProfiler.h"
 
+#include "obs/Obs.h"
 #include "support/Compiler.h"
 
 #include <algorithm>
@@ -278,6 +279,16 @@ template <typename ShadowT> void TrmsProfilerT<ShadowT>::onFinish() {
       continue;
     while (!TS->Stack.empty())
       popFrame(Tid, *TS);
+  }
+  if (ISP_UNLIKELY(obs::statsEnabled())) {
+    obs::Registry &R = obs::Registry::get();
+    R.counter("profiler.renumbering_epochs").add(Renumberings);
+    // Global wts shadow only; the per-thread ts shadows are touched once
+    // per local access and have near-perfect locality by construction.
+    R.counter("shadow.wts.chunks_allocated").add(Wts.chunksAllocated());
+    R.counter("shadow.wts.cache_hits").add(Wts.cacheHits());
+    R.counter("shadow.wts.cache_misses").add(Wts.cacheMisses());
+    R.gauge("profiler.peak_footprint_bytes").noteMax(memoryFootprintBytes());
   }
 }
 

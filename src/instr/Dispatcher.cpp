@@ -6,31 +6,106 @@
 
 #include "instr/Dispatcher.h"
 
+#include "obs/Obs.h"
+
 using namespace isp;
 
 void EventDispatcher::start(const SymbolTable *Symbols) {
+  // Cache tool names (and allocate timeline lanes) once; flushImpl must
+  // not call the virtual name() per batch.
+  if (obs::statsEnabled() || obs::tracingEnabled()) {
+    ToolObs.clear();
+    for (Tool *T : Tools) {
+      ToolObsState S;
+      S.Name = T->name();
+      if (obs::tracingEnabled())
+        S.Lane = obs::TraceLog::get().allocLane("tool " + S.Name);
+      ToolObs.push_back(std::move(S));
+    }
+    if (obs::tracingEnabled() && DispatcherLane == 0)
+      DispatcherLane = obs::TraceLog::get().allocLane("dispatcher");
+  }
   for (Tool *T : Tools)
     T->onStart(Symbols);
 }
 
-void EventDispatcher::flush() {
+static const char *flushCauseName(EventDispatcher::FlushCause Cause) {
+  switch (Cause) {
+  case EventDispatcher::FlushCause::Capacity:
+    return "flush:capacity";
+  case EventDispatcher::FlushCause::Explicit:
+    return "flush:explicit";
+  case EventDispatcher::FlushCause::Finish:
+    return "flush:finish";
+  }
+  return "flush";
+}
+
+void EventDispatcher::flushImpl(FlushCause Cause) {
   // Run bookkeeping holds indices into Pending; invalidate it whether or
   // not anything is delivered.
   resetCompaction();
   if (PendingCount == 0)
     return;
+  ++Flushes[static_cast<size_t>(Cause)];
   if (Recording)
     Recorded.insert(Recorded.end(), Pending.get(), Pending.get() + PendingCount);
-  for (Tool *T : Tools)
-    T->handleBatch(Pending.get(), PendingCount);
+  // The observed path times each tool's callback (and records timeline
+  // spans); the default path is the PR-1 hot loop, untouched.
+  bool Observe = obs::statsEnabled() || obs::tracingEnabled();
+  if (ISP_UNLIKELY(Observe) && ToolObs.size() == Tools.size()) {
+    uint64_t FlushStart = obs::nowNs();
+    for (size_t I = 0; I != Tools.size(); ++I) {
+      uint64_t Start = obs::nowNs();
+      Tools[I]->handleBatch(Pending.get(), PendingCount);
+      uint64_t End = obs::nowNs();
+      ToolObs[I].Events += PendingCount;
+      ToolObs[I].CallbackNs += End - Start;
+      if (obs::tracingEnabled())
+        obs::TraceLog::get().completeSpan(ToolObs[I].Lane, "handleBatch",
+                                          "tool", Start, End);
+    }
+    if (obs::tracingEnabled())
+      obs::TraceLog::get().completeSpan(DispatcherLane,
+                                        flushCauseName(Cause), "dispatcher",
+                                        FlushStart, obs::nowNs());
+    ISP_STATS(obs::Registry::get()
+                  .histogram("dispatcher.batch_fill")
+                  .record(PendingCount));
+  } else {
+    for (Tool *T : Tools)
+      T->handleBatch(Pending.get(), PendingCount);
+  }
   DeliveredEvents += PendingCount;
   PendingCount = 0;
 }
 
+void EventDispatcher::publishStats() const {
+  obs::Registry &R = obs::Registry::get();
+  R.counter("dispatcher.enqueued_events").add(EnqueuedEvents);
+  R.counter("dispatcher.delivered_events").add(DeliveredEvents);
+  R.counter("dispatcher.access_merges").add(AccessMerges);
+  R.counter("dispatcher.bb_folds").add(BbFolds);
+  R.counter("dispatcher.flushes.capacity")
+      .add(flushCount(FlushCause::Capacity));
+  R.counter("dispatcher.flushes.explicit")
+      .add(flushCount(FlushCause::Explicit));
+  R.counter("dispatcher.flushes.finish").add(flushCount(FlushCause::Finish));
+  for (size_t I = 0; I != ToolObs.size(); ++I) {
+    const ToolObsState &S = ToolObs[I];
+    R.counter("tool." + S.Name + ".events_delivered").add(S.Events);
+    R.counter("tool." + S.Name + ".callback_ns").add(S.CallbackNs);
+    if (I < Tools.size())
+      R.gauge("tool." + S.Name + ".footprint_bytes")
+          .noteMax(Tools[I]->memoryFootprintBytes());
+  }
+}
+
 void EventDispatcher::finish() {
-  flush();
+  flushImpl(FlushCause::Finish);
   for (Tool *T : Tools)
     T->onFinish();
+  ISP_STATS(publishStats());
 }
 
 void isp::replayTrace(const std::vector<Event> &Events, Tool &T,

@@ -49,10 +49,12 @@
 #define ISPROF_INSTR_DISPATCHER_H
 
 #include "instr/Tool.h"
+#include "obs/TraceLog.h"
 #include "trace/Event.h"
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace isp {
@@ -65,6 +67,14 @@ public:
   /// Pending-batch capacity; a flush is forced when it fills. Large
   /// enough to amortize delivery, small enough to stay cache-resident.
   static constexpr size_t BatchCapacity = 256;
+
+  /// Why a (non-empty) batch was delivered. Capacity is the steady
+  /// state; Explicit covers dispatch()-forced order preservation and
+  /// manual flush() calls; Finish is the end-of-run drain. The
+  /// distribution is the tuning signal for BatchCapacity (see
+  /// ROADMAP's hot-path follow-ups).
+  enum class FlushCause : uint8_t { Capacity, Explicit, Finish };
+  static constexpr size_t NumFlushCauses = 3;
 
   /// Registers \p T; tools receive events in registration order.
   void addTool(Tool *T) { Tools.push_back(T); }
@@ -94,6 +104,7 @@ public:
         if (Last.Kind == E.Kind && Last.Tid == E.Tid &&
             Last.Arg0 + Last.Arg1 == E.Arg0) {
           Last.Arg1 += E.Arg1;
+          ++AccessMerges;
           return;
         }
       }
@@ -101,6 +112,7 @@ public:
     case EventKind::BasicBlock:
       if (BbRun.Active && BbRun.Tid == E.Tid) {
         Pending[BbRun.Index].Arg1 += E.Arg1;
+        ++BbFolds;
         return;
       }
       BbRun = {true, E.Tid, static_cast<uint32_t>(PendingCount)};
@@ -114,25 +126,28 @@ public:
     }
     Pending[PendingCount++] = E;
     if (PendingCount == BatchCapacity)
-      flush();
+      flushImpl(FlushCause::Capacity);
   }
 
   /// Delivers the pending batch to every tool (and the recording buffer)
   /// and empties it.
-  void flush();
+  void flush() { flushImpl(FlushCause::Explicit); }
 
   /// Dispatches one event to all tools immediately, after flushing any
   /// pending batch so order is preserved. Kept for replay loops and
   /// tests that need per-event delivery.
   void dispatch(const Event &E) {
     if (PendingCount != 0)
-      flush();
+      flushImpl(FlushCause::Explicit);
     ++EnqueuedEvents;
     ++DeliveredEvents;
     if (Recording)
       Recorded.push_back(E);
-    for (Tool *T : Tools)
-      T->handleEvent(E);
+    for (size_t I = 0; I != Tools.size(); ++I) {
+      Tools[I]->handleEvent(E);
+      if (ISP_UNLIKELY(obs::statsEnabled()) && I < ToolObs.size())
+        ++ToolObs[I].Events;
+    }
   }
 
   /// True when at least one tool is registered or recording is on; the VM
@@ -147,6 +162,22 @@ public:
   /// harnesses report.
   uint64_t deliveredEvents() const { return DeliveredEvents; }
 
+  /// Compaction breakdown. The exact identity
+  ///   enqueuedEvents() == deliveredEvents() + accessMerges() + bbFolds()
+  /// holds whenever the pending batch is empty (always after finish());
+  /// every enqueue either merges into a buffered event or is eventually
+  /// delivered. ObsTest asserts this.
+  uint64_t accessMerges() const { return AccessMerges; }
+  uint64_t bbFolds() const { return BbFolds; }
+
+  /// Number of non-empty batch deliveries attributed to \p Cause.
+  uint64_t flushCount(FlushCause Cause) const {
+    return Flushes[static_cast<size_t>(Cause)];
+  }
+  uint64_t totalFlushes() const {
+    return Flushes[0] + Flushes[1] + Flushes[2];
+  }
+
   const std::vector<Event> &recordedEvents() const { return Recorded; }
   std::vector<Event> takeRecordedEvents() { return std::move(Recorded); }
 
@@ -158,7 +189,24 @@ private:
     uint32_t Index = 0;
   };
 
+  /// Per-tool observability: cached name (Tool::name() is virtual),
+  /// events consumed, callback wall-time, and a timeline lane.
+  /// Populated by start(); parallel to Tools.
+  struct ToolObsState {
+    std::string Name;
+    uint64_t Events = 0;
+    uint64_t CallbackNs = 0;
+    obs::LaneId Lane = 0;
+  };
+
   void resetCompaction() { BbRun.Active = false; }
+
+  void flushImpl(FlushCause Cause);
+
+  /// Folds the dispatcher's plain counters (and the per-tool tallies)
+  /// into the process-wide obs registry. Called by finish() when stats
+  /// collection is on.
+  void publishStats() const;
 
   std::vector<Tool *> Tools;
   /// Fixed-size pending batch (enqueue flushes when it fills).
@@ -169,6 +217,15 @@ private:
   BbRunState BbRun;
   uint64_t EnqueuedEvents = 0;
   uint64_t DeliveredEvents = 0;
+  /// Compaction and flush-cause tallies. Plain (non-atomic) members like
+  /// EnqueuedEvents, bumped unconditionally: they sit on paths that
+  /// already do comparable work per event, and folding them into the
+  /// atomic registry happens once per run in publishStats().
+  uint64_t AccessMerges = 0;
+  uint64_t BbFolds = 0;
+  uint64_t Flushes[NumFlushCauses] = {0, 0, 0};
+  std::vector<ToolObsState> ToolObs;
+  obs::LaneId DispatcherLane = 0;
 };
 
 /// Replays \p Events into \p T, bracketed by onStart/onFinish.

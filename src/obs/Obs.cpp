@@ -1,0 +1,203 @@
+//===- obs/Obs.cpp - Runtime metrics registry ---------------------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Obs.h"
+
+#include "support/Format.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace isp;
+using namespace isp::obs;
+
+// The ISP_STATS environment variable pre-enables collection for runs
+// that never reach a flag parser (tests, benches under a profiler).
+static bool initialStatsEnabled() {
+  const char *Env = std::getenv("ISP_STATS");
+  return Env && *Env && std::strcmp(Env, "0") != 0;
+}
+
+bool isp::obs::StatsEnabledFlag = initialStatsEnabled();
+
+void isp::obs::setStatsEnabled(bool Enabled) { StatsEnabledFlag = Enabled; }
+
+uint64_t isp::obs::nowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point Anchor = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           Anchor)
+          .count());
+}
+
+Registry::Registry() = default;
+
+Registry &Registry::get() {
+  static Registry Instance;
+  return Instance;
+}
+
+Counter &Registry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::unique_ptr<Counter> &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Gauge &Registry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::unique_ptr<Gauge> &Slot = Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<Gauge>();
+  return *Slot;
+}
+
+Histogram &Registry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::unique_ptr<Histogram> &Slot = Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<Histogram>();
+  return *Slot;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &[Name, C] : Counters)
+    C->reset();
+  for (auto &[Name, G] : Gauges)
+    G->reset();
+  for (auto &[Name, H] : Histograms)
+    H->reset();
+}
+
+std::map<std::string, uint64_t> Registry::counterValues() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::map<std::string, uint64_t> Out;
+  for (const auto &[Name, C] : Counters)
+    Out[Name] = C->value();
+  return Out;
+}
+
+bool Registry::empty() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters.empty() && Gauges.empty() && Histograms.empty();
+}
+
+static std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += formatString("\\u%04x", C);
+      else
+        Out.push_back(C);
+    }
+  }
+  return Out;
+}
+
+std::string Registry::renderJson() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::string Out = "{\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, C] : Counters) {
+    Out += formatString("%s\n    \"%s\": %llu", First ? "" : ",",
+                        jsonEscape(Name).c_str(),
+                        static_cast<unsigned long long>(C->value()));
+    First = false;
+  }
+  Out += First ? "},\n" : "\n  },\n";
+  Out += "  \"gauges\": {";
+  First = true;
+  for (const auto &[Name, G] : Gauges) {
+    Out += formatString("%s\n    \"%s\": %llu", First ? "" : ",",
+                        jsonEscape(Name).c_str(),
+                        static_cast<unsigned long long>(G->value()));
+    First = false;
+  }
+  Out += First ? "},\n" : "\n  },\n";
+  Out += "  \"histograms\": {";
+  First = true;
+  for (const auto &[Name, H] : Histograms) {
+    Out += formatString(
+        "%s\n    \"%s\": {\"count\": %llu, \"sum\": %llu, \"max\": %llu, "
+        "\"mean\": %.3f, \"buckets\": [",
+        First ? "" : ",", jsonEscape(Name).c_str(),
+        static_cast<unsigned long long>(H->count()),
+        static_cast<unsigned long long>(H->sum()),
+        static_cast<unsigned long long>(H->max()), H->mean());
+    bool FirstBucket = true;
+    for (unsigned I = 0; I != Histogram::NumBuckets; ++I) {
+      uint64_t N = H->bucketCount(I);
+      if (N == 0)
+        continue;
+      Out += formatString(
+          "%s[%llu, %llu]", FirstBucket ? "" : ", ",
+          static_cast<unsigned long long>(Histogram::bucketLowerBound(I)),
+          static_cast<unsigned long long>(N));
+      FirstBucket = false;
+    }
+    Out += "]}";
+    First = false;
+  }
+  Out += First ? "}\n" : "\n  }\n";
+  Out += "}\n";
+  return Out;
+}
+
+std::string Registry::renderCsv() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::string Out = "kind,name,value\n";
+  for (const auto &[Name, C] : Counters)
+    Out += formatString("counter,%s,%llu\n", Name.c_str(),
+                        static_cast<unsigned long long>(C->value()));
+  for (const auto &[Name, G] : Gauges)
+    Out += formatString("gauge,%s,%llu\n", Name.c_str(),
+                        static_cast<unsigned long long>(G->value()));
+  for (const auto &[Name, H] : Histograms) {
+    Out += formatString("histogram.count,%s,%llu\n", Name.c_str(),
+                        static_cast<unsigned long long>(H->count()));
+    Out += formatString("histogram.sum,%s,%llu\n", Name.c_str(),
+                        static_cast<unsigned long long>(H->sum()));
+    Out += formatString("histogram.max,%s,%llu\n", Name.c_str(),
+                        static_cast<unsigned long long>(H->max()));
+  }
+  return Out;
+}
+
+bool isp::obs::writeStatsFile(const std::string &Path, StatsFormat Format) {
+  std::string Rendered = Format == StatsFormat::Json
+                             ? Registry::get().renderJson()
+                             : Registry::get().renderCsv();
+  if (Path.empty() || Path == "-") {
+    std::fputs(Rendered.c_str(), stdout);
+    return true;
+  }
+  FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::fputs(Rendered.c_str(), F);
+  std::fclose(F);
+  return true;
+}

@@ -1,0 +1,160 @@
+//===- obs/TraceLog.cpp - Chrome trace_event timeline -------------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceLog.h"
+
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace isp;
+using namespace isp::obs;
+
+bool isp::obs::TracingEnabledFlag = false;
+
+TraceLog &TraceLog::get() {
+  static TraceLog Instance;
+  return Instance;
+}
+
+void TraceLog::enable() { TracingEnabledFlag = true; }
+
+void TraceLog::reset() {
+  TracingEnabledFlag = false;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Records.clear();
+  LaneNames.clear();
+  NextInfraLane = FirstInfraLane;
+}
+
+LaneId TraceLog::allocLane(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  LaneId Lane = NextInfraLane++;
+  LaneNames.emplace_back(Lane, Name);
+  return Lane;
+}
+
+void TraceLog::setLaneName(LaneId Lane, const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &[Id, Existing] : LaneNames)
+    if (Id == Lane) {
+      Existing = Name;
+      return;
+    }
+  LaneNames.emplace_back(Lane, Name);
+}
+
+void TraceLog::completeSpan(LaneId Lane, const std::string &Name,
+                            const char *Category, uint64_t StartNs,
+                            uint64_t EndNs) {
+  if (!tracingEnabled())
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Records.push_back({'X', Lane, StartNs, EndNs - StartNs, 0, Name, Category});
+}
+
+void TraceLog::instant(LaneId Lane, const std::string &Name,
+                       const char *Category, uint64_t TsNs) {
+  if (!tracingEnabled())
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Records.push_back({'i', Lane, TsNs, 0, 0, Name, Category});
+}
+
+void TraceLog::counterSample(const std::string &Name, uint64_t Value,
+                             uint64_t TsNs) {
+  if (!tracingEnabled())
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Records.push_back({'C', 0, TsNs, 0, Value, Name, "counter"});
+}
+
+size_t TraceLog::eventCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Records.size();
+}
+
+static std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += formatString("\\u%04x", C);
+      else
+        Out.push_back(C);
+    }
+  }
+  return Out;
+}
+
+/// Nanoseconds -> the format's microseconds, keeping ns resolution.
+static std::string micros(uint64_t Ns) {
+  return formatString("%llu.%03u",
+                      static_cast<unsigned long long>(Ns / 1000),
+                      static_cast<unsigned>(Ns % 1000));
+}
+
+std::string TraceLog::renderJson() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::string Out = "{\"traceEvents\": [\n";
+  bool First = true;
+  auto Sep = [&]() -> const char * {
+    const char *S = First ? "" : ",\n";
+    First = false;
+    return S;
+  };
+  for (const auto &[Lane, Name] : LaneNames)
+    Out += formatString("%s{\"name\": \"thread_name\", \"ph\": \"M\", "
+                        "\"pid\": 1, \"tid\": %u, \"args\": {\"name\": "
+                        "\"%s\"}}",
+                        Sep(), Lane, jsonEscape(Name).c_str());
+  for (const Record &R : Records) {
+    switch (R.Phase) {
+    case 'X':
+      Out += formatString("%s{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": "
+                          "\"X\", \"ts\": %s, \"dur\": %s, \"pid\": 1, "
+                          "\"tid\": %u}",
+                          Sep(), jsonEscape(R.Name).c_str(), R.Category,
+                          micros(R.TsNs).c_str(), micros(R.DurNs).c_str(),
+                          R.Lane);
+      break;
+    case 'i':
+      Out += formatString("%s{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": "
+                          "\"i\", \"s\": \"t\", \"ts\": %s, \"pid\": 1, "
+                          "\"tid\": %u}",
+                          Sep(), jsonEscape(R.Name).c_str(), R.Category,
+                          micros(R.TsNs).c_str(), R.Lane);
+      break;
+    case 'C':
+      Out += formatString("%s{\"name\": \"%s\", \"ph\": \"C\", \"ts\": %s, "
+                          "\"pid\": 1, \"args\": {\"value\": %llu}}",
+                          Sep(), jsonEscape(R.Name).c_str(),
+                          micros(R.TsNs).c_str(),
+                          static_cast<unsigned long long>(R.Value));
+      break;
+    }
+  }
+  Out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return Out;
+}
+
+bool TraceLog::write(const std::string &Path) const {
+  FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::string Rendered = renderJson();
+  bool Ok = std::fwrite(Rendered.data(), 1, Rendered.size(), F) ==
+            Rendered.size();
+  return std::fclose(F) == 0 && Ok;
+}

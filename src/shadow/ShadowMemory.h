@@ -28,6 +28,7 @@
 #ifndef ISPROF_SHADOW_SHADOWMEMORY_H
 #define ISPROF_SHADOW_SHADOWMEMORY_H
 
+#include "obs/Obs.h"
 #include "trace/Event.h"
 
 #include <algorithm>
@@ -66,8 +67,11 @@ public:
   /// Returns the value at \p A without allocating (T{} if untouched).
   T get(Addr A) const {
     assert(A <= MaxAddress && "guest address out of shadowable range");
-    if (chunkKey(A) == CachedKey)
+    if (chunkKey(A) == CachedKey) {
+      ISP_STATS(++CacheHits);
       return CachedChunk->Cells[offset(A)];
+    }
+    ISP_STATS(++CacheMisses);
     const Secondary *S = Primary[l1Index(A)].get();
     if (!S)
       return T{};
@@ -85,8 +89,11 @@ public:
   /// Returns a mutable reference, materializing the chunk if needed.
   T &cell(Addr A) {
     assert(A <= MaxAddress && "guest address out of shadowable range");
-    if (chunkKey(A) == CachedKey)
+    if (chunkKey(A) == CachedKey) {
+      ISP_STATS(++CacheHits);
       return CachedChunk->Cells[offset(A)];
+    }
+    ISP_STATS(++CacheMisses);
     return materialize(A)->Cells[offset(A)];
   }
 
@@ -100,8 +107,7 @@ public:
       size_t Off = offset(A);
       size_t Span = static_cast<size_t>(
           std::min<uint64_t>(Cells, ChunkCells - Off));
-      Chunk *C =
-          chunkKey(A) == CachedKey ? CachedChunk : materialize(A);
+      Chunk *C = resolveChunk(A);
       for (size_t I = 0; I != Span; ++I)
         Fn(A + I, C->Cells[Off + I]);
       A += Span;
@@ -117,8 +123,7 @@ public:
       size_t Off = offset(A);
       size_t Span = static_cast<size_t>(
           std::min<uint64_t>(Cells, ChunkCells - Off));
-      Chunk *C =
-          chunkKey(A) == CachedKey ? CachedChunk : materialize(A);
+      Chunk *C = resolveChunk(A);
       std::fill_n(C->Cells + Off, Span, Value);
       A += Span;
       Cells -= Span;
@@ -151,6 +156,17 @@ public:
   uint64_t bytesAllocated() const { return BytesAllocated; }
   uint64_t fixedBytes() const { return L1Entries * sizeof(void *); }
   uint64_t totalBytes() const { return BytesAllocated + fixedBytes(); }
+
+  /// Observability tallies, cumulative over the shadow's lifetime (not
+  /// reset by clear()). Chunk allocations are counted unconditionally —
+  /// the path already allocates, so the bump is noise. Cache hit/miss
+  /// tallies sit on the per-access fast path and are bumped only while
+  /// stats collection is on (ISP_STATS), keeping the default
+  /// configuration's lookup untouched; range primitives count one
+  /// hit/miss per chunk span, not per cell.
+  uint64_t chunksAllocated() const { return ChunksAllocated; }
+  uint64_t cacheHits() const { return CacheHits; }
+  uint64_t cacheMisses() const { return CacheMisses; }
 
   void clear() {
     for (auto &S : Primary)
@@ -187,14 +203,29 @@ private:
     if (!C) {
       C = std::make_unique<Chunk>();
       BytesAllocated += sizeof(Chunk);
+      ++ChunksAllocated;
     }
     CachedKey = chunkKey(A);
     CachedChunk = C.get();
     return C.get();
   }
 
+  /// Cache-aware chunk resolution for the range primitives.
+  Chunk *resolveChunk(Addr A) {
+    if (chunkKey(A) == CachedKey) {
+      ISP_STATS(++CacheHits);
+      return CachedChunk;
+    }
+    ISP_STATS(++CacheMisses);
+    return materialize(A);
+  }
+
   std::vector<std::unique_ptr<Secondary>> Primary;
   uint64_t BytesAllocated = 0;
+  uint64_t ChunksAllocated = 0;
+  /// Mutable: the read-only get() path tallies hits/misses too.
+  mutable uint64_t CacheHits = 0;
+  mutable uint64_t CacheMisses = 0;
   /// One-entry last-chunk cache. Chunks live until clear(), so the raw
   /// pointer stays valid as long as the key matches. Mutable so the
   /// read-only get() path can also profit from locality.
@@ -232,6 +263,12 @@ public:
       if (!(Value == T{}))
         Fn(A, Value);
   }
+
+  /// Observability parity with ThreeLevelShadow; the hash map has no
+  /// chunk cache, so the tallies are identically zero.
+  uint64_t chunksAllocated() const { return 0; }
+  uint64_t cacheHits() const { return 0; }
+  uint64_t cacheMisses() const { return 0; }
 
   uint64_t bytesAllocated() const {
     // Approximation: per-node overhead of the hash table (key + value +

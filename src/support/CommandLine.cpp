@@ -59,6 +59,13 @@ bool OptionParser::parse(int Argc, const char *const *Argv) {
       return false;
     }
     Option &Opt = It->second;
+    if (Opt.Seen) {
+      std::fprintf(stderr,
+                   "%s: duplicate option --%s (already set to '%s'; each "
+                   "option may be given at most once)\n",
+                   ProgramName.c_str(), Name.c_str(), Opt.Value.c_str());
+      return false;
+    }
     if (Opt.IsFlag) {
       Opt.Value = HasValue ? Value : "true";
     } else if (HasValue) {

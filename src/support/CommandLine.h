@@ -33,8 +33,10 @@ public:
   void addFlag(const std::string &Name, const std::string &Help);
 
   /// Parses argv. Returns false (after printing a diagnostic to stderr)
-  /// on unknown options or a missing value; prints help and returns false
-  /// for --help.
+  /// on unknown options, duplicate options (each may be given at most
+  /// once — a silently-overwriting repeat is almost always a typo in a
+  /// long benchmark invocation), or a missing value; prints help and
+  /// returns false for --help.
   bool parse(int Argc, const char *const *Argv);
 
   std::string getString(const std::string &Name) const;

@@ -41,6 +41,33 @@ std::string isp::formatBytes(uint64_t Bytes) {
   return formatString("%.1f %s", Value, Units[Unit]);
 }
 
+std::string isp::formatCount(uint64_t Value) {
+  const char *Units[] = {"", "k", "M", "G", "T"};
+  double Scaled = static_cast<double>(Value);
+  unsigned Unit = 0;
+  while (Scaled >= 1000.0 && Unit < 4) {
+    Scaled /= 1000.0;
+    ++Unit;
+  }
+  if (Unit == 0)
+    return std::to_string(Value);
+  return formatString("%.1f%s", Scaled, Units[Unit]);
+}
+
+std::string isp::formatDuration(uint64_t Nanoseconds) {
+  if (Nanoseconds < 1000)
+    return formatString("%llu ns",
+                        static_cast<unsigned long long>(Nanoseconds));
+  double Value = static_cast<double>(Nanoseconds);
+  const char *Units[] = {"ns", "us", "ms", "s"};
+  unsigned Unit = 0;
+  while (Value >= 1000.0 && Unit < 3) {
+    Value /= 1000.0;
+    ++Unit;
+  }
+  return formatString("%.1f %s", Value, Units[Unit]);
+}
+
 std::string isp::formatWithCommas(uint64_t Value) {
   std::string Digits = std::to_string(Value);
   std::string Result;

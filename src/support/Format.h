@@ -26,6 +26,15 @@ std::string formatString(const char *Fmt, ...)
 /// Formats a byte count as "512 B", "1.2 MB", ... (decimal units).
 std::string formatBytes(uint64_t Bytes);
 
+/// Formats a count humanized to engineering units: 972 -> "972",
+/// 54292 -> "54.3k", 1234567 -> "1.2M". Counts below 1000 stay exact;
+/// use formatWithCommas where full precision matters.
+std::string formatCount(uint64_t Value);
+
+/// Formats a nanosecond duration at a human scale: "123 ns", "12.3 us",
+/// "4.6 ms", "2.1 s" (ASCII units; reports must survive dumb terminals).
+std::string formatDuration(uint64_t Nanoseconds);
+
 /// Formats a count with thousands separators: 1234567 -> "1,234,567".
 std::string formatWithCommas(uint64_t Value);
 

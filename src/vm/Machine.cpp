@@ -6,6 +6,8 @@
 
 #include "vm/Machine.h"
 
+#include "obs/Obs.h"
+#include "obs/TraceLog.h"
 #include "support/Compiler.h"
 #include "support/Format.h"
 #include "vm/Compiler.h"
@@ -434,7 +436,7 @@ bool Machine::runSlice(ThreadCtx &T) {
     case Op::LoadLocal: {
       int64_t Value = 0;
       if (!memRead(T, F->FrameBase + static_cast<Addr>(I.A), Value,
-                   /*Emit=*/I.B == 0 || WindowInterrupted))
+                   /*Emit=*/noteQuietAccess(I.B)))
         return !Failed;
       T.Operands.push_back(Value);
       break;
@@ -443,14 +445,14 @@ bool Machine::runSlice(ThreadCtx &T) {
     case Op::StoreLocal:
       if (!memWrite(T, F->FrameBase + static_cast<Addr>(I.A),
                     popValue(T.Operands),
-                    /*Emit=*/I.B == 0 || WindowInterrupted))
+                    /*Emit=*/noteQuietAccess(I.B)))
         return !Failed;
       break;
 
     case Op::LoadGlobal: {
       int64_t Value = 0;
       if (!memRead(T, static_cast<Addr>(I.A), Value,
-                   /*Emit=*/I.B == 0 || WindowInterrupted))
+                   /*Emit=*/noteQuietAccess(I.B)))
         return !Failed;
       T.Operands.push_back(Value);
       break;
@@ -458,7 +460,7 @@ bool Machine::runSlice(ThreadCtx &T) {
 
     case Op::StoreGlobal:
       if (!memWrite(T, static_cast<Addr>(I.A), popValue(T.Operands),
-                    /*Emit=*/I.B == 0 || WindowInterrupted))
+                    /*Emit=*/noteQuietAccess(I.B)))
         return !Failed;
       break;
 
@@ -708,14 +710,33 @@ RunResult Machine::run() {
 
     if (!T.Started) {
       T.Started = true;
+      if (ISP_UNLIKELY(obs::tracingEnabled())) {
+        obs::TraceLog::get().setLaneName(static_cast<obs::LaneId>(T.Id),
+                                         "guest thread " +
+                                             std::to_string(T.Id));
+        obs::TraceLog::get().instant(static_cast<obs::LaneId>(T.Id),
+                                     "thread_start", "guest", obs::nowNs());
+      }
       emitEvent(Event::threadStart(T.Id, now(), T.Parent));
       // Spawn arguments were already written into the entry frame cells
       // by the parent; main has none.
       if (!pushFrame(T, T.EntryFn, /*Args=*/nullptr, /*NumArgs=*/0))
         break;
     }
-    if (T.State == ThreadStateKind::Runnable && !T.Frames.empty())
-      runSlice(T);
+    if (T.State == ThreadStateKind::Runnable && !T.Frames.empty()) {
+      if (ISP_UNLIKELY(obs::tracingEnabled())) {
+        // Name the slice after the function on top at slice entry (the
+        // slice may return out of or call into other frames mid-way).
+        std::string SliceName = T.Frames.back().Fn->Name;
+        uint64_t SliceStart = obs::nowNs();
+        runSlice(T);
+        obs::TraceLog::get().completeSpan(static_cast<obs::LaneId>(T.Id),
+                                          SliceName, "guest", SliceStart,
+                                          obs::nowNs());
+      } else {
+        runSlice(T);
+      }
+    }
   }
 
   // Account the guest footprint before tearing anything down.
@@ -723,6 +744,23 @@ RunResult Machine::run() {
   for (const ThreadCtx &T : ThreadList)
     GuestCells += T.StackMemory.size();
   Stats.GuestMemoryBytes = GuestCells * sizeof(int64_t);
+
+  // Fold the run's tallies into the process-wide registry (the per-run
+  // RunStats copy in Result is unaffected and stays the API of record
+  // for single runs; the registry aggregates across runs).
+  if (ISP_UNLIKELY(obs::statsEnabled())) {
+    obs::Registry &R = obs::Registry::get();
+    R.counter("machine.instructions").add(Stats.Instructions);
+    R.counter("machine.basic_blocks").add(Stats.BasicBlocks);
+    R.counter("machine.mem_reads").add(Stats.MemReads);
+    R.counter("machine.mem_writes").add(Stats.MemWrites);
+    R.counter("machine.threads_spawned").add(Stats.ThreadsSpawned);
+    R.counter("machine.thread_switches").add(Stats.ThreadSwitches);
+    R.counter("machine.heap_cells_allocated").add(Stats.HeapCellsAllocated);
+    R.counter("machine.quiet_suppressed").add(Stats.QuietEventsSuppressed);
+    R.counter("machine.quiet_window_aborts").add(Stats.QuietWindowAborts);
+    R.gauge("machine.guest_memory_bytes").noteMax(Stats.GuestMemoryBytes);
+  }
 
   if (Events)
     Events->finish();

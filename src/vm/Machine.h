@@ -54,6 +54,13 @@ struct RunStats {
   /// Guest footprint in bytes (globals + heap + stacks actually touched):
   /// the "native" space baseline of the overhead comparisons.
   uint64_t GuestMemoryBytes = 0;
+  /// Optimizer-marked quiet accesses whose event was actually skipped
+  /// (the suppression win), vs. quiet marks *not* honored because a
+  /// scheduler switch had interrupted the straight-line window (the
+  /// WindowInterrupted guard firing). Both count only instrumented
+  /// runs; native runs emit no events either way.
+  uint64_t QuietEventsSuppressed = 0;
+  uint64_t QuietWindowAborts = 0;
 };
 
 struct RunResult {
@@ -134,6 +141,22 @@ private:
       Events->enqueue(E);
   }
   uint64_t now() { return ++EventTime; }
+
+  /// Tallies one execution of a quiet-marked access (\p MarkBit != 0)
+  /// and returns the Emit flag for memRead/memWrite: suppressed when the
+  /// mark is honored, a WindowInterrupted abort when a scheduler switch
+  /// forced the event through. Unmarked accesses and native runs (no
+  /// events either way) fall through without touching the tallies.
+  bool noteQuietAccess(int64_t MarkBit) {
+    if (MarkBit == 0 || !TraceActive)
+      return true;
+    if (WindowInterrupted) {
+      ++Stats.QuietWindowAborts;
+      return true;
+    }
+    ++Stats.QuietEventsSuppressed;
+    return false;
+  }
 
   // --- Guest memory. ---
   bool decodeAddress(Addr A, int64_t *&Cell);

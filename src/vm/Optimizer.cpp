@@ -6,6 +6,8 @@
 
 #include "vm/Optimizer.h"
 
+#include "obs/Obs.h"
+
 #include <cassert>
 #include <optional>
 #include <unordered_map>
@@ -335,6 +337,21 @@ OptimizerStats isp::optimizeProgram(Program &Prog) {
     Total.BranchesResolved += S.BranchesResolved;
     Total.InstructionsRemoved += S.InstructionsRemoved;
     Total.QuietAccessesMarked += S.QuietAccessesMarked;
+    // Per-function suppression potential: which routines the quiet-mark
+    // pass actually bites on (zero-mark functions are left out of the
+    // registry to keep the dump proportional to findings).
+    if (S.QuietAccessesMarked != 0)
+      ISP_STATS(obs::Registry::get()
+                    .counter("optimizer.quiet_marked." + F.Name)
+                    .add(S.QuietAccessesMarked));
+  }
+  if (ISP_UNLIKELY(obs::statsEnabled())) {
+    obs::Registry &R = obs::Registry::get();
+    R.counter("optimizer.constants_folded").add(Total.ConstantsFolded);
+    R.counter("optimizer.jumps_threaded").add(Total.JumpsThreaded);
+    R.counter("optimizer.branches_resolved").add(Total.BranchesResolved);
+    R.counter("optimizer.instructions_removed").add(Total.InstructionsRemoved);
+    R.counter("optimizer.quiet_accesses_marked").add(Total.QuietAccessesMarked);
   }
   return Total;
 }

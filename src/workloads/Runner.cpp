@@ -7,18 +7,30 @@
 #include "workloads/Runner.h"
 
 #include "instr/Dispatcher.h"
+#include "obs/Obs.h"
 #include "vm/Compiler.h"
 #include "vm/Diag.h"
 #include "vm/Optimizer.h"
 
 using namespace isp;
 
+/// Phase-timer target: the named duration counter when stats collection
+/// is on, null (a disarmed timer) otherwise.
+static obs::Counter *phaseCounter(const char *Name) {
+  return obs::statsEnabled() ? &obs::Registry::get().counter(Name) : nullptr;
+}
+
 std::optional<Program> isp::compileWorkload(const WorkloadInfo &Workload,
                                             const WorkloadParams &Params,
                                             std::string *ErrorOut) {
   DiagnosticEngine Diags;
-  std::string Source = Workload.MakeSource(Params);
-  std::optional<Program> Prog = compileProgram(Source, Diags);
+  std::string Source;
+  std::optional<Program> Prog;
+  {
+    obs::ScopedTimer Timer(phaseCounter("runner.compile_ns"));
+    Source = Workload.MakeSource(Params);
+    Prog = compileProgram(Source, Diags);
+  }
   if (!Prog && ErrorOut)
     *ErrorOut = "workload '" + Workload.Name +
                 "' failed to compile:\n" + Diags.render();
@@ -26,8 +38,10 @@ std::optional<Program> isp::compileWorkload(const WorkloadInfo &Workload,
   // preserves the event stream, so tool measurements are unaffected
   // except through shorter interpreter time (which benefits native and
   // instrumented runs alike).
-  if (Prog)
+  if (Prog) {
+    obs::ScopedTimer Timer(phaseCounter("runner.optimize_ns"));
     optimizeProgram(*Prog);
+  }
   return Prog;
 }
 
@@ -42,6 +56,7 @@ RunResult isp::runWorkloadNative(const WorkloadInfo &Workload,
     return Result;
   }
   Machine M(*Prog, /*Events=*/nullptr, MachineOpts);
+  obs::ScopedTimer Timer(phaseCounter("runner.execute_ns"));
   return M.run();
 }
 
@@ -60,7 +75,10 @@ ProfiledRun isp::profileWorkload(const WorkloadInfo &Workload,
   EventDispatcher Dispatcher;
   Dispatcher.addTool(&Profiler);
   Machine M(*Prog, &Dispatcher, MachineOpts);
-  Out.Run = M.run();
+  {
+    obs::ScopedTimer Timer(phaseCounter("runner.execute_ns"));
+    Out.Run = M.run();
+  }
   Out.Profile = Profiler.takeDatabase();
   Out.Symbols = Prog->Symbols;
   return Out;

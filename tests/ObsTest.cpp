@@ -1,0 +1,364 @@
+//===- tests/ObsTest.cpp - Observability subsystem tests -----------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the obs registry (counter/gauge/histogram semantics, the
+// disabled-mode no-allocation guarantee, exporter golden output), the
+// trace_event timeline, the dispatcher's flush-cause and compaction
+// accounting (including the enqueued == delivered + merges + folds
+// identity), and the machine's quiet-access suppression tallies.
+//
+// Ordering matters: the registry is a process-wide singleton, so the
+// disabled-mode test and the exporter golden test run first, before any
+// other test interns a metric name. gtest executes TESTs in declaration
+// order within one binary.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Obs.h"
+#include "obs/TraceLog.h"
+
+#include "core/TrmsProfiler.h"
+#include "instr/Dispatcher.h"
+#include "tools/NulTool.h"
+#include "vm/Compiler.h"
+#include "vm/Machine.h"
+#include "vm/Optimizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace isp;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Disabled mode (must run first: asserts nothing was ever registered)
+//===----------------------------------------------------------------------===//
+
+TEST(ObsDisabled, FullPipelineRegistersNothing) {
+  obs::setStatsEnabled(false);
+  ASSERT_FALSE(obs::statsEnabled());
+  ASSERT_FALSE(obs::tracingEnabled());
+
+  // Run the whole instrumented pipeline — machine, dispatcher, shadow
+  // memory, profiler — with collection off. Not a single metric may be
+  // interned: a disabled process pays branch tests only, never a name
+  // allocation.
+  TrmsProfiler Profiler;
+  EventDispatcher Dispatcher;
+  Dispatcher.addTool(&Profiler);
+  RunResult R = compileAndRun(R"(
+    fn main() {
+      var sum = 0;
+      for (var i = 0; i < 100; i = i + 1) { sum = sum + i; }
+      print(sum);
+      return 0;
+    })",
+                              &Dispatcher);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Output, "4950\n");
+  EXPECT_TRUE(obs::Registry::get().empty());
+  EXPECT_EQ(obs::TraceLog::get().eventCount(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Exporters (runs on a still-pristine registry for exact golden output)
+//===----------------------------------------------------------------------===//
+
+TEST(ObsExport, JsonAndCsvGolden) {
+  obs::Registry &R = obs::Registry::get();
+  ASSERT_TRUE(R.empty()) << "registry polluted before the golden test";
+
+  R.counter("alpha.events").add(7);
+  R.counter("beta.events").add(41);
+  R.gauge("alpha.bytes").set(2048);
+  obs::Histogram &H = R.histogram("alpha.fill");
+  H.record(0);
+  H.record(1);
+  H.record(5);
+  H.record(5);
+
+  EXPECT_EQ(R.renderJson(),
+            "{\n"
+            "  \"counters\": {\n"
+            "    \"alpha.events\": 7,\n"
+            "    \"beta.events\": 41\n"
+            "  },\n"
+            "  \"gauges\": {\n"
+            "    \"alpha.bytes\": 2048\n"
+            "  },\n"
+            "  \"histograms\": {\n"
+            "    \"alpha.fill\": {\"count\": 4, \"sum\": 11, \"max\": 5, "
+            "\"mean\": 2.750, \"buckets\": [[0, 1], [1, 1], [4, 2]]}\n"
+            "  }\n"
+            "}\n");
+
+  EXPECT_EQ(R.renderCsv(), "kind,name,value\n"
+                           "counter,alpha.events,7\n"
+                           "counter,beta.events,41\n"
+                           "gauge,alpha.bytes,2048\n"
+                           "histogram.count,alpha.fill,4\n"
+                           "histogram.sum,alpha.fill,11\n"
+                           "histogram.max,alpha.fill,5\n");
+
+  // reset() zeroes values but keeps names registered and references
+  // valid — bench repetitions rely on both.
+  obs::Counter &Alpha = R.counter("alpha.events");
+  R.reset();
+  EXPECT_EQ(Alpha.value(), 0u);
+  EXPECT_EQ(R.counterValues().at("beta.events"), 0u);
+  EXPECT_FALSE(R.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Metric primitives
+//===----------------------------------------------------------------------===//
+
+TEST(ObsMetrics, CounterAndGauge) {
+  obs::Counter C;
+  EXPECT_EQ(C.value(), 0u);
+  C.add();
+  C.add(41);
+  EXPECT_EQ(C.value(), 42u);
+  C.reset();
+  EXPECT_EQ(C.value(), 0u);
+
+  obs::Gauge G;
+  G.set(10);
+  EXPECT_EQ(G.value(), 10u);
+  G.noteMax(7); // lower: ignored
+  EXPECT_EQ(G.value(), 10u);
+  G.noteMax(99);
+  EXPECT_EQ(G.value(), 99u);
+}
+
+TEST(ObsMetrics, HistogramBucketBoundaries) {
+  // Bucket 0 holds zeros; bucket i (i >= 1) covers [2^(i-1), 2^i).
+  EXPECT_EQ(obs::Histogram::bucketIndex(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucketIndex(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucketIndex(2), 2u);
+  EXPECT_EQ(obs::Histogram::bucketIndex(3), 2u);
+  EXPECT_EQ(obs::Histogram::bucketIndex(4), 3u);
+  EXPECT_EQ(obs::Histogram::bucketIndex(255), 8u);
+  EXPECT_EQ(obs::Histogram::bucketIndex(256), 9u);
+  // Samples past 2^32 saturate into the last bucket.
+  EXPECT_EQ(obs::Histogram::bucketIndex(uint64_t(1) << 40),
+            obs::Histogram::NumBuckets - 1);
+
+  EXPECT_EQ(obs::Histogram::bucketLowerBound(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucketLowerBound(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucketLowerBound(9), 256u);
+
+  obs::Histogram H;
+  H.record(0);
+  H.record(3);
+  H.record(300);
+  EXPECT_EQ(H.count(), 3u);
+  EXPECT_EQ(H.sum(), 303u);
+  EXPECT_EQ(H.max(), 300u);
+  EXPECT_DOUBLE_EQ(H.mean(), 101.0);
+  EXPECT_EQ(H.bucketCount(0), 1u);
+  EXPECT_EQ(H.bucketCount(2), 1u);
+  EXPECT_EQ(H.bucketCount(9), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// TraceLog
+//===----------------------------------------------------------------------===//
+
+TEST(ObsTrace, RecordsAndRendersTimeline) {
+  obs::TraceLog &T = obs::TraceLog::get();
+  T.enable();
+  ASSERT_TRUE(obs::tracingEnabled());
+
+  obs::LaneId Lane = T.allocLane("test lane");
+  EXPECT_GE(Lane, obs::TraceLog::FirstInfraLane);
+  T.completeSpan(Lane, "work", "test", 1000, 3500);
+  T.instant(7, "tick", "test", 2000);
+  T.counterSample("fill", 42, 2500);
+  EXPECT_EQ(T.eventCount(), 3u);
+
+  std::string Json = T.renderJson();
+  // Lane-name metadata plus the three records, with nanosecond stamps
+  // rendered as microseconds.
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("thread_name"), std::string::npos);
+  EXPECT_NE(Json.find("test lane"), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(Json.find("\"dur\": 2.500"), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\": \"C\""), std::string::npos);
+
+  // ScopedSpan arms on construction and records on destruction.
+  { obs::ScopedSpan Span(Lane, "scoped", "test"); }
+  EXPECT_EQ(T.eventCount(), 4u);
+
+  T.reset();
+  EXPECT_FALSE(obs::tracingEnabled());
+  EXPECT_EQ(T.eventCount(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatcher accounting
+//===----------------------------------------------------------------------===//
+
+Event readAt(ThreadId Tid, uint64_t Time, Addr A) {
+  return {EventKind::Read, Tid, Time, static_cast<uint64_t>(A), 1};
+}
+
+TEST(ObsDispatcher, FlushCausesAndCompactionIdentity) {
+  NulTool Tool;
+  EventDispatcher D;
+  D.addTool(&Tool);
+  D.start(nullptr);
+
+  // 600 non-adjacent reads: no merges, so the pending batch fills twice
+  // (capacity 256) leaving 88 events buffered.
+  uint64_t Time = 0;
+  for (Addr A = 0; A != 600; ++A)
+    D.enqueue(readAt(1, ++Time, 2 * A));
+  EXPECT_EQ(D.flushCount(EventDispatcher::FlushCause::Capacity), 2u);
+
+  // Manual flush of the non-empty remainder counts as Explicit.
+  D.flush();
+  EXPECT_EQ(D.flushCount(EventDispatcher::FlushCause::Explicit), 1u);
+  // Flushing an empty batch is not a delivery and must not count.
+  D.flush();
+  EXPECT_EQ(D.flushCount(EventDispatcher::FlushCause::Explicit), 1u);
+
+  // Three adjacent reads merge into the first; two basic blocks on the
+  // same thread fold into one.
+  D.enqueue(readAt(1, ++Time, 5000));
+  D.enqueue(readAt(1, ++Time, 5001));
+  D.enqueue(readAt(1, ++Time, 5002));
+  D.enqueue({EventKind::BasicBlock, 1, ++Time, 0, 10});
+  D.enqueue({EventKind::BasicBlock, 1, ++Time, 0, 20});
+  EXPECT_EQ(D.accessMerges(), 2u);
+  EXPECT_EQ(D.bbFolds(), 1u);
+
+  D.finish();
+  EXPECT_EQ(D.flushCount(EventDispatcher::FlushCause::Finish), 1u);
+  EXPECT_EQ(D.totalFlushes(), 4u);
+
+  // The exact compaction identity: every enqueued event either merged
+  // into a buffered one or was delivered.
+  EXPECT_EQ(D.enqueuedEvents(),
+            D.deliveredEvents() + D.accessMerges() + D.bbFolds());
+  EXPECT_EQ(D.enqueuedEvents(), 605u);
+  EXPECT_EQ(D.deliveredEvents(), 602u);
+  EXPECT_EQ(Tool.eventsSeen(), 602u);
+}
+
+TEST(ObsDispatcher, LiveRunIdentityWithStatsOn) {
+  obs::setStatsEnabled(true);
+  obs::Registry::get().reset();
+
+  NulTool Tool;
+  EventDispatcher D;
+  D.addTool(&Tool);
+  RunResult R = compileAndRun(R"(
+    var table[64];
+    fn main() {
+      var acc = 0;
+      for (var i = 0; i < 200; i = i + 1) {
+        table[i % 64] = i;
+        acc = acc + table[(i * 3) % 64];
+      }
+      print(acc);
+      return 0;
+    })",
+                              &D);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(D.enqueuedEvents(),
+            D.deliveredEvents() + D.accessMerges() + D.bbFolds());
+
+  // finish() folded the tallies into the registry under the documented
+  // names, including the per-tool delivery counter.
+  std::map<std::string, uint64_t> C = obs::Registry::get().counterValues();
+  EXPECT_EQ(C.at("dispatcher.enqueued_events"), D.enqueuedEvents());
+  EXPECT_EQ(C.at("dispatcher.delivered_events"), D.deliveredEvents());
+  EXPECT_EQ(C.at("dispatcher.access_merges"), D.accessMerges());
+  EXPECT_EQ(C.at("dispatcher.bb_folds"), D.bbFolds());
+  EXPECT_EQ(C.at("tool.nulgrind.events_delivered"), D.deliveredEvents());
+  EXPECT_EQ(C.at("dispatcher.flushes.capacity") +
+                C.at("dispatcher.flushes.explicit") +
+                C.at("dispatcher.flushes.finish"),
+            D.totalFlushes());
+
+  obs::setStatsEnabled(false);
+}
+
+//===----------------------------------------------------------------------===//
+// Quiet-access suppression tallies
+//===----------------------------------------------------------------------===//
+
+// A guest whose inner loop re-reads and re-writes locals — exactly the
+// shape the optimizer's quiet-access pass marks.
+const char *QuietGuest = R"(
+  fn work(n) {
+    var acc = 0;
+    var tmp = 0;
+    for (var i = 0; i < n; i = i + 1) {
+      tmp = i + 1;
+      acc = acc + tmp;
+      tmp = tmp * 2;
+      acc = acc + tmp;
+    }
+    return acc;
+  }
+  fn main() {
+    var t1 = spawn work(200);
+    var t2 = spawn work(200);
+    return join(t1) + join(t2) - work(200) * 2;
+  }
+)";
+
+RunStats runQuietGuest(uint64_t Slice) {
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = compileProgram(QuietGuest, Diags);
+  EXPECT_TRUE(Prog.has_value()) << Diags.render();
+  OptimizerStats Opt = optimizeProgram(*Prog);
+  EXPECT_GT(Opt.QuietAccessesMarked, 0u);
+  NulTool Tool;
+  EventDispatcher D;
+  D.addTool(&Tool);
+  MachineOptions Opts;
+  Opts.SliceLength = Slice;
+  Machine M(*Prog, &D, Opts);
+  RunResult R = M.run();
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 0);
+  return R.Stats;
+}
+
+TEST(ObsQuiet, SuppressionVsWindowAbortTallies) {
+  // Long slices: threads run their loops uninterrupted, so quiet marks
+  // are honored nearly always — many suppressions, few aborts.
+  RunStats Calm = runQuietGuest(/*Slice=*/100000);
+  EXPECT_GT(Calm.QuietEventsSuppressed, 0u);
+
+  // Slice of 1: every instruction is a potential switch point, so the
+  // WindowInterrupted guard keeps firing and forces marked events
+  // through.
+  RunStats Stormy = runQuietGuest(/*Slice=*/1);
+  EXPECT_GT(Stormy.QuietWindowAborts, 0u);
+  EXPECT_GT(Stormy.QuietWindowAborts, Calm.QuietWindowAborts);
+  EXPECT_LT(Stormy.QuietEventsSuppressed, Calm.QuietEventsSuppressed);
+}
+
+TEST(ObsQuiet, NativeRunsKeepTalliesZero) {
+  // With no dispatcher attached, nothing is emitted or suppressed.
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = compileProgram(QuietGuest, Diags);
+  ASSERT_TRUE(Prog.has_value()) << Diags.render();
+  optimizeProgram(*Prog);
+  Machine M(*Prog, /*Events=*/nullptr);
+  RunResult R = M.run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Stats.QuietEventsSuppressed, 0u);
+  EXPECT_EQ(R.Stats.QuietWindowAborts, 0u);
+}
+
+} // namespace

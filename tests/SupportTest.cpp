@@ -172,6 +172,25 @@ TEST(Format, Basics) {
   EXPECT_EQ(formatRatio(3.14), "3.1x");
 }
 
+TEST(Format, HumanizedCounts) {
+  // Small counts stay exact; larger ones scale to engineering units.
+  EXPECT_EQ(formatCount(0), "0");
+  EXPECT_EQ(formatCount(972), "972");
+  EXPECT_EQ(formatCount(54292), "54.3k");
+  EXPECT_EQ(formatCount(1234567), "1.2M");
+  EXPECT_EQ(formatCount(2500000000ull), "2.5G");
+}
+
+TEST(Format, HumanizedDurations) {
+  EXPECT_EQ(formatDuration(0), "0 ns");
+  EXPECT_EQ(formatDuration(999), "999 ns");
+  EXPECT_EQ(formatDuration(12300), "12.3 us");
+  EXPECT_EQ(formatDuration(4560000), "4.6 ms");
+  EXPECT_EQ(formatDuration(2100000000ull), "2.1 s");
+  // Durations never scale past seconds.
+  EXPECT_EQ(formatDuration(7200000000000ull), "7200.0 s");
+}
+
 TEST(Table, AlignsColumns) {
   TextTable Table;
   Table.setHeader({"name", "value"});
@@ -218,6 +237,22 @@ TEST(CommandLine, RejectsUnknownOption) {
   OptionParser Parser("test");
   const char *Argv[] = {"prog", "--nope"};
   EXPECT_FALSE(Parser.parse(2, Argv));
+}
+
+TEST(CommandLine, RejectsDuplicateOption) {
+  // A repeated option used to silently overwrite the earlier value —
+  // a reliable way to waste a benchmark run on the wrong parameters.
+  OptionParser Parser("test");
+  Parser.addOption("size", "128", "problem size");
+  const char *Argv[] = {"prog", "--size=256", "--size=512"};
+  EXPECT_FALSE(Parser.parse(3, Argv));
+}
+
+TEST(CommandLine, RejectsDuplicateFlag) {
+  OptionParser Parser("test");
+  Parser.addFlag("verbose", "more output");
+  const char *Argv[] = {"prog", "--verbose", "--verbose"};
+  EXPECT_FALSE(Parser.parse(3, Argv));
 }
 
 } // namespace
