@@ -13,6 +13,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <thread>
 #include <sys/stat.h>
 
 using namespace isp;
@@ -85,6 +86,71 @@ Measurement isp::measureWorkload(const WorkloadInfo &Workload,
       Out.Symbols = Prog->Symbols;
       break;
     }
+  }
+  Out.Ok = true;
+  return Out;
+}
+
+Measurement isp::measureWorkloadMulti(const WorkloadInfo &Workload,
+                                      const WorkloadParams &Params,
+                                      const std::vector<std::string> &ToolNames,
+                                      unsigned Repeats,
+                                      unsigned ParallelWorkers,
+                                      MachineOptions MachineOpts) {
+  Measurement Out;
+  std::string Error;
+  std::optional<Program> Prog = compileWorkload(Workload, Params, &Error);
+  if (!Prog) {
+    Out.Error = Error;
+    return Out;
+  }
+
+  Out.Seconds = 1e100;
+  for (unsigned Rep = 0; Rep == 0 || Rep < Repeats; ++Rep) {
+    std::vector<std::unique_ptr<Tool>> Tools;
+    for (const std::string &Name : ToolNames) {
+      std::unique_ptr<Tool> T = makeEvaluatedTool(Name);
+      if (!T) {
+        Out.Error = "unknown tool '" + Name + "'";
+        return Out;
+      }
+      Tools.push_back(std::move(T));
+    }
+    EventDispatcher Dispatcher;
+    for (auto &T : Tools)
+      Dispatcher.addTool(T.get());
+    if (ParallelWorkers > 0)
+      Dispatcher.setParallelWorkers(ParallelWorkers);
+    Machine M(*Prog, &Dispatcher, MachineOpts);
+
+    auto Start = std::chrono::steady_clock::now();
+    RunResult R = M.run();
+    auto End = std::chrono::steady_clock::now();
+    if (!R.Ok) {
+      Out.Error = R.Error;
+      return Out;
+    }
+    double Seconds = std::chrono::duration<double>(End - Start).count();
+    if (Seconds < Out.Seconds) {
+      Out.Seconds = Seconds;
+      Out.Stats = R.Stats;
+      Out.GuestBytes = R.Stats.GuestMemoryBytes;
+      Out.ToolBytes = 0;
+      for (auto &T : Tools)
+        Out.ToolBytes += T->memoryFootprintBytes();
+      Out.EventsEmitted = Dispatcher.enqueuedEvents();
+      Out.EventsDelivered = Dispatcher.deliveredEvents();
+      Out.AccessMerges = Dispatcher.accessMerges();
+      Out.BbFolds = Dispatcher.bbFolds();
+      Out.FlushesCapacity =
+          Dispatcher.flushCount(EventDispatcher::FlushCause::Capacity);
+      Out.FlushesExplicit =
+          Dispatcher.flushCount(EventDispatcher::FlushCause::Explicit);
+      Out.FlushesFinish =
+          Dispatcher.flushCount(EventDispatcher::FlushCause::Finish);
+    }
+    if (Rep + 1 >= Repeats)
+      break;
   }
   Out.Ok = true;
   return Out;
@@ -195,7 +261,67 @@ std::string isp::writeHotpathReport(unsigned Repeats) {
                       : 0.0);
     First = false;
   }
-  std::fprintf(F, "\n  ]\n}\n");
+  std::fprintf(F, "\n  ],\n");
+
+  // Parallel tool fan-out sweep: the heaviest realistic tool stack
+  // (both profilers plus memcheck and callgrind) under serial delivery
+  // and under 1/2/4 dispatcher workers. The interesting number is
+  // delivered events/sec vs the serial row: with several tools the
+  // callback work dominates the publish cost, so extra workers should
+  // show a real speedup.
+  const std::vector<std::string> FanoutTools = {"aprof-trms", "aprof-rms",
+                                                "memcheck", "callgrind"};
+  // A larger instance than the per-tool configs: thread spawn and
+  // per-batch handoff are fixed costs, so the fan-out comparison needs
+  // enough batches to amortize them. Overlap needs real cores — the
+  // recorded hardware_concurrency says how to read the speedup column
+  // (on a single-core host the best possible outcome is ~1.0).
+  WorkloadParams FanoutParams = Params;
+  FanoutParams.Size = 96;
+  std::fprintf(F,
+               "  \"parallel_fanout\": {\n"
+               "    \"size\": %llu,\n"
+               "    \"hardware_concurrency\": %u,\n"
+               "    \"tools\": [",
+               static_cast<unsigned long long>(FanoutParams.Size),
+               std::thread::hardware_concurrency());
+  for (size_t I = 0; I != FanoutTools.size(); ++I)
+    std::fprintf(F, "%s\"%s\"", I ? ", " : "", FanoutTools[I].c_str());
+  std::fprintf(F, "],\n    \"rows\": [");
+
+  const unsigned WorkerCounts[] = {0, 1, 2, 4};
+  double SerialSeconds = 0;
+  First = true;
+  for (unsigned Workers : WorkerCounts) {
+    Measurement M =
+        measureWorkloadMulti(*W, FanoutParams, FanoutTools, Repeats, Workers);
+    if (!M.Ok) {
+      std::fprintf(stderr, "hotpath report: fan-out run (%u workers) "
+                           "failed: %s\n",
+                   Workers, M.Error.c_str());
+      std::fclose(F);
+      return "";
+    }
+    if (Workers == 0)
+      SerialSeconds = M.Seconds;
+    std::fprintf(
+        F,
+        "%s\n"
+        "      {\n"
+        "        \"parallel_workers\": %u,\n"
+        "        \"seconds\": %.6f,\n"
+        "        \"events_delivered\": %llu,\n"
+        "        \"delivered_events_per_sec\": %.0f,\n"
+        "        \"speedup_vs_serial\": %.3f\n"
+        "      }",
+        First ? "" : ",", Workers, M.Seconds,
+        static_cast<unsigned long long>(M.EventsDelivered),
+        M.Seconds > 0 ? static_cast<double>(M.EventsDelivered) / M.Seconds
+                      : 0.0,
+        M.Seconds > 0 && SerialSeconds > 0 ? SerialSeconds / M.Seconds : 0.0);
+    First = false;
+  }
+  std::fprintf(F, "\n    ]\n  }\n}\n");
   std::fclose(F);
   return Path;
 }

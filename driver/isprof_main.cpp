@@ -40,6 +40,7 @@
 #include "workloads/Runner.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -66,6 +67,9 @@ int usage() {
       "\n"
       "common options:\n"
       "  --tools=a,b,c   comma-separated tool list (default aprof-trms)\n"
+      "  --parallel-tools[=N]  deliver event batches to tools from N\n"
+      "                  worker threads (default: auto); tools pinned to\n"
+      "                  the dispatch thread fall back to serial delivery\n"
       "  --record=PATH   (run) also record the event trace to PATH\n"
       "  --slice=N       scheduler quantum in instructions (default 150)\n"
       "  --seed=N        guest rand()/device seed (default 42)\n"
@@ -85,6 +89,39 @@ bool readFile(const std::string &Path, std::string &Out) {
   Buffer << Stream.rdbuf();
   Out = Buffer.str();
   return true;
+}
+
+/// Decodes --parallel-tools[=N]. Returns false (after printing a
+/// diagnostic) on a malformed value. On success *WorkersOut is -1 when
+/// the flag is absent, otherwise the worker count (0 = auto-size).
+bool parseParallelTools(const OptionParser &Options, int *WorkersOut) {
+  std::string V = Options.getString("parallel-tools");
+  if (V == "false") { // flag not given
+    *WorkersOut = -1;
+    return true;
+  }
+  if (V == "true" || V.empty()) { // bare --parallel-tools
+    *WorkersOut = 0;
+    return true;
+  }
+  char *End = nullptr;
+  long N = std::strtol(V.c_str(), &End, 10);
+  if (End == V.c_str() || *End != '\0' || N < 1 ||
+      N > static_cast<long>(EventDispatcher::MaxParallelWorkers)) {
+    std::fprintf(stderr,
+                 "isprof: invalid --parallel-tools value '%s' (expected a "
+                 "worker count in [1, %u])\n",
+                 V.c_str(), EventDispatcher::MaxParallelWorkers);
+    return false;
+  }
+  *WorkersOut = static_cast<int>(N);
+  return true;
+}
+
+/// Arms \p Dispatcher with the validated --parallel-tools request.
+void applyParallelTools(EventDispatcher &Dispatcher, int Workers) {
+  if (Workers >= 0)
+    Dispatcher.setParallelWorkers(static_cast<unsigned>(Workers));
 }
 
 std::vector<std::string> splitList(const std::string &Csv) {
@@ -203,8 +240,12 @@ int commandRun(OptionParser &Options) {
   MachineOpts.SliceLength = static_cast<uint64_t>(Options.getInt("slice"));
   MachineOpts.Seed = static_cast<uint64_t>(Options.getInt("seed"));
 
+  int ParallelWorkers = -1;
+  if (!parseParallelTools(Options, &ParallelWorkers))
+    return 2;
   EventDispatcher Dispatcher;
   Tools.attach(Dispatcher);
+  applyParallelTools(Dispatcher, ParallelWorkers);
   std::string RecordPath = Options.getString("record");
   if (!RecordPath.empty())
     Dispatcher.enableRecording();
@@ -263,8 +304,12 @@ int commandReplay(OptionParser &Options) {
   ToolSet Tools;
   if (!Tools.create(Options.getString("tools")))
     return 2;
+  int ParallelWorkers = -1;
+  if (!parseParallelTools(Options, &ParallelWorkers))
+    return 2;
   EventDispatcher Dispatcher;
   Tools.attach(Dispatcher);
+  applyParallelTools(Dispatcher, ParallelWorkers);
   Dispatcher.start(&Symbols);
   for (const Event &E : Data.Events)
     Dispatcher.dispatch(E);
@@ -326,8 +371,12 @@ int commandWorkload(OptionParser &Options) {
   ToolSet Tools;
   if (!Tools.create(Options.getString("tools")))
     return 2;
+  int ParallelWorkers = -1;
+  if (!parseParallelTools(Options, &ParallelWorkers))
+    return 2;
   EventDispatcher Dispatcher;
   Tools.attach(Dispatcher);
+  applyParallelTools(Dispatcher, ParallelWorkers);
   MachineOptions MachineOpts;
   MachineOpts.SliceLength = static_cast<uint64_t>(Options.getInt("slice"));
   MachineOpts.Seed = static_cast<uint64_t>(Options.getInt("seed"));
@@ -417,6 +466,10 @@ int runCommand(const std::string &Command, OptionParser &Options) {
 int main(int Argc, char **Argv) {
   OptionParser Options("isprof: input-sensitive profiling toolkit");
   Options.addOption("tools", "aprof-trms", "comma-separated tool list");
+  Options.addFlag("parallel-tools",
+                  "deliver event batches to tools from worker threads; "
+                  "--parallel-tools=N picks the worker count (default: "
+                  "auto). Reports are identical to serial delivery");
   Options.addOption("record", "", "record the event trace to this path");
   Options.addOption("html", "", "write an HTML profile report (needs an "
                                 "aprof tool in --tools)");

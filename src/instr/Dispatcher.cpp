@@ -8,7 +8,35 @@
 
 #include "obs/Obs.h"
 
+#include <cstdlib>
+
 using namespace isp;
+
+/// Worker request from the ISPROF_PARALLEL_TOOLS environment variable:
+/// -1 when unset/invalid, otherwise a worker count (0 = auto). Parsed
+/// once; the CI ThreadSanitizer job uses it to force parallel delivery
+/// through every dispatcher the test suite constructs.
+static int envParallelWorkers() {
+  static const int Cached = [] {
+    const char *V = std::getenv("ISPROF_PARALLEL_TOOLS");
+    if (!V || !*V)
+      return -1;
+    char *End = nullptr;
+    long N = std::strtol(V, &End, 10);
+    if (End == V || *End != '\0' || N < 0 ||
+        N > static_cast<long>(EventDispatcher::MaxParallelWorkers))
+      return -1;
+    return static_cast<int>(N);
+  }();
+  return Cached;
+}
+
+EventDispatcher::~EventDispatcher() {
+  // finish() normally joins; guard against early destruction (error
+  // paths, tests) so worker threads never outlive the dispatcher.
+  if (ParallelActive)
+    joinWorkers();
+}
 
 void EventDispatcher::start(const SymbolTable *Symbols) {
   // Cache tool names (and allocate timeline lanes) once; flushImpl must
@@ -27,6 +55,199 @@ void EventDispatcher::start(const SymbolTable *Symbols) {
   }
   for (Tool *T : Tools)
     T->onStart(Symbols);
+  int Request = RequestedWorkers >= 0 ? RequestedWorkers : envParallelWorkers();
+  if (Request >= 0 && !Tools.empty())
+    startParallel();
+}
+
+void EventDispatcher::startParallel() {
+  // Partition the registered tools by affinity. DispatchThread tools
+  // keep synchronous serial delivery; CoScheduled tools must share one
+  // worker; AnyWorker tools spread round-robin.
+  SerialToolIdx.clear();
+  std::vector<size_t> CoScheduled, Spreadable;
+  for (size_t I = 0; I != Tools.size(); ++I) {
+    switch (Tools[I]->threadAffinity()) {
+    case ToolAffinity::DispatchThread:
+      SerialToolIdx.push_back(I);
+      break;
+    case ToolAffinity::CoScheduled:
+      CoScheduled.push_back(I);
+      break;
+    case ToolAffinity::AnyWorker:
+      Spreadable.push_back(I);
+      break;
+    }
+  }
+  // Schedulable units: the whole CoScheduled group is one unit.
+  size_t Units = Spreadable.size() + (CoScheduled.empty() ? 0 : 1);
+  if (Units == 0)
+    return; // every tool is pinned to the dispatch thread — stay serial
+
+  int Request = RequestedWorkers >= 0 ? RequestedWorkers : envParallelWorkers();
+  unsigned N = static_cast<unsigned>(Request);
+  if (N == 0) { // auto-size
+    unsigned Hw = std::thread::hardware_concurrency();
+    N = Hw == 0 ? 2 : Hw;
+  }
+  if (N > Units)
+    N = static_cast<unsigned>(Units);
+  if (N > MaxParallelWorkers)
+    N = MaxParallelWorkers;
+
+  Workers.clear();
+  for (unsigned I = 0; I != N; ++I) {
+    auto W = std::make_unique<WorkerState>();
+    if (obs::tracingEnabled())
+      W->Lane =
+          obs::TraceLog::get().allocLane("worker " + std::to_string(I));
+    Workers.push_back(std::move(W));
+  }
+  // The CoScheduled group shares worker 0; AnyWorker tools round-robin
+  // over the rest (wrapping back through 0 when the pool is small).
+  for (size_t I : CoScheduled)
+    Workers[0]->ToolIdx.push_back(I);
+  size_t Next = CoScheduled.empty() ? 0 : 1;
+  for (size_t I : Spreadable)
+    Workers[Next++ % N]->ToolIdx.push_back(I);
+
+  Ring.clear();
+  Ring.resize(RingSlots);
+  for (BatchSlot &Slot : Ring)
+    Slot.Events.reset(new Event[BatchCapacity]);
+
+  PublishedSeq = 0;
+  ShuttingDown = false;
+  IdleWorkers = 0;
+  PublisherWaiting = false;
+  BackpressureBlocks = 0;
+  BackpressureWaitNs = 0;
+  MaxQueueDepth = 0;
+  WorkerCountUsed = N;
+  ParallelActive = true;
+  for (auto &W : Workers)
+    W->Thread = std::thread([this, WPtr = W.get()] { workerLoop(*WPtr); });
+}
+
+void EventDispatcher::deliverTo(const std::vector<size_t> &Idx,
+                                const Event *Events, size_t Count) {
+  bool Observe = obs::statsEnabled() || obs::tracingEnabled();
+  if (ISP_UNLIKELY(Observe) && ToolObs.size() == Tools.size()) {
+    for (size_t I : Idx) {
+      uint64_t Start = obs::nowNs();
+      Tools[I]->handleBatch(Events, Count);
+      uint64_t End = obs::nowNs();
+      ToolObs[I].Events += Count;
+      ToolObs[I].CallbackNs += End - Start;
+      if (obs::tracingEnabled())
+        obs::TraceLog::get().completeSpan(ToolObs[I].Lane, "handleBatch",
+                                          "tool", Start, End);
+    }
+  } else {
+    for (size_t I : Idx)
+      Tools[I]->handleBatch(Events, Count);
+  }
+}
+
+void EventDispatcher::workerLoop(WorkerState &W) {
+  for (;;) {
+    const Event *Events = nullptr;
+    size_t Count = 0;
+    uint64_t Seq = 0;
+    {
+      std::unique_lock<std::mutex> Lock(ParMutex);
+      while (!(PublishedSeq > W.NextSeq || ShuttingDown)) {
+        ++IdleWorkers;
+        WorkReady.wait(Lock);
+        --IdleWorkers;
+      }
+      if (PublishedSeq == W.NextSeq)
+        return; // shutting down and fully drained
+      Seq = W.NextSeq;
+      BatchSlot &Slot = Ring[Seq % RingSlots];
+      Events = Slot.Events.get();
+      Count = Slot.Count;
+    }
+    // Deliver outside the lock: the slot buffer is immutable until every
+    // worker (this one included) has marked it consumed.
+    uint64_t SpanStart = obs::tracingEnabled() ? obs::nowNs() : 0;
+    deliverTo(W.ToolIdx, Events, Count);
+    if (obs::tracingEnabled())
+      obs::TraceLog::get().completeSpan(W.Lane, "batch", "worker", SpanStart,
+                                        obs::nowNs());
+    {
+      std::lock_guard<std::mutex> Lock(ParMutex);
+      ++W.NextSeq;
+      if (--Ring[Seq % RingSlots].Remaining == 0 && PublisherWaiting)
+        SlotFree.notify_one();
+    }
+  }
+}
+
+void EventDispatcher::publishBatch(FlushCause Cause) {
+  ++Flushes[static_cast<size_t>(Cause)];
+  if (Recording)
+    Recorded.insert(Recorded.end(), Pending.get(),
+                    Pending.get() + PendingCount);
+  // DispatchThread tools keep the serial contract: synchronous delivery
+  // on the enqueue thread, before the batch is handed to the workers.
+  // (Tools are independent, so their order against worker tools is
+  // unobservable.)
+  if (!SerialToolIdx.empty())
+    deliverTo(SerialToolIdx, Pending.get(), PendingCount);
+  bool WakeWorkers;
+  {
+    std::unique_lock<std::mutex> Lock(ParMutex);
+    BatchSlot &Slot = Ring[PublishedSeq % RingSlots];
+    if (Slot.Remaining != 0) {
+      // Backpressure: every slot is in flight; block until the slowest
+      // worker frees this one.
+      ++BackpressureBlocks;
+      uint64_t WaitStart = obs::nowNs();
+      PublisherWaiting = true;
+      SlotFree.wait(Lock, [&] { return Slot.Remaining == 0; });
+      PublisherWaiting = false;
+      BackpressureWaitNs += obs::nowNs() - WaitStart;
+    }
+    // Double-buffer swap: the filled Pending buffer becomes the slot's
+    // batch; the slot's drained buffer becomes the next Pending.
+    std::swap(Slot.Events, Pending);
+    Slot.Count = PendingCount;
+    Slot.Remaining = static_cast<unsigned>(Workers.size());
+    ++PublishedSeq;
+    uint64_t MinSeq = PublishedSeq;
+    for (const auto &W : Workers)
+      MinSeq = W->NextSeq < MinSeq ? W->NextSeq : MinSeq;
+    uint64_t Depth = PublishedSeq - MinSeq;
+    MaxQueueDepth = Depth > MaxQueueDepth ? Depth : MaxQueueDepth;
+    // Signal only parked workers: a worker that is busy (or runnable)
+    // re-checks PublishedSeq under the lock before it ever waits, so
+    // skipping the notify can't lose a wakeup.
+    WakeWorkers = IdleWorkers != 0;
+  }
+  if (WakeWorkers)
+    WorkReady.notify_all();
+  ISP_STATS(obs::Registry::get()
+                .histogram("dispatcher.batch_fill")
+                .record(PendingCount));
+  DeliveredEvents += PendingCount;
+  PendingCount = 0;
+}
+
+void EventDispatcher::joinWorkers() {
+  {
+    std::lock_guard<std::mutex> Lock(ParMutex);
+    ShuttingDown = true;
+  }
+  WorkReady.notify_all();
+  for (auto &W : Workers)
+    if (W->Thread.joinable())
+      W->Thread.join();
+  ParallelActive = false;
+  ShuttingDown = false;
+  Workers.clear();
+  Ring.clear();
+  SerialToolIdx.clear();
 }
 
 static const char *flushCauseName(EventDispatcher::FlushCause Cause) {
@@ -47,6 +268,10 @@ void EventDispatcher::flushImpl(FlushCause Cause) {
   resetCompaction();
   if (PendingCount == 0)
     return;
+  if (ISP_UNLIKELY(ParallelActive)) {
+    publishBatch(Cause);
+    return;
+  }
   ++Flushes[static_cast<size_t>(Cause)];
   if (Recording)
     Recorded.insert(Recorded.end(), Pending.get(), Pending.get() + PendingCount);
@@ -91,6 +316,14 @@ void EventDispatcher::publishStats() const {
   R.counter("dispatcher.flushes.explicit")
       .add(flushCount(FlushCause::Explicit));
   R.counter("dispatcher.flushes.finish").add(flushCount(FlushCause::Finish));
+  if (WorkerCountUsed != 0) {
+    R.gauge("dispatcher.parallel.workers").noteMax(WorkerCountUsed);
+    R.counter("dispatcher.parallel.backpressure_blocks")
+        .add(BackpressureBlocks);
+    R.counter("dispatcher.parallel.backpressure_wait_ns")
+        .add(BackpressureWaitNs);
+    R.gauge("dispatcher.parallel.max_queue_depth").noteMax(MaxQueueDepth);
+  }
   for (size_t I = 0; I != ToolObs.size(); ++I) {
     const ToolObsState &S = ToolObs[I];
     R.counter("tool." + S.Name + ".events_delivered").add(S.Events);
@@ -103,6 +336,10 @@ void EventDispatcher::publishStats() const {
 
 void EventDispatcher::finish() {
   flushImpl(FlushCause::Finish);
+  // Join point: drain every worker queue before any tool's onFinish —
+  // the join also publishes all worker-side writes to this thread.
+  if (ParallelActive)
+    joinWorkers();
   for (Tool *T : Tools)
     T->onFinish();
   ISP_STATS(publishStats());

@@ -43,6 +43,26 @@
 /// first event's time, so times stay strictly increasing); replaying it
 /// is equivalent by construction.
 ///
+/// **Parallel tool fan-out.** Batches are immutable once flushed, so
+/// independent tools can consume them from worker threads
+/// (setParallelWorkers / --parallel-tools). Flushed batches are
+/// published into a bounded ring of batch slots; each registered tool
+/// is assigned one fixed worker and consumes every batch in publication
+/// order there, preserving Tool.h's no-reentrancy guarantee. The
+/// pending array is double-buffered through the ring — publication
+/// swaps the filled buffer into a drained slot and takes that slot's
+/// buffer back, so the enqueue hot path keeps filling while workers
+/// drain. When every slot is still in flight the publisher blocks
+/// (backpressure, bounded memory under slow tools). Tools declare where
+/// they may run via Tool::threadAffinity(): DispatchThread tools are
+/// delivered synchronously on the enqueue thread (serial fallback),
+/// CoScheduled tools share worker 0, AnyWorker tools are spread
+/// round-robin. finish() is the join point: it publishes the final
+/// partial batch, drains every worker queue, joins the workers, and
+/// only then calls onFinish(). Each tool observes exactly the batch
+/// sequence serial mode would deliver, so profiles are identical to
+/// serial delivery; serial mode itself takes none of these paths.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ISPROF_INSTR_DISPATCHER_H
@@ -52,9 +72,12 @@
 #include "obs/TraceLog.h"
 #include "trace/Event.h"
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace isp {
@@ -68,6 +91,14 @@ public:
   /// enough to amortize delivery, small enough to stay cache-resident.
   static constexpr size_t BatchCapacity = 256;
 
+  /// Number of in-flight batch slots in parallel mode. Bounds the
+  /// publisher's lead over the slowest worker (backpressure) and the
+  /// memory pinned in undrained batches.
+  static constexpr size_t RingSlots = 8;
+
+  /// Upper bound on --parallel-tools worker counts (sanity, not tuning).
+  static constexpr unsigned MaxParallelWorkers = 64;
+
   /// Why a (non-empty) batch was delivered. Capacity is the steady
   /// state; Explicit covers dispatch()-forced order preservation and
   /// manual flush() calls; Finish is the end-of-run drain. The
@@ -76,8 +107,34 @@ public:
   enum class FlushCause : uint8_t { Capacity, Explicit, Finish };
   static constexpr size_t NumFlushCauses = 3;
 
+  ~EventDispatcher();
+
   /// Registers \p T; tools receive events in registration order.
   void addTool(Tool *T) { Tools.push_back(T); }
+
+  /// Requests parallel tool fan-out with \p N workers (0 = auto-size to
+  /// the eligible tool count, capped at the hardware concurrency). Must
+  /// be called before start(). Parallel delivery actually engages only
+  /// when at least one registered tool's affinity permits a worker;
+  /// otherwise the dispatcher silently stays serial. When never called,
+  /// the ISPROF_PARALLEL_TOOLS environment variable (a worker count; 0 =
+  /// auto) supplies the request — the CI ThreadSanitizer job uses it to
+  /// force parallel delivery through the whole test suite.
+  void setParallelWorkers(unsigned N) {
+    RequestedWorkers = static_cast<int>(N > MaxParallelWorkers
+                                            ? MaxParallelWorkers
+                                            : N);
+  }
+
+  /// True while worker threads are consuming batches (between start()
+  /// and finish() in an engaged parallel run).
+  bool parallelActive() const { return ParallelActive; }
+  /// Workers used by the current/most recent parallel run (0 = serial).
+  unsigned parallelWorkersUsed() const { return WorkerCountUsed; }
+  /// Times the publisher blocked because every ring slot was in flight.
+  uint64_t backpressureBlocks() const { return BackpressureBlocks; }
+  /// Peak number of published-but-undrained batches.
+  uint64_t maxQueueDepth() const { return MaxQueueDepth; }
 
   /// Enables recording of every dispatched event. The recorded stream is
   /// the *compacted* stream — replaying it is equivalent by
@@ -135,8 +192,19 @@ public:
 
   /// Dispatches one event to all tools immediately, after flushing any
   /// pending batch so order is preserved. Kept for replay loops and
-  /// tests that need per-event delivery.
+  /// tests that need per-event delivery. In parallel mode "immediately"
+  /// becomes "as its own single-event batch": delivering on this thread
+  /// would race the workers, so the event is published instead and
+  /// finish() remains the only join point.
   void dispatch(const Event &E) {
+    if (ISP_UNLIKELY(ParallelActive)) {
+      if (PendingCount != 0)
+        flushImpl(FlushCause::Explicit);
+      ++EnqueuedEvents;
+      Pending[PendingCount++] = E;
+      flushImpl(FlushCause::Explicit);
+      return;
+    }
     if (PendingCount != 0)
       flushImpl(FlushCause::Explicit);
     ++EnqueuedEvents;
@@ -199,9 +267,48 @@ private:
     obs::LaneId Lane = 0;
   };
 
+  /// One slot of the parallel batch ring. The Events buffer rotates
+  /// with the Pending array: publication swaps the filled Pending buffer
+  /// in and takes the slot's drained buffer back, so no batch is ever
+  /// copied. Remaining counts the workers that have not yet consumed
+  /// the slot; the publisher reuses a slot only at zero.
+  struct BatchSlot {
+    std::unique_ptr<Event[]> Events;
+    size_t Count = 0;
+    unsigned Remaining = 0;
+  };
+
+  /// A worker thread and its fixed tool assignment (indices into Tools).
+  struct WorkerState {
+    std::thread Thread;
+    std::vector<size_t> ToolIdx;
+    /// Next batch sequence number this worker will consume. Guarded by
+    /// ParMutex.
+    uint64_t NextSeq = 0;
+    obs::LaneId Lane = 0;
+  };
+
   void resetCompaction() { BbRun.Active = false; }
 
   void flushImpl(FlushCause Cause);
+
+  /// Partitions tools by affinity, sizes the worker pool, allocates the
+  /// batch ring, and spawns the workers. Leaves ParallelActive false
+  /// when no registered tool may run on a worker.
+  void startParallel();
+  /// Parallel-mode flush body: delivers to DispatchThread tools
+  /// synchronously, then publishes the pending buffer into the ring
+  /// (blocking while all slots are in flight).
+  void publishBatch(FlushCause Cause);
+  /// Signals shutdown, drains every worker queue, joins the threads.
+  void joinWorkers();
+  void workerLoop(WorkerState &W);
+  /// Delivers the batch to the tools in \p Idx, with per-tool
+  /// observability when enabled. Each index is only ever touched by the
+  /// one thread that owns the tool, so the ToolObs tallies stay
+  /// single-writer.
+  void deliverTo(const std::vector<size_t> &Idx, const Event *Events,
+                 size_t Count);
 
   /// Folds the dispatcher's plain counters (and the per-tool tallies)
   /// into the process-wide obs registry. Called by finish() when stats
@@ -226,6 +333,33 @@ private:
   uint64_t Flushes[NumFlushCauses] = {0, 0, 0};
   std::vector<ToolObsState> ToolObs;
   obs::LaneId DispatcherLane = 0;
+
+  //===--- Parallel fan-out state (untouched in serial mode) -------------===//
+
+  /// -1 = never requested (environment may still force it); >= 0 = the
+  /// worker count passed to setParallelWorkers (0 = auto).
+  int RequestedWorkers = -1;
+  bool ParallelActive = false;
+  unsigned WorkerCountUsed = 0;
+  std::vector<std::unique_ptr<WorkerState>> Workers;
+  /// Tools pinned to the dispatch thread (serial-delivery fallback).
+  std::vector<size_t> SerialToolIdx;
+  std::vector<BatchSlot> Ring;
+  /// Batches published so far; slot = seq % RingSlots. Guarded by
+  /// ParMutex together with ShuttingDown and the slot/worker cursors.
+  uint64_t PublishedSeq = 0;
+  bool ShuttingDown = false;
+  /// Workers currently parked in a WorkReady wait / publisher parked in
+  /// a SlotFree wait. Guarded by ParMutex; lets each side skip the
+  /// condvar signal (a futex syscall per batch) when nobody is waiting.
+  unsigned IdleWorkers = 0;
+  bool PublisherWaiting = false;
+  std::mutex ParMutex;
+  std::condition_variable WorkReady;
+  std::condition_variable SlotFree;
+  uint64_t BackpressureBlocks = 0;
+  uint64_t BackpressureWaitNs = 0;
+  uint64_t MaxQueueDepth = 0;
 };
 
 /// Replays \p Events into \p T, bracketed by onStart/onFinish.

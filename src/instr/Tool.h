@@ -27,6 +27,30 @@ namespace isp {
 
 class SymbolTable;
 
+/// Where a tool's callbacks may run when the dispatcher operates in
+/// parallel fan-out mode (see Dispatcher.h). Whatever the mode, the
+/// no-reentrancy guarantee holds: every tool consumes its batches in
+/// publication order on exactly one thread, so no callback is ever
+/// reentered and no tool needs internal locking.
+enum class ToolAffinity : uint8_t {
+  /// Callbacks must run on the thread that enqueues events (the VM /
+  /// replay thread). The dispatcher falls back to synchronous serial
+  /// delivery for such tools. This is the conservative default: a tool
+  /// that has not audited its thread confinement never silently runs on
+  /// a worker.
+  DispatchThread,
+  /// Callbacks may run on a dispatcher worker thread, but all
+  /// CoScheduled tools must share the *same* worker. Declared by the
+  /// input-sensitive profilers: each keeps per-thread shadows but shares
+  /// a global wts shadow and timestamp counter across guest threads, so
+  /// the whole profiler family is kept on one serialized consumer.
+  CoScheduled,
+  /// Callbacks may run on any single fixed worker thread. Correct for
+  /// tools whose entire analysis state is instance-private and touched
+  /// only from callbacks.
+  AnyWorker,
+};
+
 /// Base class for analysis tools. All callbacks default to no-ops so a
 /// tool overrides only the events it cares about; the dispatcher calls
 /// them in trace order (the substrate serializes threads, so no callback
@@ -34,6 +58,13 @@ class SymbolTable;
 class Tool {
 public:
   virtual ~Tool();
+
+  /// Declares where this tool's callbacks may run under parallel tool
+  /// fan-out. Defaults to DispatchThread (serial delivery) so unaudited
+  /// tools stay safe; every shipped tool overrides it.
+  virtual ToolAffinity threadAffinity() const {
+    return ToolAffinity::DispatchThread;
+  }
 
   /// Called once before the first event, with the symbol table of the
   /// program under analysis (may be null for anonymous traces).

@@ -21,10 +21,13 @@
 ///     publish points, so the interpreter loop never pays even the
 ///     branch.
 ///  2. **Honest under the serialized scheduler.** Guest threads are
-///     serialized, but the ROADMAP's parallel tool fan-out will bump
+///     serialized, but the dispatcher's parallel tool fan-out bumps
 ///     tool-side counters from worker threads; all registry metrics are
 ///     therefore relaxed atomics — unsynchronized visibility is
-///     acceptable for statistics, torn counts are not.
+///     acceptable for statistics, torn counts are not. Per-tool tallies
+///     (events delivered, callback time) stay plain integers because a
+///     tool is owned by exactly one consumer thread; the dispatcher
+///     folds them into the registry after the finish() join.
 ///  3. **Stable exports.** Metric maps are name-sorted, so JSON/CSV
 ///     dumps are deterministic and diffable (the golden-file tests rely
 ///     on this).
@@ -33,7 +36,10 @@
 /// segments — "machine.instructions", "dispatcher.access_merges",
 /// "shadow.wts.cache_hits", "tool.aprof-trms.callback_ns". Durations are
 /// counters in nanoseconds with an "_ns" suffix; sizes are gauges in
-/// bytes with a "_bytes" suffix.
+/// bytes with a "_bytes" suffix. Parallel fan-out publishes under
+/// "dispatcher.parallel.*": the worker count, the
+/// blocked-on-backpressure counter ("backpressure_blocks" plus the
+/// nanoseconds spent blocked), and the peak batch-queue depth.
 ///
 //===----------------------------------------------------------------------===//
 

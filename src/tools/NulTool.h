@@ -24,6 +24,10 @@ namespace isp {
 class NulTool : public Tool {
 public:
   std::string name() const override { return "nulgrind"; }
+  /// One private counter; safe on any fixed worker.
+  ToolAffinity threadAffinity() const override {
+    return ToolAffinity::AnyWorker;
+  }
 
   uint64_t eventsSeen() const { return Events; }
 

@@ -6,6 +6,7 @@
 
 #include "trace/TraceFile.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 
@@ -69,6 +70,7 @@ public:
     return true;
   }
   bool atEnd() const { return Pos == Size; }
+  size_t remaining() const { return Size - Pos; }
 
 private:
   bool ensure(size_t N) const { return Size - Pos >= N; }
@@ -91,16 +93,21 @@ void writeVarint(std::string &Out, uint64_t V) {
   Out.push_back(static_cast<char>(V));
 }
 
-/// Unsigned LEB128 read; false on truncation/overlong input.
+/// Unsigned LEB128 read; false on truncation or overlong encodings. A
+/// uint64 needs at most ten bytes, and the tenth may carry only bit 63:
+/// a continuation bit or payload bits 64+ there mean the value cannot
+/// fit, so the stream is rejected rather than silently wrapped.
 bool readVarint(const std::string &Bytes, size_t &Pos, uint64_t &V) {
   V = 0;
-  unsigned Shift = 0;
-  while (Pos < Bytes.size() && Shift < 64) {
+  for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+    if (Pos >= Bytes.size())
+      return false;
     uint8_t Byte = static_cast<uint8_t>(Bytes[Pos++]);
+    if (Shift == 63 && (Byte & 0xfe))
+      return false;
     V |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
     if (!(Byte & 0x80))
       return true;
-    Shift += 7;
   }
   return false;
 }
@@ -148,11 +155,17 @@ bool deserializeCompressed(const std::string &Bytes, TraceData &Data) {
   uint64_t RoutineCount = 0;
   if (!readVarint(Bytes, Pos, RoutineCount))
     return false;
+  // Each routine needs at least two bytes (id + length varints), so a
+  // count beyond remaining/2 is a lie — reject before trusting it.
+  if (RoutineCount > (Bytes.size() - Pos) / 2)
+    return false;
   Data.Routines.clear();
   for (uint64_t I = 0; I != RoutineCount; ++I) {
     uint64_t Id = 0, Len = 0;
     if (!readVarint(Bytes, Pos, Id) || !readVarint(Bytes, Pos, Len) ||
         Bytes.size() - Pos < Len)
+      return false;
+    if (Id > UINT32_MAX)
       return false;
     Data.Routines.emplace_back(static_cast<RoutineId>(Id),
                                Bytes.substr(Pos, Len));
@@ -160,6 +173,11 @@ bool deserializeCompressed(const std::string &Bytes, TraceData &Data) {
   }
   uint64_t EventCount = 0;
   if (!readVarint(Bytes, Pos, EventCount))
+    return false;
+  // The smallest encoded event is five bytes (kind + four one-byte
+  // varints). Clamping the declared count to what the payload could
+  // possibly hold keeps a hostile header from reserving gigabytes.
+  if (EventCount > (Bytes.size() - Pos) / 5)
     return false;
   Data.Events.clear();
   Data.Events.reserve(EventCount);
@@ -178,6 +196,9 @@ bool deserializeCompressed(const std::string &Bytes, TraceData &Data) {
         !readVarint(Bytes, Pos, TimeDelta) ||
         !readVarint(Bytes, Pos, Arg0Delta) ||
         !readVarint(Bytes, Pos, Arg1))
+      return false;
+    // ThreadId is 32-bit; a larger varint would truncate silently.
+    if (Tid > UINT32_MAX)
       return false;
     E.Tid = static_cast<ThreadId>(Tid);
     LastTime += TimeDelta;
@@ -233,11 +254,17 @@ bool isp::deserializeTrace(const std::string &Bytes, TraceData &Data) {
   uint32_t RoutineCount = 0;
   if (!R.readU32(RoutineCount))
     return false;
+  // A routine record is at least eight bytes (two u32s); bound the
+  // declared count by the bytes actually present before reserving.
+  if (RoutineCount > R.remaining() / 8)
+    return false;
   Data.Routines.clear();
   Data.Routines.reserve(RoutineCount);
   for (uint32_t I = 0; I != RoutineCount; ++I) {
     uint32_t Id = 0, Len = 0;
     if (!R.readU32(Id) || !R.readU32(Len))
+      return false;
+    if (Len > R.remaining())
       return false;
     std::string Name(Len, '\0');
     if (!R.readBytes(Name.data(), Len))
@@ -247,6 +274,10 @@ bool isp::deserializeTrace(const std::string &Bytes, TraceData &Data) {
 
   uint64_t EventCount = 0;
   if (!R.readU64(EventCount))
+    return false;
+  // Raw events are 29 bytes each; an EventCount the payload cannot hold
+  // is rejected before Events.reserve() trusts it.
+  if (EventCount > R.remaining() / 29)
     return false;
   Data.Events.clear();
   Data.Events.reserve(EventCount);
@@ -271,8 +302,10 @@ bool isp::writeTraceFile(const std::string &Path, const TraceData &Data,
     return false;
   std::string Bytes = serializeTrace(Data, Format);
   size_t Written = std::fwrite(Bytes.data(), 1, Bytes.size(), File);
-  std::fclose(File);
-  return Written == Bytes.size();
+  // fclose flushes stdio's buffer; a full disk surfaces here, not in
+  // fwrite, so its result is part of the write succeeding.
+  int CloseResult = std::fclose(File);
+  return Written == Bytes.size() && CloseResult == 0;
 }
 
 bool isp::readTraceFile(const std::string &Path, TraceData &Data) {
@@ -284,6 +317,9 @@ bool isp::readTraceFile(const std::string &Path, TraceData &Data) {
   size_t N;
   while ((N = std::fread(Buffer, 1, sizeof(Buffer), File)) > 0)
     Bytes.append(Buffer, N);
+  // fread returning 0 means EOF *or* error; only EOF leaves the bytes
+  // trustworthy enough to hand to the deserializer.
+  bool ReadOk = !std::ferror(File);
   std::fclose(File);
-  return deserializeTrace(Bytes, Data);
+  return ReadOk && deserializeTrace(Bytes, Data);
 }

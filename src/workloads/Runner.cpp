@@ -63,7 +63,8 @@ RunResult isp::runWorkloadNative(const WorkloadInfo &Workload,
 ProfiledRun isp::profileWorkload(const WorkloadInfo &Workload,
                                  const WorkloadParams &Params,
                                  TrmsProfilerOptions ProfOpts,
-                                 MachineOptions MachineOpts) {
+                                 MachineOptions MachineOpts,
+                                 unsigned ParallelToolWorkers) {
   ProfiledRun Out;
   std::string Error;
   std::optional<Program> Prog = compileWorkload(Workload, Params, &Error);
@@ -74,6 +75,8 @@ ProfiledRun isp::profileWorkload(const WorkloadInfo &Workload,
   TrmsProfiler Profiler(ProfOpts);
   EventDispatcher Dispatcher;
   Dispatcher.addTool(&Profiler);
+  if (ParallelToolWorkers > 0)
+    Dispatcher.setParallelWorkers(ParallelToolWorkers);
   Machine M(*Prog, &Dispatcher, MachineOpts);
   {
     obs::ScopedTimer Timer(phaseCounter("runner.execute_ns"));

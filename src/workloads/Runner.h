@@ -43,10 +43,14 @@ RunResult runWorkloadNative(const WorkloadInfo &Workload,
                             MachineOptions MachineOpts = MachineOptions());
 
 /// Runs \p Workload under aprof-trms and returns profile + symbols.
+/// \p ParallelToolWorkers > 0 delivers event batches from that many
+/// dispatcher worker threads (the profile is identical to serial
+/// delivery; 0 keeps the default in-line dispatch).
 ProfiledRun
 profileWorkload(const WorkloadInfo &Workload, const WorkloadParams &Params,
                 TrmsProfilerOptions ProfOpts = TrmsProfilerOptions(),
-                MachineOptions MachineOpts = MachineOptions());
+                MachineOptions MachineOpts = MachineOptions(),
+                unsigned ParallelToolWorkers = 0);
 
 } // namespace isp
 

@@ -130,6 +130,31 @@ TEST(Driver, WorkloadCommand) {
   EXPECT_NE(R.Output.find("consumer"), std::string::npos);
 }
 
+TEST(Driver, ParallelToolsOutputMatchesSerial) {
+  // Parallel tool fan-out must not change a single output byte.
+  std::string Args = "run " + guest("quickstart.mini") +
+                     " --tools=aprof-trms,aprof-rms,memcheck,callgrind";
+  CommandResult Serial = runDriver(Args);
+  ASSERT_EQ(Serial.ExitCode, 0) << Serial.Output;
+  for (const char *Flag : {" --parallel-tools", " --parallel-tools=2"}) {
+    CommandResult Parallel = runDriver(Args + Flag);
+    EXPECT_EQ(Parallel.ExitCode, 0) << Parallel.Output;
+    EXPECT_EQ(Parallel.Output, Serial.Output) << Flag;
+  }
+}
+
+TEST(Driver, ParallelToolsRejectsBadValues) {
+  std::string Args = "run " + guest("quickstart.mini");
+  for (const char *Flag :
+       {" --parallel-tools=bogus", " --parallel-tools=0",
+        " --parallel-tools=-3", " --parallel-tools=1000"}) {
+    CommandResult R = runDriver(Args + Flag);
+    EXPECT_NE(R.ExitCode, 0) << Flag;
+    EXPECT_NE(R.Output.find("invalid --parallel-tools"), std::string::npos)
+        << Flag << ": " << R.Output;
+  }
+}
+
 TEST(Driver, ErrorsAreClean) {
   EXPECT_NE(runDriver("run /nonexistent.mini").ExitCode, 0);
   EXPECT_NE(runDriver("frobnicate").ExitCode, 0);

@@ -1,0 +1,372 @@
+//===- tests/InstrParallelTest.cpp - Parallel tool fan-out ----------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The dispatcher's parallel tool fan-out (setParallelWorkers /
+// --parallel-tools) promises three things, and these tests hold it to
+// them: (1) every tool observes exactly the batch sequence serial
+// delivery would give it, so reports and profiles are byte-identical;
+// (2) each tool's callbacks run on one fixed thread chosen by its
+// declared affinity — DispatchThread on the enqueue thread, worker
+// tools on exactly one worker; (3) finish() is a real join: after it
+// returns, every event has been consumed and the compaction identity
+// holds on the dispatcher's plain counters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RmsProfiler.h"
+#include "core/TrmsProfiler.h"
+#include "instr/Dispatcher.h"
+#include "tools/NulTool.h"
+#include "tools/ToolRegistry.h"
+#include "trace/Synthetic.h"
+#include "vm/Compiler.h"
+#include "vm/Machine.h"
+#include "workloads/Runner.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+using namespace isp;
+
+namespace {
+
+std::vector<Event> makeTrace(uint64_t Operations, uint64_t Seed,
+                             unsigned Threads = 4) {
+  SyntheticTraceOptions Gen;
+  Gen.NumThreads = Threads;
+  Gen.NumOperations = Operations;
+  Gen.Seed = Seed;
+  return generateSyntheticTrace(Gen);
+}
+
+/// Runs \p Events through a dispatcher over freshly created \p ToolNames
+/// and returns each tool's rendered report. \p Workers == 0 keeps serial
+/// delivery; > 0 requests parallel fan-out.
+std::vector<std::string> reportsForRun(const std::vector<Event> &Events,
+                                       const std::vector<std::string> &ToolNames,
+                                       unsigned Workers) {
+  std::vector<std::unique_ptr<Tool>> Tools;
+  for (const std::string &Name : ToolNames) {
+    Tools.push_back(makeTool(Name));
+    EXPECT_NE(Tools.back(), nullptr) << Name;
+  }
+  EventDispatcher Dispatcher;
+  for (auto &T : Tools)
+    Dispatcher.addTool(T.get());
+  if (Workers > 0)
+    Dispatcher.setParallelWorkers(Workers);
+  Dispatcher.start(nullptr);
+  for (const Event &E : Events)
+    Dispatcher.enqueue(E);
+  Dispatcher.finish();
+  std::vector<std::string> Reports;
+  for (auto &T : Tools)
+    Reports.push_back(renderToolReport(*T, nullptr));
+  return Reports;
+}
+
+/// Records every callback's payload and the thread it ran on.
+class RecordingTool : public Tool {
+public:
+  explicit RecordingTool(ToolAffinity A) : Affinity(A) {}
+
+  ToolAffinity threadAffinity() const override { return Affinity; }
+  std::string name() const override { return "recording"; }
+
+  void onThreadStart(ThreadId Tid, ThreadId Parent) override {
+    note('S', Tid, Parent, 0);
+  }
+  void onThreadEnd(ThreadId Tid) override { note('E', Tid, 0, 0); }
+  void onCall(ThreadId Tid, RoutineId Rtn) override {
+    note('C', Tid, Rtn, 0);
+  }
+  void onReturn(ThreadId Tid, RoutineId Rtn) override {
+    note('R', Tid, Rtn, 0);
+  }
+  void onBasicBlock(ThreadId Tid, uint64_t Count) override {
+    note('B', Tid, Count, 0);
+  }
+  void onRead(ThreadId Tid, Addr A, uint64_t Cells) override {
+    note('r', Tid, A, Cells);
+  }
+  void onWrite(ThreadId Tid, Addr A, uint64_t Cells) override {
+    note('w', Tid, A, Cells);
+  }
+  void onKernelRead(ThreadId Tid, Addr A, uint64_t Cells) override {
+    note('k', Tid, A, Cells);
+  }
+  void onKernelWrite(ThreadId Tid, Addr A, uint64_t Cells) override {
+    note('K', Tid, A, Cells);
+  }
+
+  using Entry = std::tuple<char, uint64_t, uint64_t, uint64_t>;
+  const std::vector<Entry> &entries() const { return Entries; }
+  const std::set<std::thread::id> &threads() const { return Threads; }
+
+private:
+  void note(char Kind, uint64_t A, uint64_t B, uint64_t C) {
+    Entries.emplace_back(Kind, A, B, C);
+    Threads.insert(std::this_thread::get_id());
+  }
+
+  ToolAffinity Affinity;
+  std::vector<Entry> Entries;
+  std::set<std::thread::id> Threads;
+};
+
+/// An AnyWorker tool that naps every 256 reads — slow enough for the
+/// publisher to lap the batch ring and hit backpressure.
+class SlowTool : public Tool {
+public:
+  ToolAffinity threadAffinity() const override {
+    return ToolAffinity::AnyWorker;
+  }
+  std::string name() const override { return "slow"; }
+  void onRead(ThreadId, Addr, uint64_t) override {
+    if (++Reads % 256 == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  uint64_t reads() const { return Reads; }
+
+private:
+  uint64_t Reads = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Affinity declarations
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelFanout, RegistryToolsDeclareExpectedAffinities) {
+  // The profiler family shares global shadow state across instances, so
+  // it must stay co-scheduled on one worker.
+  for (const char *Name : {"aprof-trms", "aprof-rms", "aprof-trms-naive"}) {
+    std::unique_ptr<Tool> T = makeTool(Name);
+    ASSERT_NE(T, nullptr) << Name;
+    EXPECT_EQ(T->threadAffinity(), ToolAffinity::CoScheduled) << Name;
+  }
+  // Instance-private tools may take any fixed worker.
+  for (const char *Name :
+       {"nulgrind", "memcheck", "callgrind", "helgrind", "drd", "cct"}) {
+    std::unique_ptr<Tool> T = makeTool(Name);
+    ASSERT_NE(T, nullptr) << Name;
+    EXPECT_EQ(T->threadAffinity(), ToolAffinity::AnyWorker) << Name;
+  }
+  // The base class stays conservative for unaudited tools.
+  RecordingTool Base(ToolAffinity::DispatchThread);
+  EXPECT_EQ(static_cast<Tool &>(Base).threadAffinity(),
+            ToolAffinity::DispatchThread);
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel == serial, observationally
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelFanout, ReportsMatchSerialOnSyntheticTrace) {
+  const std::vector<std::string> ToolNames = {"aprof-trms", "aprof-rms",
+                                              "memcheck", "callgrind"};
+  std::vector<Event> Events = makeTrace(20000, 31);
+  std::vector<std::string> Serial = reportsForRun(Events, ToolNames, 0);
+  for (unsigned Workers : {1u, 2u, 4u}) {
+    std::vector<std::string> Parallel =
+        reportsForRun(Events, ToolNames, Workers);
+    ASSERT_EQ(Parallel.size(), Serial.size());
+    for (size_t I = 0; I != Serial.size(); ++I)
+      EXPECT_EQ(Parallel[I], Serial[I])
+          << ToolNames[I] << " diverged with " << Workers << " workers";
+  }
+}
+
+TEST(ParallelFanout, ReportsMatchSerialOnCompiledWorkload) {
+  const WorkloadInfo *W = findWorkload("md");
+  ASSERT_NE(W, nullptr);
+  WorkloadParams Params;
+  Params.Threads = 2;
+  Params.Size = 12;
+  std::optional<Program> Prog = compileWorkload(*W, Params);
+  ASSERT_TRUE(Prog.has_value());
+
+  const std::vector<std::string> ToolNames = {"aprof-trms", "aprof-rms",
+                                              "memcheck", "callgrind"};
+  auto RunOnce = [&](unsigned Workers) {
+    std::vector<std::unique_ptr<Tool>> Tools;
+    for (const std::string &Name : ToolNames)
+      Tools.push_back(makeTool(Name));
+    EventDispatcher Dispatcher;
+    for (auto &T : Tools)
+      Dispatcher.addTool(T.get());
+    if (Workers > 0)
+      Dispatcher.setParallelWorkers(Workers);
+    Machine M(*Prog, &Dispatcher, MachineOptions());
+    RunResult R = M.run();
+    EXPECT_TRUE(R.Ok) << R.Error;
+    std::vector<std::string> Reports;
+    for (auto &T : Tools)
+      Reports.push_back(renderToolReport(*T, &Prog->Symbols));
+    return Reports;
+  };
+
+  std::vector<std::string> Serial = RunOnce(0);
+  std::vector<std::string> Parallel = RunOnce(2);
+  ASSERT_EQ(Parallel.size(), Serial.size());
+  for (size_t I = 0; I != Serial.size(); ++I)
+    EXPECT_EQ(Parallel[I], Serial[I]) << ToolNames[I];
+}
+
+TEST(ParallelFanout, CallbackOrderAndContentMatchSerial) {
+  std::vector<Event> Events = makeTrace(8000, 32);
+  RecordingTool Serial(ToolAffinity::AnyWorker);
+  {
+    EventDispatcher D;
+    D.addTool(&Serial);
+    D.start(nullptr);
+    for (const Event &E : Events)
+      D.enqueue(E);
+    D.finish();
+  }
+  RecordingTool Parallel(ToolAffinity::AnyWorker);
+  {
+    EventDispatcher D;
+    D.addTool(&Parallel);
+    D.setParallelWorkers(2);
+    D.start(nullptr);
+    EXPECT_TRUE(D.parallelActive());
+    for (const Event &E : Events)
+      D.enqueue(E);
+    D.finish();
+    EXPECT_FALSE(D.parallelActive());
+  }
+  EXPECT_EQ(Parallel.entries(), Serial.entries());
+}
+
+TEST(ParallelFanout, DispatchPathMatchesSerial) {
+  // dispatch() delivers per-event; in parallel mode each event becomes
+  // its own published batch. Content and order must not change.
+  std::vector<Event> Events = makeTrace(2000, 33);
+  auto RunOnce = [&](unsigned Workers) {
+    RecordingTool T(ToolAffinity::AnyWorker);
+    EventDispatcher D;
+    D.addTool(&T);
+    if (Workers > 0)
+      D.setParallelWorkers(Workers);
+    D.start(nullptr);
+    for (const Event &E : Events)
+      D.dispatch(E);
+    D.finish();
+    return T.entries();
+  };
+  EXPECT_EQ(RunOnce(2), RunOnce(0));
+}
+
+//===----------------------------------------------------------------------===//
+// Thread placement
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelFanout, DispatchThreadToolStaysOnEnqueueThread) {
+  RecordingTool Pinned(ToolAffinity::DispatchThread);
+  NulTool Spread; // AnyWorker, so parallel mode actually engages
+  EventDispatcher D;
+  D.addTool(&Pinned);
+  D.addTool(&Spread);
+  D.setParallelWorkers(2);
+  D.start(nullptr);
+  ASSERT_TRUE(D.parallelActive());
+  for (const Event &E : makeTrace(4000, 34))
+    D.enqueue(E);
+  D.finish();
+  ASSERT_EQ(Pinned.threads().size(), 1u);
+  EXPECT_EQ(*Pinned.threads().begin(), std::this_thread::get_id());
+}
+
+TEST(ParallelFanout, AnyWorkerToolRunsOnOneWorkerThread) {
+  RecordingTool Spread(ToolAffinity::AnyWorker);
+  EventDispatcher D;
+  D.addTool(&Spread);
+  D.setParallelWorkers(2);
+  D.start(nullptr);
+  ASSERT_TRUE(D.parallelActive());
+  for (const Event &E : makeTrace(4000, 35))
+    D.enqueue(E);
+  D.finish();
+  // One fixed consumer thread, and never the enqueue thread.
+  ASSERT_EQ(Spread.threads().size(), 1u);
+  EXPECT_NE(*Spread.threads().begin(), std::this_thread::get_id());
+}
+
+TEST(ParallelFanout, WorkerCountClampsToEligibleTools) {
+  // One spreadable tool can use at most one worker, however many were
+  // requested.
+  NulTool T;
+  EventDispatcher D;
+  D.addTool(&T);
+  D.setParallelWorkers(64);
+  D.start(nullptr);
+  ASSERT_TRUE(D.parallelActive());
+  EXPECT_EQ(D.parallelWorkersUsed(), 1u);
+  D.finish();
+}
+
+TEST(ParallelFanout, StaysSerialWithOnlyDispatchThreadTools) {
+  RecordingTool Pinned(ToolAffinity::DispatchThread);
+  EventDispatcher D;
+  D.addTool(&Pinned);
+  D.setParallelWorkers(4);
+  D.start(nullptr);
+  EXPECT_FALSE(D.parallelActive());
+  EXPECT_EQ(D.parallelWorkersUsed(), 0u);
+  for (const Event &E : makeTrace(1000, 36))
+    D.enqueue(E);
+  D.finish();
+  ASSERT_EQ(Pinned.threads().size(), 1u);
+  EXPECT_EQ(*Pinned.threads().begin(), std::this_thread::get_id());
+}
+
+//===----------------------------------------------------------------------===//
+// Join, counters, backpressure
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelFanout, CompactionIdentityHoldsAfterFinish) {
+  std::vector<Event> Events = makeTrace(12000, 37);
+  NulTool A;
+  auto B = makeTool("memcheck");
+  EventDispatcher D;
+  D.addTool(&A);
+  D.addTool(B.get());
+  D.setParallelWorkers(2);
+  D.start(nullptr);
+  for (const Event &E : Events)
+    D.enqueue(E);
+  D.finish();
+  EXPECT_EQ(D.enqueuedEvents(),
+            D.deliveredEvents() + D.accessMerges() + D.bbFolds());
+  EXPECT_EQ(D.enqueuedEvents(), Events.size());
+}
+
+TEST(ParallelFanout, BackpressureBoundsThePublisher) {
+  SlowTool Slow;
+  EventDispatcher D;
+  D.addTool(&Slow);
+  D.setParallelWorkers(1);
+  D.start(nullptr);
+  ASSERT_TRUE(D.parallelActive());
+  // Dense, non-mergeable reads: every 256 fill a batch, and the slow
+  // consumer drains far behind the publisher's pace.
+  const uint64_t NumReads = 24 * EventDispatcher::BatchCapacity;
+  for (uint64_t I = 0; I != NumReads; ++I)
+    D.enqueue(Event::read(0, I + 1, 8 * I));
+  D.finish();
+  EXPECT_GT(D.backpressureBlocks(), 0u);
+  EXPECT_LE(D.maxQueueDepth(), EventDispatcher::RingSlots);
+  // The join delivered everything despite the blocking.
+  EXPECT_EQ(Slow.reads(), NumReads);
+}
+
+} // namespace

@@ -321,4 +321,197 @@ TEST(TraceFileV2, BothFormatsInteroperate) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Codec hardening: adversarial inputs must be rejected, never trusted
+//===----------------------------------------------------------------------===//
+
+/// Unsigned LEB128 append, mirroring the writer, for hand-building
+/// hostile streams.
+void appendVarint(std::string &Out, uint64_t V) {
+  while (V >= 0x80) {
+    Out.push_back(static_cast<char>((V & 0x7f) | 0x80));
+    V >>= 7;
+  }
+  Out.push_back(static_cast<char>(V));
+}
+
+std::string v2Header() { return std::string("ISPTRC02", 8); }
+
+/// A syntactically complete v2 event: kind 0 plus four varints.
+void appendEvent(std::string &Out, uint64_t Tid, uint64_t TimeDelta,
+                 uint64_t Arg0Zigzag, uint64_t Arg1) {
+  Out.push_back(0); // smallest valid kind
+  appendVarint(Out, Tid);
+  appendVarint(Out, TimeDelta);
+  appendVarint(Out, Arg0Zigzag);
+  appendVarint(Out, Arg1);
+}
+
+TEST(TraceCodecHardening, RejectsOverlongVarint) {
+  // Eleven continuation bytes: more than any uint64 can need.
+  std::string Bytes = v2Header();
+  for (int I = 0; I != 11; ++I)
+    Bytes.push_back(static_cast<char>(0x81));
+  Bytes.push_back(0x00);
+  TraceData Back;
+  EXPECT_FALSE(deserializeTrace(Bytes, Back));
+
+  // Ten bytes, but the tenth carries a payload bit past bit 63 — the
+  // classic overlong encoding that used to wrap silently.
+  std::string Wrap = v2Header();
+  for (int I = 0; I != 9; ++I)
+    Wrap.push_back(static_cast<char>(0x80));
+  Wrap.push_back(0x02); // bit 64
+  EXPECT_FALSE(deserializeTrace(Wrap, Back));
+
+  // A continuation bit on the tenth byte is just as overlong.
+  std::string Cont = v2Header();
+  for (int I = 0; I != 10; ++I)
+    Cont.push_back(static_cast<char>(0x80));
+  Cont.push_back(0x00);
+  EXPECT_FALSE(deserializeTrace(Cont, Back));
+}
+
+TEST(TraceCodecHardening, AcceptsMaximalTenByteVarint) {
+  // UINT64_MAX encodes as nine 0xff bytes plus 0x01 — legal, and must
+  // keep working after the overlong rejection. Exercised through a real
+  // event: TimeDelta = UINT64_MAX.
+  std::string Bytes = v2Header();
+  appendVarint(Bytes, 0); // routines
+  appendVarint(Bytes, 1); // events
+  Bytes.push_back(0);
+  appendVarint(Bytes, 7); // tid
+  for (int I = 0; I != 9; ++I)
+    Bytes.push_back(static_cast<char>(0xff));
+  Bytes.push_back(0x01);  // time delta = UINT64_MAX
+  appendVarint(Bytes, 0); // arg0 zigzag
+  appendVarint(Bytes, 0); // arg1
+  TraceData Back;
+  ASSERT_TRUE(deserializeTrace(Bytes, Back));
+  ASSERT_EQ(Back.Events.size(), 1u);
+  EXPECT_EQ(Back.Events[0].Time, UINT64_MAX);
+  EXPECT_EQ(Back.Events[0].Tid, 7u);
+}
+
+TEST(TraceCodecHardening, RejectsOversizedThreadId) {
+  // ThreadId is 32-bit; a Tid of 2^32 must fail loudly instead of
+  // truncating to 0.
+  std::string Bytes = v2Header();
+  appendVarint(Bytes, 0); // routines
+  appendVarint(Bytes, 1); // events
+  appendEvent(Bytes, uint64_t(1) << 32, 1, 0, 0);
+  TraceData Back;
+  EXPECT_FALSE(deserializeTrace(Bytes, Back));
+
+  // The largest representable Tid stays accepted.
+  std::string Ok = v2Header();
+  appendVarint(Ok, 0);
+  appendVarint(Ok, 1);
+  appendEvent(Ok, UINT32_MAX, 1, 0, 0);
+  ASSERT_TRUE(deserializeTrace(Ok, Back));
+  ASSERT_EQ(Back.Events.size(), 1u);
+  EXPECT_EQ(Back.Events[0].Tid, UINT32_MAX);
+}
+
+TEST(TraceCodecHardening, RejectsOversizedRoutineId) {
+  std::string Bytes = v2Header();
+  appendVarint(Bytes, 1);                 // one routine
+  appendVarint(Bytes, uint64_t(1) << 33); // id > UINT32_MAX
+  appendVarint(Bytes, 1);                 // name length
+  Bytes.push_back('f');
+  appendVarint(Bytes, 0); // events
+  TraceData Back;
+  EXPECT_FALSE(deserializeTrace(Bytes, Back));
+}
+
+TEST(TraceCodecHardening, RejectsHugeEventCountWithoutAllocating) {
+  // An EventCount of 2^60 over a few payload bytes must be rejected
+  // before Events.reserve() tries to honour it. (If the clamp were
+  // missing this test would OOM, not just fail.)
+  std::string V2 = v2Header();
+  appendVarint(V2, 0);              // routines
+  appendVarint(V2, uint64_t(1) << 60);
+  appendEvent(V2, 0, 1, 0, 0);      // one real event, not 2^60
+  TraceData Back;
+  EXPECT_FALSE(deserializeTrace(V2, Back));
+
+  std::string Raw("ISPTRC01", 8);
+  for (int I = 0; I != 4; ++I)
+    Raw.push_back(0); // routine count u32 = 0
+  uint64_t Count = uint64_t(1) << 60;
+  for (int I = 0; I != 8; ++I)
+    Raw.push_back(static_cast<char>((Count >> (8 * I)) & 0xff));
+  Raw.append(29, '\0'); // one event's worth of payload
+  EXPECT_FALSE(deserializeTrace(Raw, Back));
+}
+
+TEST(TraceCodecHardening, RejectsHugeRoutineCountAndLength) {
+  std::string V2 = v2Header();
+  appendVarint(V2, uint64_t(1) << 50); // routine count nothing can back
+  TraceData Back;
+  EXPECT_FALSE(deserializeTrace(V2, Back));
+
+  // Raw format: a routine whose claimed name length exceeds the file.
+  std::string Raw("ISPTRC01", 8);
+  Raw.push_back(1);
+  Raw.append(3, '\0'); // routine count u32 = 1
+  Raw.append(4, '\0'); // id = 0
+  Raw.append(4, static_cast<char>(0xff)); // length = UINT32_MAX
+  Raw.append("abc", 3);
+  EXPECT_FALSE(deserializeTrace(Raw, Back));
+}
+
+TEST(TraceCodecHardening, TruncationFuzzNeverCrashes) {
+  TraceData Data = makeSampleTrace(300, 21);
+  for (TraceFormat Format : {TraceFormat::Raw, TraceFormat::Compressed}) {
+    std::string Bytes = serializeTrace(Data, Format);
+    for (size_t Len = 0; Len < Bytes.size(); Len += 7) {
+      TraceData Back;
+      // Every proper prefix is missing bytes the header promises.
+      EXPECT_FALSE(deserializeTrace(Bytes.substr(0, Len), Back))
+          << "prefix of length " << Len << " accepted";
+    }
+  }
+}
+
+TEST(TraceCodecHardening, BitFlipFuzzNeverCrashes) {
+  TraceData Data = makeSampleTrace(200, 22);
+  for (TraceFormat Format : {TraceFormat::Raw, TraceFormat::Compressed}) {
+    std::string Bytes = serializeTrace(Data, Format);
+    for (size_t Pos = 0; Pos < Bytes.size(); Pos += 3) {
+      for (int Bit : {0, 3, 7}) {
+        std::string Mutated = Bytes;
+        Mutated[Pos] = static_cast<char>(Mutated[Pos] ^ (1 << Bit));
+        TraceData Back;
+        // Acceptance is fine when the flip lands in a payload byte; the
+        // contract is no crash, no unbounded allocation.
+        (void)deserializeTrace(Mutated, Back);
+      }
+    }
+  }
+}
+
+TEST(TraceCodecHardening, ExtremeFieldValuesRoundTrip) {
+  TraceData Data;
+  Data.Routines = {{UINT32_MAX, "edge"}};
+  Event E;
+  E.Kind = EventKind::Write;
+  E.Tid = UINT32_MAX;
+  E.Time = UINT64_MAX - 1;
+  E.Arg0 = UINT64_MAX;
+  E.Arg1 = UINT64_MAX;
+  Event E2 = E;
+  E2.Kind = EventKind::Read;
+  E2.Time = UINT64_MAX;
+  E2.Arg0 = 0; // forces a maximal negative zigzag delta
+  Data.Events = {E, E2};
+  for (TraceFormat Format : {TraceFormat::Raw, TraceFormat::Compressed}) {
+    std::string Bytes = serializeTrace(Data, Format);
+    TraceData Back;
+    ASSERT_TRUE(deserializeTrace(Bytes, Back));
+    EXPECT_EQ(Back.Routines, Data.Routines);
+    EXPECT_EQ(Back.Events, Data.Events);
+  }
+}
+
 } // namespace
