@@ -21,6 +21,7 @@
 #include "vm/Machine.h"
 #include "workloads/Workload.h"
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -102,6 +103,13 @@ void printBanner(const std::string &Title);
 /// events/sec and speedup vs serial per worker count. Returns the path
 /// written, or "" on failure.
 std::string writeHotpathReport(unsigned Repeats = 5);
+
+/// Writes the "quiet_indirect" object of BENCH_hotpath.json into \p F:
+/// static quiet-mark counts from the alias-driven optimizer pass,
+/// runtime suppression tallies, and the marked-vs-stripped event-count
+/// and events/sec delta on the same optimized program. Returns false
+/// (after printing a diagnostic) on failure.
+bool writeQuietIndirectSection(FILE *F, unsigned Repeats);
 
 } // namespace isp
 

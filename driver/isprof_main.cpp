@@ -21,6 +21,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/LocksetLint.h"
+#include "analysis/Verifier.h"
 #include "core/HtmlReport.h"
 #include "core/ProfileDiff.h"
 #include "core/TrmsProfiler.h"
@@ -71,6 +73,10 @@ int usage() {
       "                  worker threads (default: auto); tools pinned to\n"
       "                  the dispatch thread fall back to serial delivery\n"
       "  --record=PATH   (run) also record the event trace to PATH\n"
+      "  --verify-bytecode  statically verify the compiled bytecode;\n"
+      "                  refuse to run on failure\n"
+      "  --lint          static lockset lint: report globals shared\n"
+      "                  across threads with no consistent lock\n"
       "  --slice=N       scheduler quantum in instructions (default 150)\n"
       "  --seed=N        guest rand()/device seed (default 42)\n"
       "  --threads=N --size=N   (workload) parameters\n"
@@ -206,6 +212,28 @@ struct ToolSet {
   }
 };
 
+/// Runs the static checks requested on the command line (after compile
+/// and optional optimization). Returns 0 to continue, nonzero to stop
+/// with that exit code. --verify-bytecode failures go to stderr;
+/// --lint always prints its summary (drd-style) to stdout, and a clean
+/// program reports zero locations.
+int runStaticChecks(const Program &Prog, const OptionParser &Options) {
+  if (Options.getFlag("verify-bytecode")) {
+    analysis::VerifyResult Result = analysis::verifyProgram(Prog);
+    if (!Result.ok()) {
+      std::fprintf(stderr, "%s", Result.render(Prog).c_str());
+      return 1;
+    }
+    std::printf("[bytecode verified: %zu function(s)]\n",
+                Prog.Functions.size());
+  }
+  if (Options.getFlag("lint")) {
+    analysis::LintReport Report = analysis::runLocksetLint(Prog);
+    std::printf("%s", Report.render().c_str());
+  }
+  return 0;
+}
+
 int commandRun(OptionParser &Options) {
   if (Options.positional().size() < 2) {
     std::fprintf(stderr, "isprof run: missing program file\n");
@@ -231,6 +259,8 @@ int commandRun(OptionParser &Options) {
                 Opt.ConstantsFolded, Opt.BranchesResolved,
                 Opt.JumpsThreaded, Opt.InstructionsRemoved);
   }
+  if (int Code = runStaticChecks(*Prog, Options))
+    return Code;
 
   ToolSet Tools;
   if (!Tools.create(Options.getString("tools"), Options.getFlag("contexts")))
@@ -337,6 +367,10 @@ int commandCheckOrDisasm(OptionParser &Options, bool Disassemble) {
     std::fputs(Diags.render().c_str(), stderr);
     return 1;
   }
+  if (Options.getFlag("optimize"))
+    optimizeProgram(*Prog);
+  if (int Code = runStaticChecks(*Prog, Options))
+    return Code;
   if (Disassemble)
     std::fputs(disassembleProgram(*Prog).c_str(), stdout);
   else
@@ -368,6 +402,10 @@ int commandWorkload(OptionParser &Options) {
     std::fputs(Error.c_str(), stderr);
     return 1;
   }
+  if (Options.getFlag("optimize"))
+    optimizeProgram(*Prog);
+  if (int Code = runStaticChecks(*Prog, Options))
+    return Code;
   ToolSet Tools;
   if (!Tools.create(Options.getString("tools")))
     return 2;
@@ -477,6 +515,13 @@ int main(int Argc, char **Argv) {
                               "per routine");
   Options.addFlag("optimize", "run the bytecode peephole optimizer "
                               "(profiles are unaffected by design)");
+  Options.addFlag("verify-bytecode",
+                  "run the static bytecode verifier (stack discipline, "
+                  "jump targets, operand bounds) and refuse to run on "
+                  "failure");
+  Options.addFlag("lint", "run the static lockset lint and print a "
+                          "drd-style report of globals shared across "
+                          "threads with no consistent lock");
   Options.addOption("slice", "150", "scheduler quantum (instructions)");
   Options.addOption("seed", "42", "guest rand()/device seed");
   Options.addOption("threads", "4", "workload thread count");

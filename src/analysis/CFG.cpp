@@ -1,0 +1,183 @@
+//===- analysis/CFG.cpp - Control-flow graph construction --------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace isp;
+using namespace isp::analysis;
+
+bool isp::analysis::isJumpOp(Op Opcode) {
+  return Opcode == Op::Jump || Opcode == Op::JumpIfFalse ||
+         Opcode == Op::JumpIfTrue;
+}
+
+bool isp::analysis::isTerminatorOp(Op Opcode) {
+  return isJumpOp(Opcode) || Opcode == Op::Return;
+}
+
+StackEffect isp::analysis::stackEffect(const Instr &I) {
+  switch (I.Opcode) {
+  case Op::Nop:
+  case Op::BasicBlock:
+  case Op::Jump:
+    return {0, 0};
+  case Op::PushConst:
+    return {0, 1};
+  case Op::Pop:
+  case Op::StoreLocal:
+  case Op::StoreGlobal:
+  case Op::JumpIfFalse:
+  case Op::JumpIfTrue:
+  case Op::Return:
+    return {1, 0};
+  case Op::LoadLocal:
+  case Op::LoadGlobal:
+    return {0, 1};
+  case Op::LoadIndirect:
+    return {2, 1};
+  case Op::StoreIndirect:
+    return {3, 0};
+  case Op::AllocaArray:
+    return {1, 1};
+  case Op::Add:
+  case Op::Sub:
+  case Op::Mul:
+  case Op::Div:
+  case Op::Mod:
+  case Op::Lt:
+  case Op::Le:
+  case Op::Gt:
+  case Op::Ge:
+  case Op::Eq:
+  case Op::Ne:
+    return {2, 1};
+  case Op::Neg:
+  case Op::Not:
+  case Op::ToBool:
+    return {1, 1};
+  case Op::Call:
+  case Op::CallBuiltin:
+  case Op::Spawn:
+    // Modeled through to completion: arguments popped, result pushed.
+    return {static_cast<int>(I.B), 1};
+  }
+  return {0, 0};
+}
+
+CFG::CFG(const Function &F) : Fn(&F) {
+  const std::vector<Instr> &Code = F.Code;
+  const size_t N = Code.size();
+  BlockIndex.assign(N, 0);
+  if (N == 0) {
+    Reachable.assign(0, false);
+    InCycle.assign(0, false);
+    return;
+  }
+
+  std::vector<bool> Leader(N, false);
+  Leader[0] = true;
+  for (size_t I = 0; I != N; ++I) {
+    if (isJumpOp(Code[I].Opcode)) {
+      assert(Code[I].A >= 0 && static_cast<size_t>(Code[I].A) < N &&
+             "CFG requires verified jump targets");
+      Leader[static_cast<size_t>(Code[I].A)] = true;
+    }
+    if (isTerminatorOp(Code[I].Opcode) && I + 1 < N)
+      Leader[I + 1] = true;
+  }
+
+  for (size_t I = 0; I != N; ++I) {
+    if (Leader[I]) {
+      BasicBlock B;
+      B.Begin = I;
+      Blocks.push_back(B);
+    }
+    BlockIndex[I] = static_cast<uint32_t>(Blocks.size() - 1);
+  }
+  for (size_t BI = 0; BI != Blocks.size(); ++BI)
+    Blocks[BI].End = BI + 1 < Blocks.size() ? Blocks[BI + 1].Begin : N;
+
+  auto addEdge = [this](uint32_t From, uint32_t To) {
+    Blocks[From].Succs.push_back(To);
+    Blocks[To].Preds.push_back(From);
+  };
+  for (uint32_t BI = 0; BI != Blocks.size(); ++BI) {
+    const Instr &Last = Code[Blocks[BI].End - 1];
+    switch (Last.Opcode) {
+    case Op::Jump:
+      addEdge(BI, BlockIndex[static_cast<size_t>(Last.A)]);
+      break;
+    case Op::JumpIfFalse:
+    case Op::JumpIfTrue:
+      addEdge(BI, BlockIndex[static_cast<size_t>(Last.A)]);
+      if (Blocks[BI].End < N)
+        addEdge(BI, BlockIndex[Blocks[BI].End]);
+      break;
+    case Op::Return:
+      break;
+    default:
+      // Fall-through into the next leader (only happens when the next
+      // instruction is a jump target).
+      if (Blocks[BI].End < N)
+        addEdge(BI, BlockIndex[Blocks[BI].End]);
+      break;
+    }
+  }
+
+  // Reverse post-order + reachability via iterative DFS.
+  Reachable.assign(Blocks.size(), false);
+  std::vector<uint32_t> Post;
+  Post.reserve(Blocks.size());
+  {
+    // Stack entries: (block, next-successor index).
+    std::vector<std::pair<uint32_t, size_t>> Stack;
+    Stack.emplace_back(entry(), 0);
+    Reachable[entry()] = true;
+    while (!Stack.empty()) {
+      auto &[B, SuccIdx] = Stack.back();
+      if (SuccIdx < Blocks[B].Succs.size()) {
+        uint32_t S = Blocks[B].Succs[SuccIdx++];
+        if (!Reachable[S]) {
+          Reachable[S] = true;
+          Stack.emplace_back(S, 0);
+        }
+      } else {
+        Post.push_back(B);
+        Stack.pop_back();
+      }
+    }
+  }
+  Rpo.assign(Post.rbegin(), Post.rend());
+  for (uint32_t BI = 0; BI != Blocks.size(); ++BI)
+    if (!Reachable[BI])
+      Rpo.push_back(BI);
+
+  // Cycle membership: a block is in a cycle iff it can reach itself.
+  // Tarjan SCC would be linear; the quadratic fallback below is fine for
+  // guest-sized routines (tens of blocks) and far simpler. Computed as:
+  // block B is cyclic iff some successor of B reaches B.
+  InCycle.assign(Blocks.size(), false);
+  for (uint32_t BI = 0; BI != Blocks.size(); ++BI) {
+    std::vector<bool> Seen(Blocks.size(), false);
+    std::vector<uint32_t> Work(Blocks[BI].Succs.begin(),
+                               Blocks[BI].Succs.end());
+    while (!Work.empty()) {
+      uint32_t B = Work.back();
+      Work.pop_back();
+      if (Seen[B])
+        continue;
+      Seen[B] = true;
+      if (B == BI) {
+        InCycle[BI] = true;
+        break;
+      }
+      Work.insert(Work.end(), Blocks[B].Succs.begin(), Blocks[B].Succs.end());
+    }
+  }
+}

@@ -1,0 +1,90 @@
+//===- analysis/CFG.h - Control-flow graph over guest bytecode --*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic-block decomposition of one compiled routine. Leaders are the
+/// function entry, every jump target, and every instruction following a
+/// terminator (Jump/JumpIfFalse/JumpIfTrue/Return). Calls, builtins and
+/// spawns do *not* end a block — control returns to the next
+/// instruction — even though they do close a quiet-marking window; the
+/// two notions are deliberately distinct (see Optimizer.cpp).
+///
+/// Construction requires structurally valid code: every jump operand in
+/// [0, Code.size()). The verifier checks that precondition on untrusted
+/// input before any CFG-based analysis runs (Verifier.cpp, phase 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_ANALYSIS_CFG_H
+#define ISPROF_ANALYSIS_CFG_H
+
+#include "vm/Bytecode.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace isp {
+namespace analysis {
+
+struct BasicBlock {
+  /// Instruction range [Begin, End) in Function::Code.
+  size_t Begin = 0;
+  size_t End = 0;
+  std::vector<uint32_t> Succs;
+  std::vector<uint32_t> Preds;
+};
+
+class CFG {
+public:
+  /// Builds the CFG of \p F. Precondition: all jump targets in range
+  /// (verifier phase 0 establishes this for untrusted code).
+  explicit CFG(const Function &F);
+
+  const Function &function() const { return *Fn; }
+  const std::vector<BasicBlock> &blocks() const { return Blocks; }
+  const BasicBlock &block(uint32_t Id) const { return Blocks[Id]; }
+  uint32_t numBlocks() const { return static_cast<uint32_t>(Blocks.size()); }
+  /// Block containing instruction \p Index.
+  uint32_t blockOf(size_t Index) const { return BlockIndex[Index]; }
+  /// Entry block id (always 0 for non-empty code).
+  uint32_t entry() const { return 0; }
+
+  /// Block ids in reverse post-order from the entry; unreachable blocks
+  /// are appended after the reachable ones in id order.
+  const std::vector<uint32_t> &rpo() const { return Rpo; }
+  /// True when \p Id is reachable from the entry block.
+  bool reachable(uint32_t Id) const { return Reachable[Id]; }
+  /// True when \p Id is part of (or reaches itself through) a cycle —
+  /// used to detect instructions that may execute more than once.
+  bool inCycle(uint32_t Id) const { return InCycle[Id]; }
+
+private:
+  const Function *Fn;
+  std::vector<BasicBlock> Blocks;
+  std::vector<uint32_t> BlockIndex;
+  std::vector<uint32_t> Rpo;
+  std::vector<bool> Reachable;
+  std::vector<bool> InCycle;
+};
+
+/// Net operand-stack effect of \p I (pushes minus pops) and the number
+/// of operands it pops. Call/CallBuiltin/Spawn are modeled through to
+/// completion: they pop their arguments and push one result.
+struct StackEffect {
+  int Pops = 0;
+  int Pushes = 0;
+};
+StackEffect stackEffect(const Instr &I);
+
+/// True for Jump/JumpIfFalse/JumpIfTrue.
+bool isJumpOp(Op Opcode);
+/// True when \p Opcode ends a basic block (jumps and Return).
+bool isTerminatorOp(Op Opcode);
+
+} // namespace analysis
+} // namespace isp
+
+#endif // ISPROF_ANALYSIS_CFG_H

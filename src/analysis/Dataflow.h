@@ -1,0 +1,103 @@
+//===- analysis/Dataflow.h - Worklist dataflow solver -----------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generic forward/backward dataflow solver: a worklist fixpoint over
+/// a join-semilattice supplied by the problem type. A problem provides:
+///
+///   using State = ...;             // one lattice element per block edge
+///   State boundary() const;        // state at the entry (forward) or
+///                                  // exit (backward) boundary
+///   State top() const;             // identity of join ("unreached")
+///   bool join(State &Into, const State &From) const;
+///                                  // Into := Into \/ From; true if changed
+///   State transfer(const CFG &G, uint32_t Block, State In) const;
+///                                  // flow function of one whole block
+///
+/// States must be value types; the solver owns one State per block (the
+/// input state for forward problems, the output state for backward
+/// ones). Termination requires the usual finite-ascending-chain
+/// condition on the problem's lattice; every problem in this repo uses
+/// finite sets or small integer domains.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_ANALYSIS_DATAFLOW_H
+#define ISPROF_ANALYSIS_DATAFLOW_H
+
+#include "analysis/CFG.h"
+
+#include <deque>
+#include <vector>
+
+namespace isp {
+namespace analysis {
+
+enum class Direction { Forward, Backward };
+
+/// Solves \p P over \p G and returns the per-block fixpoint: entry
+/// states for forward problems, exit states for backward problems.
+/// Unreachable blocks keep top().
+template <typename Problem>
+std::vector<typename Problem::State>
+solveDataflow(const CFG &G, const Problem &P, Direction Dir) {
+  using State = typename Problem::State;
+  const uint32_t N = G.numBlocks();
+  std::vector<State> States(N, P.top());
+  if (N == 0)
+    return States;
+
+  std::deque<uint32_t> Work;
+  std::vector<bool> InWork(N, false);
+  auto enqueue = [&](uint32_t B) {
+    if (!InWork[B]) {
+      InWork[B] = true;
+      Work.push_back(B);
+    }
+  };
+
+  if (Dir == Direction::Forward) {
+    States[G.entry()] = P.boundary();
+    // Seed in RPO so the first sweep already visits most blocks with
+    // their final inputs.
+    for (uint32_t B : G.rpo())
+      if (G.reachable(B))
+        enqueue(B);
+    while (!Work.empty()) {
+      uint32_t B = Work.front();
+      Work.pop_front();
+      InWork[B] = false;
+      State Out = P.transfer(G, B, States[B]);
+      for (uint32_t S : G.block(B).Succs)
+        if (P.join(States[S], Out))
+          enqueue(S);
+    }
+  } else {
+    // Backward: States holds block *exit* states; seed every exit block
+    // (Return terminators) with the boundary, propagate against edges.
+    for (uint32_t B = 0; B != N; ++B)
+      if (G.block(B).Succs.empty())
+        States[B] = P.boundary();
+    for (auto It = G.rpo().rbegin(); It != G.rpo().rend(); ++It)
+      if (G.reachable(*It))
+        enqueue(*It);
+    while (!Work.empty()) {
+      uint32_t B = Work.front();
+      Work.pop_front();
+      InWork[B] = false;
+      State In = P.transfer(G, B, States[B]);
+      for (uint32_t Pred : G.block(B).Preds)
+        if (P.join(States[Pred], In))
+          enqueue(Pred);
+    }
+  }
+  return States;
+}
+
+} // namespace analysis
+} // namespace isp
+
+#endif // ISPROF_ANALYSIS_DATAFLOW_H

@@ -1,0 +1,410 @@
+//===- analysis/LocksetLint.cpp - Static lockset lint ------------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LocksetLint.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Dataflow.h"
+#include "analysis/Verifier.h"
+#include "obs/Obs.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <memory>
+#include <set>
+
+using namespace isp;
+using namespace isp::analysis;
+
+namespace {
+
+/// Must-held locks + spawn phase, with an explicit unreached (top)
+/// element for the dataflow join.
+struct LockState {
+  bool Reached = false;
+  bool Spawned = false;       ///< a spawn may already have executed
+  std::set<Addr> Locks;       ///< must-held named locks
+
+  static LockState entry(bool Spawned) { return {true, Spawned, {}}; }
+  bool join(const LockState &From) {
+    if (!From.Reached)
+      return false;
+    if (!Reached) {
+      *this = From;
+      return true;
+    }
+    bool Changed = false;
+    if (From.Spawned && !Spawned) {
+      Spawned = true;
+      Changed = true;
+    }
+    for (auto It = Locks.begin(); It != Locks.end();) {
+      if (!From.Locks.count(*It)) {
+        It = Locks.erase(It);
+        Changed = true;
+      } else {
+        ++It;
+      }
+    }
+    return Changed;
+  }
+};
+
+enum class LockOp { None, Acquire, Release };
+
+/// Classifies a CallBuiltin as a lock operation and names its lock when
+/// the argument is the direct `LoadGlobal g` compile pattern.
+LockOp classifyLockOp(const Function &F, size_t Pc, std::optional<Addr> &Lock) {
+  const Instr &In = F.Code[Pc];
+  assert(In.Opcode == Op::CallBuiltin);
+  Builtin B = static_cast<Builtin>(In.A);
+  LockOp Kind = LockOp::None;
+  if (B == Builtin::LockAcquire || B == Builtin::SemWait)
+    Kind = LockOp::Acquire;
+  else if (B == Builtin::LockRelease || B == Builtin::SemPost)
+    Kind = LockOp::Release;
+  if (Kind == LockOp::None)
+    return Kind;
+  Lock.reset();
+  if (In.B == 1 && Pc > 0 && F.Code[Pc - 1].Opcode == Op::LoadGlobal)
+    Lock = static_cast<Addr>(F.Code[Pc - 1].A);
+  return Kind;
+}
+
+/// One shared-location accessor tally.
+struct LocationInfo {
+  std::string Name;
+  bool IsArray = false;
+  std::set<unsigned> Contexts;
+  std::set<unsigned> Writers;
+  bool HaveLockset = false;
+  std::set<Addr> CommonLocks; ///< intersection over post-init accesses
+};
+
+class Lint {
+public:
+  Lint(const Program &Prog, const PointsToResult &PT) : Prog(Prog), PT(PT) {}
+
+  LintReport run();
+
+private:
+  struct FnSummary {
+    bool MaySpawn = false;
+    bool ReleasesUnknown = false;
+    std::set<Addr> MayRelease;
+  };
+
+  struct Context {
+    size_t Root = 0;
+    unsigned Multiplicity = 1;
+    bool StartsSpawned = false; ///< false only for the main context
+  };
+
+  const CFG &cfg(size_t Fn) {
+    if (!Cfgs[Fn])
+      Cfgs[Fn] = std::make_unique<CFG>(Prog.Functions[Fn]);
+    return *Cfgs[Fn];
+  }
+
+  void computeSummaries();
+  void collectContexts();
+  void analyzeContext(unsigned CtxId);
+  /// Applies instruction \p Pc to \p S; when \p Record is set, also
+  /// tallies accesses and propagates entries into callees.
+  void stepInstr(size_t Fn, size_t Pc, LockState &S, unsigned CtxId,
+                 bool Record);
+  void recordAccess(Addr Key, const std::string &Name, bool IsArray,
+                    bool IsWrite, unsigned CtxId, const LockState &S);
+
+  /// Source-level name of scalar cell \p A, or "" when unnamed (raw
+  /// addresses reached by arithmetic, array base cells).
+  const std::string &scalarName(Addr A) const {
+    static const std::string Empty;
+    for (const GlobalVarInfo &V : Prog.GlobalVars)
+      if (V.Cell == A)
+        return V.Name;
+    return Empty;
+  }
+
+  const Program &Prog;
+  const PointsToResult &PT;
+  std::vector<std::unique_ptr<CFG>> Cfgs;
+  std::vector<FnSummary> Summaries;
+  std::vector<Context> Contexts;
+  std::map<Addr, LocationInfo> Locations;
+
+  /// Interprocedural state for the context currently being analyzed.
+  std::map<size_t, LockState> EntryStates;
+  std::vector<size_t> FnWork;
+};
+
+void Lint::computeSummaries() {
+  Summaries.assign(Prog.Functions.size(), {});
+  // Local facts, then transitive closure over direct calls.
+  for (size_t FI = 0; FI != Prog.Functions.size(); ++FI) {
+    const Function &F = Prog.Functions[FI];
+    for (size_t Pc = 0; Pc != F.Code.size(); ++Pc) {
+      const Instr &In = F.Code[Pc];
+      if (In.Opcode == Op::Spawn)
+        Summaries[FI].MaySpawn = true;
+      if (In.Opcode == Op::CallBuiltin) {
+        std::optional<Addr> Lock;
+        if (classifyLockOp(F, Pc, Lock) == LockOp::Release) {
+          if (Lock)
+            Summaries[FI].MayRelease.insert(*Lock);
+          else
+            Summaries[FI].ReleasesUnknown = true;
+        }
+      }
+    }
+  }
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t FI = 0; FI != Prog.Functions.size(); ++FI) {
+      for (const Instr &In : Prog.Functions[FI].Code) {
+        if (In.Opcode != Op::Call)
+          continue;
+        const FnSummary &Callee = Summaries[static_cast<size_t>(In.A)];
+        FnSummary &S = Summaries[FI];
+        if (Callee.MaySpawn && !S.MaySpawn) {
+          S.MaySpawn = true;
+          Changed = true;
+        }
+        if (Callee.ReleasesUnknown && !S.ReleasesUnknown) {
+          S.ReleasesUnknown = true;
+          Changed = true;
+        }
+        for (Addr L : Callee.MayRelease)
+          Changed |= S.MayRelease.insert(L).second;
+      }
+    }
+  }
+}
+
+void Lint::collectContexts() {
+  Contexts.push_back({Prog.EntryIndex, 1, false});
+  for (size_t FI = 0; FI != Prog.Functions.size(); ++FI) {
+    const CFG &G = cfg(FI);
+    const Function &F = Prog.Functions[FI];
+    for (size_t Pc = 0; Pc != F.Code.size(); ++Pc) {
+      if (F.Code[Pc].Opcode != Op::Spawn)
+        continue;
+      // A spawn on a cyclic path can create arbitrarily many threads;
+      // model it as two contexts so "shared between spawned threads"
+      // trips even when it is the only spawn site.
+      unsigned Mult = G.inCycle(G.blockOf(Pc)) ? 2 : 1;
+      Contexts.push_back(
+          {static_cast<size_t>(F.Code[Pc].A), Mult, true});
+    }
+  }
+}
+
+void Lint::recordAccess(Addr Key, const std::string &Name, bool IsArray,
+                        bool IsWrite, unsigned CtxId, const LockState &S) {
+  // Initialization accesses: the main context before any spawn may have
+  // happened cannot race (single-threaded prefix).
+  if (!S.Spawned && !Contexts[CtxId].StartsSpawned)
+    return;
+  LocationInfo &L = Locations[Key];
+  if (L.Name.empty())
+    L.Name = Name;
+  L.IsArray |= IsArray;
+  L.Contexts.insert(CtxId);
+  if (IsWrite)
+    L.Writers.insert(CtxId);
+  if (!L.HaveLockset) {
+    L.HaveLockset = true;
+    L.CommonLocks = S.Locks;
+  } else {
+    for (auto It = L.CommonLocks.begin(); It != L.CommonLocks.end();)
+      It = S.Locks.count(*It) ? std::next(It) : L.CommonLocks.erase(It);
+  }
+}
+
+void Lint::stepInstr(size_t Fn, size_t Pc, LockState &S, unsigned CtxId,
+                     bool Record) {
+  const Function &F = Prog.Functions[Fn];
+  const Instr &In = F.Code[Pc];
+  switch (In.Opcode) {
+  case Op::LoadGlobal:
+  case Op::StoreGlobal:
+    if (Record)
+      recordAccess(static_cast<Addr>(In.A),
+                   scalarName(static_cast<Addr>(In.A)), false,
+                   In.Opcode == Op::StoreGlobal, CtxId, S);
+    break;
+  case Op::LoadIndirect:
+  case Op::StoreIndirect:
+    if (Record) {
+      if (const SiteFacts *Facts = PT.siteFacts(Fn, Pc)) {
+        for (uint32_t Obj : Facts->Objects) {
+          const AbstractObject &O = PT.Objects[Obj];
+          if (O.K != AbstractObject::Kind::GlobalArray)
+            continue;
+          const GlobalArrayInfo &Arr = Prog.GlobalArrays[O.ArrayIndex];
+          recordAccess(Arr.Base, Arr.Name, true,
+                       In.Opcode == Op::StoreIndirect, CtxId, S);
+        }
+      }
+    }
+    break;
+  case Op::Spawn:
+    S.Spawned = true;
+    break;
+  case Op::Call: {
+    size_t Callee = static_cast<size_t>(In.A);
+    if (Record) {
+      LockState CalleeEntry = S;
+      auto [It, New] = EntryStates.try_emplace(Callee, CalleeEntry);
+      if (New || It->second.join(CalleeEntry))
+        FnWork.push_back(Callee);
+    }
+    const FnSummary &Sum = Summaries[Callee];
+    if (Sum.MaySpawn)
+      S.Spawned = true;
+    if (Sum.ReleasesUnknown)
+      S.Locks.clear();
+    else
+      for (Addr L : Sum.MayRelease)
+        S.Locks.erase(L);
+    break;
+  }
+  case Op::CallBuiltin: {
+    std::optional<Addr> Lock;
+    switch (classifyLockOp(F, Pc, Lock)) {
+    case LockOp::Acquire:
+      if (Lock)
+        S.Locks.insert(*Lock);
+      break; // unnamed acquire: protects nothing we can credit
+    case LockOp::Release:
+      if (Lock)
+        S.Locks.erase(*Lock);
+      else
+        S.Locks.clear(); // unnamed release: trust no held lock
+      break;
+    case LockOp::None:
+      break;
+    }
+    break;
+  }
+  default:
+    break;
+  }
+}
+
+void Lint::analyzeContext(unsigned CtxId) {
+  const Context &Ctx = Contexts[CtxId];
+  EntryStates.clear();
+  FnWork.clear();
+  EntryStates.emplace(Ctx.Root, LockState::entry(Ctx.StartsSpawned));
+  FnWork.push_back(Ctx.Root);
+
+  // Interprocedural fixpoint on entry states, then one recording pass
+  // per function once its entry state is final. Since states only
+  // shrink (lock intersection) or latch (Spawned), re-processing a
+  // function after its entry state changed re-records accesses with the
+  // weaker state; recordAccess only ever weakens tallies, so recording
+  // during the fixpoint is sound.
+  struct Problem {
+    using State = LockState;
+    Lint &L;
+    size_t Fn;
+    unsigned CtxId;
+    LockState Entry;
+    State boundary() const { return Entry; }
+    State top() const { return {}; }
+    bool join(State &Into, const State &From) const {
+      return Into.join(From);
+    }
+    State transfer(const CFG &G, uint32_t Block, State In) const {
+      if (!In.Reached)
+        return In;
+      for (size_t Pc = G.block(Block).Begin; Pc != G.block(Block).End; ++Pc)
+        L.stepInstr(Fn, Pc, In, CtxId, /*Record=*/false);
+      return In;
+    }
+  };
+
+  while (!FnWork.empty()) {
+    size_t Fn = FnWork.back();
+    FnWork.pop_back();
+    const CFG &G = cfg(Fn);
+    Problem P{*this, Fn, CtxId, EntryStates.at(Fn)};
+    std::vector<LockState> BlockEntry =
+        solveDataflow(G, P, Direction::Forward);
+    for (uint32_t BI = 0; BI != G.numBlocks(); ++BI) {
+      LockState S = BlockEntry[BI];
+      if (!S.Reached)
+        continue;
+      for (size_t Pc = G.block(BI).Begin; Pc != G.block(BI).End; ++Pc)
+        stepInstr(Fn, Pc, S, CtxId, /*Record=*/true);
+    }
+  }
+}
+
+LintReport Lint::run() {
+  Cfgs.resize(Prog.Functions.size());
+  std::vector<VerifyError> Structural;
+  for (size_t FI = 0; FI != Prog.Functions.size(); ++FI)
+    if (!verifyFunctionStructure(Prog, FI, Structural))
+      return {}; // lint requires structurally valid bytecode
+
+  computeSummaries();
+  collectContexts();
+  for (unsigned C = 0; C != Contexts.size(); ++C)
+    analyzeContext(C);
+
+  LintReport Report;
+  Report.ContextCount = 0;
+  for (const Context &C : Contexts)
+    Report.ContextCount += C.Multiplicity;
+
+  for (const auto &[Key, Info] : Locations) {
+    unsigned Weight = 0;
+    for (unsigned Ctx : Info.Contexts)
+      Weight += Contexts[Ctx].Multiplicity;
+    if (Weight < 2 || Info.Writers.empty() || !Info.CommonLocks.empty())
+      continue;
+    Report.Warnings.push_back({Key, Info.Name, Info.IsArray, Weight,
+                               static_cast<unsigned>(Info.Writers.size())});
+  }
+  std::sort(Report.Warnings.begin(), Report.Warnings.end(),
+            [](const LintWarning &A, const LintWarning &B) {
+              return A.Address < B.Address;
+            });
+  return Report;
+}
+
+} // namespace
+
+std::string LintReport::render() const {
+  std::string Out = formatString(
+      "lint: %llu location(s) with empty candidate lockset\n",
+      static_cast<unsigned long long>(Warnings.size()));
+  for (const LintWarning &W : Warnings)
+    Out += formatString("  possible race at address %llu\n",
+                        static_cast<unsigned long long>(W.Address));
+  return Out;
+}
+
+LintReport isp::analysis::runLocksetLint(const Program &Prog,
+                                         const PointsToResult &PT) {
+  obs::ScopedTimer Timer(
+      obs::statsEnabled() ? &obs::Registry::get().counter("analysis.lint_ns")
+                          : nullptr);
+  LintReport R = Lint(Prog, PT).run();
+  ISP_STATS(obs::Registry::get()
+                .counter("analysis.lint_warnings")
+                .add(R.Warnings.size()));
+  return R;
+}
+
+LintReport isp::analysis::runLocksetLint(const Program &Prog) {
+  return runLocksetLint(Prog, computePointsTo(Prog));
+}

@@ -1,0 +1,75 @@
+//===- analysis/LocksetLint.h - Static lockset lint -------------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A static approximation of the dynamic Eraser-style lockset check
+/// (DrdTool): flag every global location that is reachable from two or
+/// more thread contexts, written by at least one of them, and not
+/// consistently protected by a common lock. Thread contexts are the
+/// main thread plus one per Spawn site (a spawn inside a loop counts
+/// twice — it can create many threads).
+///
+/// Abstract locks are global cells passed to lock_acquire/lock_release
+/// (and sem_wait/sem_post, which guests use interchangeably as mutexes)
+/// by the direct `LoadGlobal g; CallBuiltin` compile pattern. Must-held
+/// locksets flow forward (join = intersection) through each context's
+/// call graph.
+///
+/// False-positive policy (documented in DESIGN.md): accesses performed
+/// by the main context before any spawn may have executed are
+/// initialization and never race (the dynamic tools exclude them the
+/// same way — a single-threaded prefix cannot produce concurrent
+/// state). Acquiring a lock the analysis cannot name adds no
+/// protection; *releasing* an unnamed lock clears the whole lockset —
+/// both err toward warning. False negatives: accesses through
+/// untracked pointers (empty points-to sets) and raw load()/store()
+/// builtins are not attributed to globals and are skipped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_ANALYSIS_LOCKSETLINT_H
+#define ISPROF_ANALYSIS_LOCKSETLINT_H
+
+#include "analysis/PointsTo.h"
+#include "vm/Bytecode.h"
+
+#include <string>
+#include <vector>
+
+namespace isp {
+namespace analysis {
+
+struct LintWarning {
+  Addr Address = 0;        ///< cell (scalars) or storage base (arrays)
+  std::string Name;        ///< source-level name when known
+  bool IsArray = false;
+  unsigned Contexts = 0;   ///< accessor thread contexts (with multiplicity)
+  unsigned Writers = 0;    ///< contexts performing post-init writes
+};
+
+struct LintReport {
+  std::vector<LintWarning> Warnings;
+  /// Thread contexts discovered (1 = single-threaded program).
+  unsigned ContextCount = 1;
+  /// Same shape as DrdTool's dynamic report, so workload tests can
+  /// cross-check static warnings against dynamic findings line by line:
+  ///   "lint: N location(s) with empty candidate lockset\n"
+  ///   "  possible race at address A\n" ...
+  std::string render() const;
+};
+
+/// Runs the lint over \p Prog, reusing \p PT for indirect-access
+/// attribution. Folds analysis.lint_warnings and a pass timer into the
+/// obs registry when stats are enabled.
+LintReport runLocksetLint(const Program &Prog, const PointsToResult &PT);
+
+/// Convenience overload that computes points-to itself.
+LintReport runLocksetLint(const Program &Prog);
+
+} // namespace analysis
+} // namespace isp
+
+#endif // ISPROF_ANALYSIS_LOCKSETLINT_H

@@ -1,0 +1,290 @@
+//===- analysis/Verifier.cpp - Bytecode verifier -----------------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Verifier.h"
+
+#include "analysis/Dataflow.h"
+#include "obs/Obs.h"
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace isp;
+using namespace isp::analysis;
+
+namespace {
+
+bool isAccessOp(Op Opcode) {
+  switch (Opcode) {
+  case Op::LoadLocal:
+  case Op::StoreLocal:
+  case Op::LoadGlobal:
+  case Op::StoreGlobal:
+  case Op::LoadIndirect:
+  case Op::StoreIndirect:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool usesAOperand(Op Opcode) {
+  switch (Opcode) {
+  case Op::PushConst:
+  case Op::LoadLocal:
+  case Op::StoreLocal:
+  case Op::LoadGlobal:
+  case Op::StoreGlobal:
+  case Op::Jump:
+  case Op::JumpIfFalse:
+  case Op::JumpIfTrue:
+  case Op::Call:
+  case Op::CallBuiltin:
+  case Op::Spawn:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool usesBOperand(Op Opcode) {
+  return Opcode == Op::Call || Opcode == Op::CallBuiltin ||
+         Opcode == Op::Spawn;
+}
+
+/// Forward depth analysis. Lattice: Unreached (top) < depth d; any two
+/// distinct depths join to Conflict (tracked as a poisoned value so the
+/// error is reported exactly once, at the join block).
+struct DepthProblem {
+  static constexpr int Unreached = -1;
+  static constexpr int Conflict = -2;
+  using State = int;
+
+  const CFG &G;
+  explicit DepthProblem(const CFG &G) : G(G) {}
+
+  State boundary() const { return 0; }
+  State top() const { return Unreached; }
+  bool join(State &Into, const State &From) const {
+    if (From == Unreached || Into == From)
+      return false;
+    if (Into == Unreached) {
+      Into = From;
+      return true;
+    }
+    if (Into == Conflict)
+      return false;
+    Into = Conflict;
+    return true;
+  }
+  State transfer(const CFG &Graph, uint32_t Block, State In) const {
+    if (In < 0)
+      return In;
+    int Depth = In;
+    const BasicBlock &B = Graph.block(Block);
+    for (size_t I = B.Begin; I != B.End; ++I) {
+      StackEffect E = stackEffect(Graph.function().Code[I]);
+      Depth -= E.Pops;
+      if (Depth < 0)
+        return Conflict; // underflow; reported by the checking sweep
+      Depth += E.Pushes;
+    }
+    return Depth;
+  }
+};
+
+} // namespace
+
+std::string VerifyResult::render(const Program &Prog) const {
+  std::string Out;
+  for (const VerifyError &E : Errors) {
+    const char *Name = E.FunctionIndex < Prog.Functions.size()
+                           ? Prog.Functions[E.FunctionIndex].Name.c_str()
+                           : "<program>";
+    if (E.InstrIndex == ~size_t(0))
+      Out += formatString("%s: %s\n", Name, E.Message.c_str());
+    else
+      Out += formatString("%s+%zu: %s\n", Name, E.InstrIndex,
+                          E.Message.c_str());
+  }
+  return Out;
+}
+
+bool isp::analysis::verifyFunctionStructure(const Program &Prog,
+                                            size_t FnIndex,
+                                            std::vector<VerifyError> &Errors) {
+  const Function &F = Prog.Functions[FnIndex];
+  const size_t Before = Errors.size();
+  auto error = [&](size_t Pc, std::string Msg) {
+    Errors.push_back({FnIndex, Pc, std::move(Msg)});
+  };
+
+  if (F.NumParams > F.NumLocals)
+    Errors.push_back(
+        {FnIndex, ~size_t(0),
+         formatString("NumParams %u exceeds NumLocals %u", F.NumParams,
+                      F.NumLocals)});
+  if (F.Code.empty()) {
+    Errors.push_back({FnIndex, ~size_t(0), "empty body"});
+    return false;
+  }
+
+  const size_t N = F.Code.size();
+  for (size_t I = 0; I != N; ++I) {
+    const Instr &In = F.Code[I];
+    if (static_cast<uint8_t>(In.Opcode) > static_cast<uint8_t>(Op::Return)) {
+      error(I, formatString("invalid opcode %u",
+                            static_cast<unsigned>(In.Opcode)));
+      continue; // operand checks are meaningless for unknown opcodes
+    }
+    if (!usesAOperand(In.Opcode) && In.A != 0)
+      error(I, formatString("stray A operand %lld on %u",
+                            static_cast<long long>(In.A),
+                            static_cast<unsigned>(In.Opcode)));
+    if (isAccessOp(In.Opcode)) {
+      if (In.B != 0 && In.B != 1)
+        error(I, formatString("quiet mark must be 0 or 1, got %lld",
+                              static_cast<long long>(In.B)));
+    } else if (!usesBOperand(In.Opcode) && In.B != 0) {
+      error(I, formatString("stray B operand %lld on %u",
+                            static_cast<long long>(In.B),
+                            static_cast<unsigned>(In.Opcode)));
+    }
+    switch (In.Opcode) {
+    case Op::Jump:
+    case Op::JumpIfFalse:
+    case Op::JumpIfTrue:
+      if (In.A < 0 || static_cast<size_t>(In.A) >= N)
+        error(I, formatString("jump target %lld out of range [0, %zu)",
+                              static_cast<long long>(In.A), N));
+      break;
+    case Op::LoadLocal:
+    case Op::StoreLocal:
+      if (In.A < 0 || In.A >= static_cast<int64_t>(F.NumLocals))
+        error(I, formatString("local slot %lld out of range [0, %u)",
+                              static_cast<long long>(In.A), F.NumLocals));
+      break;
+    case Op::LoadGlobal:
+    case Op::StoreGlobal:
+      if (In.A < static_cast<int64_t>(GlobalBase) ||
+          In.A >= static_cast<int64_t>(GlobalBase + Prog.GlobalCells))
+        error(I, formatString("global address %lld outside [%llu, %llu)",
+                              static_cast<long long>(In.A),
+                              static_cast<unsigned long long>(GlobalBase),
+                              static_cast<unsigned long long>(
+                                  GlobalBase + Prog.GlobalCells)));
+      break;
+    case Op::Call:
+    case Op::Spawn: {
+      if (In.A < 0 ||
+          static_cast<size_t>(In.A) >= Prog.Functions.size()) {
+        error(I, formatString("callee index %lld out of range",
+                              static_cast<long long>(In.A)));
+        break;
+      }
+      const Function &Callee = Prog.Functions[static_cast<size_t>(In.A)];
+      if (In.B != static_cast<int64_t>(Callee.NumParams))
+        error(I, formatString("%lld argument(s) to '%s' expecting %u",
+                              static_cast<long long>(In.B),
+                              Callee.Name.c_str(), Callee.NumParams));
+      break;
+    }
+    case Op::CallBuiltin: {
+      int Arity = builtinArity(In.A);
+      if (Arity < 0)
+        error(I, formatString("invalid builtin id %lld",
+                              static_cast<long long>(In.A)));
+      else if (In.B != Arity)
+        error(I, formatString("%lld argument(s) to builtin %lld expecting %d",
+                              static_cast<long long>(In.B),
+                              static_cast<long long>(In.A), Arity));
+      break;
+    }
+    default:
+      break;
+    }
+  }
+
+  const Instr &Last = F.Code[N - 1];
+  if (Last.Opcode != Op::Return && Last.Opcode != Op::Jump)
+    error(N - 1, "control can fall off the end of the body");
+
+  return Errors.size() == Before;
+}
+
+std::optional<std::vector<int>>
+isp::analysis::computeBlockEntryDepths(const CFG &G, size_t FnIndex,
+                                       std::vector<VerifyError> *Errors) {
+  DepthProblem P(G);
+  std::vector<int> Entry = solveDataflow(G, P, Direction::Forward);
+
+  bool Ok = true;
+  auto error = [&](size_t Pc, std::string Msg) {
+    Ok = false;
+    if (Errors)
+      Errors->push_back({FnIndex, Pc, std::move(Msg)});
+  };
+
+  const Function &F = G.function();
+  for (uint32_t BI = 0; BI != G.numBlocks(); ++BI) {
+    if (!G.reachable(BI)) {
+      Entry[BI] = 0;
+      continue;
+    }
+    if (Entry[BI] == DepthProblem::Conflict) {
+      error(G.block(BI).Begin, "inconsistent stack depth at join");
+      continue;
+    }
+    assert(Entry[BI] != DepthProblem::Unreached && "reachable but unsolved");
+    int Depth = Entry[BI];
+    for (size_t I = G.block(BI).Begin; I != G.block(BI).End; ++I) {
+      StackEffect E = stackEffect(F.Code[I]);
+      if (Depth < E.Pops) {
+        error(I, formatString("stack underflow: depth %d, pops %d", Depth,
+                              E.Pops));
+        break;
+      }
+      Depth += E.Pushes - E.Pops;
+    }
+  }
+  if (!Ok)
+    return std::nullopt;
+  return Entry;
+}
+
+VerifyResult isp::analysis::verifyProgram(const Program &Prog) {
+  VerifyResult R;
+  obs::ScopedTimer Timer(
+      obs::statsEnabled()
+          ? &obs::Registry::get().counter("analysis.verify_ns")
+          : nullptr);
+
+  if (Prog.Functions.empty())
+    R.Errors.push_back({0, ~size_t(0), "program has no functions"});
+  else if (Prog.EntryIndex >= Prog.Functions.size())
+    R.Errors.push_back({Prog.EntryIndex, ~size_t(0),
+                        "entry index out of range"});
+  else if (Prog.Functions[Prog.EntryIndex].NumParams != 0)
+    R.Errors.push_back({Prog.EntryIndex, ~size_t(0),
+                        "entry function must take no parameters"});
+
+  uint64_t TotalBlocks = 0;
+  for (size_t FI = 0; FI != Prog.Functions.size(); ++FI) {
+    if (!verifyFunctionStructure(Prog, FI, R.Errors))
+      continue; // CFG construction is unsafe on structural errors
+    CFG G(Prog.Functions[FI]);
+    TotalBlocks += G.numBlocks();
+    computeBlockEntryDepths(G, FI, &R.Errors);
+  }
+
+  ISP_STATS({
+    obs::Registry &Reg = obs::Registry::get();
+    Reg.counter("analysis.cfg_blocks").add(TotalBlocks);
+    if (!R.Errors.empty())
+      Reg.counter("analysis.verifier_failures").add(R.Errors.size());
+  });
+  return R;
+}

@@ -1,0 +1,84 @@
+//===- analysis/Verifier.h - Bytecode verifier ------------------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static verification of a compiled (and possibly optimized or
+/// corrupted) Program. A program that verifies clean cannot trip any
+/// interpreter assertion or undefined behavior: every residual failure
+/// mode (division by zero, wild *runtime-computed* addresses, deadlock,
+/// instruction-budget exhaustion) is a defined Machine::runtimeError or
+/// scheduler diagnostic. Checks, in order:
+///
+///  Phase 0 (per instruction, structural):
+///   - opcode in range; operand fields unused by the opcode are zero
+///     (quiet marks B=1 are allowed only on the five access opcodes)
+///   - jump targets inside the function body; code does not fall off
+///     the end (last instruction is Jump or Return)
+///   - LoadLocal/StoreLocal slots < NumLocals; LoadGlobal/StoreGlobal
+///     addresses inside the globals region declared by the Program
+///   - Call/Spawn callee index valid, argument count == callee's
+///     NumParams; CallBuiltin id valid, argument count == arity
+///   - NumParams <= NumLocals; entry function exists and takes no
+///     parameters
+///
+///  Phase 1 (CFG + dataflow, type/stack discipline):
+///   - operand-stack depth is consistent at every join point (the
+///     forward dataflow in Verifier.cpp), never underflows, and is
+///     >= 1 at every Return — the "type discipline" of this uni-typed
+///     stack machine is exactly depth discipline
+///
+//======---------------------------------------------------------------===//
+
+#ifndef ISPROF_ANALYSIS_VERIFIER_H
+#define ISPROF_ANALYSIS_VERIFIER_H
+
+#include "analysis/CFG.h"
+#include "vm/Bytecode.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace isp {
+namespace analysis {
+
+struct VerifyError {
+  size_t FunctionIndex = 0;
+  size_t InstrIndex = 0; ///< ~size_t(0) for function-level errors
+  std::string Message;
+};
+
+struct VerifyResult {
+  std::vector<VerifyError> Errors;
+  bool ok() const { return Errors.empty(); }
+  /// Renders "fn[i] at pc: message" lines for diagnostics.
+  std::string render(const Program &Prog) const;
+};
+
+/// Verifies every function of \p Prog plus program-level invariants.
+/// Folds analysis.verifier_failures / analysis.cfg_blocks into the obs
+/// registry when stats are enabled.
+VerifyResult verifyProgram(const Program &Prog);
+
+/// Phase-0 structural check of one function (no CFG needed). Appends to
+/// \p Errors; returns true when the function is structurally sound and
+/// CFG construction is safe.
+bool verifyFunctionStructure(const Program &Prog, size_t FnIndex,
+                             std::vector<VerifyError> &Errors);
+
+/// Operand-stack depth at each block entry of \p G, solved by forward
+/// dataflow with an equality join. Returns nullopt (appending to
+/// \p Errors, when given) on inconsistent join depths, stack underflow,
+/// or a Return with an empty stack. Unreachable blocks report depth 0.
+/// Precondition: verifyFunctionStructure passed.
+std::optional<std::vector<int>>
+computeBlockEntryDepths(const CFG &G, size_t FnIndex,
+                        std::vector<VerifyError> *Errors);
+
+} // namespace analysis
+} // namespace isp
+
+#endif // ISPROF_ANALYSIS_VERIFIER_H

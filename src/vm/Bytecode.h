@@ -104,6 +104,13 @@ enum class Builtin : uint8_t {
 /// Returns the builtin for \p Name, or ~0u cast if unknown.
 bool lookupBuiltin(const std::string &Name, Builtin &Out, unsigned &Arity);
 
+/// Number of Builtin enumerators (bounds-check helper for the verifier).
+inline constexpr unsigned NumBuiltins =
+    static_cast<unsigned>(Builtin::ThreadId) + 1;
+
+/// Argument count of \p B, or -1 when the raw value is not a builtin.
+int builtinArity(int64_t B);
+
 struct Instr {
   Op Opcode = Op::Nop;
   int64_t A = 0;
@@ -125,6 +132,25 @@ struct GlobalInit {
   int64_t Value = 0;
 };
 
+/// Layout record for one global array: the named cell holding the base
+/// pointer and the storage range it points at. Emitted by the compiler
+/// so static analyses can reason about which indirect accesses land in
+/// which array without re-deriving the layout from GlobalInits.
+struct GlobalArrayInfo {
+  std::string Name;
+  Addr Cell = 0;       ///< named cell that holds the base address
+  Addr Base = 0;       ///< first storage cell
+  uint64_t Cells = 0;  ///< storage extent in cells
+};
+
+/// Name record for one global scalar cell (arrays are in GlobalArrays),
+/// emitted so diagnostics — lint warnings, verifier errors — can name
+/// the cell instead of printing a bare address.
+struct GlobalVarInfo {
+  std::string Name;
+  Addr Cell = 0;
+};
+
 /// A compiled guest program.
 struct Program {
   std::vector<Function> Functions;
@@ -135,6 +161,10 @@ struct Program {
   /// Startup initialization (scalar values and array base addresses),
   /// applied by the loader before main runs, without events.
   std::vector<GlobalInit> GlobalInits;
+  /// Global array layout, in declaration order (see GlobalArrayInfo).
+  std::vector<GlobalArrayInfo> GlobalArrays;
+  /// Global scalar names, in declaration order.
+  std::vector<GlobalVarInfo> GlobalVars;
   /// Index of "main" in Functions.
   size_t EntryIndex = 0;
 

@@ -51,6 +51,20 @@ bool isp::lookupBuiltin(const std::string &Name, Builtin &Out,
   return false;
 }
 
+int isp::builtinArity(int64_t B) {
+  static const int Arities[] = {
+      /*Print*/ 1,      /*Alloc*/ 1,      /*Free*/ 1,     /*SysRead*/ 3,
+      /*SysWrite*/ 3,   /*SemCreate*/ 1,  /*SemWait*/ 1,  /*SemPost*/ 1,
+      /*LockCreate*/ 0, /*LockAcquire*/ 1, /*LockRelease*/ 1,
+      /*Join*/ 1,       /*Rand*/ 1,       /*Yield*/ 0,    /*Load*/ 1,
+      /*Store*/ 2,      /*ThreadId*/ 0};
+  static_assert(sizeof(Arities) / sizeof(Arities[0]) == NumBuiltins,
+                "arity table out of sync with Builtin enum");
+  if (B < 0 || B >= static_cast<int64_t>(NumBuiltins))
+    return -1;
+  return Arities[B];
+}
+
 namespace {
 
 /// Global variable layout info.
@@ -167,9 +181,13 @@ std::optional<Program> Compiler::compile() {
       // The variable cell holds the array's base address.
       Prog.GlobalInits.push_back(
           {It->second.Address, static_cast<int64_t>(NextAddr)});
+      Prog.GlobalArrays.push_back(
+          {G.Name, It->second.Address, NextAddr, G.ArraySize});
       NextAddr += G.ArraySize;
-    } else if (G.InitValue != 0) {
-      Prog.GlobalInits.push_back({It->second.Address, G.InitValue});
+    } else {
+      Prog.GlobalVars.push_back({G.Name, It->second.Address});
+      if (G.InitValue != 0)
+        Prog.GlobalInits.push_back({It->second.Address, G.InitValue});
     }
   }
   Prog.GlobalCells = NextAddr - GlobalBase;

@@ -121,13 +121,36 @@ const char *isp::builtinName(Builtin B) {
   ISP_UNREACHABLE("unknown builtin");
 }
 
-std::string isp::disassembleInstr(const Instr &I, const Program *Prog) {
-  switch (I.Opcode) {
-  case Op::PushConst:
+/// True for the opcodes whose B operand is the optimizer's quiet mark.
+static bool isQuietMarkable(Op Opcode) {
+  switch (Opcode) {
   case Op::LoadLocal:
   case Op::StoreLocal:
   case Op::LoadGlobal:
   case Op::StoreGlobal:
+  case Op::LoadIndirect:
+  case Op::StoreIndirect:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::string isp::disassembleInstr(const Instr &I, const Program *Prog) {
+  // Quiet marks are semantic (the VM suppresses the access event), so
+  // the listing must show them: golden-disasm tests key on this.
+  const char *Quiet = isQuietMarkable(I.Opcode) && I.B == 1 ? "  ; quiet" : "";
+  switch (I.Opcode) {
+  case Op::LoadLocal:
+  case Op::StoreLocal:
+  case Op::LoadGlobal:
+  case Op::StoreGlobal:
+    return formatString("%-14s %lld%s", opcodeName(I.Opcode),
+                        static_cast<long long>(I.A), Quiet);
+  case Op::LoadIndirect:
+  case Op::StoreIndirect:
+    return formatString("%s%s", opcodeName(I.Opcode), Quiet);
+  case Op::PushConst:
   case Op::Jump:
   case Op::JumpIfFalse:
   case Op::JumpIfTrue:

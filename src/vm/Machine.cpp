@@ -468,7 +468,10 @@ bool Machine::runSlice(ThreadCtx &T) {
       int64_t Index = popValue(T.Operands);
       int64_t Base = popValue(T.Operands);
       int64_t Value = 0;
-      if (!memRead(T, static_cast<Addr>(Base + Index), Value))
+      bool Emit = noteQuietAccess(I.B);
+      if (!Emit)
+        ++Stats.QuietIndirectSuppressed;
+      if (!memRead(T, static_cast<Addr>(Base + Index), Value, Emit))
         return !Failed;
       T.Operands.push_back(Value);
       break;
@@ -478,7 +481,10 @@ bool Machine::runSlice(ThreadCtx &T) {
       int64_t Value = popValue(T.Operands);
       int64_t Index = popValue(T.Operands);
       int64_t Base = popValue(T.Operands);
-      if (!memWrite(T, static_cast<Addr>(Base + Index), Value))
+      bool Emit = noteQuietAccess(I.B);
+      if (!Emit)
+        ++Stats.QuietIndirectSuppressed;
+      if (!memWrite(T, static_cast<Addr>(Base + Index), Value, Emit))
         return !Failed;
       break;
     }
@@ -759,6 +765,8 @@ RunResult Machine::run() {
     R.counter("machine.heap_cells_allocated").add(Stats.HeapCellsAllocated);
     R.counter("machine.quiet_suppressed").add(Stats.QuietEventsSuppressed);
     R.counter("machine.quiet_window_aborts").add(Stats.QuietWindowAborts);
+    R.counter("machine.quiet_indirect_suppressed")
+        .add(Stats.QuietIndirectSuppressed);
     R.gauge("machine.guest_memory_bytes").noteMax(Stats.GuestMemoryBytes);
   }
 

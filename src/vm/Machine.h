@@ -61,6 +61,10 @@ struct RunStats {
   /// runs; native runs emit no events either way.
   uint64_t QuietEventsSuppressed = 0;
   uint64_t QuietWindowAborts = 0;
+  /// Subset of QuietEventsSuppressed from LoadIndirect/StoreIndirect —
+  /// the alias-analysis-driven marks (analysis layer, PR: static
+  /// analysis) actually paying off at runtime.
+  uint64_t QuietIndirectSuppressed = 0;
 };
 
 struct RunResult {

@@ -25,8 +25,8 @@
 /// The quiet-access pass additionally suppresses *events* (never the
 /// accesses themselves) that are no-ops for every tool: within one
 /// straight-line window — broken by jump targets, unconditional jumps,
-/// calls, builtins, spawns, and returns — a repeated read of a local
-/// slot already read or written, or a repeated write of a slot already
+/// calls, builtins, spawns, and returns — a repeated read of an address
+/// already read or written, or a repeated write of an address already
 /// written, finds every per-address tool state (access timestamps,
 /// write timestamps, definedness, locksets) already current, because
 /// tool counters only advance at events the window-breaking
@@ -39,6 +39,22 @@
 /// interruption the static pass cannot see. Profiles are bit-identical
 /// with or without the pass (tested); stream-level statistics (event
 /// counts) legitimately drop.
+///
+/// Since the analysis layer landed, the pass covers *indirect* accesses
+/// too: a window-local symbolic value numbering assigns each operand a
+/// value number such that equal numbers imply equal runtime values
+/// (straight-line code executes each instruction at most once per
+/// window entry, so value numbers are genuine must-alias facts). A
+/// LoadIndirect whose address value number was already touched — or a
+/// StoreIndirect whose address was already written — in the same window
+/// is marked quiet exactly like a direct access. Value numbers for
+/// loaded cells are cached and must be dropped when an intervening
+/// StoreIndirect may clobber the cell; the pass keeps them when the
+/// store is provably confined to object storage, using either a
+/// window-local shape fact (the base is this window's own alloc/alloca
+/// result, or an immutable global array base) or the Andersen points-to
+/// facts from src/analysis (PreciseBoundedBase). See DESIGN.md "Static
+/// analysis" for the soundness argument.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -54,9 +70,14 @@ struct OptimizerStats {
   unsigned JumpsThreaded = 0;
   unsigned BranchesResolved = 0;
   unsigned InstructionsRemoved = 0;
-  /// Local accesses whose instrumentation events are provably redundant
+  /// Accesses whose instrumentation events are provably redundant
   /// within their straight-line window (the access still executes).
+  /// Counts direct and indirect marks; the next field is the indirect
+  /// subset.
   unsigned QuietAccessesMarked = 0;
+  /// LoadIndirect/StoreIndirect instructions marked quiet (subset of
+  /// QuietAccessesMarked) — the alias-analysis-driven extension.
+  unsigned QuietIndirectMarked = 0;
 };
 
 /// Optimizes one function in place.

@@ -1,0 +1,607 @@
+//===- tests/AnalysisTest.cpp - Static analysis layer tests --------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit tests for src/analysis: CFG construction, the generic dataflow
+// solver (forward and backward), the bytecode verifier on valid and
+// adversarial programs, Andersen points-to site facts, and the static
+// lockset lint.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "analysis/Dataflow.h"
+#include "analysis/LocksetLint.h"
+#include "analysis/PointsTo.h"
+#include "analysis/Verifier.h"
+#include "vm/Compiler.h"
+#include "vm/Diag.h"
+#include "vm/Machine.h"
+#include "vm/Optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace isp;
+using namespace isp::analysis;
+
+namespace {
+
+Program compile(const std::string &Source) {
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = compileProgram(Source, Diags);
+  EXPECT_TRUE(Prog.has_value()) << Diags.render();
+  return Prog ? std::move(*Prog) : Program();
+}
+
+// --- CFG. ---
+
+TEST(CfgTest, LoopFunctionShape) {
+  Program Prog = compile(R"(
+    fn main() {
+      var sum = 0;
+      for (var i = 0; i < 10; i = i + 1) { sum = sum + i; }
+      print(sum);
+      return 0;
+    })");
+  const Function &F = Prog.Functions[Prog.EntryIndex];
+  CFG G(F);
+  ASSERT_GE(G.numBlocks(), 3u);
+  EXPECT_EQ(G.entry(), 0u);
+  EXPECT_EQ(G.block(0).Begin, 0u);
+
+  // Blocks partition the code and agree with blockOf().
+  size_t Covered = 0;
+  for (uint32_t B = 0; B != G.numBlocks(); ++B) {
+    const BasicBlock &Blk = G.block(B);
+    ASSERT_LT(Blk.Begin, Blk.End);
+    Covered += Blk.End - Blk.Begin;
+    for (size_t I = Blk.Begin; I != Blk.End; ++I)
+      EXPECT_EQ(G.blockOf(I), B);
+  }
+  EXPECT_EQ(Covered, F.Code.size());
+
+  // Edges are symmetric (succ lists match pred lists).
+  for (uint32_t B = 0; B != G.numBlocks(); ++B)
+    for (uint32_t S : G.block(B).Succs) {
+      const auto &Preds = G.block(S).Preds;
+      EXPECT_NE(std::find(Preds.begin(), Preds.end(), B), Preds.end());
+    }
+
+  // The loop body is cyclic; the entry block is not.
+  bool AnyCycle = false;
+  for (uint32_t B = 0; B != G.numBlocks(); ++B)
+    AnyCycle |= G.inCycle(B);
+  EXPECT_TRUE(AnyCycle);
+  EXPECT_FALSE(G.inCycle(G.entry()));
+
+  // RPO visits the entry first and lists every block exactly once.
+  ASSERT_EQ(G.rpo().size(), G.numBlocks());
+  EXPECT_EQ(G.rpo().front(), G.entry());
+}
+
+TEST(CfgTest, StraightLineIsOneReachableRegion) {
+  Program Prog = compile("fn main() { return 1 + 2; }");
+  CFG G(Prog.Functions[Prog.EntryIndex]);
+  EXPECT_TRUE(G.reachable(G.entry()));
+  for (uint32_t B = 0; B != G.numBlocks(); ++B)
+    EXPECT_FALSE(G.inCycle(B));
+}
+
+TEST(CfgTest, StackEffects) {
+  auto effect = [](Op O, int64_t A = 0, int64_t B = 0) {
+    Instr I;
+    I.Opcode = O;
+    I.A = A;
+    I.B = B;
+    return stackEffect(I);
+  };
+  EXPECT_EQ(effect(Op::PushConst).Pops, 0);
+  EXPECT_EQ(effect(Op::PushConst).Pushes, 1);
+  EXPECT_EQ(effect(Op::StoreIndirect).Pops, 3);
+  EXPECT_EQ(effect(Op::StoreIndirect).Pushes, 0);
+  EXPECT_EQ(effect(Op::LoadIndirect).Pops, 2);
+  EXPECT_EQ(effect(Op::LoadIndirect).Pushes, 1);
+  EXPECT_EQ(effect(Op::Add).Pops, 2);
+  EXPECT_EQ(effect(Op::Add).Pushes, 1);
+  // Calls pop their arguments and push one result.
+  EXPECT_EQ(effect(Op::Call, 0, 3).Pops, 3);
+  EXPECT_EQ(effect(Op::Call, 0, 3).Pushes, 1);
+  EXPECT_EQ(effect(Op::Return).Pops, 1);
+  EXPECT_EQ(effect(Op::Return).Pushes, 0);
+}
+
+// --- Dataflow solver. ---
+
+/// Forward: can this block be reached without passing a BasicBlock
+/// marker? (Gen/kill on a one-bit lattice; join = logical OR.)
+struct MarkerFreeProblem {
+  using State = int; // -1 top, 0 no, 1 yes
+  State boundary() const { return 1; }
+  State top() const { return -1; }
+  bool join(State &Into, const State &From) const {
+    State New = Into == -1 ? From : (Into | From);
+    bool Changed = New != Into;
+    Into = New;
+    return Changed;
+  }
+  State transfer(const CFG &G, uint32_t Block, State In) const {
+    if (In != 1)
+      return In;
+    const BasicBlock &B = G.block(Block);
+    for (size_t I = B.Begin; I != B.End; ++I)
+      if (G.function().Code[I].Opcode == Op::BasicBlock)
+        return 0;
+    return 1;
+  }
+};
+
+/// Backward: number of blocks on the shortest path to a function exit
+/// (min join) — exercises the against-the-edges propagation.
+struct DistanceToExitProblem {
+  using State = int; // large = top
+  static constexpr int Inf = 1 << 20;
+  State boundary() const { return 0; }
+  State top() const { return Inf; }
+  bool join(State &Into, const State &From) const {
+    int New = std::min(Into, From);
+    bool Changed = New != Into;
+    Into = New;
+    return Changed;
+  }
+  State transfer(const CFG &, uint32_t, State Out) const {
+    return Out == Inf ? Inf : Out + 1;
+  }
+};
+
+TEST(DataflowTest, ForwardReachesFixpointOnLoop) {
+  Program Prog = compile(R"(
+    fn main() {
+      var i = 0;
+      while (i < 5) { i = i + 1; }
+      return i;
+    })");
+  CFG G(Prog.Functions[Prog.EntryIndex]);
+  std::vector<int> Entry =
+      solveDataflow(G, MarkerFreeProblem(), Direction::Forward);
+  // The compiler emits a BasicBlock marker at the function entry, so
+  // every block *after* it — in particular every loop block — is
+  // reached only through a marker.
+  EXPECT_EQ(Entry[G.entry()], 1);
+  for (uint32_t B = 1; B != G.numBlocks(); ++B)
+    if (G.reachable(B))
+      EXPECT_EQ(Entry[B], 0) << "block " << B;
+}
+
+TEST(DataflowTest, BackwardDistanceToExit) {
+  Program Prog = compile(R"(
+    fn main() {
+      var x = 7;
+      if (x > 3) { x = 1; } else { x = 2; }
+      return x;
+    })");
+  CFG G(Prog.Functions[Prog.EntryIndex]);
+  std::vector<int> Exit =
+      solveDataflow(G, DistanceToExitProblem(), Direction::Backward);
+  // Exit blocks see distance 0; everything reachable sees a finite
+  // distance that decreases along some successor edge.
+  for (uint32_t B = 0; B != G.numBlocks(); ++B) {
+    if (!G.reachable(B))
+      continue;
+    ASSERT_LT(Exit[B], DistanceToExitProblem::Inf) << "block " << B;
+    if (G.block(B).Succs.empty())
+      EXPECT_EQ(Exit[B], 0);
+    else {
+      int Best = DistanceToExitProblem::Inf;
+      for (uint32_t S : G.block(B).Succs)
+        Best = std::min(Best, Exit[S]);
+      EXPECT_EQ(Exit[B], Best + 1);
+    }
+  }
+}
+
+// --- Verifier. ---
+
+TEST(VerifierTest, CompilerAndOptimizerOutputVerifyClean) {
+  const char *Sources[] = {
+      "fn main() { return 0; }",
+      R"(
+        var a[16];
+        var g;
+        fn helper(x, y) { return x * y + a[x % 16]; }
+        fn main() {
+          g = 0;
+          for (var i = 0; i < 8; i = i + 1) {
+            a[i] = helper(i, i + 1);
+            g = g + a[i];
+          }
+          var t = spawn helper(2, 3);
+          print(join(t));
+          return g;
+        })",
+  };
+  for (const char *Source : Sources) {
+    Program Prog = compile(Source);
+    EXPECT_TRUE(verifyProgram(Prog).ok()) << Source;
+    optimizeProgram(Prog);
+    VerifyResult R = verifyProgram(Prog);
+    EXPECT_TRUE(R.ok()) << R.render(Prog);
+  }
+}
+
+/// A minimal structurally-valid program to corrupt: main with one
+/// local, one global cell.
+Program tinyProgram() {
+  Program Prog;
+  Prog.GlobalCells = 1;
+  Function F;
+  F.Name = "main";
+  F.NumLocals = 1;
+  F.Code.push_back({Op::PushConst, 0, 0});
+  F.Code.push_back({Op::Return, 0, 0});
+  Prog.Functions.push_back(std::move(F));
+  return Prog;
+}
+
+TEST(VerifierTest, AcceptsTinyProgram) {
+  Program Prog = tinyProgram();
+  VerifyResult R = verifyProgram(Prog);
+  EXPECT_TRUE(R.ok()) << R.render(Prog);
+}
+
+TEST(VerifierTest, RejectsStructuralCorruption) {
+  struct Case {
+    const char *Label;
+    void (*Corrupt)(Program &);
+  } Cases[] = {
+      {"opcode out of range",
+       [](Program &P) {
+         P.Functions[0].Code[0].Opcode = static_cast<Op>(200);
+       }},
+      {"jump target out of range",
+       [](Program &P) {
+         P.Functions[0].Code[0] = {Op::Jump, 99, 0};
+       }},
+      {"negative jump target",
+       [](Program &P) {
+         P.Functions[0].Code[0] = {Op::Jump, -1, 0};
+       }},
+      {"falls off the end",
+       [](Program &P) { P.Functions[0].Code.pop_back(); }},
+      {"local slot out of range",
+       [](Program &P) {
+         P.Functions[0].Code[0] = {Op::LoadLocal, 5, 0};
+       }},
+      {"global address outside region",
+       [](Program &P) {
+         P.Functions[0].Code[0] = {Op::LoadGlobal, 3, 0};
+       }},
+      {"callee index invalid",
+       [](Program &P) {
+         P.Functions[0].Code[0] = {Op::Call, 7, 0};
+       }},
+      {"builtin arity mismatch",
+       [](Program &P) {
+         P.Functions[0].Code[0] = {
+             Op::CallBuiltin, static_cast<int64_t>(Builtin::Print), 0};
+       }},
+      {"builtin id invalid",
+       [](Program &P) {
+         P.Functions[0].Code[0] = {Op::CallBuiltin, 99, 0};
+       }},
+      {"stray operand on plain opcode",
+       [](Program &P) {
+         P.Functions[0].Code[0] = {Op::Nop, 0, 1};
+       }},
+      {"quiet mark on non-access opcode",
+       [](Program &P) {
+         P.Functions[0].Code[0] = {Op::PushConst, 0, 1};
+       }},
+      {"params exceed locals",
+       [](Program &P) { P.Functions[0].NumParams = 3; }},
+      {"entry index invalid",
+       [](Program &P) { P.EntryIndex = 4; }},
+  };
+  for (const Case &C : Cases) {
+    Program Prog = tinyProgram();
+    C.Corrupt(Prog);
+    EXPECT_FALSE(verifyProgram(Prog).ok()) << C.Label;
+  }
+}
+
+TEST(VerifierTest, RejectsStackDisciplineViolations) {
+  // Underflow: Add on an empty stack.
+  {
+    Program Prog = tinyProgram();
+    Prog.Functions[0].Code.insert(Prog.Functions[0].Code.begin(),
+                                  {Op::Add, 0, 0});
+    EXPECT_FALSE(verifyProgram(Prog).ok());
+  }
+  // Return with an empty stack.
+  {
+    Program Prog = tinyProgram();
+    Prog.Functions[0].Code = {{Op::Return, 0, 0}};
+    EXPECT_FALSE(verifyProgram(Prog).ok());
+  }
+  // Join-depth conflict: two paths reach the same target with depths
+  // 0 and 2.
+  {
+    Program Prog = tinyProgram();
+    Prog.Functions[0].Code = {
+        {Op::PushConst, 1, 0},  // 0: depth 0 -> 1
+        {Op::JumpIfTrue, 4, 0}, // 1: pops; taken -> pc 4 at depth 0
+        {Op::PushConst, 2, 0},  // 2: depth 0 -> 1
+        {Op::PushConst, 3, 0},  // 3: depth 1 -> 2; falls into pc 4
+        {Op::PushConst, 9, 0},  // 4: joined at depth 0 vs 2: conflict
+        {Op::Return, 0, 0},
+    };
+    EXPECT_FALSE(verifyProgram(Prog).ok());
+  }
+}
+
+TEST(VerifierTest, RenderNamesFunctionAndPc) {
+  Program Prog = tinyProgram();
+  Prog.Functions[0].Code[0] = {Op::Jump, 99, 0};
+  VerifyResult R = verifyProgram(Prog);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.render(Prog).find("main"), std::string::npos);
+}
+
+// --- Points-to. ---
+
+TEST(PointsToTest, GlobalArrayConstIndexIsPreciseBounded) {
+  Program Prog = compile(R"(
+    var a[8];
+    fn main() {
+      a[2] = 5;
+      return a[2];
+    })");
+  PointsToResult PT = computePointsTo(Prog);
+  ASSERT_FALSE(Prog.GlobalArrays.empty());
+  size_t Fn = Prog.EntryIndex;
+  const Function &F = Prog.Functions[Fn];
+  unsigned Checked = 0;
+  for (size_t Pc = 0; Pc != F.Code.size(); ++Pc) {
+    Op O = F.Code[Pc].Opcode;
+    if (O != Op::LoadIndirect && O != Op::StoreIndirect)
+      continue;
+    const SiteFacts *Facts = PT.siteFacts(Fn, Pc);
+    ASSERT_NE(Facts, nullptr);
+    EXPECT_TRUE(Facts->BaseKnown);
+    EXPECT_TRUE(Facts->PreciseBoundedBase);
+    EXPECT_EQ(Facts->MinCells, 8u);
+    ASSERT_EQ(Facts->Objects.size(), 1u);
+    EXPECT_EQ(PT.Objects[Facts->Objects[0]].K,
+              AbstractObject::Kind::GlobalArray);
+    EXPECT_EQ(F.Code[Pc].Opcode == Op::StoreIndirect, Facts->IsStore);
+    ++Checked;
+  }
+  EXPECT_EQ(Checked, 2u);
+  EXPECT_FALSE(PT.HasWildStore);
+  EXPECT_GT(PT.TotalFacts, 0u);
+}
+
+TEST(PointsToTest, PointerArithmeticTaintsPrecision) {
+  // p = a + 1 still points into a's storage (provenance tracked) but is
+  // no longer the exact base: PreciseBoundedBase must be off.
+  Program Prog = compile(R"(
+    var a[8];
+    fn main() {
+      var p = a + 1;
+      return p[0];
+    })");
+  PointsToResult PT = computePointsTo(Prog);
+  size_t Fn = Prog.EntryIndex;
+  const Function &F = Prog.Functions[Fn];
+  for (size_t Pc = 0; Pc != F.Code.size(); ++Pc) {
+    if (F.Code[Pc].Opcode != Op::LoadIndirect)
+      continue;
+    const SiteFacts *Facts = PT.siteFacts(Fn, Pc);
+    ASSERT_NE(Facts, nullptr);
+    EXPECT_TRUE(Facts->BaseKnown);
+    EXPECT_FALSE(Facts->PreciseBoundedBase);
+  }
+}
+
+TEST(PointsToTest, PointerFlowsThroughCallsAndGlobals) {
+  // The base reaches the access through a global cell and a call
+  // boundary; provenance must survive both.
+  Program Prog = compile(R"(
+    var buf;
+    fn reader(p) { return p[0]; }
+    fn main() {
+      buf = alloc(4);
+      return reader(buf);
+    })");
+  PointsToResult PT = computePointsTo(Prog);
+  const Function *Reader = Prog.findFunction("reader");
+  ASSERT_NE(Reader, nullptr);
+  size_t Fn = static_cast<size_t>(Reader - Prog.Functions.data());
+  unsigned Found = 0;
+  for (size_t Pc = 0; Pc != Reader->Code.size(); ++Pc) {
+    if (Reader->Code[Pc].Opcode != Op::LoadIndirect)
+      continue;
+    const SiteFacts *Facts = PT.siteFacts(Fn, Pc);
+    ASSERT_NE(Facts, nullptr);
+    EXPECT_TRUE(Facts->BaseKnown);
+    ASSERT_EQ(Facts->Objects.size(), 1u);
+    EXPECT_EQ(PT.Objects[Facts->Objects[0]].K,
+              AbstractObject::Kind::HeapSite);
+    ++Found;
+  }
+  EXPECT_EQ(Found, 1u);
+}
+
+TEST(PointsToTest, RawStoreBuiltinIsWild) {
+  Program Prog = compile(R"(
+    fn main() {
+      store(16, 1);
+      return load(16);
+    })");
+  PointsToResult PT = computePointsTo(Prog);
+  EXPECT_TRUE(PT.HasWildStore);
+}
+
+// --- Lockset lint. ---
+
+TEST(LintTest, FlagsUnprotectedSharedGlobal) {
+  Program Prog = compile(R"(
+    var racy;
+    var safe;
+    var lk;
+    fn worker(n) {
+      for (var i = 0; i < n; i = i + 1) {
+        racy = racy + 1;
+        lock_acquire(lk);
+        safe = safe + 1;
+        lock_release(lk);
+      }
+      return 0;
+    }
+    fn main() {
+      lk = lock_create();
+      racy = 0;
+      safe = 0;
+      var a = spawn worker(10);
+      var b = spawn worker(10);
+      join(a);
+      join(b);
+      lock_acquire(lk);
+      var t = safe;
+      lock_release(lk);
+      return t;
+    })");
+  LintReport Report = runLocksetLint(Prog);
+  EXPECT_GE(Report.ContextCount, 3u);
+  ASSERT_EQ(Report.Warnings.size(), 1u);
+  EXPECT_EQ(Report.Warnings[0].Address, GlobalBase); // racy: first cell
+  EXPECT_EQ(Report.Warnings[0].Name, "racy");
+  EXPECT_GE(Report.Warnings[0].Contexts, 2u);
+  EXPECT_GE(Report.Warnings[0].Writers, 1u);
+  EXPECT_NE(Report.render().find("possible race at address 16"),
+            std::string::npos);
+}
+
+TEST(LintTest, SilentOnConsistentLocking) {
+  Program Prog = compile(R"(
+    var count;
+    var lk;
+    fn worker(n) {
+      for (var i = 0; i < n; i = i + 1) {
+        lock_acquire(lk);
+        count = count + 1;
+        lock_release(lk);
+      }
+      return 0;
+    }
+    fn main() {
+      lk = lock_create();
+      count = 0;
+      var a = spawn worker(10);
+      var b = spawn worker(10);
+      join(a);
+      join(b);
+      lock_acquire(lk);
+      var t = count;
+      lock_release(lk);
+      return t;
+    })");
+  LintReport Report = runLocksetLint(Prog);
+  EXPECT_TRUE(Report.Warnings.empty()) << Report.render();
+  EXPECT_NE(Report.render().find("0 location(s)"), std::string::npos);
+}
+
+TEST(LintTest, InitPhaseWritesAreNotRaces) {
+  // Main writes g before spawning; the worker only reads it. One
+  // post-spawn writer context is required for a warning.
+  Program Prog = compile(R"(
+    var g;
+    fn worker(n) { return g + n; }
+    fn main() {
+      g = 42;
+      var a = spawn worker(1);
+      var b = spawn worker(2);
+      return join(a) + join(b);
+    })");
+  LintReport Report = runLocksetLint(Prog);
+  EXPECT_TRUE(Report.Warnings.empty()) << Report.render();
+}
+
+TEST(LintTest, SpawnInLoopCountsAsManyThreads) {
+  // One spawn site inside a loop: the worker races with its own other
+  // instances even though there is a single Spawn instruction.
+  Program Prog = compile(R"(
+    var g;
+    fn worker(n) {
+      g = g + n;
+      return 0;
+    }
+    fn main() {
+      g = 0;
+      for (var i = 0; i < 4; i = i + 1) {
+        var t = spawn worker(i);
+        join(t);
+      }
+      return g;
+    })");
+  LintReport Report = runLocksetLint(Prog);
+  ASSERT_EQ(Report.Warnings.size(), 1u);
+  EXPECT_EQ(Report.Warnings[0].Name, "g");
+}
+
+TEST(LintTest, SingleThreadedProgramsNeverWarn) {
+  Program Prog = compile(R"(
+    var g;
+    fn main() {
+      g = 1;
+      g = g + 1;
+      return g;
+    })");
+  LintReport Report = runLocksetLint(Prog);
+  EXPECT_EQ(Report.ContextCount, 1u);
+  EXPECT_TRUE(Report.Warnings.empty());
+}
+
+TEST(LintTest, ArrayAccessesAttributedThroughPointsTo) {
+  // Two threads write a global array through indirect stores with no
+  // lock: the storage base must be flagged via points-to attribution.
+  Program Prog = compile(R"(
+    var a[8];
+    fn worker(i) {
+      a[i] = i;
+      return 0;
+    }
+    fn main() {
+      var x = spawn worker(1);
+      var y = spawn worker(2);
+      join(x);
+      join(y);
+      return a[1];
+    })");
+  LintReport Report = runLocksetLint(Prog);
+  ASSERT_EQ(Report.Warnings.size(), 1u);
+  EXPECT_TRUE(Report.Warnings[0].IsArray);
+  EXPECT_EQ(Report.Warnings[0].Name, "a");
+  EXPECT_EQ(Report.Warnings[0].Address, Prog.GlobalArrays[0].Base);
+}
+
+// --- End to end: verified programs run clean. ---
+
+TEST(AnalysisIntegration, VerifiedExamplesExecute) {
+  Program Prog = compile(R"(
+    var a[4];
+    fn main() {
+      for (var i = 0; i < 4; i = i + 1) { a[i] = i * i; }
+      return a[3];
+    })");
+  optimizeProgram(Prog);
+  ASSERT_TRUE(verifyProgram(Prog).ok());
+  RunResult R = Machine(Prog, nullptr).run();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitCode, 9);
+}
+
+} // namespace

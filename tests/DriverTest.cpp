@@ -124,6 +124,53 @@ TEST(Driver, CheckAndDisasm) {
             std::string::npos);
 }
 
+TEST(Driver, VerifyBytecodeAcceptsShippedExamples) {
+  for (const char *Name : {"quickstart.mini", "race.mini", "locked.mini",
+                           "leak.mini", "stream.mini"}) {
+    CommandResult R =
+        runDriver("check " + guest(Name) + " --verify-bytecode");
+    EXPECT_EQ(R.ExitCode, 0) << Name << "\n" << R.Output;
+    EXPECT_NE(R.Output.find("bytecode verified"), std::string::npos)
+        << Name;
+    // Optimized bytecode must verify too (quiet marks included).
+    CommandResult Opt = runDriver("check " + guest(Name) +
+                                  " --verify-bytecode --optimize");
+    EXPECT_EQ(Opt.ExitCode, 0) << Name << "\n" << Opt.Output;
+  }
+}
+
+TEST(Driver, LintFlagsRaceAndStaysSilentOnLockedExample) {
+  // The static lint agrees with the dynamic drd tool on the shipped
+  // pair: race.mini's unsynchronized counter (the first global, address
+  // 16) is flagged; the lock-disciplined locked.mini is clean.
+  CommandResult Racy = runDriver("check " + guest("race.mini") + " --lint");
+  EXPECT_EQ(Racy.ExitCode, 0) << Racy.Output;
+  EXPECT_NE(Racy.Output.find("lint: 1 location(s) with empty candidate "
+                             "lockset"),
+            std::string::npos)
+      << Racy.Output;
+  EXPECT_NE(Racy.Output.find("possible race at address 16"),
+            std::string::npos);
+
+  CommandResult Clean =
+      runDriver("check " + guest("locked.mini") + " --lint");
+  EXPECT_EQ(Clean.ExitCode, 0) << Clean.Output;
+  EXPECT_NE(Clean.Output.find("lint: 0 location(s) with empty candidate "
+                              "lockset"),
+            std::string::npos)
+      << Clean.Output;
+  EXPECT_EQ(Clean.Output.find("possible race"), std::string::npos);
+}
+
+TEST(Driver, LintRunsUnderRunCommandToo) {
+  CommandResult R = runDriver("run " + guest("race.mini") +
+                              " --lint --tools=drd");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  // Static prediction and dynamic confirmation in one invocation.
+  EXPECT_NE(R.Output.find("lint: 1 location(s)"), std::string::npos);
+  EXPECT_NE(R.Output.find("drd: 1 location(s)"), std::string::npos);
+}
+
 TEST(Driver, WorkloadCommand) {
   CommandResult R = runDriver("workload producer_consumer --size=32");
   EXPECT_EQ(R.ExitCode, 0) << R.Output;

@@ -20,6 +20,8 @@
 #include "obs/Obs.h"
 #include "obs/TraceLog.h"
 
+#include "analysis/LocksetLint.h"
+#include "analysis/Verifier.h"
 #include "core/TrmsProfiler.h"
 #include "instr/Dispatcher.h"
 #include "tools/NulTool.h"
@@ -346,6 +348,58 @@ TEST(ObsQuiet, SuppressionVsWindowAbortTallies) {
   EXPECT_GT(Stormy.QuietWindowAborts, 0u);
   EXPECT_GT(Stormy.QuietWindowAborts, Calm.QuietWindowAborts);
   EXPECT_LT(Stormy.QuietEventsSuppressed, Calm.QuietEventsSuppressed);
+}
+
+TEST(ObsAnalysis, PassCountersAndTimersRegister) {
+  // Every analysis pass folds its findings and wall time into the
+  // registry: the CFG/verifier pair, points-to, the lint, and the
+  // quiet-marking phase (with its indirect-mark count).
+  obs::setStatsEnabled(true);
+  obs::Registry &Reg = obs::Registry::get();
+  uint64_t Blocks0 = Reg.counter("analysis.cfg_blocks").value();
+  uint64_t Facts0 = Reg.counter("analysis.points_to_facts").value();
+  uint64_t Warn0 = Reg.counter("analysis.lint_warnings").value();
+  uint64_t Fail0 = Reg.counter("analysis.verifier_failures").value();
+  uint64_t Indirect0 =
+      Reg.counter("analysis.quiet_indirect_marked").value();
+
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = compileProgram(R"(
+    var shared;
+    var a[8];
+    fn worker(n) {
+      shared = shared + a[2] + a[2] * n;
+      return 0;
+    }
+    fn main() {
+      var t = spawn worker(3);
+      shared = join(t);
+      return shared;
+    })",
+                                               Diags);
+  ASSERT_TRUE(Prog.has_value()) << Diags.render();
+  optimizeProgram(*Prog);
+  EXPECT_TRUE(analysis::verifyProgram(*Prog).ok());
+  analysis::LintReport Lint = analysis::runLocksetLint(*Prog);
+  EXPECT_FALSE(Lint.Warnings.empty());
+
+  EXPECT_GT(Reg.counter("analysis.cfg_blocks").value(), Blocks0);
+  EXPECT_GT(Reg.counter("analysis.points_to_facts").value(), Facts0);
+  EXPECT_GT(Reg.counter("analysis.lint_warnings").value(), Warn0);
+  EXPECT_EQ(Reg.counter("analysis.verifier_failures").value(), Fail0);
+  EXPECT_GT(Reg.counter("analysis.quiet_indirect_marked").value(),
+            Indirect0);
+  // Pass timers accumulated real time.
+  EXPECT_GT(Reg.counter("analysis.verify_ns").value(), 0u);
+  EXPECT_GT(Reg.counter("analysis.points_to_ns").value(), 0u);
+  EXPECT_GT(Reg.counter("analysis.lint_ns").value(), 0u);
+  EXPECT_GT(Reg.counter("analysis.quiet_mark_ns").value(), 0u);
+
+  // A corrupt program bumps the failure counter.
+  Prog->Functions[0].Code[0] = {Op::Jump, 9999, 0};
+  EXPECT_FALSE(analysis::verifyProgram(*Prog).ok());
+  EXPECT_GT(Reg.counter("analysis.verifier_failures").value(), Fail0);
+  obs::setStatsEnabled(false);
 }
 
 TEST(ObsQuiet, NativeRunsKeepTalliesZero) {

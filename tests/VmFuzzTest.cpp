@@ -18,6 +18,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Verifier.h"
 #include "core/NaiveProfiler.h"
 #include "core/TrmsProfiler.h"
 #include "instr/Dispatcher.h"
@@ -279,6 +280,97 @@ TEST_P(VmFuzzTest, OptimizerPreservesBehaviour) {
   EXPECT_EQ(Plain.Stats.MemReads, Optimized.Stats.MemReads);
   EXPECT_EQ(Plain.Stats.MemWrites, Optimized.Stats.MemWrites);
   EXPECT_LE(Optimized.Stats.Instructions, Plain.Stats.Instructions);
+}
+
+TEST_P(VmFuzzTest, OptimizedProgramsVerifyClean) {
+  // The verifier must accept everything the compile+optimize pipeline
+  // can produce — including quiet marks on all five access opcodes.
+  ProgramFuzzer Fuzzer(GetParam());
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = compileProgram(Fuzzer.generate(), Diags);
+  ASSERT_TRUE(Prog.has_value()) << Diags.render();
+  ASSERT_TRUE(analysis::verifyProgram(*Prog).ok());
+  optimizeProgram(*Prog);
+  analysis::VerifyResult R = analysis::verifyProgram(*Prog);
+  EXPECT_TRUE(R.ok()) << R.render(*Prog);
+}
+
+/// Applies one random corruption to a random instruction of \p Prog.
+void mutateProgram(Program &Prog, Rng &R) {
+  if (Prog.Functions.empty())
+    return;
+  Function &F =
+      Prog.Functions[R.nextBelow(Prog.Functions.size())];
+  if (F.Code.empty())
+    return;
+  Instr &I = F.Code[R.nextBelow(F.Code.size())];
+  switch (R.nextBelow(4)) {
+  case 0: // random (possibly invalid) opcode
+    I.Opcode = static_cast<Op>(R.nextBelow(48));
+    break;
+  case 1: // operand A: wild value, often near the code bounds
+    I.A = static_cast<int64_t>(R.nextBelow(2 * F.Code.size() + 8)) - 4;
+    break;
+  case 2: // operand B: stray marks and bogus argument counts
+    I.B = static_cast<int64_t>(R.nextBelow(6)) - 1;
+    break;
+  default: // full random instruction
+    I.Opcode = static_cast<Op>(R.nextBelow(48));
+    I.A = static_cast<int64_t>(R.nextBelow(256)) - 128;
+    I.B = static_cast<int64_t>(R.nextBelow(6)) - 1;
+    break;
+  }
+}
+
+TEST_P(VmFuzzTest, VerifierRejectsOrMachineRunsClean) {
+  // The adversarial contract from the analysis layer: for ANY byte
+  // sequence, either the verifier rejects it, or the Machine executes
+  // it to a *defined* result (normal exit or runtimeError diagnostic —
+  // never an interpreter assertion or UB). Mutate real compiled
+  // programs so most mutants are near-valid, the hardest region.
+  ProgramFuzzer Fuzzer(GetParam());
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = compileProgram(Fuzzer.generate(), Diags);
+  ASSERT_TRUE(Prog.has_value()) << Diags.render();
+
+  Rng R(GetParam() * 7919 + 1);
+  for (unsigned Trial = 0; Trial != 40; ++Trial) {
+    Program Mutant = *Prog;
+    unsigned Mutations = 1 + static_cast<unsigned>(R.nextBelow(4));
+    for (unsigned M = 0; M != Mutations; ++M)
+      mutateProgram(Mutant, R);
+    if (!analysis::verifyProgram(Mutant).ok())
+      continue;
+    MachineOptions Opts;
+    Opts.MaxInstructions = 1u << 16; // mutants may loop forever
+    RunResult Result = Machine(Mutant, nullptr, Opts).run();
+    // Ok or a defined runtime error are both acceptable; reaching this
+    // line at all (no assert/crash) is the property under test.
+    if (!Result.Ok)
+      EXPECT_FALSE(Result.Error.empty());
+  }
+}
+
+TEST(VmFuzzVerifier, MutationCampaignExercisesBothOutcomes) {
+  // Sanity for the harness above: across one deterministic campaign the
+  // verifier must both reject corrupt mutants and accept some (the
+  // do-nothing mutations), or the property test is vacuous.
+  ProgramFuzzer Fuzzer(5);
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = compileProgram(Fuzzer.generate(), Diags);
+  ASSERT_TRUE(Prog.has_value()) << Diags.render();
+  Rng R(12345);
+  unsigned Accepted = 0, Rejected = 0;
+  for (unsigned Trial = 0; Trial != 200; ++Trial) {
+    Program Mutant = *Prog;
+    mutateProgram(Mutant, R);
+    if (analysis::verifyProgram(Mutant).ok())
+      ++Accepted;
+    else
+      ++Rejected;
+  }
+  EXPECT_GT(Rejected, 0u);
+  EXPECT_GT(Accepted, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, VmFuzzTest,

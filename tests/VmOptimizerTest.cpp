@@ -18,6 +18,7 @@
 #include "core/TrmsProfiler.h"
 #include "instr/Dispatcher.h"
 #include "vm/Compiler.h"
+#include "vm/Disasm.h"
 #include "vm/Machine.h"
 #include "workloads/Runner.h"
 
@@ -179,6 +180,158 @@ INSTANTIATE_TEST_SUITE_P(Workloads, OptimizerWorkloadTest,
                                            "dedup", "md", "smithwa",
                                            "kdtree", "sort_compare",
                                            "producer_consumer"),
+                         [](const ::testing::TestParamInfo<const char *>
+                                &Info) { return Info.param; });
+
+// --- Quiet-indirect marking (the analysis-layer extension). ---
+
+TEST(QuietIndirect, GoldenDisassembly) {
+  // One fixed program exercising the whole quiet story: read-after-write
+  // locals, the indirect re-read of a[i], and value caches surviving a
+  // frame-safe constant-index store into immutable array storage. The
+  // exact mark placement is load-bearing — any change to it must be a
+  // deliberate (and re-proven) change to the pass.
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = compileProgram(R"(
+    var a[8];
+    fn main() {
+      var i = 2;
+      var x = a[i];
+      var y = a[i] + x;
+      a[i] = y;
+      x = x + y;
+      print(x);
+      return 0;
+    })",
+                                               Diags);
+  ASSERT_TRUE(Prog.has_value()) << Diags.render();
+  OptimizerStats Stats = optimizeProgram(*Prog);
+  EXPECT_GE(Stats.QuietIndirectMarked, 1u);
+  EXPECT_EQ(disassembleFunction(Prog->Functions[0], &*Prog),
+            "fn main (0 params, 3 locals):\n"
+            "     0  basic_block\n"
+            "     1  push_const     2\n"
+            "     2  store_local    0\n"
+            "     3  load_global    16\n"
+            "     4  load_local     0  ; quiet\n"
+            "     5  load_indirect\n"
+            "     6  store_local    1\n"
+            "     7  load_global    16  ; quiet\n"
+            "     8  load_local     0  ; quiet\n"
+            "     9  load_indirect  ; quiet\n"
+            "    10  load_local     1  ; quiet\n"
+            "    11  add\n"
+            "    12  store_local    2\n"
+            "    13  load_global    16  ; quiet\n"
+            "    14  load_local     0  ; quiet\n"
+            "    15  load_local     2  ; quiet\n"
+            "    16  store_indirect\n"
+            "    17  load_local     1  ; quiet\n"
+            "    18  load_local     2  ; quiet\n"
+            "    19  add\n"
+            "    20  store_local    1  ; quiet\n"
+            "    21  load_local     1  ; quiet\n"
+            "    22  call_builtin   print, 1 args\n"
+            "    23  pop\n"
+            "    24  push_const     0\n"
+            "    25  return\n"
+            "    26  push_const     0\n"
+            "    27  return\n");
+}
+
+TEST(QuietIndirect, RepeatedWriteIsQuietButFirstWriteIsNot) {
+  // A store is quiet only when the address was already *written* this
+  // window — write timestamps must advance on the first store even if
+  // the cell was read before.
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = compileProgram(R"(
+    var a[4];
+    fn main() {
+      a[1] = 10;
+      a[1] = 20;
+      return a[1];
+    })",
+                                               Diags);
+  ASSERT_TRUE(Prog.has_value()) << Diags.render();
+  optimizeProgram(*Prog);
+  std::vector<int> StoreMarks, LoadMarks;
+  for (const Instr &I : Prog->Functions[0].Code) {
+    if (I.Opcode == Op::StoreIndirect)
+      StoreMarks.push_back(static_cast<int>(I.B));
+    if (I.Opcode == Op::LoadIndirect)
+      LoadMarks.push_back(static_cast<int>(I.B));
+  }
+  ASSERT_EQ(StoreMarks.size(), 2u);
+  EXPECT_EQ(StoreMarks[0], 0); // first write: event must fire
+  EXPECT_EQ(StoreMarks[1], 1); // repeated write: redundant
+  ASSERT_EQ(LoadMarks.size(), 1u);
+  EXPECT_EQ(LoadMarks[0], 1); // read after write: redundant
+}
+
+/// Returns \p Prog with every quiet mark cleared. Instruction streams
+/// (and hence scheduling) are identical to the marked program; only
+/// event suppression differs.
+Program stripQuietMarks(Program Prog) {
+  for (Function &F : Prog.Functions)
+    for (Instr &I : F.Code)
+      switch (I.Opcode) {
+      case Op::LoadLocal:
+      case Op::StoreLocal:
+      case Op::LoadGlobal:
+      case Op::StoreGlobal:
+      case Op::LoadIndirect:
+      case Op::StoreIndirect:
+        I.B = 0;
+        break;
+      default:
+        break;
+      }
+  return Prog;
+}
+
+class QuietIndirectWorkloadTest
+    : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(QuietIndirectWorkloadTest, MarksFireAndProfilesAreByteIdentical) {
+  // The acceptance gate for alias-driven marking: the pass marks real
+  // indirect accesses on these workloads, and honoring the marks leaves
+  // the trms profile byte-identical to running the *same* optimized
+  // program with all marks stripped (identical instruction streams, so
+  // multithreaded scheduling matches exactly).
+  const WorkloadInfo *W = findWorkload(GetParam());
+  ASSERT_NE(W, nullptr);
+  WorkloadParams Params;
+  Params.Threads = 3;
+  Params.Size = 48;
+  std::optional<Program> Prog = compileWorkload(*W, Params);
+  ASSERT_TRUE(Prog.has_value());
+  OptimizerStats Stats = optimizeProgram(*Prog);
+  EXPECT_GT(Stats.QuietIndirectMarked, 0u);
+
+  auto profile = [](const Program &P, RunStats *StatsOut) {
+    TrmsProfilerOptions Opts;
+    Opts.KeepActivationLog = true;
+    TrmsProfiler Profiler(Opts);
+    EventDispatcher D;
+    D.addTool(&Profiler);
+    Machine M(P, &D);
+    RunResult R = M.run();
+    EXPECT_TRUE(R.Ok) << R.Error;
+    *StatsOut = R.Stats;
+    return Profiler.takeDatabase();
+  };
+
+  RunStats Marked, Stripped;
+  ProfileDatabase WithMarks = profile(*Prog, &Marked);
+  ProfileDatabase NoMarks = profile(stripQuietMarks(*Prog), &Stripped);
+  EXPECT_EQ(WithMarks.log(), NoMarks.log());
+  EXPECT_EQ(Marked.Instructions, Stripped.Instructions);
+  EXPECT_GT(Marked.QuietIndirectSuppressed, 0u);
+  EXPECT_EQ(Stripped.QuietIndirectSuppressed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, QuietIndirectWorkloadTest,
+                         ::testing::Values("sort_compare", "botsalgn"),
                          [](const ::testing::TestParamInfo<const char *>
                                 &Info) { return Info.param; });
 
