@@ -111,6 +111,21 @@ std::string writeHotpathReport(unsigned Repeats = 5);
 /// (after printing a diagnostic) on failure.
 bool writeQuietIndirectSection(FILE *F, unsigned Repeats);
 
+/// Writes the "streaming" object of BENCH_hotpath.json into \p F:
+/// records the same workload at a small and a >=10x-larger event count
+/// through the chunked stream writer, reporting file bytes, the
+/// writer's peak buffered bytes (which must stay flat — the
+/// bounded-memory claim) against the in-memory recording vector's
+/// growth, and replay events/sec for the streaming reader vs the
+/// in-memory reader. Returns false (after a diagnostic) on failure.
+bool writeStreamingSection(FILE *F, unsigned Repeats);
+
+/// Writes the "batch_capacity" array of BENCH_hotpath.json into \p F:
+/// the dispatcher hot path under aprof-trms swept over pending-batch
+/// capacities, reporting seconds, delivered events/sec, and flush
+/// counts per capacity. Returns false (after a diagnostic) on failure.
+bool writeBatchCapacitySection(FILE *F, unsigned Repeats);
+
 } // namespace isp
 
 #endif // ISPROF_BENCH_BENCHUTIL_H

@@ -32,8 +32,10 @@
 #include "obs/TraceLog.h"
 #include "support/CommandLine.h"
 #include "support/Format.h"
+#include "shadow/ShardedShadow.h"
 #include "tools/ToolRegistry.h"
 #include "trace/TraceFile.h"
+#include "trace/TraceStream.h"
 #include "vm/Compiler.h"
 #include "vm/Diag.h"
 #include "vm/Disasm.h"
@@ -73,6 +75,17 @@ int usage() {
       "                  worker threads (default: auto); tools pinned to\n"
       "                  the dispatch thread fall back to serial delivery\n"
       "  --record=PATH   (run) also record the event trace to PATH\n"
+      "  --record-stream=PATH   (run, workload) stream the event trace\n"
+      "                  to a chunked file as it happens: bounded memory\n"
+      "                  regardless of trace length\n"
+      "  --replay-stream=PATH   (replay) replay a chunked stream file\n"
+      "                  chunk by chunk (bounded memory); plain replay\n"
+      "                  also auto-detects stream files by magic\n"
+      "  --shadow-shards=N      shard the aprof-trms global wts shadow\n"
+      "                  by address range (power of two; default 1).\n"
+      "                  Profiles are identical across shard counts\n"
+      "  --batch-capacity=N     dispatcher pending-batch size (power of\n"
+      "                  two in [16, 65536]; default 256)\n"
       "  --verify-bytecode  statically verify the compiled bytecode;\n"
       "                  refuse to run on failure\n"
       "  --lint          static lockset lint: report globals shared\n"
@@ -130,6 +143,62 @@ void applyParallelTools(EventDispatcher &Dispatcher, int Workers) {
     Dispatcher.setParallelWorkers(static_cast<unsigned>(Workers));
 }
 
+/// Decodes a power-of-two numeric option in [\p Min, \p Max]. Returns
+/// false (after printing a diagnostic) on a malformed or out-of-range
+/// value; the option's default must itself be valid.
+bool parsePow2Option(const OptionParser &Options, const char *Name,
+                     uint64_t Min, uint64_t Max, uint64_t *Out) {
+  std::string V = Options.getString(Name);
+  char *End = nullptr;
+  unsigned long long N = std::strtoull(V.c_str(), &End, 10);
+  if (End == V.c_str() || *End != '\0' || N < Min || N > Max ||
+      (N & (N - 1)) != 0) {
+    std::fprintf(stderr,
+                 "isprof: invalid --%s value '%s' (expected a power of "
+                 "two in [%llu, %llu])\n",
+                 Name, V.c_str(), static_cast<unsigned long long>(Min),
+                 static_cast<unsigned long long>(Max));
+    return false;
+  }
+  *Out = N;
+  return true;
+}
+
+/// Decodes --shadow-shards into \p ToolOpts.
+bool parseShadowShards(const OptionParser &Options, ToolOptions *ToolOpts) {
+  uint64_t N = 1;
+  if (!parsePow2Option(Options, "shadow-shards", 1,
+                       ShardedShadow<uint64_t>::MaxShards, &N))
+    return false;
+  ToolOpts->ShadowShards = static_cast<unsigned>(N);
+  return true;
+}
+
+/// Decodes --batch-capacity and applies it to \p Dispatcher.
+bool applyBatchCapacity(const OptionParser &Options,
+                        EventDispatcher &Dispatcher) {
+  uint64_t N = EventDispatcher::DefaultBatchCapacity;
+  if (!parsePow2Option(Options, "batch-capacity",
+                       EventDispatcher::MinBatchCapacity,
+                       EventDispatcher::MaxBatchCapacity, &N))
+    return false;
+  Dispatcher.setBatchCapacity(static_cast<size_t>(N));
+  return true;
+}
+
+/// Exports the stream writer's counters into the obs registry so the
+/// bounded-memory CI assertions can read them from --stats output.
+void publishStreamStats(const TraceStreamWriter &Writer) {
+  if (!obs::statsEnabled())
+    return;
+  obs::Registry &R = obs::Registry::get();
+  R.counter("trace_stream.events_written").add(Writer.eventsWritten());
+  R.counter("trace_stream.chunks_written").add(Writer.chunksWritten());
+  R.counter("trace_stream.bytes_written").add(Writer.bytesWritten());
+  R.gauge("trace_stream.peak_buffered_bytes")
+      .noteMax(Writer.peakBufferedBytes());
+}
+
 std::vector<std::string> splitList(const std::string &Csv) {
   std::vector<std::string> Out;
   size_t Pos = 0;
@@ -152,10 +221,12 @@ struct ToolSet {
 
   /// Creates every requested tool; returns false on an unknown name.
   /// With \p Contexts set, each tool is wrapped in a ContextAdapter so
-  /// profiles are keyed by full call paths.
-  bool create(const std::string &Csv, bool Contexts = false) {
+  /// profiles are keyed by full call paths. \p ToolOpts carries the
+  /// construction knobs (--shadow-shards).
+  bool create(const std::string &Csv, bool Contexts = false,
+              ToolOptions ToolOpts = ToolOptions()) {
     for (const std::string &Name : splitList(Csv)) {
-      std::unique_ptr<Tool> T = makeTool(Name);
+      std::unique_ptr<Tool> T = makeTool(Name, ToolOpts);
       if (!T) {
         std::fprintf(stderr, "isprof: unknown tool '%s'; known tools:",
                      Name.c_str());
@@ -262,8 +333,12 @@ int commandRun(OptionParser &Options) {
   if (int Code = runStaticChecks(*Prog, Options))
     return Code;
 
+  ToolOptions ToolOpts;
+  if (!parseShadowShards(Options, &ToolOpts))
+    return 2;
   ToolSet Tools;
-  if (!Tools.create(Options.getString("tools"), Options.getFlag("contexts")))
+  if (!Tools.create(Options.getString("tools"), Options.getFlag("contexts"),
+                    ToolOpts))
     return 2;
 
   MachineOptions MachineOpts;
@@ -276,9 +351,20 @@ int commandRun(OptionParser &Options) {
   EventDispatcher Dispatcher;
   Tools.attach(Dispatcher);
   applyParallelTools(Dispatcher, ParallelWorkers);
+  if (!applyBatchCapacity(Options, Dispatcher))
+    return 2;
   std::string RecordPath = Options.getString("record");
   if (!RecordPath.empty())
     Dispatcher.enableRecording();
+  std::string StreamPath = Options.getString("record-stream");
+  TraceStreamWriter StreamWriter;
+  if (!StreamPath.empty()) {
+    if (!StreamWriter.open(StreamPath, Prog->Symbols.entries())) {
+      std::fprintf(stderr, "isprof: %s\n", StreamWriter.error().c_str());
+      return 1;
+    }
+    Dispatcher.setRecordSink(&StreamWriter);
+  }
 
   Machine M(*Prog, &Dispatcher, MachineOpts);
   RunResult Result = M.run();
@@ -308,6 +394,18 @@ int commandRun(OptionParser &Options) {
     std::printf("[trace: %zu events -> %s]\n\n", Data.Events.size(),
                 RecordPath.c_str());
   }
+  if (!StreamPath.empty()) {
+    if (!StreamWriter.close()) {
+      std::fprintf(stderr, "isprof: %s\n", StreamWriter.error().c_str());
+      return 1;
+    }
+    publishStreamStats(StreamWriter);
+    std::printf("[stream: %s events in %s chunks -> %s (%s)]\n\n",
+                formatWithCommas(StreamWriter.eventsWritten()).c_str(),
+                formatWithCommas(StreamWriter.chunksWritten()).c_str(),
+                StreamPath.c_str(),
+                formatBytes(StreamWriter.bytesWritten()).c_str());
+  }
 
   std::string HtmlPath = Options.getString("html");
   if (!HtmlPath.empty() && !Tools.writeHtml(HtmlPath, &Prog->Symbols))
@@ -317,22 +415,29 @@ int commandRun(OptionParser &Options) {
 }
 
 int commandReplay(OptionParser &Options) {
-  if (Options.positional().size() < 2) {
-    std::fprintf(stderr, "isprof replay: missing trace file\n");
-    return 2;
+  // --replay-stream names a chunked stream explicitly; a positional
+  // trace that carries the stream magic is streamed too, so `isprof
+  // replay file` works for either format.
+  std::string StreamPath = Options.getString("replay-stream");
+  std::string TracePath;
+  if (StreamPath.empty()) {
+    if (Options.positional().size() < 2) {
+      std::fprintf(stderr, "isprof replay: missing trace file\n");
+      return 2;
+    }
+    TracePath = Options.positional()[1];
+    if (isTraceStreamFile(TracePath)) {
+      StreamPath = TracePath;
+      TracePath.clear();
+    }
   }
-  TraceData Data;
-  if (!readTraceFile(Options.positional()[1], Data)) {
-    std::fprintf(stderr, "isprof: cannot read trace %s\n",
-                 Options.positional()[1].c_str());
-    return 1;
-  }
-  SymbolTable Symbols;
-  for (const auto &[Id, Name] : Data.Routines)
-    Symbols.intern(Name);
 
+  ToolOptions ToolOpts;
+  if (!parseShadowShards(Options, &ToolOpts))
+    return 2;
   ToolSet Tools;
-  if (!Tools.create(Options.getString("tools")))
+  if (!Tools.create(Options.getString("tools"), /*Contexts=*/false,
+                    ToolOpts))
     return 2;
   int ParallelWorkers = -1;
   if (!parseParallelTools(Options, &ParallelWorkers))
@@ -340,6 +445,51 @@ int commandReplay(OptionParser &Options) {
   EventDispatcher Dispatcher;
   Tools.attach(Dispatcher);
   applyParallelTools(Dispatcher, ParallelWorkers);
+  if (!applyBatchCapacity(Options, Dispatcher))
+    return 2;
+
+  if (!StreamPath.empty()) {
+    // Bounded-memory replay: pull one chunk at a time into a reused
+    // buffer and enqueue through the batching hot path.
+    TraceStreamReader Reader;
+    if (!Reader.open(StreamPath)) {
+      std::fprintf(stderr, "isprof: cannot read stream %s: %s\n",
+                   StreamPath.c_str(), Reader.error().c_str());
+      return 1;
+    }
+    SymbolTable Symbols;
+    for (const auto &[Id, Name] : Reader.routines())
+      Symbols.intern(Name);
+    Dispatcher.start(&Symbols);
+    std::vector<Event> Chunk;
+    uint64_t Replayed = 0;
+    while (Reader.nextChunk(Chunk)) {
+      for (const Event &E : Chunk)
+        Dispatcher.enqueue(E);
+      Replayed += Chunk.size();
+    }
+    bool ReadOk = Reader.error().empty();
+    Dispatcher.finish();
+    if (!ReadOk) {
+      std::fprintf(stderr, "isprof: stream %s: %s\n", StreamPath.c_str(),
+                   Reader.error().c_str());
+      return 1;
+    }
+    std::printf("[replayed %s events from %zu chunk(s)]\n\n",
+                formatWithCommas(Replayed).c_str(), Reader.chunkCount());
+    Tools.printReports(&Symbols);
+    return 0;
+  }
+
+  TraceData Data;
+  if (!readTraceFile(TracePath, Data)) {
+    std::fprintf(stderr, "isprof: cannot read trace %s\n",
+                 TracePath.c_str());
+    return 1;
+  }
+  SymbolTable Symbols;
+  for (const auto &[Id, Name] : Data.Routines)
+    Symbols.intern(Name);
   Dispatcher.start(&Symbols);
   for (const Event &E : Data.Events)
     Dispatcher.dispatch(E);
@@ -406,8 +556,12 @@ int commandWorkload(OptionParser &Options) {
     optimizeProgram(*Prog);
   if (int Code = runStaticChecks(*Prog, Options))
     return Code;
+  ToolOptions ToolOpts;
+  if (!parseShadowShards(Options, &ToolOpts))
+    return 2;
   ToolSet Tools;
-  if (!Tools.create(Options.getString("tools")))
+  if (!Tools.create(Options.getString("tools"), /*Contexts=*/false,
+                    ToolOpts))
     return 2;
   int ParallelWorkers = -1;
   if (!parseParallelTools(Options, &ParallelWorkers))
@@ -415,6 +569,17 @@ int commandWorkload(OptionParser &Options) {
   EventDispatcher Dispatcher;
   Tools.attach(Dispatcher);
   applyParallelTools(Dispatcher, ParallelWorkers);
+  if (!applyBatchCapacity(Options, Dispatcher))
+    return 2;
+  std::string StreamPath = Options.getString("record-stream");
+  TraceStreamWriter StreamWriter;
+  if (!StreamPath.empty()) {
+    if (!StreamWriter.open(StreamPath, Prog->Symbols.entries())) {
+      std::fprintf(stderr, "isprof: %s\n", StreamWriter.error().c_str());
+      return 1;
+    }
+    Dispatcher.setRecordSink(&StreamWriter);
+  }
   MachineOptions MachineOpts;
   MachineOpts.SliceLength = static_cast<uint64_t>(Options.getInt("slice"));
   MachineOpts.Seed = static_cast<uint64_t>(Options.getInt("seed"));
@@ -429,6 +594,18 @@ int commandWorkload(OptionParser &Options) {
               Result.Output.c_str(), W->Name.c_str(),
               formatWithCommas(Result.Stats.Instructions).c_str(),
               static_cast<unsigned>(Result.Stats.ThreadsSpawned));
+  if (!StreamPath.empty()) {
+    if (!StreamWriter.close()) {
+      std::fprintf(stderr, "isprof: %s\n", StreamWriter.error().c_str());
+      return 1;
+    }
+    publishStreamStats(StreamWriter);
+    std::printf("[stream: %s events in %s chunks -> %s (%s)]\n\n",
+                formatWithCommas(StreamWriter.eventsWritten()).c_str(),
+                formatWithCommas(StreamWriter.chunksWritten()).c_str(),
+                StreamPath.c_str(),
+                formatBytes(StreamWriter.bytesWritten()).c_str());
+  }
   std::string HtmlPath = Options.getString("html");
   if (!HtmlPath.empty() && !Tools.writeHtml(HtmlPath, &Prog->Symbols))
     return 1;
@@ -509,6 +686,19 @@ int main(int Argc, char **Argv) {
                   "--parallel-tools=N picks the worker count (default: "
                   "auto). Reports are identical to serial delivery");
   Options.addOption("record", "", "record the event trace to this path");
+  Options.addOption("record-stream", "",
+                    "stream the event trace to this path as a chunked "
+                    "file while the guest runs (bounded memory)");
+  Options.addOption("replay-stream", "",
+                    "(replay) replay this chunked stream file chunk by "
+                    "chunk (bounded memory)");
+  Options.addOption("shadow-shards", "1",
+                    "shard the aprof-trms global wts shadow by address "
+                    "range (power of two; 1 = unsharded). aprof-rms "
+                    "keeps per-thread shadows only and is unaffected");
+  Options.addOption("batch-capacity", "256",
+                    "dispatcher pending-batch capacity (power of two "
+                    "in [16, 65536])");
   Options.addOption("html", "", "write an HTML profile report (needs an "
                                 "aprof tool in --tools)");
   Options.addFlag("contexts", "profile per calling context instead of "

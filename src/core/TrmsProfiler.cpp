@@ -26,22 +26,26 @@ inline bool wtsKernel(uint64_t Packed) { return (Packed & 1) != 0; }
 
 } // namespace
 
-template <typename ShadowT>
-TrmsProfilerT<ShadowT>::TrmsProfilerT(TrmsProfilerOptions Opts)
+template <typename ShadowT, typename WtsShadowT>
+TrmsProfilerT<ShadowT, WtsShadowT>::TrmsProfilerT(TrmsProfilerOptions Opts)
     : Options(Opts) {
   Database.setKeepLog(Options.KeepActivationLog);
+  // Shard the global wts when the shadow type supports it (ShadowShards
+  // is validated upstream; an invalid count falls back to one shard).
+  if constexpr (requires(WtsShadowT &W) { W.setShardCount(1u); })
+    Wts.setShardCount(Options.ShadowShards);
 }
 
-template <typename ShadowT> TrmsProfilerT<ShadowT>::~TrmsProfilerT() = default;
+template <typename ShadowT, typename WtsShadowT> TrmsProfilerT<ShadowT, WtsShadowT>::~TrmsProfilerT() = default;
 
-template <typename ShadowT>
-void TrmsProfilerT<ShadowT>::onStart(const SymbolTable *Symbols) {
+template <typename ShadowT, typename WtsShadowT>
+void TrmsProfilerT<ShadowT, WtsShadowT>::onStart(const SymbolTable *Symbols) {
   (void)Symbols;
 }
 
-template <typename ShadowT>
-typename TrmsProfilerT<ShadowT>::ThreadState &
-TrmsProfilerT<ShadowT>::stateSlow(ThreadId Tid) {
+template <typename ShadowT, typename WtsShadowT>
+typename TrmsProfilerT<ShadowT, WtsShadowT>::ThreadState &
+TrmsProfilerT<ShadowT, WtsShadowT>::stateSlow(ThreadId Tid) {
   if (Tid >= Threads.size())
     Threads.resize(static_cast<size_t>(Tid) + 1);
   std::unique_ptr<ThreadState> &Slot = Threads[Tid];
@@ -52,16 +56,16 @@ TrmsProfilerT<ShadowT>::stateSlow(ThreadId Tid) {
   return *Slot;
 }
 
-template <typename ShadowT>
-typename TrmsProfilerT<ShadowT>::ThreadState &
-TrmsProfilerT<ShadowT>::state(ThreadId Tid) {
+template <typename ShadowT, typename WtsShadowT>
+typename TrmsProfilerT<ShadowT, WtsShadowT>::ThreadState &
+TrmsProfilerT<ShadowT, WtsShadowT>::state(ThreadId Tid) {
   if (CurrentState && HaveCurrentTid && CurrentTid == Tid)
     return *CurrentState;
   return stateSlow(Tid);
 }
 
-template <typename ShadowT>
-void TrmsProfilerT<ShadowT>::noteThread(ThreadId Tid) {
+template <typename ShadowT, typename WtsShadowT>
+void TrmsProfilerT<ShadowT, WtsShadowT>::noteThread(ThreadId Tid) {
   // The merged trace is serialized; a change of running thread is a
   // thread switch and bumps the global counter (Figure 11). Detecting
   // switches here (rather than relying on explicit ThreadSwitch events)
@@ -74,20 +78,20 @@ void TrmsProfilerT<ShadowT>::noteThread(ThreadId Tid) {
   bumpCount();
 }
 
-template <typename ShadowT> void TrmsProfilerT<ShadowT>::bumpCount() {
+template <typename ShadowT, typename WtsShadowT> void TrmsProfilerT<ShadowT, WtsShadowT>::bumpCount() {
   if (Count + 1 >= Options.CounterLimit)
     renumber();
   ++Count;
 }
 
-template <typename ShadowT>
-void TrmsProfilerT<ShadowT>::onThreadStart(ThreadId Tid, ThreadId Parent) {
+template <typename ShadowT, typename WtsShadowT>
+void TrmsProfilerT<ShadowT, WtsShadowT>::onThreadStart(ThreadId Tid, ThreadId Parent) {
   noteThread(Tid);
   state(Tid);
 }
 
-template <typename ShadowT>
-void TrmsProfilerT<ShadowT>::onThreadEnd(ThreadId Tid) {
+template <typename ShadowT, typename WtsShadowT>
+void TrmsProfilerT<ShadowT, WtsShadowT>::onThreadEnd(ThreadId Tid) {
   noteThread(Tid);
   ThreadState &TS = state(Tid);
   // Unwind any activations still pending when the thread dies, so their
@@ -104,8 +108,8 @@ void TrmsProfilerT<ShadowT>::onThreadEnd(ThreadId Tid) {
   Threads[Tid].reset();
 }
 
-template <typename ShadowT>
-void TrmsProfilerT<ShadowT>::onCall(ThreadId Tid, RoutineId Rtn) {
+template <typename ShadowT, typename WtsShadowT>
+void TrmsProfilerT<ShadowT, WtsShadowT>::onCall(ThreadId Tid, RoutineId Rtn) {
   noteThread(Tid);
   ThreadState &TS = state(Tid);
   bumpCount();
@@ -116,8 +120,8 @@ void TrmsProfilerT<ShadowT>::onCall(ThreadId Tid, RoutineId Rtn) {
   TS.Stack.push_back(F);
 }
 
-template <typename ShadowT>
-void TrmsProfilerT<ShadowT>::popFrame(ThreadId Tid, ThreadState &TS) {
+template <typename ShadowT, typename WtsShadowT>
+void TrmsProfilerT<ShadowT, WtsShadowT>::popFrame(ThreadId Tid, ThreadState &TS) {
   assert(!TS.Stack.empty() && "return with empty shadow stack");
   Frame Top = TS.Stack.back();
   TS.Stack.pop_back();
@@ -148,8 +152,8 @@ void TrmsProfilerT<ShadowT>::popFrame(ThreadId Tid, ThreadState &TS) {
   }
 }
 
-template <typename ShadowT>
-void TrmsProfilerT<ShadowT>::onReturn(ThreadId Tid, RoutineId Rtn) {
+template <typename ShadowT, typename WtsShadowT>
+void TrmsProfilerT<ShadowT, WtsShadowT>::onReturn(ThreadId Tid, RoutineId Rtn) {
   noteThread(Tid);
   ThreadState &TS = state(Tid);
   if (TS.Stack.empty())
@@ -158,14 +162,14 @@ void TrmsProfilerT<ShadowT>::onReturn(ThreadId Tid, RoutineId Rtn) {
   popFrame(Tid, TS);
 }
 
-template <typename ShadowT>
-void TrmsProfilerT<ShadowT>::onBasicBlock(ThreadId Tid, uint64_t N) {
+template <typename ShadowT, typename WtsShadowT>
+void TrmsProfilerT<ShadowT, WtsShadowT>::onBasicBlock(ThreadId Tid, uint64_t N) {
   noteThread(Tid);
   state(Tid).BbCount += N;
 }
 
-template <typename ShadowT>
-void TrmsProfilerT<ShadowT>::onRead(ThreadId Tid, Addr A, uint64_t Cells) {
+template <typename ShadowT, typename WtsShadowT>
+void TrmsProfilerT<ShadowT, WtsShadowT>::onRead(ThreadId Tid, Addr A, uint64_t Cells) {
   noteThread(Tid);
   ThreadState &TS = state(Tid);
   Database.GlobalReads += Cells;
@@ -241,16 +245,16 @@ void TrmsProfilerT<ShadowT>::onRead(ThreadId Tid, Addr A, uint64_t Cells) {
   });
 }
 
-template <typename ShadowT>
-void TrmsProfilerT<ShadowT>::onWrite(ThreadId Tid, Addr A, uint64_t Cells) {
+template <typename ShadowT, typename WtsShadowT>
+void TrmsProfilerT<ShadowT, WtsShadowT>::onWrite(ThreadId Tid, Addr A, uint64_t Cells) {
   noteThread(Tid);
   ThreadState &TS = state(Tid);
   TS.Ts.fillRange(A, Cells, Count);
   Wts.fillRange(A, Cells, packWts(Count, /*Kernel=*/false));
 }
 
-template <typename ShadowT>
-void TrmsProfilerT<ShadowT>::onKernelRead(ThreadId Tid, Addr A,
+template <typename ShadowT, typename WtsShadowT>
+void TrmsProfilerT<ShadowT, WtsShadowT>::onKernelRead(ThreadId Tid, Addr A,
                                           uint64_t Cells) {
   // The OS reads guest memory to send it to a device; Figure 12 treats
   // this as a read performed by the thread, as if the system call were a
@@ -258,8 +262,8 @@ void TrmsProfilerT<ShadowT>::onKernelRead(ThreadId Tid, Addr A,
   onRead(Tid, A, Cells);
 }
 
-template <typename ShadowT>
-void TrmsProfilerT<ShadowT>::onKernelWrite(ThreadId Tid, Addr A,
+template <typename ShadowT, typename WtsShadowT>
+void TrmsProfilerT<ShadowT, WtsShadowT>::onKernelWrite(ThreadId Tid, Addr A,
                                            uint64_t Cells) {
   noteThread(Tid);
   // Figure 12: a buffer load from a device must not count as thread input
@@ -272,7 +276,7 @@ void TrmsProfilerT<ShadowT>::onKernelWrite(ThreadId Tid, Addr A,
   Wts.fillRange(A, Cells, packWts(Count, /*Kernel=*/true));
 }
 
-template <typename ShadowT> void TrmsProfilerT<ShadowT>::onFinish() {
+template <typename ShadowT, typename WtsShadowT> void TrmsProfilerT<ShadowT, WtsShadowT>::onFinish() {
   for (ThreadId Tid = 0; Tid != Threads.size(); ++Tid) {
     ThreadState *TS = Threads[Tid].get();
     if (!TS)
@@ -288,17 +292,21 @@ template <typename ShadowT> void TrmsProfilerT<ShadowT>::onFinish() {
     R.counter("shadow.wts.chunks_allocated").add(Wts.chunksAllocated());
     R.counter("shadow.wts.cache_hits").add(Wts.cacheHits());
     R.counter("shadow.wts.cache_misses").add(Wts.cacheMisses());
+    if constexpr (requires(WtsShadowT &W) { W.setShardCount(1u); }) {
+      R.gauge("shadow.wts.shards").noteMax(Wts.shardCount());
+      R.counter("shadow.wts.shard_epochs").add(Wts.totalEpochs());
+    }
     R.gauge("profiler.peak_footprint_bytes").noteMax(memoryFootprintBytes());
   }
 }
 
-template <typename ShadowT>
-uint64_t TrmsProfilerT<ShadowT>::memoryFootprintBytes() const {
+template <typename ShadowT, typename WtsShadowT>
+uint64_t TrmsProfilerT<ShadowT, WtsShadowT>::memoryFootprintBytes() const {
   return std::max(PeakFootprintBytes, currentFootprintBytes());
 }
 
-template <typename ShadowT>
-uint64_t TrmsProfilerT<ShadowT>::currentFootprintBytes() const {
+template <typename ShadowT, typename WtsShadowT>
+uint64_t TrmsProfilerT<ShadowT, WtsShadowT>::currentFootprintBytes() const {
   uint64_t Total = Wts.totalBytes();
   for (const std::unique_ptr<ThreadState> &TS : Threads) {
     if (!TS)
@@ -315,7 +323,7 @@ uint64_t TrmsProfilerT<ShadowT>::currentFootprintBytes() const {
   return Total;
 }
 
-template <typename ShadowT> void TrmsProfilerT<ShadowT>::renumber() {
+template <typename ShadowT, typename WtsShadowT> void TrmsProfilerT<ShadowT, WtsShadowT>::renumber() {
   ++Renumberings;
 
   // Collect the timestamps of all pending activations across all threads
@@ -370,11 +378,18 @@ template <typename ShadowT> void TrmsProfilerT<ShadowT>::renumber() {
   }
 
   // 2. Global write timestamps: wts lands at 3q+1, above activation q
-  // and below activation q+1.
-  Wts.forEachNonZero([&](Addr Address, uint64_t &WCell) {
+  // and below activation q+1. A sharded wts sweeps shard by shard
+  // through renumberNonZero, which bumps the per-shard epoch counters —
+  // the bookkeeping a future parallel renumberer will rely on.
+  auto RewriteWts = [&](Addr Address, uint64_t &WCell) {
+    (void)Address;
     uint64_t Q = rankOf(wtsTime(WCell));
     WCell = packWts(3 * Q + 1, wtsKernel(WCell));
-  });
+  };
+  if constexpr (requires(WtsShadowT &W) { W.setShardCount(1u); })
+    Wts.renumberNonZero(RewriteWts);
+  else
+    Wts.forEachNonZero(RewriteWts);
 
   // 3. Activation timestamps, in rank order.
   for (std::unique_ptr<ThreadState> &TS : Threads) {
@@ -395,4 +410,6 @@ template <typename ShadowT> void TrmsProfilerT<ShadowT>::renumber() {
 namespace isp {
 template class TrmsProfilerT<ThreeLevelShadow<uint64_t>>;
 template class TrmsProfilerT<DenseShadow<uint64_t>>;
+template class TrmsProfilerT<ThreeLevelShadow<uint64_t>,
+                             ShardedShadow<uint64_t>>;
 } // namespace isp

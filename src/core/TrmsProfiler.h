@@ -38,6 +38,7 @@
 #include "core/ProfileData.h"
 #include "instr/Tool.h"
 #include "shadow/ShadowMemory.h"
+#include "shadow/ShardedShadow.h"
 
 #include <memory>
 #include <string>
@@ -53,12 +54,20 @@ struct TrmsProfilerOptions {
   uint64_t CounterLimit = uint64_t(1) << 32;
   /// Retain every ActivationRecord (for tests and raw dumps).
   bool KeepActivationLog = false;
+  /// Shard count for the global wts shadow (power of two; meaningful
+  /// only when the wts shadow type is sharded — ShardedTrmsProfiler /
+  /// --shadow-shards). 1 keeps the single-shard layout.
+  unsigned ShadowShards = 1;
 };
 
 /// The profiler, parameterized over the shadow-memory implementation so
 /// the three-level-table vs dense-map ablation can run the identical
-/// algorithm. Use the TrmsProfiler alias for the paper's configuration.
-template <typename ShadowT> class TrmsProfilerT : public Tool {
+/// algorithm, and separately over the global wts shadow type so the wts
+/// can be range-sharded (ShardedShadow) while the per-thread ts shadows
+/// keep the plain layout. Use the TrmsProfiler alias for the paper's
+/// configuration and ShardedTrmsProfiler for the sharded wts.
+template <typename ShadowT, typename WtsShadowT = ShadowT>
+class TrmsProfilerT : public Tool {
 public:
   explicit TrmsProfilerT(TrmsProfilerOptions Opts = TrmsProfilerOptions());
   ~TrmsProfilerT() override;
@@ -146,7 +155,7 @@ private:
 
   TrmsProfilerOptions Options;
   /// Global write-timestamp shadow; cells pack (time << 1) | kernelBit.
-  ShadowT Wts;
+  WtsShadowT Wts;
   uint64_t Count = 1;
   /// Flat thread table keyed by ThreadId; dead threads leave null slots.
   std::vector<std::unique_ptr<ThreadState>> Threads;
@@ -164,9 +173,15 @@ private:
 
 using TrmsProfiler = TrmsProfilerT<ThreeLevelShadow<uint64_t>>;
 using DenseTrmsProfiler = TrmsProfilerT<DenseShadow<uint64_t>>;
+/// Per-thread ts shadows stay plain; the global wts is range-sharded
+/// (TrmsProfilerOptions::ShadowShards selects the shard count).
+using ShardedTrmsProfiler =
+    TrmsProfilerT<ThreeLevelShadow<uint64_t>, ShardedShadow<uint64_t>>;
 
 extern template class TrmsProfilerT<ThreeLevelShadow<uint64_t>>;
 extern template class TrmsProfilerT<DenseShadow<uint64_t>>;
+extern template class TrmsProfilerT<ThreeLevelShadow<uint64_t>,
+                                    ShardedShadow<uint64_t>>;
 
 } // namespace isp
 

@@ -112,9 +112,9 @@ void EventDispatcher::startParallel() {
     Workers[Next++ % N]->ToolIdx.push_back(I);
 
   Ring.clear();
-  Ring.resize(RingSlots);
+  Ring.resize(InitialRingSlots);
   for (BatchSlot &Slot : Ring)
-    Slot.Events.reset(new Event[BatchCapacity]);
+    Slot.Events.reset(new Event[Capacity]);
 
   PublishedSeq = 0;
   ShuttingDown = false;
@@ -123,6 +123,9 @@ void EventDispatcher::startParallel() {
   BackpressureBlocks = 0;
   BackpressureWaitNs = 0;
   MaxQueueDepth = 0;
+  RingSlotsUsed = Ring.size();
+  RingGrowths = 0;
+  BlocksAtLastGrowth = 0;
   WorkerCountUsed = N;
   ParallelActive = true;
   for (auto &W : Workers)
@@ -164,7 +167,7 @@ void EventDispatcher::workerLoop(WorkerState &W) {
       if (PublishedSeq == W.NextSeq)
         return; // shutting down and fully drained
       Seq = W.NextSeq;
-      BatchSlot &Slot = Ring[Seq % RingSlots];
+      BatchSlot &Slot = Ring[Seq % Ring.size()];
       Events = Slot.Events.get();
       Count = Slot.Count;
     }
@@ -178,7 +181,7 @@ void EventDispatcher::workerLoop(WorkerState &W) {
     {
       std::lock_guard<std::mutex> Lock(ParMutex);
       ++W.NextSeq;
-      if (--Ring[Seq % RingSlots].Remaining == 0 && PublisherWaiting)
+      if (--Ring[Seq % Ring.size()].Remaining == 0 && PublisherWaiting)
         SlotFree.notify_one();
     }
   }
@@ -189,6 +192,11 @@ void EventDispatcher::publishBatch(FlushCause Cause) {
   if (Recording)
     Recorded.insert(Recorded.end(), Pending.get(),
                     Pending.get() + PendingCount);
+  // Record sinks consume the batch on the dispatch thread, before the
+  // worker handoff swaps the buffer away — the sink sees exactly the
+  // stream the in-memory recorder would.
+  if (Sink)
+    Sink->recordBatch(Pending.get(), PendingCount);
   // DispatchThread tools keep the serial contract: synchronous delivery
   // on the enqueue thread, before the batch is handed to the workers.
   // (Tools are independent, so their order against worker tools is
@@ -198,19 +206,48 @@ void EventDispatcher::publishBatch(FlushCause Cause) {
   bool WakeWorkers;
   {
     std::unique_lock<std::mutex> Lock(ParMutex);
-    BatchSlot &Slot = Ring[PublishedSeq % RingSlots];
-    if (Slot.Remaining != 0) {
-      // Backpressure: every slot is in flight; block until the slowest
-      // worker frees this one.
+    size_t SlotIdx = PublishedSeq % Ring.size();
+    if (Ring[SlotIdx].Remaining != 0) {
+      // Backpressure: every slot is in flight.
       ++BackpressureBlocks;
       uint64_t WaitStart = obs::nowNs();
       PublisherWaiting = true;
-      SlotFree.wait(Lock, [&] { return Slot.Remaining == 0; });
+      if (Ring.size() < MaxRingSlots &&
+          BackpressureBlocks - BlocksAtLastGrowth >= RingGrowthThreshold) {
+        // Adaptive growth: blocking keeps happening at this size, so
+        // double the ring. Resizing remaps every seq % size slot
+        // assignment, which is only safe with nothing in flight — wait
+        // for the workers to drain completely (a one-off stall, paid at
+        // most log2(Max/Initial) times per run), then resize under the
+        // lock.
+        SlotFree.wait(Lock, [&] {
+          uint64_t MinSeq = PublishedSeq;
+          for (const auto &W : Workers)
+            MinSeq = W->NextSeq < MinSeq ? W->NextSeq : MinSeq;
+          return MinSeq == PublishedSeq;
+        });
+        size_t NewSize = Ring.size() * 2;
+        if (NewSize > MaxRingSlots)
+          NewSize = MaxRingSlots;
+        size_t OldSize = Ring.size();
+        Ring.resize(NewSize);
+        for (size_t I = OldSize; I != NewSize; ++I)
+          Ring[I].Events.reset(new Event[Capacity]);
+        RingSlotsUsed = NewSize;
+        ++RingGrowths;
+        BlocksAtLastGrowth = BackpressureBlocks;
+        SlotIdx = PublishedSeq % Ring.size();
+      } else {
+        // Steady-state backpressure: block until the slowest worker
+        // frees this slot.
+        SlotFree.wait(Lock, [&] { return Ring[SlotIdx].Remaining == 0; });
+      }
       PublisherWaiting = false;
       BackpressureWaitNs += obs::nowNs() - WaitStart;
     }
     // Double-buffer swap: the filled Pending buffer becomes the slot's
     // batch; the slot's drained buffer becomes the next Pending.
+    BatchSlot &Slot = Ring[SlotIdx];
     std::swap(Slot.Events, Pending);
     Slot.Count = PendingCount;
     Slot.Remaining = static_cast<unsigned>(Workers.size());
@@ -275,6 +312,8 @@ void EventDispatcher::flushImpl(FlushCause Cause) {
   ++Flushes[static_cast<size_t>(Cause)];
   if (Recording)
     Recorded.insert(Recorded.end(), Pending.get(), Pending.get() + PendingCount);
+  if (ISP_UNLIKELY(Sink != nullptr))
+    Sink->recordBatch(Pending.get(), PendingCount);
   // The observed path times each tool's callback (and records timeline
   // spans); the default path is the PR-1 hot loop, untouched.
   bool Observe = obs::statsEnabled() || obs::tracingEnabled();
@@ -323,6 +362,8 @@ void EventDispatcher::publishStats() const {
     R.counter("dispatcher.parallel.backpressure_wait_ns")
         .add(BackpressureWaitNs);
     R.gauge("dispatcher.parallel.max_queue_depth").noteMax(MaxQueueDepth);
+    R.gauge("dispatcher.parallel.ring_slots").noteMax(RingSlotsUsed);
+    R.counter("dispatcher.parallel.ring_growths").add(RingGrowths);
   }
   for (size_t I = 0; I != ToolObs.size(); ++I) {
     const ToolObsState &S = ToolObs[I];

@@ -87,14 +87,26 @@ class SymbolTable;
 /// Fans events out to registered tools. Tools are not owned.
 class EventDispatcher {
 public:
-  /// Pending-batch capacity; a flush is forced when it fills. Large
-  /// enough to amortize delivery, small enough to stay cache-resident.
-  static constexpr size_t BatchCapacity = 256;
+  /// Default pending-batch capacity; a flush is forced when the batch
+  /// fills. Large enough to amortize delivery, small enough to stay
+  /// cache-resident. Tunable per dispatcher via setBatchCapacity
+  /// (--batch-capacity in the driver).
+  static constexpr size_t DefaultBatchCapacity = 256;
+  /// Valid setBatchCapacity range (powers of two only, so the sweep
+  /// benchmark and the driver flag share one validation rule).
+  static constexpr size_t MinBatchCapacity = 16;
+  static constexpr size_t MaxBatchCapacity = 65536;
 
-  /// Number of in-flight batch slots in parallel mode. Bounds the
-  /// publisher's lead over the slowest worker (backpressure) and the
-  /// memory pinned in undrained batches.
-  static constexpr size_t RingSlots = 8;
+  /// Initial number of in-flight batch slots in parallel mode. Bounds
+  /// the publisher's lead over the slowest worker (backpressure) and
+  /// the memory pinned in undrained batches. When backpressure trips
+  /// repeatedly the ring grows adaptively, doubling up to MaxRingSlots
+  /// (see publishBatch); ringSlots() reports the size in use.
+  static constexpr size_t InitialRingSlots = 8;
+  static constexpr size_t MaxRingSlots = 64;
+  /// Backpressure blocks tolerated since the last resize before the
+  /// ring doubles again.
+  static constexpr uint64_t RingGrowthThreshold = 4;
 
   /// Upper bound on --parallel-tools worker counts (sanity, not tuning).
   static constexpr unsigned MaxParallelWorkers = 64;
@@ -107,10 +119,41 @@ public:
   enum class FlushCause : uint8_t { Capacity, Explicit, Finish };
   static constexpr size_t NumFlushCauses = 3;
 
+  /// Consumer of recorded batches, for sinks that stream the compacted
+  /// event stream somewhere (e.g. TraceStreamWriter writing chunked
+  /// trace files) instead of accumulating it in the Recorded vector.
+  /// Batches arrive on the dispatch thread, in delivery order, exactly
+  /// as the in-memory recorder would append them — so a sink observes a
+  /// byte-identical stream.
+  class RecordSink {
+  public:
+    virtual ~RecordSink() = default;
+    virtual void recordBatch(const Event *Events, size_t Count) = 0;
+  };
+
   ~EventDispatcher();
 
   /// Registers \p T; tools receive events in registration order.
   void addTool(Tool *T) { Tools.push_back(T); }
+
+  /// Streams every recorded batch to \p S instead of (or alongside) the
+  /// in-memory Recorded vector. Pass nullptr to detach. The sink is not
+  /// owned and must outlive the run.
+  void setRecordSink(RecordSink *S) { Sink = S; }
+
+  /// Resizes the pending batch. \p N must be a power of two in
+  /// [MinBatchCapacity, MaxBatchCapacity]; returns false (leaving the
+  /// capacity unchanged) otherwise or when events are already buffered —
+  /// call before the run starts.
+  bool setBatchCapacity(size_t N) {
+    if (N < MinBatchCapacity || N > MaxBatchCapacity || (N & (N - 1)) != 0 ||
+        PendingCount != 0 || ParallelActive)
+      return false;
+    Capacity = N;
+    Pending.reset(new Event[Capacity]);
+    return true;
+  }
+  size_t batchCapacity() const { return Capacity; }
 
   /// Requests parallel tool fan-out with \p N workers (0 = auto-size to
   /// the eligible tool count, capped at the hardware concurrency). Must
@@ -135,6 +178,12 @@ public:
   uint64_t backpressureBlocks() const { return BackpressureBlocks; }
   /// Peak number of published-but-undrained batches.
   uint64_t maxQueueDepth() const { return MaxQueueDepth; }
+  /// Ring size used by the current/most recent parallel run (the
+  /// adaptive growth's final answer; InitialRingSlots if it never grew,
+  /// 0 if parallel mode never engaged).
+  size_t ringSlots() const { return RingSlotsUsed; }
+  /// Times the ring doubled under repeated backpressure.
+  uint64_t ringGrowths() const { return RingGrowths; }
 
   /// Enables recording of every dispatched event. The recorded stream is
   /// the *compacted* stream — replaying it is equivalent by
@@ -182,7 +231,7 @@ public:
       break;
     }
     Pending[PendingCount++] = E;
-    if (PendingCount == BatchCapacity)
+    if (PendingCount == Capacity)
       flushImpl(FlushCause::Capacity);
   }
 
@@ -211,6 +260,8 @@ public:
     ++DeliveredEvents;
     if (Recording)
       Recorded.push_back(E);
+    if (ISP_UNLIKELY(Sink != nullptr))
+      Sink->recordBatch(&E, 1);
     for (size_t I = 0; I != Tools.size(); ++I) {
       Tools[I]->handleEvent(E);
       if (ISP_UNLIKELY(obs::statsEnabled()) && I < ToolObs.size())
@@ -220,7 +271,7 @@ public:
 
   /// True when at least one tool is registered or recording is on; the VM
   /// skips event construction entirely otherwise ("native" runs).
-  bool isActive() const { return Recording || !Tools.empty(); }
+  bool isActive() const { return Recording || Sink != nullptr || !Tools.empty(); }
 
   /// Events accepted by enqueue()/dispatch() — i.e. what the substrate
   /// emitted, before compaction.
@@ -316,10 +367,12 @@ private:
   void publishStats() const;
 
   std::vector<Tool *> Tools;
-  /// Fixed-size pending batch (enqueue flushes when it fills).
-  std::unique_ptr<Event[]> Pending{new Event[BatchCapacity]};
+  /// Pending batch, sized Capacity (enqueue flushes when it fills).
+  size_t Capacity = DefaultBatchCapacity;
+  std::unique_ptr<Event[]> Pending{new Event[DefaultBatchCapacity]};
   size_t PendingCount = 0;
   std::vector<Event> Recorded;
+  RecordSink *Sink = nullptr;
   bool Recording = false;
   BbRunState BbRun;
   uint64_t EnqueuedEvents = 0;
@@ -345,8 +398,11 @@ private:
   /// Tools pinned to the dispatch thread (serial-delivery fallback).
   std::vector<size_t> SerialToolIdx;
   std::vector<BatchSlot> Ring;
-  /// Batches published so far; slot = seq % RingSlots. Guarded by
+  /// Batches published so far; slot = seq % Ring.size(). Guarded by
   /// ParMutex together with ShuttingDown and the slot/worker cursors.
+  /// Ring.size() only changes while every slot is drained and the
+  /// publisher holds ParMutex (see the adaptive-growth path), so the
+  /// modulo mapping never rebinds an in-flight batch.
   uint64_t PublishedSeq = 0;
   bool ShuttingDown = false;
   /// Workers currently parked in a WorkReady wait / publisher parked in
@@ -360,6 +416,12 @@ private:
   uint64_t BackpressureBlocks = 0;
   uint64_t BackpressureWaitNs = 0;
   uint64_t MaxQueueDepth = 0;
+  /// Adaptive ring sizing: current size survives joinWorkers (so stats
+  /// can report it), growth count, and the block tally at the last
+  /// resize (growth triggers on RingGrowthThreshold new blocks).
+  size_t RingSlotsUsed = 0;
+  uint64_t RingGrowths = 0;
+  uint64_t BlocksAtLastGrowth = 0;
 };
 
 /// Replays \p Events into \p T, bracketed by onStart/onFinish.

@@ -1,0 +1,463 @@
+//===- trace/TraceStream.cpp - Chunked streaming trace files -----------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceStream.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace isp;
+
+static const char StreamMagic[8] = {'I', 'S', 'P', 'S', 'T', 'M', '0', '1'};
+static const char TrailerMagic[8] = {'I', 'S', 'P', 'S', 'T', 'M', 'I', 'X'};
+
+/// Trailer: u64 footer offset + magic, always the last 16 file bytes.
+static constexpr size_t TrailerBytes = 8 + sizeof(TrailerMagic);
+
+namespace {
+
+/// Unsigned LEB128 append (the TraceFile.cpp v2 convention).
+void writeVarint(std::string &Out, uint64_t V) {
+  while (V >= 0x80) {
+    Out.push_back(static_cast<char>((V & 0x7f) | 0x80));
+    V >>= 7;
+  }
+  Out.push_back(static_cast<char>(V));
+}
+
+/// Unsigned LEB128 read; false on truncation or overlong encodings. A
+/// uint64 needs at most ten bytes, and the tenth may carry only bit 63:
+/// a continuation bit or payload bits 64+ there mean the value cannot
+/// fit, so the stream is rejected rather than silently wrapped.
+bool readVarint(const std::string &Bytes, size_t &Pos, uint64_t &V) {
+  V = 0;
+  for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+    if (Pos >= Bytes.size())
+      return false;
+    uint8_t Byte = static_cast<uint8_t>(Bytes[Pos++]);
+    if (Shift == 63 && (Byte & 0xfe))
+      return false;
+    V |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
+    if (!(Byte & 0x80))
+      return true;
+  }
+  return false;
+}
+
+uint64_t zigzag(int64_t V) {
+  return (static_cast<uint64_t>(V) << 1) ^ static_cast<uint64_t>(V >> 63);
+}
+int64_t unzigzag(uint64_t V) {
+  return static_cast<int64_t>(V >> 1) ^ -static_cast<int64_t>(V & 1);
+}
+
+void appendU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void appendU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+uint32_t decodeU32(const unsigned char *P) {
+  uint32_t V = 0;
+  for (int I = 0; I != 4; ++I)
+    V |= static_cast<uint32_t>(P[I]) << (8 * I);
+  return V;
+}
+
+uint64_t decodeU64(const unsigned char *P) {
+  uint64_t V = 0;
+  for (int I = 0; I != 8; ++I)
+    V |= static_cast<uint64_t>(P[I]) << (8 * I);
+  return V;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// TraceStreamWriter
+//===----------------------------------------------------------------------===//
+
+TraceStreamWriter::~TraceStreamWriter() {
+  if (File) {
+    std::fclose(File);
+    File = nullptr;
+  }
+}
+
+bool TraceStreamWriter::open(
+    const std::string &Path,
+    const std::vector<std::pair<RoutineId, std::string>> &Routines,
+    TraceStreamOptions Opts) {
+  if (File)
+    std::fclose(File);
+  File = std::fopen(Path.c_str(), "wb");
+  Options = Opts;
+  if (Options.ChunkBytes == 0)
+    Options.ChunkBytes = 1;
+  Buffer.clear();
+  Error.clear();
+  Chunks.clear();
+  ChunkEvents = 0;
+  ChunkFirstTime = 0;
+  LastTime = 0;
+  std::memset(LastArg0, 0, sizeof(LastArg0));
+  EventsWritten = 0;
+  BytesWritten = 0;
+  PeakBufferedBytes = 0;
+  Failed = false;
+  if (!File) {
+    Error = "cannot open '" + Path + "' for writing";
+    Failed = true;
+    return false;
+  }
+  std::string Header;
+  Header.append(StreamMagic, sizeof(StreamMagic));
+  writeVarint(Header, Routines.size());
+  for (const auto &[Id, Name] : Routines) {
+    writeVarint(Header, Id);
+    writeVarint(Header, Name.size());
+    Header.append(Name);
+  }
+  writeRaw(Header.data(), Header.size());
+  return !Failed;
+}
+
+void TraceStreamWriter::writeRaw(const void *Data, size_t Size) {
+  if (Failed || !File)
+    return;
+  if (std::fwrite(Data, 1, Size, File) != Size) {
+    Error = "short write to trace stream";
+    Failed = true;
+    return;
+  }
+  BytesWritten += Size;
+}
+
+void TraceStreamWriter::append(const Event &E) {
+  if (Failed || !File)
+    return;
+  if (ChunkEvents == 0)
+    ChunkFirstTime = E.Time;
+  Buffer.push_back(static_cast<char>(E.Kind));
+  writeVarint(Buffer, E.Tid);
+  writeVarint(Buffer, E.Time - LastTime);
+  LastTime = E.Time;
+  uint8_t K = static_cast<uint8_t>(E.Kind);
+  writeVarint(Buffer, zigzag(static_cast<int64_t>(E.Arg0) -
+                             static_cast<int64_t>(LastArg0[K])));
+  LastArg0[K] = E.Arg0;
+  writeVarint(Buffer, E.Arg1);
+  ++ChunkEvents;
+  ++EventsWritten;
+  PeakBufferedBytes = std::max<uint64_t>(PeakBufferedBytes, Buffer.size());
+  if (Buffer.size() >= Options.ChunkBytes)
+    sealChunk();
+}
+
+void TraceStreamWriter::recordBatch(const Event *Events, size_t Count) {
+  for (size_t I = 0; I != Count; ++I)
+    append(Events[I]);
+}
+
+void TraceStreamWriter::sealChunk() {
+  if (ChunkEvents == 0)
+    return;
+  ChunkMeta Meta;
+  Meta.Offset = BytesWritten;
+  Meta.Events = ChunkEvents;
+  Meta.FirstTime = ChunkFirstTime;
+  // Payload = varint event count + the buffered encoded events; the
+  // chunk is the u32 payload length followed by the payload.
+  std::string CountPrefix;
+  writeVarint(CountPrefix, ChunkEvents);
+  std::string LenPrefix;
+  appendU32(LenPrefix,
+            static_cast<uint32_t>(CountPrefix.size() + Buffer.size()));
+  writeRaw(LenPrefix.data(), LenPrefix.size());
+  writeRaw(CountPrefix.data(), CountPrefix.size());
+  writeRaw(Buffer.data(), Buffer.size());
+  Chunks.push_back(Meta);
+  Buffer.clear();
+  ChunkEvents = 0;
+  ChunkFirstTime = 0;
+  // Reset the delta state: each chunk decodes independently, which is
+  // what makes chunk-level seek possible.
+  LastTime = 0;
+  std::memset(LastArg0, 0, sizeof(LastArg0));
+}
+
+bool TraceStreamWriter::close() {
+  if (!File)
+    return !Failed;
+  sealChunk();
+  uint64_t FooterOffset = BytesWritten;
+  std::string Footer;
+  writeVarint(Footer, Chunks.size());
+  for (const ChunkMeta &Meta : Chunks) {
+    writeVarint(Footer, Meta.Offset);
+    writeVarint(Footer, Meta.Events);
+    writeVarint(Footer, Meta.FirstTime);
+  }
+  appendU64(Footer, FooterOffset);
+  Footer.append(TrailerMagic, sizeof(TrailerMagic));
+  writeRaw(Footer.data(), Footer.size());
+  // fclose flushes stdio's buffer; a full disk surfaces here, not in
+  // fwrite, so its result is part of the write succeeding.
+  if (std::fclose(File) != 0 && !Failed) {
+    Error = "close failed on trace stream";
+    Failed = true;
+  }
+  File = nullptr;
+  return !Failed;
+}
+
+//===----------------------------------------------------------------------===//
+// TraceStreamReader
+//===----------------------------------------------------------------------===//
+
+TraceStreamReader::~TraceStreamReader() {
+  if (File) {
+    std::fclose(File);
+    File = nullptr;
+  }
+}
+
+bool TraceStreamReader::fail(const std::string &Message) {
+  Error = Message;
+  if (File) {
+    std::fclose(File);
+    File = nullptr;
+  }
+  return false;
+}
+
+bool TraceStreamReader::open(const std::string &Path) {
+  if (File)
+    std::fclose(File);
+  File = nullptr;
+  Error.clear();
+  Routines.clear();
+  Chunks.clear();
+  TotalEvents = 0;
+  FooterOffset = 0;
+  Cursor = 0;
+  File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return fail("cannot open '" + Path + "'");
+  if (std::fseek(File, 0, SEEK_END) != 0)
+    return fail("cannot seek in '" + Path + "'");
+  long EndPos = std::ftell(File);
+  if (EndPos < 0)
+    return fail("cannot tell file size of '" + Path + "'");
+  uint64_t FileSize = static_cast<uint64_t>(EndPos);
+  if (FileSize < sizeof(StreamMagic) + TrailerBytes)
+    return fail("not a trace stream: file too small");
+
+  char Head[sizeof(StreamMagic)];
+  if (std::fseek(File, 0, SEEK_SET) != 0 ||
+      std::fread(Head, 1, sizeof(Head), File) != sizeof(Head) ||
+      std::memcmp(Head, StreamMagic, sizeof(StreamMagic)) != 0)
+    return fail("not a trace stream: bad magic");
+
+  // Trailer: the last 16 bytes locate the footer index.
+  unsigned char Trailer[TrailerBytes];
+  if (std::fseek(File, static_cast<long>(FileSize - TrailerBytes),
+                 SEEK_SET) != 0 ||
+      std::fread(Trailer, 1, TrailerBytes, File) != TrailerBytes)
+    return fail("truncated trace stream: missing trailer");
+  if (std::memcmp(Trailer + 8, TrailerMagic, sizeof(TrailerMagic)) != 0)
+    return fail("truncated trace stream: bad trailer magic");
+  FooterOffset = decodeU64(Trailer);
+  if (FooterOffset < sizeof(StreamMagic) ||
+      FooterOffset > FileSize - TrailerBytes)
+    return fail("corrupt footer offset");
+
+  // Footer index: chunk count, then (offset, events, first time) per
+  // chunk. Counts are clamped to what the footer bytes can encode
+  // before anything is reserved.
+  size_t FooterLen = static_cast<size_t>(FileSize - TrailerBytes - FooterOffset);
+  std::string Footer(FooterLen, '\0');
+  if (std::fseek(File, static_cast<long>(FooterOffset), SEEK_SET) != 0 ||
+      std::fread(Footer.data(), 1, FooterLen, File) != FooterLen)
+    return fail("truncated trace stream: missing footer");
+  size_t Pos = 0;
+  uint64_t ChunkCount = 0;
+  if (!readVarint(Footer, Pos, ChunkCount))
+    return fail("corrupt footer: bad chunk count");
+  // Each index entry is at least three one-byte varints.
+  if (ChunkCount > (Footer.size() - Pos) / 3)
+    return fail("corrupt footer: chunk count exceeds index bytes");
+  Chunks.reserve(ChunkCount);
+  uint64_t PrevEnd = sizeof(StreamMagic);
+  for (uint64_t I = 0; I != ChunkCount; ++I) {
+    ChunkMeta Meta;
+    if (!readVarint(Footer, Pos, Meta.Offset) ||
+        !readVarint(Footer, Pos, Meta.Events) ||
+        !readVarint(Footer, Pos, Meta.FirstTime))
+      return fail("corrupt footer: truncated index entry");
+    // Offsets must be in order, past the header (and every earlier
+    // chunk), and leave room for the chunk's own length prefix.
+    if (Meta.Offset < PrevEnd || Meta.Offset + 4 > FooterOffset)
+      return fail("corrupt footer: chunk offset out of bounds");
+    PrevEnd = Meta.Offset + 4;
+    TotalEvents += Meta.Events;
+    Chunks.push_back(Meta);
+  }
+  if (Pos != Footer.size())
+    return fail("corrupt footer: trailing bytes");
+
+  // Routine table: everything between the magic and the first chunk
+  // (or the footer, for an event-free stream).
+  uint64_t HeaderEnd = Chunks.empty() ? FooterOffset : Chunks.front().Offset;
+  size_t HeaderLen = static_cast<size_t>(HeaderEnd - sizeof(StreamMagic));
+  std::string Header(HeaderLen, '\0');
+  if (std::fseek(File, sizeof(StreamMagic), SEEK_SET) != 0 ||
+      std::fread(Header.data(), 1, HeaderLen, File) != HeaderLen)
+    return fail("truncated trace stream: missing routine table");
+  Pos = 0;
+  uint64_t RoutineCount = 0;
+  if (!readVarint(Header, Pos, RoutineCount))
+    return fail("corrupt routine table: bad count");
+  // Each routine needs at least two bytes (id + length varints).
+  if (RoutineCount > (Header.size() - Pos) / 2)
+    return fail("corrupt routine table: count exceeds header bytes");
+  Routines.reserve(RoutineCount);
+  for (uint64_t I = 0; I != RoutineCount; ++I) {
+    uint64_t Id = 0, Len = 0;
+    if (!readVarint(Header, Pos, Id) || !readVarint(Header, Pos, Len) ||
+        Header.size() - Pos < Len)
+      return fail("corrupt routine table: truncated entry");
+    if (Id > UINT32_MAX)
+      return fail("corrupt routine table: routine id out of range");
+    Routines.emplace_back(static_cast<RoutineId>(Id),
+                          Header.substr(Pos, Len));
+    Pos += Len;
+  }
+  if (Pos != Header.size())
+    return fail("corrupt routine table: trailing bytes");
+  return true;
+}
+
+size_t TraceStreamReader::chunkIndexForTime(uint64_t Time) const {
+  size_t Lo = 0;
+  for (size_t I = 0; I != Chunks.size(); ++I) {
+    if (Chunks[I].FirstTime > Time)
+      break;
+    Lo = I;
+  }
+  return Lo;
+}
+
+bool TraceStreamReader::readChunk(size_t I, std::vector<Event> &Out) {
+  Out.clear();
+  if (!File)
+    return fail(Error.empty() ? "trace stream is not open" : Error);
+  if (I >= Chunks.size()) {
+    Error = "chunk index out of range";
+    return false;
+  }
+  const ChunkMeta &Meta = Chunks[I];
+  unsigned char LenBytes[4];
+  if (std::fseek(File, static_cast<long>(Meta.Offset), SEEK_SET) != 0 ||
+      std::fread(LenBytes, 1, 4, File) != 4)
+    return fail("truncated chunk: missing length prefix");
+  uint32_t PayloadLen = decodeU32(LenBytes);
+  // A chunk must end before the footer index begins; a length that
+  // runs past it (or past EOF) is rejected before any read.
+  if (PayloadLen == 0 ||
+      static_cast<uint64_t>(PayloadLen) > FooterOffset - (Meta.Offset + 4))
+    return fail("corrupt chunk: payload length out of bounds");
+  Payload.resize(PayloadLen);
+  if (std::fread(Payload.data(), 1, PayloadLen, File) != PayloadLen)
+    return fail("truncated chunk: payload cut short");
+
+  size_t Pos = 0;
+  uint64_t EventCount = 0;
+  if (!readVarint(Payload, Pos, EventCount))
+    return fail("corrupt chunk: bad event count");
+  // The smallest encoded event is five bytes; clamp the declared count
+  // to what the payload can hold before reserving, and cross-check it
+  // against the footer index so the two can never disagree silently.
+  if (EventCount > (Payload.size() - Pos) / 5)
+    return fail("corrupt chunk: event count exceeds payload bytes");
+  if (EventCount != Meta.Events)
+    return fail("corrupt chunk: event count disagrees with footer index");
+  Out.reserve(EventCount);
+  // Per-chunk delta state: every chunk decodes from a clean slate.
+  uint64_t LastTime = 0;
+  uint64_t LastArg0[32] = {};
+  for (uint64_t N = 0; N != EventCount; ++N) {
+    if (Pos >= Payload.size())
+      return fail("corrupt chunk: truncated event");
+    uint8_t KindByte = static_cast<uint8_t>(Payload[Pos++]);
+    if (KindByte > static_cast<uint8_t>(EventKind::ThreadSwitch))
+      return fail("corrupt chunk: invalid event kind");
+    Event E;
+    E.Kind = static_cast<EventKind>(KindByte);
+    uint64_t Tid = 0, TimeDelta = 0, Arg0Delta = 0, Arg1 = 0;
+    if (!readVarint(Payload, Pos, Tid) ||
+        !readVarint(Payload, Pos, TimeDelta) ||
+        !readVarint(Payload, Pos, Arg0Delta) ||
+        !readVarint(Payload, Pos, Arg1))
+      return fail("corrupt chunk: bad event varint");
+    if (Tid > UINT32_MAX)
+      return fail("corrupt chunk: thread id out of range");
+    E.Tid = static_cast<ThreadId>(Tid);
+    LastTime += TimeDelta;
+    E.Time = LastTime;
+    LastArg0[KindByte] = static_cast<uint64_t>(
+        static_cast<int64_t>(LastArg0[KindByte]) + unzigzag(Arg0Delta));
+    E.Arg0 = LastArg0[KindByte];
+    E.Arg1 = Arg1;
+    Out.push_back(E);
+  }
+  if (Pos != Payload.size())
+    return fail("corrupt chunk: trailing payload bytes");
+  return true;
+}
+
+bool TraceStreamReader::nextChunk(std::vector<Event> &Out) {
+  if (Cursor >= Chunks.size()) {
+    Out.clear();
+    return false; // end of stream; error() stays empty
+  }
+  return readChunk(Cursor++, Out);
+}
+
+//===----------------------------------------------------------------------===//
+// Free functions
+//===----------------------------------------------------------------------===//
+
+bool isp::isTraceStreamFile(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return false;
+  char Head[sizeof(StreamMagic)];
+  bool Ok = std::fread(Head, 1, sizeof(Head), File) == sizeof(Head) &&
+            std::memcmp(Head, StreamMagic, sizeof(StreamMagic)) == 0;
+  std::fclose(File);
+  return Ok;
+}
+
+bool isp::replayTraceStream(TraceStreamReader &Reader, Tool &T,
+                            const SymbolTable *Symbols) {
+  EventDispatcher Dispatcher;
+  Dispatcher.addTool(&T);
+  Dispatcher.start(Symbols);
+  std::vector<Event> Chunk;
+  Reader.seek(0);
+  while (Reader.nextChunk(Chunk))
+    for (const Event &E : Chunk)
+      Dispatcher.enqueue(E);
+  // finish() runs either way so the tool's onFinish leaves partial
+  // results well-formed even when a mid-stream chunk is corrupt.
+  Dispatcher.finish();
+  return Reader.error().empty();
+}

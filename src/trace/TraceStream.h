@@ -1,0 +1,211 @@
+//===- trace/TraceStream.h - Chunked streaming trace files ------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounded-memory trace recording and replay: the delta/varint event
+/// codec of TraceFile.h layered on an incremental, chunked file writer,
+/// so recording a long run never materializes the whole event vector and
+/// replaying one never loads more than a single chunk.
+///
+/// Stream layout (magic "ISPSTM01"):
+///
+///   header  : magic | varint routine count
+///             | routines (varint id, varint name length, name bytes)
+///   chunk*  : u32 payload length | payload
+///   payload : varint event count | packed events (the v2 delta/varint
+///             encoding, with the delta state RESET at each chunk start,
+///             so every chunk decodes independently — the property that
+///             makes chunk-level seek possible)
+///   footer  : varint chunk count
+///             | per chunk (varint file offset, varint event count,
+///               varint first event time)
+///   trailer : u64 footer offset | magic "ISPSTMIX"
+///
+/// The footer index is written last (the writer knows chunk offsets only
+/// after the fact) and found through the fixed-size trailer, so a reader
+/// can seek to any chunk — and a truncated file is detected immediately
+/// rather than half-replayed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_TRACE_TRACESTREAM_H
+#define ISPROF_TRACE_TRACESTREAM_H
+
+#include "instr/Dispatcher.h"
+#include "trace/Event.h"
+#include "trace/TraceFile.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace isp {
+
+class SymbolTable;
+class Tool;
+
+struct TraceStreamOptions {
+  /// Target chunk payload size. A chunk is sealed when its encoded
+  /// payload reaches this many bytes, so writer memory is bounded by
+  /// roughly one chunk regardless of trace length. The default keeps
+  /// chunks comfortably cache-resident while amortizing per-chunk
+  /// overhead (header, footer entry, one fwrite) over ~10k events.
+  size_t ChunkBytes = size_t(1) << 16;
+};
+
+/// Incremental trace writer: events stream to disk chunk by chunk as
+/// they arrive. Implements EventDispatcher::RecordSink so it can be
+/// plugged directly into the dispatcher as a recording sink that
+/// consumes flushed batches (see EventDispatcher::setRecordSink).
+class TraceStreamWriter : public EventDispatcher::RecordSink {
+public:
+  TraceStreamWriter() = default;
+  ~TraceStreamWriter() override;
+  TraceStreamWriter(const TraceStreamWriter &) = delete;
+  TraceStreamWriter &operator=(const TraceStreamWriter &) = delete;
+
+  /// Creates \p Path and writes the header. Returns false on I/O
+  /// failure (error() explains).
+  bool open(const std::string &Path,
+            const std::vector<std::pair<RoutineId, std::string>> &Routines,
+            TraceStreamOptions Opts = TraceStreamOptions());
+
+  /// Appends one event to the current chunk, sealing it to disk when
+  /// the target payload size is reached. I/O errors are sticky: the
+  /// writer goes inert and close() reports the failure.
+  void append(const Event &E);
+  /// Appends a flushed dispatcher batch (the RecordSink hook).
+  void recordBatch(const Event *Events, size_t Count) override;
+
+  /// Seals the final chunk, writes the footer index and trailer, and
+  /// closes the file. Returns false if any write (including earlier
+  /// append I/O) failed. The writer can be reused via open() after.
+  bool close();
+
+  bool isOpen() const { return File != nullptr; }
+  const std::string &error() const { return Error; }
+
+  uint64_t eventsWritten() const { return EventsWritten; }
+  uint64_t chunksWritten() const { return Chunks.size(); }
+  uint64_t bytesWritten() const { return BytesWritten; }
+  /// Bytes currently buffered for the open chunk, and the high-water
+  /// mark over the stream's lifetime — the writer's whole variable
+  /// memory cost, which the bounded-memory benchmarks assert stays flat
+  /// as the event count grows.
+  uint64_t bufferedBytes() const { return Buffer.size(); }
+  uint64_t peakBufferedBytes() const { return PeakBufferedBytes; }
+
+private:
+  struct ChunkMeta {
+    uint64_t Offset = 0;
+    uint64_t Events = 0;
+    uint64_t FirstTime = 0;
+  };
+
+  void sealChunk();
+  void writeRaw(const void *Data, size_t Size);
+
+  std::FILE *File = nullptr;
+  TraceStreamOptions Options;
+  std::string Buffer;
+  std::string Error;
+  std::vector<ChunkMeta> Chunks;
+  uint64_t ChunkEvents = 0;
+  uint64_t ChunkFirstTime = 0;
+  /// Per-chunk delta state (reset when a chunk is sealed).
+  uint64_t LastTime = 0;
+  uint64_t LastArg0[32] = {};
+  uint64_t EventsWritten = 0;
+  uint64_t BytesWritten = 0;
+  uint64_t PeakBufferedBytes = 0;
+  bool Failed = false;
+};
+
+/// Incremental trace reader: open() loads only the header and the
+/// footer index; chunks are decoded one at a time into a caller-owned
+/// reuse buffer, so replay memory is one chunk regardless of trace
+/// length. Chunk-level random access (seek) goes through the index.
+///
+/// Every malformed input — truncated chunk, corrupt footer, overlong
+/// varint, chunk length past EOF — is rejected with a diagnostic in
+/// error(); no input crashes the reader or makes it allocate beyond
+/// what the actual payload bytes can back.
+class TraceStreamReader {
+public:
+  TraceStreamReader() = default;
+  ~TraceStreamReader();
+  TraceStreamReader(const TraceStreamReader &) = delete;
+  TraceStreamReader &operator=(const TraceStreamReader &) = delete;
+
+  /// Opens \p Path, validating the header, trailer, and footer index.
+  bool open(const std::string &Path);
+
+  const std::string &error() const { return Error; }
+  const std::vector<std::pair<RoutineId, std::string>> &routines() const {
+    return Routines;
+  }
+  size_t chunkCount() const { return Chunks.size(); }
+  /// Total events across all chunks, from the footer index (no decode).
+  uint64_t eventCount() const { return TotalEvents; }
+  /// Per-chunk metadata from the index: event count and the timestamp
+  /// of the chunk's first event (the seek key for time-based lookup).
+  uint64_t chunkEvents(size_t I) const { return Chunks[I].Events; }
+  uint64_t chunkFirstTime(size_t I) const { return Chunks[I].FirstTime; }
+
+  /// Index of the last chunk whose first event time is <= \p Time (0 if
+  /// Time predates every chunk) — chunk-level seek for resuming replay
+  /// mid-stream.
+  size_t chunkIndexForTime(uint64_t Time) const;
+
+  /// Decodes chunk \p I into \p Out (cleared first; capacity is
+  /// reused across calls). Returns false with a diagnostic on any
+  /// malformed chunk.
+  bool readChunk(size_t I, std::vector<Event> &Out);
+
+  /// Sequential cursor: decodes the next unread chunk into \p Out.
+  /// Returns false at end of stream (error() empty) or on a malformed
+  /// chunk (error() set). seek() repositions the cursor.
+  bool nextChunk(std::vector<Event> &Out);
+  void seek(size_t ChunkIndex) { Cursor = ChunkIndex; }
+  size_t cursor() const { return Cursor; }
+
+private:
+  struct ChunkMeta {
+    uint64_t Offset = 0;
+    uint64_t Events = 0;
+    uint64_t FirstTime = 0;
+  };
+
+  bool fail(const std::string &Message);
+
+  std::FILE *File = nullptr;
+  std::string Error;
+  std::vector<std::pair<RoutineId, std::string>> Routines;
+  std::vector<ChunkMeta> Chunks;
+  uint64_t TotalEvents = 0;
+  uint64_t FooterOffset = 0;
+  size_t Cursor = 0;
+  /// Reused raw-payload buffer (readChunk decodes out of it).
+  std::string Payload;
+};
+
+/// True when \p Path starts with the chunked-stream magic; lets the
+/// driver auto-detect stream files next to the monolithic formats.
+bool isTraceStreamFile(const std::string &Path);
+
+/// Replays \p Reader's full stream into \p T through a batching
+/// EventDispatcher (the same delivery path replayTraceBatched uses),
+/// pulling one chunk at a time with a reused buffer. Returns false on
+/// a read error (Reader.error() explains); the tool still sees
+/// onFinish so partial results are well-formed.
+bool replayTraceStream(TraceStreamReader &Reader, Tool &T,
+                       const SymbolTable *Symbols = nullptr);
+
+} // namespace isp
+
+#endif // ISPROF_TRACE_TRACESTREAM_H

@@ -202,6 +202,89 @@ TEST(Driver, ParallelToolsRejectsBadValues) {
   }
 }
 
+TEST(Driver, StreamRecordReplayRoundTrip) {
+  // Chunked-stream recording must replay to the byte-identical profile
+  // a direct run produces (the report sections; the run/replay banners
+  // around them legitimately differ).
+  auto Section = [](const std::string &Output) {
+    size_t At = Output.find("--- aprof-trms ---");
+    EXPECT_NE(At, std::string::npos) << Output;
+    return At == std::string::npos ? std::string() : Output.substr(At);
+  };
+  std::string StreamPath = ::testing::TempDir() + "isprof_driver_stream.strm";
+  std::string Args = "run " + guest("stream.mini") + " --tools=aprof-trms";
+  CommandResult Direct = runDriver(Args);
+  ASSERT_EQ(Direct.ExitCode, 0) << Direct.Output;
+  CommandResult Record = runDriver(Args + " --record-stream=" + StreamPath);
+  ASSERT_EQ(Record.ExitCode, 0) << Record.Output;
+  EXPECT_NE(Record.Output.find("[stream:"), std::string::npos);
+  EXPECT_EQ(Section(Record.Output), Section(Direct.Output));
+
+  // Explicit flag and positional auto-detection both replay the stream.
+  for (std::string ReplayArgs :
+       {"replay --replay-stream=" + StreamPath + " --tools=aprof-trms",
+        "replay " + StreamPath + " --tools=aprof-trms"}) {
+    CommandResult Replay = runDriver(ReplayArgs);
+    ASSERT_EQ(Replay.ExitCode, 0) << Replay.Output;
+    EXPECT_NE(Replay.Output.find("[replayed"), std::string::npos);
+    EXPECT_EQ(Section(Replay.Output), Section(Direct.Output)) << ReplayArgs;
+  }
+  std::remove(StreamPath.c_str());
+}
+
+TEST(Driver, ShardedShadowOutputMatchesGlobal) {
+  // --shadow-shards must not change a single output byte.
+  std::string Args = "run " + guest("stream.mini") + " --tools=aprof-trms";
+  CommandResult Global = runDriver(Args);
+  ASSERT_EQ(Global.ExitCode, 0) << Global.Output;
+  for (const char *Flag : {" --shadow-shards=4", " --shadow-shards=16"}) {
+    CommandResult Sharded = runDriver(Args + Flag);
+    EXPECT_EQ(Sharded.ExitCode, 0) << Sharded.Output;
+    EXPECT_EQ(Sharded.Output, Global.Output) << Flag;
+  }
+}
+
+TEST(Driver, StreamingFlagsRejectBadValues) {
+  std::string Args = "run " + guest("quickstart.mini");
+  for (const char *Flag :
+       {" --shadow-shards=0", " --shadow-shards=3", " --shadow-shards=512",
+        " --shadow-shards=bogus"}) {
+    CommandResult R = runDriver(Args + Flag);
+    EXPECT_NE(R.ExitCode, 0) << Flag;
+    EXPECT_NE(R.Output.find("invalid --shadow-shards"), std::string::npos)
+        << Flag << ": " << R.Output;
+  }
+  for (const char *Flag :
+       {" --batch-capacity=0", " --batch-capacity=100",
+        " --batch-capacity=131072", " --batch-capacity=bogus"}) {
+    CommandResult R = runDriver(Args + Flag);
+    EXPECT_NE(R.ExitCode, 0) << Flag;
+    EXPECT_NE(R.Output.find("invalid --batch-capacity"), std::string::npos)
+        << Flag << ": " << R.Output;
+  }
+  // Replaying a corrupt stream is a clean diagnostic, not a crash.
+  std::string BadPath = ::testing::TempDir() + "isprof_bad_stream.strm";
+  {
+    std::ofstream Bad(BadPath, std::ios::binary);
+    Bad << "ISPSTM01 this is not a valid stream tail";
+  }
+  CommandResult R = runDriver("replay " + BadPath + " --tools=aprof-trms");
+  EXPECT_NE(R.ExitCode, 0);
+  std::remove(BadPath.c_str());
+}
+
+TEST(Driver, BatchCapacityOutputMatchesDefault) {
+  std::string Args = "run " + guest("quickstart.mini") +
+                     " --tools=aprof-trms,memcheck";
+  CommandResult Default = runDriver(Args);
+  ASSERT_EQ(Default.ExitCode, 0) << Default.Output;
+  for (const char *Flag : {" --batch-capacity=16", " --batch-capacity=4096"}) {
+    CommandResult Tuned = runDriver(Args + Flag);
+    EXPECT_EQ(Tuned.ExitCode, 0) << Tuned.Output;
+    EXPECT_EQ(Tuned.Output, Default.Output) << Flag;
+  }
+}
+
 TEST(Driver, ErrorsAreClean) {
   EXPECT_NE(runDriver("run /nonexistent.mini").ExitCode, 0);
   EXPECT_NE(runDriver("frobnicate").ExitCode, 0);

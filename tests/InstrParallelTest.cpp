@@ -53,7 +53,8 @@ std::vector<Event> makeTrace(uint64_t Operations, uint64_t Seed,
 /// delivery; > 0 requests parallel fan-out.
 std::vector<std::string> reportsForRun(const std::vector<Event> &Events,
                                        const std::vector<std::string> &ToolNames,
-                                       unsigned Workers) {
+                                       unsigned Workers,
+                                       size_t BatchCapacity = 0) {
   std::vector<std::unique_ptr<Tool>> Tools;
   for (const std::string &Name : ToolNames) {
     Tools.push_back(makeTool(Name));
@@ -62,6 +63,9 @@ std::vector<std::string> reportsForRun(const std::vector<Event> &Events,
   EventDispatcher Dispatcher;
   for (auto &T : Tools)
     Dispatcher.addTool(T.get());
+  if (BatchCapacity != 0) {
+    EXPECT_TRUE(Dispatcher.setBatchCapacity(BatchCapacity));
+  }
   if (Workers > 0)
     Dispatcher.setParallelWorkers(Workers);
   Dispatcher.start(nullptr);
@@ -359,14 +363,86 @@ TEST(ParallelFanout, BackpressureBoundsThePublisher) {
   ASSERT_TRUE(D.parallelActive());
   // Dense, non-mergeable reads: every 256 fill a batch, and the slow
   // consumer drains far behind the publisher's pace.
-  const uint64_t NumReads = 24 * EventDispatcher::BatchCapacity;
+  const uint64_t NumReads = 24 * EventDispatcher::DefaultBatchCapacity;
   for (uint64_t I = 0; I != NumReads; ++I)
     D.enqueue(Event::read(0, I + 1, 8 * I));
   D.finish();
   EXPECT_GT(D.backpressureBlocks(), 0u);
-  EXPECT_LE(D.maxQueueDepth(), EventDispatcher::RingSlots);
+  EXPECT_LE(D.maxQueueDepth(), D.ringSlots());
+  EXPECT_GE(D.ringSlots(), EventDispatcher::InitialRingSlots);
+  EXPECT_LE(D.ringSlots(), EventDispatcher::MaxRingSlots);
   // The join delivered everything despite the blocking.
   EXPECT_EQ(Slow.reads(), NumReads);
+}
+
+TEST(ParallelFanout, RingGrowsUnderSustainedBackpressure) {
+  // A publisher lapping a slow consumer for long enough must trip the
+  // adaptive growth: repeated backpressure doubles the ring (up to
+  // MaxRingSlots), trading bounded extra memory for fewer stalls —
+  // without losing or reordering a single event.
+  SlowTool Slow;
+  EventDispatcher D;
+  D.addTool(&Slow);
+  D.setParallelWorkers(1);
+  D.start(nullptr);
+  ASSERT_TRUE(D.parallelActive());
+  const uint64_t NumReads = 96 * EventDispatcher::DefaultBatchCapacity;
+  for (uint64_t I = 0; I != NumReads; ++I)
+    D.enqueue(Event::read(0, I + 1, 8 * I));
+  D.finish();
+  EXPECT_GE(D.backpressureBlocks(), EventDispatcher::RingGrowthThreshold);
+  EXPECT_GE(D.ringGrowths(), 1u);
+  EXPECT_GT(D.ringSlots(), EventDispatcher::InitialRingSlots);
+  EXPECT_LE(D.ringSlots(), EventDispatcher::MaxRingSlots);
+  EXPECT_EQ(Slow.reads(), NumReads);
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime batch capacity
+//===----------------------------------------------------------------------===//
+
+TEST(BatchCapacity, ValidatesAndReportsCapacity) {
+  EventDispatcher D;
+  EXPECT_EQ(D.batchCapacity(), EventDispatcher::DefaultBatchCapacity);
+  // Out of range or not a power of two: refused, capacity unchanged.
+  for (size_t Bad : {size_t(0), size_t(8), size_t(100), size_t(131072)}) {
+    EXPECT_FALSE(D.setBatchCapacity(Bad)) << Bad;
+    EXPECT_EQ(D.batchCapacity(), EventDispatcher::DefaultBatchCapacity);
+  }
+  EXPECT_TRUE(D.setBatchCapacity(EventDispatcher::MinBatchCapacity));
+  EXPECT_TRUE(D.setBatchCapacity(EventDispatcher::MaxBatchCapacity));
+  EXPECT_TRUE(D.setBatchCapacity(1024));
+  EXPECT_EQ(D.batchCapacity(), 1024u);
+  // Once events are buffered the resize is refused (it would drop them).
+  NulTool T;
+  D.addTool(&T);
+  D.start(nullptr);
+  D.enqueue(Event::read(0, 1, 8));
+  EXPECT_FALSE(D.setBatchCapacity(256));
+  EXPECT_EQ(D.batchCapacity(), 1024u);
+  D.finish();
+}
+
+TEST(BatchCapacity, ReportsAreIdenticalAcrossCapacities) {
+  // Batch capacity moves flush boundaries (and with them where access
+  // runs stop merging), but every tool is compaction-invariant — so the
+  // rendered reports must be byte-identical at every legal capacity.
+  const std::vector<std::string> ToolNames = {"aprof-trms", "aprof-rms",
+                                              "memcheck", "callgrind"};
+  std::vector<Event> Events = makeTrace(20000, 41);
+  std::vector<std::string> Baseline = reportsForRun(Events, ToolNames, 0);
+  for (size_t Capacity : {size_t(16), size_t(1024), size_t(65536)}) {
+    std::vector<std::string> Reports =
+        reportsForRun(Events, ToolNames, 0, Capacity);
+    ASSERT_EQ(Reports.size(), Baseline.size());
+    for (size_t I = 0; I != Baseline.size(); ++I)
+      EXPECT_EQ(Reports[I], Baseline[I])
+          << ToolNames[I] << " diverged at capacity " << Capacity;
+  }
+  // And in parallel mode, capacity and worker count compose cleanly.
+  std::vector<std::string> Parallel = reportsForRun(Events, ToolNames, 2, 64);
+  for (size_t I = 0; I != Baseline.size(); ++I)
+    EXPECT_EQ(Parallel[I], Baseline[I]) << ToolNames[I];
 }
 
 } // namespace

@@ -1,0 +1,590 @@
+//===- tests/TraceStreamTest.cpp - Chunked streaming trace format --------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// The chunked stream format (TraceStream.h) under test:
+//
+//  - round trip: append + close then chunk-by-chunk read reproduces the
+//    event sequence and routine table exactly, across chunk sizes;
+//  - chunks decode independently (out-of-order readChunk) — the property
+//    chunk-level seek relies on;
+//  - the dispatcher RecordSink hook observes a stream byte-identical to
+//    the in-memory Recorded vector;
+//  - writer memory (peakBufferedBytes) is bounded by one chunk no matter
+//    how many events stream through;
+//  - adversarial inputs — truncated chunks, corrupt footer index,
+//    overlong varints inside a chunk, chunk lengths past EOF — are
+//    rejected with a diagnostic, never crash, never allocate beyond what
+//    the actual payload bytes can back.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TrmsProfiler.h"
+#include "trace/Synthetic.h"
+#include "trace/TraceStream.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace isp;
+
+namespace {
+
+using RoutineTable = std::vector<std::pair<RoutineId, std::string>>;
+
+std::string tempPath(const char *Name) {
+  return ::testing::TempDir() + Name;
+}
+
+void writeFile(const std::string &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  ASSERT_TRUE(Out.good());
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+std::vector<Event> makeTrace(uint64_t Operations, uint64_t Seed,
+                             unsigned Threads = 4) {
+  SyntheticTraceOptions Gen;
+  Gen.NumThreads = Threads;
+  Gen.NumOperations = Operations;
+  Gen.Seed = Seed;
+  return generateSyntheticTrace(Gen);
+}
+
+/// Writes \p Events to \p Path as a stream and asserts success.
+void writeStream(const std::string &Path, const std::vector<Event> &Events,
+                 const RoutineTable &Routines,
+                 TraceStreamOptions Opts = TraceStreamOptions()) {
+  TraceStreamWriter Writer;
+  ASSERT_TRUE(Writer.open(Path, Routines, Opts)) << Writer.error();
+  for (const Event &E : Events)
+    Writer.append(E);
+  ASSERT_TRUE(Writer.close()) << Writer.error();
+}
+
+/// Drains every chunk of \p Reader from the start into one vector.
+std::vector<Event> readAll(TraceStreamReader &Reader) {
+  std::vector<Event> All, Chunk;
+  Reader.seek(0);
+  while (Reader.nextChunk(Chunk))
+    All.insert(All.end(), Chunk.begin(), Chunk.end());
+  return All;
+}
+
+//===----------------------------------------------------------------------===//
+// Round trip and chunk independence
+//===----------------------------------------------------------------------===//
+
+TEST(TraceStream, RoundTripsExactly) {
+  std::vector<Event> Events = makeTrace(3000, 7);
+  RoutineTable Routines = {{0, "main"}, {1, "worker"}, {9, "long_name_rtn"}};
+  std::string Path = tempPath("isprof_stream_roundtrip.strm");
+  writeStream(Path, Events, Routines);
+
+  TraceStreamReader Reader;
+  ASSERT_TRUE(Reader.open(Path)) << Reader.error();
+  EXPECT_EQ(Reader.routines(), Routines);
+  EXPECT_EQ(Reader.eventCount(), Events.size());
+  EXPECT_EQ(readAll(Reader), Events);
+  EXPECT_TRUE(Reader.error().empty()) << Reader.error();
+  EXPECT_TRUE(isTraceStreamFile(Path));
+  std::remove(Path.c_str());
+}
+
+TEST(TraceStream, ChunksDecodeIndependently) {
+  // A tiny chunk size forces many chunks; decoding them in reverse must
+  // give the same per-chunk events as decoding in order, because each
+  // chunk's delta state starts from a clean slate.
+  std::vector<Event> Events = makeTrace(2000, 8);
+  TraceStreamOptions Opts;
+  Opts.ChunkBytes = 256;
+  std::string Path = tempPath("isprof_stream_chunks.strm");
+  writeStream(Path, Events, {}, Opts);
+
+  TraceStreamReader Reader;
+  ASSERT_TRUE(Reader.open(Path)) << Reader.error();
+  ASSERT_GT(Reader.chunkCount(), 4u);
+
+  std::vector<std::vector<Event>> InOrder(Reader.chunkCount());
+  uint64_t IndexedEvents = 0;
+  for (size_t I = 0; I != Reader.chunkCount(); ++I) {
+    ASSERT_TRUE(Reader.readChunk(I, InOrder[I])) << Reader.error();
+    EXPECT_EQ(InOrder[I].size(), Reader.chunkEvents(I));
+    EXPECT_EQ(InOrder[I].front().Time, Reader.chunkFirstTime(I));
+    IndexedEvents += Reader.chunkEvents(I);
+  }
+  EXPECT_EQ(IndexedEvents, Events.size());
+
+  std::vector<Event> Chunk;
+  for (size_t I = Reader.chunkCount(); I-- != 0;) {
+    ASSERT_TRUE(Reader.readChunk(I, Chunk)) << Reader.error();
+    EXPECT_EQ(Chunk, InOrder[I]) << "chunk " << I;
+  }
+
+  std::vector<Event> All;
+  for (const auto &C : InOrder)
+    All.insert(All.end(), C.begin(), C.end());
+  EXPECT_EQ(All, Events);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceStream, SeekResumesMidStream) {
+  std::vector<Event> Events = makeTrace(2000, 9);
+  TraceStreamOptions Opts;
+  Opts.ChunkBytes = 512;
+  std::string Path = tempPath("isprof_stream_seek.strm");
+  writeStream(Path, Events, {}, Opts);
+
+  TraceStreamReader Reader;
+  ASSERT_TRUE(Reader.open(Path)) << Reader.error();
+  ASSERT_GT(Reader.chunkCount(), 2u);
+
+  // chunkIndexForTime finds the last chunk starting at or before Time.
+  EXPECT_EQ(Reader.chunkIndexForTime(0), 0u);
+  EXPECT_EQ(Reader.chunkIndexForTime(UINT64_MAX), Reader.chunkCount() - 1);
+  for (size_t I = 0; I != Reader.chunkCount(); ++I)
+    EXPECT_EQ(Reader.chunkIndexForTime(Reader.chunkFirstTime(I)), I);
+
+  // Replay resumed from a mid-stream chunk yields exactly the tail.
+  size_t Mid = Reader.chunkCount() / 2;
+  uint64_t Skipped = 0;
+  for (size_t I = 0; I != Mid; ++I)
+    Skipped += Reader.chunkEvents(I);
+  Reader.seek(Mid);
+  std::vector<Event> Tail, Chunk;
+  while (Reader.nextChunk(Chunk))
+    Tail.insert(Tail.end(), Chunk.begin(), Chunk.end());
+  ASSERT_TRUE(Reader.error().empty()) << Reader.error();
+  ASSERT_EQ(Tail.size(), Events.size() - Skipped);
+  for (size_t I = 0; I != Tail.size(); ++I)
+    EXPECT_EQ(Tail[I], Events[Skipped + I]);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceStream, EmptyStreamIsValid) {
+  RoutineTable Routines = {{3, "only"}};
+  std::string Path = tempPath("isprof_stream_empty.strm");
+  writeStream(Path, {}, Routines);
+
+  TraceStreamReader Reader;
+  ASSERT_TRUE(Reader.open(Path)) << Reader.error();
+  EXPECT_EQ(Reader.chunkCount(), 0u);
+  EXPECT_EQ(Reader.eventCount(), 0u);
+  EXPECT_EQ(Reader.routines(), Routines);
+  std::vector<Event> Chunk;
+  EXPECT_FALSE(Reader.nextChunk(Chunk));
+  EXPECT_TRUE(Reader.error().empty()) << Reader.error();
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatcher integration: sink identity, bounded writer memory
+//===----------------------------------------------------------------------===//
+
+TEST(TraceStream, SinkObservesExactlyTheRecordedStream) {
+  // The RecordSink contract: a sink sees the same compacted stream the
+  // in-memory recorder accumulates, batch for batch. Recording into a
+  // stream file and reading it back must therefore reproduce the
+  // Recorded vector exactly.
+  std::vector<Event> Raw = makeTrace(4000, 10);
+  std::string Path = tempPath("isprof_stream_sink.strm");
+
+  TraceStreamWriter Writer;
+  ASSERT_TRUE(Writer.open(Path, {}));
+  EventDispatcher Dispatcher;
+  Dispatcher.enableRecording();
+  Dispatcher.setRecordSink(&Writer);
+  Dispatcher.start(nullptr);
+  for (const Event &E : Raw)
+    Dispatcher.enqueue(E);
+  Dispatcher.finish();
+  ASSERT_TRUE(Writer.close()) << Writer.error();
+  EXPECT_EQ(Writer.eventsWritten(), Dispatcher.recordedEvents().size());
+
+  TraceStreamReader Reader;
+  ASSERT_TRUE(Reader.open(Path)) << Reader.error();
+  EXPECT_EQ(readAll(Reader), Dispatcher.recordedEvents());
+  EXPECT_TRUE(Reader.error().empty()) << Reader.error();
+  std::remove(Path.c_str());
+}
+
+TEST(TraceStream, StreamedReplayMatchesInMemoryProfile) {
+  // Profile equivalence end to end: replaying a stream file through
+  // replayTraceStream gives the same trms database as batched in-memory
+  // replay of the identical event sequence.
+  for (uint64_t Seed : {11u, 12u}) {
+    std::vector<Event> Events = makeTrace(5000, Seed);
+    std::string Path = tempPath("isprof_stream_profile.strm");
+    writeStream(Path, Events, {});
+
+    TrmsProfilerOptions ProfOpts;
+    ProfOpts.KeepActivationLog = true;
+    TrmsProfiler InMemory(ProfOpts);
+    replayTraceBatched(Events, InMemory);
+
+    TraceStreamReader Reader;
+    ASSERT_TRUE(Reader.open(Path)) << Reader.error();
+    TrmsProfiler Streamed(ProfOpts);
+    ASSERT_TRUE(replayTraceStream(Reader, Streamed)) << Reader.error();
+
+    const ProfileDatabase &A = InMemory.database();
+    const ProfileDatabase &B = Streamed.database();
+    ASSERT_EQ(A.log().size(), B.log().size());
+    for (size_t I = 0; I != A.log().size(); ++I)
+      ASSERT_EQ(A.log()[I], B.log()[I]) << "activation " << I;
+    EXPECT_EQ(A.GlobalReads, B.GlobalReads);
+    EXPECT_EQ(A.GlobalInducedThread, B.GlobalInducedThread);
+    std::remove(Path.c_str());
+  }
+}
+
+TEST(TraceStream, WriterMemoryIsBoundedByOneChunk) {
+  // The bounded-memory claim at unit scale: the writer's only variable
+  // memory is the open-chunk buffer, whose high-water mark is one chunk
+  // plus at most one encoded event — independent of stream length.
+  TraceStreamOptions Opts;
+  Opts.ChunkBytes = 1024;
+  const uint64_t MaxEncodedEvent = 1 + 4 * 10; // kind byte + four varints
+  for (uint64_t Operations : {1000u, 10000u}) {
+    std::vector<Event> Events = makeTrace(Operations, 13);
+    std::string Path = tempPath("isprof_stream_bounded.strm");
+    TraceStreamWriter Writer;
+    ASSERT_TRUE(Writer.open(Path, {}, Opts));
+    for (const Event &E : Events)
+      Writer.append(E);
+    EXPECT_LE(Writer.peakBufferedBytes(), Opts.ChunkBytes + MaxEncodedEvent)
+        << "at " << Operations << " events";
+    ASSERT_TRUE(Writer.close());
+    std::remove(Path.c_str());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Adversarial inputs: reject with a diagnostic, never crash
+//===----------------------------------------------------------------------===//
+
+/// Unsigned LEB128 append, mirroring the writer, for hand-building
+/// hostile streams.
+void appendVarint(std::string &Out, uint64_t V) {
+  while (V >= 0x80) {
+    Out.push_back(static_cast<char>((V & 0x7f) | 0x80));
+    V >>= 7;
+  }
+  Out.push_back(static_cast<char>(V));
+}
+
+void appendU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void appendU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+/// Hand-builds syntactically valid stream files around arbitrary chunk
+/// payloads, so single fields can be made hostile in isolation.
+struct StreamBuilder {
+  std::string Bytes;
+  struct IndexEntry {
+    uint64_t Offset, Events, FirstTime;
+  };
+  std::vector<IndexEntry> Index;
+
+  StreamBuilder() {
+    Bytes.assign("ISPSTM01", 8);
+    appendVarint(Bytes, 0); // empty routine table
+  }
+  /// Appends a chunk; \p Events is what the footer index will claim.
+  void addChunk(const std::string &Payload, uint64_t Events,
+                uint64_t FirstTime = 1) {
+    Index.push_back({Bytes.size(), Events, FirstTime});
+    appendU32(Bytes, static_cast<uint32_t>(Payload.size()));
+    Bytes += Payload;
+  }
+  std::string finish() {
+    uint64_t FooterOffset = Bytes.size();
+    appendVarint(Bytes, Index.size());
+    for (const IndexEntry &E : Index) {
+      appendVarint(Bytes, E.Offset);
+      appendVarint(Bytes, E.Events);
+      appendVarint(Bytes, E.FirstTime);
+    }
+    appendU64(Bytes, FooterOffset);
+    Bytes.append("ISPSTMIX", 8);
+    return Bytes;
+  }
+};
+
+/// One well-formed encoded event for hand-built payloads.
+void appendEvent(std::string &Out, uint64_t Tid = 0, uint64_t TimeDelta = 1,
+                 uint64_t Arg0Zigzag = 0, uint64_t Arg1 = 0) {
+  Out.push_back(0); // smallest valid kind
+  appendVarint(Out, Tid);
+  appendVarint(Out, TimeDelta);
+  appendVarint(Out, Arg0Zigzag);
+  appendVarint(Out, Arg1);
+}
+
+/// Opens the stream in \p Bytes and, if the index parses, tries to read
+/// every chunk. Returns the first diagnostic hit, or "" when the whole
+/// file was accepted. Must never crash, whatever the input.
+std::string probeStream(const std::string &Bytes, const char *Name) {
+  std::string Path = tempPath(Name);
+  writeFile(Path, Bytes);
+  TraceStreamReader Reader;
+  std::string Diag;
+  if (!Reader.open(Path)) {
+    Diag = Reader.error();
+    EXPECT_FALSE(Diag.empty()) << "rejection must carry a diagnostic";
+  } else {
+    std::vector<Event> Chunk;
+    for (size_t I = 0; I != Reader.chunkCount() && Diag.empty(); ++I)
+      if (!Reader.readChunk(I, Chunk))
+        Diag = Reader.error();
+  }
+  std::remove(Path.c_str());
+  return Diag;
+}
+
+TEST(TraceStreamHardening, RejectsOverlongVarintInsideChunk) {
+  // A time-delta varint with eleven continuation bytes: more than any
+  // uint64 can need. The chunk framing is valid, so only the in-chunk
+  // varint decoder can catch it.
+  std::string Payload;
+  appendVarint(Payload, 1); // event count
+  Payload.push_back(0);     // kind
+  appendVarint(Payload, 0); // tid
+  for (int I = 0; I != 11; ++I)
+    Payload.push_back(static_cast<char>(0x81));
+  Payload.push_back(0x00);  // the overlong time delta
+  appendVarint(Payload, 0); // arg0
+  appendVarint(Payload, 0); // arg1
+  StreamBuilder B;
+  B.addChunk(Payload, 1);
+  std::string Diag = probeStream(B.finish(), "isprof_stream_overlong.strm");
+  EXPECT_NE(Diag.find("corrupt chunk"), std::string::npos) << Diag;
+
+  // Ten bytes with payload past bit 63 — the wrap-silently classic.
+  std::string Wrap;
+  appendVarint(Wrap, 1);
+  Wrap.push_back(0);
+  appendVarint(Wrap, 0);
+  for (int I = 0; I != 9; ++I)
+    Wrap.push_back(static_cast<char>(0x80));
+  Wrap.push_back(0x02); // bit 64
+  appendVarint(Wrap, 0);
+  appendVarint(Wrap, 0);
+  StreamBuilder B2;
+  B2.addChunk(Wrap, 1);
+  Diag = probeStream(B2.finish(), "isprof_stream_overlong2.strm");
+  EXPECT_NE(Diag.find("corrupt chunk"), std::string::npos) << Diag;
+}
+
+TEST(TraceStreamHardening, RejectsChunkLengthPastEOF) {
+  // Patch a valid single-chunk file's u32 length prefix to run past the
+  // footer (and the file): the read must be refused before any payload
+  // I/O is attempted.
+  std::string Payload;
+  appendVarint(Payload, 1);
+  appendEvent(Payload);
+  StreamBuilder B;
+  B.addChunk(Payload, 1);
+  std::string Bytes = B.finish();
+  size_t LenAt = B.Index[0].Offset;
+  for (uint32_t Hostile : {0xffffffffu, 0u}) {
+    std::string Mutated = Bytes;
+    for (int I = 0; I != 4; ++I)
+      Mutated[LenAt + I] = static_cast<char>((Hostile >> (8 * I)) & 0xff);
+    std::string Diag = probeStream(Mutated, "isprof_stream_pasteof.strm");
+    EXPECT_NE(Diag.find("payload length out of bounds"), std::string::npos)
+        << "length " << Hostile << ": " << Diag;
+  }
+}
+
+TEST(TraceStreamHardening, RejectsEventCountDisagreement) {
+  // Payload says two events, footer index says one: the cross-check
+  // must refuse rather than trust either side.
+  std::string Payload;
+  appendVarint(Payload, 2);
+  appendEvent(Payload, 0, 1);
+  appendEvent(Payload, 0, 1);
+  StreamBuilder B;
+  B.addChunk(Payload, /*Events=*/1);
+  std::string Diag = probeStream(B.finish(), "isprof_stream_disagree.strm");
+  EXPECT_NE(Diag.find("disagrees with footer index"), std::string::npos)
+      << Diag;
+}
+
+TEST(TraceStreamHardening, RejectsHugeEventCountWithoutAllocating) {
+  // A claimed in-chunk count of 2^60 over a few payload bytes must be
+  // clamped before Out.reserve() tries to honour it. (If the clamp were
+  // missing this test would OOM, not just fail.)
+  std::string Payload;
+  appendVarint(Payload, uint64_t(1) << 60);
+  appendEvent(Payload);
+  StreamBuilder B;
+  B.addChunk(Payload, uint64_t(1) << 60);
+  std::string Diag = probeStream(B.finish(), "isprof_stream_hugecount.strm");
+  EXPECT_NE(Diag.find("exceeds payload bytes"), std::string::npos) << Diag;
+
+  // Same for the footer's chunk count: nothing may be reserved for
+  // entries the index bytes cannot encode.
+  StreamBuilder B2;
+  std::string P2;
+  appendVarint(P2, 1);
+  appendEvent(P2);
+  B2.addChunk(P2, 1);
+  std::string Bytes = B2.finish();
+  // Rebuild the footer with a hostile chunk count but keep the trailer
+  // pointing at it.
+  std::string Hostile(Bytes.begin(),
+                      Bytes.begin() + static_cast<long>(B2.Index[0].Offset) +
+                          4 + static_cast<long>(P2.size()));
+  uint64_t FooterOffset = Hostile.size();
+  appendVarint(Hostile, uint64_t(1) << 58);
+  appendU64(Hostile, FooterOffset);
+  Hostile.append("ISPSTMIX", 8);
+  Diag = probeStream(Hostile, "isprof_stream_hugechunks.strm");
+  EXPECT_NE(Diag.find("corrupt footer"), std::string::npos) << Diag;
+}
+
+TEST(TraceStreamHardening, RejectsCorruptTrailer) {
+  std::vector<Event> Events = makeTrace(200, 14);
+  std::string Path = tempPath("isprof_stream_trailer.strm");
+  writeStream(Path, Events, {});
+  std::string Bytes = readFile(Path);
+  std::remove(Path.c_str());
+  ASSERT_GE(Bytes.size(), 16u);
+
+  std::string BadMagic = Bytes;
+  BadMagic[BadMagic.size() - 1] ^= 0x01;
+  std::string Diag = probeStream(BadMagic, "isprof_stream_badmagic.strm");
+  EXPECT_NE(Diag.find("bad trailer magic"), std::string::npos) << Diag;
+
+  for (uint64_t Hostile : {uint64_t(0), ~uint64_t(0), uint64_t(Bytes.size())}) {
+    std::string BadOffset = Bytes;
+    for (int I = 0; I != 8; ++I)
+      BadOffset[BadOffset.size() - 16 + I] =
+          static_cast<char>((Hostile >> (8 * I)) & 0xff);
+    Diag = probeStream(BadOffset, "isprof_stream_badoffset.strm");
+    EXPECT_FALSE(Diag.empty()) << "footer offset " << Hostile << " accepted";
+  }
+}
+
+TEST(TraceStreamHardening, TruncationFuzzNeverAccepted) {
+  // Every proper prefix of a valid stream is missing bytes the trailer
+  // promises; all of them must be rejected at open(), with a diagnostic.
+  std::vector<Event> Events = makeTrace(400, 15);
+  TraceStreamOptions Opts;
+  Opts.ChunkBytes = 128; // many chunks, so truncation lands everywhere
+  std::string Path = tempPath("isprof_stream_truncsrc.strm");
+  writeStream(Path, Events, {{0, "f"}, {1, "g"}}, Opts);
+  std::string Bytes = readFile(Path);
+  std::remove(Path.c_str());
+  ASSERT_GT(Bytes.size(), 100u);
+
+  std::string TruncPath = tempPath("isprof_stream_trunc.strm");
+  for (size_t Len = 0; Len < Bytes.size(); Len += 7) {
+    writeFile(TruncPath, Bytes.substr(0, Len));
+    TraceStreamReader Reader;
+    EXPECT_FALSE(Reader.open(TruncPath))
+        << "prefix of length " << Len << " accepted";
+    EXPECT_FALSE(Reader.error().empty());
+  }
+  std::remove(TruncPath.c_str());
+}
+
+TEST(TraceStreamHardening, CorruptFooterIndexFuzz) {
+  // Flip every footer-index byte: the reader must either refuse the
+  // file, refuse some chunk, or — when the flip lands in a field with
+  // no bearing on decoding (a chunk's FirstTime seek key) — still
+  // reproduce the original events exactly. Silent wrong decodes and
+  // crashes are the failures being hunted.
+  std::vector<Event> Events = makeTrace(600, 16);
+  TraceStreamOptions Opts;
+  Opts.ChunkBytes = 256;
+  std::string Path = tempPath("isprof_stream_footersrc.strm");
+  writeStream(Path, Events, {}, Opts);
+  std::string Bytes = readFile(Path);
+  std::remove(Path.c_str());
+
+  uint64_t FooterOffset = 0;
+  for (int I = 0; I != 8; ++I)
+    FooterOffset |= static_cast<uint64_t>(static_cast<unsigned char>(
+                        Bytes[Bytes.size() - 16 + I]))
+                    << (8 * I);
+  ASSERT_LT(FooterOffset, Bytes.size() - 16);
+
+  std::string MutPath = tempPath("isprof_stream_footermut.strm");
+  for (size_t Pos = FooterOffset; Pos != Bytes.size() - 16; ++Pos) {
+    for (int Bit : {0, 6}) {
+      std::string Mutated = Bytes;
+      Mutated[Pos] = static_cast<char>(Mutated[Pos] ^ (1 << Bit));
+      writeFile(MutPath, Mutated);
+      TraceStreamReader Reader;
+      if (!Reader.open(MutPath)) {
+        EXPECT_FALSE(Reader.error().empty());
+        continue;
+      }
+      std::vector<Event> All, Chunk;
+      bool Failed = false;
+      for (size_t I = 0; I != Reader.chunkCount() && !Failed; ++I) {
+        if (!Reader.readChunk(I, Chunk))
+          Failed = true;
+        else
+          All.insert(All.end(), Chunk.begin(), Chunk.end());
+      }
+      if (!Failed) {
+        EXPECT_EQ(All, Events)
+            << "footer byte " << (Pos - FooterOffset) << " bit " << Bit
+            << " silently changed the decoded stream";
+      }
+    }
+  }
+  std::remove(MutPath.c_str());
+}
+
+TEST(TraceStreamHardening, BitFlipFuzzNeverCrashes) {
+  // Whole-file bit flips: acceptance is fine when the flip lands in a
+  // payload byte; the contract is no crash, no unbounded allocation.
+  std::vector<Event> Events = makeTrace(300, 17);
+  TraceStreamOptions Opts;
+  Opts.ChunkBytes = 512;
+  std::string Path = tempPath("isprof_stream_flipsrc.strm");
+  writeStream(Path, Events, {{0, "main"}}, Opts);
+  std::string Bytes = readFile(Path);
+  std::remove(Path.c_str());
+
+  std::string MutPath = tempPath("isprof_stream_flip.strm");
+  for (size_t Pos = 0; Pos < Bytes.size(); Pos += 3) {
+    for (int Bit : {0, 3, 7}) {
+      std::string Mutated = Bytes;
+      Mutated[Pos] = static_cast<char>(Mutated[Pos] ^ (1 << Bit));
+      writeFile(MutPath, Mutated);
+      TraceStreamReader Reader;
+      if (Reader.open(MutPath)) {
+        std::vector<Event> Chunk;
+        while (Reader.nextChunk(Chunk)) {
+        }
+      }
+    }
+  }
+  std::remove(MutPath.c_str());
+}
+
+} // namespace
