@@ -29,6 +29,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 
 using namespace isp;
 
@@ -285,7 +286,16 @@ int main(int argc, char **argv) {
     return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
-  std::string Path = writeHotpathReport();
+  // ISPROF_BENCH_REPEATS trims the best-of-N timing loops (CI smoke
+  // runs use 1); the default stays the statistically steadier 5.
+  unsigned Repeats = 5;
+  if (const char *Env = std::getenv("ISPROF_BENCH_REPEATS")) {
+    char *End = nullptr;
+    long N = std::strtol(Env, &End, 10);
+    if (End != Env && *End == '\0' && N > 0 && N <= 100)
+      Repeats = static_cast<unsigned>(N);
+  }
+  std::string Path = writeHotpathReport(Repeats);
   if (Path.empty())
     return 1;
   std::printf("hot-path report written to %s\n", Path.c_str());

@@ -30,6 +30,7 @@
 #include "instr/Dispatcher.h"
 #include "obs/Obs.h"
 #include "obs/TraceLog.h"
+#include "replay/ParallelReplay.h"
 #include "support/CommandLine.h"
 #include "support/Format.h"
 #include "shadow/ShardedShadow.h"
@@ -81,6 +82,12 @@ int usage() {
       "  --replay-stream=PATH   (replay) replay a chunked stream file\n"
       "                  chunk by chunk (bounded memory); plain replay\n"
       "                  also auto-detects stream files by magic\n"
+      "  --replay-workers=N     (replay, streams, --tools=aprof-trms\n"
+      "                  only) partition shadow updates across N worker\n"
+      "                  threads with epoch-barrier coordination; the\n"
+      "                  report is byte-identical to serial replay.\n"
+      "                  0 = serial; env ISPROF_REPLAY_WORKERS engages\n"
+      "                  the same mode when the flag is absent\n"
       "  --shadow-shards=N      shard the aprof-trms global wts shadow\n"
       "                  by address range (power of two; default 1).\n"
       "                  Profiles are identical across shard counts\n"
@@ -141,6 +148,46 @@ bool parseParallelTools(const OptionParser &Options, int *WorkersOut) {
 void applyParallelTools(EventDispatcher &Dispatcher, int Workers) {
   if (Workers >= 0)
     Dispatcher.setParallelWorkers(static_cast<unsigned>(Workers));
+}
+
+/// The validated --replay-workers request. Explicit distinguishes the
+/// command-line flag (incompatible configurations are hard errors) from
+/// the ISPROF_REPLAY_WORKERS environment fallback (which engages only
+/// when the replay is eligible, so a suite-wide export — the TSan CI
+/// job — cannot break monolithic-trace or multi-tool invocations).
+struct ReplayWorkersRequest {
+  unsigned Workers = 0;
+  bool Explicit = false;
+};
+
+/// Decodes --replay-workers / ISPROF_REPLAY_WORKERS. Returns false
+/// (after printing a diagnostic) on a malformed explicit value.
+bool parseReplayWorkers(const OptionParser &Options,
+                        ReplayWorkersRequest *Out) {
+  std::string V = Options.getString("replay-workers");
+  if (V.empty()) {
+    if (const char *Env = std::getenv("ISPROF_REPLAY_WORKERS")) {
+      char *End = nullptr;
+      long N = std::strtol(Env, &End, 10);
+      if (End != Env && *End == '\0' && N >= 0 &&
+          N <= static_cast<long>(ParallelReplayOptions::MaxWorkers))
+        Out->Workers = static_cast<unsigned>(N);
+    }
+    return true;
+  }
+  char *End = nullptr;
+  long N = std::strtol(V.c_str(), &End, 10);
+  if (End == V.c_str() || *End != '\0' || N < 0 ||
+      N > static_cast<long>(ParallelReplayOptions::MaxWorkers)) {
+    std::fprintf(stderr,
+                 "isprof: invalid --replay-workers value '%s' (expected a "
+                 "worker count in [0, %u])\n",
+                 V.c_str(), ParallelReplayOptions::MaxWorkers);
+    return false;
+  }
+  Out->Workers = static_cast<unsigned>(N);
+  Out->Explicit = true;
+  return true;
 }
 
 /// Decodes a power-of-two numeric option in [\p Min, \p Max]. Returns
@@ -414,6 +461,53 @@ int commandRun(OptionParser &Options) {
   return 0;
 }
 
+/// Parallel stream replay (--replay-workers=N): the shard-partitioned
+/// engine with epoch barriers, producing a report byte-identical to the
+/// serial path.
+int replayStreamParallel(const std::string &StreamPath,
+                         const ToolOptions &ToolOpts, unsigned Workers) {
+  TraceStreamReader Reader;
+  if (!Reader.open(StreamPath)) {
+    std::fprintf(stderr, "isprof: cannot read stream %s: %s\n",
+                 StreamPath.c_str(), Reader.error().c_str());
+    return 1;
+  }
+  SymbolTable Symbols;
+  for (const auto &[Id, Name] : Reader.routines())
+    Symbols.intern(Name);
+
+  TrmsProfilerOptions ProfOpts;
+  ProfOpts.ShadowShards = ToolOpts.ShadowShards;
+  if (ProfOpts.ShadowShards <= 1) {
+    // --shadow-shards left at its default: auto-size so each worker
+    // owns several shards (profiles are identical across shard counts,
+    // so this only affects load balance).
+    unsigned Shards = 1;
+    while (Shards < 4 * Workers && Shards < 64)
+      Shards <<= 1;
+    ProfOpts.ShadowShards = Shards;
+  }
+  ParallelReplayProfiler Profiler(ProfOpts);
+
+  ParallelReplayOptions ReplayOpts;
+  ReplayOpts.Workers = Workers;
+  uint64_t Replayed = 0;
+  bool Ok = parallelReplayStream(Reader, Profiler, &Symbols, ReplayOpts,
+                                 /*StatsOut=*/nullptr, &Replayed);
+  if (!Ok) {
+    std::fprintf(stderr, "isprof: stream %s: chunk %zu: %s\n",
+                 StreamPath.c_str(),
+                 Reader.cursor() == 0 ? size_t(0) : Reader.cursor() - 1,
+                 Reader.error().c_str());
+    return 1;
+  }
+  std::printf("[replayed %s events from %zu chunk(s)]\n\n",
+              formatWithCommas(Replayed).c_str(), Reader.chunkCount());
+  std::printf("--- %s ---\n%s\n", Profiler.name().c_str(),
+              renderToolReport(Profiler, &Symbols).c_str());
+  return 0;
+}
+
 int commandReplay(OptionParser &Options) {
   // --replay-stream names a chunked stream explicitly; a positional
   // trace that carries the stream magic is streamed too, so `isprof
@@ -435,12 +529,32 @@ int commandReplay(OptionParser &Options) {
   ToolOptions ToolOpts;
   if (!parseShadowShards(Options, &ToolOpts))
     return 2;
-  ToolSet Tools;
-  if (!Tools.create(Options.getString("tools"), /*Contexts=*/false,
-                    ToolOpts))
+  ReplayWorkersRequest ReplayReq;
+  if (!parseReplayWorkers(Options, &ReplayReq))
     return 2;
   int ParallelWorkers = -1;
   if (!parseParallelTools(Options, &ParallelWorkers))
+    return 2;
+  // Parallel replay partitions the trms shadow state itself, so it
+  // applies only to chunked streams with exactly the aprof-trms tool
+  // and no tool-level fan-out. An explicit incompatible request is an
+  // error; the environment fallback silently stays serial.
+  bool ParallelEligible = !StreamPath.empty() &&
+                          Options.getString("tools") == "aprof-trms" &&
+                          ParallelWorkers < 0;
+  if (ReplayReq.Workers > 0 && ReplayReq.Explicit && !ParallelEligible) {
+    std::fprintf(stderr,
+                 "isprof: --replay-workers requires a chunked stream "
+                 "(--replay-stream or a stream-format trace), "
+                 "--tools=aprof-trms, and no --parallel-tools\n");
+    return 2;
+  }
+  if (ReplayReq.Workers > 0 && ParallelEligible)
+    return replayStreamParallel(StreamPath, ToolOpts, ReplayReq.Workers);
+
+  ToolSet Tools;
+  if (!Tools.create(Options.getString("tools"), /*Contexts=*/false,
+                    ToolOpts))
     return 2;
   EventDispatcher Dispatcher;
   Tools.attach(Dispatcher);
@@ -463,7 +577,11 @@ int commandReplay(OptionParser &Options) {
     Dispatcher.start(&Symbols);
     std::vector<Event> Chunk;
     uint64_t Replayed = 0;
-    while (Reader.nextChunk(Chunk)) {
+    size_t ErrorChunk = 0;
+    while (true) {
+      ErrorChunk = Reader.cursor();
+      if (!Reader.nextChunk(Chunk))
+        break;
       for (const Event &E : Chunk)
         Dispatcher.enqueue(E);
       Replayed += Chunk.size();
@@ -471,8 +589,8 @@ int commandReplay(OptionParser &Options) {
     bool ReadOk = Reader.error().empty();
     Dispatcher.finish();
     if (!ReadOk) {
-      std::fprintf(stderr, "isprof: stream %s: %s\n", StreamPath.c_str(),
-                   Reader.error().c_str());
+      std::fprintf(stderr, "isprof: stream %s: chunk %zu: %s\n",
+                   StreamPath.c_str(), ErrorChunk, Reader.error().c_str());
       return 1;
     }
     std::printf("[replayed %s events from %zu chunk(s)]\n\n",
@@ -689,6 +807,10 @@ int main(int Argc, char **Argv) {
   Options.addOption("record-stream", "",
                     "stream the event trace to this path as a chunked "
                     "file while the guest runs (bounded memory)");
+  Options.addOption("replay-workers", "",
+                    "(replay) partition stream replay across N shadow-"
+                    "shard workers (streams + --tools=aprof-trms only; "
+                    "0 = serial)");
   Options.addOption("replay-stream", "",
                     "(replay) replay this chunked stream file chunk by "
                     "chunk (bounded memory)");

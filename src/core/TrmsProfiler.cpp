@@ -49,8 +49,15 @@ TrmsProfilerT<ShadowT, WtsShadowT>::stateSlow(ThreadId Tid) {
   if (Tid >= Threads.size())
     Threads.resize(static_cast<size_t>(Tid) + 1);
   std::unique_ptr<ThreadState> &Slot = Threads[Tid];
-  if (!Slot)
+  if (!Slot) {
     Slot = std::make_unique<ThreadState>();
+    // Mirror the wts sharding on the per-thread ts when the shadow type
+    // supports it (the ParallelReplayProfiler configuration): parallel
+    // replay routes ops by shard, and both shadows a worker touches
+    // must agree on which shard an address belongs to.
+    if constexpr (requires(ShadowT &S) { S.setShardCount(1u); })
+      Slot->Ts.setShardCount(Options.ShadowShards);
+  }
   if (HaveCurrentTid && CurrentTid == Tid)
     CurrentState = Slot.get();
   return *Slot;
@@ -276,6 +283,167 @@ void TrmsProfilerT<ShadowT, WtsShadowT>::onKernelWrite(ThreadId Tid, Addr A,
   Wts.fillRange(A, Cells, packWts(Count, /*Kernel=*/true));
 }
 
+//===----------------------------------------------------------------------===//
+// Parallel-replay entry points
+//
+// onRead/onWrite/onKernelWrite split into a serial half (global counter
+// and tallies) and a shard-local half (shadow cells plus commutative
+// classification sums). The shard-local half below is a transcription
+// of the corresponding on* body with every update to shared state
+// replaced by a TrmsReplayDeltas increment; byte-identity of parallel
+// replay rests on these staying in lockstep with the serial handlers.
+//===----------------------------------------------------------------------===//
+
+template <typename ShadowT, typename WtsShadowT>
+unsigned TrmsProfilerT<ShadowT, WtsShadowT>::replayShardCount() const {
+  if constexpr (requires(const WtsShadowT &W) { W.shardCount(); })
+    return Wts.shardCount();
+  else
+    return 1;
+}
+
+template <typename ShadowT, typename WtsShadowT>
+size_t TrmsProfilerT<ShadowT, WtsShadowT>::replayShardOf(Addr A) const {
+  if constexpr (requires(const WtsShadowT &W) { W.shardOf(A); })
+    return Wts.shardOf(A);
+  else
+    return 0;
+}
+
+template <typename ShadowT, typename WtsShadowT>
+void TrmsProfilerT<ShadowT, WtsShadowT>::replayPrepareMemOp(const Event &E,
+                                                            TrmsReplayOp &Op) {
+  noteThread(E.Tid);
+  ThreadState &TS = state(E.Tid);
+  Op.Tid = E.Tid;
+  Op.State = &TS;
+  switch (E.Kind) {
+  case EventKind::Read:
+  case EventKind::KernelRead:
+    Database.GlobalReads += E.Arg1;
+    Op.Kind = EventKind::Read;
+    break;
+  case EventKind::Write:
+    Op.Kind = EventKind::Write;
+    break;
+  case EventKind::KernelWrite:
+    bumpCount();
+    Op.Kind = EventKind::KernelWrite;
+    break;
+  default:
+    assert(false && "not a memory event");
+    break;
+  }
+  Op.Count = Count;
+}
+
+template <typename ShadowT, typename WtsShadowT>
+void TrmsProfilerT<ShadowT, WtsShadowT>::replayApplyMemOp(
+    const TrmsReplayOp &Op, Addr A, uint64_t Cells, TrmsReplayDeltas &D) {
+  ThreadState &TS = *static_cast<ThreadState *>(Op.State);
+  switch (Op.Kind) {
+  case EventKind::Write:
+    TS.Ts.fillRange(A, Cells, Op.Count);
+    Wts.fillRange(A, Cells, packWts(Op.Count, /*Kernel=*/false));
+    return;
+  case EventKind::KernelWrite:
+    Wts.fillRange(A, Cells, packWts(Op.Count, /*Kernel=*/true));
+    return;
+  default:
+    break;
+  }
+  // Read. The stack is frozen for the duration of the epoch, so frame
+  // timestamps can be read without synchronization; the frame partials
+  // themselves are NOT touched — increments go into D.
+  if (TS.Stack.empty()) {
+    TS.Ts.fillRange(A, Cells, Op.Count);
+    return;
+  }
+  const Frame &Top = TS.Stack.back();
+  const uint64_t CountNow = Op.Count;
+  const size_t TopIndex = TS.Stack.size() - 1;
+  // Resolve the top frame's delta first: it grows the Frames vector to
+  // its final size, so the ancestor lookups inside the loop (always at
+  // smaller indices) can never reallocate it under this reference.
+  TrmsReplayDeltas::FrameDelta &TopD = D.frame(Op.Tid, TopIndex);
+  TS.Ts.forRange(A, Cells, [&](Addr Address, uint64_t &TsCell) {
+    uint64_t WPacked = Wts.get(Address);
+    uint64_t WTime = wtsTime(WPacked);
+
+    bool NeedAncestor = TsCell != 0 && TsCell < Top.Ts;
+    size_t AncestorIndex = 0;
+    bool HaveAncestor = false;
+    if (NeedAncestor) {
+      size_t Lo = 0, Hi = TS.Stack.size();
+      while (Lo < Hi) {
+        size_t Mid = Lo + (Hi - Lo) / 2;
+        if (TS.Stack[Mid].Ts <= TsCell)
+          Lo = Mid + 1;
+        else
+          Hi = Mid;
+      }
+      if (Lo > 0) {
+        AncestorIndex = Lo - 1;
+        HaveAncestor = true;
+      }
+    }
+
+    if (TsCell < Top.Ts) {
+      ++TopD.Rms;
+      if (HaveAncestor)
+        --D.frame(Op.Tid, AncestorIndex).Rms;
+    }
+
+    if (TsCell < WTime) {
+      ++TopD.Trms;
+      if (wtsKernel(WPacked)) {
+        ++TopD.InducedExternal;
+        ++D.InducedExternal;
+      } else {
+        ++TopD.InducedThread;
+        ++D.InducedThread;
+      }
+    } else if (TsCell < Top.Ts) {
+      ++TopD.Trms;
+      ++D.PlainFirstAccesses;
+      if (HaveAncestor)
+        --D.frame(Op.Tid, AncestorIndex).Trms;
+    }
+
+    TsCell = CountNow;
+  });
+}
+
+template <typename ShadowT, typename WtsShadowT>
+void TrmsProfilerT<ShadowT, WtsShadowT>::replayMergeDeltas(
+    TrmsReplayDeltas &D) {
+  for (ThreadId Tid = 0; Tid != D.Threads.size(); ++Tid) {
+    typename TrmsReplayDeltas::ThreadDeltas &TD = D.Threads[Tid];
+    if (TD.DirtyFrames.empty())
+      continue;
+    assert(Tid < Threads.size() && Threads[Tid] &&
+           "deltas for a thread with no live state");
+    ThreadState &TS = *Threads[Tid];
+    for (uint32_t Index : TD.DirtyFrames) {
+      assert(Index < TS.Stack.size() && "delta for a popped frame");
+      TrmsReplayDeltas::FrameDelta &FD = TD.Frames[Index];
+      Frame &F = TS.Stack[Index];
+      F.PartialTrms += FD.Trms;
+      F.PartialRms += FD.Rms;
+      F.PartialInducedThread += FD.InducedThread;
+      F.PartialInducedExternal += FD.InducedExternal;
+      FD = {};
+    }
+    TD.DirtyFrames.clear();
+  }
+  Database.GlobalInducedThread += D.InducedThread;
+  Database.GlobalInducedExternal += D.InducedExternal;
+  Database.GlobalPlainFirstAccesses += D.PlainFirstAccesses;
+  D.InducedThread = 0;
+  D.InducedExternal = 0;
+  D.PlainFirstAccesses = 0;
+}
+
 template <typename ShadowT, typename WtsShadowT> void TrmsProfilerT<ShadowT, WtsShadowT>::onFinish() {
   for (ThreadId Tid = 0; Tid != Threads.size(); ++Tid) {
     ThreadState *TS = Threads[Tid].get();
@@ -411,5 +579,7 @@ namespace isp {
 template class TrmsProfilerT<ThreeLevelShadow<uint64_t>>;
 template class TrmsProfilerT<DenseShadow<uint64_t>>;
 template class TrmsProfilerT<ThreeLevelShadow<uint64_t>,
+                             ShardedShadow<uint64_t>>;
+template class TrmsProfilerT<ShardedShadow<uint64_t>,
                              ShardedShadow<uint64_t>>;
 } // namespace isp

@@ -1,0 +1,363 @@
+//===- replay/ParallelReplay.cpp - Shard-partitioned replay ------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "replay/ParallelReplay.h"
+
+#include "instr/SpscQueue.h"
+#include "obs/Obs.h"
+#include "support/Compiler.h"
+#include "trace/TraceStream.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace isp;
+
+// The stream's activity-mask geometry must mirror the shadow layout the
+// profiler shards by, or mask-driven skipping would consult the wrong
+// slots.
+static_assert(ActivityChunkShift == ShardedShadow<uint64_t>::OffsetBits,
+              "stream activity masks disagree with shadow chunk geometry");
+static_assert(ActivityShardSlots == ShardedShadow<uint64_t>::MaxShards,
+              "stream activity masks disagree with shadow shard bound");
+
+namespace {
+
+constexpr size_t ShadowChunkCells = ShardedShadow<uint64_t>::ChunkCells;
+
+/// One queued unit of shard-local work. Control discriminates: 0 = a
+/// memory sub-op confined to one shadow chunk (hence one shard), 1 = an
+/// epoch seal (Count carries the seal sequence number), 2 = shutdown.
+struct ShardOp {
+  Addr A = 0;
+  uint64_t Count = 0;
+  void *State = nullptr;
+  ThreadId Tid = 0;
+  uint16_t Cells = 0;
+  uint8_t Kind = 0;
+  uint8_t Control = 0;
+};
+
+class ReplayEngine {
+public:
+  ReplayEngine(TraceStreamReader &Reader, ParallelReplayProfiler &P,
+               const ParallelReplayOptions &Opts)
+      : Reader(Reader), P(P), Opts(Opts) {}
+
+  bool run(const SymbolTable *Symbols);
+
+  ParallelReplayStats Stats;
+  uint64_t Replayed = 0;
+
+private:
+  struct Worker {
+    explicit Worker(size_t QueueCapacity) : Queue(QueueCapacity) {}
+    SpscQueue<ShardOp> Queue;
+    TrmsReplayDeltas Deltas;
+    std::thread Thread;
+    /// Highest seal sequence the worker has fully drained to.
+    alignas(64) std::atomic<uint64_t> AckedSeal{0};
+    /// Reader-side bookkeeping: last seal pushed, whether any op was
+    /// routed since, and which threads those ops belong to.
+    uint64_t SealSeq = 0;
+    bool Pending = false;
+    std::vector<ThreadId> TouchedTids;
+    /// Which of the 256 activity-mask slots fold to a shard this worker
+    /// owns (precomputed for the chunk-skip test).
+    ShardActivityMask OwnedSlots = {};
+  };
+
+  void processEvent(const Event &E);
+  void routeMemOp(const Event &E);
+  void sealWorkers(uint32_t WorkerMask);
+  void barrierThread(ThreadId Tid);
+  void barrierAll();
+  void noteChunkActivity(size_t ChunkIndex);
+  void workerMain(Worker &W);
+
+  TraceStreamReader &Reader;
+  ParallelReplayProfiler &P;
+  ParallelReplayOptions Opts;
+
+  unsigned NumWorkers = 0;
+  std::vector<std::unique_ptr<Worker>> Workers;
+  /// Tid -> bitmask of workers holding in-flight ops for that thread.
+  std::vector<uint32_t> ThreadWorkerMask;
+  /// Workers == 0: ops apply in-line, deltas still flow through the
+  /// same merge points so the decomposition itself is what runs.
+  TrmsReplayDeltas InlineDeltas;
+  bool InlinePending = false;
+
+  std::mutex AckMutex;
+  std::condition_variable AckReady;
+};
+
+void ReplayEngine::workerMain(Worker &W) {
+  std::vector<ShardOp> Batch(256);
+  for (;;) {
+    size_t N = W.Queue.popBatch(Batch.data(), Batch.size());
+    for (size_t I = 0; I != N; ++I) {
+      const ShardOp &Op = Batch[I];
+      if (ISP_LIKELY(Op.Control == 0)) {
+        TrmsReplayOp R;
+        R.Kind = static_cast<EventKind>(Op.Kind);
+        R.Tid = Op.Tid;
+        R.Count = Op.Count;
+        R.State = Op.State;
+        P.replayApplyMemOp(R, Op.A, Op.Cells, W.Deltas);
+      } else if (Op.Control == 1) {
+        W.AckedSeal.store(Op.Count, std::memory_order_release);
+        { std::lock_guard<std::mutex> Lock(AckMutex); }
+        AckReady.notify_all();
+      } else {
+        return;
+      }
+    }
+  }
+}
+
+void ReplayEngine::routeMemOp(const Event &E) {
+  TrmsReplayOp Op;
+  P.replayPrepareMemOp(E, Op);
+  ++Stats.MemOps;
+  if (NumWorkers == 0) {
+    if (E.Arg1 != 0) {
+      P.replayApplyMemOp(Op, E.Arg0, E.Arg1, InlineDeltas);
+      InlinePending = true;
+      ++Stats.ShardOps;
+    }
+    return;
+  }
+  // Split at shadow-chunk boundaries: each piece lives in exactly one
+  // shard, so it routes to exactly one worker's queue.
+  Addr A = E.Arg0;
+  uint64_t Cells = E.Arg1;
+  while (Cells != 0) {
+    size_t Off = static_cast<size_t>(A & (ShadowChunkCells - 1));
+    uint64_t Span = std::min<uint64_t>(Cells, ShadowChunkCells - Off);
+    unsigned Index =
+        static_cast<unsigned>(P.replayShardOf(A) % NumWorkers);
+    Worker &W = *Workers[Index];
+    ShardOp Piece;
+    Piece.A = A;
+    Piece.Count = Op.Count;
+    Piece.State = Op.State;
+    Piece.Tid = Op.Tid;
+    Piece.Cells = static_cast<uint16_t>(Span);
+    Piece.Kind = static_cast<uint8_t>(Op.Kind);
+    W.Queue.push(Piece);
+    ++Stats.ShardOps;
+    W.Pending = true;
+    if (Op.Tid >= ThreadWorkerMask.size())
+      ThreadWorkerMask.resize(Op.Tid + 1, 0);
+    uint32_t Bit = uint32_t(1) << Index;
+    if (!(ThreadWorkerMask[Op.Tid] & Bit)) {
+      ThreadWorkerMask[Op.Tid] |= Bit;
+      W.TouchedTids.push_back(Op.Tid);
+    }
+    A += Span;
+    Cells -= Span;
+  }
+}
+
+void ReplayEngine::sealWorkers(uint32_t WorkerMask) {
+  if (NumWorkers == 0) {
+    if (InlinePending) {
+      P.replayMergeDeltas(InlineDeltas);
+      InlinePending = false;
+      ++Stats.Epochs;
+    }
+    return;
+  }
+  uint32_t Sealed = 0;
+  for (unsigned I = 0; I != NumWorkers; ++I) {
+    if (!(WorkerMask & (uint32_t(1) << I)) || !Workers[I]->Pending)
+      continue;
+    Worker &W = *Workers[I];
+    ShardOp Seal;
+    Seal.Count = ++W.SealSeq;
+    Seal.Control = 1;
+    W.Queue.push(Seal);
+    Sealed |= uint32_t(1) << I;
+  }
+  if (Sealed == 0)
+    return;
+  ++Stats.Epochs;
+  for (unsigned I = 0; I != NumWorkers; ++I) {
+    if (!(Sealed & (uint32_t(1) << I)))
+      continue;
+    Worker &W = *Workers[I];
+    if (W.AckedSeal.load(std::memory_order_acquire) < W.SealSeq) {
+      ++Stats.BarrierWaits;
+      uint64_t Start = obs::nowNs();
+      for (unsigned Spin = 0;
+           Spin != 4096 &&
+           W.AckedSeal.load(std::memory_order_acquire) < W.SealSeq;
+           ++Spin)
+        ;
+      if (W.AckedSeal.load(std::memory_order_acquire) < W.SealSeq) {
+        std::unique_lock<std::mutex> Lock(AckMutex);
+        while (W.AckedSeal.load(std::memory_order_acquire) < W.SealSeq)
+          AckReady.wait_for(Lock, std::chrono::milliseconds(1));
+      }
+      Stats.BarrierWaitNs += obs::nowNs() - Start;
+    }
+    // Queue drained: the worker's shadow writes happened-before the
+    // seal ack. Fold its classification deltas into the real frames.
+    P.replayMergeDeltas(W.Deltas);
+    W.Pending = false;
+    for (ThreadId Tid : W.TouchedTids)
+      ThreadWorkerMask[Tid] &= ~(uint32_t(1) << I);
+    W.TouchedTids.clear();
+  }
+}
+
+void ReplayEngine::barrierThread(ThreadId Tid) {
+  if (NumWorkers == 0) {
+    sealWorkers(~uint32_t(0));
+    return;
+  }
+  if (Tid < ThreadWorkerMask.size() && ThreadWorkerMask[Tid] != 0)
+    sealWorkers(ThreadWorkerMask[Tid]);
+}
+
+void ReplayEngine::barrierAll() { sealWorkers(~uint32_t(0)); }
+
+void ReplayEngine::processEvent(const Event &E) {
+  switch (E.Kind) {
+  case EventKind::Read:
+  case EventKind::Write:
+  case EventKind::KernelRead:
+  case EventKind::KernelWrite:
+    // A renumbering rewrites every shard of every shadow; it can only
+    // run with all workers drained.
+    if (ISP_UNLIKELY(P.replayMayRenumber()))
+      barrierAll();
+    routeMemOp(E);
+    return;
+  case EventKind::Call:
+  case EventKind::Return:
+    // The thread's stack is about to change; its in-flight ops read
+    // frame timestamps and index frames by position, so they must land
+    // (and their deltas merge) first. Other threads' stacks stay
+    // frozen — their workers keep running.
+    if (ISP_UNLIKELY(P.replayMayRenumber()))
+      barrierAll();
+    else
+      barrierThread(E.Tid);
+    P.handleEvent(E);
+    return;
+  case EventKind::ThreadEnd:
+    // Ends pop every remaining frame AND take a footprint snapshot
+    // across all per-thread shadows, so quiesce everything.
+    barrierAll();
+    P.handleEvent(E);
+    return;
+  default:
+    // ThreadStart, BasicBlock, sync/alloc events: no shadow or stack
+    // interaction beyond the serial step itself.
+    if (ISP_UNLIKELY(P.replayMayRenumber()))
+      barrierAll();
+    P.handleEvent(E);
+    return;
+  }
+}
+
+void ReplayEngine::noteChunkActivity(size_t ChunkIndex) {
+  if (NumWorkers == 0)
+    return;
+  const ShardActivityMask &Mask = Reader.chunkShardMask(ChunkIndex);
+  for (unsigned I = 0; I != NumWorkers; ++I) {
+    const ShardActivityMask &Owned = Workers[I]->OwnedSlots;
+    bool Active = false;
+    for (size_t Word = 0; Word != Mask.size(); ++Word)
+      Active = Active || (Mask[Word] & Owned[Word]) != 0;
+    // The mask is advisory: routing goes by actual addresses, so a
+    // skipped worker is one the chunk provably cannot reach.
+    if (!Active)
+      ++Stats.ChunksSkipped;
+  }
+}
+
+bool ReplayEngine::run(const SymbolTable *Symbols) {
+  unsigned ShardCount = P.replayShardCount();
+  NumWorkers = std::min({Opts.Workers, ShardCount,
+                         ParallelReplayOptions::MaxWorkers});
+  Stats.Workers = NumWorkers;
+
+  P.onStart(Symbols);
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I) {
+    auto W = std::make_unique<Worker>(Opts.QueueCapacity);
+    // Slot k of the activity mask belongs to shard k mod ShardCount,
+    // which belongs to worker (k mod ShardCount) mod NumWorkers.
+    for (unsigned Slot = 0; Slot != ActivityShardSlots; ++Slot)
+      if ((Slot % ShardCount) % NumWorkers == I)
+        W->OwnedSlots[Slot >> 6] |= uint64_t(1) << (Slot & 63);
+    Workers.push_back(std::move(W));
+  }
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Workers[I]->Thread =
+        std::thread([this, I] { workerMain(*Workers[I]); });
+
+  std::vector<Event> Chunk;
+  while (true) {
+    size_t ChunkIndex = Reader.cursor();
+    if (!Reader.nextChunk(Chunk))
+      break;
+    noteChunkActivity(ChunkIndex);
+    for (const Event &E : Chunk)
+      processEvent(E);
+    Replayed += Chunk.size();
+  }
+
+  barrierAll();
+  for (unsigned I = 0; I != NumWorkers; ++I) {
+    ShardOp Shutdown;
+    Shutdown.Control = 2;
+    Workers[I]->Queue.push(Shutdown);
+    Workers[I]->Thread.join();
+    Stats.QueueDepthMax =
+        std::max(Stats.QueueDepthMax, Workers[I]->Queue.peakDepth());
+  }
+  // onFinish pops every still-pending frame; all deltas merged above.
+  P.onFinish();
+
+  if (ISP_UNLIKELY(obs::statsEnabled())) {
+    obs::Registry &R = obs::Registry::get();
+    R.gauge("replay.workers").noteMax(Stats.Workers);
+    R.counter("replay.epochs").add(Stats.Epochs);
+    R.counter("replay.barrier_waits").add(Stats.BarrierWaits);
+    R.counter("replay.barrier_wait_ns").add(Stats.BarrierWaitNs);
+    R.counter("replay.chunks_skipped").add(Stats.ChunksSkipped);
+    R.gauge("replay.queue_depth_max").noteMax(Stats.QueueDepthMax);
+  }
+  return Reader.error().empty();
+}
+
+} // namespace
+
+bool isp::parallelReplayStream(TraceStreamReader &Reader,
+                               ParallelReplayProfiler &P,
+                               const SymbolTable *Symbols,
+                               const ParallelReplayOptions &Opts,
+                               ParallelReplayStats *StatsOut,
+                               uint64_t *EventsOut) {
+  ReplayEngine Engine(Reader, P, Opts);
+  bool Ok = Engine.run(Symbols);
+  if (StatsOut)
+    *StatsOut = Engine.Stats;
+  if (EventsOut)
+    *EventsOut = Engine.Replayed;
+  return Ok;
+}

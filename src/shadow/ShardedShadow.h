@@ -176,6 +176,21 @@ public:
     return static_cast<size_t>((A >> OffsetBits) & Mask);
   }
 
+  //===--- Shard-local access (parallel replay) -------------------------===//
+  //
+  // The router state (Shards base pointer, Mask) is immutable between
+  // setShardCount calls, so concurrent threads may operate on DISTINCT
+  // shards without locking: get/set/forRange/fillRange on addresses of
+  // shard i touch only Shards[i] — including its mutable one-entry
+  // chunk cache, which is why the partition must be by shard, never by
+  // address within a shard. The combined views (forEachNonZero, stats)
+  // and setShardCount still require exclusive access.
+
+  /// Direct access to inner shard \p I, for callers that partition work
+  /// shard-by-shard (e.g. a per-worker sweep).
+  ShardT &shard(size_t I) { return Shards[I]; }
+  const ShardT &shard(size_t I) const { return Shards[I]; }
+
 private:
   std::vector<ShardT> Shards;
   std::vector<uint64_t> Epochs;

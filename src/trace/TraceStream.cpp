@@ -11,8 +11,23 @@
 
 using namespace isp;
 
-static const char StreamMagic[8] = {'I', 'S', 'P', 'S', 'T', 'M', '0', '1'};
+static const char StreamMagicV1[8] = {'I', 'S', 'P', 'S', 'T', 'M', '0', '1'};
+static const char StreamMagicV2[8] = {'I', 'S', 'P', 'S', 'T', 'M', '0', '2'};
 static const char TrailerMagic[8] = {'I', 'S', 'P', 'S', 'T', 'M', 'I', 'X'};
+
+/// Bytes 0..6 shared by every version's magic ("ISPSTM0").
+static constexpr size_t MagicBytes = sizeof(StreamMagicV1);
+
+/// Decodes the version digit of an 8-byte magic; 0 when not a stream.
+static unsigned streamVersionOf(const char *Head) {
+  if (std::memcmp(Head, StreamMagicV1, MagicBytes - 1) != 0)
+    return 0;
+  if (Head[MagicBytes - 1] == '1')
+    return 1;
+  if (Head[MagicBytes - 1] == '2')
+    return 2;
+  return 0;
+}
 
 /// Trailer: u64 footer offset + magic, always the last 16 file bytes.
 static constexpr size_t TrailerBytes = 8 + sizeof(TrailerMagic);
@@ -112,13 +127,23 @@ bool TraceStreamWriter::open(
   BytesWritten = 0;
   PeakBufferedBytes = 0;
   Failed = false;
+  ChunkRoutineMask = 0;
+  ChunkShardMask = {};
   if (!File) {
     Error = "cannot open '" + Path + "' for writing";
     Failed = true;
     return false;
   }
+  if (Options.FormatVersion != 1 && Options.FormatVersion != 2) {
+    Error = "unsupported trace stream format version";
+    Failed = true;
+    std::fclose(File);
+    File = nullptr;
+    return false;
+  }
   std::string Header;
-  Header.append(StreamMagic, sizeof(StreamMagic));
+  Header.append(Options.FormatVersion == 1 ? StreamMagicV1 : StreamMagicV2,
+                MagicBytes);
   writeVarint(Header, Routines.size());
   for (const auto &[Id, Name] : Routines) {
     writeVarint(Header, Id);
@@ -140,11 +165,41 @@ void TraceStreamWriter::writeRaw(const void *Data, size_t Size) {
   BytesWritten += Size;
 }
 
+void TraceStreamWriter::noteActivity(const Event &E) {
+  switch (E.Kind) {
+  case EventKind::Call:
+    ChunkRoutineMask |= uint64_t(1) << (E.Arg0 & 63);
+    return;
+  case EventKind::Read:
+  case EventKind::Write:
+  case EventKind::KernelRead:
+  case EventKind::KernelWrite: {
+    if (E.Arg1 == 0)
+      return;
+    uint64_t FirstKey = E.Arg0 >> ActivityChunkShift;
+    uint64_t LastKey = (E.Arg0 + E.Arg1 - 1) >> ActivityChunkShift;
+    if (LastKey - FirstKey >= ActivityShardSlots - 1) {
+      ChunkShardMask.fill(~uint64_t(0));
+      return;
+    }
+    for (uint64_t Key = FirstKey; Key <= LastKey; ++Key) {
+      unsigned Slot = static_cast<unsigned>(Key & (ActivityShardSlots - 1));
+      ChunkShardMask[Slot >> 6] |= uint64_t(1) << (Slot & 63);
+    }
+    return;
+  }
+  default:
+    return;
+  }
+}
+
 void TraceStreamWriter::append(const Event &E) {
   if (Failed || !File)
     return;
   if (ChunkEvents == 0)
     ChunkFirstTime = E.Time;
+  if (Options.FormatVersion >= 2)
+    noteActivity(E);
   Buffer.push_back(static_cast<char>(E.Kind));
   writeVarint(Buffer, E.Tid);
   writeVarint(Buffer, E.Time - LastTime);
@@ -173,6 +228,8 @@ void TraceStreamWriter::sealChunk() {
   Meta.Offset = BytesWritten;
   Meta.Events = ChunkEvents;
   Meta.FirstTime = ChunkFirstTime;
+  Meta.RoutineMask = ChunkRoutineMask;
+  Meta.ShardMask = ChunkShardMask;
   // Payload = varint event count + the buffered encoded events; the
   // chunk is the u32 payload length followed by the payload.
   std::string CountPrefix;
@@ -187,6 +244,8 @@ void TraceStreamWriter::sealChunk() {
   Buffer.clear();
   ChunkEvents = 0;
   ChunkFirstTime = 0;
+  ChunkRoutineMask = 0;
+  ChunkShardMask = {};
   // Reset the delta state: each chunk decodes independently, which is
   // what makes chunk-level seek possible.
   LastTime = 0;
@@ -204,6 +263,11 @@ bool TraceStreamWriter::close() {
     writeVarint(Footer, Meta.Offset);
     writeVarint(Footer, Meta.Events);
     writeVarint(Footer, Meta.FirstTime);
+    if (Options.FormatVersion >= 2) {
+      writeVarint(Footer, Meta.RoutineMask);
+      for (uint64_t Word : Meta.ShardMask)
+        writeVarint(Footer, Word);
+    }
   }
   appendU64(Footer, FooterOffset);
   Footer.append(TrailerMagic, sizeof(TrailerMagic));
@@ -247,6 +311,7 @@ bool TraceStreamReader::open(const std::string &Path) {
   Chunks.clear();
   TotalEvents = 0;
   FooterOffset = 0;
+  Version = 0;
   Cursor = 0;
   File = std::fopen(Path.c_str(), "rb");
   if (!File)
@@ -257,14 +322,16 @@ bool TraceStreamReader::open(const std::string &Path) {
   if (EndPos < 0)
     return fail("cannot tell file size of '" + Path + "'");
   uint64_t FileSize = static_cast<uint64_t>(EndPos);
-  if (FileSize < sizeof(StreamMagic) + TrailerBytes)
+  if (FileSize < MagicBytes + TrailerBytes)
     return fail("not a trace stream: file too small");
 
-  char Head[sizeof(StreamMagic)];
+  char Head[MagicBytes];
   if (std::fseek(File, 0, SEEK_SET) != 0 ||
-      std::fread(Head, 1, sizeof(Head), File) != sizeof(Head) ||
-      std::memcmp(Head, StreamMagic, sizeof(StreamMagic)) != 0)
+      std::fread(Head, 1, sizeof(Head), File) != sizeof(Head))
     return fail("not a trace stream: bad magic");
+  Version = streamVersionOf(Head);
+  if (Version == 0)
+    return fail("not a trace stream: bad magic or unsupported version");
 
   // Trailer: the last 16 bytes locate the footer index.
   unsigned char Trailer[TrailerBytes];
@@ -275,7 +342,7 @@ bool TraceStreamReader::open(const std::string &Path) {
   if (std::memcmp(Trailer + 8, TrailerMagic, sizeof(TrailerMagic)) != 0)
     return fail("truncated trace stream: bad trailer magic");
   FooterOffset = decodeU64(Trailer);
-  if (FooterOffset < sizeof(StreamMagic) ||
+  if (FooterOffset < MagicBytes ||
       FooterOffset > FileSize - TrailerBytes)
     return fail("corrupt footer offset");
 
@@ -291,17 +358,31 @@ bool TraceStreamReader::open(const std::string &Path) {
   uint64_t ChunkCount = 0;
   if (!readVarint(Footer, Pos, ChunkCount))
     return fail("corrupt footer: bad chunk count");
-  // Each index entry is at least three one-byte varints.
-  if (ChunkCount > (Footer.size() - Pos) / 3)
+  // Each index entry is at least three one-byte varints (v2 adds the
+  // routine mask and four shard-mask words, one byte minimum each).
+  size_t MinEntryBytes = Version >= 2 ? 8 : 3;
+  if (ChunkCount > (Footer.size() - Pos) / MinEntryBytes)
     return fail("corrupt footer: chunk count exceeds index bytes");
   Chunks.reserve(ChunkCount);
-  uint64_t PrevEnd = sizeof(StreamMagic);
+  uint64_t PrevEnd = MagicBytes;
   for (uint64_t I = 0; I != ChunkCount; ++I) {
     ChunkMeta Meta;
     if (!readVarint(Footer, Pos, Meta.Offset) ||
         !readVarint(Footer, Pos, Meta.Events) ||
         !readVarint(Footer, Pos, Meta.FirstTime))
       return fail("corrupt footer: truncated index entry");
+    if (Version >= 2) {
+      bool MasksOk = readVarint(Footer, Pos, Meta.RoutineMask);
+      for (uint64_t &Word : Meta.ShardMask)
+        MasksOk = MasksOk && readVarint(Footer, Pos, Word);
+      if (!MasksOk)
+        return fail("corrupt footer: truncated activity masks");
+    } else {
+      // v1 carries no activity masks; report "everything may be
+      // active" so mask-driven skipping is a no-op, never wrong.
+      Meta.RoutineMask = ~uint64_t(0);
+      Meta.ShardMask.fill(~uint64_t(0));
+    }
     // Offsets must be in order, past the header (and every earlier
     // chunk), and leave room for the chunk's own length prefix.
     if (Meta.Offset < PrevEnd || Meta.Offset + 4 > FooterOffset)
@@ -316,9 +397,9 @@ bool TraceStreamReader::open(const std::string &Path) {
   // Routine table: everything between the magic and the first chunk
   // (or the footer, for an event-free stream).
   uint64_t HeaderEnd = Chunks.empty() ? FooterOffset : Chunks.front().Offset;
-  size_t HeaderLen = static_cast<size_t>(HeaderEnd - sizeof(StreamMagic));
+  size_t HeaderLen = static_cast<size_t>(HeaderEnd - MagicBytes);
   std::string Header(HeaderLen, '\0');
-  if (std::fseek(File, sizeof(StreamMagic), SEEK_SET) != 0 ||
+  if (std::fseek(File, MagicBytes, SEEK_SET) != 0 ||
       std::fread(Header.data(), 1, HeaderLen, File) != HeaderLen)
     return fail("truncated trace stream: missing routine table");
   Pos = 0;
@@ -439,9 +520,9 @@ bool isp::isTraceStreamFile(const std::string &Path) {
   std::FILE *File = std::fopen(Path.c_str(), "rb");
   if (!File)
     return false;
-  char Head[sizeof(StreamMagic)];
+  char Head[MagicBytes];
   bool Ok = std::fread(Head, 1, sizeof(Head), File) == sizeof(Head) &&
-            std::memcmp(Head, StreamMagic, sizeof(StreamMagic)) == 0;
+            streamVersionOf(Head) != 0;
   std::fclose(File);
   return Ok;
 }

@@ -10,7 +10,7 @@
 /// so recording a long run never materializes the whole event vector and
 /// replaying one never loads more than a single chunk.
 ///
-/// Stream layout (magic "ISPSTM01"):
+/// Stream layout (magic "ISPSTM02"; readers also accept v1 "ISPSTM01"):
 ///
 ///   header  : magic | varint routine count
 ///             | routines (varint id, varint name length, name bytes)
@@ -21,13 +21,27 @@
 ///             makes chunk-level seek possible)
 ///   footer  : varint chunk count
 ///             | per chunk (varint file offset, varint event count,
-///               varint first event time)
+///               varint first event time,
+///               [v2+] varint routine-activity mask,
+///               [v2+] 4 x varint shard-activity mask words)
 ///   trailer : u64 footer offset | magic "ISPSTMIX"
 ///
 /// The footer index is written last (the writer knows chunk offsets only
 /// after the fact) and found through the fixed-size trailer, so a reader
 /// can seek to any chunk — and a truncated file is detected immediately
 /// rather than half-replayed.
+///
+/// The v2 activity masks are per-chunk Bloom-style summaries consumed by
+/// the parallel replay engine (replay/ParallelReplay.h): the routine
+/// mask sets bit `RoutineId & 63` for every Call in the chunk, and the
+/// 256-bit shard mask sets bit `(Addr >> ActivityChunkShift) & 255` for
+/// every shadow chunk a memory access touches. The shard geometry
+/// mirrors the shadow-memory layout (ThreeLevelShadow::OffsetBits /
+/// ShardedShadow::MaxShards) and is stored at maximum resolution, so one
+/// recorded mask folds down to any configured shard count. Masks are
+/// advisory: they can only suppress per-chunk bookkeeping for provably
+/// untouched shards, never change what is replayed, so a corrupt mask
+/// cannot corrupt results. v1 streams read back with all-ones masks.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,6 +52,7 @@
 #include "trace/Event.h"
 #include "trace/TraceFile.h"
 
+#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -49,6 +64,18 @@ namespace isp {
 class SymbolTable;
 class Tool;
 
+/// Shadow-chunk key geometry for the v2 activity masks. A memory address
+/// maps to shadow chunk key `Addr >> ActivityChunkShift`; the mask
+/// records `key & (ActivityShardSlots - 1)`. These mirror
+/// ThreeLevelShadow::OffsetBits and ShardedShadow::MaxShards (statically
+/// asserted where both headers meet, in the parallel replay engine).
+inline constexpr unsigned ActivityChunkShift = 9;
+inline constexpr unsigned ActivityShardSlots = 256;
+
+/// A 256-bit shard-activity bitmap: bit `k` of word `k / 64` is set when
+/// the chunk touches some shadow chunk whose key folds to slot `k`.
+using ShardActivityMask = std::array<uint64_t, 4>;
+
 struct TraceStreamOptions {
   /// Target chunk payload size. A chunk is sealed when its encoded
   /// payload reaches this many bytes, so writer memory is bounded by
@@ -56,6 +83,10 @@ struct TraceStreamOptions {
   /// chunks comfortably cache-resident while amortizing per-chunk
   /// overhead (header, footer entry, one fwrite) over ~10k events.
   size_t ChunkBytes = size_t(1) << 16;
+  /// Stream format version to emit: 2 (default) writes the per-chunk
+  /// activity masks, 1 writes the legacy mask-less index (compatibility
+  /// tests). Anything else fails open().
+  unsigned FormatVersion = 2;
 };
 
 /// Incremental trace writer: events stream to disk chunk by chunk as
@@ -105,10 +136,13 @@ private:
     uint64_t Offset = 0;
     uint64_t Events = 0;
     uint64_t FirstTime = 0;
+    uint64_t RoutineMask = 0;
+    ShardActivityMask ShardMask = {};
   };
 
   void sealChunk();
   void writeRaw(const void *Data, size_t Size);
+  void noteActivity(const Event &E);
 
   std::FILE *File = nullptr;
   TraceStreamOptions Options;
@@ -117,6 +151,9 @@ private:
   std::vector<ChunkMeta> Chunks;
   uint64_t ChunkEvents = 0;
   uint64_t ChunkFirstTime = 0;
+  /// Activity accumulated for the open chunk (v2 output only).
+  uint64_t ChunkRoutineMask = 0;
+  ShardActivityMask ChunkShardMask = {};
   /// Per-chunk delta state (reset when a chunk is sealed).
   uint64_t LastTime = 0;
   uint64_t LastArg0[32] = {};
@@ -157,6 +194,20 @@ public:
   uint64_t chunkEvents(size_t I) const { return Chunks[I].Events; }
   uint64_t chunkFirstTime(size_t I) const { return Chunks[I].FirstTime; }
 
+  /// Format version of the open stream (1 or 2).
+  unsigned formatVersion() const { return Version; }
+  /// True when the index carries real per-chunk activity masks (v2).
+  /// For v1 streams the mask accessors return all-ones, so consumers
+  /// can filter unconditionally and v1 simply never skips anything.
+  bool hasActivityMasks() const { return Version >= 2; }
+  /// Routine-activity mask of chunk \p I: bit `RoutineId & 63` is set
+  /// for every Call the chunk contains.
+  uint64_t chunkRoutineMask(size_t I) const { return Chunks[I].RoutineMask; }
+  /// Shard-activity mask of chunk \p I (see ShardActivityMask).
+  const ShardActivityMask &chunkShardMask(size_t I) const {
+    return Chunks[I].ShardMask;
+  }
+
   /// Index of the last chunk whose first event time is <= \p Time (0 if
   /// Time predates every chunk) — chunk-level seek for resuming replay
   /// mid-stream.
@@ -179,6 +230,8 @@ private:
     uint64_t Offset = 0;
     uint64_t Events = 0;
     uint64_t FirstTime = 0;
+    uint64_t RoutineMask = 0;
+    ShardActivityMask ShardMask = {};
   };
 
   bool fail(const std::string &Message);
@@ -189,6 +242,7 @@ private:
   std::vector<ChunkMeta> Chunks;
   uint64_t TotalEvents = 0;
   uint64_t FooterOffset = 0;
+  unsigned Version = 0;
   size_t Cursor = 0;
   /// Reused raw-payload buffer (readChunk decodes out of it).
   std::string Payload;

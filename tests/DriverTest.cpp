@@ -10,6 +10,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "trace/TraceStream.h"
+
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -17,6 +19,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -283,6 +286,127 @@ TEST(Driver, BatchCapacityOutputMatchesDefault) {
     EXPECT_EQ(Tuned.ExitCode, 0) << Tuned.Output;
     EXPECT_EQ(Tuned.Output, Default.Output) << Flag;
   }
+}
+
+TEST(Driver, ParallelReplayOutputMatchesSerial) {
+  // The tentpole contract at CLI level: parallel stream replay is
+  // byte-for-byte the serial replay, across shard and worker counts.
+  std::string StreamPath =
+      ::testing::TempDir() + "isprof_driver_preplay.strm";
+  ASSERT_EQ(runDriver("run " + guest("stream.mini") +
+                      " --tools=aprof-trms --record-stream=" + StreamPath)
+                .ExitCode,
+            0);
+  std::string Base = "replay " + StreamPath + " --tools=aprof-trms";
+  CommandResult Serial = runDriver(Base);
+  ASSERT_EQ(Serial.ExitCode, 0) << Serial.Output;
+  for (const char *Shards :
+       {"", " --shadow-shards=4", " --shadow-shards=16"}) {
+    for (const char *Workers : {" --replay-workers=1", " --replay-workers=2",
+                                " --replay-workers=4"}) {
+      CommandResult Parallel = runDriver(Base + Shards + Workers);
+      EXPECT_EQ(Parallel.ExitCode, 0) << Parallel.Output;
+      EXPECT_EQ(Parallel.Output, Serial.Output) << Shards << Workers;
+    }
+  }
+
+  // The environment fallback is soft: an ineligible invocation (two
+  // tools) silently stays serial instead of erroring.
+  setenv("ISPROF_REPLAY_WORKERS", "2", 1);
+  CommandResult EnvMulti = runDriver("replay " + StreamPath +
+                                     " --tools=aprof-rms,aprof-trms");
+  EXPECT_EQ(EnvMulti.ExitCode, 0) << EnvMulti.Output;
+  CommandResult EnvEligible = runDriver(Base);
+  EXPECT_EQ(EnvEligible.ExitCode, 0) << EnvEligible.Output;
+  EXPECT_EQ(EnvEligible.Output, Serial.Output);
+  unsetenv("ISPROF_REPLAY_WORKERS");
+  std::remove(StreamPath.c_str());
+}
+
+TEST(Driver, ReplayWorkersRejectsBadValuesAndConfigs) {
+  std::string StreamPath =
+      ::testing::TempDir() + "isprof_driver_preplay_flags.strm";
+  ASSERT_EQ(runDriver("run " + guest("stream.mini") +
+                      " --tools=aprof-trms --record-stream=" + StreamPath)
+                .ExitCode,
+            0);
+  std::string Base = "replay " + StreamPath;
+  for (const char *Flag : {" --replay-workers=abc", " --replay-workers=33",
+                           " --replay-workers=-1"}) {
+    CommandResult R = runDriver(Base + " --tools=aprof-trms" + Flag);
+    EXPECT_NE(R.ExitCode, 0) << Flag;
+    EXPECT_NE(R.Output.find("invalid --replay-workers"), std::string::npos)
+        << Flag << ": " << R.Output;
+  }
+  // Explicit workers with an incompatible configuration is a hard
+  // error, not a silent serial run.
+  for (std::string Args :
+       {Base + " --tools=aprof-rms --replay-workers=2",
+        Base + " --tools=aprof-trms,memcheck --replay-workers=2",
+        Base + " --tools=aprof-trms --parallel-tools=2 --replay-workers=2"}) {
+    CommandResult R = runDriver(Args);
+    EXPECT_EQ(R.ExitCode, 2) << Args << ": " << R.Output;
+    EXPECT_NE(R.Output.find("--replay-workers requires"), std::string::npos)
+        << Args << ": " << R.Output;
+  }
+  std::remove(StreamPath.c_str());
+}
+
+TEST(Driver, ReplayStreamErrorNamesChunk) {
+  // A decode failure mid-stream names the failing chunk, on both the
+  // serial and the parallel path.
+  std::vector<isp::Event> Events;
+  uint64_t Time = 1;
+  Events.push_back(isp::Event::threadStart(0, Time++, 0));
+  Events.push_back(isp::Event::call(0, Time++, 1));
+  for (unsigned I = 0; I != 400; ++I) {
+    Events.push_back(isp::Event::write(0, Time++, I, 1));
+    Events.push_back(isp::Event::read(0, Time++, I, 1));
+  }
+  Events.push_back(isp::Event::ret(0, Time++, 1, 0));
+  Events.push_back(isp::Event::threadEnd(0, Time++));
+  std::string Path = ::testing::TempDir() + "isprof_driver_badchunk.strm";
+  isp::TraceStreamOptions Opts;
+  Opts.ChunkBytes = 256;
+  isp::TraceStreamWriter Writer;
+  ASSERT_TRUE(Writer.open(Path, {{1, "work"}}, Opts)) << Writer.error();
+  for (const isp::Event &E : Events)
+    Writer.append(E);
+  ASSERT_TRUE(Writer.close()) << Writer.error();
+
+  // Clobber the first event kind byte of chunk 1 (header = magic +
+  // routine table; chunks are u32 length + count varint + payload).
+  std::string Bytes;
+  {
+    std::ifstream In(Path, std::ios::binary);
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    Bytes = Buffer.str();
+  }
+  size_t Header = 8 + 1 + (1 + 1 + 4); // magic, count, id + len + "work"
+  uint32_t Len0 = 0;
+  for (int I = 0; I != 4; ++I)
+    Len0 |= static_cast<uint32_t>(
+                static_cast<unsigned char>(Bytes[Header + I]))
+            << (8 * I);
+  size_t Chunk1KindByte = Header + 4 + Len0 + 4 + 1;
+  ASSERT_LT(Chunk1KindByte, Bytes.size());
+  Bytes[Chunk1KindByte] = static_cast<char>(0xff);
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  }
+
+  for (const char *Extra : {"", " --replay-workers=2"}) {
+    CommandResult R =
+        runDriver("replay " + Path + " --tools=aprof-trms" + Extra);
+    EXPECT_NE(R.ExitCode, 0) << Extra;
+    EXPECT_NE(R.Output.find("chunk 1:"), std::string::npos)
+        << Extra << ": " << R.Output;
+    EXPECT_NE(R.Output.find("invalid event kind"), std::string::npos)
+        << Extra << ": " << R.Output;
+  }
+  std::remove(Path.c_str());
 }
 
 TEST(Driver, ErrorsAreClean) {

@@ -587,4 +587,115 @@ TEST(TraceStreamHardening, BitFlipFuzzNeverCrashes) {
   std::remove(MutPath.c_str());
 }
 
+//===----------------------------------------------------------------------===//
+// Format v2: per-chunk activity masks
+//===----------------------------------------------------------------------===//
+
+TEST(TraceStreamV2, ActivityMasksRoundTrip) {
+  // One chunk: routine 3 called, memory confined to shadow-chunk keys
+  // 0 and 5. The footer masks must name exactly those.
+  std::vector<Event> Events;
+  Events.push_back(Event::threadStart(0, 1, 0));
+  Events.push_back(Event::call(0, 2, 3));
+  Events.push_back(Event::write(0, 3, 16, 4));        // key 0
+  Events.push_back(Event::read(0, 4, 5 * 512 + 7, 2)); // key 5
+  Events.push_back(Event::ret(0, 5, 3, 0));
+  Events.push_back(Event::threadEnd(0, 6));
+  std::string Path = tempPath("isprof_stream_v2masks.strm");
+  writeStream(Path, Events, {});
+
+  TraceStreamReader Reader;
+  ASSERT_TRUE(Reader.open(Path)) << Reader.error();
+  EXPECT_EQ(Reader.formatVersion(), 2u);
+  ASSERT_TRUE(Reader.hasActivityMasks());
+  ASSERT_EQ(Reader.chunkCount(), 1u);
+  EXPECT_EQ(Reader.chunkRoutineMask(0), uint64_t(1) << 3);
+  const ShardActivityMask &Mask = Reader.chunkShardMask(0);
+  EXPECT_EQ(Mask[0], (uint64_t(1) << 0) | (uint64_t(1) << 5));
+  EXPECT_EQ(Mask[1], 0u);
+  EXPECT_EQ(Mask[2], 0u);
+  EXPECT_EQ(Mask[3], 0u);
+  EXPECT_EQ(readAll(Reader), Events);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceStreamV2, WideRangeSaturatesShardMask) {
+  // A single access spanning more shadow chunks than there are mask
+  // slots degrades to the all-ones superset rather than wrapping.
+  std::vector<Event> Events;
+  Events.push_back(Event::threadStart(0, 1, 0));
+  Events.push_back(Event::write(0, 2, 0, 300 * 512));
+  Events.push_back(Event::threadEnd(0, 3));
+  std::string Path = tempPath("isprof_stream_v2wide.strm");
+  writeStream(Path, Events, {});
+
+  TraceStreamReader Reader;
+  ASSERT_TRUE(Reader.open(Path)) << Reader.error();
+  const ShardActivityMask &Mask = Reader.chunkShardMask(0);
+  for (uint64_t Word : Mask)
+    EXPECT_EQ(Word, ~uint64_t(0));
+  std::remove(Path.c_str());
+}
+
+TEST(TraceStreamV2, Version1ModeInteroperates) {
+  // FormatVersion=1 writes the old magic with a mask-less footer; the
+  // reader accepts it and reports conservative all-ones masks.
+  std::vector<Event> Events = makeTrace(500, 18);
+  std::string Path = tempPath("isprof_stream_v1compat.strm");
+  TraceStreamOptions Opts;
+  Opts.FormatVersion = 1;
+  writeStream(Path, Events, {{0, "main"}}, Opts);
+
+  EXPECT_EQ(readFile(Path).substr(0, 8), "ISPSTM01");
+  TraceStreamReader Reader;
+  ASSERT_TRUE(Reader.open(Path)) << Reader.error();
+  EXPECT_EQ(Reader.formatVersion(), 1u);
+  EXPECT_FALSE(Reader.hasActivityMasks());
+  EXPECT_EQ(Reader.chunkRoutineMask(0), ~uint64_t(0));
+  for (uint64_t Word : Reader.chunkShardMask(0))
+    EXPECT_EQ(Word, ~uint64_t(0));
+  EXPECT_EQ(readAll(Reader), Events);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceStreamV2, UnknownVersionsRejected) {
+  // A hypothetical v3 stream and a bogus writer request both fail
+  // cleanly instead of being misparsed.
+  std::vector<Event> Events = makeTrace(100, 19);
+  std::string Path = tempPath("isprof_stream_v3.strm");
+  writeStream(Path, Events, {});
+  std::string Bytes = readFile(Path);
+  Bytes[7] = '3';
+  writeFile(Path, Bytes);
+  TraceStreamReader Reader;
+  EXPECT_FALSE(Reader.open(Path));
+  EXPECT_NE(Reader.error().find("bad magic or unsupported version"),
+            std::string::npos)
+      << Reader.error();
+  std::remove(Path.c_str());
+
+  TraceStreamWriter Writer;
+  TraceStreamOptions Bad;
+  Bad.FormatVersion = 7;
+  EXPECT_FALSE(Writer.open(tempPath("isprof_stream_badver.strm"), {}, Bad));
+  EXPECT_NE(Writer.error().find("unsupported trace stream format version"),
+            std::string::npos);
+}
+
+TEST(TraceStreamV2, TruncatedMasksRejected) {
+  // A v2 footer whose entries lack the activity-mask words must be
+  // rejected, not silently read past.
+  StreamBuilder Builder;
+  Builder.Bytes[7] = '2'; // v2 magic over the v1 template
+  std::string Payload;
+  appendVarint(Payload, 1);
+  appendEvent(Payload);
+  // The huge FirstTime makes the mask-less entry wide enough to pass
+  // the footer size clamp, so the mask read itself is what trips.
+  Builder.addChunk(Payload, 1, /*FirstTime=*/~uint64_t(0));
+  // finish() writes v1-style (mask-less) footer entries.
+  std::string Diag = probeStream(Builder.finish(), "isprof_stream_v2trunc.strm");
+  EXPECT_NE(Diag.find("truncated activity masks"), std::string::npos) << Diag;
+}
+
 } // namespace
