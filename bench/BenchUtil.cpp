@@ -6,6 +6,8 @@
 
 #include "BenchUtil.h"
 
+#include "collect/Collector.h"
+#include "collect/FleetStore.h"
 #include "instr/Dispatcher.h"
 #include "replay/ParallelReplay.h"
 #include "tools/ToolRegistry.h"
@@ -343,6 +345,13 @@ std::string isp::writeHotpathReport(unsigned Repeats) {
   // Batch-capacity sweep: how the pending-batch size moves hot-path
   // throughput and flush frequency.
   if (!writeBatchCapacitySection(F, Repeats)) {
+    std::fclose(F);
+    return "";
+  }
+
+  // Fleet collector: concurrent multi-stream ingest throughput and the
+  // routine-filtered chunk-skip ratio over the v2 activity bitmaps.
+  if (!writeCollectorSection(F, Repeats)) {
     std::fclose(F);
     return "";
   }
@@ -836,6 +845,140 @@ bool isp::writeBatchCapacitySection(FILE *F, unsigned Repeats) {
     First = false;
   }
   std::fprintf(F, "\n  ],\n");
+  return true;
+}
+
+bool isp::writeCollectorSection(FILE *F, unsigned Repeats) {
+  // kdtree has the phase structure the chunk-skip gate needs: the
+  // build phase's short tree_insert activations cluster in the leading
+  // chunks, so a tree_insert-filtered ingest can prove the query-phase
+  // chunks irrelevant from the footer bitmaps alone. (Long-lived
+  // routines like each thread's root can never be skipped — their
+  // frames stay open across the whole stream.)
+  const WorkloadInfo *W = findWorkload("kdtree");
+  if (!W) {
+    std::fprintf(stderr, "hotpath report: workload 'kdtree' not "
+                         "registered\n");
+    return false;
+  }
+  WorkloadParams Params;
+  Params.Threads = 4;
+  Params.Size = 32;
+  std::string Error;
+  std::optional<Program> Prog = compileWorkload(*W, Params, &Error);
+  if (!Prog) {
+    std::fprintf(stderr, "hotpath report: %s\n", Error.c_str());
+    return false;
+  }
+
+  // Small chunks so the filtered pass has enough chunk granularity for
+  // the footer bitmaps to bite.
+  const unsigned NumStreams = 3;
+  TraceStreamOptions StreamOpts;
+  StreamOpts.ChunkBytes = 4096;
+  std::vector<std::string> Paths;
+  uint64_t EventsRecorded = 0;
+  for (unsigned I = 0; I != NumStreams; ++I) {
+    std::string Path = benchOutputPath("collector_probe_" +
+                                       std::to_string(I) + ".strm");
+    TraceStreamWriter Writer;
+    if (!Writer.open(Path, Prog->Symbols.entries(), StreamOpts)) {
+      std::fprintf(stderr, "hotpath report: %s\n", Writer.error().c_str());
+      return false;
+    }
+    EventDispatcher Recorder;
+    Recorder.enableRecording();
+    Recorder.setRecordSink(&Writer);
+    Machine M(*Prog, &Recorder);
+    RunResult Run = M.run();
+    if (!Run.Ok || !Writer.close()) {
+      std::fprintf(stderr, "hotpath report: collector record failed: %s\n",
+                   Run.Ok ? Writer.error().c_str() : Run.Error.c_str());
+      return false;
+    }
+    EventsRecorded += Writer.eventsWritten();
+    Paths.push_back(Path);
+  }
+
+  // The filtered pass is the fleet use case ("where did the build
+  // phase get slow?") where the v2 bitmaps pay.
+  const std::string FilterRoutine = "tree_insert";
+
+  struct Pass {
+    double Seconds = 1e100;
+    collect::CollectorTotals Totals;
+    size_t Routines = 0;
+  };
+  auto ingest = [&](const std::vector<std::string> &Filter, Pass &Out) {
+    for (unsigned Rep = 0; Rep == 0 || Rep < Repeats; ++Rep) {
+      collect::FleetStore Store;
+      collect::CollectorOptions Opts;
+      Opts.Workers = NumStreams;
+      Opts.RoutineFilter = Filter;
+      collect::Collector C(Opts, Store);
+      auto Start = std::chrono::steady_clock::now();
+      size_t Ok = C.ingestFiles(Paths);
+      auto End = std::chrono::steady_clock::now();
+      if (Ok != Paths.size()) {
+        std::fprintf(stderr, "hotpath report: collector ingest failed: %s\n",
+                     C.errors().empty() ? "unknown"
+                                        : C.errors()[0].Message.c_str());
+        return false;
+      }
+      double Seconds = std::chrono::duration<double>(End - Start).count();
+      if (Seconds < Out.Seconds) {
+        Out.Seconds = Seconds;
+        Out.Totals = C.totals();
+        Out.Routines = Store.routineCount();
+      }
+      if (Rep + 1 >= Repeats)
+        break;
+    }
+    return true;
+  };
+
+  Pass Full, Filtered;
+  if (!ingest({}, Full) || !ingest({FilterRoutine}, Filtered))
+    return false;
+  for (const std::string &Path : Paths)
+    std::remove(Path.c_str());
+
+  uint64_t FilteredChunks =
+      Filtered.Totals.ChunksRead + Filtered.Totals.ChunksSkipped;
+  std::fprintf(
+      F,
+      "  \"collector\": {\n"
+      "    \"workload\": \"kdtree\",\n"
+      "    \"streams\": %u,\n"
+      "    \"chunk_bytes\": %zu,\n"
+      "    \"ingest_workers\": %u,\n"
+      "    \"events_recorded\": %llu,\n"
+      "    \"seconds\": %.6f,\n"
+      "    \"streams_per_sec\": %.2f,\n"
+      "    \"events_per_sec\": %.0f,\n"
+      "    \"merge_ns\": %llu,\n"
+      "    \"store_routines\": %zu,\n"
+      "    \"filter_routine\": \"%s\",\n"
+      "    \"filtered_seconds\": %.6f,\n"
+      "    \"filtered_chunks_read\": %llu,\n"
+      "    \"filtered_chunks_skipped\": %llu,\n"
+      "    \"chunks_skipped_ratio\": %.4f,\n"
+      "    \"filtered_streams_per_sec\": %.2f\n"
+      "  },\n",
+      NumStreams, StreamOpts.ChunkBytes, NumStreams,
+      static_cast<unsigned long long>(EventsRecorded), Full.Seconds,
+      Full.Seconds > 0 ? NumStreams / Full.Seconds : 0.0,
+      Full.Seconds > 0
+          ? static_cast<double>(Full.Totals.Events) / Full.Seconds
+          : 0.0,
+      static_cast<unsigned long long>(Full.Totals.MergeNs), Full.Routines,
+      FilterRoutine.c_str(), Filtered.Seconds,
+      static_cast<unsigned long long>(Filtered.Totals.ChunksRead),
+      static_cast<unsigned long long>(Filtered.Totals.ChunksSkipped),
+      FilteredChunks ? static_cast<double>(Filtered.Totals.ChunksSkipped) /
+                           static_cast<double>(FilteredChunks)
+                     : 0.0,
+      Filtered.Seconds > 0 ? NumStreams / Filtered.Seconds : 0.0);
   return true;
 }
 

@@ -136,6 +136,15 @@ bool writeParallelReplaySection(FILE *F, unsigned Repeats);
 /// counts per capacity. Returns false (after a diagnostic) on failure.
 bool writeBatchCapacitySection(FILE *F, unsigned Repeats);
 
+/// Writes the "collector" object of BENCH_hotpath.json into \p F:
+/// records several chunked streams of one workload, then measures the
+/// fleet collector's concurrent ingest throughput (streams/sec and
+/// events/sec into one rollup store) and a routine-filtered pass over
+/// the same streams, reporting the footer-bitmap chunk-skip ratio for
+/// the rarest-active routine. Returns false (after a diagnostic) on
+/// failure.
+bool writeCollectorSection(FILE *F, unsigned Repeats);
+
 } // namespace isp
 
 #endif // ISPROF_BENCH_BENCHUTIL_H

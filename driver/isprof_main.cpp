@@ -23,6 +23,7 @@
 
 #include "analysis/LocksetLint.h"
 #include "analysis/Verifier.h"
+#include "collect/Collector.h"
 #include "core/HtmlReport.h"
 #include "core/ProfileDiff.h"
 #include "core/TrmsProfiler.h"
@@ -44,11 +45,15 @@
 #include "vm/Optimizer.h"
 #include "workloads/Runner.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <memory>
+#include <set>
 #include <sstream>
+#include <thread>
 
 #include <sys/resource.h>
 
@@ -65,6 +70,9 @@ int usage() {
       "  diff <base.bin> <new.bin>  compare two recorded traces'\n"
       "                        input-sensitive profiles (regressions)\n"
       "  replay <trace.bin>    run analysis tools over a recorded trace\n"
+      "  collect <stream...>   ingest many recorded streams concurrently\n"
+      "                        into a fleet-level rollup; --diff A B\n"
+      "                        compares two stream sets' rms curves\n"
       "  check <prog.mini>     compile only; print diagnostics\n"
       "  disasm <prog.mini>    print the compiled bytecode\n"
       "  workload <name>       run a registered benchmark workload\n"
@@ -102,7 +110,26 @@ int usage() {
       "  --threads=N --size=N   (workload) parameters\n"
       "  --stats=json|csv|off   dump pipeline self-metrics (default off)\n"
       "  --stats-out=PATH       write --stats output to PATH, not stdout\n"
-      "  --trace-out=PATH       write a chrome://tracing timeline to PATH\n",
+      "  --stats-interval=MS    (with --stats=json --stats-out=PATH)\n"
+      "                  append a live JSONL stats snapshot to PATH.live\n"
+      "                  every MS milliseconds while the command runs\n"
+      "  --trace-out=PATH       write a chrome://tracing timeline to PATH\n"
+      "  --stream-chunk-bytes=N (--record-stream) target chunk payload\n"
+      "                  size (power of two in [1024, 1048576])\n"
+      "\n"
+      "collect options:\n"
+      "  --spool=DIR     also ingest every stream file found in DIR\n"
+      "  --watch=MS      with --spool: poll DIR every MS milliseconds for\n"
+      "                  new streams until DIR/collector.stop appears\n"
+      "  --ingest-workers=N     concurrent ingestion threads (0 = auto)\n"
+      "  --routine=a,b   restrict the rollup to these routines; chunks\n"
+      "                  their v2 activity bitmaps provably exclude are\n"
+      "                  skipped without decoding\n"
+      "  --program=NAME  program label for every stream (default: file\n"
+      "                  stem)\n"
+      "  --top=N         rollup rows to print (default 10)\n"
+      "  --curve=NAME    also print NAME's full per-rms cost curve\n"
+      "  --diff          compare two stream sets (exit 3 on regression)\n",
       stderr);
   return 2;
 }
@@ -230,6 +257,17 @@ bool applyBatchCapacity(const OptionParser &Options,
                        EventDispatcher::MaxBatchCapacity, &N))
     return false;
   Dispatcher.setBatchCapacity(static_cast<size_t>(N));
+  return true;
+}
+
+/// Decodes --stream-chunk-bytes into \p StreamOpts.
+bool parseStreamChunkBytes(const OptionParser &Options,
+                           TraceStreamOptions *StreamOpts) {
+  uint64_t N = TraceStreamOptions().ChunkBytes;
+  if (!parsePow2Option(Options, "stream-chunk-bytes", 1024, uint64_t(1) << 20,
+                       &N))
+    return false;
+  StreamOpts->ChunkBytes = static_cast<size_t>(N);
   return true;
 }
 
@@ -406,7 +444,11 @@ int commandRun(OptionParser &Options) {
   std::string StreamPath = Options.getString("record-stream");
   TraceStreamWriter StreamWriter;
   if (!StreamPath.empty()) {
-    if (!StreamWriter.open(StreamPath, Prog->Symbols.entries())) {
+    TraceStreamOptions StreamOpts;
+    if (!parseStreamChunkBytes(Options, &StreamOpts))
+      return 2;
+    if (!StreamWriter.open(StreamPath, Prog->Symbols.entries(),
+                           StreamOpts)) {
       std::fprintf(stderr, "isprof: %s\n", StreamWriter.error().c_str());
       return 1;
     }
@@ -692,7 +734,11 @@ int commandWorkload(OptionParser &Options) {
   std::string StreamPath = Options.getString("record-stream");
   TraceStreamWriter StreamWriter;
   if (!StreamPath.empty()) {
-    if (!StreamWriter.open(StreamPath, Prog->Symbols.entries())) {
+    TraceStreamOptions StreamOpts;
+    if (!parseStreamChunkBytes(Options, &StreamOpts))
+      return 2;
+    if (!StreamWriter.open(StreamPath, Prog->Symbols.entries(),
+                           StreamOpts)) {
       std::fprintf(stderr, "isprof: %s\n", StreamWriter.error().c_str());
       return 1;
     }
@@ -764,6 +810,167 @@ int commandDiff(OptionParser &Options) {
   return hasRegressions(Diffs) ? 3 : 0;
 }
 
+/// Expands one `isprof collect` input: a directory is scanned for
+/// stream files (by magic), anything else is taken as a stream path.
+bool expandCollectInput(const std::string &Input,
+                        std::vector<std::string> *Files) {
+  std::error_code Ec;
+  if (std::filesystem::is_directory(Input, Ec)) {
+    std::string Error;
+    std::vector<std::string> Found = collect::scanSpoolDir(Input, &Error);
+    if (!Error.empty()) {
+      std::fprintf(stderr, "isprof: %s\n", Error.c_str());
+      return false;
+    }
+    Files->insert(Files->end(), Found.begin(), Found.end());
+    return true;
+  }
+  Files->push_back(Input);
+  return true;
+}
+
+/// Echoes every ingestion error recorded since index \p From in the
+/// replay diagnostic format (file, failing chunk, reader message).
+void reportIngestErrors(const collect::Collector &C, size_t From) {
+  const std::vector<collect::StreamIngestError> &Errs = C.errors();
+  for (size_t I = From; I != Errs.size(); ++I)
+    std::fprintf(stderr, "isprof: stream %s: chunk %zu: %s\n",
+                 Errs[I].File.c_str(), Errs[I].Chunk,
+                 Errs[I].Message.c_str());
+}
+
+/// Decodes the collect-specific numeric options. Returns false (after a
+/// diagnostic) on malformed values.
+bool parseCollectOptions(const OptionParser &Options,
+                         collect::CollectorOptions *Opts, unsigned *WatchMs,
+                         unsigned *TopN) {
+  std::string V = Options.getString("ingest-workers");
+  char *End = nullptr;
+  long N = std::strtol(V.c_str(), &End, 10);
+  if (End == V.c_str() || *End != '\0' || N < 0 ||
+      N > static_cast<long>(collect::CollectorOptions::MaxWorkers)) {
+    std::fprintf(stderr,
+                 "isprof: invalid --ingest-workers value '%s' (expected a "
+                 "worker count in [0, %u])\n",
+                 V.c_str(), collect::CollectorOptions::MaxWorkers);
+    return false;
+  }
+  Opts->Workers = static_cast<unsigned>(N);
+  Opts->RoutineFilter = splitList(Options.getString("routine"));
+  Opts->ProgramLabel = Options.getString("program");
+  long Watch = Options.getInt("watch");
+  if (Watch < 0) {
+    std::fprintf(stderr, "isprof: invalid --watch value (expected a "
+                         "non-negative millisecond count)\n");
+    return false;
+  }
+  *WatchMs = static_cast<unsigned>(Watch);
+  long Top = Options.getInt("top");
+  if (Top < 1) {
+    std::fprintf(stderr, "isprof: invalid --top value (expected >= 1)\n");
+    return false;
+  }
+  *TopN = static_cast<unsigned>(Top);
+  return true;
+}
+
+/// `isprof collect --diff A B`: ingests both stream sets (each a file
+/// or a spool directory) and compares their fleet stores.
+int collectDiff(OptionParser &Options, const collect::CollectorOptions &Opts) {
+  if (Options.positional().size() < 3) {
+    std::fprintf(stderr, "isprof collect --diff: need a baseline and a "
+                         "candidate (stream file or spool dir)\n");
+    return 2;
+  }
+  collect::FleetStore Stores[2];
+  for (int Side = 0; Side != 2; ++Side) {
+    std::vector<std::string> Files;
+    if (!expandCollectInput(Options.positional()[1 + Side], &Files))
+      return 1;
+    collect::Collector C(Opts, Stores[Side]);
+    C.ingestFiles(Files);
+    reportIngestErrors(C, 0);
+    if (C.totals().StreamsFailed > 0)
+      return 1;
+    if (C.totals().Streams == 0) {
+      std::fprintf(stderr, "isprof: no streams ingested from %s\n",
+                   Options.positional()[1 + Side].c_str());
+      return 1;
+    }
+  }
+  std::vector<collect::FleetRoutineDelta> Deltas =
+      collect::diffFleetStores(Stores[0], Stores[1]);
+  std::printf("%s", collect::renderFleetDiff(Deltas).c_str());
+  return collect::hasFleetRegressions(Deltas) ? 3 : 0;
+}
+
+int commandCollect(OptionParser &Options) {
+  collect::CollectorOptions Opts;
+  unsigned WatchMs = 0, TopN = 10;
+  if (!parseCollectOptions(Options, &Opts, &WatchMs, &TopN))
+    return 2;
+  if (Options.getFlag("diff"))
+    return collectDiff(Options, Opts);
+
+  std::string Spool = Options.getString("spool");
+  if (Options.positional().size() < 2 && Spool.empty()) {
+    std::fprintf(stderr,
+                 "isprof collect: need stream files and/or --spool=DIR\n");
+    return 2;
+  }
+  std::vector<std::string> Explicit;
+  for (size_t I = 1; I != Options.positional().size(); ++I)
+    if (!expandCollectInput(Options.positional()[I], &Explicit))
+      return 1;
+
+  collect::FleetStore Store;
+  collect::Collector C(Opts, Store);
+  std::set<std::string> Seen;
+  for (;;) {
+    std::vector<std::string> Batch;
+    for (const std::string &File : Explicit)
+      if (Seen.insert(File).second)
+        Batch.push_back(File);
+    if (!Spool.empty()) {
+      std::string Error;
+      for (const std::string &File : collect::scanSpoolDir(Spool, &Error))
+        if (Seen.insert(File).second)
+          Batch.push_back(File);
+      if (!Error.empty()) {
+        std::fprintf(stderr, "isprof: %s\n", Error.c_str());
+        return 1;
+      }
+    }
+    size_t ErrorsBefore = C.errors().size();
+    if (!Batch.empty())
+      C.ingestFiles(Batch);
+    reportIngestErrors(C, ErrorsBefore);
+    // Watch mode keeps polling the spool until a stop file appears; a
+    // single pass otherwise.
+    if (Spool.empty() || WatchMs == 0)
+      break;
+    std::error_code Ec;
+    if (std::filesystem::exists(Spool + "/collector.stop", Ec))
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(WatchMs));
+  }
+
+  const collect::CollectorTotals &T = C.totals();
+  std::printf("[collector: %s stream(s) ingested, %s failed, %s chunks "
+              "read, %s skipped, %s events, merge %s]\n\n",
+              formatWithCommas(T.Streams).c_str(),
+              formatWithCommas(T.StreamsFailed).c_str(),
+              formatWithCommas(T.ChunksRead).c_str(),
+              formatWithCommas(T.ChunksSkipped).c_str(),
+              formatWithCommas(T.Events).c_str(),
+              formatDuration(T.MergeNs).c_str());
+  std::printf("%s", Store.renderRollup(TopN).c_str());
+  std::string Curve = Options.getString("curve");
+  if (!Curve.empty())
+    std::printf("\n%s", Store.renderCurve(Curve).c_str());
+  return T.StreamsFailed > 0 ? 1 : 0;
+}
+
 int commandList() {
   std::printf("tools:\n");
   for (const std::string &Name : allToolNames())
@@ -782,6 +989,8 @@ int runCommand(const std::string &Command, OptionParser &Options) {
     return commandDiff(Options);
   if (Command == "replay")
     return commandReplay(Options);
+  if (Command == "collect")
+    return commandCollect(Options);
   if (Command == "check")
     return commandCheckOrDisasm(Options, /*Disassemble=*/false);
   if (Command == "disasm")
@@ -842,6 +1051,32 @@ int main(int Argc, char **Argv) {
                     "dump pipeline self-metrics: json, csv, or off");
   Options.addOption("stats-out", "",
                     "write --stats output to this path instead of stdout");
+  Options.addOption("stats-interval", "",
+                    "with --stats=json --stats-out=PATH: append a live "
+                    "JSONL snapshot to PATH.live every N milliseconds");
+  Options.addOption("stream-chunk-bytes", "65536",
+                    "(--record-stream) target chunk payload size in "
+                    "bytes (power of two in [1024, 1048576])");
+  Options.addOption("spool", "",
+                    "(collect) also ingest every stream file in this "
+                    "directory");
+  Options.addOption("watch", "0",
+                    "(collect, with --spool) poll the spool every N "
+                    "milliseconds until <spool>/collector.stop appears");
+  Options.addOption("ingest-workers", "0",
+                    "(collect) concurrent ingestion threads (0 = auto)");
+  Options.addOption("routine", "",
+                    "(collect) comma-separated routine filter; provably "
+                    "excluded chunks are skipped via v2 bitmaps");
+  Options.addOption("program", "",
+                    "(collect) program label for ingested streams "
+                    "(default: each file's stem)");
+  Options.addOption("top", "10", "(collect) rollup rows to print");
+  Options.addOption("curve", "",
+                    "(collect) also print this routine's full per-rms "
+                    "cost curve");
+  Options.addFlag("diff", "(collect) compare two stream sets: "
+                          "collect --diff BASE CAND");
   Options.addOption("trace-out", "", "write a chrome://tracing / Perfetto "
                                      "timeline of the pipeline to this path");
   if (!Options.parse(Argc, Argv))
@@ -863,6 +1098,34 @@ int main(int Argc, char **Argv) {
   if (!TraceOut.empty())
     obs::TraceLog::get().enable();
 
+  std::string StatsOut = Options.getString("stats-out");
+  std::string StatsIntervalStr = Options.getString("stats-interval");
+  unsigned StatsIntervalMs = 0;
+  if (!StatsIntervalStr.empty()) {
+    char *End = nullptr;
+    long N = std::strtol(StatsIntervalStr.c_str(), &End, 10);
+    if (End == StatsIntervalStr.c_str() || *End != '\0' || N < 1) {
+      std::fprintf(stderr,
+                   "isprof: invalid --stats-interval value '%s' (expected "
+                   "a positive millisecond count)\n",
+                   StatsIntervalStr.c_str());
+      return 2;
+    }
+    if (StatsMode != "json" || StatsOut.empty()) {
+      std::fprintf(stderr, "isprof: --stats-interval requires --stats=json "
+                           "and --stats-out=PATH\n");
+      return 2;
+    }
+    StatsIntervalMs = static_cast<unsigned>(N);
+  }
+  obs::StatsHeartbeat Heartbeat;
+  if (StatsIntervalMs != 0 &&
+      !Heartbeat.start(StatsOut + ".live", StatsIntervalMs)) {
+    std::fprintf(stderr, "isprof: cannot write live stats to %s.live\n",
+                 StatsOut.c_str());
+    return 2;
+  }
+
   const std::string &Command = Options.positional()[0];
   int Code;
   {
@@ -877,6 +1140,7 @@ int main(int Argc, char **Argv) {
     obs::ScopedSpan Span(DriverLane, "command " + Command, "driver");
     Code = runCommand(Command, Options);
   }
+  Heartbeat.stop();
 
   if (obs::statsEnabled()) {
     struct rusage Usage;
@@ -884,7 +1148,6 @@ int main(int Argc, char **Argv) {
       obs::Registry::get()
           .gauge("process.peak_rss_bytes")
           .noteMax(static_cast<uint64_t>(Usage.ru_maxrss) * 1024);
-    std::string StatsOut = Options.getString("stats-out");
     if (!obs::writeStatsFile(StatsOut, StatsMode == "json"
                                            ? obs::StatsFormat::Json
                                            : obs::StatsFormat::Csv)) {

@@ -23,14 +23,27 @@ using namespace isp::analysis;
 
 namespace {
 
-/// Must-held locks + spawn phase, with an explicit unreached (top)
-/// element for the dataflow join.
+/// Must-held locks + a live-thread bound, with an explicit unreached
+/// (top) element for the dataflow join.
+///
+/// Live is an upper bound on how many spawned threads may still be
+/// running: 0 means provably none (the single-threaded init prefix and
+/// the quiescent window after every spawned thread has been joined),
+/// ManyLive means "unknown / unbounded". Each join() builtin credibly
+/// retires one thread only while the count is exact — a spawn in a
+/// loop, a spawn hidden in a callee, or a saturated count stays at
+/// ManyLive forever, so the model only ever under-approximates the
+/// quiescent windows (safe: extra accesses get recorded, never fewer).
 struct LockState {
+  static constexpr unsigned ManyLive = 255;
+
   bool Reached = false;
-  bool Spawned = false;       ///< a spawn may already have executed
+  unsigned Live = 0;          ///< upper bound on running spawned threads
   std::set<Addr> Locks;       ///< must-held named locks
 
-  static LockState entry(bool Spawned) { return {true, Spawned, {}}; }
+  static LockState entry(bool StartsSpawned) {
+    return {true, StartsSpawned ? ManyLive : 0u, {}};
+  }
   bool join(const LockState &From) {
     if (!From.Reached)
       return false;
@@ -39,8 +52,8 @@ struct LockState {
       return true;
     }
     bool Changed = false;
-    if (From.Spawned && !Spawned) {
-      Spawned = true;
+    if (From.Live > Live) {
+      Live = From.Live;
       Changed = true;
     }
     for (auto It = Locks.begin(); It != Locks.end();) {
@@ -207,9 +220,11 @@ void Lint::collectContexts() {
 
 void Lint::recordAccess(Addr Key, const std::string &Name, bool IsArray,
                         bool IsWrite, unsigned CtxId, const LockState &S) {
-  // Initialization accesses: the main context before any spawn may have
-  // happened cannot race (single-threaded prefix).
-  if (!S.Spawned && !Contexts[CtxId].StartsSpawned)
+  // Single-threaded windows cannot race: the main context's accesses
+  // both before any spawn may have happened and after every spawned
+  // thread has provably been joined (join() publishes the joined
+  // thread's writes — the happens-before edge).
+  if (S.Live == 0 && !Contexts[CtxId].StartsSpawned)
     return;
   LocationInfo &L = Locations[Key];
   if (L.Name.empty())
@@ -255,7 +270,11 @@ void Lint::stepInstr(size_t Fn, size_t Pc, LockState &S, unsigned CtxId,
     }
     break;
   case Op::Spawn:
-    S.Spawned = true;
+    // A spawn on a cyclic path can run any number of times; an exact
+    // count is only credible for straight-line spawns.
+    S.Live = cfg(Fn).inCycle(cfg(Fn).blockOf(Pc))
+                 ? LockState::ManyLive
+                 : std::min(S.Live + 1, LockState::ManyLive);
     break;
   case Op::Call: {
     size_t Callee = static_cast<size_t>(In.A);
@@ -266,8 +285,10 @@ void Lint::stepInstr(size_t Fn, size_t Pc, LockState &S, unsigned CtxId,
         FnWork.push_back(Callee);
     }
     const FnSummary &Sum = Summaries[Callee];
+    // A callee that may spawn leaves the live count unknowable (it may
+    // spawn any number of threads and join none of them).
     if (Sum.MaySpawn)
-      S.Spawned = true;
+      S.Live = LockState::ManyLive;
     if (Sum.ReleasesUnknown)
       S.Locks.clear();
     else
@@ -276,6 +297,15 @@ void Lint::stepInstr(size_t Fn, size_t Pc, LockState &S, unsigned CtxId,
     break;
   }
   case Op::CallBuiltin: {
+    // join(t) retires one spawned thread — but only while the count is
+    // exact; a saturated count stays ManyLive forever. The lint does
+    // not track which handle a join names, so joining the same thread
+    // twice in the exact regime can retire a still-running one — a
+    // deliberate heuristic (handles are almost always joined once,
+    // straight-line), matching the lint's other unsound trades.
+    if (static_cast<Builtin>(In.A) == Builtin::Join && S.Live > 0 &&
+        S.Live < LockState::ManyLive)
+      S.Live -= 1;
     std::optional<Addr> Lock;
     switch (classifyLockOp(F, Pc, Lock)) {
     case LockOp::Acquire:
@@ -306,11 +336,12 @@ void Lint::analyzeContext(unsigned CtxId) {
   FnWork.push_back(Ctx.Root);
 
   // Interprocedural fixpoint on entry states, then one recording pass
-  // per function once its entry state is final. Since states only
-  // shrink (lock intersection) or latch (Spawned), re-processing a
-  // function after its entry state changed re-records accesses with the
-  // weaker state; recordAccess only ever weakens tallies, so recording
-  // during the fixpoint is sound.
+  // per function once its entry state is final. Across the fixpoint,
+  // states only weaken — the lock set shrinks (intersection) and Live
+  // only rises (max join) — so re-processing a function after its entry
+  // state changed re-records accesses with the weaker state;
+  // recordAccess only ever weakens tallies, so recording during the
+  // fixpoint is sound.
   struct Problem {
     using State = LockState;
     Lint &L;

@@ -1,0 +1,238 @@
+//===- collect/Collector.cpp - Multi-stream fleet ingestion -------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "collect/Collector.h"
+
+#include "core/TrmsProfiler.h"
+#include "instr/Dispatcher.h"
+#include "instr/SymbolTable.h"
+#include "obs/Obs.h"
+#include "obs/TraceLog.h"
+#include "trace/TraceStream.h"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <thread>
+
+using namespace isp;
+using namespace isp::collect;
+
+namespace {
+
+std::string fileLabel(const std::string &Path) {
+  return std::filesystem::path(Path).stem().string();
+}
+
+std::string fileName(const std::string &Path) {
+  return std::filesystem::path(Path).filename().string();
+}
+
+} // namespace
+
+bool Collector::ingestOne(const std::string &Path) {
+  obs::LaneId Lane = obs::tracingEnabled()
+                         ? obs::TraceLog::get().allocLane(
+                               "stream: " + fileName(Path))
+                         : 0;
+  obs::ScopedSpan Span(Lane, "ingest " + fileName(Path), "collector");
+
+  TraceStreamReader Reader;
+  uint64_t LocalRead = 0, LocalSkipped = 0, LocalEvents = 0;
+  size_t ErrChunk = 0;
+  bool Ok = Reader.open(Path);
+  if (Ok) {
+    SymbolTable Symbols;
+    for (const auto &[Id, Name] : Reader.routines())
+      Symbols.intern(Name);
+
+    // Advisory chunk filter: OR of the filtered routines' mask bits in
+    // this stream's id space. Zero with a non-empty filter means no
+    // filtered routine exists here at all — every chunk is skippable.
+    bool UseFilter = !Opts.RoutineFilter.empty();
+    uint64_t FilterMask = 0;
+    std::set<uint64_t> MatchedIds;
+    if (UseFilter)
+      for (const auto &[Id, Name] : Reader.routines())
+        if (std::find(Opts.RoutineFilter.begin(), Opts.RoutineFilter.end(),
+                      Name) != Opts.RoutineFilter.end()) {
+          FilterMask |= uint64_t(1) << (Id & 63);
+          MatchedIds.insert(Id);
+        }
+
+    TrmsProfilerOptions ProfOpts;
+    ProfOpts.KeepActivationLog = true;
+    TrmsProfiler Profiler(ProfOpts);
+    EventDispatcher Dispatcher;
+    Dispatcher.addTool(&Profiler);
+    Dispatcher.start(&Symbols);
+
+    // A chunk may be skipped only when (a) its routine mask proves no
+    // filtered routine is called in it and (b) no filtered activation
+    // is in flight — everything between a filtered Call and its Return
+    // must replay for exact rms/cost, and filtered Calls always set
+    // their own mask bit, so (a) alone guarantees none is lost.
+    //
+    // Skipping tears holes in the call stack: a skipped chunk may open
+    // frames whose Returns land in decoded chunks. The per-thread
+    // shadow stack below tracks only the calls actually forwarded; a
+    // Return that does not match the forwarded top must close a frame
+    // opened in a skipped chunk (traces are well-nested per thread, and
+    // no frame opened in a skipped chunk can close inside a filtered
+    // activation, since its Call would have to nest within it — it
+    // would enclose the activation instead). Dropping such Returns
+    // keeps the profiler's stack exactly the forwarded calls, so the
+    // mismatched-nesting assert can never fire and filtered records
+    // stay exact: cost is a within-activation basic-block delta and rms
+    // counts only accesses inside the activation window, which is
+    // always fully decoded.
+    uint64_t InFlight = 0;
+    std::vector<std::vector<uint64_t>> Stacks;
+    std::vector<Event> Chunk;
+    while (true) {
+      ErrChunk = Reader.cursor();
+      if (UseFilter && Reader.hasActivityMasks() && InFlight == 0 &&
+          ErrChunk < Reader.chunkCount() &&
+          (Reader.chunkRoutineMask(ErrChunk) & FilterMask) == 0) {
+        Reader.seek(ErrChunk + 1);
+        LocalSkipped += 1;
+        continue;
+      }
+      if (!Reader.nextChunk(Chunk))
+        break;
+      LocalRead += 1;
+      LocalEvents += Chunk.size();
+      if (!UseFilter) {
+        for (const Event &E : Chunk)
+          Dispatcher.enqueue(E);
+        continue;
+      }
+      for (const Event &E : Chunk) {
+        if (E.Kind == EventKind::Call) {
+          if (E.Tid >= Stacks.size())
+            Stacks.resize(static_cast<size_t>(E.Tid) + 1);
+          Stacks[E.Tid].push_back(E.Arg0);
+          if (MatchedIds.count(E.Arg0))
+            InFlight += 1;
+        } else if (E.Kind == EventKind::Return) {
+          std::vector<uint64_t> *S =
+              E.Tid < Stacks.size() ? &Stacks[E.Tid] : nullptr;
+          if (!S || S->empty() || S->back() != E.Arg0)
+            continue; // closes a frame opened in a skipped chunk
+          S->pop_back();
+          if (MatchedIds.count(E.Arg0) && InFlight > 0)
+            InFlight -= 1;
+        }
+        Dispatcher.enqueue(E);
+      }
+    }
+    Ok = Reader.error().empty();
+    // finish() runs even on error so the dispatcher drains cleanly; the
+    // partial database is simply never merged.
+    Dispatcher.finish();
+
+    if (Ok) {
+      std::set<std::string> Only(Opts.RoutineFilter.begin(),
+                                 Opts.RoutineFilter.end());
+      std::string Label =
+          Opts.ProgramLabel.empty() ? fileLabel(Path) : Opts.ProgramLabel;
+      std::lock_guard<std::mutex> Lock(Mutex);
+      uint64_t MergeStart = obs::nowNs();
+      Store.mergeDatabase(Label, Profiler.database(), Symbols,
+                          Only.empty() ? nullptr : &Only);
+      Totals.MergeNs += obs::nowNs() - MergeStart;
+      Totals.Streams += 1;
+      Totals.ChunksRead += LocalRead;
+      Totals.ChunksSkipped += LocalSkipped;
+      Totals.Events += LocalEvents;
+      return true;
+    }
+  }
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Totals.StreamsFailed += 1;
+  Totals.ChunksRead += LocalRead;
+  Totals.ChunksSkipped += LocalSkipped;
+  Totals.Events += LocalEvents;
+  Errors.push_back({Path, ErrChunk, Reader.error()});
+  return false;
+}
+
+size_t Collector::ingestFiles(const std::vector<std::string> &Files) {
+  CollectorTotals Before = Totals;
+  uint64_t Start = obs::nowNs();
+
+  unsigned Workers = Opts.Workers;
+  if (Workers == 0) {
+    Workers = std::thread::hardware_concurrency();
+    if (Workers == 0)
+      Workers = 1;
+  }
+  Workers = std::clamp<unsigned>(
+      Workers, 1,
+      std::min<size_t>(CollectorOptions::MaxWorkers,
+                       std::max<size_t>(Files.size(), 1)));
+
+  if (Workers <= 1 || Files.size() <= 1) {
+    for (const std::string &Path : Files)
+      ingestOne(Path);
+  } else {
+    std::atomic<size_t> Next{0};
+    std::vector<std::thread> Pool;
+    Pool.reserve(Workers);
+    for (unsigned W = 0; W != Workers; ++W)
+      Pool.emplace_back([this, &Files, &Next] {
+        for (size_t I = Next.fetch_add(1); I < Files.size();
+             I = Next.fetch_add(1))
+          ingestOne(Files[I]);
+      });
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  Totals.IngestNs += obs::nowNs() - Start;
+  if (obs::statsEnabled()) {
+    obs::Registry &R = obs::Registry::get();
+    R.counter("collector.streams").add(Totals.Streams - Before.Streams);
+    R.counter("collector.streams_failed")
+        .add(Totals.StreamsFailed - Before.StreamsFailed);
+    R.counter("collector.decode_errors")
+        .add(Totals.StreamsFailed - Before.StreamsFailed);
+    R.counter("collector.chunks_read")
+        .add(Totals.ChunksRead - Before.ChunksRead);
+    R.counter("collector.chunks_skipped")
+        .add(Totals.ChunksSkipped - Before.ChunksSkipped);
+    R.counter("collector.events").add(Totals.Events - Before.Events);
+    R.counter("collector.merge_ns").add(Totals.MergeNs - Before.MergeNs);
+    R.counter("collector.ingest_ns").add(Totals.IngestNs - Before.IngestNs);
+    R.gauge("collector.workers").set(Workers);
+    R.gauge("collector.store_routines").set(Store.routineCount());
+  }
+  return static_cast<size_t>(Totals.Streams - Before.Streams);
+}
+
+std::vector<std::string> isp::collect::scanSpoolDir(const std::string &Dir,
+                                                    std::string *Error) {
+  std::vector<std::string> Out;
+  std::error_code Ec;
+  std::filesystem::directory_iterator It(Dir, Ec), End;
+  if (Ec) {
+    if (Error)
+      *Error = Ec.message();
+    return Out;
+  }
+  for (; It != End; It.increment(Ec)) {
+    if (Ec)
+      break;
+    if (!It->is_regular_file(Ec) || Ec)
+      continue;
+    std::string Path = It->path().string();
+    if (isTraceStreamFile(Path))
+      Out.push_back(std::move(Path));
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}

@@ -1,0 +1,113 @@
+//===- collect/Collector.h - Multi-stream fleet ingestion -------*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The collector's ingestion engine: many recorded ISPSTM streams —
+/// named explicitly or discovered in a spool directory — are replayed
+/// concurrently, each through its own aprof-trms profiler, and the
+/// per-stream results are folded into a shared FleetStore. A corrupt
+/// stream is reported (file + failing chunk, the stream reader's
+/// diagnostics) and contributes nothing; it never poisons the rollup.
+///
+/// When a routine filter is set and a stream carries v2 activity
+/// bitmaps, chunks whose 64-bit routine mask provably excludes every
+/// filtered routine are skipped without decoding — but only while no
+/// filtered activation is in flight, so everything between a filtered
+/// Call and its Return always replays. A per-thread shadow stack of
+/// forwarded calls reconciles the holes skipping tears in the stream:
+/// Returns that close frames opened inside skipped chunks are dropped
+/// before dispatch, keeping the replayed call stack consistent and the
+/// filtered routines' rms and cost exact. What skipping can lose is
+/// shadow-timestamp history from before a filtered activation, so
+/// filtered trms may undercount induced first-accesses whose inducing
+/// write sat in a skipped chunk (documented approximation; unfiltered
+/// ingestion is always exact). v1 streams carry no masks and are
+/// always fully decoded.
+///
+/// Observability: the `collector.*` metric family (streams, chunks
+/// read/skipped, decode errors, merge time, store size) and one
+/// Chrome-trace lane per ingested stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_COLLECT_COLLECTOR_H
+#define ISPROF_COLLECT_COLLECTOR_H
+
+#include "collect/FleetStore.h"
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace isp::collect {
+
+struct CollectorOptions {
+  /// Concurrent ingestion threads. 0 auto-sizes to
+  /// min(streams, hardware_concurrency), capped at MaxWorkers.
+  unsigned Workers = 0;
+  static constexpr unsigned MaxWorkers = 64;
+  /// Restrict the rollup to these routine names (and skip provably
+  /// excluded chunks on v2 streams). Empty ingests everything.
+  std::vector<std::string> RoutineFilter;
+  /// Program label for every ingested stream; empty labels each stream
+  /// by its file stem ("spool/md-3.strm" -> "md-3").
+  std::string ProgramLabel;
+};
+
+/// One failed stream: which file, which chunk, what the reader said.
+struct StreamIngestError {
+  std::string File;
+  size_t Chunk = 0;
+  std::string Message;
+};
+
+/// Commutative ingestion tallies (exported as collector.* metrics).
+struct CollectorTotals {
+  uint64_t Streams = 0;       ///< ingested and merged successfully
+  uint64_t StreamsFailed = 0; ///< reported and skipped
+  uint64_t ChunksRead = 0;
+  uint64_t ChunksSkipped = 0; ///< excluded via v2 routine bitmaps
+  uint64_t Events = 0;
+  uint64_t MergeNs = 0;  ///< wall time inside store merges
+  uint64_t IngestNs = 0; ///< wall time of the whole ingestFiles call
+};
+
+class Collector {
+public:
+  Collector(const CollectorOptions &Opts, FleetStore &Store)
+      : Opts(Opts), Store(Store) {}
+
+  /// Ingests every file, fanning out across the configured worker
+  /// count. Returns the number of streams merged successfully; failures
+  /// land in errors(). Publishes collector.* metrics when stats are
+  /// enabled. Callable repeatedly (spool watching); totals accumulate.
+  size_t ingestFiles(const std::vector<std::string> &Files);
+
+  const CollectorTotals &totals() const { return Totals; }
+  const std::vector<StreamIngestError> &errors() const { return Errors; }
+
+private:
+  bool ingestOne(const std::string &Path);
+
+  CollectorOptions Opts;
+  FleetStore &Store;
+  CollectorTotals Totals;
+  std::vector<StreamIngestError> Errors;
+  /// Guards Store, Totals, and Errors during concurrent ingestion.
+  std::mutex Mutex;
+};
+
+/// Chunked stream files directly inside \p Dir (identified by magic,
+/// any extension), sorted by name for determinism. Returns an empty
+/// list and sets \p Error when the directory cannot be read.
+std::vector<std::string> scanSpoolDir(const std::string &Dir,
+                                      std::string *Error);
+
+} // namespace isp::collect
+
+#endif // ISPROF_COLLECT_COLLECTOR_H

@@ -119,7 +119,9 @@ static std::string jsonEscape(const std::string &S) {
 
 std::string Registry::renderJson() const {
   std::lock_guard<std::mutex> Lock(Mutex);
-  std::string Out = "{\n  \"counters\": {";
+  std::string Out =
+      formatString("{\n  \"schema_version\": %u,\n  \"counters\": {",
+                   StatsSchemaVersion);
   bool First = true;
   for (const auto &[Name, C] : Counters) {
     Out += formatString("%s\n    \"%s\": %llu", First ? "" : ",",
@@ -166,6 +168,43 @@ std::string Registry::renderJson() const {
   return Out;
 }
 
+std::string Registry::renderJsonLine(uint64_t Seq) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::string Out = formatString(
+      "{\"schema_version\": %u, \"seq\": %llu, \"ts_ns\": %llu, "
+      "\"counters\": {",
+      StatsSchemaVersion, static_cast<unsigned long long>(Seq),
+      static_cast<unsigned long long>(nowNs()));
+  bool First = true;
+  for (const auto &[Name, C] : Counters) {
+    Out += formatString("%s\"%s\": %llu", First ? "" : ", ",
+                        jsonEscape(Name).c_str(),
+                        static_cast<unsigned long long>(C->value()));
+    First = false;
+  }
+  Out += "}, \"gauges\": {";
+  First = true;
+  for (const auto &[Name, G] : Gauges) {
+    Out += formatString("%s\"%s\": %llu", First ? "" : ", ",
+                        jsonEscape(Name).c_str(),
+                        static_cast<unsigned long long>(G->value()));
+    First = false;
+  }
+  Out += "}, \"histograms\": {";
+  First = true;
+  for (const auto &[Name, H] : Histograms) {
+    Out += formatString(
+        "%s\"%s\": {\"count\": %llu, \"sum\": %llu, \"max\": %llu}",
+        First ? "" : ", ", jsonEscape(Name).c_str(),
+        static_cast<unsigned long long>(H->count()),
+        static_cast<unsigned long long>(H->sum()),
+        static_cast<unsigned long long>(H->max()));
+    First = false;
+  }
+  Out += "}}\n";
+  return Out;
+}
+
 std::string Registry::renderCsv() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   std::string Out = "kind,name,value\n";
@@ -184,6 +223,50 @@ std::string Registry::renderCsv() const {
                         static_cast<unsigned long long>(H->max()));
   }
   return Out;
+}
+
+bool StatsHeartbeat::start(const std::string &Path, unsigned IntervalMs) {
+  if (Thread.joinable() || File)
+    return false;
+  File = std::fopen(Path.c_str(), "a");
+  if (!File)
+    return false;
+  Stopping = false;
+  emitSnapshot();
+  Thread = std::thread([this, IntervalMs] { run(IntervalMs); });
+  return true;
+}
+
+void StatsHeartbeat::stop() {
+  if (Thread.joinable()) {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Stopping = true;
+    }
+    Cv.notify_all();
+    Thread.join();
+  }
+  if (File) {
+    emitSnapshot();
+    std::fclose(File);
+    File = nullptr;
+  }
+}
+
+void StatsHeartbeat::run(unsigned IntervalMs) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  for (;;) {
+    if (Cv.wait_for(Lock, std::chrono::milliseconds(IntervalMs ? IntervalMs : 1),
+                    [this] { return Stopping; }))
+      return;
+    emitSnapshot();
+  }
+}
+
+void StatsHeartbeat::emitSnapshot() {
+  std::string Line = Registry::get().renderJsonLine(Seq++);
+  std::fputs(Line.c_str(), File);
+  std::fflush(File);
 }
 
 bool isp::obs::writeStatsFile(const std::string &Path, StatsFormat Format) {

@@ -49,15 +49,23 @@
 #include "support/Compiler.h"
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace isp {
 namespace obs {
+
+/// Version stamp of every JSON stats export (renderJson and the
+/// heartbeat's renderJsonLine). Bump it whenever the export shape
+/// changes; fleet scrapers gate on the field.
+inline constexpr unsigned StatsSchemaVersion = 1;
 
 /// Global stats-collection switch. Off by default; the driver's --stats
 /// flag and the ISP_STATS=1 environment variable turn it on. Read
@@ -188,12 +196,19 @@ public:
   bool empty() const;
 
   /// Renders every metric as a stable, name-sorted JSON object:
-  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,
-  /// max,mean,buckets:[[lower,count],...]}}}.
+  /// {"schema_version":N,"counters":{...},"gauges":{...},
+  /// "histograms":{name:{count,sum,max,mean,buckets:[[lower,count],
+  /// ...]}}}. schema_version is bumped whenever the export shape
+  /// changes, so fleet scrapers can gate on it.
   std::string renderJson() const;
   /// Renders every metric as "kind,name,value" CSV rows (histograms are
   /// flattened into .count/.sum/.max rows).
   std::string renderCsv() const;
+  /// One compact single-line JSON snapshot (JSONL) carrying
+  /// schema_version, \p Seq, a steady-clock timestamp, and every
+  /// counter/gauge plus histogram count/sum/max — the heartbeat record
+  /// long-lived runs append per --stats-interval tick.
+  std::string renderJsonLine(uint64_t Seq) const;
 
 private:
   Registry();
@@ -241,6 +256,41 @@ private:
   Counter *NsTotal;
   Histogram *NsHist;
   uint64_t StartNs;
+};
+
+/// Periodic live-stats emitter for always-on runs (--stats-interval).
+/// A background thread appends one renderJsonLine snapshot to the
+/// target file per interval; start() writes an initial snapshot and
+/// stop() a final one, so every run produces at least two. The file is
+/// JSONL: one self-contained JSON object per line, each carrying
+/// schema_version and a monotonically increasing seq.
+class StatsHeartbeat {
+public:
+  StatsHeartbeat() = default;
+  StatsHeartbeat(const StatsHeartbeat &) = delete;
+  StatsHeartbeat &operator=(const StatsHeartbeat &) = delete;
+  ~StatsHeartbeat() { stop(); }
+
+  /// Opens \p Path for appending and starts the emitter thread. Returns
+  /// false (without starting) when the file cannot be opened.
+  bool start(const std::string &Path, unsigned IntervalMs);
+  /// Appends the final snapshot, joins the thread, closes the file.
+  /// Idempotent.
+  void stop();
+
+  /// Snapshots appended so far.
+  uint64_t snapshots() const { return Seq; }
+
+private:
+  void run(unsigned IntervalMs);
+  void emitSnapshot();
+
+  std::thread Thread;
+  std::mutex Mutex;
+  std::condition_variable Cv;
+  bool Stopping = false;
+  FILE *File = nullptr;
+  uint64_t Seq = 0;
 };
 
 } // namespace obs

@@ -588,6 +588,75 @@ TEST(LintTest, ArrayAccessesAttributedThroughPointsTo) {
   EXPECT_EQ(Report.Warnings[0].Address, Prog.GlobalArrays[0].Base);
 }
 
+TEST(LintTest, JoinPublishesWorkerWritesHappensBefore) {
+  // join() retires the spawned thread: after the join main is the only
+  // thread running, so its unlocked writes to the worker's global are
+  // not races. No lock appears anywhere in the program.
+  Program Prog = compile(R"(
+    var tally;
+    fn worker(n) {
+      for (var i = 0; i < n; i = i + 1) {
+        tally = tally + i;
+      }
+      return tally;
+    }
+    fn main() {
+      tally = 0;
+      var t = spawn worker(8);
+      var partial = join(t);
+      tally = tally + partial;
+      return tally;
+    })");
+  LintReport Report = runLocksetLint(Prog);
+  EXPECT_TRUE(Report.Warnings.empty()) << Report.render();
+}
+
+TEST(LintTest, AccessBetweenSpawnAndJoinStillWarns) {
+  // The happens-before edge is at the join, not the spawn: a write in
+  // the window where the worker is live races with the worker's writes.
+  Program Prog = compile(R"(
+    var g;
+    fn worker(n) {
+      g = g + n;
+      return 0;
+    }
+    fn main() {
+      g = 0;
+      var t = spawn worker(5);
+      g = g + 1;
+      var r = join(t);
+      return g + r;
+    })");
+  LintReport Report = runLocksetLint(Prog);
+  ASSERT_EQ(Report.Warnings.size(), 1u);
+  EXPECT_EQ(Report.Warnings[0].Name, "g");
+}
+
+TEST(LintTest, CalleeThatMaySpawnPinsTheLiveBound) {
+  // Spawns hidden behind a call are accounted conservatively: once main
+  // calls a may-spawn callee, the live-thread bound saturates and stays
+  // saturated — a later join of a local handle cannot prove quiescence.
+  Program Prog = compile(R"(
+    var g;
+    fn worker(n) {
+      g = g + n;
+      return 0;
+    }
+    fn helper() {
+      var t = spawn worker(3);
+      return join(t);
+    }
+    fn main() {
+      g = 0;
+      var r = helper();
+      g = g + r;
+      return g;
+    })");
+  LintReport Report = runLocksetLint(Prog);
+  ASSERT_EQ(Report.Warnings.size(), 1u);
+  EXPECT_EQ(Report.Warnings[0].Name, "g");
+}
+
 // --- End to end: verified programs run clean. ---
 
 TEST(AnalysisIntegration, VerifiedExamplesExecute) {

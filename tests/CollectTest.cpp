@@ -1,0 +1,435 @@
+//===- tests/CollectTest.cpp - Fleet collector tests ---------------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the fleet store's mergeable cost distributions, the rollup
+// identity (concurrent multi-stream ingestion equals merging per-stream
+// results serially, property-tested over synthetic traces), differential
+// views (diff of a store against itself is empty; genuine growth changes
+// are flagged), corrupt-stream isolation, and routine-filtered chunk
+// skipping on v2 activity bitmaps.
+//
+//===----------------------------------------------------------------------===//
+
+#include "collect/Collector.h"
+#include "collect/FleetStore.h"
+
+#include "instr/SymbolTable.h"
+#include "trace/Synthetic.h"
+#include "trace/TraceStream.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <random>
+
+#include <unistd.h>
+
+using namespace isp;
+using namespace isp::collect;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// CostQuantiles
+//===----------------------------------------------------------------------===//
+
+TEST(CostQuantiles, SingleValueIsExactAtEveryQuantile) {
+  CostQuantiles Q;
+  for (int I = 0; I != 10; ++I)
+    Q.record(144);
+  EXPECT_EQ(Q.count(), 10u);
+  EXPECT_EQ(Q.sum(), 1440u);
+  EXPECT_EQ(Q.min(), 144u);
+  EXPECT_EQ(Q.max(), 144u);
+  for (double P : {0.0, 0.5, 0.9, 0.99, 1.0})
+    EXPECT_EQ(Q.percentile(P), 144u) << P;
+}
+
+TEST(CostQuantiles, PercentilesAreMonotoneAndBounded) {
+  CostQuantiles Q;
+  std::mt19937_64 Rng(99);
+  uint64_t Lo = UINT64_MAX, Hi = 0;
+  for (int I = 0; I != 5000; ++I) {
+    uint64_t V = Rng() % 100000;
+    Lo = std::min(Lo, V);
+    Hi = std::max(Hi, V);
+    Q.record(V);
+  }
+  uint64_t Prev = 0;
+  for (double P : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    uint64_t V = Q.percentile(P);
+    EXPECT_GE(V, Prev) << P;
+    EXPECT_GE(V, Lo) << P;
+    EXPECT_LE(V, Hi) << P;
+    Prev = V;
+  }
+  EXPECT_EQ(CostQuantiles().percentile(0.5), 0u);
+}
+
+TEST(CostQuantiles, MergeEqualsInterleavedRecording) {
+  CostQuantiles A, B, Both;
+  std::mt19937_64 Rng(7);
+  for (int I = 0; I != 2000; ++I) {
+    uint64_t V = Rng() % 4096;
+    (I % 2 ? A : B).record(V);
+    Both.record(V);
+  }
+  CostQuantiles Merged = A;
+  Merged.merge(B);
+  EXPECT_EQ(Merged, Both);
+  // Commutative: B.merge(A) gives the same distribution.
+  CostQuantiles Reversed = B;
+  Reversed.merge(A);
+  EXPECT_EQ(Reversed, Both);
+}
+
+//===----------------------------------------------------------------------===//
+// Stream fixtures
+//===----------------------------------------------------------------------===//
+
+std::string tempStream(const std::string &Name) {
+  return ::testing::TempDir() + "isprof_collect_" + Name + ".strm";
+}
+
+/// Writes one synthetic trace as a chunked stream; returns its path.
+std::string writeSyntheticStream(const std::string &Name, uint64_t Seed,
+                                 uint64_t Operations = 3000,
+                                 size_t ChunkBytes = 4096) {
+  SyntheticTraceOptions Gen;
+  Gen.NumOperations = Operations;
+  Gen.Seed = Seed;
+  std::string Path = tempStream(Name);
+  TraceStreamWriter Writer;
+  TraceStreamOptions Opts;
+  Opts.ChunkBytes = ChunkBytes;
+  EXPECT_TRUE(Writer.open(Path, {}, Opts)) << Writer.error();
+  for (const Event &E : generateSyntheticTrace(Gen))
+    Writer.append(E);
+  EXPECT_TRUE(Writer.close()) << Writer.error();
+  return Path;
+}
+
+//===----------------------------------------------------------------------===//
+// Rollup identity (the collector's core correctness property)
+//===----------------------------------------------------------------------===//
+
+TEST(FleetStore, ConcurrentIngestEqualsSerialPerStreamMerge) {
+  std::vector<std::string> Paths;
+  for (uint64_t Seed : {11u, 22u, 33u, 44u, 55u})
+    Paths.push_back(
+        writeSyntheticStream("identity_" + std::to_string(Seed), Seed));
+
+  // Concurrent: one store, many worker threads.
+  FleetStore Concurrent;
+  CollectorOptions Opts;
+  Opts.Workers = 4;
+  Collector C(Opts, Concurrent);
+  EXPECT_EQ(C.ingestFiles(Paths), Paths.size());
+  EXPECT_TRUE(C.errors().empty());
+
+  // Serial: one store per stream, folded together afterwards — and in
+  // reversed order, so the identity also covers commutativity.
+  FleetStore Serial;
+  for (auto It = Paths.rbegin(); It != Paths.rend(); ++It) {
+    FleetStore One;
+    CollectorOptions SerialOpts;
+    SerialOpts.Workers = 1;
+    Collector SC(SerialOpts, One);
+    EXPECT_EQ(SC.ingestFiles({*It}), 1u);
+    Serial.merge(One);
+  }
+
+  EXPECT_EQ(Concurrent, Serial);
+  EXPECT_GT(Concurrent.routineCount(), 0u);
+  EXPECT_EQ(Concurrent.totalActivations(), Serial.totalActivations());
+
+  for (const std::string &P : Paths)
+    std::remove(P.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Differential views
+//===----------------------------------------------------------------------===//
+
+TEST(FleetDiff, SelfDiffIsEmpty) {
+  std::string Path = writeSyntheticStream("selfdiff", 5);
+  FleetStore A, B;
+  CollectorOptions Opts;
+  Collector CA(Opts, A), CB(Opts, B);
+  EXPECT_EQ(CA.ingestFiles({Path}), 1u);
+  EXPECT_EQ(CB.ingestFiles({Path}), 1u);
+  std::remove(Path.c_str());
+
+  EXPECT_EQ(A, B);
+  std::vector<FleetRoutineDelta> Deltas = diffFleetStores(A, B);
+  EXPECT_TRUE(Deltas.empty());
+  EXPECT_FALSE(hasFleetRegressions(Deltas));
+  EXPECT_NE(renderFleetDiff(Deltas).find("0 routine(s) differ"),
+            std::string::npos);
+}
+
+TEST(FleetDiff, FlagsCostGrowthAndMissingRoutines) {
+  // Hand-built stores: routine "hot" triples its mean cost at every
+  // shared rms value; "gone" exists only in the baseline.
+  SymbolTable Syms;
+  uint64_t Hot = Syms.intern("hot");
+  uint64_t Gone = Syms.intern("gone");
+
+  auto makeDb = [&](uint64_t CostScale, bool WithGone) {
+    ProfileDatabase Db;
+    Db.setKeepLog(true);
+    for (uint64_t Rms : {4u, 8u, 16u}) {
+      ActivationRecord R;
+      R.Tid = 0;
+      R.Rtn = Hot;
+      R.Rms = Rms;
+      R.Trms = Rms;
+      R.Cost = Rms * CostScale;
+      Db.recordActivation(R);
+    }
+    if (WithGone) {
+      ActivationRecord R;
+      R.Tid = 0;
+      R.Rtn = Gone;
+      R.Rms = 2;
+      R.Trms = 2;
+      R.Cost = 10;
+      Db.recordActivation(R);
+    }
+    return Db;
+  };
+
+  FleetStore Base, Cand;
+  ProfileDatabase BaseDb = makeDb(10, /*WithGone=*/true);
+  ProfileDatabase CandDb = makeDb(30, /*WithGone=*/false);
+  Base.mergeDatabase("prog", BaseDb, Syms);
+  Cand.mergeDatabase("prog", CandDb, Syms);
+
+  std::vector<FleetRoutineDelta> Deltas = diffFleetStores(Base, Cand);
+  ASSERT_EQ(Deltas.size(), 2u);
+
+  bool SawHot = false, SawGone = false;
+  for (const FleetRoutineDelta &D : Deltas) {
+    if (D.Routine == "hot") {
+      SawHot = true;
+      EXPECT_FALSE(D.OnlyInBase);
+      EXPECT_NEAR(D.CostRatio, 3.0, 1e-6);
+      EXPECT_EQ(D.SharedRmsValues, 3u);
+    }
+    if (D.Routine == "gone") {
+      SawGone = true;
+      EXPECT_TRUE(D.OnlyInBase);
+    }
+  }
+  EXPECT_TRUE(SawHot);
+  EXPECT_TRUE(SawGone);
+  EXPECT_TRUE(hasFleetRegressions(Deltas));
+}
+
+//===----------------------------------------------------------------------===//
+// Corrupt-stream isolation
+//===----------------------------------------------------------------------===//
+
+TEST(Collector, CorruptStreamIsReportedAndDoesNotPoisonTheRollup) {
+  std::vector<std::string> Good;
+  for (uint64_t Seed : {3u, 6u})
+    Good.push_back(
+        writeSyntheticStream("corrupt_good_" + std::to_string(Seed), Seed));
+
+  // Truncate a copy of a valid stream mid-chunk: the reader reports the
+  // failing chunk, the collector names the file, and the rollup equals
+  // ingesting only the good streams.
+  std::string Bad = writeSyntheticStream("corrupt_bad", 9);
+  {
+    FILE *F = std::fopen(Bad.c_str(), "r+");
+    ASSERT_NE(F, nullptr);
+    std::fseek(F, 0, SEEK_END);
+    long Size = std::ftell(F);
+    ASSERT_GT(Size, 512);
+    ASSERT_EQ(::truncate(Bad.c_str(), Size / 2), 0);
+    std::fclose(F);
+  }
+
+  std::vector<std::string> All = Good;
+  All.insert(All.begin() + 1, Bad); // corrupt one among N
+
+  FleetStore WithBad;
+  CollectorOptions Opts;
+  Opts.Workers = 3;
+  Collector C(Opts, WithBad);
+  EXPECT_EQ(C.ingestFiles(All), Good.size());
+  EXPECT_EQ(C.totals().StreamsFailed, 1u);
+  ASSERT_EQ(C.errors().size(), 1u);
+  EXPECT_EQ(C.errors()[0].File, Bad);
+  EXPECT_FALSE(C.errors()[0].Message.empty());
+
+  FleetStore GoodOnly;
+  Collector CG(Opts, GoodOnly);
+  EXPECT_EQ(CG.ingestFiles(Good), Good.size());
+  EXPECT_EQ(WithBad, GoodOnly);
+
+  for (const std::string &P : All)
+    std::remove(P.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Routine-filtered chunk skipping
+//===----------------------------------------------------------------------===//
+
+/// A phase-structured stream: routine 1 ("setup") runs once inside the
+/// root frame, then routine 2 ("work") dominates many chunks. With a
+/// filter on "setup", every post-setup chunk's activity bitmap proves it
+/// skippable.
+std::string writePhasedStream(const std::string &Name, unsigned WorkCalls,
+                              uint64_t *SetupRms, uint64_t *SetupCost) {
+  std::vector<std::pair<RoutineId, std::string>> Routines = {
+      {0, "root"}, {1, "setup"}, {2, "work"}};
+  std::string Path = tempStream(Name);
+  TraceStreamWriter Writer;
+  TraceStreamOptions Opts;
+  Opts.ChunkBytes = 1024;
+  EXPECT_TRUE(Writer.open(Path, Routines, Opts)) << Writer.error();
+
+  uint64_t T = 1;
+  auto emit = [&](EventKind K, uint64_t Arg0, uint64_t Arg1 = 0) {
+    Event E;
+    E.Kind = K;
+    E.Tid = 0;
+    E.Time = T++;
+    E.Arg0 = Arg0;
+    E.Arg1 = Arg1;
+    Writer.append(E);
+  };
+
+  emit(EventKind::ThreadStart, 0);
+  emit(EventKind::Call, 0); // root
+  emit(EventKind::Call, 1); // setup: 3 distinct reads, 2 basic blocks
+  emit(EventKind::BasicBlock, 0, 1);
+  emit(EventKind::Read, 100, 1);
+  emit(EventKind::Read, 101, 1);
+  emit(EventKind::Read, 102, 1);
+  emit(EventKind::BasicBlock, 0, 1);
+  emit(EventKind::Return, 1);
+  *SetupRms = 3;
+  *SetupCost = 2;
+  for (unsigned I = 0; I != WorkCalls; ++I) {
+    emit(EventKind::Call, 2);
+    for (int A = 0; A != 40; ++A) {
+      emit(EventKind::BasicBlock, 0, 1);
+      emit(EventKind::Read, 200 + (A % 16), 1);
+      emit(EventKind::Write, 300 + (A % 8), 1);
+    }
+    emit(EventKind::Return, 2);
+  }
+  emit(EventKind::Return, 0);
+  emit(EventKind::ThreadEnd, 0);
+  EXPECT_TRUE(Writer.close()) << Writer.error();
+  return Path;
+}
+
+TEST(Collector, RoutineFilterSkipsProvablyExcludedChunks) {
+  uint64_t SetupRms = 0, SetupCost = 0;
+  std::string Path =
+      writePhasedStream("skip", /*WorkCalls=*/200, &SetupRms, &SetupCost);
+
+  FleetStore Filtered;
+  CollectorOptions Opts;
+  Opts.RoutineFilter = {"setup"};
+  Collector C(Opts, Filtered);
+  ASSERT_EQ(C.ingestFiles({Path}), 1u);
+  EXPECT_GT(C.totals().ChunksSkipped, 0u);
+  EXPECT_GT(C.totals().ChunksRead, 0u);
+
+  // The filtered rollup holds exactly the setup activation, and its
+  // record is exact: skipping never drops anything between a filtered
+  // Call and its Return.
+  ASSERT_EQ(Filtered.routineCount(), 1u);
+  const auto &[Key, Rollup] = *Filtered.rollups().begin();
+  EXPECT_EQ(Key.Routine, "setup");
+  EXPECT_EQ(Rollup.Activations, 1u);
+  EXPECT_EQ(Rollup.SumRms, SetupRms);
+  EXPECT_EQ(Rollup.SumCost, SetupCost);
+
+  // An unfiltered ingest decodes everything and agrees on setup.
+  FleetStore Full;
+  CollectorOptions NoFilter;
+  Collector CF(NoFilter, Full);
+  ASSERT_EQ(CF.ingestFiles({Path}), 1u);
+  EXPECT_EQ(CF.totals().ChunksSkipped, 0u);
+  FleetStore::Key SetupKey{Key.Program, "setup"};
+  ASSERT_TRUE(Full.rollups().count(SetupKey));
+  EXPECT_EQ(Full.rollups().at(SetupKey), Rollup);
+
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering and spool scanning
+//===----------------------------------------------------------------------===//
+
+TEST(FleetStore, RenderRollupAndCurveNameTheRoutines) {
+  SymbolTable Syms;
+  uint64_t F = Syms.intern("fib");
+  ProfileDatabase Db;
+  Db.setKeepLog(true);
+  for (uint64_t Rms : {2u, 4u, 8u}) {
+    ActivationRecord R;
+    R.Tid = 0;
+    R.Rtn = F;
+    R.Rms = Rms;
+    R.Trms = Rms;
+    R.Cost = Rms * Rms;
+    Db.recordActivation(R);
+  }
+  FleetStore Store;
+  Store.mergeDatabase("demo", Db, Syms);
+
+  std::string Rollup = Store.renderRollup(5);
+  EXPECT_NE(Rollup.find("fleet rollup: 1 routine(s)"), std::string::npos);
+  EXPECT_NE(Rollup.find("fib"), std::string::npos);
+
+  std::string Curve = Store.renderCurve("fib");
+  EXPECT_NE(Curve.find("curve for 'fib'"), std::string::npos);
+  EXPECT_NE(Store.renderCurve("nope").find("no routine 'nope'"),
+            std::string::npos);
+}
+
+TEST(Collector, SpoolScanFindsOnlyStreamFilesSorted) {
+  std::string Dir = ::testing::TempDir() + "isprof_spool_scan";
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+
+  SyntheticTraceOptions Gen;
+  Gen.NumOperations = 200;
+  for (const char *Name : {"b.strm", "a.strm"}) {
+    TraceStreamWriter Writer;
+    ASSERT_TRUE(Writer.open(Dir + "/" + Name, {}, {}));
+    for (const Event &E : generateSyntheticTrace(Gen))
+      Writer.append(E);
+    ASSERT_TRUE(Writer.close());
+  }
+  // A non-stream file is ignored (magic check, not extension).
+  {
+    FILE *F = std::fopen((Dir + "/notes.strm").c_str(), "w");
+    std::fputs("not a stream\n", F);
+    std::fclose(F);
+  }
+
+  std::string Error;
+  std::vector<std::string> Found = scanSpoolDir(Dir, &Error);
+  EXPECT_TRUE(Error.empty());
+  ASSERT_EQ(Found.size(), 2u);
+  EXPECT_EQ(Found[0], Dir + "/a.strm");
+  EXPECT_EQ(Found[1], Dir + "/b.strm");
+
+  EXPECT_TRUE(scanSpoolDir(Dir + "/missing", &Error).empty());
+  EXPECT_FALSE(Error.empty());
+
+  std::filesystem::remove_all(Dir);
+}
+
+} // namespace

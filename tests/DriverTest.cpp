@@ -16,6 +16,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -467,6 +468,170 @@ TEST(Driver, DiffDetectsPlantedRegression) {
 
   for (const std::string &Path : {V1, V2, T1, T2})
     std::remove(Path.c_str());
+}
+
+// --- Fleet collector. ---
+
+/// Records \p Guest as a chunked stream at \p Path; returns success.
+bool recordStream(const std::string &Guest, const std::string &Path,
+                  const std::string &Extra = "") {
+  return runDriver("run " + Guest + " --tools=aprof-trms --record-stream=" +
+                   Path + Extra)
+             .ExitCode == 0;
+}
+
+TEST(Driver, CollectRollsUpExplicitStreams) {
+  std::string A = ::testing::TempDir() + "isprof_collect_a.strm";
+  std::string B = ::testing::TempDir() + "isprof_collect_b.strm";
+  ASSERT_TRUE(recordStream(guest("stream.mini"), A));
+  ASSERT_TRUE(recordStream(guest("quickstart.mini"), B));
+
+  CommandResult R = runDriver("collect " + A + " " + B);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("[collector: 2 stream(s) ingested, 0 failed"),
+            std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("fleet rollup:"), std::string::npos);
+  EXPECT_NE(R.Output.find("consumeStream"), std::string::npos);
+  EXPECT_NE(R.Output.find("mergeSort"), std::string::npos);
+
+  // --curve drills into one routine's rms profile.
+  CommandResult Curve =
+      runDriver("collect " + A + " " + B + " --curve=consumeStream");
+  EXPECT_EQ(Curve.ExitCode, 0) << Curve.Output;
+  EXPECT_NE(Curve.Output.find("curve for 'consumeStream'"),
+            std::string::npos)
+      << Curve.Output;
+
+  std::remove(A.c_str());
+  std::remove(B.c_str());
+}
+
+TEST(Driver, CollectSpoolDirectoryScan) {
+  std::string Spool = ::testing::TempDir() + "isprof_collect_spool";
+  std::filesystem::create_directories(Spool);
+  ASSERT_TRUE(recordStream(guest("stream.mini"), Spool + "/one.strm"));
+  ASSERT_TRUE(recordStream(guest("stream.mini"), Spool + "/two.strm"));
+  // Non-stream files in the spool are ignored, not errors.
+  { std::ofstream Note(Spool + "/notes.txt"); Note << "not a stream"; }
+
+  CommandResult R = runDriver("collect --spool=" + Spool);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("[collector: 2 stream(s) ingested, 0 failed"),
+            std::string::npos)
+      << R.Output;
+  std::filesystem::remove_all(Spool);
+}
+
+TEST(Driver, CollectDiffOfSelfIsEmpty) {
+  std::string A = ::testing::TempDir() + "isprof_collect_self.strm";
+  ASSERT_TRUE(recordStream(guest("stream.mini"), A));
+  CommandResult R = runDriver("collect --diff " + A + " " + A);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("fleet diff: 0 routine(s) differ"),
+            std::string::npos)
+      << R.Output;
+  std::remove(A.c_str());
+}
+
+TEST(Driver, CollectCorruptStreamIsNamedAndIsolated) {
+  std::string Good = ::testing::TempDir() + "isprof_collect_good.strm";
+  std::string Bad = ::testing::TempDir() + "isprof_collect_bad.strm";
+  ASSERT_TRUE(recordStream(guest("stream.mini"), Good));
+  ASSERT_TRUE(recordStream(guest("stream.mini"), Bad,
+                           " --stream-chunk-bytes=1024"));
+  // Truncate the bad copy mid-chunk; the collector must name the file
+  // and the chunk, fail that stream, and still roll up the good one.
+  std::error_code Ec;
+  uint64_t Size = std::filesystem::file_size(Bad, Ec);
+  ASSERT_FALSE(Ec);
+  std::filesystem::resize_file(Bad, Size / 2, Ec);
+  ASSERT_FALSE(Ec);
+
+  CommandResult R = runDriver("collect " + Good + " " + Bad);
+  EXPECT_EQ(R.ExitCode, 1) << R.Output;
+  EXPECT_NE(R.Output.find("isprof: stream " + Bad + ": chunk "),
+            std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("1 stream(s) ingested, 1 failed"),
+            std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("consumeStream"), std::string::npos);
+  std::remove(Good.c_str());
+  std::remove(Bad.c_str());
+}
+
+TEST(Driver, CollectRoutineFilterSkipsChunks) {
+  // phased.mini: setup touches the table once, then work dominates the
+  // stream. Small chunks + a setup-only filter make most chunks
+  // provably irrelevant via the v2 activity bitmap.
+  std::string Path = ::testing::TempDir() + "isprof_collect_phased.strm";
+  ASSERT_TRUE(recordStream(guest("phased.mini"), Path,
+                           " --stream-chunk-bytes=1024"));
+  CommandResult R = runDriver("collect " + Path + " --routine=setup");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("fleet rollup: 1 routine(s)"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("setup"), std::string::npos);
+  // The banner must show a nonzero skip count.
+  size_t At = R.Output.find(" skipped");
+  ASSERT_NE(At, std::string::npos) << R.Output;
+  EXPECT_EQ(R.Output.find(", 0 skipped"), std::string::npos) << R.Output;
+  std::remove(Path.c_str());
+}
+
+TEST(Driver, CollectRejectsBadInvocations) {
+  EXPECT_EQ(runDriver("collect").ExitCode, 2);
+  EXPECT_EQ(runDriver("collect --top=0 x.strm").ExitCode, 2);
+  EXPECT_EQ(runDriver("collect --ingest-workers=999 x.strm").ExitCode, 2);
+  EXPECT_EQ(runDriver("collect --diff onlyone.strm").ExitCode, 2);
+  // A missing spool directory is a runtime error, not a crash.
+  EXPECT_EQ(runDriver("collect --spool=/nonexistent_spool_dir").ExitCode, 1);
+}
+
+TEST(Driver, StatsIntervalWritesHeartbeatSnapshots) {
+  std::string StatsPath = ::testing::TempDir() + "isprof_hb_stats.json";
+  std::string LivePath = StatsPath + ".live";
+  std::remove(LivePath.c_str());
+  CommandResult R = runDriver("run " + guest("quickstart.mini") +
+                              " --stats=json --stats-out=" + StatsPath +
+                              " --stats-interval=10");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  std::ifstream Live(LivePath);
+  ASSERT_TRUE(Live.good());
+  std::string Line;
+  size_t Lines = 0;
+  while (std::getline(Live, Line)) {
+    EXPECT_EQ(Line.front(), '{') << Line;
+    EXPECT_EQ(Line.back(), '}') << Line;
+    EXPECT_NE(Line.find("\"schema_version\": 1"), std::string::npos) << Line;
+    EXPECT_NE(Line.find("\"ts_ns\": "), std::string::npos) << Line;
+    ++Lines;
+  }
+  EXPECT_GE(Lines, 2u);
+  // The final stats file carries the schema version too.
+  std::ifstream Stats(StatsPath);
+  std::ostringstream Buffer;
+  Buffer << Stats.rdbuf();
+  EXPECT_NE(Buffer.str().find("\"schema_version\": 1"), std::string::npos);
+  // --stats-interval without a JSON stats sink is a usage error.
+  EXPECT_EQ(runDriver("run " + guest("quickstart.mini") +
+                      " --stats-interval=10")
+                .ExitCode,
+            2);
+  std::remove(StatsPath.c_str());
+  std::remove(LivePath.c_str());
+}
+
+TEST(Driver, LintUnderstandsJoinHappensBefore) {
+  // joined.mini writes its global from both the worker and, post-join,
+  // from main — with no lock. The join edge makes it race-free.
+  CommandResult R = runDriver("check " + guest("joined.mini") + " --lint");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("lint: 0 location(s) with empty candidate "
+                          "lockset"),
+            std::string::npos)
+      << R.Output;
 }
 
 } // namespace

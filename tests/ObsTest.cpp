@@ -22,9 +22,11 @@
 
 #include "analysis/LocksetLint.h"
 #include "analysis/Verifier.h"
+#include "collect/Collector.h"
 #include "core/TrmsProfiler.h"
 #include "instr/Dispatcher.h"
 #include "replay/ParallelReplay.h"
+#include "support/Format.h"
 #include "trace/Synthetic.h"
 #include "trace/TraceStream.h"
 #include "tools/NulTool.h"
@@ -33,6 +35,10 @@
 #include "vm/Optimizer.h"
 
 #include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <thread>
 
 using namespace isp;
 
@@ -87,6 +93,7 @@ TEST(ObsExport, JsonAndCsvGolden) {
 
   EXPECT_EQ(R.renderJson(),
             "{\n"
+            "  \"schema_version\": 1,\n"
             "  \"counters\": {\n"
             "    \"alpha.events\": 7,\n"
             "    \"beta.events\": 41\n"
@@ -376,8 +383,9 @@ TEST(ObsAnalysis, PassCountersAndTimersRegister) {
     }
     fn main() {
       var t = spawn worker(3);
-      shared = join(t);
-      return shared;
+      shared = 1;            // racy: written while the worker runs
+      var r = join(t);
+      return r;
     })",
                                                Diags);
   ASSERT_TRUE(Prog.has_value()) << Diags.render();
@@ -454,6 +462,111 @@ TEST(ObsReplay, ParallelReplayPublishesMetrics) {
   for (const char *Name :
        {"replay.epochs", "replay.barrier_waits", "replay.barrier_wait_ns",
         "replay.chunks_skipped", "replay.workers", "replay.queue_depth_max"}) {
+    EXPECT_NE(Json.find(std::string("\"") + Name + "\""), std::string::npos)
+        << Name;
+    EXPECT_NE(Csv.find(Name), std::string::npos) << Name;
+  }
+  obs::setStatsEnabled(false);
+}
+
+//===----------------------------------------------------------------------===//
+// Stats heartbeat (--stats-interval)
+//===----------------------------------------------------------------------===//
+
+TEST(ObsHeartbeat, EmitsAtLeastTwoWellFormedSnapshots) {
+  obs::setStatsEnabled(true);
+  obs::Registry::get().reset();
+  obs::Registry::get().counter("heartbeat.test").add(3);
+
+  std::string Path = ::testing::TempDir() + "isprof_heartbeat.jsonl";
+  std::remove(Path.c_str());
+  {
+    obs::StatsHeartbeat Hb;
+    ASSERT_TRUE(Hb.start(Path, /*IntervalMs=*/5));
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    Hb.stop();
+    // start() writes an initial snapshot and stop() a final one, so
+    // even a run too short for any interval tick yields two.
+    EXPECT_GE(Hb.snapshots(), 2u);
+    // stop() is idempotent.
+    Hb.stop();
+  }
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::string Line;
+  size_t Lines = 0;
+  while (std::getline(In, Line)) {
+    ASSERT_FALSE(Line.empty());
+    EXPECT_EQ(Line.front(), '{') << Line;
+    EXPECT_EQ(Line.back(), '}') << Line;
+    EXPECT_NE(Line.find("\"schema_version\": 1"), std::string::npos) << Line;
+    EXPECT_NE(Line.find(formatString("\"seq\": %zu", Lines)),
+              std::string::npos)
+        << Line;
+    EXPECT_NE(Line.find("\"ts_ns\": "), std::string::npos) << Line;
+    EXPECT_NE(Line.find("\"heartbeat.test\": 3"), std::string::npos) << Line;
+    ++Lines;
+  }
+  EXPECT_GE(Lines, 2u);
+  std::remove(Path.c_str());
+  obs::setStatsEnabled(false);
+}
+
+//===----------------------------------------------------------------------===//
+// Collector metrics
+//===----------------------------------------------------------------------===//
+
+TEST(ObsCollector, IngestionPublishesMetrics) {
+  obs::setStatsEnabled(true);
+  obs::Registry &Reg = obs::Registry::get();
+  Reg.reset();
+
+  std::vector<std::string> Paths;
+  for (int I = 0; I != 2; ++I) {
+    SyntheticTraceOptions Gen;
+    Gen.NumOperations = 2000;
+    Gen.Seed = 7 + I;
+    std::string Path = ::testing::TempDir() + "isprof_obs_collect_" +
+                       std::to_string(I) + ".strm";
+    TraceStreamWriter Writer;
+    ASSERT_TRUE(Writer.open(Path, {}, {})) << Writer.error();
+    for (const Event &E : generateSyntheticTrace(Gen))
+      Writer.append(E);
+    ASSERT_TRUE(Writer.close()) << Writer.error();
+    Paths.push_back(Path);
+  }
+
+  collect::FleetStore Store;
+  collect::CollectorOptions Opts;
+  Opts.Workers = 2;
+  collect::Collector C(Opts, Store);
+  EXPECT_EQ(C.ingestFiles(Paths), 2u);
+  for (const std::string &P : Paths)
+    std::remove(P.c_str());
+
+  const collect::CollectorTotals &T = C.totals();
+  EXPECT_EQ(T.Streams, 2u);
+  EXPECT_GT(Store.routineCount(), 0u);
+
+  std::map<std::string, uint64_t> Cv = Reg.counterValues();
+  EXPECT_EQ(Cv.at("collector.streams"), T.Streams);
+  EXPECT_EQ(Cv.at("collector.streams_failed"), 0u);
+  EXPECT_EQ(Cv.at("collector.decode_errors"), 0u);
+  EXPECT_EQ(Cv.at("collector.chunks_read"), T.ChunksRead);
+  EXPECT_EQ(Cv.at("collector.chunks_skipped"), T.ChunksSkipped);
+  EXPECT_EQ(Cv.at("collector.events"), T.Events);
+  EXPECT_EQ(Cv.at("collector.merge_ns"), T.MergeNs);
+  EXPECT_EQ(Reg.gauge("collector.store_routines").value(),
+            Store.routineCount());
+
+  // Both export formats surface the collector family.
+  std::string Json = Reg.renderJson();
+  std::string Csv = Reg.renderCsv();
+  for (const char *Name :
+       {"collector.streams", "collector.chunks_read",
+        "collector.chunks_skipped", "collector.decode_errors",
+        "collector.merge_ns", "collector.store_routines"}) {
     EXPECT_NE(Json.find(std::string("\"") + Name + "\""), std::string::npos)
         << Name;
     EXPECT_NE(Csv.find(Name), std::string::npos) << Name;
