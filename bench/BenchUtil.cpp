@@ -487,6 +487,38 @@ bool isp::writeQuietIndirectSection(FILE *F, unsigned Repeats) {
       Plain.Seconds > 0
           ? static_cast<double>(Plain.Emitted) / Plain.Seconds
           : 0.0);
+
+  // Per-workload mark census: optimize virgin bytecode once per
+  // workload (compileWorkload would pre-optimize and hide the counts)
+  // and record how many indirect marks the window pass plus the
+  // range/covered-read certificate recover. CI asserts md and dedup
+  // stay nonzero — they have no window-provable indirect site, so a
+  // zero there means the interprocedural analysis regressed.
+  std::fprintf(F, "  ,\n  \"quiet_indirect_marks\": {\n");
+  const char *Names[] = {"sort_compare", "md", "dedup"};
+  for (unsigned I = 0; I != 3; ++I) {
+    const WorkloadInfo *MW = findWorkload(Names[I]);
+    if (!MW) {
+      std::fprintf(stderr, "hotpath report: workload '%s' not "
+                           "registered\n",
+                   Names[I]);
+      return false;
+    }
+    DiagnosticEngine Diags;
+    std::optional<Program> Raw =
+        compileProgram(MW->MakeSource(Params), Diags);
+    if (!Raw) {
+      std::fprintf(stderr, "hotpath report: %s failed to compile\n",
+                   Names[I]);
+      return false;
+    }
+    OptimizerStats S = optimizeProgram(*Raw);
+    std::fprintf(F,
+                 "    \"%s\": {\"indirect\": %u, \"range\": %u}%s\n",
+                 Names[I], S.QuietIndirectMarked, S.RangeQuietMarked,
+                 I + 1 != 3 ? "," : "");
+  }
+  std::fprintf(F, "  }\n");
   return true;
 }
 

@@ -21,7 +21,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Escape.h"
 #include "analysis/LocksetLint.h"
+#include "analysis/Range.h"
 #include "analysis/Verifier.h"
 #include "collect/Collector.h"
 #include "core/HtmlReport.h"
@@ -45,6 +47,7 @@
 #include "vm/Optimizer.h"
 #include "workloads/Runner.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -105,6 +108,14 @@ int usage() {
       "                  refuse to run on failure\n"
       "  --lint          static lockset lint: report globals shared\n"
       "                  across threads with no consistent lock\n"
+      "  --lint-bounds   static bounds lint: report provably\n"
+      "                  out-of-range indices and possible index\n"
+      "                  overflow from the value-range analysis\n"
+      "  --growth-check  (run, workload) add static-vs-dynamic growth\n"
+      "                  agreement columns to profile summaries and\n"
+      "                  warn on contradictions\n"
+      "  --annotate-ranges      (disasm) append ; range=[lo,hi] and\n"
+      "                  ; noescape comments from the static analysis\n"
       "  --slice=N       scheduler quantum in instructions (default 150)\n"
       "  --seed=N        guest rand()/device seed (default 42)\n"
       "  --threads=N --size=N   (workload) parameters\n"
@@ -129,6 +140,8 @@ int usage() {
       "                  stem)\n"
       "  --top=N         rollup rows to print (default 10)\n"
       "  --curve=NAME    also print NAME's full per-rms cost curve\n"
+      "  --growth-source=FILE   compile FILE and add static/agree\n"
+      "                  growth columns to the rollup\n"
       "  --diff          compare two stream sets (exit 3 on regression)\n",
       stderr);
   return 2;
@@ -338,12 +351,14 @@ struct ToolSet {
       Dispatcher.addTool(T);
   }
 
-  void printReports(const SymbolTable *Symbols) {
+  void printReports(const SymbolTable *Symbols,
+                    const std::map<RoutineId, unsigned> *StaticGrowth =
+                        nullptr) {
     for (size_t I = 0; I != Inners.size(); ++I) {
       const SymbolTable *Table =
           Adapters[I] ? &Adapters[I]->contextSymbols() : Symbols;
       std::printf("--- %s ---\n%s\n", Fronts[I]->name().c_str(),
-                  renderToolReport(*Inners[I], Table).c_str());
+                  renderToolReport(*Inners[I], Table, StaticGrowth).c_str());
     }
   }
 
@@ -387,7 +402,19 @@ int runStaticChecks(const Program &Prog, const OptionParser &Options) {
     analysis::LintReport Report = analysis::runLocksetLint(Prog);
     std::printf("%s", Report.render().c_str());
   }
+  if (Options.getFlag("lint-bounds")) {
+    analysis::BoundsReport Report = analysis::runBoundsLint(Prog);
+    std::printf("%s", Report.render(Prog).c_str());
+  }
   return 0;
+}
+
+/// The --growth-check static degrees, or nothing when the flag is off.
+std::optional<std::map<RoutineId, unsigned>>
+staticGrowthForReports(const Program &Prog, const OptionParser &Options) {
+  if (!Options.getFlag("growth-check"))
+    return std::nullopt;
+  return analysis::estimateGrowth(Prog);
 }
 
 int commandRun(OptionParser &Options) {
@@ -499,7 +526,9 @@ int commandRun(OptionParser &Options) {
   std::string HtmlPath = Options.getString("html");
   if (!HtmlPath.empty() && !Tools.writeHtml(HtmlPath, &Prog->Symbols))
     return 1;
-  Tools.printReports(&Prog->Symbols);
+  std::optional<std::map<RoutineId, unsigned>> Growth =
+      staticGrowthForReports(*Prog, Options);
+  Tools.printReports(&Prog->Symbols, Growth ? &*Growth : nullptr);
   return 0;
 }
 
@@ -681,9 +710,27 @@ int commandCheckOrDisasm(OptionParser &Options, bool Disassemble) {
     optimizeProgram(*Prog);
   if (int Code = runStaticChecks(*Prog, Options))
     return Code;
-  if (Disassemble)
-    std::fputs(disassembleProgram(*Prog).c_str(), stdout);
-  else
+  if (Disassemble) {
+    DisasmAnnotations Notes;
+    if (Options.getFlag("annotate-ranges")) {
+      analysis::RangeResult RR = analysis::computeRanges(*Prog);
+      analysis::EscapeResult Esc = analysis::computeEscape(*Prog);
+      for (const auto &[Key, Site] : RR.Sites)
+        Notes[Key] = "range=" + Site.Index.str();
+      for (const auto &[Key, Site] : RR.Allocas)
+        Notes[Key] = "range=" + Site.Size.str();
+      for (const analysis::FrameArray &A : Esc.NeverEscaping) {
+        std::string &Note = Notes[{A.Fn, A.AllocaPc}];
+        if (!Note.empty())
+          Note += " ";
+        Note += formatString("noescape cells=%llu",
+                             static_cast<unsigned long long>(A.Cells));
+      }
+    }
+    std::fputs(disassembleProgram(*Prog, Notes.empty() ? nullptr : &Notes)
+                   .c_str(),
+               stdout);
+  } else
     std::printf("%s: ok (%zu functions, %llu global cells)\n",
                 Options.positional()[1].c_str(), Prog->Functions.size(),
                 static_cast<unsigned long long>(Prog->GlobalCells));
@@ -773,7 +820,9 @@ int commandWorkload(OptionParser &Options) {
   std::string HtmlPath = Options.getString("html");
   if (!HtmlPath.empty() && !Tools.writeHtml(HtmlPath, &Prog->Symbols))
     return 1;
-  Tools.printReports(&Prog->Symbols);
+  std::optional<std::map<RoutineId, unsigned>> Growth =
+      staticGrowthForReports(*Prog, Options);
+  Tools.printReports(&Prog->Symbols, Growth ? &*Growth : nullptr);
   return 0;
 }
 
@@ -964,7 +1013,35 @@ int commandCollect(OptionParser &Options) {
               formatWithCommas(T.ChunksSkipped).c_str(),
               formatWithCommas(T.Events).c_str(),
               formatDuration(T.MergeNs).c_str());
-  std::printf("%s", Store.renderRollup(TopN).c_str());
+  std::string GrowthSource = Options.getString("growth-source");
+  if (GrowthSource.empty()) {
+    std::printf("%s", Store.renderRollup(TopN).c_str());
+  } else {
+    std::string Source;
+    if (!readFile(GrowthSource, Source)) {
+      std::fprintf(stderr, "isprof: cannot read %s\n",
+                   GrowthSource.c_str());
+      return 1;
+    }
+    DiagnosticEngine Diags;
+    std::optional<Program> Prog = compileProgram(Source, Diags);
+    if (!Prog) {
+      std::fputs(Diags.render().c_str(), stderr);
+      return 1;
+    }
+    std::map<RoutineId, unsigned> ById = analysis::estimateGrowth(*Prog);
+    // The fleet store keys routines by name, so re-key (max-merging
+    // any duplicate names to stay an upper bound).
+    std::map<std::string, unsigned> ByName;
+    for (const Function &Fn : Prog->Functions) {
+      auto It = ById.find(Fn.Id);
+      if (It == ById.end())
+        continue;
+      unsigned &Degree = ByName[Fn.Name];
+      Degree = std::max(Degree, It->second);
+    }
+    std::printf("%s", Store.renderRollup(TopN, ByName).c_str());
+  }
   std::string Curve = Options.getString("curve");
   if (!Curve.empty())
     std::printf("\n%s", Store.renderCurve(Curve).c_str());
@@ -1043,6 +1120,19 @@ int main(int Argc, char **Argv) {
   Options.addFlag("lint", "run the static lockset lint and print a "
                           "drd-style report of globals shared across "
                           "threads with no consistent lock");
+  Options.addFlag("lint-bounds",
+                  "run the static bounds lint and report provably "
+                  "out-of-range indices and possible index overflow");
+  Options.addFlag("growth-check",
+                  "(run, workload) add static-vs-dynamic growth "
+                  "agreement columns to profile summaries and warn on "
+                  "contradictions");
+  Options.addFlag("annotate-ranges",
+                  "(disasm) annotate indirect-access and alloca sites "
+                  "with inferred value ranges and escape facts");
+  Options.addOption("growth-source", "",
+                    "(collect) compile this guest source and cross-check "
+                    "its static growth classes against the rollup");
   Options.addOption("slice", "150", "scheduler quantum (instructions)");
   Options.addOption("seed", "42", "guest rand()/device seed");
   Options.addOption("threads", "4", "workload thread count");

@@ -97,6 +97,58 @@ solveDataflow(const CFG &G, const Problem &P, Direction Dir) {
   return States;
 }
 
+/// Forward-only variant for problems that refine the flowed state per
+/// outgoing edge (branch-condition refinement) and need the target block
+/// for join-site policies (widening). The problem additionally provides:
+///
+///   void refineEdge(const CFG &G, uint32_t Block, size_t SuccIdx,
+///                   State &Edge) const;
+///                        // sharpen the copy flowing along edge SuccIdx
+///                        // (index into block(Block).Succs)
+///   bool joinAt(uint32_t Block, State &Into, const State &From) const;
+///                        // like join, but told the join point so the
+///                        // problem can widen chronically growing states
+///
+/// Termination with infinite-ascending-chain lattices (intervals) is the
+/// problem's responsibility via widening inside joinAt.
+template <typename Problem>
+std::vector<typename Problem::State>
+solveDataflowEdges(const CFG &G, const Problem &P) {
+  using State = typename Problem::State;
+  const uint32_t N = G.numBlocks();
+  std::vector<State> States(N, P.top());
+  if (N == 0)
+    return States;
+
+  std::deque<uint32_t> Work;
+  std::vector<bool> InWork(N, false);
+  auto enqueue = [&](uint32_t B) {
+    if (!InWork[B]) {
+      InWork[B] = true;
+      Work.push_back(B);
+    }
+  };
+
+  States[G.entry()] = P.boundary();
+  for (uint32_t B : G.rpo())
+    if (G.reachable(B))
+      enqueue(B);
+  while (!Work.empty()) {
+    uint32_t B = Work.front();
+    Work.pop_front();
+    InWork[B] = false;
+    State Out = P.transfer(G, B, States[B]);
+    const std::vector<uint32_t> &Succs = G.block(B).Succs;
+    for (size_t SI = 0; SI != Succs.size(); ++SI) {
+      State Edge = Out;
+      P.refineEdge(G, B, SI, Edge);
+      if (P.joinAt(Succs[SI], States[Succs[SI]], Edge))
+        enqueue(Succs[SI]);
+    }
+  }
+  return States;
+}
+
 } // namespace analysis
 } // namespace isp
 

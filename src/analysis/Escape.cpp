@@ -1,0 +1,133 @@
+//===- analysis/Escape.cpp - Frame-array escape analysis ---------------------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Escape.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Verifier.h"
+#include "obs/Obs.h"
+
+#include <optional>
+
+using namespace isp;
+using namespace isp::analysis;
+
+namespace {
+
+/// Simulates one block's operand stack, tracking which positions hold
+/// the candidate array's base (a LoadLocal of the tracked slot, or the
+/// AllocaArray result itself). Returns false as soon as a tracked value
+/// is consumed by anything but an indirect-access base operand (or the
+/// single defining StoreLocal), or survives to the block's end.
+bool blockUsesAreBaseOnly(const Function &F, const CFG &G, uint32_t Block,
+                          int EntryDepth, uint32_t Slot, size_t AllocaPc) {
+  const BasicBlock &B = G.block(Block);
+  // Entry values came from predecessors; a tracked value crossing a
+  // block boundary is rejected below, so entries are all untracked.
+  std::vector<bool> Tracked(static_cast<size_t>(EntryDepth), false);
+  for (size_t Pc = B.Begin; Pc != B.End; ++Pc) {
+    const Instr &I = F.Code[Pc];
+    StackEffect Eff = stackEffect(I);
+    if (static_cast<size_t>(Eff.Pops) > Tracked.size())
+      return false; // malformed; be conservative
+    size_t Base = Tracked.size() - static_cast<size_t>(Eff.Pops);
+    bool AnyTracked = false;
+    for (size_t P = Base; P != Tracked.size(); ++P)
+      AnyTracked |= Tracked[P];
+    if (AnyTracked) {
+      switch (I.Opcode) {
+      case Op::LoadIndirect:
+        // Pops [base, index]; only the base position may be tracked.
+        if (Tracked[Base + 1])
+          return false;
+        break;
+      case Op::StoreIndirect:
+        // Pops [base, index, value]; only the base position may be
+        // tracked.
+        if (Tracked[Base + 1] || Tracked[Base + 2])
+          return false;
+        break;
+      case Op::StoreLocal:
+        // Only the defining store of the alloca result is allowed.
+        if (!(Pc == AllocaPc + 1 && static_cast<uint32_t>(I.A) == Slot))
+          return false;
+        break;
+      case Op::Pop:
+        break; // discarding the address is harmless
+      default:
+        return false; // argument, return value, arithmetic, ...
+      }
+    }
+    Tracked.resize(Base);
+    for (int P = 0; P != Eff.Pushes; ++P)
+      Tracked.push_back(false);
+    if (Eff.Pushes == 1) {
+      if (I.Opcode == Op::LoadLocal && static_cast<uint32_t>(I.A) == Slot)
+        Tracked.back() = true;
+      if (I.Opcode == Op::AllocaArray && Pc == AllocaPc)
+        Tracked.back() = true;
+    }
+  }
+  for (bool T : Tracked)
+    if (T)
+      return false; // address survives into a successor block
+  return true;
+}
+
+} // namespace
+
+EscapeResult isp::analysis::computeEscape(const Program &Prog) {
+  EscapeResult Result;
+  for (size_t FnIndex = 0; FnIndex != Prog.Functions.size(); ++FnIndex) {
+    const Function &F = Prog.Functions[FnIndex];
+    std::vector<VerifyError> Scratch;
+    if (!verifyFunctionStructure(Prog, FnIndex, Scratch))
+      continue;
+    CFG G(F);
+    std::optional<std::vector<int>> Depths =
+        computeBlockEntryDepths(G, FnIndex, nullptr);
+    if (!Depths)
+      continue;
+
+    // Candidate allocas: constant size, result stored straight into one
+    // local slot that is assigned nowhere else in the function.
+    for (size_t Pc = 0; Pc + 1 < F.Code.size(); ++Pc) {
+      if (F.Code[Pc].Opcode != Op::AllocaArray)
+        continue;
+      if (Pc == 0 || F.Code[Pc - 1].Opcode != Op::PushConst)
+        continue;
+      int64_t Size = F.Code[Pc - 1].A;
+      if (Size < 1)
+        continue;
+      if (F.Code[Pc + 1].Opcode != Op::StoreLocal)
+        continue;
+      uint32_t Slot = static_cast<uint32_t>(F.Code[Pc + 1].A);
+      size_t Stores = 0;
+      for (const Instr &I : F.Code)
+        if (I.Opcode == Op::StoreLocal && static_cast<uint32_t>(I.A) == Slot)
+          ++Stores;
+      if (Stores != 1)
+        continue;
+
+      bool Escapes = false;
+      for (uint32_t Block = 0; Block != G.numBlocks() && !Escapes; ++Block) {
+        if (!G.reachable(Block))
+          continue;
+        if (!blockUsesAreBaseOnly(F, G, Block, (*Depths)[Block], Slot, Pc))
+          Escapes = true;
+      }
+      if (!Escapes)
+        Result.NeverEscaping.push_back(
+            {FnIndex, Pc, Slot, static_cast<uint64_t>(Size)});
+    }
+  }
+  ISP_STATS({
+    obs::Registry::get()
+        .counter("analysis.escape_objects")
+        .add(Result.NeverEscaping.size());
+  });
+  return Result;
+}

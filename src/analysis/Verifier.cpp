@@ -7,6 +7,8 @@
 #include "analysis/Verifier.h"
 
 #include "analysis/Dataflow.h"
+#include "analysis/PointsTo.h"
+#include "analysis/Range.h"
 #include "obs/Obs.h"
 #include "support/Format.h"
 
@@ -278,6 +280,41 @@ VerifyResult isp::analysis::verifyProgram(const Program &Prog) {
     CFG G(Prog.Functions[FI]);
     TotalBlocks += G.numBlocks();
     computeBlockEntryDepths(G, FI, &R.Errors);
+  }
+
+  // Exact-range tightening: an indirect access whose index folds to a
+  // single constant lying outside [0, cells) of *every* object its base
+  // can reference is a definite runtime fault — rejected the same way a
+  // hard-coded bad global address is. Singleton intervals only:
+  // anything wider is a lint matter (--lint-bounds), not a
+  // verification failure.
+  if (R.Errors.empty()) {
+    PointsToResult PT = computePointsTo(Prog);
+    RangeResult RR = computeRanges(Prog);
+    for (const auto &[Key, Site] : RR.Sites) {
+      if (!Site.Index.isConst())
+        continue;
+      const SiteFacts *F = PT.siteFacts(Key.first, Key.second);
+      if (F == nullptr || !F->BaseKnown || F->Objects.empty())
+        continue;
+      int64_t V = Site.Index.Lo;
+      bool AllOut = true;
+      for (uint32_t Id : F->Objects) {
+        const AbstractObject &Obj = PT.Objects[Id];
+        if (Obj.Cells == 0 ||
+            (V >= 0 && static_cast<uint64_t>(V) < Obj.Cells)) {
+          AllOut = false;
+          break;
+        }
+      }
+      if (AllOut)
+        R.Errors.push_back(
+            {Key.first, Key.second,
+             formatString("%s index %lld out of bounds for every "
+                          "reachable object",
+                          F->IsStore ? "store" : "load",
+                          static_cast<long long>(V))});
+    }
   }
 
   ISP_STATS({

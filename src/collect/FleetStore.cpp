@@ -167,7 +167,39 @@ std::vector<RankedRollup> rankByGrowth(const FleetStore &Store) {
 
 } // namespace
 
+namespace {
+
+/// Growth-class label for a static loop-nest degree; matches
+/// analysis::growthClassName (duplicated so isp_collect stays
+/// independent of the analysis library).
+const char *staticGrowthClass(unsigned Degree) {
+  switch (Degree) {
+  case 0:
+    return "O(1)";
+  case 1:
+    return "O(n)";
+  case 2:
+    return "O(n^2)";
+  default:
+    return "O(n^3+)";
+  }
+}
+
+} // namespace
+
 std::string FleetStore::renderRollup(unsigned TopN) const {
+  return renderRollupImpl(TopN, nullptr);
+}
+
+std::string FleetStore::renderRollup(
+    unsigned TopN,
+    const std::map<std::string, unsigned> &StaticGrowth) const {
+  return renderRollupImpl(TopN, &StaticGrowth);
+}
+
+std::string FleetStore::renderRollupImpl(
+    unsigned TopN,
+    const std::map<std::string, unsigned> *StaticGrowth) const {
   std::string Out = formatString(
       "fleet rollup: %zu routine(s) across %zu program(s), %s "
       "activation(s)\n",
@@ -178,8 +210,16 @@ std::string FleetStore::renderRollup(unsigned TopN) const {
   Out += formatString("top %u by growth (cost ~ rms^alpha):\n",
                       TopN);
   TextTable Table;
-  Table.setHeader({"program", "routine", "streams", "acts", "rms pts",
-                   "growth", "alpha", "p50", "p90", "p99"});
+  std::vector<std::string> Header = {"program", "routine", "streams",
+                                     "acts",    "rms pts", "growth",
+                                     "alpha",   "p50",     "p90",
+                                     "p99"};
+  if (StaticGrowth != nullptr) {
+    Header.push_back("static");
+    Header.push_back("agree");
+  }
+  Table.setHeader(Header);
+  std::string Contradictions;
   std::vector<RankedRollup> Rows = rankByGrowth(*this);
   if (Rows.size() > TopN)
     Rows.resize(TopN);
@@ -187,18 +227,41 @@ std::string FleetStore::renderRollup(unsigned TopN) const {
     // Percentiles at the routine's largest observed rms — the paper's
     // "worst-case plot" point; renderCurve exposes the full curve.
     const CostQuantiles &AtMax = Row.R->ByRms.rbegin()->second;
-    Table.addRow({Row.K->Program, Row.K->Routine,
-                  formatWithCommas(Row.R->Streams),
-                  formatWithCommas(Row.R->Activations),
-                  formatWithCommas(Row.R->ByRms.size()),
-                  Row.AlphaValid ? growthModelName(Row.Fit.best().Model)
-                                 : "-",
-                  Row.AlphaValid ? formatString("%.2f", Row.Alpha) : "-",
-                  formatWithCommas(AtMax.percentile(0.50)),
-                  formatWithCommas(AtMax.percentile(0.90)),
-                  formatWithCommas(AtMax.percentile(0.99))});
+    std::vector<std::string> Cells = {
+        Row.K->Program, Row.K->Routine,
+        formatWithCommas(Row.R->Streams),
+        formatWithCommas(Row.R->Activations),
+        formatWithCommas(Row.R->ByRms.size()),
+        Row.AlphaValid ? growthModelName(Row.Fit.best().Model) : "-",
+        Row.AlphaValid ? formatString("%.2f", Row.Alpha) : "-",
+        formatWithCommas(AtMax.percentile(0.50)),
+        formatWithCommas(AtMax.percentile(0.90)),
+        formatWithCommas(AtMax.percentile(0.99))};
+    if (StaticGrowth != nullptr) {
+      auto It = StaticGrowth->find(Row.K->Routine);
+      if (It == StaticGrowth->end()) {
+        Cells.push_back("-");
+        Cells.push_back("-");
+      } else {
+        Cells.push_back(staticGrowthClass(It->second));
+        if (!Row.AlphaValid) {
+          Cells.push_back("-");
+        } else if (Row.Alpha <= static_cast<double>(It->second) + 0.5) {
+          Cells.push_back("yes");
+        } else {
+          Cells.push_back("NO");
+          Contradictions += formatString(
+              "warning: static-vs-dynamic growth contradiction: %s "
+              "measured alpha %.2f exceeds static %s\n",
+              Row.K->Routine.c_str(), Row.Alpha,
+              staticGrowthClass(It->second));
+        }
+      }
+    }
+    Table.addRow(Cells);
   }
   Out += Table.render();
+  Out += Contradictions;
   return Out;
 }
 

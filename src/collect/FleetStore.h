@@ -124,6 +124,14 @@ public:
   /// \p TopN routines ranked by power-law growth exponent, with
   /// p50/p90/p99 cost at each routine's largest observed rms.
   std::string renderRollup(unsigned TopN) const;
+  /// Rollup with a static-vs-dynamic growth cross-check: \p
+  /// StaticGrowth maps routine *names* to the compile-time loop-nest
+  /// degree (isprof collect --growth-source=FILE); adds "static" and
+  /// "agree" columns (agreement when alpha <= degree + 0.5) and a
+  /// warning line per contradiction.
+  std::string renderRollup(unsigned TopN,
+                           const std::map<std::string, unsigned>
+                               &StaticGrowth) const;
   /// Full rms curve for every (program, routine) whose routine name is
   /// \p Routine: one row per rms value with count and percentiles.
   std::string renderCurve(const std::string &Routine) const;
@@ -131,6 +139,10 @@ public:
   bool operator==(const FleetStore &Other) const = default;
 
 private:
+  std::string renderRollupImpl(unsigned TopN,
+                               const std::map<std::string, unsigned>
+                                   *StaticGrowth) const;
+
   std::map<Key, RoutineRollup> Rollups;
 };
 

@@ -98,9 +98,27 @@ std::string isp::renderRoutineReport(RoutineId Rtn,
   return Out;
 }
 
-std::string isp::renderRunSummary(const ProfileDatabase &Database,
-                                  const SymbolTable *Symbols,
-                                  size_t MaxRoutines) {
+namespace {
+
+/// Growth-class label for a static loop-nest degree; matches
+/// analysis::growthClassName (duplicated so isp_core stays independent
+/// of the analysis library).
+const char *staticGrowthClass(unsigned Degree) {
+  switch (Degree) {
+  case 0:
+    return "O(1)";
+  case 1:
+    return "O(n)";
+  case 2:
+    return "O(n^2)";
+  default:
+    return "O(n^3+)";
+  }
+}
+
+std::string renderRunSummaryImpl(
+    const ProfileDatabase &Database, const SymbolTable *Symbols,
+    const std::map<RoutineId, unsigned> *StaticGrowth, size_t MaxRoutines) {
   auto Merged = Database.mergedByRoutine();
   std::vector<std::pair<RoutineId, const RoutineProfile *>> Ranked;
   Ranked.reserve(Merged.size());
@@ -113,28 +131,79 @@ std::string isp::renderRunSummary(const ProfileDatabase &Database,
     Ranked.resize(MaxRoutines);
 
   TextTable Table;
-  Table.setHeader({"routine", "calls", "cost(BB)", "|trms|", "|rms|",
-                   "sum trms", "thr-ind", "external", "fit(trms)"});
+  std::vector<std::string> Header = {"routine",  "calls",    "cost(BB)",
+                                     "|trms|",   "|rms|",    "sum trms",
+                                     "thr-ind",  "external", "fit(trms)"};
+  if (StaticGrowth != nullptr) {
+    Header.push_back("static");
+    Header.push_back("agree");
+  }
+  Table.setHeader(Header);
+  std::string Contradictions;
   for (const auto &[Rtn, Profile] : Ranked) {
     FitResult Fit = fitWorstCase(*Profile, InputMetric::Trms);
-    Table.addRow(
-        {Symbols ? Symbols->routineName(Rtn) : formatString("#%u", Rtn),
-         formatWithCommas(Profile->activations()),
-         formatWithCommas(Profile->totalCost()),
-         formatString("%zu", Profile->distinctTrmsValues()),
-         formatString("%zu", Profile->distinctRmsValues()),
-         formatWithCommas(Profile->sumTrms()),
-         formatWithCommas(Profile->inducedThread()),
-         formatWithCommas(Profile->inducedExternal()),
-         growthModelName(Fit.best().Model)});
+    std::string Name =
+        Symbols ? Symbols->routineName(Rtn) : formatString("#%u", Rtn);
+    std::vector<std::string> Row = {
+        Name,
+        formatWithCommas(Profile->activations()),
+        formatWithCommas(Profile->totalCost()),
+        formatString("%zu", Profile->distinctTrmsValues()),
+        formatString("%zu", Profile->distinctRmsValues()),
+        formatWithCommas(Profile->sumTrms()),
+        formatWithCommas(Profile->inducedThread()),
+        formatWithCommas(Profile->inducedExternal()),
+        growthModelName(Fit.best().Model)};
+    if (StaticGrowth != nullptr) {
+      auto It = StaticGrowth->find(Rtn);
+      if (It == StaticGrowth->end()) {
+        Row.push_back("-");
+        Row.push_back("-");
+      } else {
+        Row.push_back(staticGrowthClass(It->second));
+        // The static degree is an upper bound on polynomial growth in
+        // the routine's input size: a measured exponent meaningfully
+        // above it contradicts the analysis (or flags a routine whose
+        // cost is driven by something other than its loop structure).
+        if (!Fit.PowerLawValid) {
+          Row.push_back("-");
+        } else if (Fit.PowerLawAlpha <=
+                   static_cast<double>(It->second) + 0.5) {
+          Row.push_back("yes");
+        } else {
+          Row.push_back("NO");
+          Contradictions += formatString(
+              "warning: static-vs-dynamic growth contradiction: %s "
+              "measured alpha %.2f exceeds static %s\n",
+              Name.c_str(), Fit.PowerLawAlpha,
+              staticGrowthClass(It->second));
+        }
+      }
+    }
+    Table.addRow(Row);
   }
 
   RunMetrics Run = computeRunMetrics(Database);
   std::string Out = Table.render();
+  Out += Contradictions;
   Out += formatString(
       "\nrun totals: %s activations, input volume %.3f, induced "
       "first-accesses: %.1f%% thread-induced / %.1f%% external\n",
       formatCount(Database.totalActivations()).c_str(), Run.InputVolume,
       Run.ThreadInducedPct, Run.ExternalPct);
   return Out;
+}
+
+} // namespace
+
+std::string isp::renderRunSummary(const ProfileDatabase &Database,
+                                  const SymbolTable *Symbols,
+                                  size_t MaxRoutines) {
+  return renderRunSummaryImpl(Database, Symbols, nullptr, MaxRoutines);
+}
+
+std::string isp::renderRunSummary(
+    const ProfileDatabase &Database, const SymbolTable *Symbols,
+    const std::map<RoutineId, unsigned> &StaticGrowth, size_t MaxRoutines) {
+  return renderRunSummaryImpl(Database, Symbols, &StaticGrowth, MaxRoutines);
 }

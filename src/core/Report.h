@@ -18,6 +18,7 @@
 #include "core/ProfileData.h"
 #include "support/CurveFit.h"
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,17 @@ std::string renderRoutineReport(RoutineId Rtn, const RoutineProfile &Profile,
 /// their input characterization, plus the run-wide induced split.
 std::string renderRunSummary(const ProfileDatabase &Database,
                              const SymbolTable *Symbols,
+                             size_t MaxRoutines = 20);
+
+/// Run summary with a static-vs-dynamic growth cross-check: adds a
+/// "static" column (the analysis's predicted growth class, a loop-nest
+/// degree per routine id) and an "agree" column comparing it with the
+/// measured log-log alpha (agreement when alpha <= degree + 0.5, the
+/// rule analysis::growthAgrees implements). Contradictions append a
+/// warning line per routine.
+std::string renderRunSummary(const ProfileDatabase &Database,
+                             const SymbolTable *Symbols,
+                             const std::map<RoutineId, unsigned> &StaticGrowth,
                              size_t MaxRoutines = 20);
 
 /// Renders a plot as a two-column text series (for CSV-ish dumps).

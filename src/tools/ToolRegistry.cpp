@@ -69,7 +69,9 @@ std::unique_ptr<Tool> isp::makeTool(const std::string &Name,
   return nullptr;
 }
 
-std::string isp::renderToolReport(Tool &T, const SymbolTable *Symbols) {
+std::string isp::renderToolReport(
+    Tool &T, const SymbolTable *Symbols,
+    const std::map<RoutineId, unsigned> *StaticGrowth) {
   std::string Name = T.name();
   if (Name == "memcheck")
     return static_cast<MemcheckTool &>(T).renderReport(Symbols);
@@ -81,8 +83,11 @@ std::string isp::renderToolReport(Tool &T, const SymbolTable *Symbols) {
     return static_cast<DrdTool &>(T).renderReport(Symbols);
   if (Name == "cct")
     return static_cast<CctTool &>(T).renderReport(Symbols);
-  if (ProfileDatabase *Db = T.profileDatabase())
+  if (ProfileDatabase *Db = T.profileDatabase()) {
+    if (StaticGrowth != nullptr)
+      return renderRunSummary(*Db, Symbols, *StaticGrowth);
     return renderRunSummary(*Db, Symbols);
+  }
   return formatString("%s: analysis state %s\n", Name.c_str(),
                       formatBytes(T.memoryFootprintBytes()).c_str());
 }

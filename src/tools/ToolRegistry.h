@@ -18,6 +18,7 @@
 
 #include "instr/Tool.h"
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -50,8 +51,12 @@ const std::vector<std::string> &allToolNames();
 
 /// Renders \p T's end-of-run report (error lists, profiles, race
 /// reports). Falls back to a one-line footprint summary for tools
-/// without a specific report.
-std::string renderToolReport(Tool &T, const SymbolTable *Symbols);
+/// without a specific report. \p StaticGrowth, when non-null, adds the
+/// static-vs-dynamic growth agreement columns to profile summaries
+/// (--growth-check).
+std::string renderToolReport(Tool &T, const SymbolTable *Symbols,
+                             const std::map<RoutineId, unsigned>
+                                 *StaticGrowth = nullptr);
 
 } // namespace isp
 

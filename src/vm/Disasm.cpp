@@ -174,23 +174,32 @@ std::string isp::disassembleInstr(const Instr &I, const Program *Prog) {
   }
 }
 
-std::string isp::disassembleFunction(const Function &F,
-                                     const Program *Prog) {
+std::string isp::disassembleFunction(const Function &F, const Program *Prog,
+                                     const DisasmAnnotations *Annotations,
+                                     size_t FnIndex) {
   std::string Out = formatString("fn %s (%u params, %u locals):\n",
                                  F.Name.c_str(), F.NumParams, F.NumLocals);
-  for (size_t Pc = 0; Pc != F.Code.size(); ++Pc)
-    Out += formatString("  %4zu  %s\n", Pc,
+  for (size_t Pc = 0; Pc != F.Code.size(); ++Pc) {
+    Out += formatString("  %4zu  %s", Pc,
                         disassembleInstr(F.Code[Pc], Prog).c_str());
+    if (Annotations != nullptr) {
+      auto It = Annotations->find({FnIndex, Pc});
+      if (It != Annotations->end())
+        Out += formatString("  ; %s", It->second.c_str());
+    }
+    Out += '\n';
+  }
   return Out;
 }
 
-std::string isp::disassembleProgram(const Program &Prog) {
+std::string isp::disassembleProgram(const Program &Prog,
+                                    const DisasmAnnotations *Annotations) {
   std::string Out =
       formatString("globals: %llu cell(s) at base %llu\n\n",
                    static_cast<unsigned long long>(Prog.GlobalCells),
                    static_cast<unsigned long long>(GlobalBase));
-  for (const Function &F : Prog.Functions) {
-    Out += disassembleFunction(F, &Prog);
+  for (size_t Fn = 0; Fn != Prog.Functions.size(); ++Fn) {
+    Out += disassembleFunction(Prog.Functions[Fn], &Prog, Annotations, Fn);
     Out += '\n';
   }
   return Out;

@@ -16,9 +16,17 @@
 
 #include "vm/Bytecode.h"
 
+#include <map>
 #include <string>
+#include <utility>
 
 namespace isp {
+
+/// Per-instruction disassembly annotations keyed by (function index,
+/// instruction index), rendered as a trailing "  ; <text>" comment.
+/// `isprof disasm --annotate-ranges` fills this with value-range and
+/// escape facts ("range=[0,63]", "noescape cells=4").
+using DisasmAnnotations = std::map<std::pair<size_t, size_t>, std::string>;
 
 /// Returns the mnemonic for \p Opcode (e.g. "load_local").
 const char *opcodeName(Op Opcode);
@@ -31,10 +39,15 @@ const char *builtinName(Builtin B);
 std::string disassembleInstr(const Instr &I, const Program *Prog);
 
 /// Disassembles a whole function: header plus numbered instructions.
-std::string disassembleFunction(const Function &F, const Program *Prog);
+/// \p Annotations, when non-null, appends per-instruction comments for
+/// function index \p FnIndex.
+std::string disassembleFunction(const Function &F, const Program *Prog,
+                                const DisasmAnnotations *Annotations = nullptr,
+                                size_t FnIndex = 0);
 
 /// Disassembles every function of \p Prog, plus the globals layout.
-std::string disassembleProgram(const Program &Prog);
+std::string disassembleProgram(const Program &Prog,
+                               const DisasmAnnotations *Annotations = nullptr);
 
 } // namespace isp
 

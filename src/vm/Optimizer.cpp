@@ -6,7 +6,9 @@
 
 #include "vm/Optimizer.h"
 
+#include "analysis/Escape.h"
 #include "analysis/PointsTo.h"
+#include "analysis/Range.h"
 #include "obs/Obs.h"
 
 #include <cassert>
@@ -655,8 +657,29 @@ OptimizerStats isp::optimizeProgram(Program &Prog) {
                     .add(R.Marked));
   }
 
+  // Range-based covered-read pass: variable-index LoadIndirect sites
+  // whose event is proven redundant by the interprocedural certificate
+  // (never-escaping frame array, dominating certified fill loop,
+  // in-bounds index, program-wide containment — see Range.h). These are
+  // loop re-reads the window-local value numbering above can never mark
+  // (every loop iteration re-enters the window).
+  {
+    analysis::EscapeResult Esc = analysis::computeEscape(Prog);
+    analysis::RangeResult RR = analysis::computeRanges(Prog);
+    for (const auto &Site : analysis::coveredIndirectReads(Prog, PT, Esc, RR)) {
+      Instr &In = Prog.Functions[Site.first].Code[Site.second];
+      if (In.Opcode != Op::LoadIndirect || In.B != 0)
+        continue; // already marked by the window pass
+      In.B = 1;
+      ++Total.RangeQuietMarked;
+      ++Total.QuietIndirectMarked;
+      ++Total.QuietAccessesMarked;
+    }
+  }
+
   if (ISP_UNLIKELY(obs::statsEnabled())) {
     obs::Registry &R = obs::Registry::get();
+    R.counter("analysis.range_quiet_marked").add(Total.RangeQuietMarked);
     R.counter("optimizer.constants_folded").add(Total.ConstantsFolded);
     R.counter("optimizer.jumps_threaded").add(Total.JumpsThreaded);
     R.counter("optimizer.branches_resolved").add(Total.BranchesResolved);

@@ -13,8 +13,10 @@
 
 #include "analysis/CFG.h"
 #include "analysis/Dataflow.h"
+#include "analysis/Escape.h"
 #include "analysis/LocksetLint.h"
 #include "analysis/PointsTo.h"
+#include "analysis/Range.h"
 #include "analysis/Verifier.h"
 #include "vm/Compiler.h"
 #include "vm/Diag.h"
@@ -671,6 +673,311 @@ TEST(AnalysisIntegration, VerifiedExamplesExecute) {
   RunResult R = Machine(Prog, nullptr).run();
   ASSERT_TRUE(R.Ok) << R.Error;
   EXPECT_EQ(R.ExitCode, 9);
+}
+
+// --- Value ranges. ---
+
+TEST(IntervalTest, ArithmeticAndWrapSoundness) {
+  Interval A = Interval::range(2, 5);
+  Interval B = Interval::range(-1, 3);
+  Interval Sum = intervalAdd(A, B);
+  EXPECT_EQ(Sum.Lo, 1);
+  EXPECT_EQ(Sum.Hi, 8);
+  EXPECT_FALSE(Sum.Saturated);
+  Interval Diff = intervalSub(A, B);
+  EXPECT_EQ(Diff.Lo, -1);
+  EXPECT_EQ(Diff.Hi, 6);
+  Interval Prod = intervalMul(A, B);
+  EXPECT_EQ(Prod.Lo, -5);
+  EXPECT_EQ(Prod.Hi, 15);
+
+  // A finite computation that can exceed int64 wraps on the machine:
+  // top with the sticky Saturated flag (the lint's overflow signal).
+  Interval Wrap = intervalAdd(Interval::constant(INT64_MAX - 1),
+                              Interval::constant(2));
+  EXPECT_TRUE(Wrap.isTop());
+  EXPECT_TRUE(Wrap.Saturated);
+
+  // The same overflow *through a widening infinity* is an artifact of
+  // the sentinel encoding, not wrap evidence: plain top, so ordinary
+  // widened loop counters never look like overflows.
+  Interval Widened = Interval::range(Interval::NegInf, 0);
+  Interval Dec = intervalSub(Widened, Interval::constant(1));
+  EXPECT_TRUE(Dec.isTop());
+  EXPECT_FALSE(Dec.Saturated);
+
+  // Mod by a positive divisor re-normalizes: bounds below the divisor
+  // and upstream saturation cleared.
+  Interval Messy = intervalAdd(Wrap, Interval::constant(1));
+  Interval M = intervalMod(Messy, Interval::constant(8));
+  EXPECT_FALSE(M.Saturated);
+  EXPECT_GE(M.Lo, -7);
+  EXPECT_LE(M.Hi, 7);
+
+  EXPECT_EQ(Interval::range(0, 3).str(), "[0,3]");
+  EXPECT_EQ(Interval::top().str(), "[-inf,+inf]");
+  EXPECT_TRUE(Interval::range(0, 3).within(4));
+  EXPECT_FALSE(Interval::range(0, 4).within(4));
+  EXPECT_FALSE(Interval::range(-1, 3).within(4));
+}
+
+size_t functionIndex(const Program &Prog, const std::string &Name) {
+  for (size_t I = 0; I != Prog.Functions.size(); ++I)
+    if (Prog.Functions[I].Name == Name)
+      return I;
+  ADD_FAILURE() << "no function " << Name;
+  return 0;
+}
+
+TEST(RangeTest, LoopCountersRefineAndParamsJoinOverCallSites) {
+  Program Prog = compile(R"(
+    var a[8];
+    fn get(i) {
+      return a[i];
+    }
+    fn main() {
+      var sum = 0;
+      for (var i = 0; i < 8; i = i + 1) { sum = sum + get(i); }
+      print(sum);
+      return 0;
+    })");
+  RangeResult RR = computeRanges(Prog);
+  EXPECT_GT(RR.Facts, 0u);
+
+  // get's parameter joins over its only call site: the loop counter
+  // under its guard, i in [0, 7].
+  size_t Get = functionIndex(Prog, "get");
+  const FunctionRanges &FR = RR.Functions[Get];
+  EXPECT_TRUE(FR.Called);
+  ASSERT_EQ(FR.Params.size(), 1u);
+  EXPECT_EQ(FR.Params[0].Lo, 0);
+  EXPECT_EQ(FR.Params[0].Hi, 7);
+
+  // The a[i] site inherits the interprocedural bound.
+  const Function &F = Prog.Functions[Get];
+  for (size_t Pc = 0; Pc != F.Code.size(); ++Pc)
+    if (F.Code[Pc].Opcode == Op::LoadIndirect) {
+      const IndirectSiteRange *Site = RR.site(Get, Pc);
+      ASSERT_NE(Site, nullptr);
+      EXPECT_TRUE(Site->Index.within(8)) << Site->Index.str();
+    }
+}
+
+// --- Frame-escape analysis. ---
+
+TEST(EscapeTest, IndexOnlyFrameArrayNeverEscapes) {
+  Program Prog = compile(R"(
+    fn main() {
+      var w[4];
+      for (var i = 0; i < 4; i = i + 1) { w[i] = i; }
+      return w[2];
+    })");
+  EscapeResult Esc = computeEscape(Prog);
+  ASSERT_EQ(Esc.NeverEscaping.size(), 1u);
+  EXPECT_EQ(Esc.NeverEscaping[0].Cells, 4u);
+  EXPECT_NE(Esc.find(Esc.NeverEscaping[0].Fn, Esc.NeverEscaping[0].Slot),
+            nullptr);
+}
+
+TEST(EscapeTest, PassingTheBaseToACalleeEscapes) {
+  Program Prog = compile(R"(
+    fn fill(p) {
+      return p;
+    }
+    fn main() {
+      var w[4];
+      for (var i = 0; i < 4; i = i + 1) { w[i] = i; }
+      var x = fill(w);
+      return w[2];
+    })");
+  EscapeResult Esc = computeEscape(Prog);
+  EXPECT_TRUE(Esc.NeverEscaping.empty());
+}
+
+// --- Bounds lint. ---
+
+TEST(BoundsLintTest, FlagsDefiniteOutOfRangeIndex) {
+  Program Prog = compile(R"(
+    var a[4];
+    fn main() {
+      var i = rand(4) + 6;
+      a[i] = 1;
+      return 0;
+    })");
+  BoundsReport Report = runBoundsLint(Prog);
+  ASSERT_EQ(Report.Warnings.size(), 1u);
+  EXPECT_NE(Report.Warnings[0].Message.find("out of bounds"),
+            std::string::npos);
+  EXPECT_NE(Report.render(Prog).find("bounds lint: 1 warning(s)"),
+            std::string::npos);
+}
+
+TEST(BoundsLintTest, InRangeAndUnprovableAccessesStayQuiet) {
+  // Definite-only by design: a loop-bounded index and an unconstrained
+  // parameter index may both be fine, so neither warns.
+  Program Prog = compile(R"(
+    var a[4];
+    fn get(i) {
+      return a[i];
+    }
+    fn main() {
+      var sum = 0;
+      for (var i = 0; i < 4; i = i + 1) { sum = sum + a[i]; }
+      return sum + get(3);
+    })");
+  BoundsReport Report = runBoundsLint(Prog);
+  EXPECT_TRUE(Report.Warnings.empty()) << Report.render(Prog);
+}
+
+// --- Static growth estimator. ---
+
+TEST(GrowthTest, LoopNestsCallsAndRecursion) {
+  Program Prog = compile(R"(
+    fn flat(n) {
+      return n + 1;
+    }
+    fn linear(n) {
+      var s = 0;
+      for (var i = 0; i < n; i = i + 1) { s = s + i; }
+      return s;
+    }
+    fn quad(n) {
+      var s = 0;
+      for (var i = 0; i < n; i = i + 1) {
+        for (var j = 0; j < n; j = j + 1) { s = s + j; }
+      }
+      return s;
+    }
+    fn caller(n) {
+      var s = 0;
+      for (var i = 0; i < n; i = i + 1) { s = s + linear(n); }
+      return s;
+    }
+    fn rec(n) {
+      if (n < 1) { return 0; }
+      return rec(n - 1);
+    }
+    fn main() {
+      return flat(4) + linear(4) + quad(4) + caller(4) + rec(4);
+    })");
+  std::map<RoutineId, unsigned> G = estimateGrowth(Prog);
+  auto degree = [&](const char *Name) {
+    return G.at(Prog.Functions[functionIndex(Prog, Name)].Id);
+  };
+  EXPECT_EQ(degree("flat"), 0u);
+  EXPECT_EQ(degree("linear"), 1u);
+  EXPECT_EQ(degree("quad"), 2u);
+  EXPECT_EQ(degree("caller"), 2u); // loop depth 1 + linear's degree 1
+  EXPECT_EQ(degree("rec"), 3u);    // recursion pins the cap
+
+  EXPECT_STREQ(growthClassName(0), "O(1)");
+  EXPECT_STREQ(growthClassName(1), "O(n)");
+  EXPECT_STREQ(growthClassName(2), "O(n^2)");
+  EXPECT_STREQ(growthClassName(3), "O(n^3+)");
+  EXPECT_TRUE(growthAgrees(1, 1.3));
+  EXPECT_TRUE(growthAgrees(2, 1.1)); // static is an upper bound
+  EXPECT_FALSE(growthAgrees(1, 2.2));
+}
+
+// --- The covered-read certificate. ---
+
+const char *CoveredReadSource = R"(
+    fn work(n) {
+      var acc = 0;
+      for (var i = 0; i < n; i = i + 1) { acc = acc + i; }
+      return acc;
+    }
+    fn main() {
+      var w[4];
+      var t = 0;
+      while (t < 4) {
+        w[t] = spawn work(16);
+        t = t + 1;
+      }
+      var total = 0;
+      t = 0;
+      while (t < 4) {
+        total = total + join(w[t]);
+        t = t + 1;
+      }
+      print(total);
+      return 0;
+    })";
+
+TEST(CoveredReadTest, FillLoopPlusReadLoopCertifies) {
+  Program Prog = compile(CoveredReadSource);
+  PointsToResult PT = computePointsTo(Prog);
+  EscapeResult Esc = computeEscape(Prog);
+  RangeResult RR = computeRanges(Prog);
+  std::vector<std::pair<size_t, size_t>> Covered =
+      coveredIndirectReads(Prog, PT, Esc, RR);
+  ASSERT_EQ(Covered.size(), 1u);
+  // The certified site is the join(w[t]) re-read in main.
+  size_t Main = functionIndex(Prog, "main");
+  EXPECT_EQ(Covered[0].first, Main);
+  EXPECT_EQ(Prog.Functions[Main].Code[Covered[0].second].Opcode,
+            Op::LoadIndirect);
+}
+
+TEST(CoveredReadTest, EscapingBaseKillsTheCertificate) {
+  Program Prog = compile(R"(
+    fn peek(p) {
+      return p;
+    }
+    fn main() {
+      var w[4];
+      var t = 0;
+      while (t < 4) {
+        w[t] = t * t;
+        t = t + 1;
+      }
+      var x = peek(w);
+      var total = 0;
+      t = 0;
+      while (t < 4) {
+        total = total + w[t];
+        t = t + 1;
+      }
+      print(total);
+      return 0;
+    })");
+  PointsToResult PT = computePointsTo(Prog);
+  EscapeResult Esc = computeEscape(Prog);
+  RangeResult RR = computeRanges(Prog);
+  EXPECT_TRUE(coveredIndirectReads(Prog, PT, Esc, RR).empty());
+}
+
+// --- Verifier: exact-range index rejection. ---
+
+TEST(VerifierTest, RejectsConstantFoldableOutOfBoundsIndex) {
+  // The index never appears as a literal — the range analysis folds
+  // 5 + 6 — yet the access is a definite fault, so the verifier
+  // rejects it before and after optimization.
+  const char *Source = "var arr[8]; fn main() { return arr[5 + 6]; }";
+  Program Prog = compile(Source);
+  VerifyResult R = verifyProgram(Prog);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.render(Prog).find("out of bounds"), std::string::npos);
+
+  Program Opt = compile(Source);
+  optimizeProgram(Opt);
+  EXPECT_FALSE(verifyProgram(Opt).ok());
+
+  // In-bounds constant stays accepted.
+  Program Ok = compile("var arr[8]; fn main() { return arr[5 + 2]; }");
+  EXPECT_TRUE(verifyProgram(Ok).ok());
+
+  // A non-singleton out-of-range interval is the lint's domain, not a
+  // verification failure: the program still runs.
+  Program Fuzzy = compile(R"(
+    var a[4];
+    var pad[16];
+    fn main() {
+      var i = rand(4) + 6;
+      a[i] = 1;
+      return 0;
+    })");
+  EXPECT_TRUE(verifyProgram(Fuzzy).ok());
 }
 
 } // namespace

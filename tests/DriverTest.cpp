@@ -175,6 +175,78 @@ TEST(Driver, LintRunsUnderRunCommandToo) {
   EXPECT_NE(R.Output.find("drd: 1 location(s)"), std::string::npos);
 }
 
+TEST(Driver, BoundsLintFlagsSeededExampleAndStaysCleanElsewhere) {
+  // The seeded example's store index is rand(4) + 6 on a 4-cell array:
+  // definitely out of bounds, but only the value-range lint can say so
+  // (the verifier needs a single foldable constant). Exit stays 0 —
+  // the lint reports, `check` still succeeds.
+  CommandResult Oob =
+      runDriver("check " + guest("oob.mini") + " --lint-bounds");
+  EXPECT_EQ(Oob.ExitCode, 0) << Oob.Output;
+  EXPECT_NE(Oob.Output.find("bounds lint: 1 warning(s)"),
+            std::string::npos)
+      << Oob.Output;
+  EXPECT_NE(Oob.Output.find(
+                "store index [6,9] is out of bounds for array 'a'"),
+            std::string::npos)
+      << Oob.Output;
+
+  for (const char *Name : {"locked.mini", "joined.mini"}) {
+    CommandResult Clean =
+        runDriver("check " + guest(Name) + " --lint-bounds");
+    EXPECT_EQ(Clean.ExitCode, 0) << Name << Clean.Output;
+    EXPECT_NE(Clean.Output.find("bounds lint: 0 warning(s)"),
+              std::string::npos)
+        << Name << Clean.Output;
+  }
+}
+
+TEST(Driver, GrowthCheckAddsAgreementColumns) {
+  // --growth-check cross-checks each routine's fitted alpha against the
+  // static loop-nest degree: quicksort-shaped code agrees, and routines
+  // without a valid fit show "-" rather than a spurious verdict.
+  CommandResult R = runDriver("run " + guest("quickstart.mini") +
+                              " --growth-check --tools=aprof-rms");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("static  agree"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("O(n^2)"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("yes"), std::string::npos) << R.Output;
+
+  // The workload command grows the same columns.
+  CommandResult W = runDriver(
+      "workload producer_consumer --size=32 --growth-check");
+  EXPECT_EQ(W.ExitCode, 0) << W.Output;
+  EXPECT_NE(W.Output.find("static  agree"), std::string::npos) << W.Output;
+}
+
+TEST(Driver, AnnotateRangesDisassembly) {
+  CommandResult Plain = runDriver("disasm " + guest("indexed.mini"));
+  EXPECT_EQ(Plain.ExitCode, 0) << Plain.Output;
+  EXPECT_EQ(Plain.Output.find("; range="), std::string::npos)
+      << Plain.Output;
+
+  CommandResult Notes =
+      runDriver("disasm " + guest("indexed.mini") + " --annotate-ranges");
+  EXPECT_EQ(Notes.ExitCode, 0) << Notes.Output;
+  EXPECT_NE(Notes.Output.find("; range=[4,4] noescape cells=4"),
+            std::string::npos)
+      << Notes.Output;
+  EXPECT_NE(Notes.Output.find("; range=[0,3]"), std::string::npos)
+      << Notes.Output;
+}
+
+TEST(Driver, IndexedExampleRecoversRangeQuietMark) {
+  // The shipped indexed.mini exists to prove the covered-read
+  // certificate fires on real guest code: one variable-index join
+  // re-read earns a static quiet mark.
+  CommandResult R = runDriver("run " + guest("indexed.mini") +
+                              " --optimize --stats=json");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("\"analysis.range_quiet_marked\": 1"),
+            std::string::npos)
+      << R.Output;
+}
+
 TEST(Driver, WorkloadCommand) {
   CommandResult R = runDriver("workload producer_consumer --size=32");
   EXPECT_EQ(R.ExitCode, 0) << R.Output;
@@ -505,6 +577,24 @@ TEST(Driver, CollectRollsUpExplicitStreams) {
 
   std::remove(A.c_str());
   std::remove(B.c_str());
+}
+
+TEST(Driver, CollectGrowthSourceAddsStaticColumn) {
+  // --growth-source compiles the named guest, estimates each routine's
+  // static growth class, and folds a static/agree column pair into the
+  // rollup — the fleet-level side of the cross-check.
+  std::string A = ::testing::TempDir() + "isprof_collect_growth.strm";
+  ASSERT_TRUE(recordStream(guest("stream.mini"), A));
+  CommandResult R = runDriver("collect " + A + " --growth-source=" +
+                              guest("stream.mini"));
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("static  agree"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("O(n)"), std::string::npos) << R.Output;
+  // A source that fails to compile is a runtime error, not a crash.
+  EXPECT_EQ(runDriver("collect " + A + " --growth-source=/nonexistent.mini")
+                .ExitCode,
+            1);
+  std::remove(A.c_str());
 }
 
 TEST(Driver, CollectSpoolDirectoryScan) {

@@ -20,7 +20,9 @@
 #include "obs/Obs.h"
 #include "obs/TraceLog.h"
 
+#include "analysis/Escape.h"
 #include "analysis/LocksetLint.h"
+#include "analysis/Range.h"
 #include "analysis/Verifier.h"
 #include "collect/Collector.h"
 #include "core/TrmsProfiler.h"
@@ -410,6 +412,81 @@ TEST(ObsAnalysis, PassCountersAndTimersRegister) {
   Prog->Functions[0].Code[0] = {Op::Jump, 9999, 0};
   EXPECT_FALSE(analysis::verifyProgram(*Prog).ok());
   EXPECT_GT(Reg.counter("analysis.verifier_failures").value(), Fail0);
+  obs::setStatsEnabled(false);
+}
+
+TEST(ObsAnalysis, RangeEscapeAndBoundsCountersExport) {
+  // The value-range/escape layer publishes its own family: interval
+  // facts, never-escaping frame arrays, lint warnings, and the
+  // variable-index marks the covered-read certificate recovers — plus
+  // wall-time for the range solve and the lint. All of them must also
+  // survive both export formats.
+  obs::setStatsEnabled(true);
+  obs::Registry &Reg = obs::Registry::get();
+  uint64_t RangeFacts0 = Reg.counter("analysis.range_facts").value();
+  uint64_t Escape0 = Reg.counter("analysis.escape_objects").value();
+  uint64_t Bounds0 = Reg.counter("analysis.bounds_warnings").value();
+  uint64_t RangeMarked0 =
+      Reg.counter("analysis.range_quiet_marked").value();
+
+  // Fill loop covers every cell of a never-escaping frame array, so the
+  // read loop's variable-index load earns a quiet mark.
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = compileProgram(R"(
+    fn main() {
+      var w[4];
+      var i = 0;
+      while (i < 4) {
+        w[i] = i * 3;
+        i = i + 1;
+      }
+      var total = 0;
+      i = 0;
+      while (i < 4) {
+        total = total + w[i];
+        i = i + 1;
+      }
+      return total;
+    })",
+                                               Diags);
+  ASSERT_TRUE(Prog.has_value()) << Diags.render();
+  (void)analysis::computeEscape(*Prog);
+  optimizeProgram(*Prog);
+
+  // A provably out-of-range store feeds the bounds-warning counter.
+  std::optional<Program> Bad = compileProgram(R"(
+    var a[4];
+    fn main() {
+      var i = rand(4) + 6;
+      a[i] = 1;
+      return 0;
+    })",
+                                              Diags);
+  ASSERT_TRUE(Bad.has_value()) << Diags.render();
+  analysis::BoundsReport Report = analysis::runBoundsLint(*Bad);
+  EXPECT_EQ(Report.Warnings.size(), 1u);
+
+  EXPECT_GT(Reg.counter("analysis.range_facts").value(), RangeFacts0);
+  EXPECT_GT(Reg.counter("analysis.escape_objects").value(), Escape0);
+  EXPECT_GT(Reg.counter("analysis.bounds_warnings").value(), Bounds0);
+  EXPECT_GT(Reg.counter("analysis.range_quiet_marked").value(),
+            RangeMarked0);
+  EXPECT_GT(Reg.counter("analysis.range_ns").value(), 0u);
+  EXPECT_GT(Reg.counter("analysis.bounds_lint_ns").value(), 0u);
+
+  // Both exporters carry the family end-to-end.
+  const std::string Json = Reg.renderJson();
+  const std::string Csv = Reg.renderCsv();
+  for (const char *Name :
+       {"analysis.range_facts", "analysis.escape_objects",
+        "analysis.bounds_warnings", "analysis.range_quiet_marked",
+        "analysis.range_ns", "analysis.bounds_lint_ns"}) {
+    EXPECT_NE(Json.find(formatString("\"%s\"", Name)), std::string::npos)
+        << Name;
+    EXPECT_NE(Csv.find(formatString("counter,%s,", Name)),
+              std::string::npos)
+        << Name;
+  }
   obs::setStatsEnabled(false);
 }
 

@@ -373,6 +373,37 @@ TEST(VmFuzzVerifier, MutationCampaignExercisesBothOutcomes) {
   EXPECT_GT(Accepted, 0u);
 }
 
+TEST(VmFuzzVerifier, RejectsConstantFoldableOutOfBoundsCampaign) {
+  // Regression for the verifier's range tightening: an out-of-bounds
+  // index hidden behind a constant-foldable expression (`5 + 6` rather
+  // than a literal `11`) must be rejected whether or not the optimizer
+  // folded it first, and staying in bounds must keep acceptance.
+  DiagnosticEngine Diags;
+  std::optional<Program> Bad = compileProgram(R"(
+    var arr[8];
+    fn main() {
+      return arr[5 + 6];
+    })",
+                                              Diags);
+  ASSERT_TRUE(Bad.has_value()) << Diags.render();
+  EXPECT_FALSE(analysis::verifyProgram(*Bad).ok());
+  optimizeProgram(*Bad);
+  analysis::VerifyResult VR = analysis::verifyProgram(*Bad);
+  EXPECT_FALSE(VR.ok());
+  EXPECT_NE(VR.render(*Bad).find("out of bounds"), std::string::npos);
+
+  std::optional<Program> Ok = compileProgram(R"(
+    var arr[8];
+    fn main() {
+      return arr[5 + 2];
+    })",
+                                             Diags);
+  ASSERT_TRUE(Ok.has_value()) << Diags.render();
+  EXPECT_TRUE(analysis::verifyProgram(*Ok).ok());
+  optimizeProgram(*Ok);
+  EXPECT_TRUE(analysis::verifyProgram(*Ok).ok());
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, VmFuzzTest,
                          ::testing::Range<uint64_t>(1, 41));
 
