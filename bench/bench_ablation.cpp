@@ -38,7 +38,7 @@ using namespace isp;
 namespace {
 
 template <typename ProfilerT>
-double timeReplay(const std::vector<Event> &Trace, ProfilerT &Profiler) {
+double timeReplay(const std::vector<EventRecord> &Trace, ProfilerT &Profiler) {
   auto Start = std::chrono::steady_clock::now();
   replayTrace(Trace, Profiler);
   auto End = std::chrono::steady_clock::now();
@@ -61,7 +61,7 @@ void ablationNaiveVsTimestamping() {
       Gen.SharedAddresses = 512;
       Gen.PrivateAddresses = 128;
       Gen.Seed = 1234 + Threads * 7 + Depth;
-      std::vector<Event> Trace = generateSyntheticTrace(Gen);
+      std::vector<EventRecord> Trace = generateSyntheticTrace(Gen);
 
       NaiveTrmsProfiler Naive;
       double NaiveSecs = timeReplay(Trace, Naive);
@@ -96,7 +96,7 @@ void ablationShadowLayout() {
     Gen.SharedAddresses = 256 * Spread;
     Gen.PrivateAddresses = 64 * Spread;
     Gen.Seed = 99 + Spread;
-    std::vector<Event> Trace = generateSyntheticTrace(Gen);
+    std::vector<EventRecord> Trace = generateSyntheticTrace(Gen);
 
     TrmsProfiler ThreeLevel;
     double ThreeSecs = timeReplay(Trace, ThreeLevel);
@@ -123,7 +123,7 @@ void ablationRenumbering() {
   Gen.NumThreads = 4;
   Gen.NumOperations = 150000;
   Gen.Seed = 31;
-  std::vector<Event> Trace = generateSyntheticTrace(Gen);
+  std::vector<EventRecord> Trace = generateSyntheticTrace(Gen);
 
   TextTable Table;
   Table.setHeader({"counter limit", "renumberings", "seconds",

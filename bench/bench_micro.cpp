@@ -79,7 +79,7 @@ BENCHMARK(BM_ShadowDenseSet)->Arg(1 << 12)->Arg(1 << 20)->Arg(1 << 26);
 template <typename ProfilerT>
 static void replayBenchmark(benchmark::State &State,
                             const SyntheticTraceOptions &Gen) {
-  std::vector<Event> Trace = generateSyntheticTrace(Gen);
+  std::vector<EventRecord> Trace = generateSyntheticTrace(Gen);
   for (auto _ : State) {
     ProfilerT Profiler;
     replayTrace(Trace, Profiler);
@@ -126,7 +126,7 @@ BENCHMARK(BM_TrmsInducedHeavy);
 
 /// Renumbering in the loop: a deliberately small counter.
 static void BM_TrmsWithRenumbering(benchmark::State &State) {
-  std::vector<Event> Trace = generateSyntheticTrace(mixFor(4));
+  std::vector<EventRecord> Trace = generateSyntheticTrace(mixFor(4));
   for (auto _ : State) {
     TrmsProfilerOptions Opts;
     Opts.CounterLimit = uint64_t(1) << State.range(0);

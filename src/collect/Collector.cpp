@@ -76,6 +76,21 @@ bool Collector::ingestOne(const std::string &Path) {
     // must replay for exact rms/cost, and filtered Calls always set
     // their own mask bit, so (a) alone guarantees none is lost.
     //
+    // (c) closes the trms undercount: a chunk passing (a) and (b) may
+    // still *write* a cell that a later filtered activation reads for
+    // the first time — dropping the write loses the shadow-timestamp
+    // history that makes that read an induced first-access. On v3
+    // streams each chunk carries a written-shard mask, and SuffixTargets
+    // below holds, per chunk, the union of the shard-activity masks of
+    // every *later* chunk containing a filtered Call (a backward suffix
+    // pass over the index). A chunk whose written shards miss every
+    // such target shard cannot feed any retained activation's trms, so
+    // skipping it is exact up to one residual corner: an activation's
+    // continuation chunks (after its Call chunk, mask-invisible) may
+    // read shards no matching chunk touches; those reads can still
+    // undercount. Pre-v3 streams carry no written masks and keep the
+    // legacy skip rule (a)+(b) with its documented approximation.
+    //
     // Skipping tears holes in the call stack: a skipped chunk may open
     // frames whose Returns land in decoded chunks. The per-thread
     // shadow stack below tracks only the calls actually forwarded; a
@@ -89,6 +104,32 @@ bool Collector::ingestOne(const std::string &Path) {
     // stay exact: cost is a within-activation basic-block delta and rms
     // counts only accesses inside the activation window, which is
     // always fully decoded.
+    bool WriteAware = UseFilter && Reader.hasWrittenMasks();
+    std::vector<ShardActivityMask> SuffixTargets;
+    if (WriteAware) {
+      size_t N = Reader.chunkCount();
+      SuffixTargets.resize(N);
+      ShardActivityMask Acc = {};
+      for (size_t C = N; C-- > 0;) {
+        SuffixTargets[C] = Acc;
+        if ((Reader.chunkRoutineMask(C) & FilterMask) != 0) {
+          const ShardActivityMask &S = Reader.chunkShardMask(C);
+          for (size_t W = 0; W != Acc.size(); ++W)
+            Acc[W] |= S[W];
+        }
+      }
+    }
+    auto WritesNothingRetained = [&](size_t C) {
+      if (!WriteAware)
+        return true; // pre-v3: legacy rule, documented approximation
+      const ShardActivityMask &W = Reader.chunkWrittenMask(C);
+      const ShardActivityMask &T = SuffixTargets[C];
+      for (size_t I = 0; I != W.size(); ++I)
+        if ((W[I] & T[I]) != 0)
+          return false;
+      return true;
+    };
+
     uint64_t InFlight = 0;
     std::vector<std::vector<uint64_t>> Stacks;
     std::vector<Event> Chunk;
@@ -96,7 +137,8 @@ bool Collector::ingestOne(const std::string &Path) {
       ErrChunk = Reader.cursor();
       if (UseFilter && Reader.hasActivityMasks() && InFlight == 0 &&
           ErrChunk < Reader.chunkCount() &&
-          (Reader.chunkRoutineMask(ErrChunk) & FilterMask) == 0) {
+          (Reader.chunkRoutineMask(ErrChunk) & FilterMask) == 0 &&
+          WritesNothingRetained(ErrChunk)) {
         Reader.seek(ErrChunk + 1);
         LocalSkipped += 1;
         continue;
@@ -104,13 +146,14 @@ bool Collector::ingestOne(const std::string &Path) {
       if (!Reader.nextChunk(Chunk))
         break;
       LocalRead += 1;
-      LocalEvents += Chunk.size();
+      LocalEvents += Reader.chunkEvents(ErrChunk);
+      EventStreamView View(Chunk);
       if (!UseFilter) {
-        for (const Event &E : Chunk)
+        for (EventRecord E; View.next(E);)
           Dispatcher.enqueue(E);
         continue;
       }
-      for (const Event &E : Chunk) {
+      for (EventRecord E; View.next(E);) {
         if (E.Kind == EventKind::Call) {
           if (E.Tid >= Stacks.size())
             Stacks.resize(static_cast<size_t>(E.Tid) + 1);

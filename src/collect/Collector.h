@@ -20,12 +20,19 @@
 /// forwarded calls reconciles the holes skipping tears in the stream:
 /// Returns that close frames opened inside skipped chunks are dropped
 /// before dispatch, keeping the replayed call stack consistent and the
-/// filtered routines' rms and cost exact. What skipping can lose is
-/// shadow-timestamp history from before a filtered activation, so
-/// filtered trms may undercount induced first-accesses whose inducing
-/// write sat in a skipped chunk (documented approximation; unfiltered
-/// ingestion is always exact). v1 streams carry no masks and are
-/// always fully decoded.
+/// filtered routines' rms and cost exact. On v3 streams the per-chunk
+/// written-shard masks close the historical trms undercount: a chunk is
+/// only skipped when, additionally, none of its written shards appears
+/// in any later filtered-Call chunk's activity mask (a backward
+/// suffix-union over the index), so the shadow-timestamp history behind
+/// every retained induced first-access is preserved — up to one
+/// residual corner where an activation's mask-invisible continuation
+/// chunks read shards no filtered-Call chunk touches. On v2 streams
+/// (no written masks) the legacy rule applies and filtered trms may
+/// undercount induced first-accesses whose inducing write sat in a
+/// skipped chunk (documented approximation; unfiltered ingestion is
+/// always exact). v1 streams carry no masks and are always fully
+/// decoded.
 ///
 /// Observability: the `collector.*` metric family (streams, chunks
 /// read/skipped, decode errors, merge time, store size) and one

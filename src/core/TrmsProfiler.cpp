@@ -311,7 +311,7 @@ size_t TrmsProfilerT<ShadowT, WtsShadowT>::replayShardOf(Addr A) const {
 }
 
 template <typename ShadowT, typename WtsShadowT>
-void TrmsProfilerT<ShadowT, WtsShadowT>::replayPrepareMemOp(const Event &E,
+void TrmsProfilerT<ShadowT, WtsShadowT>::replayPrepareMemOp(const EventRecord &E,
                                                             TrmsReplayOp &Op) {
   noteThread(E.Tid);
   ThreadState &TS = state(E.Tid);

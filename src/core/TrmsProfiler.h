@@ -184,7 +184,7 @@ public:
   /// Serial half of a memory event: thread-switch bookkeeping, global
   /// counter/tally updates, and the op stamp. \p E must be a Read,
   /// Write, KernelRead, or KernelWrite.
-  void replayPrepareMemOp(const Event &E, TrmsReplayOp &Op);
+  void replayPrepareMemOp(const EventRecord &E, TrmsReplayOp &Op);
   /// Shard-local half: applies \p Op to cells [A, A + Cells), folding
   /// classification side effects into \p D instead of shared state.
   /// Safe to run concurrently with other applies on disjoint shards.

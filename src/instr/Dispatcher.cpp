@@ -1,4 +1,4 @@
-//===- instr/Dispatcher.cpp - Event fan-out and trace replay -----------------===//
+//===- instr/Dispatcher.cpp - Event fan-out and trace replay --------------===//
 //
 // Part of the isprof project, under the Apache License v2.0.
 //
@@ -114,7 +114,7 @@ void EventDispatcher::startParallel() {
   Ring.clear();
   Ring.resize(InitialRingSlots);
   for (BatchSlot &Slot : Ring)
-    Slot.Events.reset(new Event[Capacity]);
+    Slot.Words.reset(new Event[Capacity]);
 
   PublishedSeq = 0;
   ShuttingDown = false;
@@ -133,14 +133,15 @@ void EventDispatcher::startParallel() {
 }
 
 void EventDispatcher::deliverTo(const std::vector<size_t> &Idx,
-                                const Event *Events, size_t Count) {
+                                const Event *Words, size_t Count,
+                                size_t Records) {
   bool Observe = obs::statsEnabled() || obs::tracingEnabled();
   if (ISP_UNLIKELY(Observe) && ToolObs.size() == Tools.size()) {
     for (size_t I : Idx) {
       uint64_t Start = obs::nowNs();
-      Tools[I]->handleBatch(Events, Count);
+      Tools[I]->handleBatch(Words, Count);
       uint64_t End = obs::nowNs();
-      ToolObs[I].Events += Count;
+      ToolObs[I].Events += Records;
       ToolObs[I].CallbackNs += End - Start;
       if (obs::tracingEnabled())
         obs::TraceLog::get().completeSpan(ToolObs[I].Lane, "handleBatch",
@@ -148,14 +149,15 @@ void EventDispatcher::deliverTo(const std::vector<size_t> &Idx,
     }
   } else {
     for (size_t I : Idx)
-      Tools[I]->handleBatch(Events, Count);
+      Tools[I]->handleBatch(Words, Count);
   }
 }
 
 void EventDispatcher::workerLoop(WorkerState &W) {
   for (;;) {
-    const Event *Events = nullptr;
+    const Event *Words = nullptr;
     size_t Count = 0;
+    size_t Records = 0;
     uint64_t Seq = 0;
     {
       std::unique_lock<std::mutex> Lock(ParMutex);
@@ -168,13 +170,14 @@ void EventDispatcher::workerLoop(WorkerState &W) {
         return; // shutting down and fully drained
       Seq = W.NextSeq;
       BatchSlot &Slot = Ring[Seq % Ring.size()];
-      Events = Slot.Events.get();
+      Words = Slot.Words.get();
       Count = Slot.Count;
+      Records = Slot.Records;
     }
     // Deliver outside the lock: the slot buffer is immutable until every
     // worker (this one included) has marked it consumed.
     uint64_t SpanStart = obs::tracingEnabled() ? obs::nowNs() : 0;
-    deliverTo(W.ToolIdx, Events, Count);
+    deliverTo(W.ToolIdx, Words, Count, Records);
     if (obs::tracingEnabled())
       obs::TraceLog::get().completeSpan(W.Lane, "batch", "worker", SpanStart,
                                         obs::nowNs());
@@ -191,18 +194,18 @@ void EventDispatcher::publishBatch(FlushCause Cause) {
   ++Flushes[static_cast<size_t>(Cause)];
   if (Recording)
     Recorded.insert(Recorded.end(), Pending.get(),
-                    Pending.get() + PendingCount);
+                    Pending.get() + PendingWords);
   // Record sinks consume the batch on the dispatch thread, before the
   // worker handoff swaps the buffer away — the sink sees exactly the
   // stream the in-memory recorder would.
   if (Sink)
-    Sink->recordBatch(Pending.get(), PendingCount);
+    Sink->recordBatch(Pending.get(), PendingWords);
   // DispatchThread tools keep the serial contract: synchronous delivery
   // on the enqueue thread, before the batch is handed to the workers.
   // (Tools are independent, so their order against worker tools is
   // unobservable.)
   if (!SerialToolIdx.empty())
-    deliverTo(SerialToolIdx, Pending.get(), PendingCount);
+    deliverTo(SerialToolIdx, Pending.get(), PendingWords, PendingRecords);
   bool WakeWorkers;
   {
     std::unique_lock<std::mutex> Lock(ParMutex);
@@ -232,7 +235,7 @@ void EventDispatcher::publishBatch(FlushCause Cause) {
         size_t OldSize = Ring.size();
         Ring.resize(NewSize);
         for (size_t I = OldSize; I != NewSize; ++I)
-          Ring[I].Events.reset(new Event[Capacity]);
+          Ring[I].Words.reset(new Event[Capacity]);
         RingSlotsUsed = NewSize;
         ++RingGrowths;
         BlocksAtLastGrowth = BackpressureBlocks;
@@ -248,8 +251,9 @@ void EventDispatcher::publishBatch(FlushCause Cause) {
     // Double-buffer swap: the filled Pending buffer becomes the slot's
     // batch; the slot's drained buffer becomes the next Pending.
     BatchSlot &Slot = Ring[SlotIdx];
-    std::swap(Slot.Events, Pending);
-    Slot.Count = PendingCount;
+    std::swap(Slot.Words, Pending);
+    Slot.Count = PendingWords;
+    Slot.Records = PendingRecords;
     Slot.Remaining = static_cast<unsigned>(Workers.size());
     ++PublishedSeq;
     uint64_t MinSeq = PublishedSeq;
@@ -266,9 +270,11 @@ void EventDispatcher::publishBatch(FlushCause Cause) {
     WorkReady.notify_all();
   ISP_STATS(obs::Registry::get()
                 .histogram("dispatcher.batch_fill")
-                .record(PendingCount));
-  DeliveredEvents += PendingCount;
-  PendingCount = 0;
+                .record(PendingWords));
+  DeliveredEvents += PendingRecords;
+  PendingWords = 0;
+  PendingRecords = 0;
+  Enc.reset();
 }
 
 void EventDispatcher::joinWorkers() {
@@ -303,7 +309,7 @@ void EventDispatcher::flushImpl(FlushCause Cause) {
   // Run bookkeeping holds indices into Pending; invalidate it whether or
   // not anything is delivered.
   resetCompaction();
-  if (PendingCount == 0)
+  if (PendingWords == 0)
     return;
   if (ISP_UNLIKELY(ParallelActive)) {
     publishBatch(Cause);
@@ -311,9 +317,9 @@ void EventDispatcher::flushImpl(FlushCause Cause) {
   }
   ++Flushes[static_cast<size_t>(Cause)];
   if (Recording)
-    Recorded.insert(Recorded.end(), Pending.get(), Pending.get() + PendingCount);
+    Recorded.insert(Recorded.end(), Pending.get(), Pending.get() + PendingWords);
   if (ISP_UNLIKELY(Sink != nullptr))
-    Sink->recordBatch(Pending.get(), PendingCount);
+    Sink->recordBatch(Pending.get(), PendingWords);
   // The observed path times each tool's callback (and records timeline
   // spans); the default path is the PR-1 hot loop, untouched.
   bool Observe = obs::statsEnabled() || obs::tracingEnabled();
@@ -321,9 +327,9 @@ void EventDispatcher::flushImpl(FlushCause Cause) {
     uint64_t FlushStart = obs::nowNs();
     for (size_t I = 0; I != Tools.size(); ++I) {
       uint64_t Start = obs::nowNs();
-      Tools[I]->handleBatch(Pending.get(), PendingCount);
+      Tools[I]->handleBatch(Pending.get(), PendingWords);
       uint64_t End = obs::nowNs();
-      ToolObs[I].Events += PendingCount;
+      ToolObs[I].Events += PendingRecords;
       ToolObs[I].CallbackNs += End - Start;
       if (obs::tracingEnabled())
         obs::TraceLog::get().completeSpan(ToolObs[I].Lane, "handleBatch",
@@ -335,13 +341,15 @@ void EventDispatcher::flushImpl(FlushCause Cause) {
                                         FlushStart, obs::nowNs());
     ISP_STATS(obs::Registry::get()
                   .histogram("dispatcher.batch_fill")
-                  .record(PendingCount));
+                  .record(PendingWords));
   } else {
     for (Tool *T : Tools)
-      T->handleBatch(Pending.get(), PendingCount);
+      T->handleBatch(Pending.get(), PendingWords);
   }
-  DeliveredEvents += PendingCount;
-  PendingCount = 0;
+  DeliveredEvents += PendingRecords;
+  PendingWords = 0;
+  PendingRecords = 0;
+  Enc.reset();
 }
 
 void EventDispatcher::publishStats() const {
@@ -386,20 +394,20 @@ void EventDispatcher::finish() {
   ISP_STATS(publishStats());
 }
 
-void isp::replayTrace(const std::vector<Event> &Events, Tool &T,
+void isp::replayTrace(const std::vector<EventRecord> &Events, Tool &T,
                       const SymbolTable *Symbols) {
   T.onStart(Symbols);
-  for (const Event &E : Events)
+  for (const EventRecord &E : Events)
     T.handleEvent(E);
   T.onFinish();
 }
 
-void isp::replayTraceBatched(const std::vector<Event> &Events, Tool &T,
+void isp::replayTraceBatched(const std::vector<EventRecord> &Events, Tool &T,
                              const SymbolTable *Symbols) {
   EventDispatcher Dispatcher;
   Dispatcher.addTool(&T);
   Dispatcher.start(Symbols);
-  for (const Event &E : Events)
+  for (const EventRecord &E : Events)
     Dispatcher.enqueue(E);
   Dispatcher.finish();
 }

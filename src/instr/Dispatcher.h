@@ -11,10 +11,11 @@
 /// from how the event stream was produced — live VM execution, a trace
 /// file, or a synthetic generator.
 ///
-/// The hot path is enqueue(): events accumulate in a pending batch that
-/// is delivered to the tools in one handleBatch call per flush, and the
-/// dense access/cost stream is *compacted* on the way in. Compaction
-/// merges a new event into a buffered one in two cases:
+/// The hot path is enqueue(): events accumulate in a pending batch of
+/// packed 16-byte stream words (trace/Event.h) that is delivered to the
+/// tools in one handleBatch call per flush, and the dense access/cost
+/// stream is *compacted* on the way in. Compaction merges a new event
+/// into a buffered one in two cases:
 ///
 ///  - a Read or Write whose cells directly continue the *last* buffered
 ///    event (same kind, same thread, consecutive addresses) extends it
@@ -38,6 +39,15 @@
 /// scheduler's switch rate; in-batch order preserves the exact event
 /// sequence, so tools observe barriers at the right position either
 /// way.
+///
+/// In the packed form a logical event occupies one to three words (a
+/// rare time-base escape, the main word, an optional follow-on carrying
+/// a non-default second argument); the batch flushes when fewer than
+/// MaxWordsPerRecord free slots remain, so an enqueue never overruns
+/// the buffer. The word-level encoder state resets at every flush, so
+/// each delivered batch decodes standalone — and because times are
+/// non-decreasing, the concatenated recorded stream decodes with one
+/// continuous decoder too.
 ///
 /// The recorded stream is the compacted stream (merged events keep the
 /// first event's time, so times stay strictly increasing); replaying it
@@ -74,6 +84,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -87,10 +98,11 @@ class SymbolTable;
 /// Fans events out to registered tools. Tools are not owned.
 class EventDispatcher {
 public:
-  /// Default pending-batch capacity; a flush is forced when the batch
-  /// fills. Large enough to amortize delivery, small enough to stay
-  /// cache-resident. Tunable per dispatcher via setBatchCapacity
-  /// (--batch-capacity in the driver).
+  /// Default pending-batch capacity in stream words; a flush is forced
+  /// when fewer than Event::MaxWordsPerRecord free words remain. Large
+  /// enough to amortize delivery, small enough to stay cache-resident.
+  /// Tunable per dispatcher via setBatchCapacity (--batch-capacity in
+  /// the driver).
   static constexpr size_t DefaultBatchCapacity = 256;
   /// Valid setBatchCapacity range (powers of two only, so the sweep
   /// benchmark and the driver flag share one validation rule).
@@ -122,13 +134,14 @@ public:
   /// Consumer of recorded batches, for sinks that stream the compacted
   /// event stream somewhere (e.g. TraceStreamWriter writing chunked
   /// trace files) instead of accumulating it in the Recorded vector.
-  /// Batches arrive on the dispatch thread, in delivery order, exactly
-  /// as the in-memory recorder would append them — so a sink observes a
-  /// byte-identical stream.
+  /// Batches arrive on the dispatch thread, in delivery order, as
+  /// packed word runs that decode standalone (fresh decoder per batch),
+  /// exactly as the in-memory recorder would append them — so a sink
+  /// observes a byte-identical stream.
   class RecordSink {
   public:
     virtual ~RecordSink() = default;
-    virtual void recordBatch(const Event *Events, size_t Count) = 0;
+    virtual void recordBatch(const Event *Words, size_t Count) = 0;
   };
 
   ~EventDispatcher();
@@ -147,7 +160,7 @@ public:
   /// call before the run starts.
   bool setBatchCapacity(size_t N) {
     if (N < MinBatchCapacity || N > MaxBatchCapacity || (N & (N - 1)) != 0 ||
-        PendingCount != 0 || ParallelActive)
+        PendingWords != 0 || ParallelActive)
       return false;
     Capacity = N;
     Pending.reset(new Event[Capacity]);
@@ -198,30 +211,50 @@ public:
 
   /// Queues one event for batched delivery, compacting adjacent access
   /// runs and basic-block counts (see the file comment for the exact
-  /// rules). The buffer is a fixed array so the append is branch-cheap
-  /// and inlines into the interpreter loop.
-  void enqueue(const Event &E) {
+  /// rules). The buffer is a fixed array of packed words so the append
+  /// is branch-cheap and inlines into the interpreter loop.
+  void enqueue(const EventRecord &E) {
     ++EnqueuedEvents;
     switch (E.Kind) {
     case EventKind::Read:
     case EventKind::Write:
-      if (PendingCount != 0) {
-        Event &Last = Pending[PendingCount - 1];
-        if (Last.Kind == E.Kind && Last.Tid == E.Tid &&
-            Last.Arg0 + Last.Arg1 == E.Arg0) {
-          Last.Arg1 += E.Arg1;
-          ++AccessMerges;
-          return;
+      if (HaveLastMain && E.Tid <= Event::MaxInlineTid) {
+        Event &M = Pending[LastMain];
+        if (M.kind() == E.Kind && M.inlineTid() == E.Tid) {
+          bool Follow = M.hasFollow();
+          // A nonzero follow-on TimeLow means the buffered event's real
+          // tid lives there (spilled >24-bit id): don't merge into it.
+          if (!Follow || Pending[LastMain + 1].TimeLow == 0) {
+            uint64_t Cells = Follow ? Pending[LastMain + 1].Arg : 1;
+            if (M.Arg + Cells == E.Arg0) {
+              // The merged event keeps the first event's time; only the
+              // cell count grows (growing 1 -> 2 cells materializes the
+              // follow-on word right behind the main word).
+              if (Follow) {
+                Pending[LastMain + 1].Arg = Cells + E.Arg1;
+              } else {
+                M.Meta |= Event::FollowBit;
+                Event &FW = Pending[PendingWords++];
+                FW.Meta = Event::SpecialBit | Event::FollowBit;
+                FW.TimeLow = 0;
+                FW.Arg = Cells + E.Arg1;
+              }
+              ++AccessMerges;
+              if (ISP_UNLIKELY(PendingWords + Event::MaxWordsPerRecord >
+                               Capacity))
+                flushImpl(FlushCause::Capacity);
+              return;
+            }
+          }
         }
       }
       break;
     case EventKind::BasicBlock:
       if (BbRun.Active && BbRun.Tid == E.Tid) {
-        Pending[BbRun.Index].Arg1 += E.Arg1;
+        Pending[BbRun.Index].Arg += E.Arg1;
         ++BbFolds;
         return;
       }
-      BbRun = {true, E.Tid, static_cast<uint32_t>(PendingCount)};
       break;
     default:
       // Calls/returns (cost attribution boundaries) and the rare
@@ -230,8 +263,15 @@ public:
       BbRun.Active = false;
       break;
     }
-    Pending[PendingCount++] = E;
-    if (PendingCount == Capacity)
+    size_t MainOff = 0;
+    size_t N = Enc.encode(E, &Pending[PendingWords], MainOff);
+    LastMain = static_cast<uint32_t>(PendingWords + MainOff);
+    HaveLastMain = true;
+    if (E.Kind == EventKind::BasicBlock)
+      BbRun = {true, E.Tid, LastMain};
+    PendingWords += N;
+    ++PendingRecords;
+    if (ISP_UNLIKELY(PendingWords + Event::MaxWordsPerRecord > Capacity))
       flushImpl(FlushCause::Capacity);
   }
 
@@ -241,32 +281,160 @@ public:
 
   /// Dispatches one event to all tools immediately, after flushing any
   /// pending batch so order is preserved. Kept for replay loops and
-  /// tests that need per-event delivery. In parallel mode "immediately"
-  /// becomes "as its own single-event batch": delivering on this thread
-  /// would race the workers, so the event is published instead and
-  /// finish() remains the only join point.
-  void dispatch(const Event &E) {
-    if (ISP_UNLIKELY(ParallelActive)) {
-      if (PendingCount != 0)
-        flushImpl(FlushCause::Explicit);
-      ++EnqueuedEvents;
-      Pending[PendingCount++] = E;
-      flushImpl(FlushCause::Explicit);
-      return;
-    }
-    if (PendingCount != 0)
+  /// tests that need per-event delivery: the event goes out as its own
+  /// single-event batch (synchronously in serial mode; published like
+  /// any other batch in parallel mode, where finish() remains the only
+  /// join point).
+  void dispatch(const EventRecord &E) {
+    if (PendingWords != 0)
       flushImpl(FlushCause::Explicit);
     ++EnqueuedEvents;
-    ++DeliveredEvents;
-    if (Recording)
-      Recorded.push_back(E);
-    if (ISP_UNLIKELY(Sink != nullptr))
-      Sink->recordBatch(&E, 1);
-    for (size_t I = 0; I != Tools.size(); ++I) {
-      Tools[I]->handleEvent(E);
-      if (ISP_UNLIKELY(obs::statsEnabled()) && I < ToolObs.size())
-        ++ToolObs[I].Events;
+    PendingWords = Enc.encode(E, Pending.get());
+    PendingRecords = 1;
+    flushImpl(FlushCause::Explicit);
+  }
+
+  //===--- Block-compiler seam (vm/BlockCompiler.h) ----------------------===//
+
+  /// A pre-compacted run template: the exact words the per-instruction
+  /// path would have buffered for one straight-line stretch of a
+  /// covered run, had the batch been empty — static bits pre-encoded,
+  /// thread id / time base / frame base left to the splice
+  /// (trace/Event.h TemplateWord). A run with dynamic (indirect)
+  /// accesses is spliced as several such segments with the dynamic
+  /// events enqueue()d normally in between; only the first segment
+  /// leads with the run's BasicBlock marker (HasBlockHead). Contains no
+  /// escape words — the caller must have checked runTimesCompatible()
+  /// over the whole run.
+  struct TemplateRun {
+    const TemplateWord *Words;
+    uint32_t NumWords;
+    uint32_t NumRecords;      ///< logical events among Words
+    uint32_t InternalMerges;  ///< access merges already applied in-run
+    uint32_t InternalBbFolds; ///< covered BasicBlock markers folded in-run
+    uint64_t EnqueueCount;    ///< events the uncompacted stream held
+    /// Time offset (from the run's entry time) of this segment's *last
+    /// record's main word* — what the encoder's PrevLow must read after
+    /// the splice. Not necessarily the segment's last event time: a
+    /// trailing merge keeps the first constituent's time, and merged
+    /// events never reach the encoder.
+    uint32_t LastMainOff;
+    /// True when Words[0] is the run's leading BasicBlock marker (the
+    /// first segment); mid-run segments lead with an access record.
+    bool HasBlockHead;
+  };
+
+  /// True when a run of \p Words more words still fits the current batch
+  /// with the post-append slack intact. The block fast path must *not*
+  /// flush early to make room: flush timing — and with it the encoder
+  /// reset and escape-word placement — is part of the byte-exact
+  /// contract, so a run that does not fit falls back to the per-event
+  /// path, which rolls the batch at exactly the point it always would.
+  bool runFits(size_t Words) const {
+    return PendingWords + Words + Event::MaxWordsPerRecord <= Capacity;
+  }
+
+  /// True when times [FirstTime, LastTime] extend the batch's time base
+  /// without an epoch change — the one case template words cannot
+  /// express (the per-event path emits a time-base escape instead).
+  bool runTimesCompatible(uint64_t FirstTime, uint64_t LastTime) const {
+    return (FirstTime >> 32) == Enc.epoch() &&
+           (LastTime >> 32) == Enc.epoch();
+  }
+
+  /// Splices a run-template segment into the live batch in one pass:
+  /// words are patched (thread id, absolute times, frame base) directly
+  /// into the pending buffer, and the two compaction rules are
+  /// re-applied at the seam — a leading BasicBlock folds into the
+  /// thread's open block run, and (only then — an unfolded marker
+  /// breaks adjacency by sitting in the buffer — or always for
+  /// mid-run segments, which lead with an access) the segment's first
+  /// access may extend the last buffered event. Byte-identical to
+  /// enqueueing the uncompacted event sequence; \p T0 is the *run's*
+  /// entry event time (TimeOffs are run-relative, so mid-run segments
+  /// pass the same T0 as the first). Caller must have called runFits()
+  /// and runTimesCompatible() over the whole run.
+  void spliceTemplateRun(const TemplateRun &R, ThreadId Tid, uint64_t T0,
+                         uint64_t FrameBase) {
+    EnqueuedEvents += R.EnqueueCount;
+    AccessMerges += R.InternalMerges;
+    BbFolds += R.InternalBbFolds;
+    const TemplateWord *W = R.Words;
+    size_t N = R.NumWords;
+    size_t Records = R.NumRecords;
+    const uint32_t TidBits = static_cast<uint32_t>(Tid) << Event::TidShift;
+    const uint32_t T0Low = static_cast<uint32_t>(T0);
+    // Seam rule: the first remaining word (an access) may extend the
+    // last buffered event, exactly as enqueue() would have merged it.
+    auto SeamMergeFirstAccess = [&] {
+      if (N == 0 || !HaveLastMain || Tid > Event::MaxInlineTid)
+        return;
+      Event &M = Pending[LastMain];
+      EventKind K = W[0].Word.kind();
+      if ((K != EventKind::Read && K != EventKind::Write) || M.kind() != K ||
+          M.inlineTid() != Tid)
+        return;
+      bool Follow = M.hasFollow();
+      // A nonzero follow-on TimeLow means the buffered event's real tid
+      // lives there (spilled >24-bit id): don't merge into it.
+      if (Follow && Pending[LastMain + 1].TimeLow != 0)
+        return;
+      uint64_t Cells = Follow ? Pending[LastMain + 1].Arg : 1;
+      if (M.Arg + Cells != W[0].Word.Arg + (FrameBase & W[0].FrameMask))
+        return;
+      bool RunFollow = W[0].Word.hasFollow();
+      uint64_t RunCells = RunFollow ? W[1].Word.Arg : 1;
+      size_t Skip = RunFollow ? 2 : 1;
+      if (Follow) {
+        Pending[LastMain + 1].Arg = Cells + RunCells;
+      } else {
+        M.Meta |= Event::FollowBit;
+        Event &FW = Pending[PendingWords++];
+        FW.Meta = Event::SpecialBit | Event::FollowBit;
+        FW.TimeLow = 0;
+        FW.Arg = Cells + RunCells;
+      }
+      ++AccessMerges;
+      W += Skip;
+      N -= Skip;
+      --Records;
+    };
+    if (R.HasBlockHead) {
+      if (BbRun.Active && BbRun.Tid == Tid) {
+        // BasicBlock templates keep the fold count in Arg and are never
+        // frame-relative, so the fold needs no patching at all.
+        Pending[BbRun.Index].Arg += W[0].Word.Arg;
+        ++BbFolds;
+        ++W;
+        --N;
+        --Records;
+        SeamMergeFirstAccess();
+      } else {
+        BbRun = {true, Tid, static_cast<uint32_t>(PendingWords)};
+      }
+    } else {
+      SeamMergeFirstAccess();
     }
+    if (N != 0) {
+      Event *Dst = &Pending[PendingWords];
+      for (size_t I = 0; I != N; ++I) {
+        const TemplateWord &TW = W[I];
+        Dst[I].Meta = TW.Word.Meta | (TidBits & TW.MainMask);
+        Dst[I].TimeLow = TW.Word.TimeLow + ((T0Low + TW.TimeOff) & TW.MainMask);
+        Dst[I].Arg = TW.Word.Arg + (FrameBase & TW.FrameMask);
+      }
+      size_t LastMainAt = Dst[N - 1].isSpecial() ? N - 2 : N - 1;
+      LastMain = static_cast<uint32_t>(PendingWords + LastMainAt);
+      HaveLastMain = true;
+      PendingWords += N;
+      // Encoder bookkeeping tracks the last *encoded* main word; when
+      // the whole run folded/merged away, nothing was encoded and the
+      // per-event path would have left the encoder untouched too.
+      Enc.noteAppended(T0 + R.LastMainOff);
+    }
+    PendingRecords += Records;
+    if (ISP_UNLIKELY(PendingWords + Event::MaxWordsPerRecord > Capacity))
+      flushImpl(FlushCause::Capacity);
   }
 
   /// True when at least one tool is registered or recording is on; the VM
@@ -297,8 +465,22 @@ public:
     return Flushes[0] + Flushes[1] + Flushes[2];
   }
 
+  /// The recorded stream as packed words (what sinks and chunk files
+  /// hold). Decode with decodeEventStream / EventStreamView.
   const std::vector<Event> &recordedEvents() const { return Recorded; }
-  std::vector<Event> takeRecordedEvents() { return std::move(Recorded); }
+  /// Decoded copy of the recorded stream (convenience for consumers
+  /// that want wide records; the packed buffer stays intact).
+  std::vector<EventRecord> decodedRecordedEvents() const {
+    return decodeEventStream(Recorded);
+  }
+  /// Decodes and returns the recorded stream, releasing the packed
+  /// buffer.
+  std::vector<EventRecord> takeRecordedEvents() {
+    std::vector<EventRecord> Out = decodeEventStream(Recorded);
+    Recorded.clear();
+    Recorded.shrink_to_fit();
+    return Out;
+  }
 
 private:
   /// The thread's still-open basic-block event sitting in the batch.
@@ -318,14 +500,15 @@ private:
     obs::LaneId Lane = 0;
   };
 
-  /// One slot of the parallel batch ring. The Events buffer rotates
-  /// with the Pending array: publication swaps the filled Pending buffer
-  /// in and takes the slot's drained buffer back, so no batch is ever
+  /// One slot of the parallel batch ring. The word buffer rotates with
+  /// the Pending array: publication swaps the filled Pending buffer in
+  /// and takes the slot's drained buffer back, so no batch is ever
   /// copied. Remaining counts the workers that have not yet consumed
   /// the slot; the publisher reuses a slot only at zero.
   struct BatchSlot {
-    std::unique_ptr<Event[]> Events;
+    std::unique_ptr<Event[]> Words;
     size_t Count = 0;
+    size_t Records = 0;
     unsigned Remaining = 0;
   };
 
@@ -339,7 +522,10 @@ private:
     obs::LaneId Lane = 0;
   };
 
-  void resetCompaction() { BbRun.Active = false; }
+  void resetCompaction() {
+    BbRun.Active = false;
+    HaveLastMain = false;
+  }
 
   void flushImpl(FlushCause Cause);
 
@@ -358,8 +544,8 @@ private:
   /// observability when enabled. Each index is only ever touched by the
   /// one thread that owns the tool, so the ToolObs tallies stay
   /// single-writer.
-  void deliverTo(const std::vector<size_t> &Idx, const Event *Events,
-                 size_t Count);
+  void deliverTo(const std::vector<size_t> &Idx, const Event *Words,
+                 size_t Count, size_t Records);
 
   /// Folds the dispatcher's plain counters (and the per-tool tallies)
   /// into the process-wide obs registry. Called by finish() when stats
@@ -367,10 +553,20 @@ private:
   void publishStats() const;
 
   std::vector<Tool *> Tools;
-  /// Pending batch, sized Capacity (enqueue flushes when it fills).
+  /// Pending batch of packed words, sized Capacity (enqueue flushes
+  /// when fewer than MaxWordsPerRecord free words remain).
   size_t Capacity = DefaultBatchCapacity;
   std::unique_ptr<Event[]> Pending{new Event[DefaultBatchCapacity]};
-  size_t PendingCount = 0;
+  size_t PendingWords = 0;
+  /// Logical events among the pending words (delivery accounting).
+  size_t PendingRecords = 0;
+  /// Word index of the last logical event's main word (merge target);
+  /// valid only while HaveLastMain.
+  uint32_t LastMain = 0;
+  bool HaveLastMain = false;
+  /// Word-level encoder time state; resets at every flush so each batch
+  /// decodes standalone.
+  EventEncoder Enc;
   std::vector<Event> Recorded;
   RecordSink *Sink = nullptr;
   bool Recording = false;
@@ -425,7 +621,7 @@ private:
 };
 
 /// Replays \p Events into \p T, bracketed by onStart/onFinish.
-void replayTrace(const std::vector<Event> &Events, Tool &T,
+void replayTrace(const std::vector<EventRecord> &Events, Tool &T,
                  const SymbolTable *Symbols = nullptr);
 
 /// Replays \p Events into \p T through a batching EventDispatcher —
@@ -433,7 +629,7 @@ void replayTrace(const std::vector<Event> &Events, Tool &T,
 /// Results are identical to replayTrace for every tool (the batched-
 /// equivalence tests assert this); the batched form is faster on
 /// access-dense traces.
-void replayTraceBatched(const std::vector<Event> &Events, Tool &T,
+void replayTraceBatched(const std::vector<EventRecord> &Events, Tool &T,
                         const SymbolTable *Symbols = nullptr);
 
 } // namespace isp

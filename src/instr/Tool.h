@@ -105,7 +105,7 @@ public:
   /// Defined inline so the decode switch disappears into the batch loop
   /// below — the per-event cost of a batch is then one predicted switch
   /// plus the virtual callback itself.
-  void handleEvent(const Event &E) {
+  void handleEvent(const EventRecord &E) {
     switch (E.Kind) {
     case EventKind::ThreadStart:
       onThreadStart(E.Tid, static_cast<ThreadId>(E.Arg0));
@@ -159,13 +159,16 @@ public:
     ISP_UNREACHABLE("unknown event kind");
   }
 
-  /// Dispatches \p Count events in order. Non-virtual on purpose: batched
-  /// delivery is a substrate optimization (one call per flush instead of
-  /// one per event), not a semantic extension point — a batch is always
-  /// observationally identical to dispatching its events one by one.
-  void handleBatch(const Event *Events, size_t Count) {
-    for (size_t I = 0; I != Count; ++I)
-      handleEvent(Events[I]);
+  /// Dispatches a batch of \p Count packed stream words in order,
+  /// decoding as it goes (a flushed batch always decodes standalone).
+  /// Non-virtual on purpose: batched delivery is a substrate
+  /// optimization (one call per flush instead of one per event), not a
+  /// semantic extension point — a batch is always observationally
+  /// identical to dispatching its decoded events one by one.
+  void handleBatch(const Event *Words, size_t Count) {
+    EventStreamView V(Words, Count);
+    for (EventRecord E; V.next(E);)
+      handleEvent(E);
   }
 };
 

@@ -77,8 +77,8 @@ private:
     ShardActivityMask OwnedSlots = {};
   };
 
-  void processEvent(const Event &E);
-  void routeMemOp(const Event &E);
+  void processEvent(const EventRecord &E);
+  void routeMemOp(const EventRecord &E);
   void sealWorkers(uint32_t WorkerMask);
   void barrierThread(ThreadId Tid);
   void barrierAll();
@@ -126,7 +126,7 @@ void ReplayEngine::workerMain(Worker &W) {
   }
 }
 
-void ReplayEngine::routeMemOp(const Event &E) {
+void ReplayEngine::routeMemOp(const EventRecord &E) {
   TrmsReplayOp Op;
   P.replayPrepareMemOp(E, Op);
   ++Stats.MemOps;
@@ -233,7 +233,7 @@ void ReplayEngine::barrierThread(ThreadId Tid) {
 
 void ReplayEngine::barrierAll() { sealWorkers(~uint32_t(0)); }
 
-void ReplayEngine::processEvent(const Event &E) {
+void ReplayEngine::processEvent(const EventRecord &E) {
   switch (E.Kind) {
   case EventKind::Read:
   case EventKind::Write:
@@ -316,9 +316,11 @@ bool ReplayEngine::run(const SymbolTable *Symbols) {
     if (!Reader.nextChunk(Chunk))
       break;
     noteChunkActivity(ChunkIndex);
-    for (const Event &E : Chunk)
+    EventStreamView View(Chunk);
+    for (EventRecord E; View.next(E);) {
       processEvent(E);
-    Replayed += Chunk.size();
+      ++Replayed;
+    }
   }
 
   barrierAll();

@@ -47,3 +47,40 @@ const char *isp::eventKindName(EventKind Kind) {
   }
   ISP_UNREACHABLE("unknown event kind");
 }
+
+std::vector<Event>
+isp::encodeEventStream(const std::vector<EventRecord> &Records) {
+  std::vector<Event> Words;
+  Words.reserve(Records.size());
+  EventEncoder Enc;
+  Event Buf[Event::MaxWordsPerRecord];
+  for (const EventRecord &E : Records) {
+    size_t N = Enc.encode(E, Buf);
+    Words.insert(Words.end(), Buf, Buf + N);
+  }
+  return Words;
+}
+
+std::vector<EventRecord> isp::decodeEventStream(const Event *Words,
+                                                size_t Count) {
+  std::vector<EventRecord> Records;
+  Records.reserve(Count);
+  EventStreamView V(Words, Count);
+  EventRecord E;
+  while (V.next(E))
+    Records.push_back(E);
+  return Records;
+}
+
+std::vector<EventRecord>
+isp::decodeEventStream(const std::vector<Event> &Words) {
+  return decodeEventStream(Words.data(), Words.size());
+}
+
+size_t isp::packedEventCount(const Event *Words, size_t Count) {
+  size_t Records = 0;
+  for (size_t I = 0; I != Count; ++I)
+    if (!Words[I].isSpecial())
+      ++Records;
+  return Records;
+}

@@ -25,11 +25,11 @@ struct ThreadState {
 
 } // namespace
 
-std::vector<Event>
+std::vector<EventRecord>
 isp::generateSyntheticTrace(const SyntheticTraceOptions &Opts) {
   assert(Opts.NumThreads > 0 && Opts.NumRoutines > 0);
   Rng R(Opts.Seed);
-  std::vector<Event> Trace;
+  std::vector<EventRecord> Trace;
   Trace.reserve(Opts.NumOperations + Opts.NumThreads * 4);
 
   uint64_t Clock = 0;
@@ -50,10 +50,10 @@ isp::generateSyntheticTrace(const SyntheticTraceOptions &Opts) {
   // Start all threads eagerly; thread 0 is its own parent by convention.
   for (ThreadId Tid = 0; Tid != Opts.NumThreads; ++Tid) {
     Threads[Tid].Started = true;
-    Trace.push_back(Event::threadStart(Tid, now(), Tid == 0 ? 0 : 0));
+    Trace.push_back(EventRecord::threadStart(Tid, now(), Tid == 0 ? 0 : 0));
     RoutineId Root = static_cast<RoutineId>(R.nextBelow(Opts.NumRoutines));
     Threads[Tid].CallStack.push_back(Root);
-    Trace.push_back(Event::call(Tid, now(), Root));
+    Trace.push_back(EventRecord::call(Tid, now(), Root));
   }
 
   for (uint64_t Op = 0; Op != Opts.NumOperations; ++Op) {
@@ -76,25 +76,25 @@ isp::generateSyntheticTrace(const SyntheticTraceOptions &Opts) {
         RoutineId Rtn =
             static_cast<RoutineId>(R.nextBelow(Opts.NumRoutines));
         TS.CallStack.push_back(Rtn);
-        Trace.push_back(Event::call(Tid, now(), Rtn));
+        Trace.push_back(EventRecord::call(Tid, now(), Rtn));
       }
     } else if (Dice < ReturnEdge) {
       // Keep the root activation alive until the final unwind.
       if (TS.CallStack.size() > 1) {
         RoutineId Rtn = TS.CallStack.back();
         TS.CallStack.pop_back();
-        Trace.push_back(Event::ret(Tid, now(), Rtn, 0));
+        Trace.push_back(EventRecord::ret(Tid, now(), Rtn, 0));
       }
     } else if (Dice < WriteEdge) {
-      Trace.push_back(Event::write(Tid, now(), pickAddress(Tid)));
+      Trace.push_back(EventRecord::write(Tid, now(), pickAddress(Tid)));
     } else if (Dice < KrEdge) {
-      Trace.push_back(Event::kernelRead(Tid, now(), pickAddress(Tid)));
+      Trace.push_back(EventRecord::kernelRead(Tid, now(), pickAddress(Tid)));
     } else if (Dice < KwEdge) {
-      Trace.push_back(Event::kernelWrite(Tid, now(), pickAddress(Tid)));
+      Trace.push_back(EventRecord::kernelWrite(Tid, now(), pickAddress(Tid)));
     } else if (Dice < BbEdge) {
-      Trace.push_back(Event::basicBlock(Tid, now()));
+      Trace.push_back(EventRecord::basicBlock(Tid, now()));
     } else {
-      Trace.push_back(Event::read(Tid, now(), pickAddress(Tid)));
+      Trace.push_back(EventRecord::read(Tid, now(), pickAddress(Tid)));
     }
   }
 
@@ -104,23 +104,23 @@ isp::generateSyntheticTrace(const SyntheticTraceOptions &Opts) {
     while (!TS.CallStack.empty()) {
       RoutineId Rtn = TS.CallStack.back();
       TS.CallStack.pop_back();
-      Trace.push_back(Event::ret(Tid, now(), Rtn, 0));
+      Trace.push_back(EventRecord::ret(Tid, now(), Rtn, 0));
     }
     TS.Finished = true;
-    Trace.push_back(Event::threadEnd(Tid, now()));
+    Trace.push_back(EventRecord::threadEnd(Tid, now()));
   }
   return Trace;
 }
 
-std::vector<std::vector<Event>>
-isp::splitByThread(const std::vector<Event> &Trace) {
-  std::map<ThreadId, std::vector<Event>> ByThread;
-  for (const Event &E : Trace) {
+std::vector<std::vector<EventRecord>>
+isp::splitByThread(const std::vector<EventRecord> &Trace) {
+  std::map<ThreadId, std::vector<EventRecord>> ByThread;
+  for (const EventRecord &E : Trace) {
     if (E.Kind == EventKind::ThreadSwitch)
       continue;
     ByThread[E.Tid].push_back(E);
   }
-  std::vector<std::vector<Event>> Result;
+  std::vector<std::vector<EventRecord>> Result;
   Result.reserve(ByThread.size());
   for (auto &[Tid, Events] : ByThread)
     Result.push_back(std::move(Events));

@@ -49,13 +49,13 @@ struct SyntheticTraceOptions {
 /// Generates one totally ordered multithreaded trace. Every thread begins
 /// with ThreadStart + a root routine Call and ends with the matching
 /// unwinding Returns and ThreadEnd; memory operations only occur inside
-/// at least one activation. Event times are unique and strictly
+/// at least one activation. EventRecord times are unique and strictly
 /// increasing, so splitByThread() + mergeTraces() reproduces the trace.
-std::vector<Event> generateSyntheticTrace(const SyntheticTraceOptions &Opts);
+std::vector<EventRecord> generateSyntheticTrace(const SyntheticTraceOptions &Opts);
 
 /// Splits a merged trace into per-thread traces (dropping ThreadSwitch
 /// pseudo-events), suitable for feeding back into mergeTraces().
-std::vector<std::vector<Event>> splitByThread(const std::vector<Event> &Trace);
+std::vector<std::vector<EventRecord>> splitByThread(const std::vector<EventRecord> &Trace);
 
 } // namespace isp
 

@@ -136,7 +136,7 @@ std::string serializeCompressed(const TraceData &Data) {
   // delta-coded per event kind via zigzag since accesses cluster.
   uint64_t LastTime = 0;
   uint64_t LastArg0[32] = {};
-  for (const Event &E : Data.Events) {
+  for (const EventRecord &E : Data.Events) {
     Out.push_back(static_cast<char>(E.Kind));
     writeVarint(Out, E.Tid);
     writeVarint(Out, E.Time - LastTime);
@@ -189,7 +189,7 @@ bool deserializeCompressed(const std::string &Bytes, TraceData &Data) {
     uint8_t KindByte = static_cast<uint8_t>(Bytes[Pos++]);
     if (KindByte > static_cast<uint8_t>(EventKind::ThreadSwitch))
       return false;
-    Event E;
+    EventRecord E;
     E.Kind = static_cast<EventKind>(KindByte);
     uint64_t Tid = 0, TimeDelta = 0, Arg0Delta = 0, Arg1 = 0;
     if (!readVarint(Bytes, Pos, Tid) ||
@@ -226,7 +226,7 @@ static std::string serializeRaw(const TraceData &Data) {
     W.writeBytes(Name.data(), Name.size());
   }
   W.writeU64(Data.Events.size());
-  for (const Event &E : Data.Events) {
+  for (const EventRecord &E : Data.Events) {
     Out.push_back(static_cast<char>(E.Kind));
     W.writeU32(E.Tid);
     W.writeU64(E.Time);
@@ -283,7 +283,7 @@ bool isp::deserializeTrace(const std::string &Bytes, TraceData &Data) {
   Data.Events.reserve(EventCount);
   for (uint64_t I = 0; I != EventCount; ++I) {
     unsigned char KindByte = 0;
-    Event E;
+    EventRecord E;
     if (!R.readBytes(&KindByte, 1) || !R.readU32(E.Tid) ||
         !R.readU64(E.Time) || !R.readU64(E.Arg0) || !R.readU64(E.Arg1))
       return false;

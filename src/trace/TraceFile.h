@@ -29,7 +29,7 @@ namespace isp {
 struct TraceData {
   /// (routine id, routine name) pairs.
   std::vector<std::pair<RoutineId, std::string>> Routines;
-  std::vector<Event> Events;
+  std::vector<EventRecord> Events;
 };
 
 /// On-disk encodings. Raw is the fixed-width v1 layout; Compressed (v2)

@@ -14,13 +14,13 @@
 using namespace isp;
 
 bool isp::verifyThreadTraces(
-    const std::vector<std::vector<Event>> &ThreadTraces) {
+    const std::vector<std::vector<EventRecord>> &ThreadTraces) {
   for (const auto &Trace : ThreadTraces) {
     if (Trace.empty())
       continue;
     ThreadId Tid = Trace.front().Tid;
     uint64_t LastTime = 0;
-    for (const Event &E : Trace) {
+    for (const EventRecord &E : Trace) {
       if (E.Tid != Tid)
         return false;
       if (E.Time < LastTime)
@@ -31,8 +31,8 @@ bool isp::verifyThreadTraces(
   return true;
 }
 
-std::vector<Event>
-isp::mergeTraces(const std::vector<std::vector<Event>> &ThreadTraces,
+std::vector<EventRecord>
+isp::mergeTraces(const std::vector<std::vector<EventRecord>> &ThreadTraces,
                  const TraceMergeOptions &Options) {
   assert(verifyThreadTraces(ThreadTraces) &&
          "per-thread traces must be time-sorted and single-threaded");
@@ -42,7 +42,7 @@ isp::mergeTraces(const std::vector<std::vector<Event>> &ThreadTraces,
   for (const auto &Trace : ThreadTraces)
     Remaining += Trace.size();
 
-  std::vector<Event> Merged;
+  std::vector<EventRecord> Merged;
   Merged.reserve(Remaining + Remaining / 4);
 
   Rng TieRng(Options.Seed);
@@ -92,7 +92,7 @@ isp::mergeTraces(const std::vector<std::vector<Event>> &ThreadTraces,
       }
     }
 
-    const Event &E = ThreadTraces[Chosen][Cursor[Chosen]];
+    const EventRecord &E = ThreadTraces[Chosen][Cursor[Chosen]];
     if (Options.InsertThreadSwitches && HaveLastTid && E.Tid != LastTid)
       Merged.push_back({EventKind::ThreadSwitch, E.Tid, E.Time, E.Tid, 0});
     Merged.push_back(E);

@@ -42,16 +42,16 @@ struct TraceMergeOptions {
   bool InsertThreadSwitches = true;
 };
 
-/// Merges \p ThreadTraces (each sorted by Event::Time, each from a single
+/// Merges \p ThreadTraces (each sorted by EventRecord::Time, each from a single
 /// thread) into one totally ordered trace. Asserts in debug builds if a
 /// per-thread trace is not time-sorted or mixes thread ids.
-std::vector<Event>
-mergeTraces(const std::vector<std::vector<Event>> &ThreadTraces,
+std::vector<EventRecord>
+mergeTraces(const std::vector<std::vector<EventRecord>> &ThreadTraces,
             const TraceMergeOptions &Options = TraceMergeOptions());
 
 /// Verifies the per-thread invariants mergeTraces relies on; returns true
 /// when every input trace is non-decreasing in time and single-threaded.
-bool verifyThreadTraces(const std::vector<std::vector<Event>> &ThreadTraces);
+bool verifyThreadTraces(const std::vector<std::vector<EventRecord>> &ThreadTraces);
 
 } // namespace isp
 

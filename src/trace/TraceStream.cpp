@@ -13,6 +13,7 @@ using namespace isp;
 
 static const char StreamMagicV1[8] = {'I', 'S', 'P', 'S', 'T', 'M', '0', '1'};
 static const char StreamMagicV2[8] = {'I', 'S', 'P', 'S', 'T', 'M', '0', '2'};
+static const char StreamMagicV3[8] = {'I', 'S', 'P', 'S', 'T', 'M', '0', '3'};
 static const char TrailerMagic[8] = {'I', 'S', 'P', 'S', 'T', 'M', 'I', 'X'};
 
 /// Bytes 0..6 shared by every version's magic ("ISPSTM0").
@@ -26,7 +27,14 @@ static unsigned streamVersionOf(const char *Head) {
     return 1;
   if (Head[MagicBytes - 1] == '2')
     return 2;
+  if (Head[MagicBytes - 1] == '3')
+    return 3;
   return 0;
+}
+
+static const char *streamMagicFor(unsigned Version) {
+  return Version == 1 ? StreamMagicV1
+                      : (Version == 2 ? StreamMagicV2 : StreamMagicV3);
 }
 
 /// Trailer: u64 footer offset + magic, always the last 16 file bytes.
@@ -129,12 +137,13 @@ bool TraceStreamWriter::open(
   Failed = false;
   ChunkRoutineMask = 0;
   ChunkShardMask = {};
+  ChunkWrittenMask = {};
   if (!File) {
     Error = "cannot open '" + Path + "' for writing";
     Failed = true;
     return false;
   }
-  if (Options.FormatVersion != 1 && Options.FormatVersion != 2) {
+  if (Options.FormatVersion < 1 || Options.FormatVersion > 3) {
     Error = "unsupported trace stream format version";
     Failed = true;
     std::fclose(File);
@@ -142,8 +151,7 @@ bool TraceStreamWriter::open(
     return false;
   }
   std::string Header;
-  Header.append(Options.FormatVersion == 1 ? StreamMagicV1 : StreamMagicV2,
-                MagicBytes);
+  Header.append(streamMagicFor(Options.FormatVersion), MagicBytes);
   writeVarint(Header, Routines.size());
   for (const auto &[Id, Name] : Routines) {
     writeVarint(Header, Id);
@@ -165,35 +173,50 @@ void TraceStreamWriter::writeRaw(const void *Data, size_t Size) {
   BytesWritten += Size;
 }
 
-void TraceStreamWriter::noteActivity(const Event &E) {
+/// Sets the shard-slot bits the cell range [Addr, Addr+Cells) touches.
+static void noteShardRange(ShardActivityMask &Mask, Addr A, uint64_t Cells) {
+  if (Cells == 0)
+    return;
+  uint64_t FirstKey = A >> ActivityChunkShift;
+  uint64_t LastKey = (A + Cells - 1) >> ActivityChunkShift;
+  if (LastKey - FirstKey >= ActivityShardSlots - 1) {
+    Mask.fill(~uint64_t(0));
+    return;
+  }
+  for (uint64_t Key = FirstKey; Key <= LastKey; ++Key) {
+    unsigned Slot = static_cast<unsigned>(Key & (ActivityShardSlots - 1));
+    Mask[Slot >> 6] |= uint64_t(1) << (Slot & 63);
+  }
+}
+
+void TraceStreamWriter::noteActivity(const EventRecord &E) {
   switch (E.Kind) {
   case EventKind::Call:
     ChunkRoutineMask |= uint64_t(1) << (E.Arg0 & 63);
     return;
   case EventKind::Read:
-  case EventKind::Write:
   case EventKind::KernelRead:
-  case EventKind::KernelWrite: {
-    if (E.Arg1 == 0)
-      return;
-    uint64_t FirstKey = E.Arg0 >> ActivityChunkShift;
-    uint64_t LastKey = (E.Arg0 + E.Arg1 - 1) >> ActivityChunkShift;
-    if (LastKey - FirstKey >= ActivityShardSlots - 1) {
-      ChunkShardMask.fill(~uint64_t(0));
-      return;
-    }
-    for (uint64_t Key = FirstKey; Key <= LastKey; ++Key) {
-      unsigned Slot = static_cast<unsigned>(Key & (ActivityShardSlots - 1));
-      ChunkShardMask[Slot >> 6] |= uint64_t(1) << (Slot & 63);
-    }
+    noteShardRange(ChunkShardMask, E.Arg0, E.Arg1);
     return;
-  }
+  case EventKind::Write:
+  case EventKind::KernelWrite:
+    noteShardRange(ChunkShardMask, E.Arg0, E.Arg1);
+    noteShardRange(ChunkWrittenMask, E.Arg0, E.Arg1);
+    return;
+  case EventKind::Alloc:
+    // Allocation defines memory (shadow state changes) without a Read
+    // or Write event; a filtered-ingest consumer must treat it as a
+    // mutation, so it contributes to the written mask. It stays out of
+    // the access-shard mask, whose consumers route only memory-access
+    // events.
+    noteShardRange(ChunkWrittenMask, E.Arg0, E.Arg1);
+    return;
   default:
     return;
   }
 }
 
-void TraceStreamWriter::append(const Event &E) {
+void TraceStreamWriter::append(const EventRecord &E) {
   if (Failed || !File)
     return;
   if (ChunkEvents == 0)
@@ -216,9 +239,12 @@ void TraceStreamWriter::append(const Event &E) {
     sealChunk();
 }
 
-void TraceStreamWriter::recordBatch(const Event *Events, size_t Count) {
-  for (size_t I = 0; I != Count; ++I)
-    append(Events[I]);
+void TraceStreamWriter::recordBatch(const Event *Words, size_t Count) {
+  // Every flushed batch decodes standalone; re-encode into the on-disk
+  // delta codec one record at a time.
+  EventStreamView V(Words, Count);
+  for (EventRecord E; V.next(E);)
+    append(E);
 }
 
 void TraceStreamWriter::sealChunk() {
@@ -230,6 +256,7 @@ void TraceStreamWriter::sealChunk() {
   Meta.FirstTime = ChunkFirstTime;
   Meta.RoutineMask = ChunkRoutineMask;
   Meta.ShardMask = ChunkShardMask;
+  Meta.WrittenMask = ChunkWrittenMask;
   // Payload = varint event count + the buffered encoded events; the
   // chunk is the u32 payload length followed by the payload.
   std::string CountPrefix;
@@ -246,6 +273,7 @@ void TraceStreamWriter::sealChunk() {
   ChunkFirstTime = 0;
   ChunkRoutineMask = 0;
   ChunkShardMask = {};
+  ChunkWrittenMask = {};
   // Reset the delta state: each chunk decodes independently, which is
   // what makes chunk-level seek possible.
   LastTime = 0;
@@ -268,6 +296,9 @@ bool TraceStreamWriter::close() {
       for (uint64_t Word : Meta.ShardMask)
         writeVarint(Footer, Word);
     }
+    if (Options.FormatVersion >= 3)
+      for (uint64_t Word : Meta.WrittenMask)
+        writeVarint(Footer, Word);
   }
   appendU64(Footer, FooterOffset);
   Footer.append(TrailerMagic, sizeof(TrailerMagic));
@@ -359,8 +390,9 @@ bool TraceStreamReader::open(const std::string &Path) {
   if (!readVarint(Footer, Pos, ChunkCount))
     return fail("corrupt footer: bad chunk count");
   // Each index entry is at least three one-byte varints (v2 adds the
-  // routine mask and four shard-mask words, one byte minimum each).
-  size_t MinEntryBytes = Version >= 2 ? 8 : 3;
+  // routine mask and four shard-mask words, v3 four more written-mask
+  // words, one byte minimum each).
+  size_t MinEntryBytes = Version >= 3 ? 12 : (Version >= 2 ? 8 : 3);
   if (ChunkCount > (Footer.size() - Pos) / MinEntryBytes)
     return fail("corrupt footer: chunk count exceeds index bytes");
   Chunks.reserve(ChunkCount);
@@ -382,6 +414,18 @@ bool TraceStreamReader::open(const std::string &Path) {
       // active" so mask-driven skipping is a no-op, never wrong.
       Meta.RoutineMask = ~uint64_t(0);
       Meta.ShardMask.fill(~uint64_t(0));
+    }
+    if (Version >= 3) {
+      bool MasksOk = true;
+      for (uint64_t &Word : Meta.WrittenMask)
+        MasksOk = MasksOk && readVarint(Footer, Pos, Word);
+      if (!MasksOk)
+        return fail("corrupt footer: truncated written masks");
+    } else {
+      // Pre-v3 indexes don't say what a chunk writes; report
+      // "everything may be written" so write-aware skipping stays
+      // sound (it just never skips on old streams).
+      Meta.WrittenMask.fill(~uint64_t(0));
     }
     // Offsets must be in order, past the header (and every earlier
     // chunk), and leave room for the chunk's own length prefix.
@@ -471,16 +515,20 @@ bool TraceStreamReader::readChunk(size_t I, std::vector<Event> &Out) {
   if (EventCount != Meta.Events)
     return fail("corrupt chunk: event count disagrees with footer index");
   Out.reserve(EventCount);
-  // Per-chunk delta state: every chunk decodes from a clean slate.
+  // Per-chunk delta state: every chunk decodes from a clean slate —
+  // both the on-disk delta codec and the packed word encoder, so each
+  // chunk's word run also decodes standalone.
   uint64_t LastTime = 0;
   uint64_t LastArg0[32] = {};
+  EventEncoder Enc;
+  Event Words[Event::MaxWordsPerRecord];
   for (uint64_t N = 0; N != EventCount; ++N) {
     if (Pos >= Payload.size())
       return fail("corrupt chunk: truncated event");
     uint8_t KindByte = static_cast<uint8_t>(Payload[Pos++]);
     if (KindByte > static_cast<uint8_t>(EventKind::ThreadSwitch))
       return fail("corrupt chunk: invalid event kind");
-    Event E;
+    EventRecord E;
     E.Kind = static_cast<EventKind>(KindByte);
     uint64_t Tid = 0, TimeDelta = 0, Arg0Delta = 0, Arg1 = 0;
     if (!readVarint(Payload, Pos, Tid) ||
@@ -497,10 +545,21 @@ bool TraceStreamReader::readChunk(size_t I, std::vector<Event> &Out) {
         static_cast<int64_t>(LastArg0[KindByte]) + unzigzag(Arg0Delta));
     E.Arg0 = LastArg0[KindByte];
     E.Arg1 = Arg1;
-    Out.push_back(E);
+    Out.insert(Out.end(), Words, Words + Enc.encode(E, Words));
   }
   if (Pos != Payload.size())
     return fail("corrupt chunk: trailing payload bytes");
+  return true;
+}
+
+bool TraceStreamReader::readChunk(size_t I, std::vector<EventRecord> &Out) {
+  Out.clear();
+  if (!readChunk(I, PackedScratch))
+    return false;
+  Out.reserve(packedEventCount(PackedScratch));
+  EventStreamView V(PackedScratch);
+  for (EventRecord E; V.next(E);)
+    Out.push_back(E);
   return true;
 }
 
@@ -508,6 +567,14 @@ bool TraceStreamReader::nextChunk(std::vector<Event> &Out) {
   if (Cursor >= Chunks.size()) {
     Out.clear();
     return false; // end of stream; error() stays empty
+  }
+  return readChunk(Cursor++, Out);
+}
+
+bool TraceStreamReader::nextChunk(std::vector<EventRecord> &Out) {
+  if (Cursor >= Chunks.size()) {
+    Out.clear();
+    return false;
   }
   return readChunk(Cursor++, Out);
 }
@@ -534,9 +601,11 @@ bool isp::replayTraceStream(TraceStreamReader &Reader, Tool &T,
   Dispatcher.start(Symbols);
   std::vector<Event> Chunk;
   Reader.seek(0);
-  while (Reader.nextChunk(Chunk))
-    for (const Event &E : Chunk)
+  while (Reader.nextChunk(Chunk)) {
+    EventStreamView V(Chunk);
+    for (EventRecord E; V.next(E);)
       Dispatcher.enqueue(E);
+  }
   // finish() runs either way so the tool's onFinish leaves partial
   // results well-formed even when a mid-stream chunk is corrupt.
   Dispatcher.finish();

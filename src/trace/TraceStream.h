@@ -10,7 +10,8 @@
 /// so recording a long run never materializes the whole event vector and
 /// replaying one never loads more than a single chunk.
 ///
-/// Stream layout (magic "ISPSTM02"; readers also accept v1 "ISPSTM01"):
+/// Stream layout (magic "ISPSTM03"; readers also accept v2 "ISPSTM02"
+/// and v1 "ISPSTM01"):
 ///
 ///   header  : magic | varint routine count
 ///             | routines (varint id, varint name length, name bytes)
@@ -23,7 +24,8 @@
 ///             | per chunk (varint file offset, varint event count,
 ///               varint first event time,
 ///               [v2+] varint routine-activity mask,
-///               [v2+] 4 x varint shard-activity mask words)
+///               [v2+] 4 x varint shard-activity mask words,
+///               [v3+] 4 x varint written-shard mask words)
 ///   trailer : u64 footer offset | magic "ISPSTMIX"
 ///
 /// The footer index is written last (the writer knows chunk offsets only
@@ -42,6 +44,22 @@
 /// advisory: they can only suppress per-chunk bookkeeping for provably
 /// untouched shards, never change what is replayed, so a corrupt mask
 /// cannot corrupt results. v1 streams read back with all-ones masks.
+///
+/// The v3 written-shard mask records the shard slots touched by
+/// *mutating* events (Write, KernelWrite, Alloc). The
+/// collector's routine-filtered ingest consults it before skipping a
+/// chunk: a chunk containing no filtered routine may still *write*
+/// memory that a later, matching chunk reads, and dropping that write
+/// would undercount trms — the written mask makes "this chunk cannot
+/// induce any retained read" checkable per chunk (collect/Collector.cpp
+/// has the suffix-union argument). v1/v2 streams read back with
+/// all-ones written masks, so consumers that filter unconditionally
+/// simply never skip on old streams (hasWrittenMasks() distinguishes).
+///
+/// In-memory, decoded chunks are delivered as packed 16-byte stream
+/// words (trace/Event.h) — the on-disk payload codec is unchanged, but
+/// readers re-encode into the packed form so replay buffers hold ~2.5x
+/// more events per cache line than the wide record form.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -83,10 +101,11 @@ struct TraceStreamOptions {
   /// chunks comfortably cache-resident while amortizing per-chunk
   /// overhead (header, footer entry, one fwrite) over ~10k events.
   size_t ChunkBytes = size_t(1) << 16;
-  /// Stream format version to emit: 2 (default) writes the per-chunk
-  /// activity masks, 1 writes the legacy mask-less index (compatibility
-  /// tests). Anything else fails open().
-  unsigned FormatVersion = 2;
+  /// Stream format version to emit: 3 (default) writes activity masks
+  /// plus the per-chunk written-shard masks, 2 omits the written masks,
+  /// 1 writes the legacy mask-less index (compatibility tests).
+  /// Anything else fails open().
+  unsigned FormatVersion = 3;
 };
 
 /// Incremental trace writer: events stream to disk chunk by chunk as
@@ -109,9 +128,10 @@ public:
   /// Appends one event to the current chunk, sealing it to disk when
   /// the target payload size is reached. I/O errors are sticky: the
   /// writer goes inert and close() reports the failure.
-  void append(const Event &E);
-  /// Appends a flushed dispatcher batch (the RecordSink hook).
-  void recordBatch(const Event *Events, size_t Count) override;
+  void append(const EventRecord &E);
+  /// Appends a flushed dispatcher batch of packed stream words (the
+  /// RecordSink hook); each batch decodes standalone.
+  void recordBatch(const Event *Words, size_t Count) override;
 
   /// Seals the final chunk, writes the footer index and trailer, and
   /// closes the file. Returns false if any write (including earlier
@@ -138,11 +158,12 @@ private:
     uint64_t FirstTime = 0;
     uint64_t RoutineMask = 0;
     ShardActivityMask ShardMask = {};
+    ShardActivityMask WrittenMask = {};
   };
 
   void sealChunk();
   void writeRaw(const void *Data, size_t Size);
-  void noteActivity(const Event &E);
+  void noteActivity(const EventRecord &E);
 
   std::FILE *File = nullptr;
   TraceStreamOptions Options;
@@ -151,9 +172,11 @@ private:
   std::vector<ChunkMeta> Chunks;
   uint64_t ChunkEvents = 0;
   uint64_t ChunkFirstTime = 0;
-  /// Activity accumulated for the open chunk (v2 output only).
+  /// Activity accumulated for the open chunk (v2+ output only; the
+  /// written mask is emitted only at v3+).
   uint64_t ChunkRoutineMask = 0;
   ShardActivityMask ChunkShardMask = {};
+  ShardActivityMask ChunkWrittenMask = {};
   /// Per-chunk delta state (reset when a chunk is sealed).
   uint64_t LastTime = 0;
   uint64_t LastArg0[32] = {};
@@ -194,12 +217,15 @@ public:
   uint64_t chunkEvents(size_t I) const { return Chunks[I].Events; }
   uint64_t chunkFirstTime(size_t I) const { return Chunks[I].FirstTime; }
 
-  /// Format version of the open stream (1 or 2).
+  /// Format version of the open stream (1, 2, or 3).
   unsigned formatVersion() const { return Version; }
-  /// True when the index carries real per-chunk activity masks (v2).
+  /// True when the index carries real per-chunk activity masks (v2+).
   /// For v1 streams the mask accessors return all-ones, so consumers
   /// can filter unconditionally and v1 simply never skips anything.
   bool hasActivityMasks() const { return Version >= 2; }
+  /// True when the index carries real per-chunk written-shard masks
+  /// (v3+). v1/v2 report all-ones written masks (fail-open).
+  bool hasWrittenMasks() const { return Version >= 3; }
   /// Routine-activity mask of chunk \p I: bit `RoutineId & 63` is set
   /// for every Call the chunk contains.
   uint64_t chunkRoutineMask(size_t I) const { return Chunks[I].RoutineMask; }
@@ -207,21 +233,30 @@ public:
   const ShardActivityMask &chunkShardMask(size_t I) const {
     return Chunks[I].ShardMask;
   }
+  /// Written-shard mask of chunk \p I: shard slots touched by the
+  /// chunk's mutating events (Write, KernelWrite, Alloc).
+  const ShardActivityMask &chunkWrittenMask(size_t I) const {
+    return Chunks[I].WrittenMask;
+  }
 
   /// Index of the last chunk whose first event time is <= \p Time (0 if
   /// Time predates every chunk) — chunk-level seek for resuming replay
   /// mid-stream.
   size_t chunkIndexForTime(uint64_t Time) const;
 
-  /// Decodes chunk \p I into \p Out (cleared first; capacity is
-  /// reused across calls). Returns false with a diagnostic on any
-  /// malformed chunk.
+  /// Decodes chunk \p I into packed stream words (cleared first;
+  /// capacity is reused across calls). Each chunk's word run decodes
+  /// standalone. Returns false with a diagnostic on any malformed
+  /// chunk.
   bool readChunk(size_t I, std::vector<Event> &Out);
+  /// Wide-record convenience overload (tests, offline analysis).
+  bool readChunk(size_t I, std::vector<EventRecord> &Out);
 
   /// Sequential cursor: decodes the next unread chunk into \p Out.
   /// Returns false at end of stream (error() empty) or on a malformed
   /// chunk (error() set). seek() repositions the cursor.
   bool nextChunk(std::vector<Event> &Out);
+  bool nextChunk(std::vector<EventRecord> &Out);
   void seek(size_t ChunkIndex) { Cursor = ChunkIndex; }
   size_t cursor() const { return Cursor; }
 
@@ -232,6 +267,7 @@ private:
     uint64_t FirstTime = 0;
     uint64_t RoutineMask = 0;
     ShardActivityMask ShardMask = {};
+    ShardActivityMask WrittenMask = {};
   };
 
   bool fail(const std::string &Message);
@@ -246,6 +282,8 @@ private:
   size_t Cursor = 0;
   /// Reused raw-payload buffer (readChunk decodes out of it).
   std::string Payload;
+  /// Reused packed scratch backing the wide readChunk overload.
+  std::vector<Event> PackedScratch;
 };
 
 /// True when \p Path starts with the chunked-stream magic; lets the

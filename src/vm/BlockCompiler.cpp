@@ -1,0 +1,296 @@
+//===- vm/BlockCompiler.cpp - Straight-line block event templates ---------===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+//
+// Template construction simulates the per-instruction interpreter path
+// over one straight-line run: the same event order, the same quiet-mark
+// suppression, and the same adjacent-access merge rule the dispatcher's
+// enqueue() applies, producing the packed words a run of the block
+// would have buffered. See BlockCompiler.h for the soundness argument.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/BlockCompiler.h"
+
+#include "analysis/CFG.h"
+
+using namespace isp;
+
+namespace {
+
+/// True when \p I can be executed (and its events templated) by the
+/// block fast path. Terminators, frame-changing and window-breaking
+/// instructions are excluded; statically-addressed accesses must be
+/// infallible once the per-block runtime gates pass. Dynamic
+/// instructions (see dynamicOp) are eligible too — their events are
+/// enqueued at runtime and their error exits stop before the failing
+/// instruction.
+bool eligibleOp(const Instr &I, uint64_t GlobalCells) {
+  switch (I.Opcode) {
+  case Op::Nop:
+  case Op::PushConst:
+  case Op::Pop:
+  case Op::Add:
+  case Op::Sub:
+  case Op::Mul:
+  case Op::Lt:
+  case Op::Le:
+  case Op::Gt:
+  case Op::Ge:
+  case Op::Eq:
+  case Op::Ne:
+  case Op::Neg:
+  case Op::Not:
+  case Op::ToBool:
+  case Op::Div:
+  case Op::Mod:
+  case Op::LoadIndirect:
+  case Op::StoreIndirect:
+    return true;
+  case Op::LoadLocal:
+  case Op::StoreLocal:
+    // Slots are frame-relative; the runtime gate bounds FrameBase +
+    // MaxSlot against the thread's stack region in one compare.
+    return I.A >= 0 && I.A < (int64_t(1) << 30);
+  case Op::LoadGlobal:
+  case Op::StoreGlobal:
+    // Statically inside the globals region: the region decode cannot
+    // fail, so the access is infallible.
+    return I.A >= static_cast<int64_t>(GlobalBase) &&
+           static_cast<uint64_t>(I.A) < GlobalBase + GlobalCells;
+  default:
+    return false;
+  }
+}
+
+/// One logical event of the simulated run, pre-merge bookkeeping done.
+struct SimRecord {
+  EventKind Kind;
+  bool FrameRel;
+  uint64_t Base;
+  uint64_t Cells;
+  uint32_t TimeOff;
+};
+
+/// Compiles the run headed by the Op::BasicBlock at \p Begin, covering
+/// instructions until the first ineligible opcode. The cover extends
+/// through further Op::BasicBlock markers reached by fall-through
+/// (their events fold statically — see the file comment in
+/// BlockCompiler.h); a non-marker jump target still ends the run, as
+/// does any terminator (terminators are ineligible). Returns false
+/// when the cover is too short to be worth a plan.
+bool compileBlockAt(const Function &Fn, size_t Begin,
+                    const std::vector<bool> &Leader, uint64_t GlobalCells,
+                    BlockPlan &Plan) {
+  const std::vector<Instr> &Code = Fn.Code;
+  size_t End = Begin + 1;
+  while (End < Code.size() &&
+         (Code[End].Opcode == Op::BasicBlock ||
+          (!Leader[End] && eligibleOp(Code[End], GlobalCells))))
+    ++End;
+  // A trailing marker whose block contributes no covered instruction
+  // still folds correctly, but covering it would leave the plan keyed
+  // at that marker unreachable work — trim trailing markers instead.
+  while (End > Begin + 1 && Code[End - 1].Opcode == Op::BasicBlock)
+    --End;
+  if (End - Begin < 2)
+    return false; // only the marker itself — nothing to gain
+
+  Plan.BeginPc = static_cast<uint32_t>(Begin);
+  Plan.EndPc = static_cast<uint32_t>(End);
+
+  // Simulate the slow path: event order, quiet suppression, operand
+  // depth, and the dispatcher's last-event adjacency merge — split
+  // into segments at each unmarked dynamic access, whose event the
+  // executor enqueues at runtime between the segment splices.
+  std::vector<SimRecord> Records;
+  struct SimSeg {
+    size_t RecBegin = 0, RecEnd = 0;
+    uint32_t Merges = 0, Folds = 0, Ticks = 0;
+  };
+  std::vector<SimSeg> Segs(1);
+  uint32_t TimeCursor = 0;
+  auto tick = [&] {
+    ++TimeCursor;
+    ++Segs.back().Ticks;
+  };
+  tick(); // the BasicBlock event is enqueued at T0 + 1
+  Records.push_back({EventKind::BasicBlock, false, /*Count=*/1, 0,
+                     TimeCursor});
+
+  int Depth = 0, MaxDeficit = 0, MaxDepth = 0;
+  auto note = [&](const Instr &I) {
+    analysis::StackEffect Effect = analysis::stackEffect(I);
+    Depth -= Effect.Pops;
+    if (-Depth > MaxDeficit)
+      MaxDeficit = -Depth;
+    Depth += Effect.Pushes;
+    if (Depth > MaxDepth)
+      MaxDepth = Depth;
+  };
+  auto access = [&](EventKind Kind, bool FrameRel, uint64_t Base,
+                    bool Quiet) {
+    if (Kind == EventKind::Read)
+      ++Plan.Reads;
+    else
+      ++Plan.Writes;
+    if (Quiet) {
+      ++Plan.QuietSkips;
+      return; // no event, no time tick (now() is never called)
+    }
+    tick();
+    // Merging never crosses a segment boundary statically: a dynamic
+    // event sits in the buffer between the segments (the runtime seam
+    // decides those merges instead).
+    if (Records.size() > Segs.back().RecBegin) {
+      SimRecord &Last = Records.back();
+      if (Last.Kind == Kind && Last.FrameRel == FrameRel &&
+          Last.Base + Last.Cells == Base) {
+        ++Last.Cells;
+        ++Plan.InternalMerges;
+        ++Segs.back().Merges;
+        return;
+      }
+    }
+    Records.push_back({Kind, FrameRel, Base, 1, TimeCursor});
+  };
+
+  for (size_t Pc = Begin + 1; Pc != End; ++Pc) {
+    const Instr &I = Code[Pc];
+    if (I.Opcode == Op::BasicBlock) {
+      // Interior marker reached by fall-through: the dispatcher would
+      // fold its event into the run's own still-open block event — no
+      // barrier can sit between them inside a cover (dynamic accesses
+      // are not barriers) — leaving the last-buffered event untouched.
+      // Fold statically: the leading record's count grows, the marker
+      // still consumes an event-time tick.
+      tick();
+      Records.front().Base += 1;
+      ++Plan.InternalBbFolds;
+      ++Segs.back().Folds;
+      ++Plan.NumBlocks;
+      continue;
+    }
+    note(I);
+    switch (I.Opcode) {
+    case Op::LoadLocal:
+      access(EventKind::Read, /*FrameRel=*/true,
+             static_cast<uint64_t>(I.A), I.B != 0);
+      break;
+    case Op::StoreLocal:
+      access(EventKind::Write, /*FrameRel=*/true,
+             static_cast<uint64_t>(I.A), I.B != 0);
+      break;
+    case Op::LoadGlobal:
+      access(EventKind::Read, /*FrameRel=*/false,
+             static_cast<uint64_t>(I.A), I.B != 0);
+      break;
+    case Op::StoreGlobal:
+      access(EventKind::Write, /*FrameRel=*/false,
+             static_cast<uint64_t>(I.A), I.B != 0);
+      break;
+    case Op::LoadIndirect:
+    case Op::StoreIndirect:
+      // Dynamic address: the access itself runs through the shared
+      // memRead/memWrite at execution time (which also accounts it in
+      // Stats, so Plan.Reads/Writes excludes it). Quiet-marked ones
+      // are deterministically suppressed under the WindowInterrupted
+      // gate — no event, no tick, no segment split. Unmarked ones emit
+      // one runtime event: it ticks here, and the template splits.
+      if (I.B != 0) {
+        ++Plan.DynQuietSkips;
+      } else {
+        ++TimeCursor;
+        ++Plan.NumDynEvents;
+        Segs.back().RecEnd = Records.size();
+        SimSeg Next;
+        Next.RecBegin = Records.size();
+        Segs.push_back(Next);
+      }
+      break;
+    default:
+      break; // Div/Mod and the pure stack ops: no events
+    }
+    if (I.Opcode == Op::LoadLocal || I.Opcode == Op::StoreLocal)
+      if (I.A > Plan.MaxSlot)
+        Plan.MaxSlot = I.A;
+  }
+  Segs.back().RecEnd = Records.size();
+  Plan.NeedDepth = static_cast<uint32_t>(MaxDeficit);
+  Plan.MaxGrowth = static_cast<uint32_t>(MaxDepth);
+  Plan.NetEffect = Depth;
+  Plan.EnqueueCount = TimeCursor;
+  Plan.NumRecords = static_cast<uint32_t>(Records.size());
+
+  // Serialize to packed words, exactly as EventEncoder::encode would
+  // with an in-epoch time (no escapes; follow-on words only for
+  // multi-cell runs — single-cell is the per-kind secondary default).
+  for (const SimSeg &S : Segs) {
+    BlockPlan::Segment Out;
+    Out.WordBegin = static_cast<uint32_t>(Plan.Words.size());
+    Out.NumRecords = static_cast<uint32_t>(S.RecEnd - S.RecBegin);
+    Out.InternalMerges = S.Merges;
+    Out.InternalBbFolds = S.Folds;
+    Out.Ticks = S.Ticks;
+    Out.LastMainOff =
+        S.RecEnd > S.RecBegin ? Records[S.RecEnd - 1].TimeOff : 0;
+    for (size_t RI = S.RecBegin; RI != S.RecEnd; ++RI) {
+      const SimRecord &R = Records[RI];
+      TemplateWord Main;
+      Main.TimeOff = R.TimeOff;
+      Main.MainMask = ~uint32_t(0);
+      Main.FrameMask = R.FrameRel ? ~uint64_t(0) : 0;
+      bool Follow = R.Kind != EventKind::BasicBlock && R.Cells != 1;
+      Main.Word.Meta =
+          static_cast<uint32_t>(R.Kind) | (Follow ? Event::FollowBit : 0);
+      Main.Word.TimeLow = 0;
+      Main.Word.Arg = R.Base;
+      Plan.Words.push_back(Main);
+      if (Follow) {
+        TemplateWord FW;
+        FW.Word.Meta = Event::SpecialBit | Event::FollowBit;
+        FW.Word.TimeLow = 0;
+        FW.Word.Arg = R.Cells;
+        Plan.Words.push_back(FW);
+      }
+    }
+    Out.WordEnd = static_cast<uint32_t>(Plan.Words.size());
+    Plan.Segments.push_back(Out);
+  }
+  return true;
+}
+
+} // namespace
+
+FunctionBlockPlans isp::compileFunctionBlocks(const Function &Fn,
+                                              uint64_t GlobalCells) {
+  FunctionBlockPlans Out;
+  const std::vector<Instr> &Code = Fn.Code;
+  Out.PlanIndexByPc.assign(Code.size(), -1);
+
+  // Jump targets and post-terminator pcs end any covered run: control
+  // can enter there from elsewhere, so the run past that point is not
+  // straight-line. (Same leader rule as analysis::CFG, computed locally
+  // to keep this a single pass.)
+  std::vector<bool> Leader(Code.size() + 1, false);
+  for (size_t Pc = 0; Pc != Code.size(); ++Pc) {
+    const Instr &I = Code[Pc];
+    if (analysis::isJumpOp(I.Opcode))
+      Leader[static_cast<size_t>(I.A)] = true;
+    if (analysis::isTerminatorOp(I.Opcode))
+      Leader[Pc + 1] = true;
+  }
+
+  for (size_t Pc = 0; Pc != Code.size(); ++Pc) {
+    if (Code[Pc].Opcode != Op::BasicBlock)
+      continue;
+    BlockPlan Plan;
+    if (!compileBlockAt(Fn, Pc, Leader, GlobalCells, Plan))
+      continue;
+    Out.PlanIndexByPc[Pc] = static_cast<int32_t>(Out.Plans.size());
+    Out.Plans.push_back(std::move(Plan));
+  }
+  return Out;
+}

@@ -1,0 +1,188 @@
+//===- vm/BlockCompiler.h - Straight-line block event templates -*- C++ -*-===//
+//
+// Part of the isprof project, under the Apache License v2.0.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The block compiler turns eligible straight-line bytecode runs into
+/// event *templates*: the exact packed words the per-instruction
+/// interpreter path would buffer for one execution of the run, already
+/// compacted (adjacent-access merges applied, basic-block markers
+/// folded, quiet-marked accesses dropped) and encoded, with only the
+/// thread id, the absolute time base, and frame-relative addresses
+/// left to patch at execution time. Executing a compiled block then
+/// costs one bulk template splice (EventDispatcher::spliceTemplateRun,
+/// three branch-free ALU ops per word straight into the batch buffer)
+/// instead of one enqueue — with its merge probing and encoder
+/// bookkeeping — per access, plus a tight execute loop whose memory
+/// operands were bounds-checked once per block instead of once per
+/// access.
+///
+/// A template covers the instructions from an Op::BasicBlock marker up
+/// to (excluding) the first terminator or ineligible opcode. Covered
+/// runs extend *through* further Op::BasicBlock markers reached by
+/// fall-through (superblock formation): executed as part of the run,
+/// such a marker's event always folds into the run's own still-open
+/// block event — no call, return, or barrier can intervene inside a
+/// straight-line cover — so the compiler folds it statically (the
+/// leading template word's count grows, the marker still ticks event
+/// time) and accesses on either side of it stay merge candidates,
+/// exactly as the dispatcher would have left them. Control entering
+/// one of those interior markers from elsewhere (they are jump
+/// targets) simply runs the per-instruction path, or that marker's own
+/// shorter plan, from there.
+///
+/// Runs also extend through *dynamic* instructions — LoadIndirect,
+/// StoreIndirect, Div, and Mod — whose events or error exits cannot be
+/// templated (hybrid runs). A dynamic access's event is enqueue()d
+/// normally at execution time; the template is split into *segments*
+/// at each unmarked dynamic access, and the dispatcher re-applies its
+/// merge rule at every segment seam, so a dynamic event merges with
+/// its static neighbors exactly as on the slow path. Quiet-marked
+/// dynamic accesses emit nothing (like static quiet skips, they are
+/// deterministically suppressed under the WindowInterrupted gate) and
+/// so do not split segments. Dynamic error exits (invalid address,
+/// zero divisor) use stop-before-failure: segments are spliced only up
+/// to the failing instruction, the executed prefix is accounted
+/// retroactively, and the machine fails exactly as the slow path would
+/// at that instruction — events, stats, and time all match.
+///
+/// Eligibility for everything else is deliberately conservative so the
+/// fast path has no other failure exits:
+///
+///  - no AllocaArray (stack overflow error path, moving Sp);
+///  - no calls, builtins, spawns, jumps, or returns (window-breaking
+///    and/or frame-changing);
+///  - LoadGlobal/StoreGlobal only for addresses statically inside the
+///    globals region, LoadLocal/StoreLocal only for plausible slots —
+///    both make the access infallible once the per-block runtime gates
+///    pass.
+///
+/// Quiet marks (vm/Optimizer.h; driven by the CFG, points-to, and
+/// value-range analyses) are honored *statically*: a marked access
+/// contributes no template word and no event-time tick, exactly like
+/// the slow path's noteQuietAccess suppression; the suppression tallies
+/// are folded into the plan's stat deltas. Because a scheduler
+/// interruption forces marked events through on the slow path, plans
+/// containing quiet skips gate on !WindowInterrupted at runtime.
+///
+/// Soundness argument for byte-identical streams: within a covered run
+/// the *static* event sequence is a function of (thread id, frame
+/// base, entry event time) only — kinds and address offsets are
+/// static, times are entry + i for the i-th emitted event (dynamic
+/// events occupy statically-known tick positions), and the
+/// dispatcher's two compaction rules depend on nothing but
+/// kind/tid/address adjacency, which is invariant under the frame-base
+/// shift (stack and global regions can never be address-adjacent).
+/// Dynamic events go through the real enqueue(), and the splice seam
+/// re-applies the same two rules against the live buffer head at every
+/// segment boundary, so address-dependent merges involving dynamic
+/// events are decided at runtime exactly as on the slow path.
+/// runTimesCompatible() falls back to the slow path in the one case
+/// templates cannot express (an epoch escape word), and the runFits()
+/// bound covers the whole run including its dynamic words, so no
+/// mid-run flush can reset the encoder. Property tests assert the
+/// end-to-end byte identity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ISPROF_VM_BLOCKCOMPILER_H
+#define ISPROF_VM_BLOCKCOMPILER_H
+
+#include "trace/Event.h"
+#include "vm/Bytecode.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace isp {
+
+/// The compiled form of one straight-line run, plus everything the
+/// runtime gates need. Instruction counts include the leading
+/// Op::BasicBlock marker and any interior (statically folded) markers.
+struct BlockPlan {
+  uint32_t BeginPc = 0; ///< pc of the leading Op::BasicBlock
+  uint32_t EndPc = 0;   ///< first pc not covered by the template
+  /// Operand-stack entries the covered run consumes below its entry
+  /// depth (the runtime gate against popping into the caller's frame).
+  uint32_t NeedDepth = 0;
+  /// Highest operand-stack growth above entry depth anywhere in the
+  /// run, and the net depth change at its end. The executor resizes
+  /// the operand vector once to entry + MaxGrowth, runs on raw
+  /// pointers (no per-push capacity or size bookkeeping), and shrinks
+  /// to entry + NetEffect afterwards.
+  uint32_t MaxGrowth = 0;
+  int32_t NetEffect = 0;
+  /// Highest local slot read or written, -1 when none: one bounds check
+  /// and one stack pre-resize replace the per-access checks.
+  int64_t MaxSlot = -1;
+  /// Static (templated) memory reads/writes, including quiet ones.
+  /// Dynamic (indirect) accesses are excluded — they self-account
+  /// through the shared memRead/memWrite path at execution time.
+  uint32_t Reads = 0;
+  uint32_t Writes = 0;
+  uint32_t QuietSkips = 0; ///< statically suppressed *static* accesses
+  /// Quiet-marked dynamic accesses: suppressed at runtime through
+  /// noteQuietAccess (which tallies them), but they still participate
+  /// in the WindowInterrupted gate — a forced-through dynamic event
+  /// would shift every later template time.
+  uint32_t DynQuietSkips = 0;
+  /// Unmarked dynamic accesses: each emits one runtime-enqueued event
+  /// (one time tick, at most one buffered word) and splits the template
+  /// into a new segment.
+  uint32_t NumDynEvents = 0;
+  uint32_t NumBlocks = 1;  ///< Op::BasicBlock markers covered
+  uint32_t NumRecords = 0; ///< logical events among Words
+  uint32_t InternalMerges = 0; ///< access merges applied in-template
+  /// Interior markers folded into the leading block event (NumBlocks -
+  /// 1; kept separate so the dispatcher's compaction identity
+  /// enqueued == delivered + merges + folds stays exact).
+  uint32_t InternalBbFolds = 0;
+  uint64_t EnqueueCount = 0; ///< uncompacted events, dynamic included
+  /// One straight-line stretch of the template between dynamic events:
+  /// NumDynEvents + 1 segments, in run order; the first holds the
+  /// leading BasicBlock word, later ones (possibly empty) are spliced
+  /// right after their preceding dynamic access's enqueue.
+  struct Segment {
+    uint32_t WordBegin = 0; ///< range into Words
+    uint32_t WordEnd = 0;
+    uint32_t NumRecords = 0;
+    uint32_t InternalMerges = 0;
+    uint32_t InternalBbFolds = 0;
+    /// Static time ticks in this segment (records + merges + folds);
+    /// the dynamic events between segments tick through now().
+    uint32_t Ticks = 0;
+    /// Run-relative TimeOff of the segment's last record's main word —
+    /// the encoder's PrevLow after the splice.
+    uint32_t LastMainOff = 0;
+  };
+  std::vector<Segment> Segments;
+  /// Pre-encoded packed words with patch masks (trace/Event.h).
+  std::vector<TemplateWord> Words;
+
+  uint32_t instrCount() const { return EndPc - BeginPc; }
+};
+
+/// Per-function plan table with O(1) leader lookup by pc.
+struct FunctionBlockPlans {
+  /// Code.size() entries; -1 where no plan starts.
+  std::vector<int32_t> PlanIndexByPc;
+  std::vector<BlockPlan> Plans;
+
+  const BlockPlan *planAt(size_t Pc) const {
+    int32_t Index = PlanIndexByPc[Pc];
+    return Index < 0 ? nullptr : &Plans[static_cast<size_t>(Index)];
+  }
+};
+
+/// Compiles every eligible straight-line run of \p Fn into a template.
+/// \p GlobalCells bounds the globals region for the static
+/// LoadGlobal/StoreGlobal eligibility check. Pure function of the
+/// bytecode; runs once per function at Machine construction.
+FunctionBlockPlans compileFunctionBlocks(const Function &Fn,
+                                         uint64_t GlobalCells);
+
+} // namespace isp
+
+#endif // ISPROF_VM_BLOCKCOMPILER_H

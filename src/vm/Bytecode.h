@@ -80,6 +80,35 @@ enum class Op : uint8_t {
   Return
 };
 
+/// X-macro over every opcode, in enum order. The threaded interpreter
+/// builds its computed-goto label table from this list (one label per
+/// opcode, indexed by the enum value), so the list and the enum must
+/// stay in lockstep; the static_asserts below turn a reordering of
+/// either into a compile error.
+#define ISP_FOR_EACH_OPCODE(X)                                                 \
+  X(Nop) X(BasicBlock) X(PushConst) X(Pop) X(LoadLocal) X(StoreLocal)          \
+  X(LoadGlobal) X(StoreGlobal) X(LoadIndirect) X(StoreIndirect)                \
+  X(AllocaArray) X(Add) X(Sub) X(Mul) X(Div) X(Mod) X(Lt) X(Le) X(Gt) X(Ge)    \
+  X(Eq) X(Ne) X(Neg) X(Not) X(ToBool) X(Jump) X(JumpIfFalse) X(JumpIfTrue)     \
+  X(Call) X(CallBuiltin) X(Spawn) X(Return)
+
+namespace detail {
+enum : unsigned {
+#define ISP_OP_ORDINAL(NAME) OpListOrdinal_##NAME,
+  ISP_FOR_EACH_OPCODE(ISP_OP_ORDINAL)
+#undef ISP_OP_ORDINAL
+  OpListSize
+};
+#define ISP_OP_ORDER_CHECK(NAME)                                               \
+  static_assert(static_cast<unsigned>(Op::NAME) == OpListOrdinal_##NAME,       \
+                "ISP_FOR_EACH_OPCODE out of sync with enum Op");
+ISP_FOR_EACH_OPCODE(ISP_OP_ORDER_CHECK)
+#undef ISP_OP_ORDER_CHECK
+} // namespace detail
+
+/// Number of Op enumerators.
+inline constexpr unsigned NumOpcodes = detail::OpListSize;
+
 /// Builtin routines provided by the VM runtime.
 enum class Builtin : uint8_t {
   Print,       ///< print(x): appends "x\n" to the run output; returns x.

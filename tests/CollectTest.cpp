@@ -107,7 +107,7 @@ std::string writeSyntheticStream(const std::string &Name, uint64_t Seed,
   TraceStreamOptions Opts;
   Opts.ChunkBytes = ChunkBytes;
   EXPECT_TRUE(Writer.open(Path, {}, Opts)) << Writer.error();
-  for (const Event &E : generateSyntheticTrace(Gen))
+  for (const EventRecord &E : generateSyntheticTrace(Gen))
     Writer.append(E);
   EXPECT_TRUE(Writer.close()) << Writer.error();
   return Path;
@@ -296,7 +296,7 @@ std::string writePhasedStream(const std::string &Name, unsigned WorkCalls,
 
   uint64_t T = 1;
   auto emit = [&](EventKind K, uint64_t Arg0, uint64_t Arg1 = 0) {
-    Event E;
+    EventRecord E;
     E.Kind = K;
     E.Tid = 0;
     E.Time = T++;
@@ -367,6 +367,131 @@ TEST(Collector, RoutineFilterSkipsProvablyExcludedChunks) {
   std::remove(Path.c_str());
 }
 
+/// A stream whose inducing write sits in a chunk the legacy skip rule
+/// drops: routine 1 ("probe", the filter target) reads cell X in two
+/// well-separated activations; between them a KernelWrite to X lands in
+/// a chunk full of unrelated "noise" activity (no probe call, no probe
+/// activation in flight). Dropping that chunk loses the kernel write
+/// timestamp, so probe's second read of X degrades from an induced
+/// external first-access to a plain one — the trms undercount the v3
+/// written-shard masks exist to close.
+std::string writeInducedWriteStream(const std::string &Name,
+                                    unsigned Version) {
+  constexpr uint64_t X = 5000; // shard key 9 — disjoint from noise below
+  std::vector<std::pair<RoutineId, std::string>> Routines = {
+      {0, "root"}, {1, "probe"}, {2, "noise"}};
+  std::string Path = tempStream(Name);
+  TraceStreamWriter Writer;
+  TraceStreamOptions Opts;
+  Opts.ChunkBytes = 1024;
+  Opts.FormatVersion = Version;
+  EXPECT_TRUE(Writer.open(Path, Routines, Opts)) << Writer.error();
+
+  uint64_t T = 1;
+  auto emit = [&](EventKind K, uint64_t Arg0, uint64_t Arg1 = 0) {
+    EventRecord E;
+    E.Kind = K;
+    E.Tid = 0;
+    E.Time = T++;
+    E.Arg0 = Arg0;
+    E.Arg1 = Arg1;
+    Writer.append(E);
+  };
+  auto noiseBurst = [&](unsigned Calls) {
+    for (unsigned I = 0; I != Calls; ++I) {
+      emit(EventKind::Call, 2);
+      for (int A = 0; A != 40; ++A) {
+        emit(EventKind::BasicBlock, 0, 1);
+        emit(EventKind::Read, 150000 + (A % 16), 1);  // shard key 37
+        emit(EventKind::Write, 160000 + (A % 8), 1);  // shard key 56
+      }
+      emit(EventKind::Return, 2);
+    }
+  };
+  auto probeActivation = [&] {
+    emit(EventKind::Call, 1);
+    emit(EventKind::BasicBlock, 0, 1);
+    emit(EventKind::Read, X, 1);
+    emit(EventKind::Return, 1);
+  };
+
+  emit(EventKind::ThreadStart, 0);
+  emit(EventKind::Call, 0);
+  probeActivation();
+  noiseBurst(10); // several full chunks with no probe call
+  emit(EventKind::KernelWrite, X, 1); // the inducing write
+  noiseBurst(10);
+  probeActivation();
+  noiseBurst(10); // tail chunks: provably irrelevant even with masks
+  emit(EventKind::Return, 0);
+  emit(EventKind::ThreadEnd, 0);
+  EXPECT_TRUE(Writer.close()) << Writer.error();
+  return Path;
+}
+
+TEST(Collector, WrittenMasksKeepInducedInputExactUnderFiltering) {
+  std::string Path = writeInducedWriteStream("induced_v3", /*Version=*/3);
+
+  // Ground truth: decode everything.
+  FleetStore Full;
+  Collector CF(CollectorOptions{}, Full);
+  ASSERT_EQ(CF.ingestFiles({Path}), 1u);
+  FleetStore::Key ProbeKey{Full.rollups().begin()->first.Program, "probe"};
+  ASSERT_TRUE(Full.rollups().count(ProbeKey));
+  const RoutineRollup &Truth = Full.rollups().at(ProbeKey);
+  ASSERT_EQ(Truth.Activations, 2u);
+  ASSERT_EQ(Truth.InducedExternal, 1u)
+      << "the kernel write makes probe's second read an induced access";
+
+  // Filtered ingest on the v3 stream: the inducing chunk's written mask
+  // intersects the later probe chunk's shard activity, so it is
+  // decoded; the post-probe tail still skips. The probe rollup must be
+  // exact — including the induced classification.
+  FleetStore Filtered;
+  CollectorOptions FilterOpts;
+  FilterOpts.RoutineFilter = {"probe"};
+  Collector C(FilterOpts, Filtered);
+  ASSERT_EQ(C.ingestFiles({Path}), 1u);
+  EXPECT_GT(C.totals().ChunksSkipped, 0u)
+      << "masks must not degrade to decoding everything";
+  ASSERT_EQ(Filtered.routineCount(), 1u);
+  EXPECT_EQ(Filtered.rollups().at(ProbeKey), Truth);
+
+  std::remove(Path.c_str());
+}
+
+TEST(Collector, LegacyV2StreamsStillSkipAndDocumentTheUndercount) {
+  // The same trace written at v2 has no written masks: the legacy rule
+  // drops the inducing chunk, and the induced-external unit silently
+  // degrades to a plain first-access. This pins down the exact failure
+  // the v3 masks close (total trms stays right — only the induced
+  // classification is at risk under rule (a)+(b)).
+  std::string Path = writeInducedWriteStream("induced_v2", /*Version=*/2);
+
+  FleetStore Full;
+  Collector CF(CollectorOptions{}, Full);
+  ASSERT_EQ(CF.ingestFiles({Path}), 1u);
+  FleetStore::Key ProbeKey{Full.rollups().begin()->first.Program, "probe"};
+  const RoutineRollup &Truth = Full.rollups().at(ProbeKey);
+  ASSERT_EQ(Truth.InducedExternal, 1u);
+
+  FleetStore Filtered;
+  CollectorOptions FilterOpts;
+  FilterOpts.RoutineFilter = {"probe"};
+  Collector C(FilterOpts, Filtered);
+  ASSERT_EQ(C.ingestFiles({Path}), 1u);
+  EXPECT_GT(C.totals().ChunksSkipped, 0u);
+  const RoutineRollup &Legacy = Filtered.rollups().at(ProbeKey);
+  EXPECT_EQ(Legacy.Activations, Truth.Activations);
+  EXPECT_EQ(Legacy.SumRms, Truth.SumRms);
+  EXPECT_EQ(Legacy.SumTrms, Truth.SumTrms);
+  EXPECT_EQ(Legacy.InducedExternal, 0u)
+      << "legacy streams lose the induced classification when the "
+         "inducing write's chunk is skipped";
+
+  std::remove(Path.c_str());
+}
+
 //===----------------------------------------------------------------------===//
 // Rendering and spool scanning
 //===----------------------------------------------------------------------===//
@@ -408,7 +533,7 @@ TEST(Collector, SpoolScanFindsOnlyStreamFilesSorted) {
   for (const char *Name : {"b.strm", "a.strm"}) {
     TraceStreamWriter Writer;
     ASSERT_TRUE(Writer.open(Dir + "/" + Name, {}, {}));
-    for (const Event &E : generateSyntheticTrace(Gen))
+    for (const EventRecord &E : generateSyntheticTrace(Gen))
       Writer.append(E);
     ASSERT_TRUE(Writer.close());
   }

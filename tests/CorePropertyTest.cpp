@@ -43,7 +43,7 @@ struct TraceShape {
 class TrmsPropertyTest
     : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {
 protected:
-  std::vector<Event> makeTrace() const {
+  std::vector<EventRecord> makeTrace() const {
     static const TraceShape Shapes[] = {
         {1, 4, 32, 16, 4000, 0.02},  // single-threaded, kernel I/O
         {2, 6, 16, 8, 6000, 0.00},   // two threads, no kernel
@@ -67,7 +67,7 @@ protected:
 };
 
 TEST_P(TrmsPropertyTest, MatchesNaiveOracle) {
-  std::vector<Event> Trace = makeTrace();
+  std::vector<EventRecord> Trace = makeTrace();
 
   TrmsProfilerOptions FastOpts;
   ProfileDatabase Fast = profileTrace<TrmsProfiler>(Trace, FastOpts);
@@ -86,7 +86,7 @@ TEST_P(TrmsPropertyTest, MatchesNaiveOracle) {
 }
 
 TEST_P(TrmsPropertyTest, RenumberingIsTransparent) {
-  std::vector<Event> Trace = makeTrace();
+  std::vector<EventRecord> Trace = makeTrace();
 
   TrmsProfilerOptions BigOpts;
   TrmsProfilerOptions TinyOpts;
@@ -110,7 +110,7 @@ TEST_P(TrmsPropertyTest, RenumberingIsTransparent) {
 }
 
 TEST_P(TrmsPropertyTest, ShadowChoiceIsTransparent) {
-  std::vector<Event> Trace = makeTrace();
+  std::vector<EventRecord> Trace = makeTrace();
   TrmsProfilerOptions Opts;
   ProfileDatabase ThreeLevel = profileTrace<TrmsProfiler>(Trace, Opts);
   ProfileDatabase Dense = profileTrace<DenseTrmsProfiler>(Trace, Opts);
@@ -123,7 +123,7 @@ TEST_P(TrmsPropertyTest, ShardedWtsIsTransparent) {
   // P3 extended to the range-sharded wts shadow: profiles are identical
   // at every shard count, including under a tiny counter limit that
   // forces renumbering sweeps through the per-shard epoch path.
-  std::vector<Event> Trace = makeTrace();
+  std::vector<EventRecord> Trace = makeTrace();
   TrmsProfilerOptions Opts;
   ProfileDatabase Global = profileTrace<TrmsProfiler>(Trace, Opts);
   for (unsigned Shards : {1u, 4u, 16u}) {
@@ -142,7 +142,7 @@ TEST_P(TrmsPropertyTest, ShardedWtsIsTransparent) {
 }
 
 TEST_P(TrmsPropertyTest, TrmsAlwaysAtLeastRms) {
-  std::vector<Event> Trace = makeTrace();
+  std::vector<EventRecord> Trace = makeTrace();
   TrmsProfilerOptions Opts;
   ProfileDatabase Db = profileTrace<TrmsProfiler>(Trace, Opts);
   ASSERT_FALSE(Db.log().empty());
@@ -153,7 +153,7 @@ TEST_P(TrmsPropertyTest, TrmsAlwaysAtLeastRms) {
 }
 
 TEST_P(TrmsPropertyTest, Deterministic) {
-  std::vector<Event> Trace = makeTrace();
+  std::vector<EventRecord> Trace = makeTrace();
   TrmsProfilerOptions Opts;
   ProfileDatabase First = profileTrace<TrmsProfiler>(Trace, Opts);
   ProfileDatabase Second = profileTrace<TrmsProfiler>(Trace, Opts);

@@ -428,22 +428,22 @@ TEST(Driver, ReplayWorkersRejectsBadValuesAndConfigs) {
 TEST(Driver, ReplayStreamErrorNamesChunk) {
   // A decode failure mid-stream names the failing chunk, on both the
   // serial and the parallel path.
-  std::vector<isp::Event> Events;
+  std::vector<isp::EventRecord> Events;
   uint64_t Time = 1;
-  Events.push_back(isp::Event::threadStart(0, Time++, 0));
-  Events.push_back(isp::Event::call(0, Time++, 1));
+  Events.push_back(isp::EventRecord::threadStart(0, Time++, 0));
+  Events.push_back(isp::EventRecord::call(0, Time++, 1));
   for (unsigned I = 0; I != 400; ++I) {
-    Events.push_back(isp::Event::write(0, Time++, I, 1));
-    Events.push_back(isp::Event::read(0, Time++, I, 1));
+    Events.push_back(isp::EventRecord::write(0, Time++, I, 1));
+    Events.push_back(isp::EventRecord::read(0, Time++, I, 1));
   }
-  Events.push_back(isp::Event::ret(0, Time++, 1, 0));
-  Events.push_back(isp::Event::threadEnd(0, Time++));
+  Events.push_back(isp::EventRecord::ret(0, Time++, 1, 0));
+  Events.push_back(isp::EventRecord::threadEnd(0, Time++));
   std::string Path = ::testing::TempDir() + "isprof_driver_badchunk.strm";
   isp::TraceStreamOptions Opts;
   Opts.ChunkBytes = 256;
   isp::TraceStreamWriter Writer;
   ASSERT_TRUE(Writer.open(Path, {{1, "work"}}, Opts)) << Writer.error();
-  for (const isp::Event &E : Events)
+  for (const isp::EventRecord &E : Events)
     Writer.append(E);
   ASSERT_TRUE(Writer.close()) << Writer.error();
 

@@ -40,7 +40,7 @@ using namespace isp;
 
 namespace {
 
-std::vector<Event> makeTrace(uint64_t Operations, uint64_t Seed,
+std::vector<EventRecord> makeTrace(uint64_t Operations, uint64_t Seed,
                              unsigned Threads = 4) {
   SyntheticTraceOptions Gen;
   Gen.NumThreads = Threads;
@@ -52,7 +52,7 @@ std::vector<Event> makeTrace(uint64_t Operations, uint64_t Seed,
 /// Runs \p Events through a dispatcher over freshly created \p ToolNames
 /// and returns each tool's rendered report. \p Workers == 0 keeps serial
 /// delivery; > 0 requests parallel fan-out.
-std::vector<std::string> reportsForRun(const std::vector<Event> &Events,
+std::vector<std::string> reportsForRun(const std::vector<EventRecord> &Events,
                                        const std::vector<std::string> &ToolNames,
                                        unsigned Workers,
                                        size_t BatchCapacity = 0) {
@@ -70,7 +70,7 @@ std::vector<std::string> reportsForRun(const std::vector<Event> &Events,
   if (Workers > 0)
     Dispatcher.setParallelWorkers(Workers);
   Dispatcher.start(nullptr);
-  for (const Event &E : Events)
+  for (const EventRecord &E : Events)
     Dispatcher.enqueue(E);
   Dispatcher.finish();
   std::vector<std::string> Reports;
@@ -178,7 +178,7 @@ TEST(ParallelFanout, RegistryToolsDeclareExpectedAffinities) {
 TEST(ParallelFanout, ReportsMatchSerialOnSyntheticTrace) {
   const std::vector<std::string> ToolNames = {"aprof-trms", "aprof-rms",
                                               "memcheck", "callgrind"};
-  std::vector<Event> Events = makeTrace(20000, 31);
+  std::vector<EventRecord> Events = makeTrace(20000, 31);
   std::vector<std::string> Serial = reportsForRun(Events, ToolNames, 0);
   for (unsigned Workers : {1u, 2u, 4u}) {
     std::vector<std::string> Parallel =
@@ -227,13 +227,13 @@ TEST(ParallelFanout, ReportsMatchSerialOnCompiledWorkload) {
 }
 
 TEST(ParallelFanout, CallbackOrderAndContentMatchSerial) {
-  std::vector<Event> Events = makeTrace(8000, 32);
+  std::vector<EventRecord> Events = makeTrace(8000, 32);
   RecordingTool Serial(ToolAffinity::AnyWorker);
   {
     EventDispatcher D;
     D.addTool(&Serial);
     D.start(nullptr);
-    for (const Event &E : Events)
+    for (const EventRecord &E : Events)
       D.enqueue(E);
     D.finish();
   }
@@ -244,7 +244,7 @@ TEST(ParallelFanout, CallbackOrderAndContentMatchSerial) {
     D.setParallelWorkers(2);
     D.start(nullptr);
     EXPECT_TRUE(D.parallelActive());
-    for (const Event &E : Events)
+    for (const EventRecord &E : Events)
       D.enqueue(E);
     D.finish();
     EXPECT_FALSE(D.parallelActive());
@@ -255,7 +255,7 @@ TEST(ParallelFanout, CallbackOrderAndContentMatchSerial) {
 TEST(ParallelFanout, DispatchPathMatchesSerial) {
   // dispatch() delivers per-event; in parallel mode each event becomes
   // its own published batch. Content and order must not change.
-  std::vector<Event> Events = makeTrace(2000, 33);
+  std::vector<EventRecord> Events = makeTrace(2000, 33);
   auto RunOnce = [&](unsigned Workers) {
     RecordingTool T(ToolAffinity::AnyWorker);
     EventDispatcher D;
@@ -263,7 +263,7 @@ TEST(ParallelFanout, DispatchPathMatchesSerial) {
     if (Workers > 0)
       D.setParallelWorkers(Workers);
     D.start(nullptr);
-    for (const Event &E : Events)
+    for (const EventRecord &E : Events)
       D.dispatch(E);
     D.finish();
     return T.entries();
@@ -284,7 +284,7 @@ TEST(ParallelFanout, DispatchThreadToolStaysOnEnqueueThread) {
   D.setParallelWorkers(2);
   D.start(nullptr);
   ASSERT_TRUE(D.parallelActive());
-  for (const Event &E : makeTrace(4000, 34))
+  for (const EventRecord &E : makeTrace(4000, 34))
     D.enqueue(E);
   D.finish();
   ASSERT_EQ(Pinned.threads().size(), 1u);
@@ -298,7 +298,7 @@ TEST(ParallelFanout, AnyWorkerToolRunsOnOneWorkerThread) {
   D.setParallelWorkers(2);
   D.start(nullptr);
   ASSERT_TRUE(D.parallelActive());
-  for (const Event &E : makeTrace(4000, 35))
+  for (const EventRecord &E : makeTrace(4000, 35))
     D.enqueue(E);
   D.finish();
   // One fixed consumer thread, and never the enqueue thread.
@@ -327,7 +327,7 @@ TEST(ParallelFanout, StaysSerialWithOnlyDispatchThreadTools) {
   D.start(nullptr);
   EXPECT_FALSE(D.parallelActive());
   EXPECT_EQ(D.parallelWorkersUsed(), 0u);
-  for (const Event &E : makeTrace(1000, 36))
+  for (const EventRecord &E : makeTrace(1000, 36))
     D.enqueue(E);
   D.finish();
   ASSERT_EQ(Pinned.threads().size(), 1u);
@@ -339,7 +339,7 @@ TEST(ParallelFanout, StaysSerialWithOnlyDispatchThreadTools) {
 //===----------------------------------------------------------------------===//
 
 TEST(ParallelFanout, CompactionIdentityHoldsAfterFinish) {
-  std::vector<Event> Events = makeTrace(12000, 37);
+  std::vector<EventRecord> Events = makeTrace(12000, 37);
   NulTool A;
   auto B = makeTool("memcheck");
   EventDispatcher D;
@@ -347,7 +347,7 @@ TEST(ParallelFanout, CompactionIdentityHoldsAfterFinish) {
   D.addTool(B.get());
   D.setParallelWorkers(2);
   D.start(nullptr);
-  for (const Event &E : Events)
+  for (const EventRecord &E : Events)
     D.enqueue(E);
   D.finish();
   EXPECT_EQ(D.enqueuedEvents(),
@@ -366,7 +366,7 @@ TEST(ParallelFanout, BackpressureBoundsThePublisher) {
   // consumer drains far behind the publisher's pace.
   const uint64_t NumReads = 24 * EventDispatcher::DefaultBatchCapacity;
   for (uint64_t I = 0; I != NumReads; ++I)
-    D.enqueue(Event::read(0, I + 1, 8 * I));
+    D.enqueue(EventRecord::read(0, I + 1, 8 * I));
   D.finish();
   EXPECT_GT(D.backpressureBlocks(), 0u);
   EXPECT_LE(D.maxQueueDepth(), D.ringSlots());
@@ -389,7 +389,7 @@ TEST(ParallelFanout, RingGrowsUnderSustainedBackpressure) {
   ASSERT_TRUE(D.parallelActive());
   const uint64_t NumReads = 96 * EventDispatcher::DefaultBatchCapacity;
   for (uint64_t I = 0; I != NumReads; ++I)
-    D.enqueue(Event::read(0, I + 1, 8 * I));
+    D.enqueue(EventRecord::read(0, I + 1, 8 * I));
   D.finish();
   EXPECT_GE(D.backpressureBlocks(), EventDispatcher::RingGrowthThreshold);
   EXPECT_GE(D.ringGrowths(), 1u);
@@ -418,7 +418,7 @@ TEST(BatchCapacity, ValidatesAndReportsCapacity) {
   NulTool T;
   D.addTool(&T);
   D.start(nullptr);
-  D.enqueue(Event::read(0, 1, 8));
+  D.enqueue(EventRecord::read(0, 1, 8));
   EXPECT_FALSE(D.setBatchCapacity(256));
   EXPECT_EQ(D.batchCapacity(), 1024u);
   D.finish();
@@ -430,7 +430,7 @@ TEST(BatchCapacity, ReportsAreIdenticalAcrossCapacities) {
   // rendered reports must be byte-identical at every legal capacity.
   const std::vector<std::string> ToolNames = {"aprof-trms", "aprof-rms",
                                               "memcheck", "callgrind"};
-  std::vector<Event> Events = makeTrace(20000, 41);
+  std::vector<EventRecord> Events = makeTrace(20000, 41);
   std::vector<std::string> Baseline = reportsForRun(Events, ToolNames, 0);
   for (size_t Capacity : {size_t(16), size_t(1024), size_t(65536)}) {
     std::vector<std::string> Reports =

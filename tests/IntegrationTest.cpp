@@ -73,7 +73,7 @@ fn main() {
 )";
 
 std::vector<ActivationRecord> liveProfile(const Program &Prog,
-                                          std::vector<Event> *TraceOut) {
+                                          std::vector<EventRecord> *TraceOut) {
   TrmsProfilerOptions Opts;
   Opts.KeepActivationLog = true;
   TrmsProfiler Profiler(Opts);
@@ -90,7 +90,7 @@ std::vector<ActivationRecord> liveProfile(const Program &Prog,
 }
 
 std::vector<ActivationRecord>
-replayProfile(const std::vector<Event> &Trace) {
+replayProfile(const std::vector<EventRecord> &Trace) {
   TrmsProfilerOptions Opts;
   Opts.KeepActivationLog = true;
   TrmsProfiler Profiler(Opts);
@@ -103,7 +103,7 @@ TEST(Integration, LiveEqualsRecordedReplay) {
   auto Prog = compileProgram(PipelineSource, Diags);
   ASSERT_TRUE(Prog.has_value()) << Diags.render();
 
-  std::vector<Event> Trace;
+  std::vector<EventRecord> Trace;
   auto Live = liveProfile(*Prog, &Trace);
   ASSERT_FALSE(Trace.empty());
   auto Replayed = replayProfile(Trace);
@@ -115,7 +115,7 @@ TEST(Integration, TraceFileRoundTripPreservesProfile) {
   auto Prog = compileProgram(PipelineSource, Diags);
   ASSERT_TRUE(Prog.has_value());
 
-  std::vector<Event> Trace;
+  std::vector<EventRecord> Trace;
   auto Live = liveProfile(*Prog, &Trace);
 
   TraceData Data;
@@ -132,7 +132,7 @@ TEST(Integration, SplitMergeReplayMatchesForAllPolicies) {
   auto Prog = compileProgram(PipelineSource, Diags);
   ASSERT_TRUE(Prog.has_value());
 
-  std::vector<Event> Trace;
+  std::vector<EventRecord> Trace;
   auto Live = liveProfile(*Prog, &Trace);
   auto PerThread = splitByThread(Trace);
   EXPECT_GE(PerThread.size(), 3u);
@@ -144,7 +144,7 @@ TEST(Integration, SplitMergeReplayMatchesForAllPolicies) {
         TieBreakPolicy::SeededRandom}) {
     TraceMergeOptions Opts;
     Opts.Policy = Policy;
-    std::vector<Event> Merged = mergeTraces(PerThread, Opts);
+    std::vector<EventRecord> Merged = mergeTraces(PerThread, Opts);
     EXPECT_EQ(replayProfile(Merged), Live)
         << "policy " << static_cast<int>(Policy);
   }
@@ -158,9 +158,9 @@ TEST(Integration, MergedSyntheticTracesTieBreakConsistency) {
   Gen.NumThreads = 4;
   Gen.NumOperations = 4000;
   Gen.Seed = 23;
-  std::vector<Event> Base = generateSyntheticTrace(Gen);
+  std::vector<EventRecord> Base = generateSyntheticTrace(Gen);
   // Collapse timestamps to create many cross-thread ties.
-  for (Event &E : Base)
+  for (EventRecord &E : Base)
     E.Time = (E.Time + 2) / 3;
   auto PerThread = splitByThread(Base);
   ASSERT_TRUE(verifyThreadTraces(PerThread));
@@ -169,7 +169,7 @@ TEST(Integration, MergedSyntheticTracesTieBreakConsistency) {
     TraceMergeOptions Opts;
     Opts.Policy = TieBreakPolicy::SeededRandom;
     Opts.Seed = Seed;
-    std::vector<Event> Merged = mergeTraces(PerThread, Opts);
+    std::vector<EventRecord> Merged = mergeTraces(PerThread, Opts);
     auto Log = replayProfile(Merged);
     ASSERT_FALSE(Log.empty());
     for (const ActivationRecord &R : Log)

@@ -218,7 +218,7 @@ TEST(ObsTrace, RecordsAndRendersTimeline) {
 // Dispatcher accounting
 //===----------------------------------------------------------------------===//
 
-Event readAt(ThreadId Tid, uint64_t Time, Addr A) {
+EventRecord readAt(ThreadId Tid, uint64_t Time, Addr A) {
   return {EventKind::Read, Tid, Time, static_cast<uint64_t>(A), 1};
 }
 
@@ -502,11 +502,11 @@ TEST(ObsReplay, ParallelReplayPublishesMetrics) {
   SyntheticTraceOptions Gen;
   Gen.NumOperations = 5000;
   Gen.Seed = 31;
-  std::vector<Event> Events = generateSyntheticTrace(Gen);
+  std::vector<EventRecord> Events = generateSyntheticTrace(Gen);
   std::string Path = ::testing::TempDir() + "isprof_obs_replay.strm";
   TraceStreamWriter Writer;
   ASSERT_TRUE(Writer.open(Path, {}, {})) << Writer.error();
-  for (const Event &E : Events)
+  for (const EventRecord &E : Events)
     Writer.append(E);
   ASSERT_TRUE(Writer.close()) << Writer.error();
 
@@ -608,7 +608,7 @@ TEST(ObsCollector, IngestionPublishesMetrics) {
                        std::to_string(I) + ".strm";
     TraceStreamWriter Writer;
     ASSERT_TRUE(Writer.open(Path, {}, {})) << Writer.error();
-    for (const Event &E : generateSyntheticTrace(Gen))
+    for (const EventRecord &E : generateSyntheticTrace(Gen))
       Writer.append(E);
     ASSERT_TRUE(Writer.close()) << Writer.error();
     Paths.push_back(Path);

@@ -34,7 +34,7 @@ std::string tempPath(const char *Name) {
   return ::testing::TempDir() + Name;
 }
 
-std::vector<Event> makeTrace(uint64_t Operations, uint64_t Seed,
+std::vector<EventRecord> makeTrace(uint64_t Operations, uint64_t Seed,
                              unsigned Threads = 4) {
   SyntheticTraceOptions Gen;
   Gen.NumThreads = Threads;
@@ -43,11 +43,11 @@ std::vector<Event> makeTrace(uint64_t Operations, uint64_t Seed,
   return generateSyntheticTrace(Gen);
 }
 
-void writeStream(const std::string &Path, const std::vector<Event> &Events,
+void writeStream(const std::string &Path, const std::vector<EventRecord> &Events,
                  TraceStreamOptions Opts = TraceStreamOptions()) {
   TraceStreamWriter Writer;
   ASSERT_TRUE(Writer.open(Path, {}, Opts)) << Writer.error();
-  for (const Event &E : Events)
+  for (const EventRecord &E : Events)
     Writer.append(E);
   ASSERT_TRUE(Writer.close()) << Writer.error();
 }
@@ -64,10 +64,10 @@ std::string serialReport(const std::string &Path, TrmsProfilerOptions Opts,
     EventDispatcher Dispatcher;
     Dispatcher.addTool(&Profiler);
     Dispatcher.start(nullptr);
-    std::vector<Event> Chunk;
+    std::vector<EventRecord> Chunk;
     Reader.seek(SeekChunk);
     while (Reader.nextChunk(Chunk))
-      for (const Event &E : Chunk)
+      for (const EventRecord &E : Chunk)
         Dispatcher.enqueue(E);
     Dispatcher.finish();
     EXPECT_TRUE(Reader.error().empty()) << Reader.error();
@@ -92,7 +92,7 @@ std::string parallelReport(const std::string &Path, TrmsProfilerOptions Opts,
 }
 
 TEST(ParallelReplay, MatchesSerialAcrossShardsAndWorkers) {
-  std::vector<Event> Events = makeTrace(20000, 21);
+  std::vector<EventRecord> Events = makeTrace(20000, 21);
   std::string Path = tempPath("isprof_preplay_matrix.strm");
   writeStream(Path, Events);
 
@@ -119,7 +119,7 @@ TEST(ParallelReplay, MatchesSerialAcrossShardsAndWorkers) {
 TEST(ParallelReplay, RenumberingHeavyStaysIdentical) {
   // A tiny counter limit forces a renumbering every few hundred events,
   // exercising the full-barrier path constantly.
-  std::vector<Event> Events = makeTrace(12000, 22);
+  std::vector<EventRecord> Events = makeTrace(12000, 22);
   std::string Path = tempPath("isprof_preplay_renumber.strm");
   writeStream(Path, Events);
 
@@ -144,7 +144,7 @@ TEST(ParallelReplay, RenumberingHeavyStaysIdentical) {
 TEST(ParallelReplay, SeekResumeMatchesSerial) {
   TraceStreamOptions StreamOpts;
   StreamOpts.ChunkBytes = 2048; // many chunks, so mid-stream is real
-  std::vector<Event> Events = makeTrace(15000, 23);
+  std::vector<EventRecord> Events = makeTrace(15000, 23);
   std::string Path = tempPath("isprof_preplay_seek.strm");
   writeStream(Path, Events, StreamOpts);
 
@@ -167,7 +167,7 @@ TEST(ParallelReplay, SeekResumeMatchesSerial) {
 TEST(ParallelReplay, MidStreamErrorSurfacesAndStillFinishes) {
   TraceStreamOptions StreamOpts;
   StreamOpts.ChunkBytes = 256; // small chunks, <128 events each
-  std::vector<Event> Events = makeTrace(4000, 24);
+  std::vector<EventRecord> Events = makeTrace(4000, 24);
   std::string Path = tempPath("isprof_preplay_corrupt.strm");
   writeStream(Path, Events, StreamOpts);
 
@@ -213,7 +213,7 @@ TEST(ParallelReplay, MidStreamErrorSurfacesAndStillFinishes) {
 }
 
 TEST(ParallelReplay, StatsReflectTheRun) {
-  std::vector<Event> Events = makeTrace(10000, 25);
+  std::vector<EventRecord> Events = makeTrace(10000, 25);
   std::string Path = tempPath("isprof_preplay_stats.strm");
   writeStream(Path, Events);
 
@@ -240,16 +240,16 @@ TEST(ParallelReplay, StatsReflectTheRun) {
 TEST(ParallelReplay, ActivityMasksSkipUntouchedWorkers) {
   // Every memory access lands in shadow chunk key 0 → shard 0 →
   // worker 0; with the v2 masks, workers 1..3 skip every chunk.
-  std::vector<Event> Events;
+  std::vector<EventRecord> Events;
   uint64_t Time = 1;
-  Events.push_back(Event::threadStart(0, Time++, 0));
-  Events.push_back(Event::call(0, Time++, 1));
+  Events.push_back(EventRecord::threadStart(0, Time++, 0));
+  Events.push_back(EventRecord::call(0, Time++, 1));
   for (unsigned I = 0; I != 4000; ++I) {
-    Events.push_back(Event::write(0, Time++, I % 256, 1));
-    Events.push_back(Event::read(0, Time++, I % 256, 1));
+    Events.push_back(EventRecord::write(0, Time++, I % 256, 1));
+    Events.push_back(EventRecord::read(0, Time++, I % 256, 1));
   }
-  Events.push_back(Event::ret(0, Time++, 1, 0));
-  Events.push_back(Event::threadEnd(0, Time++));
+  Events.push_back(EventRecord::ret(0, Time++, 1, 0));
+  Events.push_back(EventRecord::threadEnd(0, Time++));
 
   std::string Path = tempPath("isprof_preplay_skip.strm");
   TraceStreamOptions StreamOpts;

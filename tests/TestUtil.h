@@ -26,54 +26,54 @@ namespace isp {
 class TraceBuilder {
 public:
   TraceBuilder &start(ThreadId Tid, ThreadId Parent = 0) {
-    Events.push_back(Event::threadStart(Tid, next(), Parent));
+    Events.push_back(EventRecord::threadStart(Tid, next(), Parent));
     return *this;
   }
   TraceBuilder &end(ThreadId Tid) {
-    Events.push_back(Event::threadEnd(Tid, next()));
+    Events.push_back(EventRecord::threadEnd(Tid, next()));
     return *this;
   }
   TraceBuilder &call(ThreadId Tid, RoutineId Rtn) {
-    Events.push_back(Event::call(Tid, next(), Rtn));
+    Events.push_back(EventRecord::call(Tid, next(), Rtn));
     return *this;
   }
   TraceBuilder &ret(ThreadId Tid, RoutineId Rtn) {
-    Events.push_back(Event::ret(Tid, next(), Rtn, 0));
+    Events.push_back(EventRecord::ret(Tid, next(), Rtn, 0));
     return *this;
   }
   TraceBuilder &read(ThreadId Tid, Addr A, uint64_t Cells = 1) {
-    Events.push_back(Event::read(Tid, next(), A, Cells));
+    Events.push_back(EventRecord::read(Tid, next(), A, Cells));
     return *this;
   }
   TraceBuilder &write(ThreadId Tid, Addr A, uint64_t Cells = 1) {
-    Events.push_back(Event::write(Tid, next(), A, Cells));
+    Events.push_back(EventRecord::write(Tid, next(), A, Cells));
     return *this;
   }
   TraceBuilder &kernelRead(ThreadId Tid, Addr A, uint64_t Cells = 1) {
-    Events.push_back(Event::kernelRead(Tid, next(), A, Cells));
+    Events.push_back(EventRecord::kernelRead(Tid, next(), A, Cells));
     return *this;
   }
   TraceBuilder &kernelWrite(ThreadId Tid, Addr A, uint64_t Cells = 1) {
-    Events.push_back(Event::kernelWrite(Tid, next(), A, Cells));
+    Events.push_back(EventRecord::kernelWrite(Tid, next(), A, Cells));
     return *this;
   }
   TraceBuilder &bb(ThreadId Tid, uint64_t Count = 1) {
-    Events.push_back(Event::basicBlock(Tid, next(), Count));
+    Events.push_back(EventRecord::basicBlock(Tid, next(), Count));
     return *this;
   }
 
-  const std::vector<Event> &events() const { return Events; }
+  const std::vector<EventRecord> &events() const { return Events; }
 
 private:
   uint64_t next() { return ++Clock; }
-  std::vector<Event> Events;
+  std::vector<EventRecord> Events;
   uint64_t Clock = 0;
 };
 
 /// Runs \p ProfilerT over \p Events with activation logging and returns
 /// the database.
 template <typename ProfilerT, typename OptionsT>
-ProfileDatabase profileTrace(const std::vector<Event> &Events,
+ProfileDatabase profileTrace(const std::vector<EventRecord> &Events,
                              OptionsT Options) {
   Options.KeepActivationLog = true;
   ProfilerT Profiler(Options);

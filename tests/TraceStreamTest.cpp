@@ -55,7 +55,7 @@ std::string readFile(const std::string &Path) {
   return Buffer.str();
 }
 
-std::vector<Event> makeTrace(uint64_t Operations, uint64_t Seed,
+std::vector<EventRecord> makeTrace(uint64_t Operations, uint64_t Seed,
                              unsigned Threads = 4) {
   SyntheticTraceOptions Gen;
   Gen.NumThreads = Threads;
@@ -65,19 +65,19 @@ std::vector<Event> makeTrace(uint64_t Operations, uint64_t Seed,
 }
 
 /// Writes \p Events to \p Path as a stream and asserts success.
-void writeStream(const std::string &Path, const std::vector<Event> &Events,
+void writeStream(const std::string &Path, const std::vector<EventRecord> &Events,
                  const RoutineTable &Routines,
                  TraceStreamOptions Opts = TraceStreamOptions()) {
   TraceStreamWriter Writer;
   ASSERT_TRUE(Writer.open(Path, Routines, Opts)) << Writer.error();
-  for (const Event &E : Events)
+  for (const EventRecord &E : Events)
     Writer.append(E);
   ASSERT_TRUE(Writer.close()) << Writer.error();
 }
 
 /// Drains every chunk of \p Reader from the start into one vector.
-std::vector<Event> readAll(TraceStreamReader &Reader) {
-  std::vector<Event> All, Chunk;
+std::vector<EventRecord> readAll(TraceStreamReader &Reader) {
+  std::vector<EventRecord> All, Chunk;
   Reader.seek(0);
   while (Reader.nextChunk(Chunk))
     All.insert(All.end(), Chunk.begin(), Chunk.end());
@@ -89,7 +89,7 @@ std::vector<Event> readAll(TraceStreamReader &Reader) {
 //===----------------------------------------------------------------------===//
 
 TEST(TraceStream, RoundTripsExactly) {
-  std::vector<Event> Events = makeTrace(3000, 7);
+  std::vector<EventRecord> Events = makeTrace(3000, 7);
   RoutineTable Routines = {{0, "main"}, {1, "worker"}, {9, "long_name_rtn"}};
   std::string Path = tempPath("isprof_stream_roundtrip.strm");
   writeStream(Path, Events, Routines);
@@ -108,7 +108,7 @@ TEST(TraceStream, ChunksDecodeIndependently) {
   // A tiny chunk size forces many chunks; decoding them in reverse must
   // give the same per-chunk events as decoding in order, because each
   // chunk's delta state starts from a clean slate.
-  std::vector<Event> Events = makeTrace(2000, 8);
+  std::vector<EventRecord> Events = makeTrace(2000, 8);
   TraceStreamOptions Opts;
   Opts.ChunkBytes = 256;
   std::string Path = tempPath("isprof_stream_chunks.strm");
@@ -118,7 +118,7 @@ TEST(TraceStream, ChunksDecodeIndependently) {
   ASSERT_TRUE(Reader.open(Path)) << Reader.error();
   ASSERT_GT(Reader.chunkCount(), 4u);
 
-  std::vector<std::vector<Event>> InOrder(Reader.chunkCount());
+  std::vector<std::vector<EventRecord>> InOrder(Reader.chunkCount());
   uint64_t IndexedEvents = 0;
   for (size_t I = 0; I != Reader.chunkCount(); ++I) {
     ASSERT_TRUE(Reader.readChunk(I, InOrder[I])) << Reader.error();
@@ -128,13 +128,13 @@ TEST(TraceStream, ChunksDecodeIndependently) {
   }
   EXPECT_EQ(IndexedEvents, Events.size());
 
-  std::vector<Event> Chunk;
+  std::vector<EventRecord> Chunk;
   for (size_t I = Reader.chunkCount(); I-- != 0;) {
     ASSERT_TRUE(Reader.readChunk(I, Chunk)) << Reader.error();
     EXPECT_EQ(Chunk, InOrder[I]) << "chunk " << I;
   }
 
-  std::vector<Event> All;
+  std::vector<EventRecord> All;
   for (const auto &C : InOrder)
     All.insert(All.end(), C.begin(), C.end());
   EXPECT_EQ(All, Events);
@@ -142,7 +142,7 @@ TEST(TraceStream, ChunksDecodeIndependently) {
 }
 
 TEST(TraceStream, SeekResumesMidStream) {
-  std::vector<Event> Events = makeTrace(2000, 9);
+  std::vector<EventRecord> Events = makeTrace(2000, 9);
   TraceStreamOptions Opts;
   Opts.ChunkBytes = 512;
   std::string Path = tempPath("isprof_stream_seek.strm");
@@ -164,7 +164,7 @@ TEST(TraceStream, SeekResumesMidStream) {
   for (size_t I = 0; I != Mid; ++I)
     Skipped += Reader.chunkEvents(I);
   Reader.seek(Mid);
-  std::vector<Event> Tail, Chunk;
+  std::vector<EventRecord> Tail, Chunk;
   while (Reader.nextChunk(Chunk))
     Tail.insert(Tail.end(), Chunk.begin(), Chunk.end());
   ASSERT_TRUE(Reader.error().empty()) << Reader.error();
@@ -184,7 +184,7 @@ TEST(TraceStream, EmptyStreamIsValid) {
   EXPECT_EQ(Reader.chunkCount(), 0u);
   EXPECT_EQ(Reader.eventCount(), 0u);
   EXPECT_EQ(Reader.routines(), Routines);
-  std::vector<Event> Chunk;
+  std::vector<EventRecord> Chunk;
   EXPECT_FALSE(Reader.nextChunk(Chunk));
   EXPECT_TRUE(Reader.error().empty()) << Reader.error();
   std::remove(Path.c_str());
@@ -199,7 +199,7 @@ TEST(TraceStream, SinkObservesExactlyTheRecordedStream) {
   // in-memory recorder accumulates, batch for batch. Recording into a
   // stream file and reading it back must therefore reproduce the
   // Recorded vector exactly.
-  std::vector<Event> Raw = makeTrace(4000, 10);
+  std::vector<EventRecord> Raw = makeTrace(4000, 10);
   std::string Path = tempPath("isprof_stream_sink.strm");
 
   TraceStreamWriter Writer;
@@ -208,15 +208,16 @@ TEST(TraceStream, SinkObservesExactlyTheRecordedStream) {
   Dispatcher.enableRecording();
   Dispatcher.setRecordSink(&Writer);
   Dispatcher.start(nullptr);
-  for (const Event &E : Raw)
+  for (const EventRecord &E : Raw)
     Dispatcher.enqueue(E);
   Dispatcher.finish();
   ASSERT_TRUE(Writer.close()) << Writer.error();
-  EXPECT_EQ(Writer.eventsWritten(), Dispatcher.recordedEvents().size());
+  EXPECT_EQ(Writer.eventsWritten(),
+            packedEventCount(Dispatcher.recordedEvents()));
 
   TraceStreamReader Reader;
   ASSERT_TRUE(Reader.open(Path)) << Reader.error();
-  EXPECT_EQ(readAll(Reader), Dispatcher.recordedEvents());
+  EXPECT_EQ(readAll(Reader), Dispatcher.decodedRecordedEvents());
   EXPECT_TRUE(Reader.error().empty()) << Reader.error();
   std::remove(Path.c_str());
 }
@@ -226,7 +227,7 @@ TEST(TraceStream, StreamedReplayMatchesInMemoryProfile) {
   // replayTraceStream gives the same trms database as batched in-memory
   // replay of the identical event sequence.
   for (uint64_t Seed : {11u, 12u}) {
-    std::vector<Event> Events = makeTrace(5000, Seed);
+    std::vector<EventRecord> Events = makeTrace(5000, Seed);
     std::string Path = tempPath("isprof_stream_profile.strm");
     writeStream(Path, Events, {});
 
@@ -259,11 +260,11 @@ TEST(TraceStream, WriterMemoryIsBoundedByOneChunk) {
   Opts.ChunkBytes = 1024;
   const uint64_t MaxEncodedEvent = 1 + 4 * 10; // kind byte + four varints
   for (uint64_t Operations : {1000u, 10000u}) {
-    std::vector<Event> Events = makeTrace(Operations, 13);
+    std::vector<EventRecord> Events = makeTrace(Operations, 13);
     std::string Path = tempPath("isprof_stream_bounded.strm");
     TraceStreamWriter Writer;
     ASSERT_TRUE(Writer.open(Path, {}, Opts));
-    for (const Event &E : Events)
+    for (const EventRecord &E : Events)
       Writer.append(E);
     EXPECT_LE(Writer.peakBufferedBytes(), Opts.ChunkBytes + MaxEncodedEvent)
         << "at " << Operations << " events";
@@ -352,7 +353,7 @@ std::string probeStream(const std::string &Bytes, const char *Name) {
     Diag = Reader.error();
     EXPECT_FALSE(Diag.empty()) << "rejection must carry a diagnostic";
   } else {
-    std::vector<Event> Chunk;
+    std::vector<EventRecord> Chunk;
     for (size_t I = 0; I != Reader.chunkCount() && Diag.empty(); ++I)
       if (!Reader.readChunk(I, Chunk))
         Diag = Reader.error();
@@ -464,7 +465,7 @@ TEST(TraceStreamHardening, RejectsHugeEventCountWithoutAllocating) {
 }
 
 TEST(TraceStreamHardening, RejectsCorruptTrailer) {
-  std::vector<Event> Events = makeTrace(200, 14);
+  std::vector<EventRecord> Events = makeTrace(200, 14);
   std::string Path = tempPath("isprof_stream_trailer.strm");
   writeStream(Path, Events, {});
   std::string Bytes = readFile(Path);
@@ -489,7 +490,7 @@ TEST(TraceStreamHardening, RejectsCorruptTrailer) {
 TEST(TraceStreamHardening, TruncationFuzzNeverAccepted) {
   // Every proper prefix of a valid stream is missing bytes the trailer
   // promises; all of them must be rejected at open(), with a diagnostic.
-  std::vector<Event> Events = makeTrace(400, 15);
+  std::vector<EventRecord> Events = makeTrace(400, 15);
   TraceStreamOptions Opts;
   Opts.ChunkBytes = 128; // many chunks, so truncation lands everywhere
   std::string Path = tempPath("isprof_stream_truncsrc.strm");
@@ -515,7 +516,7 @@ TEST(TraceStreamHardening, CorruptFooterIndexFuzz) {
   // no bearing on decoding (a chunk's FirstTime seek key) — still
   // reproduce the original events exactly. Silent wrong decodes and
   // crashes are the failures being hunted.
-  std::vector<Event> Events = makeTrace(600, 16);
+  std::vector<EventRecord> Events = makeTrace(600, 16);
   TraceStreamOptions Opts;
   Opts.ChunkBytes = 256;
   std::string Path = tempPath("isprof_stream_footersrc.strm");
@@ -541,7 +542,7 @@ TEST(TraceStreamHardening, CorruptFooterIndexFuzz) {
         EXPECT_FALSE(Reader.error().empty());
         continue;
       }
-      std::vector<Event> All, Chunk;
+      std::vector<EventRecord> All, Chunk;
       bool Failed = false;
       for (size_t I = 0; I != Reader.chunkCount() && !Failed; ++I) {
         if (!Reader.readChunk(I, Chunk))
@@ -562,7 +563,7 @@ TEST(TraceStreamHardening, CorruptFooterIndexFuzz) {
 TEST(TraceStreamHardening, BitFlipFuzzNeverCrashes) {
   // Whole-file bit flips: acceptance is fine when the flip lands in a
   // payload byte; the contract is no crash, no unbounded allocation.
-  std::vector<Event> Events = makeTrace(300, 17);
+  std::vector<EventRecord> Events = makeTrace(300, 17);
   TraceStreamOptions Opts;
   Opts.ChunkBytes = 512;
   std::string Path = tempPath("isprof_stream_flipsrc.strm");
@@ -578,7 +579,7 @@ TEST(TraceStreamHardening, BitFlipFuzzNeverCrashes) {
       writeFile(MutPath, Mutated);
       TraceStreamReader Reader;
       if (Reader.open(MutPath)) {
-        std::vector<Event> Chunk;
+        std::vector<EventRecord> Chunk;
         while (Reader.nextChunk(Chunk)) {
         }
       }
@@ -594,20 +595,21 @@ TEST(TraceStreamHardening, BitFlipFuzzNeverCrashes) {
 TEST(TraceStreamV2, ActivityMasksRoundTrip) {
   // One chunk: routine 3 called, memory confined to shadow-chunk keys
   // 0 and 5. The footer masks must name exactly those.
-  std::vector<Event> Events;
-  Events.push_back(Event::threadStart(0, 1, 0));
-  Events.push_back(Event::call(0, 2, 3));
-  Events.push_back(Event::write(0, 3, 16, 4));        // key 0
-  Events.push_back(Event::read(0, 4, 5 * 512 + 7, 2)); // key 5
-  Events.push_back(Event::ret(0, 5, 3, 0));
-  Events.push_back(Event::threadEnd(0, 6));
+  std::vector<EventRecord> Events;
+  Events.push_back(EventRecord::threadStart(0, 1, 0));
+  Events.push_back(EventRecord::call(0, 2, 3));
+  Events.push_back(EventRecord::write(0, 3, 16, 4));        // key 0
+  Events.push_back(EventRecord::read(0, 4, 5 * 512 + 7, 2)); // key 5
+  Events.push_back(EventRecord::ret(0, 5, 3, 0));
+  Events.push_back(EventRecord::threadEnd(0, 6));
   std::string Path = tempPath("isprof_stream_v2masks.strm");
   writeStream(Path, Events, {});
 
   TraceStreamReader Reader;
   ASSERT_TRUE(Reader.open(Path)) << Reader.error();
-  EXPECT_EQ(Reader.formatVersion(), 2u);
+  EXPECT_EQ(Reader.formatVersion(), 3u);
   ASSERT_TRUE(Reader.hasActivityMasks());
+  ASSERT_TRUE(Reader.hasWrittenMasks());
   ASSERT_EQ(Reader.chunkCount(), 1u);
   EXPECT_EQ(Reader.chunkRoutineMask(0), uint64_t(1) << 3);
   const ShardActivityMask &Mask = Reader.chunkShardMask(0);
@@ -615,6 +617,12 @@ TEST(TraceStreamV2, ActivityMasksRoundTrip) {
   EXPECT_EQ(Mask[1], 0u);
   EXPECT_EQ(Mask[2], 0u);
   EXPECT_EQ(Mask[3], 0u);
+  // Only the write touches the written mask; the read's key 5 stays out.
+  const ShardActivityMask &Written = Reader.chunkWrittenMask(0);
+  EXPECT_EQ(Written[0], uint64_t(1) << 0);
+  EXPECT_EQ(Written[1], 0u);
+  EXPECT_EQ(Written[2], 0u);
+  EXPECT_EQ(Written[3], 0u);
   EXPECT_EQ(readAll(Reader), Events);
   std::remove(Path.c_str());
 }
@@ -622,10 +630,10 @@ TEST(TraceStreamV2, ActivityMasksRoundTrip) {
 TEST(TraceStreamV2, WideRangeSaturatesShardMask) {
   // A single access spanning more shadow chunks than there are mask
   // slots degrades to the all-ones superset rather than wrapping.
-  std::vector<Event> Events;
-  Events.push_back(Event::threadStart(0, 1, 0));
-  Events.push_back(Event::write(0, 2, 0, 300 * 512));
-  Events.push_back(Event::threadEnd(0, 3));
+  std::vector<EventRecord> Events;
+  Events.push_back(EventRecord::threadStart(0, 1, 0));
+  Events.push_back(EventRecord::write(0, 2, 0, 300 * 512));
+  Events.push_back(EventRecord::threadEnd(0, 3));
   std::string Path = tempPath("isprof_stream_v2wide.strm");
   writeStream(Path, Events, {});
 
@@ -640,7 +648,7 @@ TEST(TraceStreamV2, WideRangeSaturatesShardMask) {
 TEST(TraceStreamV2, Version1ModeInteroperates) {
   // FormatVersion=1 writes the old magic with a mask-less footer; the
   // reader accepts it and reports conservative all-ones masks.
-  std::vector<Event> Events = makeTrace(500, 18);
+  std::vector<EventRecord> Events = makeTrace(500, 18);
   std::string Path = tempPath("isprof_stream_v1compat.strm");
   TraceStreamOptions Opts;
   Opts.FormatVersion = 1;
@@ -659,13 +667,13 @@ TEST(TraceStreamV2, Version1ModeInteroperates) {
 }
 
 TEST(TraceStreamV2, UnknownVersionsRejected) {
-  // A hypothetical v3 stream and a bogus writer request both fail
+  // A hypothetical v9 stream and a bogus writer request both fail
   // cleanly instead of being misparsed.
-  std::vector<Event> Events = makeTrace(100, 19);
-  std::string Path = tempPath("isprof_stream_v3.strm");
+  std::vector<EventRecord> Events = makeTrace(100, 19);
+  std::string Path = tempPath("isprof_stream_v9.strm");
   writeStream(Path, Events, {});
   std::string Bytes = readFile(Path);
-  Bytes[7] = '3';
+  Bytes[7] = '9';
   writeFile(Path, Bytes);
   TraceStreamReader Reader;
   EXPECT_FALSE(Reader.open(Path));

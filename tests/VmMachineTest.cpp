@@ -425,14 +425,14 @@ TEST(Machine, EventStreamIsWellFormed) {
   RunResult R = M.run();
   ASSERT_TRUE(R.Ok) << R.Error;
 
-  const std::vector<Event> &Events = Dispatcher.recordedEvents();
+  const std::vector<EventRecord> Events = Dispatcher.decodedRecordedEvents();
   ASSERT_FALSE(Events.empty());
   // Times strictly increase; call/return balance per thread; memory ops
   // happen inside activations (except spawn-argument publication).
   uint64_t LastTime = 0;
   std::map<ThreadId, int> Depth;
   uint64_t Reads = 0, Writes = 0, KernelReads = 0, KernelWrites = 0;
-  for (const Event &E : Events) {
+  for (const EventRecord &E : Events) {
     EXPECT_GT(E.Time, LastTime);
     LastTime = E.Time;
     switch (E.Kind) {
